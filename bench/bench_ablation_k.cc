@@ -1,0 +1,51 @@
+// Ablation A (DESIGN.md): sensitivity of navigation cost and expansion time
+// to the reduced-tree size K. The paper fixes K = 10 as "the maximum tree
+// size on which Opt-EdgeCut can operate in real-time"; this bench sweeps K
+// and reports the cost/time trade-off that justifies the choice.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Ablation: reduced-tree size K sweep");
+
+  const Workload& w = SharedWorkload();
+  TextTable table;
+  table.SetHeader({"K", "Avg Cost", "Avg EXPANDs", "Avg Time/EXPAND (ms)",
+                   "Improvement vs Static %"});
+
+  // Static baseline cost, once.
+  double static_cost_sum = 0;
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    QueryFixture f = BuildQueryFixture(w, i);
+    static_cost_sum +=
+        RunOracle(f, MakeStaticStrategyFactory()).navigation_cost();
+  }
+
+  for (int k : {4, 6, 8, 10, 12, 14}) {
+    HeuristicReducedOptOptions options;
+    options.max_partitions = k;
+    double cost_sum = 0;
+    double expands_sum = 0;
+    TimingStats time_stats;
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(w, i);
+      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory(options));
+      cost_sum += m.navigation_cost();
+      expands_sum += m.expand_actions;
+      for (double t : m.expand_time_ms) time_stats.Add(t);
+    }
+    double n = static_cast<double>(w.num_queries());
+    table.AddRow({std::to_string(k), TextTable::Num(cost_sum / n, 1),
+                  TextTable::Num(expands_sum / n, 1),
+                  TextTable::Num(time_stats.mean(), 3),
+                  TextTable::Num(100.0 * (1.0 - cost_sum / static_cost_sum),
+                                 1)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

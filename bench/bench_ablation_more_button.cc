@@ -1,0 +1,71 @@
+// Ablation D (DESIGN.md): the paper's footnote 2 argues that showing a few
+// children at a time with a "more" button does not considerably change the
+// static baseline's cost, since each "more" click costs an extra EXPAND.
+// This bench compares static all-children, ranked top-k + "more" (for a few
+// page sizes), the greedy local-search cut, and BioNav.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+namespace {
+
+StrategyFactory MakeRankedFactory(int page) {
+  return [page](const CostModel*) {
+    return std::make_unique<RankedChildrenStrategy>(page);
+  };
+}
+
+StrategyFactory MakeGreedyFactory() {
+  return [](const CostModel* cm) {
+    return std::make_unique<GreedyEdgeCutStrategy>(cm);
+  };
+}
+
+StrategyFactory MakeExhaustiveFactory() {
+  return [](const CostModel* cm) {
+    return std::make_unique<ExhaustiveReducedStrategy>(cm);
+  };
+}
+
+}  // namespace
+
+int main() {
+  PrintPreamble("Ablation: 'more' button and greedy vs BioNav");
+
+  const Workload& w = SharedWorkload();
+  struct Method {
+    std::string name;
+    StrategyFactory factory;
+  };
+  std::vector<Method> methods;
+  methods.push_back({"Static (all children)", MakeStaticStrategyFactory()});
+  methods.push_back({"Ranked top-5 + more", MakeRankedFactory(5)});
+  methods.push_back({"Ranked top-10 + more", MakeRankedFactory(10)});
+  methods.push_back({"Greedy-EdgeCut", MakeGreedyFactory()});
+  methods.push_back(
+      {"Exhaustive-Reduced (Sec V model)", MakeExhaustiveFactory()});
+  methods.push_back({"Heuristic-ReducedOpt", MakeBioNavStrategyFactory()});
+
+  TextTable table;
+  table.SetHeader({"Method", "Avg Cost", "Avg EXPANDs", "Avg Revealed"});
+  for (const Method& m : methods) {
+    double cost_sum = 0, expands_sum = 0, revealed_sum = 0;
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(w, i);
+      NavigationMetrics r = RunOracle(f, m.factory);
+      cost_sum += r.navigation_cost();
+      expands_sum += r.expand_actions;
+      revealed_sum += r.revealed_concepts;
+    }
+    double n = static_cast<double>(w.num_queries());
+    table.AddRow({m.name, TextTable::Num(cost_sum / n, 1),
+                  TextTable::Num(expands_sum / n, 1),
+                  TextTable::Num(revealed_sum / n, 1)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

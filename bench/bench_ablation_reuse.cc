@@ -1,0 +1,60 @@
+// Ablation E (DESIGN.md / paper Section VI-B): reusing the Opt-EdgeCut DP
+// across expansions. The paper remarks that once the DP has run on a
+// reduced tree, the optimal cuts of every component it can create are
+// already computed; reusing them answers subsequent EXPANDs from the memo,
+// at the price of keeping the original (coarser) supernode granularity
+// instead of freshly re-partitioning the now-smaller component. This bench
+// quantifies that speed/quality trade-off.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Ablation: Opt-EdgeCut DP reuse across expansions");
+
+  const Workload& w = SharedWorkload();
+  TextTable table;
+  table.SetHeader({"Mode", "Avg Cost", "Avg EXPANDs", "Avg Time/EXPAND (ms)",
+                   "Cache Hit %"});
+
+  for (bool reuse : {false, true}) {
+    double cost_sum = 0, expands_sum = 0;
+    TimingStats time_stats;
+    int hits = 0, calls = 0;
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(w, i);
+      HeuristicReducedOptOptions options;
+      options.reuse_dp = reuse;
+      HeuristicReducedOpt strategy(f.cost_model.get(), options);
+      // Manual oracle loop so we can read cache-hit stats per expand.
+      ActiveTree active(f.nav.get());
+      NavNodeId target = f.nav->NodeOfConcept(f.query->target);
+      int expands = 0, revealed = 0;
+      while (!active.IsVisible(target)) {
+        NavNodeId root =
+            active.ComponentRoot(active.ComponentOf(target));
+        EdgeCut cut = strategy.ChooseEdgeCut(active, root);
+        active.ApplyEdgeCut(root, cut).status().CheckOK();
+        ++expands;
+        revealed += static_cast<int>(cut.size());
+        ++calls;
+        hits += strategy.last_stats().cache_hit ? 1 : 0;
+        time_stats.Add(strategy.last_stats().elapsed_ms);
+      }
+      cost_sum += expands + revealed;
+      expands_sum += expands;
+    }
+    double n = static_cast<double>(w.num_queries());
+    table.AddRow({reuse ? "reuse_dp=true" : "reuse_dp=false",
+                  TextTable::Num(cost_sum / n, 1),
+                  TextTable::Num(expands_sum / n, 1),
+                  TextTable::Num(time_stats.mean(), 3),
+                  TextTable::Num(calls ? 100.0 * hits / calls : 0, 1)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation G (DESIGN.md / paper Section IV): the EXPAND-probability
+// thresholds. "Currently, BioNav operates with 50 and 10 being the upper
+// and lower threshold respectively"; this bench sweeps both to show the
+// regime the paper's choice sits in.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Ablation: EXPAND-probability thresholds (upper/lower)");
+
+  const Workload& w = SharedWorkload();
+  TextTable table;
+  table.SetHeader({"Upper", "Lower", "Avg Cost", "Avg EXPANDs",
+                   "Avg SHOWRESULTS Size"});
+
+  struct Pair {
+    int upper;
+    int lower;
+  };
+  const Pair pairs[] = {
+      {20, 5}, {50, 10}, {100, 10}, {50, 25}, {200, 50}, {10000, 0},
+  };
+
+  for (const Pair& pair : pairs) {
+    CostModelParams params;
+    params.expand_upper_threshold = pair.upper;
+    params.expand_lower_threshold = pair.lower;
+    double cost_sum = 0, expands_sum = 0, show_sum = 0;
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(w, i, params);
+      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory());
+      cost_sum += m.navigation_cost();
+      expands_sum += m.expand_actions;
+      show_sum += m.showresults_citations;
+    }
+    double n = static_cast<double>(w.num_queries());
+    table.AddRow({std::to_string(pair.upper), std::to_string(pair.lower),
+                  TextTable::Num(cost_sum / n, 1),
+                  TextTable::Num(expands_sum / n, 1),
+                  TextTable::Num(show_sum / n, 1)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation F (DESIGN.md / paper Section IV): the EXPLORE-weight formula.
+// The paper motivates |L(n)|^2/|LT(n)| as result size times query
+// selectivity, discounting globally common concepts (the IDF analogy).
+// This bench re-runs the oracle comparison with the two degenerate
+// variants — raw counts and pure selectivity — to show what each factor
+// contributes.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Ablation: EXPLORE-weight formula variants");
+
+  const Workload& w = SharedWorkload();
+  struct Mode {
+    const char* name;
+    ExploreWeightMode mode;
+  };
+  const Mode modes[] = {
+      {"|L|^2/|LT| (paper)", ExploreWeightMode::kSquaredOverGlobal},
+      {"|L| (raw count)", ExploreWeightMode::kCount},
+      {"|L|/|LT| (selectivity)", ExploreWeightMode::kSelectivity},
+  };
+
+  TextTable table;
+  table.SetHeader({"Weight Formula", "Avg Cost", "Avg EXPANDs",
+                   "Avg Revealed", "Worst-Query Cost"});
+
+  for (const Mode& mode : modes) {
+    CostModelParams params;
+    params.explore_weight_mode = mode.mode;
+    double cost_sum = 0, expands_sum = 0, revealed_sum = 0;
+    int worst = 0;
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(w, i, params);
+      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory());
+      cost_sum += m.navigation_cost();
+      expands_sum += m.expand_actions;
+      revealed_sum += m.revealed_concepts;
+      worst = std::max(worst, m.navigation_cost());
+    }
+    double n = static_cast<double>(w.num_queries());
+    table.AddRow({mode.name, TextTable::Num(cost_sum / n, 1),
+                  TextTable::Num(expands_sum / n, 1),
+                  TextTable::Num(revealed_sum / n, 1),
+                  std::to_string(worst)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace bionav::bench {
+
+WorkloadOptions BenchWorkloadOptions() {
+  WorkloadOptions options;
+  const char* scale = std::getenv("BIONAV_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "small") {
+    options.hierarchy_nodes = 6000;
+    options.background_citations = 8000;
+    options.result_scale = 0.4;
+  }
+  return options;
+}
+
+const Workload& SharedWorkload() {
+  static const Workload* workload = new Workload(BenchWorkloadOptions());
+  return *workload;
+}
+
+QueryFixture BuildQueryFixture(const Workload& workload, size_t i,
+                               CostModelParams params) {
+  QueryFixture fixture;
+  fixture.query = &workload.query(i);
+  fixture.nav = workload.BuildNavigationTree(i);
+  fixture.cost_model = std::make_unique<CostModel>(fixture.nav.get(), params);
+  return fixture;
+}
+
+NavigationMetrics RunOracle(const QueryFixture& fixture,
+                            const StrategyFactory& factory) {
+  std::unique_ptr<ExpandStrategy> strategy = factory(fixture.cost_model.get());
+  return NavigateToTarget(*fixture.nav, fixture.query->target,
+                          strategy.get());
+}
+
+void PrintPreamble(const std::string& bench_name) {
+  const WorkloadOptions& o = SharedWorkload().options();
+  std::cout << "=== " << bench_name << " ===\n"
+            << "workload: " << SharedWorkload().num_queries()
+            << " queries, hierarchy " << SharedWorkload().hierarchy().size()
+            << " concepts, seed " << o.seed << ", result scale "
+            << o.result_scale << "\n\n";
+}
+
+}  // namespace bionav::bench

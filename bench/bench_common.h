@@ -1,0 +1,42 @@
+#ifndef BIONAV_BENCH_BENCH_COMMON_H_
+#define BIONAV_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bionav.h"
+
+namespace bionav::bench {
+
+/// Scale of the shared benchmark workload. The full paper scale (48k-node
+/// hierarchy, 40k background citations) is the default; BIONAV_BENCH_SCALE
+/// in the environment ("small") switches to a fast configuration for CI.
+WorkloadOptions BenchWorkloadOptions();
+
+/// Lazily-built process-wide workload shared by all figure benches in one
+/// binary (construction takes a few seconds at full scale).
+const Workload& SharedWorkload();
+
+/// Everything the per-query experiments need, built once per query.
+struct QueryFixture {
+  const GeneratedQuery* query = nullptr;
+  std::unique_ptr<NavigationTree> nav;
+  std::unique_ptr<CostModel> cost_model;
+};
+
+/// Builds the fixture for query `i` of the shared workload.
+QueryFixture BuildQueryFixture(const Workload& workload, size_t i,
+                               CostModelParams params = CostModelParams());
+
+/// Runs the oracle target navigation for one query under the given
+/// strategy factory and returns the metrics.
+NavigationMetrics RunOracle(const QueryFixture& fixture,
+                            const StrategyFactory& factory);
+
+/// Prints the standard bench preamble (workload scale, seed).
+void PrintPreamble(const std::string& bench_name);
+
+}  // namespace bionav::bench
+
+#endif  // BIONAV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,41 @@
+// Reproduces Fig 11: per-EXPAND execution time of Heuristic-ReducedOpt for
+// the prothymosin query, annotated with the reduced-tree partition count of
+// each expansion. The paper shows times varying with the reduced-tree size
+// and the width of the expanded component (upper levels are wider).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Fig 11: per-EXPAND times for 'prothymosin'");
+
+  const Workload& w = SharedWorkload();
+  size_t prothymosin = w.num_queries();
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    if (w.query(i).spec.name == "prothymosin") {
+      prothymosin = i;
+      break;
+    }
+  }
+  BIONAV_CHECK_LT(prothymosin, w.num_queries());
+
+  QueryFixture f = BuildQueryFixture(w, prothymosin);
+  NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+
+  TextTable table;
+  table.SetHeader({"EXPAND #", "Partitions", "Revealed", "Time (ms)"});
+  for (size_t e = 0; e < b.expand_time_ms.size(); ++e) {
+    table.AddRow({std::to_string(e + 1),
+                  std::to_string(b.reduced_tree_sizes[e]),
+                  std::to_string(b.revealed_per_expand[e]),
+                  TextTable::Num(b.expand_time_ms[e], 3)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nTotal EXPANDs: " << b.expand_actions
+            << ", navigation cost: " << b.navigation_cost() << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Related-work comparison (paper Section IX): query-refinement tools
+// (PubMed PubReMiner, XplorMed) show concept-frequency lists and let the
+// user iteratively AND the query with a concept. This bench measures the
+// oracle interaction cost of that model against BioNav's navigation,
+// charging both the same way (1 per item read + 1 per action + 1 per
+// citation finally inspected).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Related work: query refinement vs BioNav navigation");
+
+  const Workload& w = SharedWorkload();
+  EUtilsClient client = w.corpus().MakeClient();
+  QueryRefiner refiner(&w.hierarchy(), &client);
+
+  TextTable table;
+  table.SetHeader({"Query", "Refinement Cost", "(rounds/read/final)",
+                   "Target Recall %", "BioNav Cost (w/ results)",
+                   "BioNav Recall %"});
+
+  double refine_sum = 0, bionav_sum = 0, recall_sum = 0;
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    const GeneratedQuery& q = w.query(i);
+    RefinementMetrics r = NavigateByRefinement(
+        refiner, client, q.spec.keyword, q.target);
+    QueryFixture f = BuildQueryFixture(w, i);
+    NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+
+    refine_sum += r.cost();
+    bionav_sum += b.total_cost_with_results();
+    recall_sum += r.target_recall();
+    table.AddRow({q.spec.name, std::to_string(r.cost()),
+                  std::to_string(r.rounds) + "/" +
+                      std::to_string(r.suggestions_read) + "/" +
+                      std::to_string(r.final_results) +
+                      (r.stalled ? " (stalled)" : ""),
+                  TextTable::Num(100.0 * r.target_recall(), 0),
+                  std::to_string(b.total_cost_with_results()),
+                  // BioNav's SHOWRESULTS covers the target's whole
+                  // component subtree, so every target citation is shown.
+                  "100"});
+  }
+  std::cout << table.ToString();
+  double n = static_cast<double>(w.num_queries());
+  std::cout << "\nAverage cost: refinement "
+            << TextTable::Num(refine_sum / n, 1) << " vs BioNav "
+            << TextTable::Num(bionav_sum / n, 1)
+            << "; refinement keeps only "
+            << TextTable::Num(100.0 * recall_sum / n, 0)
+            << "% of the target literature (BioNav: 100%) — the paper's"
+               " Section I over-specification critique.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Robustness sweep (paper Section VIII-A's claim: "The improvement is high
+// regardless of the navigation tree characteristics ... and regardless of
+// the number of citations in the query result"): re-runs the Fig 8
+// comparison while scaling the result sizes and the hierarchy size.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  std::cout << "=== Scaling: improvement vs workload scale ===\n\n";
+
+  TextTable table;
+  table.SetHeader({"Hierarchy", "Result Scale", "Avg Static Cost",
+                   "Avg BioNav Cost", "Improvement %",
+                   "Avg Time/EXPAND (ms)"});
+
+  struct Config {
+    int hierarchy_nodes;
+    double result_scale;
+  };
+  // Keep the sweep small-to-large; the largest configuration doubles the
+  // paper's result sizes.
+  const Config configs[] = {
+      {12000, 0.25}, {12000, 1.0}, {24000, 0.5},
+      {48000, 0.5},  {48000, 1.0}, {48000, 2.0},
+  };
+
+  for (const Config& config : configs) {
+    WorkloadOptions options;
+    options.hierarchy_nodes = config.hierarchy_nodes;
+    options.background_citations = config.hierarchy_nodes;
+    options.result_scale = config.result_scale;
+    Workload workload(options);
+
+    double static_sum = 0, bionav_sum = 0;
+    TimingStats time_stats;
+    for (size_t i = 0; i < workload.num_queries(); ++i) {
+      QueryFixture f = BuildQueryFixture(workload, i);
+      NavigationMetrics s = RunOracle(f, MakeStaticStrategyFactory());
+      NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+      static_sum += s.navigation_cost();
+      bionav_sum += b.navigation_cost();
+      for (double t : b.expand_time_ms) time_stats.Add(t);
+    }
+    double n = static_cast<double>(workload.num_queries());
+    table.AddRow({std::to_string(config.hierarchy_nodes),
+                  TextTable::Num(config.result_scale, 2),
+                  TextTable::Num(static_sum / n, 1),
+                  TextTable::Num(bionav_sum / n, 1),
+                  TextTable::Num(100.0 * (1.0 - bionav_sum / static_sum), 1),
+                  TextTable::Num(time_stats.mean(), 3)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Expected-cost comparison under the *stochastic* TOPDOWN user (the user
+// the cost model actually describes, exploring by probability instead of
+// beelining to a known target): Monte-Carlo estimate of the expected
+// navigation cost per strategy. This is the quantity Heuristic-ReducedOpt
+// explicitly minimizes, so it should dominate here even more clearly than
+// in the oracle experiment of Fig 8.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+namespace {
+
+constexpr int kTrials = 40;
+
+double MeanStochasticCost(const QueryFixture& fixture,
+                          const StrategyFactory& factory, uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0;
+  std::unique_ptr<ExpandStrategy> strategy =
+      factory(fixture.cost_model.get());
+  for (int t = 0; t < kTrials; ++t) {
+    StochasticTrialResult r = SimulateTopDown(
+        *fixture.nav, *fixture.cost_model, strategy.get(), &rng);
+    sum += r.cost;
+  }
+  return sum / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  PrintPreamble("Stochastic-user expected cost, Static vs BioNav");
+
+  const Workload& w = SharedWorkload();
+  TextTable table;
+  table.SetHeader({"Query", "Static E[cost]", "BioNav E[cost]",
+                   "Improvement %"});
+
+  double ratio_sum = 0;
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    QueryFixture f = BuildQueryFixture(w, i);
+    double static_cost =
+        MeanStochasticCost(f, MakeStaticStrategyFactory(), 1000 + i);
+    double bionav_cost =
+        MeanStochasticCost(f, MakeBioNavStrategyFactory(), 2000 + i);
+    double improvement = 100.0 * (1.0 - bionav_cost / static_cost);
+    ratio_sum += bionav_cost / static_cost;
+    table.AddRow({f.query->spec.name, TextTable::Num(static_cost, 1),
+                  TextTable::Num(bionav_cost, 1),
+                  TextTable::Num(improvement, 1)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nAverage improvement: "
+            << TextTable::Num(
+                   100.0 * (1.0 - ratio_sum /
+                                      static_cast<double>(w.num_queries())),
+                   1)
+            << "% (" << kTrials << " sampled episodes per cell)\n";
+  return 0;
+}

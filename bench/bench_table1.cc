@@ -1,0 +1,43 @@
+// Reproduces Table I: the query-workload characteristics — result size,
+// navigation-tree size / max width / height, citations with duplicates, and
+// the target concept's MeSH level, |L(target)| and |LT(target)|.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+int main() {
+  PrintPreamble("Table I: Query Workload");
+
+  const Workload& w = SharedWorkload();
+  TextTable table;
+  table.SetHeader({"Query", "#Citations", "NavTree Size", "Max Width",
+                   "Height", "Citations w/ Dup", "Target Concept",
+                   "MeSH Level", "|L(t)|", "|LT(t)|"});
+
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    QueryFixture f = BuildQueryFixture(w, i);
+    const GeneratedQuery& q = *f.query;
+    NavNodeId tnode = f.nav->NodeOfConcept(q.target);
+    int attached = tnode == kInvalidNavNode
+                       ? 0
+                       : f.nav->node(tnode).attached_count;
+    table.AddRow({
+        q.spec.name,
+        std::to_string(f.nav->result().size()),
+        std::to_string(f.nav->size()),
+        std::to_string(f.nav->MaxWidth()),
+        std::to_string(f.nav->Height()),
+        std::to_string(f.nav->TotalAttachedWithDuplicates()),
+        w.hierarchy().label(q.target),
+        std::to_string(w.hierarchy().depth(q.target)),
+        std::to_string(attached),
+        std::to_string(w.corpus().associations.GlobalCount(q.target)),
+    });
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Real-MeSH workflow: import an NLM-format tree file (the shipped
+// data/sample.mtrees slice, shaped after the MeSH 2008 neighbourhoods the
+// paper's figures use), attach hand-written citations via real MeSH tree
+// numbers, and navigate the result — the path an adopter with the actual
+// MeSH distribution would follow.
+//
+// Usage: mesh_workflow [path-to-mtrees]
+
+#include <iostream>
+
+#include "bionav.h"
+
+using namespace bionav;
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "data/sample.mtrees";
+
+  auto imported = ImportMeshTreeFileFromPath(path);
+  if (!imported.ok()) {
+    std::cerr << "cannot import " << path << ": "
+              << imported.status().ToString()
+              << "\n(run from the repository root or pass the path)\n";
+    return 1;
+  }
+  MeshImportResult mesh = imported.TakeValue();
+  std::cout << "Imported " << mesh.stats.lines << " MeSH descriptors ("
+            << mesh.hierarchy.size() << " concepts, "
+            << mesh.stats.implicit_parents << " implicit parents)\n\n";
+
+  // Citation records referencing concepts by their *original* MeSH tree
+  // numbers, resolved through the import mapping.
+  auto tn = [&](const char* number) {
+    auto it = mesh.by_mesh_tree_number.find(number);
+    BIONAV_CHECK(it != mesh.by_mesh_tree_number.end()) << number;
+    return mesh.hierarchy.tree_number(it->second).ToString();
+  };
+  std::vector<CitationSourceRecord> records;
+  auto add = [&](uint64_t pmid, int year, const char* title,
+                 std::vector<std::string> terms,
+                 std::vector<std::string> concepts) {
+    CitationSourceRecord r;
+    r.pmid = pmid;
+    r.year = year;
+    r.title = title;
+    r.terms = std::move(terms);
+    r.annotated_tree_numbers = std::move(concepts);
+    records.push_back(std::move(r));
+  };
+  add(18001, 2007, "Prothymosin alpha promotes apoptosis resistance",
+      {"prothymosin", "apoptosis"},
+      {tn("G04.299.139.500"), tn("D12.644.777.749"), tn("D12.776.664")});
+  add(18002, 2008, "Prothymosin alpha and chromatin remodelling",
+      {"prothymosin", "chromatin"},
+      {tn("D12.776.664.235"), tn("D12.644.777.749"),
+       tn("D12.776.664.235.500")});
+  add(18003, 2006, "Cell proliferation control by prothymosin alpha",
+      {"prothymosin", "proliferation"},
+      {tn("G04.299.160.344"), tn("G04.299.160.344.500"),
+       tn("D12.644.777.749")});
+  add(18004, 2008, "Transcriptional roles of prothymosin alpha",
+      {"prothymosin", "transcription"},
+      {tn("G05.355.868"), tn("G05.355"), tn("D12.644.777.749")});
+  add(18005, 2005, "Prothymosin alpha in breast neoplasms",
+      {"prothymosin", "cancer"},
+      {tn("C04.588.180"), tn("C04.588"), tn("D12.644.777.749")});
+  add(18006, 2008, "Histone interactions of prothymosin alpha",
+      {"prothymosin", "histones"},
+      {tn("D12.776.664.447"), tn("D12.776.664"), tn("D12.644.777.749")});
+  add(18007, 2004, "Transgenic mouse models of thymosin biology",
+      {"thymosin", "mice"},
+      {tn("B01.050.150.520"), tn("D12.644.777")});
+
+  auto db = BioNavDatabase::Build(std::move(mesh.hierarchy), records);
+  db.status().CheckOK();
+  const BioNavDatabase& database = *db.ValueOrDie();
+
+  EUtilsClient client = database.MakeClient();
+  NavigationSession session(&database.hierarchy(), &client, "prothymosin",
+                            MakeBioNavStrategyFactory());
+  std::cout << "Query 'prothymosin': " << session.result_size()
+            << " citations, navigation tree "
+            << session.navigation_tree().size() << " nodes\n\n";
+
+  session.Expand(NavigationTree::kRoot).status().CheckOK();
+  std::cout << "After one EXPAND:\n" << session.Render() << "\n";
+
+  // Keep expanding toward Apoptosis (the paper's Fig 2 destination).
+  ConceptId apoptosis = database.hierarchy().FindByLabel("Apoptosis");
+  NavNodeId target = session.navigation_tree().NodeOfConcept(apoptosis);
+  if (target != kInvalidNavNode) {
+    int guard = 0;
+    while (!session.active_tree().IsVisible(target) && guard++ < 20) {
+      NavNodeId root = session.active_tree().ComponentRoot(
+          session.active_tree().ComponentOf(target));
+      session.Expand(root).status().CheckOK();
+    }
+    std::cout << "After navigating to Apoptosis:\n" << session.Render();
+    auto results = session.ShowResults(target);
+    results.status().CheckOK();
+    std::cout << "\nApoptosis citations:\n";
+    for (const CitationSummary& s : results.ValueOrDie()) {
+      std::cout << "  PMID " << s.pmid << ": " << s.title << "\n";
+    }
+  }
+  return 0;
+}

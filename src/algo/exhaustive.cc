@@ -1,0 +1,214 @@
+#include "algo/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bionav {
+
+namespace {
+
+/// Enumerates all valid cuts (non-empty antichains excluding the root) of
+/// the full tree, via the same child-product construction Opt-EdgeCut uses.
+void EnumerateAllCuts(const SmallTree& tree, int v,
+                      std::vector<SmallTreeMask>* out) {
+  out->clear();
+  out->push_back(0);
+  std::vector<SmallTreeMask> child_opts;
+  std::vector<SmallTreeMask> next;
+  for (int c : tree.node(v).children) {
+    EnumerateAllCuts(tree, c, &child_opts);
+    child_opts.push_back(SmallTreeMask{1} << c);
+    next.clear();
+    next.reserve(out->size() * child_opts.size());
+    for (SmallTreeMask a : *out) {
+      for (SmallTreeMask b : child_opts) next.push_back(a | b);
+    }
+    out->swap(next);
+  }
+}
+
+int DistinctOfMask(const SmallTree& tree, SmallTreeMask mask) {
+  DynamicBitset acc = tree.node(SmallTree::MaskRoot(mask)).results;
+  for (SmallTreeMask r = mask; r;) {
+    int v = __builtin_ctz(r);
+    r &= r - 1;
+    acc.UnionWith(tree.node(v).results);
+  }
+  return static_cast<int>(acc.Count());
+}
+
+}  // namespace
+
+double TopDownExhaustiveCost(const SmallTree& tree,
+                             const std::vector<int>& cut) {
+  BIONAV_CHECK(!cut.empty());
+  SmallTreeMask full = tree.FullMask();
+  SmallTreeMask upper = full;
+  double show_sum = 0;
+  for (int u : cut) {
+    BIONAV_CHECK_GT(u, 0);
+    BIONAV_CHECK_LT(u, tree.size());
+    SmallTreeMask lower = tree.SubtreeMask(u);
+    BIONAV_CHECK_EQ(lower & upper, lower) << "cut is not an antichain";
+    upper &= ~lower;
+    show_sum += DistinctOfMask(tree, lower);
+  }
+  show_sum += DistinctOfMask(tree, upper);
+  double k = static_cast<double>(cut.size()) + 1;  // Lowers + upper.
+  return k + show_sum / k;
+}
+
+ExhaustiveOptResult OptimalExhaustiveCut(const SmallTree& tree) {
+  BIONAV_CHECK_GE(tree.size(), 2);
+  std::vector<SmallTreeMask> cuts;
+  EnumerateAllCuts(tree, 0, &cuts);
+
+  ExhaustiveOptResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (SmallTreeMask cut_mask : cuts) {
+    if (cut_mask == 0) continue;
+    std::vector<int> cut;
+    for (SmallTreeMask r = cut_mask; r;) {
+      cut.push_back(__builtin_ctz(r));
+      r &= r - 1;
+    }
+    double cost = TopDownExhaustiveCost(tree, cut);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.cut = std::move(cut);
+    }
+  }
+  BIONAV_CHECK(!best.cut.empty());
+  return best;
+}
+
+int64_t CountDuplicates(const std::vector<const std::vector<int>*>& parts,
+                        int universe_size) {
+  std::vector<int64_t> multiplicity(static_cast<size_t>(universe_size), 0);
+  int64_t total = 0;
+  for (const std::vector<int>* part : parts) {
+    for (int e : *part) {
+      BIONAV_CHECK_GE(e, 0);
+      BIONAV_CHECK_LT(e, universe_size);
+      multiplicity[static_cast<size_t>(e)]++;
+      total++;
+    }
+  }
+  int64_t distinct = 0;
+  for (int64_t m : multiplicity) distinct += m > 0 ? 1 : 0;
+  return total - distinct;
+}
+
+int64_t TedDuplicates(const TedInstance& instance,
+                      const std::vector<int>& upper_children) {
+  // Upper component: the union of the kept children (the root is empty).
+  std::vector<const std::vector<int>*> upper_parts;
+  std::vector<bool> in_upper(instance.node_elements.size(), false);
+  for (int c : upper_children) {
+    BIONAV_CHECK_GE(c, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(c), instance.node_elements.size());
+    BIONAV_CHECK(!in_upper[static_cast<size_t>(c)]) << "duplicate child";
+    in_upper[static_cast<size_t>(c)] = true;
+    upper_parts.push_back(&instance.node_elements[static_cast<size_t>(c)]);
+  }
+  int64_t dup = CountDuplicates(upper_parts, instance.universe_size);
+  // Lower singleton components: duplicates within one node's multiset.
+  for (size_t c = 0; c < instance.node_elements.size(); ++c) {
+    if (in_upper[c]) continue;
+    dup += CountDuplicates({&instance.node_elements[c]},
+                           instance.universe_size);
+  }
+  return dup;
+}
+
+int64_t TedMaxDuplicates(const TedInstance& instance, int num_components) {
+  const int n = static_cast<int>(instance.node_elements.size());
+  const int num_cut = num_components - 1;
+  BIONAV_CHECK_GE(num_cut, 0);
+  BIONAV_CHECK_LE(num_cut, n);
+  BIONAV_CHECK_LE(n, 24) << "brute-force TED limited to small instances";
+
+  int64_t best = std::numeric_limits<int64_t>::min();
+  const uint32_t limit = n == 32 ? ~0u : ((1u << n) - 1);
+  for (uint32_t keep = 0;; ++keep) {
+    if (__builtin_popcount(keep) == n - num_cut) {
+      std::vector<int> upper;
+      for (int c = 0; c < n; ++c) {
+        if ((keep >> c) & 1) upper.push_back(c);
+      }
+      best = std::max(best, TedDuplicates(instance, upper));
+    }
+    if (keep == limit) break;
+  }
+  return best;
+}
+
+bool SolveTedDecision(const TedInstance& instance, int num_components,
+                      int64_t min_duplicates) {
+  return TedMaxDuplicates(instance, num_components) >= min_duplicates;
+}
+
+int64_t MesObjective(const WeightedGraph& graph,
+                     const std::vector<int>& subset) {
+  std::vector<bool> in(static_cast<size_t>(graph.num_vertices), false);
+  for (int v : subset) {
+    BIONAV_CHECK_GE(v, 0);
+    BIONAV_CHECK_LT(v, graph.num_vertices);
+    in[static_cast<size_t>(v)] = true;
+  }
+  int64_t sum = 0;
+  for (const WeightedGraph::Edge& e : graph.edges) {
+    if (in[static_cast<size_t>(e.u)] && in[static_cast<size_t>(e.v)]) {
+      sum += e.weight;
+    }
+  }
+  return sum;
+}
+
+int64_t MesMaxBruteForce(const WeightedGraph& graph, int subset_size) {
+  const int n = graph.num_vertices;
+  BIONAV_CHECK_GE(subset_size, 0);
+  BIONAV_CHECK_LE(subset_size, n);
+  BIONAV_CHECK_LE(n, 24) << "brute-force MES limited to small graphs";
+  int64_t best = std::numeric_limits<int64_t>::min();
+  const uint32_t limit = (1u << n) - 1;
+  for (uint32_t s = 0;; ++s) {
+    if (__builtin_popcount(s) == subset_size) {
+      std::vector<int> subset;
+      for (int v = 0; v < n; ++v) {
+        if ((s >> v) & 1) subset.push_back(v);
+      }
+      best = std::max(best, MesObjective(graph, subset));
+    }
+    if (s == limit) break;
+  }
+  return best;
+}
+
+bool SolveMesDecision(const WeightedGraph& graph, int subset_size,
+                      int64_t min_weight) {
+  return MesMaxBruteForce(graph, subset_size) >= min_weight;
+}
+
+TedInstance ReduceMesToTed(const WeightedGraph& graph) {
+  TedInstance instance;
+  instance.node_elements.resize(static_cast<size_t>(graph.num_vertices));
+  int next_element = 0;
+  for (const WeightedGraph::Edge& e : graph.edges) {
+    BIONAV_CHECK_NE(e.u, e.v) << "self-loops are not MES edges";
+    BIONAV_CHECK_GE(e.weight, 0);
+    for (int64_t i = 0; i < e.weight; ++i) {
+      instance.node_elements[static_cast<size_t>(e.u)].push_back(
+          next_element);
+      instance.node_elements[static_cast<size_t>(e.v)].push_back(
+          next_element);
+      next_element++;
+    }
+  }
+  instance.universe_size = next_element;
+  return instance;
+}
+
+}  // namespace bionav

@@ -1,0 +1,103 @@
+#ifndef BIONAV_ALGO_EXHAUSTIVE_H_
+#define BIONAV_ALGO_EXHAUSTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/small_tree.h"
+
+namespace bionav {
+
+/// Section V of the paper proves NP-completeness of optimal EdgeCut
+/// selection for the simplified TOPDOWN-EXHAUSTIVE navigation model: BioNav
+/// performs ONE EdgeCut on the root component, the user reads the labels of
+/// all revealed component roots, picks one component uniformly at random
+/// and performs SHOWRESULTS. This module implements that model, the TED
+/// decision problem, the MAXIMUM EDGE SUBGRAPH (MES) decision problem, and
+/// the Theorem 1 reduction MES -> TED, so the complexity argument is
+/// executable and testable rather than prose.
+
+/// Expected TOPDOWN-EXHAUSTIVE cost of applying `cut` (SmallTree node ids,
+/// a valid antichain excluding the root) to the full tree:
+///   (#components) + (1/#components) * sum of per-component distinct counts,
+/// where the components are the lower subtrees plus the upper subtree.
+double TopDownExhaustiveCost(const SmallTree& tree,
+                             const std::vector<int>& cut);
+
+/// Brute-force optimal TOPDOWN-EXHAUSTIVE EdgeCut (exponential; the point
+/// of Theorem 1 is that nothing substantially better exists unless P=NP).
+struct ExhaustiveOptResult {
+  double cost = 0;
+  std::vector<int> cut;
+};
+ExhaustiveOptResult OptimalExhaustiveCut(const SmallTree& tree);
+
+/// A TED (TOPDOWN-EXHAUSTIVE Decision) instance in the star form used by
+/// the Theorem 1 reduction: a root with `node_elements.size()` children;
+/// child i holds the element multiset `node_elements[i]`. An EdgeCut
+/// detaches a subset of children as singleton lower components; the upper
+/// component is the root plus the remaining children.
+struct TedInstance {
+  std::vector<std::vector<int>> node_elements;
+  int universe_size = 0;
+};
+
+/// Number of duplicate elements within one part holding the given element
+/// multiset union: (total multiplicity) - (distinct elements). An element
+/// occurring 3 times counts as 2 duplicates, as in the paper's definition.
+int64_t CountDuplicates(const std::vector<const std::vector<int>*>& parts,
+                        int universe_size);
+
+/// Duplicates within the components of the cut that keeps `upper_children`
+/// attached to the root (every other child becomes a singleton lower
+/// component, which by construction contributes its own internal
+/// duplicates).
+int64_t TedDuplicates(const TedInstance& instance,
+                      const std::vector<int>& upper_children);
+
+/// Maximum total within-component duplicates over all EdgeCuts creating
+/// exactly `num_components` components (upper + num_components-1 lowers).
+/// Brute force over child subsets.
+int64_t TedMaxDuplicates(const TedInstance& instance, int num_components);
+
+/// The TED decision problem: does an EdgeCut creating `num_components`
+/// components with at least `min_duplicates` within-component duplicates
+/// exist?
+bool SolveTedDecision(const TedInstance& instance, int num_components,
+                      int64_t min_duplicates);
+
+/// An undirected edge-weighted graph for MES.
+struct WeightedGraph {
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    int64_t weight = 0;
+  };
+  int num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Sum of weights of edges with both endpoints in `subset`.
+int64_t MesObjective(const WeightedGraph& graph,
+                     const std::vector<int>& subset);
+
+/// Maximum MES objective over all vertex subsets of the given size
+/// (brute force; MES is NP-complete).
+int64_t MesMaxBruteForce(const WeightedGraph& graph, int subset_size);
+
+/// The MES decision problem: does a subset of `subset_size` vertices with
+/// edge weight sum >= `min_weight` exist?
+bool SolveMesDecision(const WeightedGraph& graph, int subset_size,
+                      int64_t min_weight);
+
+/// Theorem 1's mapping: builds the TED star instance whose duplicates
+/// mirror MES edge weights — for each edge (u,v) of weight w, w fresh
+/// elements are added to both child u and child v, so a pair kept together
+/// in the upper component contributes exactly w duplicates. Selecting s
+/// vertices in MES corresponds to an EdgeCut creating
+/// (num_vertices - s + 1) components in TED.
+TedInstance ReduceMesToTed(const WeightedGraph& graph);
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_EXHAUSTIVE_H_

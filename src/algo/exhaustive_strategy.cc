@@ -1,0 +1,53 @@
+#include "algo/exhaustive_strategy.h"
+
+#include <algorithm>
+
+#include "algo/exhaustive.h"
+#include "algo/k_partition.h"
+#include "algo/reduced_tree.h"
+#include "algo/small_tree.h"
+#include "util/timer.h"
+
+namespace bionav {
+
+ExhaustiveReducedStrategy::ExhaustiveReducedStrategy(
+    const CostModel* cost_model, int max_partitions)
+    : cost_model_(cost_model), max_partitions_(max_partitions) {
+  BIONAV_CHECK(cost_model != nullptr);
+  BIONAV_CHECK_GE(max_partitions, 2);
+  BIONAV_CHECK_LE(max_partitions, kMaxSmallTreeNodes);
+}
+
+EdgeCut ExhaustiveReducedStrategy::ChooseEdgeCut(const ActiveTree& active,
+                                                 NavNodeId root) {
+  Timer timer;
+  last_stats_ = ExpandStats{};
+  int comp = active.ComponentOf(root);
+  BIONAV_CHECK_EQ(active.ComponentRoot(comp), root);
+  BIONAV_CHECK_GE(active.ComponentSize(comp), 2u);
+
+  std::optional<ReducedComponent> reduced =
+      ReduceComponent(active, *cost_model_, comp, max_partitions_);
+  if (!reduced.has_value()) {
+    EdgeCut fallback;
+    for (NavNodeId c : active.nav().node(root).children) {
+      if (active.ComponentOf(c) == comp) fallback.cut_children.push_back(c);
+    }
+    BIONAV_CHECK(!fallback.empty());
+    last_stats_.elapsed_ms = timer.ElapsedMillis();
+    return fallback;
+  }
+  last_stats_.partition_rounds = reduced->partition_rounds;
+  last_stats_.reduced_tree_size = reduced->tree.size();
+
+  ExhaustiveOptResult best = OptimalExhaustiveCut(reduced->tree);
+  EdgeCut cut;
+  cut.cut_children.reserve(best.cut.size());
+  for (int s : best.cut) {
+    cut.cut_children.push_back(reduced->tree.node(s).origin);
+  }
+  last_stats_.elapsed_ms = timer.ElapsedMillis();
+  return cut;
+}
+
+}  // namespace bionav

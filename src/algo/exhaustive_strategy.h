@@ -1,0 +1,35 @@
+#ifndef BIONAV_ALGO_EXHAUSTIVE_STRATEGY_H_
+#define BIONAV_ALGO_EXHAUSTIVE_STRATEGY_H_
+
+#include <string>
+
+#include "algo/expand_strategy.h"
+
+namespace bionav {
+
+/// Expansion policy optimizing the TOPDOWN-EXHAUSTIVE objective of Section
+/// V (one EdgeCut, then the user reads the revealed labels and SHOWRESULTS
+/// a uniformly random component) instead of the full recursive cost model.
+/// Runs on the same k-partition reduction as Heuristic-ReducedOpt. Serves
+/// as the "is the recursive DP worth it over the one-shot model" ablation:
+/// the exhaustive objective ignores exploration probabilities and future
+/// expansions, so it over-reveals relative to BioNav.
+class ExhaustiveReducedStrategy : public ExpandStrategy {
+ public:
+  /// `cost_model` supplies the per-node weights the reduction aggregates
+  /// (the exhaustive objective itself only uses citation counts).
+  ExhaustiveReducedStrategy(const CostModel* cost_model,
+                            int max_partitions = 10);
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override;
+
+  std::string name() const override { return "Exhaustive-Reduced"; }
+
+ private:
+  const CostModel* cost_model_;
+  int max_partitions_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_EXHAUSTIVE_STRATEGY_H_

@@ -1,0 +1,48 @@
+#ifndef BIONAV_ALGO_EXPAND_STRATEGY_H_
+#define BIONAV_ALGO_EXPAND_STRATEGY_H_
+
+#include <string>
+
+#include "core/active_tree.h"
+#include "core/cost_model.h"
+
+namespace bionav {
+
+/// Statistics for one ChooseEdgeCut invocation — what the paper reports in
+/// Figs 10/11 (per-EXPAND execution time, reduced-tree size).
+struct ExpandStats {
+  double elapsed_ms = 0;
+  /// Reduced-tree node count (Heuristic-ReducedOpt) or 0 if not applicable.
+  int reduced_tree_size = 0;
+  /// Number of k-partition invocations (B growth rounds); 0 if n/a.
+  int partition_rounds = 0;
+  /// True when the cut was answered from a cached Opt-EdgeCut DP
+  /// (HeuristicReducedOptOptions::reuse_dp).
+  bool cache_hit = false;
+};
+
+/// Interface of a node-expansion policy: given the active tree and the root
+/// of the component the user clicked, decide the EdgeCut that the EXPAND
+/// performs. Implementations: Heuristic-ReducedOpt (BioNav), static
+/// all-children (GoPubMed-like), ranked-children + "more", greedy (ablation).
+class ExpandStrategy {
+ public:
+  virtual ~ExpandStrategy() = default;
+
+  /// Returns a non-empty valid EdgeCut for the component rooted at `root`.
+  /// Requires the component to have at least 2 members.
+  virtual EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) = 0;
+
+  /// Human-readable strategy name for reports.
+  virtual std::string name() const = 0;
+
+  /// Statistics of the most recent ChooseEdgeCut call.
+  const ExpandStats& last_stats() const { return last_stats_; }
+
+ protected:
+  ExpandStats last_stats_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_EXPAND_STRATEGY_H_

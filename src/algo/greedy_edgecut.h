@@ -1,0 +1,33 @@
+#ifndef BIONAV_ALGO_GREEDY_EDGECUT_H_
+#define BIONAV_ALGO_GREEDY_EDGECUT_H_
+
+#include <string>
+
+#include "algo/expand_strategy.h"
+
+namespace bionav {
+
+/// Ablation strategy: greedy local search over EdgeCuts with a myopic
+/// (one-level) cost estimate instead of the recursive Opt-EdgeCut DP.
+/// Starts from the all-children cut and repeatedly applies the best
+/// improving move — pushing a cut edge one level down (replace a cut node
+/// by its children) or retracting one (merge a cut node back into the
+/// upper component) — until a local optimum. Serves as the "is the reduced
+/// DP worth it" comparison point for DESIGN.md's Ablation benches.
+class GreedyEdgeCutStrategy : public ExpandStrategy {
+ public:
+  explicit GreedyEdgeCutStrategy(const CostModel* cost_model,
+                                 int max_iterations = 64);
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override;
+
+  std::string name() const override { return "Greedy-EdgeCut"; }
+
+ private:
+  const CostModel* cost_model_;
+  int max_iterations_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_GREEDY_EDGECUT_H_

@@ -1,0 +1,127 @@
+#include "algo/heuristic_reduced_opt.h"
+
+#include <algorithm>
+
+#include "algo/k_partition.h"
+#include "algo/reduced_tree.h"
+#include "util/timer.h"
+
+namespace bionav {
+
+HeuristicReducedOpt::HeuristicReducedOpt(const CostModel* cost_model,
+                                         HeuristicReducedOptOptions options)
+    : cost_model_(cost_model), options_(options) {
+  BIONAV_CHECK(cost_model != nullptr);
+  BIONAV_CHECK_GE(options_.max_partitions, 2);
+  BIONAV_CHECK_LE(options_.max_partitions, kMaxSmallTreeNodes);
+  BIONAV_CHECK_GT(options_.bound_growth, 1.0);
+}
+
+void HeuristicReducedOpt::SeedCache(const Reduction& reduction,
+                                    SmallTreeMask mask,
+                                    const std::vector<int>& cut_supernodes,
+                                    NavNodeId root) {
+  auto members_of = [&](SmallTreeMask m) {
+    size_t total = 0;
+    for (SmallTreeMask rest = m; rest;) {
+      int v = __builtin_ctz(rest);
+      rest &= rest - 1;
+      total += static_cast<size_t>(
+          (*reduction.supernode_sizes)[static_cast<size_t>(v)]);
+    }
+    return total;
+  };
+
+  SmallTreeMask upper = mask;
+  for (int s : cut_supernodes) {
+    SmallTreeMask lower = mask & reduction.tree->SubtreeMask(s);
+    upper &= ~lower;
+    if (SmallTree::MaskSize(lower) >= 2) {
+      cache_[reduction.tree->node(s).origin] =
+          CacheEntry{reduction, lower, members_of(lower)};
+    } else {
+      // Single supernode: its internal structure is not in this reduction;
+      // a future expansion must re-reduce, so do not cache.
+      cache_.erase(reduction.tree->node(s).origin);
+    }
+  }
+  if (SmallTree::MaskSize(upper) >= 2) {
+    cache_[root] = CacheEntry{reduction, upper, members_of(upper)};
+  } else {
+    cache_.erase(root);
+  }
+}
+
+EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
+                                           NavNodeId root) {
+  Timer timer;
+  last_stats_ = ExpandStats{};
+  int comp = active.ComponentOf(root);
+  BIONAV_CHECK_EQ(active.ComponentRoot(comp), root)
+      << "EXPAND must target a visible component root";
+  BIONAV_CHECK_GE(active.ComponentSize(comp), 2u);
+
+  // Fast path (Section VI-B): a previous reduction already covers this
+  // component — its optimal cut is in the memoized DP.
+  if (options_.reuse_dp) {
+    auto it = cache_.find(root);
+    if (it != cache_.end() &&
+        it->second.expected_members == active.ComponentSize(comp) &&
+        SmallTree::MaskSize(it->second.mask) >= 2) {
+      const CacheEntry entry = it->second;  // Copy; SeedCache mutates map.
+      std::vector<int> cut_supernodes = entry.reduction.opt->BestCut(entry.mask);
+      BIONAV_CHECK(!cut_supernodes.empty());
+      EdgeCut cut;
+      for (int s : cut_supernodes) {
+        cut.cut_children.push_back(entry.reduction.tree->node(s).origin);
+      }
+      SeedCache(entry.reduction, entry.mask, cut_supernodes, root);
+      last_stats_.reduced_tree_size = SmallTree::MaskSize(entry.mask);
+      last_stats_.cache_hit = true;
+      last_stats_.elapsed_ms = timer.ElapsedMillis();
+      return cut;
+    }
+  }
+
+  // Small components run Opt-EdgeCut exactly (every node its own
+  // supernode); larger ones are k-partition-reduced first.
+  std::optional<ReducedComponent> reduced =
+      ReduceComponent(active, *cost_model_, comp, options_.max_partitions);
+  if (!reduced.has_value()) {
+    // Pathological tie structure with no usable reduction: fall back to
+    // revealing all children of the expanded node (always a valid cut).
+    EdgeCut fallback;
+    for (NavNodeId c : active.nav().node(root).children) {
+      if (active.ComponentOf(c) == comp) fallback.cut_children.push_back(c);
+    }
+    BIONAV_CHECK(!fallback.empty());
+    last_stats_.elapsed_ms = timer.ElapsedMillis();
+    return fallback;
+  }
+  last_stats_.partition_rounds = reduced->partition_rounds;
+  last_stats_.reduced_tree_size = reduced->tree.size();
+
+  Reduction reduction;
+  reduction.tree = std::make_shared<SmallTree>(std::move(reduced->tree));
+  reduction.opt =
+      std::make_shared<OptEdgeCut>(reduction.tree.get(), cost_model_);
+  reduction.supernode_sizes = std::make_shared<std::vector<int>>(
+      std::move(reduced->supernode_sizes));
+
+  SmallTreeMask full = reduction.tree->FullMask();
+  std::vector<int> cut_supernodes = reduction.opt->BestCut(full);
+  BIONAV_CHECK(!cut_supernodes.empty());
+
+  EdgeCut cut;
+  cut.cut_children.reserve(cut_supernodes.size());
+  for (int s : cut_supernodes) {
+    cut.cut_children.push_back(reduction.tree->node(s).origin);
+  }
+  if (options_.reuse_dp) {
+    SeedCache(reduction, full, cut_supernodes, root);
+  }
+  last_stats_.elapsed_ms = timer.ElapsedMillis();
+  return cut;
+}
+
+}  // namespace bionav

@@ -1,0 +1,84 @@
+#ifndef BIONAV_ALGO_HEURISTIC_REDUCED_OPT_H_
+#define BIONAV_ALGO_HEURISTIC_REDUCED_OPT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/expand_strategy.h"
+#include "algo/opt_edgecut.h"
+#include "algo/small_tree.h"
+
+namespace bionav {
+
+/// Options for Heuristic-ReducedOpt (paper Section VI-B).
+struct HeuristicReducedOptOptions {
+  /// Maximum reduced-tree size K on which Opt-EdgeCut runs in real time.
+  /// The paper uses K = 10.
+  int max_partitions = 10;
+  /// Multiplicative growth of the k-partition weight bound B between
+  /// rounds ("gradually increasing B until <= K partitions are obtained").
+  double bound_growth = 1.3;
+  /// Section VI-B remark: once Opt-EdgeCut has run on a reduced tree, the
+  /// optimal cuts of every component it can create are already in the DP
+  /// memo, so expansions of those components can be answered from the
+  /// cache instead of re-reducing. Cached answers keep supernode
+  /// granularity (coarser than a fresh k-partition of the smaller
+  /// component) — the speed/quality trade-off Ablation E measures. When a
+  /// cached component bottoms out at a single supernode, the strategy
+  /// falls back to a fresh reduction of its contents.
+  bool reuse_dp = false;
+};
+
+/// The BioNav expansion policy: reduce the expanded component to at most K
+/// supernodes with the k-partition algorithm (weight bound B = W(T)/K,
+/// grown until the partition count fits), run Opt-EdgeCut on the reduced
+/// tree, and map the optimal reduced cut back to navigation-tree edges.
+class HeuristicReducedOpt : public ExpandStrategy {
+ public:
+  HeuristicReducedOpt(const CostModel* cost_model,
+                      HeuristicReducedOptOptions options =
+                          HeuristicReducedOptOptions());
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override;
+
+  std::string name() const override { return "Heuristic-ReducedOpt"; }
+
+  const HeuristicReducedOptOptions& options() const { return options_; }
+
+  /// Drops all cached reductions (e.g. after a BACKTRACK invalidates the
+  /// recorded component shapes). Cache misses are always safe; this only
+  /// exists to release memory deterministically.
+  void ClearCache() { cache_.clear(); }
+
+  /// Number of component entries currently cached (testing/metrics).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  /// A reduction shared by all components the reduced tree can create.
+  struct Reduction {
+    std::shared_ptr<SmallTree> tree;
+    std::shared_ptr<OptEdgeCut> opt;
+    /// Navigation-tree member count per supernode (for cache validation).
+    std::shared_ptr<std::vector<int>> supernode_sizes;
+  };
+  struct CacheEntry {
+    Reduction reduction;
+    SmallTreeMask mask = 0;
+    size_t expected_members = 0;
+  };
+
+  /// Registers the components created by cutting `cut_supernodes` out of
+  /// (reduction, mask) so later expansions can reuse the DP.
+  void SeedCache(const Reduction& reduction, SmallTreeMask mask,
+                 const std::vector<int>& cut_supernodes, NavNodeId root);
+
+  const CostModel* cost_model_;
+  HeuristicReducedOptOptions options_;
+  std::unordered_map<NavNodeId, CacheEntry> cache_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_HEURISTIC_REDUCED_OPT_H_

@@ -1,0 +1,86 @@
+#include "algo/k_partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bionav {
+
+std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
+                                               int component,
+                                               double max_weight) {
+  const NavigationTree& nav = active.nav();
+  std::vector<NavNodeId> members = active.ComponentMembers(component);
+  BIONAV_CHECK(!members.empty());
+  const NavNodeId comp_root = members[0];
+
+  std::unordered_map<NavNodeId, int> local;
+  local.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    local.emplace(members[i], static_cast<int>(i));
+  }
+
+  const size_t n = members.size();
+  std::vector<double> acc(n);
+  std::vector<std::vector<int>> attached_children(n);
+  std::vector<int> part_of(n, -1);
+  std::vector<TreePartition> partitions;
+
+  auto detach_subtree = [&](int child_local) {
+    TreePartition part;
+    part.root = members[static_cast<size_t>(child_local)];
+    NavNodeId end = nav.SubtreeEnd(part.root);
+    for (NavNodeId id = part.root; id < end; ++id) {
+      if (active.ComponentOf(id) != component) continue;
+      auto it = local.find(id);
+      BIONAV_CHECK(it != local.end());
+      if (part_of[static_cast<size_t>(it->second)] != -1) continue;
+      part_of[static_cast<size_t>(it->second)] =
+          static_cast<int>(partitions.size());
+      part.members.push_back(id);
+      part.weight += nav.node(id).attached_count;
+    }
+    partitions.push_back(std::move(part));
+  };
+
+  // Reverse pre-order = children before parents.
+  for (size_t i = n; i-- > 0;) {
+    NavNodeId v = members[i];
+    acc[i] = nav.node(v).attached_count;
+    for (int c : attached_children[i]) acc[i] += acc[static_cast<size_t>(c)];
+
+    // Detach heaviest remaining children until the bound holds (or no
+    // children remain; a single overweight node is an unavoidable
+    // overweight partition root).
+    while (acc[i] > max_weight && !attached_children[i].empty()) {
+      auto heaviest = std::max_element(
+          attached_children[i].begin(), attached_children[i].end(),
+          [&](int a, int b) {
+            return acc[static_cast<size_t>(a)] < acc[static_cast<size_t>(b)];
+          });
+      int child_local = *heaviest;
+      attached_children[i].erase(heaviest);
+      acc[i] -= acc[static_cast<size_t>(child_local)];
+      detach_subtree(child_local);
+    }
+
+    if (v != comp_root) {
+      auto it = local.find(nav.node(v).parent);
+      BIONAV_CHECK(it != local.end())
+          << "component members must be up-closed toward the root";
+      attached_children[static_cast<size_t>(it->second)].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  // Remainder rooted at the component root.
+  detach_subtree(0);
+
+  // Pre-order by partition root so the reduced tree can be built directly.
+  std::sort(partitions.begin(), partitions.end(),
+            [](const TreePartition& a, const TreePartition& b) {
+              return a.root < b.root;
+            });
+  return partitions;
+}
+
+}  // namespace bionav

@@ -1,0 +1,38 @@
+#ifndef BIONAV_ALGO_K_PARTITION_H_
+#define BIONAV_ALGO_K_PARTITION_H_
+
+#include <vector>
+
+#include "core/active_tree.h"
+#include "core/navigation_tree.h"
+
+namespace bionav {
+
+/// One partition (supernode) of a tree partitioning: a connected subtree of
+/// the component, identified by its root; `members` are in pre-order and
+/// always include the root.
+struct TreePartition {
+  NavNodeId root = kInvalidNavNode;
+  std::vector<NavNodeId> members;
+  /// Sum of node weights (|L(n)|) of the members.
+  int64_t weight = 0;
+};
+
+/// Bottom-up tree partitioning (the paper's adaptation of the Kundu-Misra
+/// partition algorithm [11]): processes the component post-order, and while
+/// a node's accumulated subtree weight exceeds `max_weight`, detaches its
+/// heaviest remaining child subtree as a partition. Node weight is the
+/// node's attached citation count |L(n)| (paper Section VI-B). Produces a
+/// minimum-cardinality partitioning into connected subtrees each of weight
+/// <= max_weight, except that partitions whose root alone outweighs the
+/// bound are unavoidable singletons-or-heavier.
+///
+/// `component` selects which active-tree component to partition; the
+/// partitioning covers exactly its members.
+std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
+                                               int component,
+                                               double max_weight);
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_K_PARTITION_H_

@@ -1,0 +1,137 @@
+#include "algo/opt_edgecut.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bionav {
+
+OptEdgeCut::OptEdgeCut(const SmallTree* tree, const CostModel* cost_model)
+    : tree_(tree), cost_model_(cost_model) {
+  BIONAV_CHECK(tree != nullptr);
+  BIONAV_CHECK(cost_model != nullptr);
+}
+
+void OptEdgeCut::Combos(int v, SmallTreeMask mask,
+                        std::vector<SmallTreeMask>* out) const {
+  out->clear();
+  out->push_back(0);
+  std::vector<SmallTreeMask> child_opts;
+  std::vector<SmallTreeMask> next;
+  for (int c : tree_->node(v).children) {
+    if (!((mask >> c) & 1)) continue;
+    Combos(c, mask, &child_opts);
+    child_opts.push_back(SmallTreeMask{1} << c);  // Cut the edge above c.
+    next.clear();
+    next.reserve(out->size() * child_opts.size());
+    for (SmallTreeMask a : *out) {
+      for (SmallTreeMask b : child_opts) next.push_back(a | b);
+    }
+    out->swap(next);
+    BIONAV_CHECK_LE(out->size(), size_t{1} << 22)
+        << "EdgeCut enumeration blow-up; tree too large for Opt-EdgeCut";
+  }
+}
+
+std::vector<SmallTreeMask> OptEdgeCut::EnumerateCuts(
+    int root, SmallTreeMask mask) const {
+  std::vector<SmallTreeMask> cuts;
+  Combos(root, mask, &cuts);
+  // Drop the empty cut: an EXPAND must reveal at least one concept.
+  cuts.erase(std::remove(cuts.begin(), cuts.end(), SmallTreeMask{0}),
+             cuts.end());
+  return cuts;
+}
+
+const OptEdgeCut::Entry& OptEdgeCut::ComputeEntry(SmallTreeMask mask) {
+  BIONAV_CHECK_NE(mask, 0u);
+  auto it = memo_.find(mask);
+  if (it != memo_.end()) return it->second;
+
+  const int root = SmallTree::MaskRoot(mask);
+  const int m = SmallTree::MaskSize(mask);
+  const CostModelParams& params = cost_model_->params();
+
+  Entry entry;
+
+  // Aggregate component statistics.
+  DynamicBitset acc = tree_->node(root).results;  // Copy.
+  double weight_sum = 0;
+  std::vector<int> member_counts;
+  member_counts.reserve(static_cast<size_t>(m));
+  for (SmallTreeMask rest = mask; rest;) {
+    int v = __builtin_ctz(rest);
+    rest &= rest - 1;
+    if (v != root) acc.UnionWith(tree_->node(v).results);
+    weight_sum += tree_->node(v).explore_weight;
+    member_counts.push_back(tree_->node(v).distinct);
+  }
+  entry.distinct = static_cast<int>(acc.Count());
+  entry.weight = weight_sum;
+  entry.explore_prob = cost_model_->ExploreProbability(weight_sum);
+  entry.expand_prob =
+      cost_model_->ExpandProbability(entry.distinct, member_counts);
+
+  // Conditional EXPLORE probability of a sub-component created by a cut of
+  // this component: its weight relative to this component's weight.
+  auto cond_prob = [&](double w) {
+    if (weight_sum <= 0) return 0.0;
+    double p = w / weight_sum;
+    return p > 1.0 ? 1.0 : p;
+  };
+
+  if (m >= 2) {
+    // Minimize the EXPAND branch over all valid cuts. The branch value is
+    //   expand_cost + sum over lower roots (reveal_cost
+    //                                       + P[explore lower | here]
+    //                                         * cost(lower))
+    //               + P[explore upper | here] * cost(shrunken upper).
+    double best = std::numeric_limits<double>::infinity();
+    SmallTreeMask best_cut = 0;
+    for (SmallTreeMask cut : EnumerateCuts(root, mask)) {
+      double value = params.expand_cost;
+      SmallTreeMask upper = mask;
+      for (SmallTreeMask rest = cut; rest;) {
+        int u = __builtin_ctz(rest);
+        rest &= rest - 1;
+        SmallTreeMask lower = mask & tree_->SubtreeMask(u);
+        upper &= ~lower;
+        const Entry& le = ComputeEntry(lower);
+        value += params.reveal_cost + cond_prob(le.weight) * le.cost;
+      }
+      BIONAV_CHECK_NE(upper & (SmallTreeMask{1} << root), 0u);
+      const Entry& ue = ComputeEntry(upper);
+      value += cond_prob(ue.weight) * ue.cost;
+      if (value < best) {
+        best = value;
+        best_cut = cut;
+      }
+    }
+    entry.best_expand_cost = best;
+    entry.best_cut = best_cut;
+    entry.cost = (1.0 - entry.expand_prob) * params.show_cost *
+                     static_cast<double>(entry.distinct) +
+                 entry.expand_prob * best;
+  } else {
+    // Singleton component: SHOWRESULTS is the only option (pX = 0).
+    entry.best_expand_cost = 0;
+    entry.best_cut = 0;
+    entry.cost = params.show_cost * static_cast<double>(entry.distinct);
+  }
+
+  auto [pos, inserted] = memo_.emplace(mask, entry);
+  BIONAV_CHECK(inserted);
+  return pos->second;
+}
+
+std::vector<int> OptEdgeCut::BestCut(SmallTreeMask mask) {
+  const Entry& entry = ComputeEntry(mask);
+  std::vector<int> out;
+  for (SmallTreeMask rest = entry.best_cut; rest;) {
+    int u = __builtin_ctz(rest);
+    rest &= rest - 1;
+    out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace bionav

@@ -1,0 +1,103 @@
+#ifndef BIONAV_ALGO_OPT_EDGECUT_H_
+#define BIONAV_ALGO_OPT_EDGECUT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algo/small_tree.h"
+#include "core/cost_model.h"
+
+namespace bionav {
+
+/// The paper's Opt-EdgeCut (Section VI-A): computes, for every reachable
+/// component subtree of a small tree, the minimum expected TOPDOWN
+/// navigation cost and the EdgeCut achieving it. Exponential in the tree
+/// size (Theorem 1 shows the underlying decision problem is NP-complete),
+/// feasible for trees of <= kMaxSmallTreeNodes nodes; Heuristic-ReducedOpt
+/// runs it on the k-partition-reduced tree.
+///
+/// Components are encoded as bitmasks over SmallTree nodes. Because nodes
+/// are stored in pre-order and components are up-closed toward their root,
+/// a component's root is its mask's lowest set bit, so the mask alone keys
+/// the dynamic-programming memo.
+class OptEdgeCut {
+ public:
+  OptEdgeCut(const SmallTree* tree, const CostModel* cost_model);
+
+  OptEdgeCut(const OptEdgeCut&) = delete;
+  OptEdgeCut& operator=(const OptEdgeCut&) = delete;
+
+  /// Memo entry for one component.
+  ///
+  /// `cost` is the *conditional* expected cost — the cost of exploring the
+  /// component given that the user chose to explore it. In the expand
+  /// branch, each created component's cost is weighted by its EXPLORE
+  /// probability *relative to the expanded component* (w(I')/w(I)), so
+  /// that a node's eventual exploration probability telescopes to
+  /// w(node-region)/w(initial tree) regardless of how many EXPANDs deep it
+  /// is revealed. (The paper's recursive formula is ambiguous about the
+  /// normalization; the global-Z reading double-discounts deferred reveals
+  /// and degenerates into single-edge chain cuts, contradicting the
+  /// paper's own examples — see DESIGN.md.)
+  struct Entry {
+    /// Conditional expected cost of exploring the component.
+    double cost = 0;
+    /// Value of the EXPAND branch under the best cut (the minimized
+    /// bracketed term), meaningful when best_cut != 0.
+    double best_expand_cost = 0;
+    /// Argmin valid EdgeCut (mask of cut children); 0 for singletons.
+    SmallTreeMask best_cut = 0;
+    /// Distinct citations in the component, |L(I(n))|.
+    int distinct = 0;
+    /// Sum of member EXPLORE weights (w = |L|^2/|LT| summed).
+    double weight = 0;
+    /// Global explore probability, weight / Z (informational).
+    double explore_prob = 0;
+    double expand_prob = 0;
+  };
+
+  /// Computes (memoized) the entry for a component mask. The mask must be
+  /// non-empty and a valid component: up-closed toward its lowest bit.
+  const Entry& ComputeEntry(SmallTreeMask mask);
+
+  /// Conditional expected cost of exploring the component `mask`.
+  double ComponentCost(SmallTreeMask mask) {
+    return ComputeEntry(mask).cost;
+  }
+
+  /// Unconditional expected cost: conditional cost times the component's
+  /// global EXPLORE probability (weight / Z).
+  double UnconditionalCost(SmallTreeMask mask) {
+    const Entry& e = ComputeEntry(mask);
+    return e.explore_prob * e.cost;
+  }
+
+  /// Best EdgeCut for an EXPAND of component `mask`, as SmallTree node ids.
+  /// Non-empty whenever the component has >= 2 nodes (an EXPAND requested
+  /// by the user must reveal something even if the model's EXPAND
+  /// probability is 0).
+  std::vector<int> BestCut(SmallTreeMask mask);
+
+  /// Number of memoized components (exposed for complexity tests).
+  size_t memo_size() const { return memo_.size(); }
+
+  const SmallTree& tree() const { return *tree_; }
+
+ private:
+  /// All valid cut masks (non-empty antichains excluding the root) for the
+  /// component `mask` rooted at `root`.
+  std::vector<SmallTreeMask> EnumerateCuts(int root, SmallTreeMask mask) const;
+
+  /// Product of child options for the subtree of `v` restricted to `mask`;
+  /// includes the empty mask.
+  void Combos(int v, SmallTreeMask mask,
+              std::vector<SmallTreeMask>* out) const;
+
+  const SmallTree* tree_;
+  const CostModel* cost_model_;
+  std::unordered_map<SmallTreeMask, Entry> memo_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_OPT_EDGECUT_H_

@@ -1,0 +1,122 @@
+#include "algo/reduced_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bionav {
+
+SmallTree BuildReducedTree(const ActiveTree& active,
+                           const CostModel& cost_model,
+                           const std::vector<TreePartition>& partitions) {
+  BIONAV_CHECK(!partitions.empty());
+  BIONAV_CHECK_LE(static_cast<int>(partitions.size()), kMaxSmallTreeNodes);
+  const NavigationTree& nav = active.nav();
+
+  // Map every member to its partition index.
+  std::unordered_map<NavNodeId, int> part_of;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    for (NavNodeId m : partitions[p].members) {
+      bool inserted = part_of.emplace(m, static_cast<int>(p)).second;
+      BIONAV_CHECK(inserted) << "node in two partitions";
+    }
+  }
+
+  std::vector<SmallTree::Node> nodes(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const TreePartition& part = partitions[p];
+    SmallTree::Node& n = nodes[p];
+    n.origin = part.root;
+    n.results = nav.result().MakeBitset();
+    for (NavNodeId m : part.members) {
+      n.results.UnionWith(nav.node(m).results);
+      n.explore_weight += cost_model.NodeExploreWeight(m);
+    }
+    n.distinct = static_cast<int>(n.results.Count());
+    if (p == 0) {
+      n.parent = -1;
+    } else {
+      auto it = part_of.find(nav.node(part.root).parent);
+      BIONAV_CHECK(it != part_of.end())
+          << "partition root's parent must belong to some partition";
+      n.parent = it->second;
+      BIONAV_CHECK_LT(n.parent, static_cast<int>(p))
+          << "partitions must be in pre-order";
+    }
+  }
+  return SmallTree(std::move(nodes));
+}
+
+std::optional<ReducedComponent> ReduceComponent(const ActiveTree& active,
+                                                const CostModel& cost_model,
+                                                int component,
+                                                int max_partitions) {
+  BIONAV_CHECK_GE(max_partitions, 2);
+  BIONAV_CHECK_LE(max_partitions, kMaxSmallTreeNodes);
+  const size_t comp_size = active.ComponentSize(component);
+  BIONAV_CHECK_GE(comp_size, 2u);
+
+  if (static_cast<int>(comp_size) <= max_partitions) {
+    ReducedComponent reduced{
+        SmallTreeFromComponent(active, cost_model, component),
+        std::vector<int>(comp_size, 1), 0};
+    return reduced;
+  }
+
+  int64_t total_weight = 0;
+  for (NavNodeId m : active.ComponentMembers(component)) {
+    total_weight += active.nav().node(m).attached_count;
+  }
+
+  auto build = [&](std::vector<TreePartition> partitions, int rounds) {
+    std::vector<int> sizes;
+    sizes.reserve(partitions.size());
+    for (const TreePartition& p : partitions) {
+      sizes.push_back(static_cast<int>(p.members.size()));
+    }
+    ReducedComponent reduced{BuildReducedTree(active, cost_model, partitions),
+                             std::move(sizes), rounds};
+    return reduced;
+  };
+
+  // Grow B from W/K until the partition count fits.
+  double bound = std::max(1.0, static_cast<double>(total_weight) /
+                                   static_cast<double>(max_partitions));
+  double bound_below = 0;  // Largest bound known to give > max partitions.
+  int rounds = 0;
+  std::vector<TreePartition> partitions;
+  while (true) {
+    ++rounds;
+    partitions = KPartitionComponent(active, component, bound);
+    if (static_cast<int>(partitions.size()) <= max_partitions) break;
+    bound_below = bound;
+    bound = std::max(bound * 1.3, bound + 1.0);
+  }
+  if (partitions.size() >= 2) return build(std::move(partitions), rounds);
+
+  // Overshoot: the growth step skipped the whole [2, K] window (possible
+  // when many detachment thresholds coincide). The partition count is
+  // monotone non-increasing in the bound, so binary-search (bound_below,
+  // bound) for a usable count, accepting up to kMaxSmallTreeNodes.
+  double lo = bound_below;
+  double hi = bound;
+  std::optional<ReducedComponent> best;
+  for (int iter = 0; iter < 48 && hi - lo > 1e-9; ++iter) {
+    double mid = (lo + hi) / 2;
+    ++rounds;
+    std::vector<TreePartition> mid_parts =
+        KPartitionComponent(active, component, mid);
+    int count = static_cast<int>(mid_parts.size());
+    if (count > kMaxSmallTreeNodes) {
+      lo = mid;
+    } else if (count == 1) {
+      hi = mid;
+    } else {
+      best = build(std::move(mid_parts), rounds);
+      if (count <= max_partitions) break;  // Preferred window reached.
+      lo = mid;  // Usable, but try to shrink toward <= K supernodes.
+    }
+  }
+  return best;
+}
+
+}  // namespace bionav

@@ -1,0 +1,51 @@
+#ifndef BIONAV_ALGO_REDUCED_TREE_H_
+#define BIONAV_ALGO_REDUCED_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "algo/k_partition.h"
+#include "algo/small_tree.h"
+#include "core/cost_model.h"
+
+namespace bionav {
+
+/// Builds the reduced tree T_R(I(n)) (paper Section VI-A, end): one
+/// SmallTree supernode per partition, supernode edges induced by the
+/// navigation-tree edges that cross partitions. Each supernode aggregates
+/// its members' citation sets and EXPLORE weights; its `origin` is the
+/// partition root, so a cut of the reduced edge above it maps back to the
+/// navigation-tree edge (parent(root), root).
+///
+/// `partitions` must come from KPartitionComponent (pre-order by partition
+/// root, first partition containing the component root).
+SmallTree BuildReducedTree(const ActiveTree& active,
+                           const CostModel& cost_model,
+                           const std::vector<TreePartition>& partitions);
+
+/// A component reduced to a small supernode tree, ready for Opt-EdgeCut.
+struct ReducedComponent {
+  SmallTree tree;
+  /// Navigation-node count per supernode (index = SmallTree node id).
+  std::vector<int> supernode_sizes;
+  /// k-partition invocations performed.
+  int partition_rounds = 0;
+};
+
+/// The full reduction step of Heuristic-ReducedOpt (paper Section VI-B):
+/// components small enough become literal SmallTrees; larger ones are
+/// k-partitioned with bound B = W/K, growing B until at most
+/// `max_partitions` partitions result. Because the partition count can
+/// jump past the [2, K] window when many detachment thresholds coincide
+/// (e.g. a bushy node with equal-weight children), an overshoot triggers a
+/// binary search for a usable bound; returns nullopt in the pathological
+/// case where no bound yields between 2 and kMaxSmallTreeNodes partitions
+/// (callers fall back to an all-children cut).
+std::optional<ReducedComponent> ReduceComponent(const ActiveTree& active,
+                                                const CostModel& cost_model,
+                                                int component,
+                                                int max_partitions);
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_REDUCED_TREE_H_

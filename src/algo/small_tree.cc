@@ -1,0 +1,66 @@
+#include "algo/small_tree.h"
+
+#include <unordered_map>
+
+namespace bionav {
+
+SmallTree::SmallTree(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  BIONAV_CHECK(!nodes_.empty());
+  BIONAV_CHECK_LE(static_cast<int>(nodes_.size()), kMaxSmallTreeNodes);
+  BIONAV_CHECK_EQ(nodes_[0].parent, -1);
+
+  // Rebuild children lists from parents and verify pre-order storage
+  // (every node's parent precedes it).
+  for (auto& n : nodes_) n.children.clear();
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    int p = nodes_[i].parent;
+    BIONAV_CHECK_GE(p, 0);
+    BIONAV_CHECK_LT(p, static_cast<int>(i));
+    nodes_[static_cast<size_t>(p)].children.push_back(static_cast<int>(i));
+  }
+
+  subtree_masks_.assign(nodes_.size(), 0);
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    subtree_masks_[i] |= SmallTreeMask{1} << i;
+    if (i > 0) {
+      subtree_masks_[static_cast<size_t>(nodes_[i].parent)] |=
+          subtree_masks_[i];
+    }
+  }
+}
+
+SmallTree SmallTreeFromComponent(const ActiveTree& active,
+                                 const CostModel& cost_model, int component) {
+  std::vector<NavNodeId> members = active.ComponentMembers(component);
+  BIONAV_CHECK_LE(static_cast<int>(members.size()), kMaxSmallTreeNodes);
+  BIONAV_CHECK(!members.empty());
+
+  const NavigationTree& nav = active.nav();
+  std::unordered_map<NavNodeId, int> index;
+  index.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    index.emplace(members[i], static_cast<int>(i));
+  }
+
+  std::vector<SmallTree::Node> nodes(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    NavNodeId m = members[i];
+    SmallTree::Node& n = nodes[i];
+    n.origin = m;
+    n.results = nav.node(m).results;
+    n.distinct = nav.node(m).attached_count;
+    n.explore_weight = cost_model.NodeExploreWeight(m);
+    if (i == 0) {
+      n.parent = -1;
+    } else {
+      // Members are up-closed toward the component root, so the navigation
+      // parent of every non-root member is also a member.
+      auto it = index.find(nav.node(m).parent);
+      BIONAV_CHECK(it != index.end());
+      n.parent = it->second;
+    }
+  }
+  return SmallTree(std::move(nodes));
+}
+
+}  // namespace bionav

@@ -1,0 +1,90 @@
+#ifndef BIONAV_ALGO_SMALL_TREE_H_
+#define BIONAV_ALGO_SMALL_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/active_tree.h"
+#include "core/cost_model.h"
+#include "core/navigation_tree.h"
+#include "util/bitset.h"
+
+namespace bionav {
+
+/// Bitmask over SmallTree nodes. SmallTree is capped at 20 nodes so that
+/// Opt-EdgeCut's component DP can key its memo table on a 32-bit mask.
+using SmallTreeMask = uint32_t;
+
+/// Maximum node count Opt-EdgeCut will accept. The paper runs the optimal
+/// algorithm on reduced trees of <= 10 supernodes; 20 leaves generous
+/// headroom for the ablations while keeping the DP tractable.
+inline constexpr int kMaxSmallTreeNodes = 20;
+
+/// A small rooted tree on which Opt-EdgeCut operates: either a literal
+/// component subtree of the navigation tree (every node one concept) or the
+/// reduced tree T_R(I(n)) of supernodes produced by the k-partition. Nodes
+/// are stored in pre-order (node 0 is the root), so the subtree of node i is
+/// a contiguous id range and a component's root is its mask's lowest bit.
+class SmallTree {
+ public:
+  struct Node {
+    int parent = -1;
+    std::vector<int> children;
+    /// Union of the citations attached to the (super)node's members.
+    DynamicBitset results;
+    /// Distinct citation count of `results`, cached.
+    int distinct = 0;
+    /// Sum of unnormalized EXPLORE weights of the members.
+    double explore_weight = 0;
+    /// Navigation-tree node this (super)node maps back to: the supernode's
+    /// partition root, or the node itself for literal trees. Cutting the
+    /// SmallTree edge above this node corresponds to cutting the navigation
+    /// tree edge above `origin`.
+    NavNodeId origin = kInvalidNavNode;
+  };
+
+  /// `nodes[0]` must be the root; `nodes` must be in pre-order.
+  explicit SmallTree(std::vector<Node> nodes);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int i) const {
+    BIONAV_CHECK_GE(i, 0);
+    BIONAV_CHECK_LT(i, size());
+    return nodes_[static_cast<size_t>(i)];
+  }
+
+  /// Mask with every node set.
+  SmallTreeMask FullMask() const {
+    return size() == 32 ? ~SmallTreeMask{0}
+                        : ((SmallTreeMask{1} << size()) - 1);
+  }
+
+  /// Mask of the full subtree rooted at node i (w.r.t. the whole tree).
+  SmallTreeMask SubtreeMask(int i) const {
+    BIONAV_CHECK_GE(i, 0);
+    BIONAV_CHECK_LT(i, size());
+    return subtree_masks_[static_cast<size_t>(i)];
+  }
+
+  /// Lowest set bit = the root of a component mask (pre-order storage).
+  static int MaskRoot(SmallTreeMask mask) {
+    BIONAV_CHECK_NE(mask, 0u);
+    return __builtin_ctz(mask);
+  }
+
+  static int MaskSize(SmallTreeMask mask) { return __builtin_popcount(mask); }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<SmallTreeMask> subtree_masks_;
+};
+
+/// Builds a literal SmallTree from one component of the active tree (each
+/// member becomes one SmallTree node). Requires the component to have at
+/// most kMaxSmallTreeNodes members.
+SmallTree SmallTreeFromComponent(const ActiveTree& active,
+                                 const CostModel& cost_model, int component);
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_SMALL_TREE_H_

@@ -1,0 +1,73 @@
+#include "algo/static_navigation.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace bionav {
+
+EdgeCut StaticNavigationStrategy::ChooseEdgeCut(const ActiveTree& active,
+                                                NavNodeId root) {
+  Timer timer;
+  last_stats_ = ExpandStats{};
+  int comp = active.ComponentOf(root);
+  BIONAV_CHECK_EQ(active.ComponentRoot(comp), root);
+  EdgeCut cut;
+  for (NavNodeId c : active.nav().node(root).children) {
+    if (active.ComponentOf(c) == comp) cut.cut_children.push_back(c);
+  }
+  BIONAV_CHECK(!cut.empty())
+      << "static EXPAND on a component whose root has no children in it";
+  last_stats_.elapsed_ms = timer.ElapsedMillis();
+  return cut;
+}
+
+RankedChildrenStrategy::RankedChildrenStrategy(int page_size)
+    : page_size_(page_size) {
+  BIONAV_CHECK_GE(page_size, 1);
+}
+
+std::string RankedChildrenStrategy::name() const {
+  return "Ranked-Top" + std::to_string(page_size_) + "+More";
+}
+
+EdgeCut RankedChildrenStrategy::ChooseEdgeCut(const ActiveTree& active,
+                                              NavNodeId root) {
+  Timer timer;
+  last_stats_ = ExpandStats{};
+  const NavigationTree& nav = active.nav();
+  int comp = active.ComponentOf(root);
+  BIONAV_CHECK_EQ(active.ComponentRoot(comp), root);
+
+  // Children of `root` still inside the component are exactly the
+  // not-yet-revealed ones; rank them by subtree citation count (what the
+  // interface of Fig 1 displays) and take the next page.
+  std::vector<NavNodeId> candidates;
+  for (NavNodeId c : nav.node(root).children) {
+    if (active.ComponentOf(c) == comp) candidates.push_back(c);
+  }
+  BIONAV_CHECK(!candidates.empty())
+      << "'more' EXPAND with no remaining children";
+
+  std::vector<std::pair<int, NavNodeId>> ranked;
+  ranked.reserve(candidates.size());
+  for (NavNodeId c : candidates) {
+    // Subtree restricted to the component equals the full navigation
+    // subtree here (the component owns whole child subtrees of root).
+    ranked.emplace_back(static_cast<int>(nav.SubtreeResults(c).Count()), c);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  EdgeCut cut;
+  for (size_t i = 0;
+       i < ranked.size() && i < static_cast<size_t>(page_size_); ++i) {
+    cut.cut_children.push_back(ranked[i].second);
+  }
+  last_stats_.elapsed_ms = timer.ElapsedMillis();
+  return cut;
+}
+
+}  // namespace bionav

@@ -1,0 +1,41 @@
+#ifndef BIONAV_ALGO_STATIC_NAVIGATION_H_
+#define BIONAV_ALGO_STATIC_NAVIGATION_H_
+
+#include <string>
+
+#include "algo/expand_strategy.h"
+
+namespace bionav {
+
+/// The paper's static-navigation baseline (Section VIII-A): EXPAND reveals
+/// *all* children of the expanded node, ranked by citation count — the
+/// behaviour of GoPubMed, Amazon and the Fig 1 interface. In EdgeCut terms,
+/// expanding component root n cuts every edge (n, child) inside the
+/// component.
+class StaticNavigationStrategy : public ExpandStrategy {
+ public:
+  StaticNavigationStrategy() = default;
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override;
+
+  std::string name() const override { return "Static"; }
+};
+
+/// The footnote-2 variant: reveal only the top `page_size` children (by
+/// subtree citation count) per EXPAND; expanding the same node again shows
+/// the next page (the "more" button, which costs an extra EXPAND action).
+class RankedChildrenStrategy : public ExpandStrategy {
+ public:
+  explicit RankedChildrenStrategy(int page_size);
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override;
+
+  std::string name() const override;
+
+ private:
+  int page_size_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ALGO_STATIC_NAVIGATION_H_

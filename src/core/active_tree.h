@@ -1,0 +1,148 @@
+#ifndef BIONAV_CORE_ACTIVE_TREE_H_
+#define BIONAV_CORE_ACTIVE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/navigation_tree.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// A valid EdgeCut (paper Definition 3): a set of navigation-tree edges,
+/// each identified by its child endpoint, such that no two edges lie on one
+/// root-to-leaf path (i.e., the child endpoints form an antichain).
+struct EdgeCut {
+  std::vector<NavNodeId> cut_children;
+
+  bool empty() const { return cut_children.empty(); }
+  size_t size() const { return cut_children.size(); }
+};
+
+/// The paper's Active Tree (Definition 4): the navigation tree partitioned
+/// into component subtrees by the EdgeCuts applied so far. Each component
+/// is identified by an index; its member set is the paper's I(n) for its
+/// root n. Supports the user actions EXPAND (ApplyEdgeCut) and BACKTRACK
+/// (undo), plus the Definition-5 visualization of visible concepts.
+class ActiveTree {
+ public:
+  /// Starts with a single component containing every node, rooted at the
+  /// navigation-tree root. `nav` must outlive the active tree.
+  explicit ActiveTree(const NavigationTree* nav);
+
+  ActiveTree(const ActiveTree&) = delete;
+  ActiveTree& operator=(const ActiveTree&) = delete;
+  ActiveTree(ActiveTree&&) = default;
+  ActiveTree& operator=(ActiveTree&&) = default;
+
+  const NavigationTree& nav() const { return *nav_; }
+
+  /// Component index of a node.
+  int ComponentOf(NavNodeId id) const {
+    BIONAV_CHECK_GE(id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(id), comp_of_.size());
+    return comp_of_[static_cast<size_t>(id)];
+  }
+
+  /// Root node of a component.
+  NavNodeId ComponentRoot(int comp) const {
+    return components_[CheckComp(comp)].root;
+  }
+
+  /// True iff the node is the root of its component — i.e. visible in the
+  /// interface.
+  bool IsVisible(NavNodeId id) const {
+    return ComponentRoot(ComponentOf(id)) == id;
+  }
+
+  /// Members of a component (the paper's I(n)), in navigation pre-order.
+  std::vector<NavNodeId> ComponentMembers(int comp) const;
+
+  /// Number of nodes in the component.
+  size_t ComponentSize(int comp) const {
+    return static_cast<size_t>(components_[CheckComp(comp)].num_members);
+  }
+
+  /// Distinct citations attached within the component — |L(I(n))|, the
+  /// count displayed next to the visible root.
+  int ComponentDistinctCount(int comp) const {
+    return components_[CheckComp(comp)].distinct;
+  }
+
+  /// Citation set of the component.
+  const DynamicBitset& ComponentResults(int comp) const {
+    return components_[CheckComp(comp)].results;
+  }
+
+  /// Checks a cut for validity w.r.t. an EXPAND of the component rooted at
+  /// `root`: `root` must be a visible component root with >= 2 members; all
+  /// cut children must be proper members of that component and form an
+  /// antichain; the cut must be non-empty.
+  Status ValidateEdgeCut(NavNodeId root, const EdgeCut& cut) const;
+
+  /// Performs the EXPAND (EdgeCut operation). Returns the roots of the
+  /// newly created lower component subtrees, in cut order. The expanded
+  /// component keeps its index and becomes the upper component subtree.
+  Result<std::vector<NavNodeId>> ApplyEdgeCut(NavNodeId root,
+                                              const EdgeCut& cut);
+
+  /// Undoes the most recent EXPAND (the paper's BACKTRACK action). Returns
+  /// false if there is nothing to undo.
+  bool Backtrack();
+
+  /// Number of EXPAND operations that can be backtracked.
+  size_t HistorySize() const { return history_.size(); }
+
+  /// Visualization of the active tree (Definition 5): the embedded tree of
+  /// visible nodes, each with its component's distinct citation count and
+  /// an "expandable" flag (>>> hyperlink).
+  struct VisNode {
+    NavNodeId node = kInvalidNavNode;
+    ConceptId concept_id = kInvalidConcept;
+    int distinct_count = 0;
+    bool expandable = false;
+    std::vector<int> children;  // Indexes into VisTree::nodes.
+  };
+  struct VisTree {
+    std::vector<VisNode> nodes;  // nodes[0] is the root.
+  };
+  VisTree Visualize() const;
+
+  /// ASCII rendering of Visualize() with concept labels — what the BioNav
+  /// web interface displays (used by the examples and for debugging).
+  std::string RenderAscii(int max_depth = 100) const;
+
+ private:
+  struct Component {
+    NavNodeId root = kInvalidNavNode;
+    DynamicBitset results;
+    int distinct = 0;
+    int num_members = 0;
+    bool alive = true;
+  };
+
+  struct HistoryEntry {
+    int upper_comp = -1;
+    std::vector<NavNodeId> reassigned;  // Nodes moved to lower components.
+    std::vector<int> new_comps;
+    DynamicBitset old_results;
+    int old_distinct = 0;
+    int old_num_members = 0;
+  };
+
+  int CheckComp(int comp) const {
+    BIONAV_CHECK_GE(comp, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(comp), components_.size());
+    BIONAV_CHECK(components_[static_cast<size_t>(comp)].alive);
+    return comp;
+  }
+
+  const NavigationTree* nav_;
+  std::vector<int> comp_of_;
+  std::vector<Component> components_;
+  std::vector<HistoryEntry> history_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_ACTIVE_TREE_H_

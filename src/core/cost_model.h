@@ -1,0 +1,105 @@
+#ifndef BIONAV_CORE_COST_MODEL_H_
+#define BIONAV_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "core/navigation_tree.h"
+
+namespace bionav {
+
+/// EXPLORE-weight formula variants (Section IV ablation). The paper argues
+/// for |L(n)|^2/|LT(n)|: result size times query selectivity, penalizing
+/// concepts that are globally common independently of the query (the IDF
+/// analogy). The alternatives drop one of the two factors.
+enum class ExploreWeightMode {
+  /// |L(n)|^2 / |LT(n)| — the paper's formula.
+  kSquaredOverGlobal,
+  /// |L(n)| — raw result counts (no selectivity; what count-ranked
+  /// interfaces implicitly use).
+  kCount,
+  /// |L(n)| / |LT(n)| — selectivity alone (no size factor).
+  kSelectivity,
+};
+
+/// Tunable constants of the TOPDOWN cost model (paper Section III). The
+/// paper sets every unit cost to 1 and notes that raising the EXPAND-action
+/// cost makes each EXPAND reveal more concepts (our Ablation B sweeps it).
+struct CostModelParams {
+  /// Cost of executing one EXPAND action.
+  double expand_cost = 1.0;
+  /// Cost of examining one newly revealed concept.
+  double reveal_cost = 1.0;
+  /// Cost of examining one citation after SHOWRESULTS.
+  double show_cost = 1.0;
+  /// |L(I)| above which the EXPAND probability is pinned to 1.
+  int expand_upper_threshold = 50;
+  /// |L(I)| below which the EXPAND probability is pinned to 0.
+  int expand_lower_threshold = 10;
+  /// EXPLORE-weight formula (Ablation F sweeps the variants).
+  ExploreWeightMode explore_weight_mode =
+      ExploreWeightMode::kSquaredOverGlobal;
+};
+
+/// The navigation cost model of Sections III-IV: per-node EXPLORE weights
+/// |L(n)|^2 / |LT(n)| with global normalization, and the entropy-based
+/// EXPAND probability with the paper's 50/10 thresholds.
+///
+/// The model is bound to one navigation tree (one query result); the
+/// EdgeCut optimizers consult it when scoring component subtrees.
+class CostModel {
+ public:
+  explicit CostModel(const NavigationTree* nav,
+                     CostModelParams params = CostModelParams());
+
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+  CostModel(CostModel&&) = default;
+  CostModel& operator=(CostModel&&) = default;
+
+  const CostModelParams& params() const { return params_; }
+  const NavigationTree& nav() const { return *nav_; }
+
+  /// Unnormalized EXPLORE weight of one node: |L(n)|^2 / |LT(n)|.
+  double NodeExploreWeight(NavNodeId id) const {
+    BIONAV_CHECK_GE(id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(id), weights_.size());
+    return weights_[static_cast<size_t>(id)];
+  }
+
+  /// Normalization constant Z = sum of weights over the whole navigation
+  /// tree, so that the initial active tree has EXPLORE probability 1.
+  double normalization() const { return normalization_; }
+
+  /// EXPLORE probability of a component whose members' weights sum to
+  /// `weight_sum`: pE = weight_sum / Z.
+  double ExploreProbability(double weight_sum) const {
+    if (normalization_ <= 0) return 0;
+    double p = weight_sum / normalization_;
+    return p < 0 ? 0 : (p > 1 ? 1 : p);
+  }
+
+  /// EXPAND probability of a component with the given distinct citation
+  /// count and per-member attached counts (|L(v)| for v in I):
+  ///   - 0 for singleton components (and leaves);
+  ///   - 1 if distinct > upper threshold;
+  ///   - 0 if distinct < lower threshold;
+  ///   - otherwise normalized entropy of the member distribution, clamped
+  ///     to [0, 1] (duplicates can push the raw sum above the maximum).
+  double ExpandProbability(int distinct_count,
+                           const std::vector<int>& member_counts) const;
+
+  /// Raw (unnormalized, unclamped) entropy term used by ExpandProbability —
+  /// exposed for tests.
+  static double MemberEntropy(int distinct_count,
+                              const std::vector<int>& member_counts);
+
+ private:
+  const NavigationTree* nav_;
+  CostModelParams params_;
+  std::vector<double> weights_;
+  double normalization_ = 0;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_COST_MODEL_H_

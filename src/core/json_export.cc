@@ -1,0 +1,86 @@
+#include "core/json_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/ranking.h"
+
+namespace bionav {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void EmitNode(const ActiveTree::VisTree& vis, const ConceptHierarchy& h,
+              int index, int depth, int max_depth, std::ostringstream* out) {
+  const ActiveTree::VisNode& node = vis.nodes[static_cast<size_t>(index)];
+  *out << "{\"label\":\"" << JsonEscape(h.label(node.concept_id))
+       << "\",\"count\":" << node.distinct_count << ",\"expandable\":"
+       << (node.expandable ? "true" : "false") << ",\"node\":" << node.node
+       << ",\"children\":[";
+  if (depth < max_depth) {
+    bool first = true;
+    for (int child : node.children) {
+      if (!first) *out << ',';
+      first = false;
+      EmitNode(vis, h, child, depth + 1, max_depth, out);
+    }
+  }
+  *out << "]}";
+}
+
+}  // namespace
+
+std::string VisualizationToJson(const ActiveTree& active,
+                                const CostModel& cost_model, int max_depth) {
+  ActiveTree::VisTree vis = VisualizeRanked(active, cost_model);
+  std::ostringstream out;
+  EmitNode(vis, active.nav().hierarchy(), 0, 0, max_depth, &out);
+  return out.str();
+}
+
+std::string SummariesToJson(const std::vector<CitationSummary>& summaries) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"pmid\":" << summaries[i].pmid
+        << ",\"year\":" << summaries[i].year << ",\"title\":\""
+        << JsonEscape(summaries[i].title) << "\"}";
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace bionav

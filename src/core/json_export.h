@@ -1,0 +1,35 @@
+#ifndef BIONAV_CORE_JSON_EXPORT_H_
+#define BIONAV_CORE_JSON_EXPORT_H_
+
+#include <string>
+
+#include "core/active_tree.h"
+#include "core/cost_model.h"
+#include "medline/eutils.h"
+
+namespace bionav {
+
+/// JSON export of the interface state — what the BioNav web front end
+/// (Section VII's "Active Tree Visualization" box) would consume. The
+/// format is stable and minimal:
+///
+///   {"label": "...", "count": 12, "expandable": true,
+///    "node": 7, "children": [ ... ]}
+///
+/// Children are ordered by relevance (same order as RenderAsciiRanked).
+/// Labels are JSON-escaped.
+std::string VisualizationToJson(const ActiveTree& active,
+                                const CostModel& cost_model,
+                                int max_depth = 100);
+
+/// JSON list of citation summaries (SHOWRESULTS payload):
+///   [{"pmid": 123, "year": 2008, "title": "..."}, ...]
+std::string SummariesToJson(const std::vector<CitationSummary>& summaries);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters). Exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_JSON_EXPORT_H_

@@ -1,0 +1,159 @@
+#include "core/navigation_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bionav {
+
+NavigationTree::NavigationTree(const ConceptHierarchy& hierarchy,
+                               const AssociationTable& associations,
+                               std::shared_ptr<const ResultSet> result)
+    : hierarchy_(&hierarchy), result_(std::move(result)) {
+  BIONAV_CHECK(hierarchy.frozen());
+  BIONAV_CHECK(result_ != nullptr);
+
+  // Initial navigation tree: attach each result citation to the concepts it
+  // is associated with. Only concepts that receive at least one citation
+  // survive the maximum embedding, so we materialize bitsets per touched
+  // concept only.
+  std::unordered_map<ConceptId, DynamicBitset> attached;
+  for (size_t i = 0; i < result_->size(); ++i) {
+    CitationId cid = result_->citation(i);
+    for (ConceptId c : associations.ConceptsOf(cid)) {
+      auto [it, inserted] = attached.try_emplace(c, result_->MakeBitset());
+      (void)inserted;
+      it->second.Set(i);
+    }
+  }
+  // The hierarchy root is kept regardless (Definition 2 excludes it from
+  // the non-empty requirement to avoid creating a forest) but citations
+  // associated directly with the root, if any, are honored.
+  concept_to_node_.assign(hierarchy.size(), kInvalidNavNode);
+
+  // Maximum embedding via a single pre-order sweep over the hierarchy:
+  // every kept node's parent is its nearest kept ancestor. This is exactly
+  // the result of recursively splicing out empty nodes.
+  struct StackEntry {
+    ConceptId concept_id;
+    NavNodeId node;
+  };
+  std::vector<StackEntry> stack;
+
+  auto add_node = [&](ConceptId c, NavNodeId parent) {
+    NavNodeId id = static_cast<NavNodeId>(nodes_.size());
+    NavNode node;
+    node.concept_id = c;
+    node.parent = parent;
+    auto it = attached.find(c);
+    if (it != attached.end()) {
+      node.results = std::move(it->second);
+    } else {
+      node.results = result_->MakeBitset();
+    }
+    node.attached_count = static_cast<int>(node.results.Count());
+    node.global_count = associations.GlobalCount(c);
+    nodes_.push_back(std::move(node));
+    if (parent != kInvalidNavNode) {
+      nodes_[static_cast<size_t>(parent)].children.push_back(id);
+    }
+    concept_to_node_[static_cast<size_t>(c)] = id;
+    return id;
+  };
+
+  NavNodeId root = add_node(ConceptHierarchy::kRoot, kInvalidNavNode);
+  BIONAV_CHECK_EQ(root, kRoot);
+  stack.push_back({ConceptHierarchy::kRoot, root});
+
+  hierarchy.PreOrder([&](ConceptId c) {
+    if (c == ConceptHierarchy::kRoot) return;
+    auto it = attached.find(c);
+    if (it == attached.end() || !it->second.Any()) return;
+    while (!stack.empty() &&
+           !hierarchy.IsAncestorOrSelf(stack.back().concept_id, c)) {
+      stack.pop_back();
+    }
+    BIONAV_CHECK(!stack.empty());
+    NavNodeId id = add_node(c, stack.back().node);
+    stack.push_back({c, id});
+  });
+
+  // Pre-order subtree intervals: nodes are created in pre-order, so each
+  // node's interval end is the max over its descendants, computed by one
+  // reverse sweep.
+  subtree_end_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    subtree_end_[i] = static_cast<NavNodeId>(i + 1);
+  }
+  for (size_t i = nodes_.size(); i-- > 1;) {
+    size_t p = static_cast<size_t>(nodes_[i].parent);
+    subtree_end_[p] = std::max(subtree_end_[p], subtree_end_[i]);
+  }
+}
+
+int NavigationTree::NodeDepth(NavNodeId id) const {
+  int d = 0;
+  for (NavNodeId u = node(id).parent; u != kInvalidNavNode;
+       u = node(u).parent) {
+    ++d;
+  }
+  return d;
+}
+
+NavNodeId NavigationTree::NodeOfConcept(ConceptId concept_id) const {
+  BIONAV_CHECK_GE(concept_id, 0);
+  BIONAV_CHECK_LT(static_cast<size_t>(concept_id), concept_to_node_.size());
+  return concept_to_node_[static_cast<size_t>(concept_id)];
+}
+
+DynamicBitset NavigationTree::SubtreeResults(NavNodeId id) const {
+  DynamicBitset acc = result_->MakeBitset();
+  std::vector<NavNodeId> stack = {id};
+  while (!stack.empty()) {
+    NavNodeId u = stack.back();
+    stack.pop_back();
+    acc.UnionWith(node(u).results);
+    for (NavNodeId c : node(u).children) stack.push_back(c);
+  }
+  return acc;
+}
+
+int64_t NavigationTree::TotalAttachedWithDuplicates() const {
+  int64_t total = 0;
+  for (const NavNode& n : nodes_) total += n.attached_count;
+  return total;
+}
+
+int NavigationTree::MaxWidth() const {
+  std::vector<int> depth(nodes_.size(), 0);
+  std::vector<int> width;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    // Nodes are created in pre-order, so parents precede children.
+    depth[i] = depth[static_cast<size_t>(nodes_[i].parent)] + 1;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<size_t>(depth[i]) >= width.size()) {
+      width.resize(static_cast<size_t>(depth[i]) + 1, 0);
+    }
+    width[static_cast<size_t>(depth[i])]++;
+  }
+  return width.empty() ? 0 : *std::max_element(width.begin(), width.end());
+}
+
+int NavigationTree::Height() const {
+  std::vector<int> depth(nodes_.size(), 0);
+  int h = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    depth[i] = depth[static_cast<size_t>(nodes_[i].parent)] + 1;
+    h = std::max(h, depth[i]);
+  }
+  return h;
+}
+
+std::vector<NavNodeId> NavigationTree::PreOrderIds() const {
+  // Nodes are stored in pre-order by construction.
+  std::vector<NavNodeId> ids(nodes_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NavNodeId>(i);
+  return ids;
+}
+
+}  // namespace bionav

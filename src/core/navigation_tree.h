@@ -1,0 +1,116 @@
+#ifndef BIONAV_CORE_NAVIGATION_TREE_H_
+#define BIONAV_CORE_NAVIGATION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/result_set.h"
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/association_table.h"
+#include "util/bitset.h"
+
+namespace bionav {
+
+/// Dense node index within one NavigationTree (distinct from ConceptId:
+/// the navigation tree is the *maximum embedding* of the initial navigation
+/// tree, so most hierarchy nodes do not appear in it).
+using NavNodeId = int32_t;
+inline constexpr NavNodeId kInvalidNavNode = -1;
+
+/// One node of the navigation tree: a concept with a non-empty results list
+/// (except possibly the root, kept to preserve a single tree).
+struct NavNode {
+  ConceptId concept_id = kInvalidConcept;
+  NavNodeId parent = kInvalidNavNode;
+  std::vector<NavNodeId> children;
+  /// Citations (local result indexes) directly associated with the concept
+  /// — the paper's L(n).
+  DynamicBitset results;
+  /// |L(n)| cached.
+  int attached_count = 0;
+  /// Corpus-wide citation count of the concept — the paper's |LT(n)|,
+  /// the denominator of the EXPLORE probability.
+  int64_t global_count = 0;
+};
+
+/// The paper's Navigation Tree (Definition 2): the maximum embedding of the
+/// initial navigation tree such that no node except the root has an empty
+/// results list. Construction attaches each result citation to its
+/// associated concepts (Definition: Initial Navigation Tree) and then
+/// splices out empty nodes bottom-up, preserving ancestor/descendant
+/// relationships.
+class NavigationTree {
+ public:
+  /// Builds the navigation tree for `result` using the citation->concepts
+  /// associations. The hierarchy and the tables must outlive the tree.
+  NavigationTree(const ConceptHierarchy& hierarchy,
+                 const AssociationTable& associations,
+                 std::shared_ptr<const ResultSet> result);
+
+  NavigationTree(const NavigationTree&) = delete;
+  NavigationTree& operator=(const NavigationTree&) = delete;
+  NavigationTree(NavigationTree&&) = default;
+  NavigationTree& operator=(NavigationTree&&) = default;
+
+  size_t size() const { return nodes_.size(); }
+
+  static constexpr NavNodeId kRoot = 0;
+
+  const NavNode& node(NavNodeId id) const {
+    BIONAV_CHECK_GE(id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  const ConceptHierarchy& hierarchy() const { return *hierarchy_; }
+  const ResultSet& result() const { return *result_; }
+  std::shared_ptr<const ResultSet> result_ptr() const { return result_; }
+
+  /// Navigation-tree node of a concept, or kInvalidNavNode if the concept
+  /// has no attached citations (was embedded away).
+  NavNodeId NodeOfConcept(ConceptId concept_id) const;
+
+  /// Distinct citations attached anywhere in the subtree rooted at `id`
+  /// (the per-node count displayed by the static interface of Fig 1).
+  DynamicBitset SubtreeResults(NavNodeId id) const;
+
+  /// Sum over all nodes of |L(n)| — the "Citations in Navigation Tree w/
+  /// Duplicates" column of Table I.
+  int64_t TotalAttachedWithDuplicates() const;
+
+  /// Maximum number of nodes at any single depth of the navigation tree.
+  int MaxWidth() const;
+
+  /// Maximum depth (root = 0).
+  int Height() const;
+
+  /// Node ids in pre-order.
+  std::vector<NavNodeId> PreOrderIds() const;
+
+  /// Nodes are stored in pre-order, so the subtree of `id` occupies the
+  /// contiguous id range [id, SubtreeEnd(id)).
+  NavNodeId SubtreeEnd(NavNodeId id) const {
+    BIONAV_CHECK_GE(id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(id), subtree_end_.size());
+    return subtree_end_[static_cast<size_t>(id)];
+  }
+
+  /// True iff `a` is an ancestor of `b` or a == b (navigation-tree order).
+  bool IsAncestorOrSelf(NavNodeId a, NavNodeId b) const {
+    return a <= b && b < SubtreeEnd(a);
+  }
+
+  /// Depth of a node in the navigation tree (root = 0).
+  int NodeDepth(NavNodeId id) const;
+
+ private:
+  const ConceptHierarchy* hierarchy_;
+  std::shared_ptr<const ResultSet> result_;
+  std::vector<NavNode> nodes_;
+  std::vector<NavNodeId> concept_to_node_;  // Indexed by ConceptId.
+  std::vector<NavNodeId> subtree_end_;      // Pre-order interval ends.
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_NAVIGATION_TREE_H_

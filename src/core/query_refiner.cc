@@ -1,0 +1,123 @@
+#include "core/query_refiner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bionav {
+
+QueryRefiner::QueryRefiner(const ConceptHierarchy* hierarchy,
+                           const EUtilsClient* eutils)
+    : hierarchy_(hierarchy), eutils_(eutils) {
+  BIONAV_CHECK(hierarchy != nullptr);
+  BIONAV_CHECK(eutils != nullptr);
+}
+
+std::vector<RefinementSuggestion> QueryRefiner::Suggest(
+    const std::vector<CitationId>& result, size_t k, int min_count) const {
+  std::unordered_map<ConceptId, int> counts;
+  for (CitationId id : result) {
+    for (ConceptId c : eutils_->ConceptsOf(id)) counts[c]++;
+  }
+  std::vector<RefinementSuggestion> suggestions;
+  suggestions.reserve(counts.size());
+  for (const auto& [concept_id, count] : counts) {
+    if (count < min_count) continue;
+    if (count == static_cast<int>(result.size())) continue;  // No narrowing.
+    RefinementSuggestion s;
+    s.concept_id = concept_id;
+    s.label = hierarchy_->label(concept_id);
+    s.result_count = count;
+    suggestions.push_back(std::move(s));
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const RefinementSuggestion& a, const RefinementSuggestion& b) {
+              if (a.result_count != b.result_count) {
+                return a.result_count > b.result_count;
+              }
+              return a.concept_id < b.concept_id;
+            });
+  if (suggestions.size() > k) suggestions.resize(k);
+  return suggestions;
+}
+
+std::vector<CitationId> QueryRefiner::Refine(
+    const std::vector<CitationId>& result, ConceptId concept_id) const {
+  std::vector<CitationId> refined;
+  for (CitationId id : result) {
+    const std::vector<ConceptId>& concepts = eutils_->ConceptsOf(id);
+    if (std::find(concepts.begin(), concepts.end(), concept_id) !=
+        concepts.end()) {
+      refined.push_back(id);
+    }
+  }
+  return refined;
+}
+
+namespace {
+
+/// Number of citations in `result` associated with `target`.
+int CountTarget(const EUtilsClient& eutils,
+                const std::vector<CitationId>& result, ConceptId target) {
+  int count = 0;
+  for (CitationId id : result) {
+    const std::vector<ConceptId>& concepts = eutils.ConceptsOf(id);
+    if (std::find(concepts.begin(), concepts.end(), target) !=
+        concepts.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// True when at least one citation of `result` is associated with
+/// `target` — the oracle refuses refinements that would lose the target
+/// literature entirely.
+bool KeepsTarget(const EUtilsClient& eutils,
+                 const std::vector<CitationId>& result, ConceptId target) {
+  return CountTarget(eutils, result, target) > 0;
+}
+
+}  // namespace
+
+RefinementMetrics NavigateByRefinement(const QueryRefiner& refiner,
+                                       const EUtilsClient& eutils,
+                                       const std::string& query,
+                                       ConceptId target, size_t page_size,
+                                       int stop_threshold, int max_rounds) {
+  RefinementMetrics metrics;
+  std::vector<CitationId> result = eutils.ESearch(query);
+  metrics.target_citations_total = CountTarget(eutils, result, target);
+  BIONAV_CHECK(metrics.target_citations_total > 0)
+      << "target concept has no citations in this query result";
+
+  while (static_cast<int>(result.size()) > stop_threshold &&
+         metrics.rounds < max_rounds) {
+    std::vector<RefinementSuggestion> suggestions =
+        refiner.Suggest(result, page_size);
+    metrics.suggestions_read += static_cast<int>(suggestions.size());
+    // Oracle choice: the suggestion that narrows the most while keeping
+    // the target literature reachable.
+    std::vector<CitationId> best;
+    bool found = false;
+    for (const RefinementSuggestion& s : suggestions) {
+      std::vector<CitationId> refined = refiner.Refine(result, s.concept_id);
+      if (refined.size() >= result.size()) continue;
+      if (!KeepsTarget(eutils, refined, target)) continue;
+      if (!found || refined.size() < best.size()) {
+        best = std::move(refined);
+        found = true;
+      }
+    }
+    if (!found) {
+      metrics.stalled = true;
+      break;
+    }
+    metrics.rounds++;
+    result = std::move(best);
+  }
+  metrics.final_results = static_cast<int>(result.size());
+  metrics.target_citations_retained = CountTarget(eutils, result, target);
+  return metrics;
+}
+
+}  // namespace bionav

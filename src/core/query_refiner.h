@@ -1,0 +1,97 @@
+#ifndef BIONAV_CORE_QUERY_REFINER_H_
+#define BIONAV_CORE_QUERY_REFINER_H_
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/eutils.h"
+
+namespace bionav {
+
+/// A PubReMiner/XplorMed-style query-refinement assistant (the related
+/// systems of paper Section IX): instead of navigating a hierarchy, the
+/// user is shown the concepts most frequent in the current result and
+/// narrows the result by intersecting with one of them, repeatedly. The
+/// paper argues this interaction is costlier than BioNav's cost-driven
+/// navigation; implementing it makes that claim measurable
+/// (bench_refinement).
+
+/// One refinement suggestion.
+struct RefinementSuggestion {
+  ConceptId concept_id = kInvalidConcept;
+  std::string label;
+  /// Citations of the current result associated with the concept.
+  int result_count = 0;
+};
+
+class QueryRefiner {
+ public:
+  QueryRefiner(const ConceptHierarchy* hierarchy, const EUtilsClient* eutils);
+
+  /// Top-k concepts by frequency in `result`, PubReMiner-style. Concepts
+  /// covering the whole result are skipped (intersecting with them cannot
+  /// narrow anything), as are concepts below `min_count`.
+  std::vector<RefinementSuggestion> Suggest(
+      const std::vector<CitationId>& result, size_t k,
+      int min_count = 2) const;
+
+  /// Narrows a result to the citations associated with `concept_id` (the
+  /// refinement "AND" step).
+  std::vector<CitationId> Refine(const std::vector<CitationId>& result,
+                                 ConceptId concept_id) const;
+
+ private:
+  const ConceptHierarchy* hierarchy_;
+  const EUtilsClient* eutils_;
+};
+
+/// Metrics of one oracle refinement session (the analogue of the Section
+/// VIII-A oracle navigation, for the refinement interaction model).
+struct RefinementMetrics {
+  /// Refinement rounds performed (each costs one action).
+  int rounds = 0;
+  /// Suggestions the user read across all rounds.
+  int suggestions_read = 0;
+  /// Result size when the session stopped.
+  int final_results = 0;
+  /// True when the loop stopped because no suggestion could narrow further
+  /// while keeping the target literature.
+  bool stalled = false;
+  /// Citations attached to the target concept in the initial result...
+  int target_citations_total = 0;
+  /// ...and how many of them survived the refinements. The gap is the
+  /// paper's Section I critique of refinement: over-specifying the query
+  /// silently excludes relevant citations.
+  int target_citations_retained = 0;
+
+  /// Fraction of the target literature still reachable at the end.
+  double target_recall() const {
+    return target_citations_total > 0
+               ? static_cast<double>(target_citations_retained) /
+                     static_cast<double>(target_citations_total)
+               : 0;
+  }
+
+  /// Total interaction cost, charged like the navigation cost model:
+  /// 1 per suggestion read + 1 per refinement action + 1 per citation
+  /// finally inspected.
+  int cost() const { return suggestions_read + rounds + final_results; }
+};
+
+/// Simulates an oracle user refining toward the literature of `target`:
+/// each round the user reads `page_size` suggestions and picks the one
+/// that narrows the result the most while keeping at least one citation
+/// attached to the target, stopping once the result fits `stop_threshold`
+/// or no suggestion helps.
+RefinementMetrics NavigateByRefinement(const QueryRefiner& refiner,
+                                       const EUtilsClient& eutils,
+                                       const std::string& query,
+                                       ConceptId target,
+                                       size_t page_size = 10,
+                                       int stop_threshold = 20,
+                                       int max_rounds = 50);
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_QUERY_REFINER_H_

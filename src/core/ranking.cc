@@ -1,0 +1,100 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace bionav {
+
+double ComponentRelevance(const ActiveTree& active,
+                          const CostModel& cost_model, int component) {
+  double weight = 0;
+  for (NavNodeId m : active.ComponentMembers(component)) {
+    weight += cost_model.NodeExploreWeight(m);
+  }
+  return weight;
+}
+
+ActiveTree::VisTree VisualizeRanked(const ActiveTree& active,
+                                    const CostModel& cost_model) {
+  ActiveTree::VisTree vis = active.Visualize();
+  // Relevance per vis node = its component's weight sum.
+  std::vector<double> relevance(vis.nodes.size(), 0);
+  for (size_t i = 0; i < vis.nodes.size(); ++i) {
+    relevance[i] = ComponentRelevance(active, cost_model,
+                                      active.ComponentOf(vis.nodes[i].node));
+  }
+  for (ActiveTree::VisNode& node : vis.nodes) {
+    std::stable_sort(node.children.begin(), node.children.end(),
+                     [&](int a, int b) {
+                       double ra = relevance[static_cast<size_t>(a)];
+                       double rb = relevance[static_cast<size_t>(b)];
+                       if (ra != rb) return ra > rb;
+                       return vis.nodes[static_cast<size_t>(a)].node <
+                              vis.nodes[static_cast<size_t>(b)].node;
+                     });
+  }
+  return vis;
+}
+
+std::string RenderAsciiRanked(const ActiveTree& active,
+                              const CostModel& cost_model, int max_depth) {
+  ActiveTree::VisTree vis = VisualizeRanked(active, cost_model);
+  const ConceptHierarchy& h = active.nav().hierarchy();
+  std::ostringstream out;
+  struct Frame {
+    int vis;
+    int depth;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth > max_depth) continue;
+    const ActiveTree::VisNode& vn = vis.nodes[static_cast<size_t>(f.vis)];
+    for (int i = 0; i < f.depth; ++i) out << "  ";
+    out << h.label(vn.concept_id) << " (" << vn.distinct_count << ")";
+    if (vn.expandable) out << " >>>";
+    out << "\n";
+    for (auto it = vn.children.rbegin(); it != vn.children.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out.str();
+}
+
+std::vector<RankedCitation> RankCitations(const CitationStore& store,
+                                          const std::vector<CitationId>& ids,
+                                          const std::string& query) {
+  std::unordered_set<int32_t> query_terms;
+  for (const std::string& tok : TokenizeTerms(query)) {
+    int32_t id = store.LookupTerm(tok);
+    if (id >= 0) query_terms.insert(id);
+  }
+
+  std::vector<RankedCitation> ranked;
+  ranked.reserve(ids.size());
+  for (CitationId id : ids) {
+    const Citation& c = store.Get(id);
+    int matches = 0;
+    std::unordered_set<int32_t> seen;
+    for (int32_t t : c.term_ids) {
+      if (query_terms.count(t) && seen.insert(t).second) ++matches;
+    }
+    RankedCitation rc;
+    rc.id = id;
+    rc.score = static_cast<double>(matches) +
+               static_cast<double>(c.year) / 10000.0;
+    ranked.push_back(rc);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const RankedCitation& a, const RankedCitation& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return store.Get(a.id).pmid < store.Get(b.id).pmid;
+                   });
+  return ranked;
+}
+
+}  // namespace bionav

@@ -1,0 +1,52 @@
+#ifndef BIONAV_CORE_RANKING_H_
+#define BIONAV_CORE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/active_tree.h"
+#include "core/cost_model.h"
+#include "medline/citation_store.h"
+
+namespace bionav {
+
+/// Simple ranking techniques augmenting the categorization (paper Section
+/// I: "We augment our categorization techniques with simple ranking
+/// techniques"; Section II: revealed concepts "are ranked by their
+/// relevance to the user query").
+
+/// Relevance of a component for concept ordering: the sum of its members'
+/// EXPLORE weights |L(n)|^2/|LT(n)| — the same quantity the cost model's
+/// exploration probability is built on.
+double ComponentRelevance(const ActiveTree& active,
+                          const CostModel& cost_model, int component);
+
+/// Definition-5 visualization with every node's children ordered by
+/// descending component relevance (ties broken by pre-order id, so the
+/// result is deterministic).
+ActiveTree::VisTree VisualizeRanked(const ActiveTree& active,
+                                    const CostModel& cost_model);
+
+/// ASCII rendering of VisualizeRanked — the interface of Fig 2, where the
+/// most relevant revealed concept lists first.
+std::string RenderAsciiRanked(const ActiveTree& active,
+                              const CostModel& cost_model,
+                              int max_depth = 100);
+
+/// One ranked SHOWRESULTS entry.
+struct RankedCitation {
+  CitationId id = kInvalidCitation;
+  double score = 0;
+};
+
+/// Ranks citations for display after SHOWRESULTS: primary key is the
+/// number of query terms the citation's indexed terms match, secondary key
+/// is recency (publication year), final tie-break is the PMID. Scores are
+/// match_count + year/10000 so they are also directly comparable.
+std::vector<RankedCitation> RankCitations(const CitationStore& store,
+                                          const std::vector<CitationId>& ids,
+                                          const std::string& query);
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_RANKING_H_

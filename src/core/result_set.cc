@@ -1,0 +1,19 @@
+#include "core/result_set.h"
+
+namespace bionav {
+
+ResultSet::ResultSet(const std::vector<CitationId>& citations) {
+  citations_.reserve(citations.size());
+  for (CitationId id : citations) {
+    if (local_.emplace(id, static_cast<int>(citations_.size())).second) {
+      citations_.push_back(id);
+    }
+  }
+}
+
+int ResultSet::LocalIndex(CitationId id) const {
+  auto it = local_.find(id);
+  return it == local_.end() ? -1 : it->second;
+}
+
+}  // namespace bionav

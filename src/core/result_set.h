@@ -1,0 +1,46 @@
+#ifndef BIONAV_CORE_RESULT_SET_H_
+#define BIONAV_CORE_RESULT_SET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "medline/citation_store.h"
+#include "util/bitset.h"
+
+namespace bionav {
+
+/// The result of one keyword query, re-indexed densely so that citation
+/// sets attached to navigation-tree nodes can be represented as bitsets of
+/// |R| bits. All duplicate-aware distinct counting (|L(I)| in the paper's
+/// cost model) reduces to word-parallel OR + popcount.
+class ResultSet {
+ public:
+  /// `citations` are the (global) ids returned by ESearch; duplicates are
+  /// collapsed.
+  explicit ResultSet(const std::vector<CitationId>& citations);
+
+  /// Number of distinct citations in the result.
+  size_t size() const { return citations_.size(); }
+
+  /// Global citation id of local index `i`.
+  CitationId citation(size_t i) const {
+    BIONAV_CHECK_LT(i, citations_.size());
+    return citations_[i];
+  }
+
+  /// Local index of a global citation id, or -1 if not in the result.
+  int LocalIndex(CitationId id) const;
+
+  /// An empty bitset sized for this result.
+  DynamicBitset MakeBitset() const { return DynamicBitset(citations_.size()); }
+
+  const std::vector<CitationId>& citations() const { return citations_; }
+
+ private:
+  std::vector<CitationId> citations_;
+  std::unordered_map<CitationId, int> local_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_RESULT_SET_H_

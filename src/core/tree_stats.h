@@ -1,0 +1,54 @@
+#ifndef BIONAV_CORE_TREE_STATS_H_
+#define BIONAV_CORE_TREE_STATS_H_
+
+#include <cstdint>
+
+#include "core/navigation_tree.h"
+
+namespace bionav {
+
+/// The per-query navigation-tree characteristics the paper reports in
+/// Table I, as a reusable API (the Table I bench and the CLI both print
+/// these).
+struct NavigationTreeStats {
+  /// Distinct citations in the query result.
+  int result_citations = 0;
+  /// Navigation-tree node count (after maximum embedding).
+  int tree_size = 0;
+  /// Maximum number of nodes on one level.
+  int max_width = 0;
+  /// Maximum node depth (root = 0).
+  int height = 0;
+  /// Total attachments, counting a citation once per concept it is
+  /// attached to ("Citations in Navigation Tree w/ Duplicates").
+  int64_t attachments_with_duplicates = 0;
+  /// Maximum child fan-out of any single node.
+  int max_fanout = 0;
+  /// Average attachments per node, attachments_with_duplicates/tree_size.
+  double mean_attachments_per_node = 0;
+};
+
+/// Computes the statistics for one navigation tree (single pass).
+NavigationTreeStats ComputeTreeStats(const NavigationTree& nav);
+
+/// Target-concept characteristics (the right half of Table I).
+struct TargetConceptStats {
+  /// Depth of the concept in the concept hierarchy ("MeSH Level").
+  int mesh_level = 0;
+  /// Citations of the target in the query result, |L(t)|.
+  int attached_in_result = 0;
+  /// Citations of the target corpus-wide, |LT(t)|.
+  int64_t global_count = 0;
+  /// Query selectivity on the target, |L|/|LT| (0 when |LT| = 0).
+  double selectivity = 0;
+  /// True when the target survived into the navigation tree.
+  bool in_navigation_tree = false;
+};
+
+/// Computes the target-concept columns for a (tree, concept) pair.
+TargetConceptStats ComputeTargetStats(const NavigationTree& nav,
+                                      ConceptId target);
+
+}  // namespace bionav
+
+#endif  // BIONAV_CORE_TREE_STATS_H_

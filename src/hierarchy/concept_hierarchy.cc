@@ -1,0 +1,182 @@
+#include "hierarchy/concept_hierarchy.h"
+
+#include <algorithm>
+
+namespace bionav {
+
+ConceptHierarchy::ConceptHierarchy() {
+  labels_.push_back("MeSH");
+  parents_.push_back(kInvalidConcept);
+  children_.emplace_back();
+  by_label_.emplace("MeSH", kRoot);
+}
+
+ConceptId ConceptHierarchy::AddNode(ConceptId parent, std::string label) {
+  BIONAV_CHECK(!frozen_) << "AddNode on a frozen hierarchy";
+  CheckId(parent);
+  ConceptId id = static_cast<ConceptId>(labels_.size());
+  labels_.push_back(std::move(label));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  by_label_.emplace(labels_.back(), id);
+  return id;
+}
+
+void ConceptHierarchy::Freeze() {
+  BIONAV_CHECK(!frozen_) << "Freeze called twice";
+  const size_t n = labels_.size();
+  depths_.assign(n, 0);
+  pre_.assign(n, 0);
+  post_.assign(n, 0);
+  tree_numbers_.assign(n, TreeNumber());
+  level_widths_.clear();
+  height_ = 0;
+
+  // Iterative DFS assigning pre/post intervals, depths and tree numbers.
+  // Tree-number components are 3-digit 1-based child ordinals; the first
+  // component carries a category letter cycling A.. for root children, as
+  // in MeSH ("A01", "B02", ...).
+  int counter = 0;
+  struct Frame {
+    ConceptId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({kRoot, 0});
+  pre_[kRoot] = counter++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    ConceptId u = f.node;
+    if (f.next_child < children_[u].size()) {
+      ConceptId c = children_[u][f.next_child++];
+      depths_[c] = depths_[u] + 1;
+      height_ = std::max(height_, depths_[c]);
+      pre_[c] = counter++;
+      // Ordinal of c among u's children, 1-based.
+      size_t ordinal = f.next_child;  // Already incremented.
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%03zu", ordinal);
+      std::string component(buf);
+      if (u == kRoot) {
+        char cat = static_cast<char>('A' + ((ordinal - 1) % 26));
+        component = std::string(1, cat) + component.substr(component.size() > 2 ? component.size() - 2 : 0);
+      }
+      tree_numbers_[c] = tree_numbers_[u].Child(component);
+      stack.push_back({c, 0});
+    } else {
+      post_[u] = counter;
+      stack.pop_back();
+    }
+  }
+
+  level_widths_.assign(static_cast<size_t>(height_) + 1, 0);
+  for (size_t i = 0; i < n; ++i) level_widths_[static_cast<size_t>(depths_[i])]++;
+
+  by_tree_number_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    by_tree_number_.emplace(tree_numbers_[i].ToString(),
+                            static_cast<ConceptId>(i));
+  }
+  frozen_ = true;
+}
+
+void ConceptHierarchy::RenameNode(ConceptId id, std::string label) {
+  CheckId(id);
+  auto it = by_label_.find(labels_[static_cast<size_t>(id)]);
+  if (it != by_label_.end() && it->second == id) by_label_.erase(it);
+  labels_[static_cast<size_t>(id)] = std::move(label);
+  by_label_.emplace(labels_[static_cast<size_t>(id)], id);
+}
+
+int ConceptHierarchy::depth(ConceptId id) const {
+  BIONAV_CHECK(frozen_);
+  return depths_[CheckId(id)];
+}
+
+const TreeNumber& ConceptHierarchy::tree_number(ConceptId id) const {
+  BIONAV_CHECK(frozen_);
+  return tree_numbers_[CheckId(id)];
+}
+
+bool ConceptHierarchy::IsAncestorOrSelf(ConceptId a, ConceptId b) const {
+  BIONAV_CHECK(frozen_);
+  CheckId(a);
+  CheckId(b);
+  return pre_[a] <= pre_[b] && post_[b] <= post_[a];
+}
+
+ConceptId ConceptHierarchy::FindByLabel(std::string_view label) const {
+  auto it = by_label_.find(std::string(label));
+  return it == by_label_.end() ? kInvalidConcept : it->second;
+}
+
+ConceptId ConceptHierarchy::FindByTreeNumber(
+    const std::string& tree_number) const {
+  BIONAV_CHECK(frozen_);
+  auto it = by_tree_number_.find(tree_number);
+  return it == by_tree_number_.end() ? kInvalidConcept : it->second;
+}
+
+const std::vector<int>& ConceptHierarchy::LevelWidths() const {
+  BIONAV_CHECK(frozen_);
+  return level_widths_;
+}
+
+void ConceptHierarchy::PreOrder(
+    const std::function<void(ConceptId)>& visit) const {
+  std::vector<ConceptId> stack = {kRoot};
+  while (!stack.empty()) {
+    ConceptId u = stack.back();
+    stack.pop_back();
+    visit(u);
+    const auto& ch = children_[u];
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+}
+
+void ConceptHierarchy::PostOrder(
+    const std::function<void(ConceptId)>& visit) const {
+  struct Frame {
+    ConceptId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({kRoot, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < children_[f.node].size()) {
+      ConceptId c = children_[f.node][f.next_child++];
+      stack.push_back({c, 0});
+    } else {
+      visit(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+std::vector<ConceptId> ConceptHierarchy::PathFromRoot(ConceptId id) const {
+  CheckId(id);
+  std::vector<ConceptId> path;
+  for (ConceptId u = id; u != kInvalidConcept; u = parents_[u]) {
+    path.push_back(u);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<ConceptId> ConceptHierarchy::Subtree(ConceptId id) const {
+  CheckId(id);
+  std::vector<ConceptId> out;
+  std::vector<ConceptId> stack = {id};
+  while (!stack.empty()) {
+    ConceptId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    const auto& ch = children_[u];
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace bionav

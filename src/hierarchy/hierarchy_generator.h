@@ -1,0 +1,38 @@
+#ifndef BIONAV_HIERARCHY_HIERARCHY_GENERATOR_H_
+#define BIONAV_HIERARCHY_HIERARCHY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "hierarchy/concept_hierarchy.h"
+
+namespace bionav {
+
+/// Parameters of the synthetic MeSH-like hierarchy.
+///
+/// Real MeSH (2008) has ~48,000 descriptor records in 16 top-level
+/// categories, is very bushy in the upper levels (the navigation tree of
+/// Fig 1 shows 98 children under the root after embedding) and thins out
+/// toward depth ~11. The generator reproduces those shape statistics:
+/// branching factor decays geometrically with depth, with per-node jitter.
+struct HierarchyGeneratorOptions {
+  uint64_t seed = 2009;
+  /// Approximate number of nodes to generate (the generator stops adding
+  /// nodes once the budget is exhausted; the result is within a few percent).
+  int target_nodes = 48000;
+  /// Number of top-level categories (MeSH has 16: A..N, V, Z).
+  int num_categories = 16;
+  /// Mean branching factor at depth 1 (category children).
+  double top_branching = 28.0;
+  /// Geometric decay of the mean branching factor per level.
+  double branching_decay = 0.62;
+  /// Hard depth limit (root = depth 0). MeSH tree numbers go to ~11 levels.
+  int max_depth = 11;
+};
+
+/// Generates a frozen MeSH-like ConceptHierarchy. Labels are synthetic but
+/// structured ("C04.557 Neoplasms-like term 1234") so examples read sanely.
+ConceptHierarchy GenerateMeshLikeHierarchy(const HierarchyGeneratorOptions& options);
+
+}  // namespace bionav
+
+#endif  // BIONAV_HIERARCHY_HIERARCHY_GENERATOR_H_

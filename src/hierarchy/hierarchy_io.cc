@@ -1,0 +1,85 @@
+#include "hierarchy/hierarchy_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace bionav {
+
+Status WriteHierarchy(const ConceptHierarchy& hierarchy, std::ostream* out) {
+  if (!hierarchy.frozen()) {
+    return Status::FailedPrecondition("hierarchy must be frozen");
+  }
+  bool bad = false;
+  hierarchy.PreOrder([&](ConceptId id) {
+    *out << hierarchy.tree_number(id).ToString() << '\t'
+         << hierarchy.label(id) << '\n';
+    if (!*out) bad = true;
+  });
+  if (bad) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteHierarchyToFile(const ConceptHierarchy& hierarchy,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteHierarchy(hierarchy, &out);
+}
+
+Result<ConceptHierarchy> ReadHierarchy(std::istream* in) {
+  ConceptHierarchy h;
+  std::unordered_map<std::string, ConceptId> by_file_tn;
+  by_file_tn.emplace("", ConceptHierarchy::kRoot);
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    // Do not strip the line as a whole: the root's tree number is empty,
+    // so its line legitimately starts with the field separator.
+    std::string_view sv = line;
+    if (StripWhitespace(sv).empty() || StripWhitespace(sv)[0] == '#') {
+      continue;
+    }
+    size_t tab = sv.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected <tree-number>\\t<label>");
+    }
+    std::string tn_text(StripWhitespace(sv.substr(0, tab)));
+    std::string label(StripWhitespace(sv.substr(tab + 1)));
+    Result<TreeNumber> tn = TreeNumber::Parse(tn_text);
+    if (!tn.ok()) return tn.status();
+    if (tn.ValueOrDie().IsRoot()) continue;  // Root pre-exists.
+
+    std::string parent_tn = tn.ValueOrDie().Parent().ToString();
+    auto it = by_file_tn.find(parent_tn);
+    if (it == by_file_tn.end()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": parent tree number '" +
+          parent_tn + "' not seen before child '" + tn_text + "'");
+    }
+    ConceptId id = h.AddNode(it->second, std::move(label));
+    auto [pos, inserted] = by_file_tn.emplace(tn_text, id);
+    (void)pos;
+    if (!inserted) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": duplicate tree number '" + tn_text +
+                                     "'");
+    }
+  }
+  h.Freeze();
+  return h;
+}
+
+Result<ConceptHierarchy> ReadHierarchyFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadHierarchy(&in);
+}
+
+}  // namespace bionav

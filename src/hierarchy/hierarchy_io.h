@@ -1,0 +1,35 @@
+#ifndef BIONAV_HIERARCHY_HIERARCHY_IO_H_
+#define BIONAV_HIERARCHY_HIERARCHY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// Text serialization of a concept hierarchy.
+///
+/// Format (one node per line, pre-order, tab-separated):
+///   <tree-number>\t<label>
+/// The root line has an empty tree number. This mirrors the ASCII MeSH
+/// distribution format (mtrees files: "label;tree-number"), so a real MeSH
+/// dump can be converted with a one-line script and loaded here.
+Status WriteHierarchy(const ConceptHierarchy& hierarchy, std::ostream* out);
+
+/// Writes to a file path.
+Status WriteHierarchyToFile(const ConceptHierarchy& hierarchy,
+                            const std::string& path);
+
+/// Parses a hierarchy from the text format. Lines must be in an order where
+/// every node's parent tree number appears before the node (pre-order
+/// satisfies this). Returns a frozen hierarchy.
+Result<ConceptHierarchy> ReadHierarchy(std::istream* in);
+
+/// Reads from a file path.
+Result<ConceptHierarchy> ReadHierarchyFromFile(const std::string& path);
+
+}  // namespace bionav
+
+#endif  // BIONAV_HIERARCHY_HIERARCHY_IO_H_

@@ -1,0 +1,113 @@
+#include "hierarchy/mesh_import.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <set>
+#include <vector>
+
+#include "hierarchy/tree_number.h"
+#include "util/string_util.h"
+
+namespace bionav {
+
+Result<MeshImportResult> ImportMeshTreeFile(std::istream* in) {
+  struct Entry {
+    TreeNumber tree_number;
+    std::string label;
+  };
+  std::vector<Entry> entries;
+  std::set<std::string> seen_numbers;
+
+  MeshImportResult result;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    result.stats.lines++;
+    // mtrees format: label;tree-number — the label may itself contain
+    // semicolons in odd editions, so split on the *last* one.
+    size_t sep = sv.rfind(';');
+    if (sep == std::string_view::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected '<label>;<tree-number>'");
+    }
+    std::string label(StripWhitespace(sv.substr(0, sep)));
+    std::string tn_text(StripWhitespace(sv.substr(sep + 1)));
+    if (label.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty label");
+    }
+    Result<TreeNumber> tn = TreeNumber::Parse(tn_text);
+    if (!tn.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + tn.status().message());
+    }
+    if (tn.ValueOrDie().IsRoot()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty tree number");
+    }
+    if (!seen_numbers.insert(tn_text).second) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": duplicate tree number '" + tn_text +
+                                     "'");
+    }
+    entries.push_back(Entry{tn.TakeValue(), std::move(label)});
+  }
+
+  // Parents before children: sort by depth, then lexicographically so the
+  // sibling order matches the MeSH browser's.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.tree_number.Depth() != b.tree_number.Depth()) {
+      return a.tree_number.Depth() < b.tree_number.Depth();
+    }
+    return a.tree_number < b.tree_number;
+  });
+
+  std::set<std::string> label_seen;
+  // Creates (or finds) the node for a tree number, synthesizing missing
+  // ancestors labelled with their own tree number. Entries are processed
+  // in depth order, so a synthesized ancestor can never be named by a
+  // later line (its line, if any, would have sorted earlier).
+  auto ensure = [&](auto&& self, const TreeNumber& tn) -> ConceptId {
+    std::string key = tn.ToString();
+    auto it = result.by_mesh_tree_number.find(key);
+    if (it != result.by_mesh_tree_number.end()) return it->second;
+    ConceptId parent = ConceptHierarchy::kRoot;
+    if (tn.Depth() > 1) parent = self(self, tn.Parent());
+    ConceptId id = result.hierarchy.AddNode(parent, key);
+    result.by_mesh_tree_number.emplace(key, id);
+    result.stats.implicit_parents++;
+    result.stats.nodes_created++;
+    return id;
+  };
+
+  for (const Entry& entry : entries) {
+    std::string key = entry.tree_number.ToString();
+    BIONAV_CHECK(!result.by_mesh_tree_number.count(key));
+    ConceptId parent = ConceptHierarchy::kRoot;
+    if (entry.tree_number.Depth() > 1) {
+      parent = ensure(ensure, entry.tree_number.Parent());
+    }
+    ConceptId id = result.hierarchy.AddNode(parent, entry.label);
+    result.by_mesh_tree_number.emplace(key, id);
+    result.stats.nodes_created++;
+    if (!label_seen.insert(entry.label).second) {
+      result.stats.polyhierarchy_labels++;
+    }
+  }
+
+  result.hierarchy.Freeze();
+  return result;
+}
+
+Result<MeshImportResult> ImportMeshTreeFileFromPath(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ImportMeshTreeFile(&in);
+}
+
+}  // namespace bionav

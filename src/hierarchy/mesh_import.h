@@ -1,0 +1,54 @@
+#ifndef BIONAV_HIERARCHY_MESH_IMPORT_H_
+#define BIONAV_HIERARCHY_MESH_IMPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// Importer for the NLM MeSH tree file format ("mtrees") — the actual
+/// distribution the paper's system loaded (Section VII: "the BioNav
+/// database is first populated with the MeSH hierarchy, which is available
+/// online"). Each line is
+///
+///   <descriptor label>;<tree number>
+///
+/// e.g. "Neoplasms;C04" or "Apoptosis;G04.299.139.500". Lines may appear
+/// in any order; missing interior tree numbers are synthesized (labelled
+/// with the tree number itself). MeSH is a polyhierarchy — one descriptor
+/// can carry several tree numbers; following the paper's Definition 1 (a
+/// tree), each tree number becomes its own node and the label is shared.
+
+struct MeshImportStats {
+  size_t lines = 0;
+  size_t nodes_created = 0;
+  /// Interior nodes synthesized because a parent tree number had no line
+  /// of its own.
+  size_t implicit_parents = 0;
+  /// Labels occurring under more than one tree number (polyhierarchy).
+  size_t polyhierarchy_labels = 0;
+};
+
+/// The imported hierarchy plus the mapping from *original* MeSH tree
+/// numbers to concept ids (ConceptHierarchy::Freeze assigns its own
+/// canonical tree numbers, so the source numbering is preserved here).
+struct MeshImportResult {
+  ConceptHierarchy hierarchy;
+  std::unordered_map<std::string, ConceptId> by_mesh_tree_number;
+  MeshImportStats stats;
+};
+
+/// Parses an mtrees stream into a frozen hierarchy. Category roots ("C04",
+/// "A01", ...) become children of the hierarchy root.
+Result<MeshImportResult> ImportMeshTreeFile(std::istream* in);
+
+/// File-path convenience wrapper.
+Result<MeshImportResult> ImportMeshTreeFileFromPath(const std::string& path);
+
+}  // namespace bionav
+
+#endif  // BIONAV_HIERARCHY_MESH_IMPORT_H_

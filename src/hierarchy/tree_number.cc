@@ -1,0 +1,66 @@
+#include "hierarchy/tree_number.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace bionav {
+
+Result<TreeNumber> TreeNumber::Parse(std::string_view text) {
+  TreeNumber tn;
+  if (text.empty()) return tn;  // Root.
+  std::vector<std::string> parts = Split(text, '.');
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& p = parts[i];
+    if (p.empty()) {
+      return Status::InvalidArgument("empty tree-number component in '" +
+                                     std::string(text) + "'");
+    }
+    size_t start = 0;
+    if (i == 0 && std::isupper(static_cast<unsigned char>(p[0]))) start = 1;
+    if (start == p.size()) {
+      return Status::InvalidArgument("tree-number component '" + p +
+                                     "' has no digits");
+    }
+    for (size_t j = start; j < p.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(p[j]))) {
+        return Status::InvalidArgument("invalid character in tree-number '" +
+                                       std::string(text) + "'");
+      }
+    }
+    tn.components_.push_back(p);
+  }
+  return tn;
+}
+
+TreeNumber TreeNumber::Child(std::string_view component) const {
+  TreeNumber tn = *this;
+  tn.components_.emplace_back(component);
+  return tn;
+}
+
+TreeNumber TreeNumber::Parent() const {
+  BIONAV_CHECK(!IsRoot()) << "root tree number has no parent";
+  TreeNumber tn = *this;
+  tn.components_.pop_back();
+  return tn;
+}
+
+bool TreeNumber::IsAncestorOrSelf(const TreeNumber& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool TreeNumber::IsProperAncestor(const TreeNumber& other) const {
+  return components_.size() < other.components_.size() &&
+         IsAncestorOrSelf(other);
+}
+
+std::string TreeNumber::ToString() const {
+  return Join(components_, ".");
+}
+
+}  // namespace bionav

@@ -1,0 +1,80 @@
+#ifndef BIONAV_MEDLINE_ASSOCIATION_TABLE_H_
+#define BIONAV_MEDLINE_ASSOCIATION_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/citation_store.h"
+
+namespace bionav {
+
+/// How a citation is associated with a MeSH concept (paper Section VII).
+/// MEDLINE explicitly *annotates* each citation with ~20 concepts; PubMed's
+/// own indexing additionally associates ~90 concepts per citation through
+/// text mentions. BioNav's offline pre-processing collected the latter; we
+/// keep both so the difference can be studied.
+enum class AssociationKind : uint8_t {
+  kAnnotated = 0,  // MEDLINE descriptor annotation.
+  kIndexed = 1,    // PubMed keyword-index association (superset in spirit).
+};
+
+/// The concept<->citation association store: BioNav's offline-built
+/// "747 million tuple" table, scaled down and kept in memory. Provides both
+/// directions (concept -> citations for global counts, citation -> concepts
+/// for navigation-tree construction) plus the per-concept corpus-wide count
+/// |LT(n)| that the EXPLORE probability needs.
+class AssociationTable {
+ public:
+  /// `num_concepts` is hierarchy.size(); citations may be added afterwards.
+  explicit AssociationTable(size_t num_concepts);
+
+  AssociationTable(const AssociationTable&) = delete;
+  AssociationTable& operator=(const AssociationTable&) = delete;
+  AssociationTable(AssociationTable&&) = default;
+  AssociationTable& operator=(AssociationTable&&) = default;
+
+  /// Records that `citation` is associated with `concept`. Duplicate pairs
+  /// are ignored (a citation is associated with a concept at most once, as
+  /// in the de-normalized BioNav table).
+  void Associate(CitationId citation, ConceptId concept_id,
+                 AssociationKind kind);
+
+  /// Concepts associated with the citation (both kinds), unsorted.
+  const std::vector<ConceptId>& ConceptsOf(CitationId citation) const;
+
+  /// Concepts of a citation restricted to one association kind.
+  std::vector<ConceptId> ConceptsOf(CitationId citation,
+                                    AssociationKind kind) const;
+
+  /// Corpus-wide number of citations associated with the concept — the
+  /// paper's |LT(n)| ("Citations of Target Concept in MEDLINE").
+  int64_t GlobalCount(ConceptId concept_id) const {
+    BIONAV_CHECK_GE(concept_id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(concept_id), global_counts_.size());
+    return global_counts_[static_cast<size_t>(concept_id)];
+  }
+
+  /// Total number of (concept, citation) association pairs.
+  int64_t TotalPairs() const { return total_pairs_; }
+
+  size_t num_concepts() const { return global_counts_.size(); }
+
+ private:
+  struct Entry {
+    ConceptId concept_id;
+    AssociationKind kind;
+  };
+
+  // citation -> entries; grown on demand.
+  std::vector<std::vector<Entry>> by_citation_;
+  // Cached concept-id view per citation (rebuilt lazily).
+  mutable std::vector<std::vector<ConceptId>> concept_view_;
+  mutable std::vector<bool> view_dirty_;
+  std::vector<int64_t> global_counts_;
+  int64_t total_pairs_ = 0;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_MEDLINE_ASSOCIATION_TABLE_H_

@@ -1,0 +1,97 @@
+#ifndef BIONAV_MEDLINE_BIONAV_DATABASE_H_
+#define BIONAV_MEDLINE_BIONAV_DATABASE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/association_table.h"
+#include "medline/citation_store.h"
+#include "medline/corpus_generator.h"
+#include "medline/eutils.h"
+#include "medline/inverted_index.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// One citation as delivered by the off-line download (paper Fig 7: the
+/// eutils crawl that took 20 days and yielded 747M concept-citation
+/// tuples). Concepts are referenced by MeSH tree number, the stable
+/// location-encoding identifier the paper's pipeline uses.
+struct CitationSourceRecord {
+  uint64_t pmid = 0;
+  int year = 0;
+  std::string title;
+  std::vector<std::string> terms;
+  /// MEDLINE descriptor annotations (~20 per citation in the paper).
+  std::vector<std::string> annotated_tree_numbers;
+  /// Additional PubMed-index associations (~90 per citation in total).
+  std::vector<std::string> indexed_tree_numbers;
+};
+
+/// The BioNav database of Section VII: the MeSH hierarchy plus the
+/// de-normalized citation/concept association store and the keyword index,
+/// built once off-line and then serving every on-line query. Owns all of
+/// its parts; a database is the single object an application needs to run
+/// NavigationSessions.
+class BioNavDatabase {
+ public:
+  BioNavDatabase(const BioNavDatabase&) = delete;
+  BioNavDatabase& operator=(const BioNavDatabase&) = delete;
+
+  /// Off-line preprocessing: ingests the citation records into the store,
+  /// the association table (with global counts) and the inverted index.
+  /// Unknown tree numbers are an error — the hierarchy must be the same
+  /// release the records were annotated against.
+  static Result<std::unique_ptr<BioNavDatabase>> Build(
+      ConceptHierarchy hierarchy,
+      const std::vector<CitationSourceRecord>& records);
+
+  /// Deserializes a database written by Save / WriteDatabaseStream.
+  static Result<std::unique_ptr<BioNavDatabase>> Load(std::istream* in);
+  static Result<std::unique_ptr<BioNavDatabase>> LoadFromFile(
+      const std::string& path);
+
+  /// Serializes the database (text format; see bionav_database.cc header
+  /// comment). Round-trips through Load.
+  Status Save(std::ostream* out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  const ConceptHierarchy& hierarchy() const { return hierarchy_; }
+  const CitationStore& store() const { return store_; }
+  const AssociationTable& associations() const { return associations_; }
+  const InvertedIndex& index() const { return *index_; }
+
+  /// eutils facade bound to this database.
+  EUtilsClient MakeClient() const {
+    return EUtilsClient(&store_, index_.get(), &associations_);
+  }
+
+ private:
+  BioNavDatabase() : associations_(0) {}
+
+  ConceptHierarchy hierarchy_;
+  CitationStore store_;
+  AssociationTable associations_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+/// Serializes an existing (hierarchy, store, associations) triple — e.g.
+/// a generated SyntheticCorpus — in the BioNavDatabase format, so the
+/// expensive generation step can be cached on disk and reloaded with
+/// BioNavDatabase::Load.
+Status WriteDatabaseStream(const ConceptHierarchy& hierarchy,
+                           const CitationStore& store,
+                           const AssociationTable& associations,
+                           std::ostream* out);
+
+/// Convenience: persists a synthetic corpus to a file.
+Status SaveCorpusToFile(const ConceptHierarchy& hierarchy,
+                        const SyntheticCorpus& corpus,
+                        const std::string& path);
+
+}  // namespace bionav
+
+#endif  // BIONAV_MEDLINE_BIONAV_DATABASE_H_

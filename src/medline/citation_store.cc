@@ -1,0 +1,36 @@
+#include "medline/citation_store.h"
+
+#include "util/string_util.h"
+
+namespace bionav {
+
+CitationId CitationStore::Add(Citation citation) {
+  CitationId id = static_cast<CitationId>(citations_.size());
+  auto [it, inserted] = by_pmid_.emplace(citation.pmid, id);
+  (void)it;
+  BIONAV_CHECK(inserted) << "duplicate PMID " << citation.pmid;
+  citations_.push_back(std::move(citation));
+  return id;
+}
+
+CitationId CitationStore::FindByPmid(uint64_t pmid) const {
+  auto it = by_pmid_.find(pmid);
+  return it == by_pmid_.end() ? kInvalidCitation : it->second;
+}
+
+int32_t CitationStore::InternTerm(const std::string& term) {
+  std::string lower = ToLower(term);
+  auto it = term_ids_.find(lower);
+  if (it != term_ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(terms_.size());
+  terms_.push_back(lower);
+  term_ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+int32_t CitationStore::LookupTerm(const std::string& term) const {
+  auto it = term_ids_.find(ToLower(term));
+  return it == term_ids_.end() ? -1 : it->second;
+}
+
+}  // namespace bionav

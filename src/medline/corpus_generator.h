@@ -1,0 +1,109 @@
+#ifndef BIONAV_MEDLINE_CORPUS_GENERATOR_H_
+#define BIONAV_MEDLINE_CORPUS_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/association_table.h"
+#include "medline/citation_store.h"
+#include "medline/eutils.h"
+#include "medline/inverted_index.h"
+
+namespace bionav {
+
+/// Specification of one synthetic keyword query, the unit of the paper's
+/// workload (Table I). The knobs map to the characteristics the paper calls
+/// out when explaining per-query behaviour.
+struct QuerySpec {
+  /// Display name ("prothymosin").
+  std::string name;
+  /// Keyword(s) the user types; each result citation carries these terms.
+  std::string keyword;
+  /// Desired number of citations in the query result.
+  int result_size = 300;
+  /// Desired depth (MeSH level) of the navigation target concept.
+  int target_depth = 5;
+  /// Number of independent research themes the literature covers
+  /// (prothymosin: several; vardenafil: few and targeted).
+  int num_themes = 4;
+  /// Mean count of theme-focused concept annotations per citation.
+  double focus_annotations_mean = 5.0;
+  /// Mean count of unrelated (noise) concept annotations per citation.
+  /// Noise concepts are drawn from a per-query pool (see pool_size_factor)
+  /// rather than i.i.d. over the whole hierarchy: real citations share
+  /// secondary topics, so scattered concepts repeat across the result.
+  double random_annotations_mean = 4.0;
+  /// Size of the per-query scattered-concept pool, as a multiple of the
+  /// result size. Controls navigation-tree size (Table I's "Tree Size").
+  double pool_size_factor = 12.0;
+  /// Field-literature background: citations (per result citation) written
+  /// by the same research communities but not matching the query. They
+  /// raise |LT(n)| of theme concepts, giving realistic selectivities
+  /// |L(n)|/|LT(n)| — the quantity the EXPLORE probability is built on.
+  double field_background_factor = 3.0;
+  /// Probability that a result citation is annotated with the target
+  /// concept itself (controls |L(target)|).
+  double target_attach_prob = 0.12;
+  /// Extra MEDLINE-wide citations attached to the target concept, inflating
+  /// |LT(target)| and hence deflating the target's EXPLORE probability.
+  /// The paper's "ice nucleation" outlier has an extremely unselective
+  /// target ("Plants, Genetically Modified"); set this high to reproduce it.
+  int target_global_extra = 0;
+};
+
+/// One generated query with its ground truth.
+struct GeneratedQuery {
+  QuerySpec spec;
+  ConceptId target = kInvalidConcept;
+  std::vector<ConceptId> themes;
+  /// The exact result set (equals ESearch(spec.keyword) by construction).
+  std::vector<CitationId> result;
+};
+
+/// Corpus-level generation knobs.
+struct CorpusGeneratorOptions {
+  uint64_t seed = 42;
+  /// Background (non-result) citations approximating the rest of MEDLINE.
+  int background_citations = 40000;
+  /// Mean concept annotations per background citation.
+  double background_annotations_mean = 14.0;
+  /// Probability of also annotating each ancestor while walking up from an
+  /// annotated concept (creates correlated multi-level annotations and the
+  /// duplicate structure the paper's EdgeCut optimization exploits).
+  double ancestor_walk_prob = 0.55;
+  /// Zipf skew of global concept popularity.
+  double concept_zipf_s = 1.05;
+};
+
+/// A fully materialized synthetic MEDLINE: citations, keyword index,
+/// concept associations and the generated query workload. The hierarchy is
+/// referenced, not owned. Immovable: the inverted index points into the
+/// citation store, so the corpus lives behind a unique_ptr.
+struct SyntheticCorpus {
+  SyntheticCorpus() = default;
+  SyntheticCorpus(const SyntheticCorpus&) = delete;
+  SyntheticCorpus& operator=(const SyntheticCorpus&) = delete;
+
+  const ConceptHierarchy* hierarchy = nullptr;
+  CitationStore store;
+  AssociationTable associations{0};
+  std::unique_ptr<InvertedIndex> index;
+  std::vector<GeneratedQuery> queries;
+
+  /// Convenience eutils facade over this corpus.
+  EUtilsClient MakeClient() const {
+    return EUtilsClient(&store, index.get(), &associations);
+  }
+};
+
+/// Generates a synthetic corpus over `hierarchy` realizing all `specs`.
+/// Deterministic in (options.seed, hierarchy, specs).
+std::unique_ptr<SyntheticCorpus> GenerateCorpus(
+    const ConceptHierarchy& hierarchy, const std::vector<QuerySpec>& specs,
+    const CorpusGeneratorOptions& options);
+
+}  // namespace bionav
+
+#endif  // BIONAV_MEDLINE_CORPUS_GENERATOR_H_

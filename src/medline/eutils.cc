@@ -1,0 +1,16 @@
+#include "medline/eutils.h"
+
+namespace bionav {
+
+std::vector<CitationSummary> EUtilsClient::ESummary(
+    const std::vector<CitationId>& ids) const {
+  std::vector<CitationSummary> out;
+  out.reserve(ids.size());
+  for (CitationId id : ids) {
+    const Citation& c = store_->Get(id);
+    out.push_back(CitationSummary{c.pmid, c.title, c.year});
+  }
+  return out;
+}
+
+}  // namespace bionav

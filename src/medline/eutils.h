@@ -1,0 +1,70 @@
+#ifndef BIONAV_MEDLINE_EUTILS_H_
+#define BIONAV_MEDLINE_EUTILS_H_
+
+#include <string>
+#include <vector>
+
+#include "medline/association_table.h"
+#include "medline/citation_store.h"
+#include "medline/inverted_index.h"
+
+namespace bionav {
+
+/// High-level citation summary, as returned by PubMed's ESummary utility.
+struct CitationSummary {
+  uint64_t pmid = 0;
+  std::string title;
+  int year = 0;
+};
+
+/// Local facade with the shape of the Entrez Programming Utilities (eutils)
+/// calls that BioNav's online pipeline performs (paper Section VII):
+///   - ESearch: keyword query -> citation ids,
+///   - ESummary: citation ids -> display summaries,
+///   - concept associations for navigation-tree construction (served from
+///     the pre-built BioNav association table in the real system).
+/// The paper's system calls NCBI over HTTP; everything here is served from
+/// the in-process synthetic MEDLINE, which preserves the data flow while
+/// removing the network dependency.
+class EUtilsClient {
+ public:
+  EUtilsClient(const CitationStore* store, const InvertedIndex* index,
+               const AssociationTable* associations)
+      : store_(store), index_(index), associations_(associations) {
+    BIONAV_CHECK(store != nullptr);
+    BIONAV_CHECK(index != nullptr);
+    BIONAV_CHECK(associations != nullptr);
+  }
+
+  /// ESearch: ids (dense CitationIds) of citations matching the query.
+  std::vector<CitationId> ESearch(const std::string& query) const {
+    return index_->Search(query);
+  }
+
+  /// ESearch result count only (PubMed's retmax=0 mode) — used offline to
+  /// record per-concept global counts.
+  size_t ESearchCount(const std::string& query) const {
+    return index_->Search(query).size();
+  }
+
+  /// ESummary: display summaries for the given citations.
+  std::vector<CitationSummary> ESummary(
+      const std::vector<CitationId>& ids) const;
+
+  /// Concept associations of one citation (BioNav database lookup).
+  const std::vector<ConceptId>& ConceptsOf(CitationId id) const {
+    return associations_->ConceptsOf(id);
+  }
+
+  const CitationStore& store() const { return *store_; }
+  const AssociationTable& associations() const { return *associations_; }
+
+ private:
+  const CitationStore* store_;
+  const InvertedIndex* index_;
+  const AssociationTable* associations_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_MEDLINE_EUTILS_H_

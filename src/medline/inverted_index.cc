@@ -1,0 +1,69 @@
+#include "medline/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace bionav {
+
+InvertedIndex::InvertedIndex(const CitationStore& store) : store_(&store) {
+  postings_.resize(store.TermCount());
+  for (CitationId id = 0; id < static_cast<CitationId>(store.size()); ++id) {
+    for (int32_t term_id : store.Get(id).term_ids) {
+      BIONAV_CHECK_GE(term_id, 0);
+      BIONAV_CHECK_LT(static_cast<size_t>(term_id), postings_.size());
+      auto& list = postings_[static_cast<size_t>(term_id)];
+      // Citations are scanned in increasing id order; avoid duplicates when
+      // a citation lists the same term twice.
+      if (list.empty() || list.back() != id) list.push_back(id);
+    }
+  }
+}
+
+std::vector<CitationId> IntersectSorted(const std::vector<CitationId>& a,
+                                        const std::vector<CitationId>& b) {
+  std::vector<CitationId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<CitationId> InvertedIndex::Search(const std::string& query) const {
+  std::vector<std::string> terms = TokenizeTerms(query);
+  if (terms.empty()) return {};
+  std::vector<const std::vector<CitationId>*> lists;
+  lists.reserve(terms.size());
+  for (const std::string& t : terms) {
+    const auto& p = Postings(t);
+    if (p.empty()) return {};
+    lists.push_back(&p);
+  }
+  // Intersect smallest-first for speed.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<CitationId> result = *lists[0];
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    result = IntersectSorted(result, *lists[i]);
+  }
+  return result;
+}
+
+const std::vector<CitationId>& InvertedIndex::Postings(
+    const std::string& term) const {
+  int32_t id = store_->LookupTerm(term);
+  if (id < 0 || static_cast<size_t>(id) >= postings_.size()) return empty_;
+  return postings_[static_cast<size_t>(id)];
+}
+
+}  // namespace bionav

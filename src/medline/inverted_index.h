@@ -1,0 +1,49 @@
+#ifndef BIONAV_MEDLINE_INVERTED_INDEX_H_
+#define BIONAV_MEDLINE_INVERTED_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "medline/citation_store.h"
+
+namespace bionav {
+
+/// Keyword inverted index over a CitationStore — the local equivalent of
+/// PubMed's ESearch backend. Postings are sorted citation-id lists; a
+/// multi-term query is the intersection (PubMed's implicit AND).
+class InvertedIndex {
+ public:
+  /// Builds the index from every citation currently in the store.
+  explicit InvertedIndex(const CitationStore& store);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Citations matching all terms of the (free-text) query, sorted by id.
+  /// An empty or unknown-term query returns an empty result.
+  std::vector<CitationId> Search(const std::string& query) const;
+
+  /// Posting list for one exact term; empty if unknown.
+  const std::vector<CitationId>& Postings(const std::string& term) const;
+
+  /// Number of citations containing the term.
+  size_t DocumentFrequency(const std::string& term) const {
+    return Postings(term).size();
+  }
+
+ private:
+  const CitationStore* store_;
+  // Indexed by term id; term ids are assigned by the store's dictionary.
+  std::vector<std::vector<CitationId>> postings_;
+  std::vector<CitationId> empty_;
+};
+
+/// Sorted-list intersection helper (exposed for tests and reuse).
+std::vector<CitationId> IntersectSorted(const std::vector<CitationId>& a,
+                                        const std::vector<CitationId>& b);
+
+}  // namespace bionav
+
+#endif  // BIONAV_MEDLINE_INVERTED_INDEX_H_

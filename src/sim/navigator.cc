@@ -1,0 +1,45 @@
+#include "sim/navigator.h"
+
+namespace bionav {
+
+NavigationMetrics NavigateToTarget(ActiveTree* active, ConceptId target,
+                                   ExpandStrategy* strategy) {
+  BIONAV_CHECK(active != nullptr);
+  BIONAV_CHECK(strategy != nullptr);
+  const NavigationTree& nav = active->nav();
+  NavNodeId target_node = nav.NodeOfConcept(target);
+  BIONAV_CHECK_NE(target_node, kInvalidNavNode)
+      << "target concept has no citations in this query result";
+
+  NavigationMetrics metrics;
+  const int max_expands = static_cast<int>(nav.size()) + 1;
+  while (!active->IsVisible(target_node)) {
+    BIONAV_CHECK_LT(metrics.expand_actions, max_expands)
+        << "navigation did not converge";
+    int comp = active->ComponentOf(target_node);
+    NavNodeId root = active->ComponentRoot(comp);
+    EdgeCut cut = strategy->ChooseEdgeCut(*active, root);
+    Result<std::vector<NavNodeId>> revealed = active->ApplyEdgeCut(root, cut);
+    revealed.status().CheckOK();
+
+    int n_revealed = static_cast<int>(revealed.ValueOrDie().size());
+    metrics.expand_actions++;
+    metrics.revealed_concepts += n_revealed;
+    metrics.revealed_per_expand.push_back(n_revealed);
+    metrics.expand_time_ms.push_back(strategy->last_stats().elapsed_ms);
+    metrics.reduced_tree_sizes.push_back(
+        strategy->last_stats().reduced_tree_size);
+  }
+  metrics.showresults_citations =
+      active->ComponentDistinctCount(active->ComponentOf(target_node));
+  return metrics;
+}
+
+NavigationMetrics NavigateToTarget(const NavigationTree& nav,
+                                   ConceptId target,
+                                   ExpandStrategy* strategy) {
+  ActiveTree active(&nav);
+  return NavigateToTarget(&active, target, strategy);
+}
+
+}  // namespace bionav

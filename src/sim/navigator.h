@@ -1,0 +1,58 @@
+#ifndef BIONAV_SIM_NAVIGATOR_H_
+#define BIONAV_SIM_NAVIGATOR_H_
+
+#include <vector>
+
+#include "algo/expand_strategy.h"
+#include "core/active_tree.h"
+#include "core/navigation_tree.h"
+
+namespace bionav {
+
+/// Metrics of one simulated navigation (paper Section VIII-A). The overall
+/// navigation cost plotted in Fig 8 is revealed_concepts + expand_actions;
+/// the SHOWRESULTS cost (citations the user finally inspects) is kept
+/// separate, as the paper's figure does.
+struct NavigationMetrics {
+  int expand_actions = 0;
+  int revealed_concepts = 0;
+  /// Distinct citations of the target's component when it became visible.
+  int showresults_citations = 0;
+  /// Per-EXPAND detail (Figs 10/11).
+  std::vector<int> revealed_per_expand;
+  std::vector<double> expand_time_ms;
+  std::vector<int> reduced_tree_sizes;
+
+  /// The Fig 8 y-axis: # concepts revealed + # EXPAND actions.
+  int navigation_cost() const { return expand_actions + revealed_concepts; }
+  /// Full TOPDOWN cost including the final SHOWRESULTS inspection.
+  int total_cost_with_results() const {
+    return navigation_cost() + showresults_citations;
+  }
+  double total_expand_time_ms() const {
+    double t = 0;
+    for (double v : expand_time_ms) t += v;
+    return t;
+  }
+};
+
+/// Simulates the paper's oracle user: a top-down navigation where the user
+/// always expands the component containing the designated target concept,
+/// until the target becomes a visible component root, then SHOWRESULTS.
+/// Works with any ExpandStrategy, enabling the Static-vs-BioNav comparison.
+///
+/// `target` must be a concept with attached citations in the navigation
+/// tree. Terminates in at most |tree| EXPANDs: each expansion strictly
+/// shrinks the component containing the target.
+NavigationMetrics NavigateToTarget(const NavigationTree& nav,
+                                   ConceptId target,
+                                   ExpandStrategy* strategy);
+
+/// Same, but navigating an externally managed ActiveTree (so callers can
+/// inspect the final state).
+NavigationMetrics NavigateToTarget(ActiveTree* active, ConceptId target,
+                                   ExpandStrategy* strategy);
+
+}  // namespace bionav
+
+#endif  // BIONAV_SIM_NAVIGATOR_H_

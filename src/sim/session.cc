@@ -1,0 +1,107 @@
+#include "sim/session.h"
+
+#include "algo/static_navigation.h"
+#include "core/ranking.h"
+#include "core/result_set.h"
+
+namespace bionav {
+
+StrategyFactory MakeBioNavStrategyFactory(HeuristicReducedOptOptions options) {
+  return [options](const CostModel* cost_model) {
+    return std::make_unique<HeuristicReducedOpt>(cost_model, options);
+  };
+}
+
+StrategyFactory MakeStaticStrategyFactory() {
+  return [](const CostModel*) {
+    return std::make_unique<StaticNavigationStrategy>();
+  };
+}
+
+NavigationSession::NavigationSession(const ConceptHierarchy* hierarchy,
+                                     const EUtilsClient* eutils,
+                                     std::string query,
+                                     StrategyFactory strategy_factory,
+                                     CostModelParams params)
+    : hierarchy_(hierarchy), eutils_(eutils), query_(std::move(query)) {
+  BIONAV_CHECK(hierarchy != nullptr);
+  BIONAV_CHECK(eutils != nullptr);
+  BIONAV_CHECK(strategy_factory != nullptr);
+
+  // On-line pipeline of Section VII: ESearch for citation ids, then build
+  // the navigation tree from the association table, then the active tree.
+  auto result = std::make_shared<const ResultSet>(eutils_->ESearch(query_));
+  nav_ = std::make_unique<NavigationTree>(*hierarchy_,
+                                          eutils_->associations(), result);
+  cost_model_ = std::make_unique<CostModel>(nav_.get(), params);
+  strategy_ = strategy_factory(cost_model_.get());
+  active_ = std::make_unique<ActiveTree>(nav_.get());
+}
+
+Result<std::vector<NavNodeId>> NavigationSession::Expand(NavNodeId node) {
+  if (node < 0 || static_cast<size_t>(node) >= nav_->size()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (!active_->IsVisible(node)) {
+    return Status::FailedPrecondition("EXPAND requires a visible concept");
+  }
+  int comp = active_->ComponentOf(node);
+  if (active_->ComponentSize(comp) < 2) {
+    return Status::FailedPrecondition(
+        "concept has no hidden descendants to reveal");
+  }
+  EdgeCut cut = strategy_->ChooseEdgeCut(*active_, node);
+  return active_->ApplyEdgeCut(node, cut);
+}
+
+Result<std::vector<NavNodeId>> NavigationSession::ExpandByLabel(
+    const std::string& label) {
+  NavNodeId node = FindVisibleByLabel(label);
+  if (node == kInvalidNavNode) {
+    return Status::NotFound("no visible concept labeled '" + label + "'");
+  }
+  return Expand(node);
+}
+
+Result<std::vector<CitationSummary>> NavigationSession::ShowResults(
+    NavNodeId node, size_t retstart, size_t retmax) const {
+  if (node < 0 || static_cast<size_t>(node) >= nav_->size()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (!active_->IsVisible(node)) {
+    return Status::FailedPrecondition(
+        "SHOWRESULTS requires a visible concept");
+  }
+  const DynamicBitset& bits =
+      active_->ComponentResults(active_->ComponentOf(node));
+  std::vector<CitationId> ids;
+  ids.reserve(bits.Count());
+  for (size_t local : bits.ToIndexes()) {
+    ids.push_back(nav_->result().citation(local));
+  }
+  std::vector<RankedCitation> ranked =
+      RankCitations(eutils_->store(), ids, query_);
+  std::vector<CitationId> page;
+  for (size_t i = retstart; i < ranked.size(); ++i) {
+    if (retmax != 0 && page.size() >= retmax) break;
+    page.push_back(ranked[i].id);
+  }
+  return eutils_->ESummary(page);
+}
+
+std::string NavigationSession::Render(int max_depth) const {
+  return RenderAsciiRanked(*active_, *cost_model_, max_depth);
+}
+
+bool NavigationSession::Backtrack() { return active_->Backtrack(); }
+
+NavNodeId NavigationSession::FindVisibleByLabel(
+    const std::string& label) const {
+  for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav_->size()); ++id) {
+    if (!active_->IsVisible(id)) continue;
+    if (hierarchy_->label(nav_->node(id).concept_id) == label) return id;
+  }
+  return kInvalidNavNode;
+}
+
+}  // namespace bionav

@@ -1,0 +1,89 @@
+#ifndef BIONAV_SIM_SESSION_H_
+#define BIONAV_SIM_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/expand_strategy.h"
+#include "algo/heuristic_reduced_opt.h"
+#include "core/active_tree.h"
+#include "medline/eutils.h"
+
+namespace bionav {
+
+/// Builds the session's ExpandStrategy once the query's CostModel exists
+/// (strategies such as Heuristic-ReducedOpt are bound to one cost model,
+/// which is only constructed after the navigation tree is built).
+using StrategyFactory =
+    std::function<std::unique_ptr<ExpandStrategy>(const CostModel*)>;
+
+/// Factory for the BioNav policy (Heuristic-ReducedOpt).
+StrategyFactory MakeBioNavStrategyFactory(
+    HeuristicReducedOptOptions options = HeuristicReducedOptOptions());
+
+/// Factory for the static all-children baseline.
+StrategyFactory MakeStaticStrategyFactory();
+
+/// An interactive BioNav navigation session — the engine behind the web
+/// interface of Section VII's architecture. Wraps the full online pipeline
+/// for one keyword query: ESearch -> navigation-tree construction -> active
+/// tree, and exposes the user actions of the navigation model (Section
+/// III): EXPAND, SHOWRESULTS, IGNORE (a no-op on the engine; the user just
+/// moves on) and BACKTRACK.
+class NavigationSession {
+ public:
+  NavigationSession(const ConceptHierarchy* hierarchy,
+                    const EUtilsClient* eutils, std::string query,
+                    StrategyFactory strategy_factory,
+                    CostModelParams params = CostModelParams());
+
+  /// Number of citations the query matched.
+  size_t result_size() const { return nav_->result().size(); }
+
+  /// The query string this session navigates.
+  const std::string& query() const { return query_; }
+
+  const NavigationTree& navigation_tree() const { return *nav_; }
+  const ActiveTree& active_tree() const { return *active_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+
+  /// EXPAND on a visible concept (by its navigation node). Returns the
+  /// newly revealed navigation nodes.
+  Result<std::vector<NavNodeId>> Expand(NavNodeId node);
+
+  /// EXPAND addressed by concept label (convenience for CLI examples).
+  Result<std::vector<NavNodeId>> ExpandByLabel(const std::string& label);
+
+  /// SHOWRESULTS on a visible concept: summaries of the distinct citations
+  /// attached within its component subtree, ranked by relevance to the
+  /// session query (then recency). `retstart`/`retmax` page the list the
+  /// way PubMed's ESummary does; retmax = 0 means "all".
+  Result<std::vector<CitationSummary>> ShowResults(NavNodeId node,
+                                                   size_t retstart = 0,
+                                                   size_t retmax = 0) const;
+
+  /// BACKTRACK: undo the most recent EXPAND. False if none.
+  bool Backtrack();
+
+  /// Visible node whose concept has the given label, or kInvalidNavNode.
+  NavNodeId FindVisibleByLabel(const std::string& label) const;
+
+  /// ASCII rendering of the current visualization, with revealed concepts
+  /// ranked by their relevance to the query (paper Section II).
+  std::string Render(int max_depth = 100) const;
+
+ private:
+  const ConceptHierarchy* hierarchy_;
+  const EUtilsClient* eutils_;
+  std::string query_;
+  std::unique_ptr<NavigationTree> nav_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<ExpandStrategy> strategy_;
+  std::unique_ptr<ActiveTree> active_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_SIM_SESSION_H_

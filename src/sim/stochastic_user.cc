@@ -1,0 +1,160 @@
+#include "sim/stochastic_user.h"
+
+#include <cmath>
+#include <vector>
+
+#include "algo/heuristic_reduced_opt.h"
+#include "algo/opt_edgecut.h"
+#include "algo/small_tree.h"
+#include "core/ranking.h"
+
+namespace bionav {
+
+namespace {
+
+/// Exact expansion policy sharing one Opt-EdgeCut memo across episodes.
+/// The literal SmallTree of the full navigation tree is built once; any
+/// component of the active tree maps to a bitmask over it (SmallTree node
+/// ids coincide with navigation node ids because both are pre-order).
+class ExactDpStrategy : public ExpandStrategy {
+ public:
+  ExactDpStrategy(const NavigationTree* nav, const CostModel* model)
+      : nav_(nav) {
+    ActiveTree initial(nav);
+    tree_ = std::make_unique<SmallTree>(
+        SmallTreeFromComponent(initial, *model, 0));
+    for (int i = 0; i < tree_->size(); ++i) {
+      BIONAV_CHECK_EQ(tree_->node(i).origin, static_cast<NavNodeId>(i));
+    }
+    opt_ = std::make_unique<OptEdgeCut>(tree_.get(), model);
+  }
+
+  EdgeCut ChooseEdgeCut(const ActiveTree& active, NavNodeId root) override {
+    int comp = active.ComponentOf(root);
+    SmallTreeMask mask = 0;
+    for (NavNodeId m : active.ComponentMembers(comp)) {
+      mask |= SmallTreeMask{1} << m;
+    }
+    EdgeCut cut;
+    for (int s : opt_->BestCut(mask)) {
+      cut.cut_children.push_back(tree_->node(s).origin);
+    }
+    BIONAV_CHECK(!cut.empty());
+    return cut;
+  }
+
+  std::string name() const override { return "Exact-DP"; }
+
+ private:
+  const NavigationTree* nav_;
+  std::unique_ptr<SmallTree> tree_;
+  std::unique_ptr<OptEdgeCut> opt_;
+};
+
+}  // namespace
+
+StochasticTrialResult SimulateTopDown(const NavigationTree& nav,
+                                      const CostModel& model,
+                                      ExpandStrategy* strategy, Rng* rng,
+                                      const StochasticUserOptions& options) {
+  BIONAV_CHECK(strategy != nullptr);
+  BIONAV_CHECK(rng != nullptr);
+  const CostModelParams& params = model.params();
+
+  ActiveTree active(&nav);
+  StochasticTrialResult result;
+
+  // Components the user decided to explore. The initial component is
+  // explored with probability 1 (paper Section IV).
+  std::vector<int> to_explore = {0};
+  while (!to_explore.empty()) {
+    int comp = to_explore.back();
+    to_explore.pop_back();
+
+    int distinct = active.ComponentDistinctCount(comp);
+    double px = 0;
+    if (active.ComponentSize(comp) >= 2) {
+      std::vector<int> member_counts;
+      for (NavNodeId m : active.ComponentMembers(comp)) {
+        member_counts.push_back(nav.node(m).attached_count);
+      }
+      px = model.ExpandProbability(distinct, member_counts);
+    }
+
+    if (rng->Bernoulli(px)) {
+      BIONAV_CHECK_LT(result.expand_actions, options.max_expands)
+          << "stochastic episode exceeded the EXPAND safety bound";
+      double parent_weight = ComponentRelevance(active, model, comp);
+      NavNodeId root = active.ComponentRoot(comp);
+      EdgeCut cut = strategy->ChooseEdgeCut(active, root);
+      Result<std::vector<NavNodeId>> lowers = active.ApplyEdgeCut(root, cut);
+      lowers.status().CheckOK();
+
+      result.expand_actions++;
+      result.cost += params.expand_cost;
+      result.revealed_concepts +=
+          static_cast<int>(lowers.ValueOrDie().size());
+      result.cost +=
+          params.reveal_cost *
+          static_cast<double>(lowers.ValueOrDie().size());
+
+      // The user explores each created component with its conditional
+      // EXPLORE probability (weight relative to the expanded component).
+      std::vector<int> created;
+      for (NavNodeId lower_root : lowers.ValueOrDie()) {
+        created.push_back(active.ComponentOf(lower_root));
+      }
+      created.push_back(comp);  // The shrunken upper component.
+      for (int c : created) {
+        double w = ComponentRelevance(active, model, c);
+        double p = parent_weight > 0 ? w / parent_weight : 0;
+        if (rng->Bernoulli(p > 1 ? 1 : p)) to_explore.push_back(c);
+      }
+    } else {
+      result.showresults_actions++;
+      result.inspected_citations += distinct;
+      result.cost += params.show_cost * static_cast<double>(distinct);
+    }
+  }
+  return result;
+}
+
+CostModelValidation ValidateCostModel(const NavigationTree& nav,
+                                      const CostModel& model, int trials,
+                                      uint64_t seed) {
+  BIONAV_CHECK_LE(static_cast<int>(nav.size()), kMaxSmallTreeNodes)
+      << "exact validation needs a tree the DP can solve";
+  BIONAV_CHECK_GT(trials, 0);
+
+  // Closed-form prediction: the conditional cost of the initial component
+  // under optimal expansion.
+  ActiveTree initial(&nav);
+  SmallTree literal = SmallTreeFromComponent(initial, model, 0);
+  OptEdgeCut opt(&literal, &model);
+  CostModelValidation validation;
+  validation.predicted = opt.ComponentCost(literal.FullMask());
+  validation.trials = trials;
+
+  // Simulate with the same optimal policy, sharing the DP memo across all
+  // episodes (the prediction and the policy read the same table).
+  ExactDpStrategy strategy(&nav, &model);
+
+  Rng rng(seed);
+  double sum = 0;
+  double sum_sq = 0;
+  for (int t = 0; t < trials; ++t) {
+    StochasticTrialResult r = SimulateTopDown(nav, model, &strategy, &rng);
+    sum += r.cost;
+    sum_sq += r.cost * r.cost;
+  }
+  double n = static_cast<double>(trials);
+  validation.simulated_mean = sum / n;
+  double variance =
+      std::max(0.0, sum_sq / n - validation.simulated_mean *
+                                     validation.simulated_mean);
+  validation.simulated_stddev = std::sqrt(variance);
+  validation.standard_error = validation.simulated_stddev / std::sqrt(n);
+  return validation;
+}
+
+}  // namespace bionav

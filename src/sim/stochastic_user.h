@@ -1,0 +1,63 @@
+#ifndef BIONAV_SIM_STOCHASTIC_USER_H_
+#define BIONAV_SIM_STOCHASTIC_USER_H_
+
+#include "algo/expand_strategy.h"
+#include "core/cost_model.h"
+#include "core/navigation_tree.h"
+#include "util/rng.h"
+
+namespace bionav {
+
+/// A stochastic TOPDOWN user (paper Fig 6), complementing the oracle
+/// navigator: instead of heading for a known target, the simulated user
+/// behaves exactly as the cost model assumes — exploring each revealed
+/// component with its conditional EXPLORE probability, and choosing EXPAND
+/// vs SHOWRESULTS with the EXPAND probability. Running many trials yields
+/// an empirical expected navigation cost that can be checked against the
+/// Opt-EdgeCut DP's closed-form prediction — an internal-consistency test
+/// of the whole cost machinery.
+
+/// Outcome of one sampled TOPDOWN episode.
+struct StochasticTrialResult {
+  double cost = 0;
+  int expand_actions = 0;
+  int showresults_actions = 0;
+  int revealed_concepts = 0;
+  int64_t inspected_citations = 0;
+};
+
+struct StochasticUserOptions {
+  /// Safety bound on EXPAND actions per episode.
+  int max_expands = 100000;
+};
+
+/// Samples one TOPDOWN episode over a fresh active tree, charging costs
+/// per the CostModelParams (EXPAND action, revealed concept, inspected
+/// citation).
+StochasticTrialResult SimulateTopDown(
+    const NavigationTree& nav, const CostModel& model,
+    ExpandStrategy* strategy, Rng* rng,
+    const StochasticUserOptions& options = StochasticUserOptions());
+
+/// Monte-Carlo validation of the cost model against the exact DP.
+struct CostModelValidation {
+  /// Closed-form conditional expected cost from Opt-EdgeCut on the
+  /// literal navigation tree.
+  double predicted = 0;
+  double simulated_mean = 0;
+  double simulated_stddev = 0;
+  /// Standard error of the simulated mean.
+  double standard_error = 0;
+  int trials = 0;
+};
+
+/// Runs `trials` episodes with the exact-DP expansion policy and compares
+/// their mean cost to the DP's prediction. Requires the navigation tree to
+/// fit the exact DP (size <= kMaxSmallTreeNodes).
+CostModelValidation ValidateCostModel(const NavigationTree& nav,
+                                      const CostModel& model, int trials,
+                                      uint64_t seed);
+
+}  // namespace bionav
+
+#endif  // BIONAV_SIM_STOCHASTIC_USER_H_

@@ -1,0 +1,19 @@
+#include "util/bitset.h"
+
+namespace bionav {
+
+std::vector<size_t> DynamicBitset::ToIndexes() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w) {
+      int bit = __builtin_ctzll(w);
+      out.push_back((wi << 6) + static_cast<size_t>(bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace bionav

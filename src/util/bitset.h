@@ -1,0 +1,108 @@
+#ifndef BIONAV_UTIL_BITSET_H_
+#define BIONAV_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bionav {
+
+/// Fixed-size-at-construction bitset used to represent sets of citations
+/// local to one query result. Distinct-citation counting across component
+/// subtrees (the duplicate-aware |L(I)| of the cost model) is the hot path
+/// of Opt-EdgeCut, so the representation is a flat word array with popcount.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Set(size_t i) {
+    BIONAV_CHECK_LT(i, size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Reset(size_t i) {
+    BIONAV_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    BIONAV_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets all bits to zero.
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  /// this |= other. Sizes must match.
+  void UnionWith(const DynamicBitset& other) {
+    BIONAV_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this &= other. Sizes must match.
+  void IntersectWith(const DynamicBitset& other) {
+    BIONAV_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this &= ~other. Sizes must match.
+  void SubtractWith(const DynamicBitset& other) {
+    BIONAV_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// |this ∪ other| without materializing the union.
+  size_t UnionCount(const DynamicBitset& other) const {
+    BIONAV_CHECK_EQ(size_, other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+      c += static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
+    return c;
+  }
+
+  /// |this ∩ other| without materializing the intersection.
+  size_t IntersectCount(const DynamicBitset& other) const {
+    BIONAV_CHECK_EQ(size_, other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+      c += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+    return c;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Returns the indexes of all set bits in increasing order.
+  std::vector<size_t> ToIndexes() const;
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_BITSET_H_

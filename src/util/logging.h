@@ -1,0 +1,91 @@
+#ifndef BIONAV_UTIL_LOGGING_H_
+#define BIONAV_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bionav {
+
+/// Severity levels for the minimal logging facility. FATAL aborts the
+/// process after the message is flushed.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Stream-style log sink. Collects a single message and emits it on
+/// destruction; aborts on FATAL. Intentionally tiny: the library has no
+/// dependency on a logging framework.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows a stream expression in the CHECK-passed branch.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed LogMessage expression into void so it can sit in the
+/// false branch of the CHECK ternary while still accepting `<<` chains
+/// ('&' binds looser than '<<').
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Returns the minimum severity that is actually printed. Controlled by
+/// SetMinLogSeverity; FATAL is always printed.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+#define BIONAV_LOG(severity)                                             \
+  ::bionav::internal_logging::LogMessage(::bionav::LogSeverity::k##severity, \
+                                         __FILE__, __LINE__)             \
+      .stream()
+
+/// CHECK-style assertion macros. These are always on (release included):
+/// invariant violations in a navigation engine should fail fast rather than
+/// silently corrupt cost computations.
+#define BIONAV_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                         \
+         : ::bionav::internal_logging::Voidify() &                         \
+               ::bionav::internal_logging::LogMessage(                     \
+                   ::bionav::LogSeverity::kFatal, __FILE__, __LINE__)      \
+                       .stream()                                           \
+                   << "Check failed: " #cond " "
+
+#define BIONAV_CHECK_OP(op, a, b)                                          \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::bionav::internal_logging::Voidify() &                     \
+                   ::bionav::internal_logging::LogMessage(                 \
+                       ::bionav::LogSeverity::kFatal, __FILE__, __LINE__)  \
+                           .stream()                                       \
+                       << "Check failed: " #a " " #op " " #b " (" << (a)   \
+                       << " vs " << (b) << ") "
+
+#define BIONAV_CHECK_EQ(a, b) BIONAV_CHECK_OP(==, a, b)
+#define BIONAV_CHECK_NE(a, b) BIONAV_CHECK_OP(!=, a, b)
+#define BIONAV_CHECK_LT(a, b) BIONAV_CHECK_OP(<, a, b)
+#define BIONAV_CHECK_LE(a, b) BIONAV_CHECK_OP(<=, a, b)
+#define BIONAV_CHECK_GT(a, b) BIONAV_CHECK_OP(>, a, b)
+#define BIONAV_CHECK_GE(a, b) BIONAV_CHECK_OP(>=, a, b)
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef BIONAV_UTIL_RNG_H_
+#define BIONAV_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bionav {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). All synthetic-data generation in the repository goes through
+/// this class so that workloads, tests and benchmarks are reproducible
+/// across platforms and standard-library versions (std::mt19937 streams are
+/// stable, but distributions are not).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Samples from Zipf(s) over ranks {1..n}, returning a 0-based index.
+  /// Used to give concepts / terms realistic skewed popularity.
+  size_t Zipf(size_t n, double s);
+
+  /// Returns an approximately Gaussian sample (sum of uniforms) with the
+  /// given mean and standard deviation. Accuracy is sufficient for workload
+  /// shaping; no transcendental-function portability concerns.
+  double Gaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffles a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_RNG_H_

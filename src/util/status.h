@@ -1,0 +1,122 @@
+#ifndef BIONAV_UTIL_STATUS_H_
+#define BIONAV_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace bionav {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// library is in-process, so most categories map to caller mistakes or
+/// malformed inputs rather than environmental failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. The library does not use exceptions;
+/// fallible operations return Status (or Result<T>) and the caller checks.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats the status as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  /// Aborts the process if the status is not OK. Use at call sites where a
+  /// failure indicates a programming error.
+  void CheckOK() const {
+    BIONAV_CHECK(ok()) << ToString();
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    BIONAV_CHECK(!std::get<Status>(value_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  /// Returns the value; aborts if the result holds an error.
+  const T& ValueOrDie() const {
+    BIONAV_CHECK(ok()) << status().ToString();
+    return std::get<T>(value_);
+  }
+  T& ValueOrDie() {
+    BIONAV_CHECK(ok()) << status().ToString();
+    return std::get<T>(value_);
+  }
+
+  /// Moves the value out; aborts if the result holds an error.
+  T TakeValue() {
+    BIONAV_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define BIONAV_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::bionav::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_STATUS_H_

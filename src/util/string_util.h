@@ -1,0 +1,32 @@
+#ifndef BIONAV_UTIL_STRING_UTIL_H_
+#define BIONAV_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bionav {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lower-casing (the term dictionary is case-insensitive, as PubMed
+/// keyword search is).
+std::string ToLower(std::string_view s);
+
+/// Tokenizes free text into lower-cased alphanumeric terms (PubMed-style
+/// keyword extraction for the inverted index).
+std::vector<std::string> TokenizeTerms(std::string_view text);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_STRING_UTIL_H_

@@ -1,0 +1,6 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit exists so the build target has
+// a stable object for the module and to anchor future non-inline additions.
+
+namespace bionav {}  // namespace bionav

@@ -1,0 +1,32 @@
+#ifndef BIONAV_WORKLOAD_TABLE_FORMAT_H_
+#define BIONAV_WORKLOAD_TABLE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace bionav {
+
+/// Minimal aligned ASCII table writer used by the benchmark binaries to
+/// print the paper's tables and figure data series.
+class TextTable {
+ public:
+  /// Sets the column headers (fixes the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds a row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 1);
+
+  /// Renders the table with column alignment and a separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_WORKLOAD_TABLE_FORMAT_H_

@@ -1,0 +1,165 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/result_set.h"
+#include "hierarchy/hierarchy_generator.h"
+
+namespace bionav {
+
+std::vector<QuerySpec> PaperQuerySpecs(double result_scale) {
+  auto scaled = [result_scale](int n) {
+    return std::max(12, static_cast<int>(std::lround(n * result_scale)));
+  };
+  std::vector<QuerySpec> specs;
+
+  {
+    QuerySpec s;
+    s.name = "LbetaT2";
+    s.keyword = "lbetat2";
+    s.result_size = scaled(110);
+    s.target_depth = 3;
+    s.num_themes = 3;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "melibiose permease";
+    s.keyword = "melibiose permease";
+    s.result_size = scaled(130);
+    s.target_depth = 4;
+    s.num_themes = 3;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "varenicline";
+    s.keyword = "varenicline";
+    s.result_size = scaled(150);
+    s.target_depth = 5;
+    s.num_themes = 2;
+    s.random_annotations_mean = 2.5;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "Na+/I- symporter";
+    s.keyword = "na+/i- symporter";
+    s.result_size = scaled(185);
+    s.target_depth = 6;
+    s.num_themes = 3;
+    specs.push_back(s);
+  }
+  {
+    // Broad literature across many research lines (Table I's biggest
+    // navigation tree relative to its result size).
+    QuerySpec s;
+    s.name = "prothymosin";
+    s.keyword = "prothymosin";
+    s.result_size = scaled(313);
+    s.target_depth = 6;
+    s.num_themes = 6;
+    s.random_annotations_mean = 4.0;
+    s.target_attach_prob = 0.15;
+    specs.push_back(s);
+  }
+  {
+    // The paper's outlier: a target very high in the hierarchy with an
+    // extremely large |LT| (unselective), yielding the smallest improvement
+    // and the most EXPAND actions.
+    QuerySpec s;
+    s.name = "ice nucleation";
+    s.keyword = "ice nucleation";
+    s.result_size = scaled(260);
+    s.target_depth = 2;
+    s.num_themes = 4;
+    s.target_attach_prob = 0.06;
+    s.target_global_extra = 12000;
+    specs.push_back(s);
+  }
+  {
+    // Large result but targeted literature (few themes).
+    QuerySpec s;
+    s.name = "vardenafil";
+    s.keyword = "vardenafil";
+    s.result_size = scaled(486);
+    s.target_depth = 5;
+    s.num_themes = 2;
+    s.random_annotations_mean = 2.0;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "dyslexia genetics";
+    s.keyword = "dyslexia genetics";
+    s.result_size = scaled(320);
+    s.target_depth = 5;
+    s.num_themes = 4;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "syntaxin 1A";
+    s.keyword = "syntaxin 1a";
+    s.result_size = scaled(350);
+    s.target_depth = 7;
+    s.num_themes = 4;
+    specs.push_back(s);
+  }
+  {
+    QuerySpec s;
+    s.name = "follistatin";
+    s.keyword = "follistatin";
+    s.result_size = scaled(600);
+    s.target_depth = 5;
+    s.num_themes = 4;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<std::string> PaperTargetLabels() {
+  return {
+      "Mice, Transgenic",
+      "Substrate Specificity",
+      "Nicotinic Agonists",
+      "Perchloric Acid",
+      "Histones",
+      "Plants, Genetically Modified",
+      "Phosphodiesterase Inhibitors",
+      "Polymorphism, Single Nucleotide",
+      "GABA Plasma Membrane Transport Proteins",
+      "Follicle Stimulating Hormone",
+  };
+}
+
+Workload::Workload(const WorkloadOptions& options) : options_(options) {
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = options.seed;
+  hopts.target_nodes = options.hierarchy_nodes;
+  hierarchy_ = GenerateMeshLikeHierarchy(hopts);
+
+  CorpusGeneratorOptions copts;
+  copts.seed = options.seed + 1;
+  copts.background_citations = options.background_citations;
+  corpus_ = GenerateCorpus(hierarchy_, PaperQuerySpecs(options.result_scale),
+                           copts);
+
+  // Rename targets to the paper's target-concept labels for presentation.
+  std::vector<std::string> labels = PaperTargetLabels();
+  for (size_t i = 0; i < corpus_->queries.size() && i < labels.size(); ++i) {
+    hierarchy_.RenameNode(corpus_->queries[i].target, labels[i]);
+  }
+}
+
+std::unique_ptr<NavigationTree> Workload::BuildNavigationTree(
+    size_t i) const {
+  const GeneratedQuery& q = query(i);
+  auto result = std::make_shared<const ResultSet>(
+      corpus_->index->Search(q.spec.keyword));
+  return std::make_unique<NavigationTree>(hierarchy_, corpus_->associations,
+                                          result);
+}
+
+}  // namespace bionav

@@ -1,0 +1,63 @@
+#ifndef BIONAV_WORKLOAD_WORKLOAD_H_
+#define BIONAV_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/navigation_tree.h"
+#include "hierarchy/concept_hierarchy.h"
+#include "medline/corpus_generator.h"
+
+namespace bionav {
+
+/// Scale knobs of the paper workload. Defaults reproduce the paper's setup
+/// (a ~48k-concept MeSH, result sizes 110-600); tests use smaller scales.
+struct WorkloadOptions {
+  uint64_t seed = 2009;
+  int hierarchy_nodes = 48000;
+  int background_citations = 40000;
+  /// Scales every query's result size (tests can use 0.2 for speed).
+  double result_scale = 1.0;
+};
+
+/// The materialized paper workload: hierarchy + corpus + the 10 queries of
+/// Table I, with targets renamed to the paper's target-concept labels.
+class Workload {
+ public:
+  explicit Workload(const WorkloadOptions& options);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  const ConceptHierarchy& hierarchy() const { return hierarchy_; }
+  const SyntheticCorpus& corpus() const { return *corpus_; }
+  const WorkloadOptions& options() const { return options_; }
+
+  size_t num_queries() const { return corpus_->queries.size(); }
+  const GeneratedQuery& query(size_t i) const {
+    BIONAV_CHECK_LT(i, corpus_->queries.size());
+    return corpus_->queries[i];
+  }
+
+  /// Builds the navigation tree for query `i` through the full on-line
+  /// pipeline (ESearch + association lookups).
+  std::unique_ptr<NavigationTree> BuildNavigationTree(size_t i) const;
+
+ private:
+  WorkloadOptions options_;
+  ConceptHierarchy hierarchy_;
+  std::unique_ptr<SyntheticCorpus> corpus_;
+};
+
+/// The 10 query specifications modeled on the paper's Table I workload.
+/// `result_scale` multiplies the result sizes.
+std::vector<QuerySpec> PaperQuerySpecs(double result_scale = 1.0);
+
+/// Paper target-concept display labels, parallel to PaperQuerySpecs().
+std::vector<std::string> PaperTargetLabels();
+
+}  // namespace bionav
+
+#endif  // BIONAV_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,185 @@
+#include "algo/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bionav {
+namespace {
+
+SmallTree MakeStar(const std::vector<std::vector<size_t>>& leaf_citations,
+                   size_t result_size) {
+  std::vector<SmallTree::Node> nodes(leaf_citations.size() + 1);
+  nodes[0].parent = -1;
+  nodes[0].results = DynamicBitset(result_size);
+  nodes[0].origin = 0;
+  for (size_t i = 0; i < leaf_citations.size(); ++i) {
+    auto& n = nodes[i + 1];
+    n.parent = 0;
+    n.results = DynamicBitset(result_size);
+    for (size_t c : leaf_citations[i]) n.results.Set(c);
+    n.distinct = static_cast<int>(n.results.Count());
+    n.origin = static_cast<NavNodeId>(i + 1);
+  }
+  return SmallTree(std::move(nodes));
+}
+
+TEST(TopDownExhaustive, CostFormulaMatchesManual) {
+  // Star with 3 leaves holding {0,1}, {1,2}, {3}. Cut all three leaves:
+  // 4 components; SHOWRESULTS sizes 2 + 2 + 1 + 0(upper) = 5.
+  SmallTree t = MakeStar({{0, 1}, {1, 2}, {3}}, 4);
+  EXPECT_DOUBLE_EQ(TopDownExhaustiveCost(t, {1, 2, 3}), 4.0 + 5.0 / 4.0);
+  // Cut only leaf 3: components = {3} and upper {root,1,2} with
+  // distinct {0,1,2} = 3. Cost = 2 + (1+3)/2.
+  EXPECT_DOUBLE_EQ(TopDownExhaustiveCost(t, {3}), 2.0 + 4.0 / 2.0);
+}
+
+TEST(TopDownExhaustive, DuplicatesChangeTheTradeoff) {
+  // Two leaves with identical citations: keeping them together makes the
+  // upper's SHOWRESULTS cheaper than splitting them apart.
+  SmallTree t = MakeStar({{0, 1, 2}, {0, 1, 2}, {3}}, 4);
+  double keep_together = TopDownExhaustiveCost(t, {3});
+  double split = TopDownExhaustiveCost(t, {1, 2});
+  // keep_together: k=2, shows = 1 + 3 = 4 -> 2 + 2 = 4.
+  // split: k=3, shows = 3 + 3 + 1(upper... leaf3 stays) -> 3 + 7/3.
+  EXPECT_DOUBLE_EQ(keep_together, 4.0);
+  EXPECT_NEAR(split, 3.0 + 7.0 / 3.0, 1e-12);
+  EXPECT_LT(keep_together, split);
+}
+
+TEST(TopDownExhaustive, OptimalCutBeatsAllSampledCuts) {
+  Rng rng(5);
+  std::vector<std::vector<size_t>> leaves;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<size_t> cits;
+    for (int j = 0; j < 4; ++j) cits.push_back(rng.Uniform(10));
+    leaves.push_back(cits);
+  }
+  SmallTree t = MakeStar(leaves, 10);
+  ExhaustiveOptResult opt = OptimalExhaustiveCut(t);
+  // Compare against every single-leaf cut and the all-leaves cut.
+  for (int u = 1; u <= 5; ++u) {
+    EXPECT_LE(opt.cost, TopDownExhaustiveCost(t, {u}));
+  }
+  EXPECT_LE(opt.cost, TopDownExhaustiveCost(t, {1, 2, 3, 4, 5}));
+  EXPECT_TRUE(std::is_sorted(opt.cut.begin(), opt.cut.end()));
+}
+
+TEST(TopDownExhaustiveDeath, InvalidCutAborts) {
+  // Chain 0-1-2: cutting both 1 and 2 is not an antichain.
+  std::vector<SmallTree::Node> nodes(3);
+  for (int i = 0; i < 3; ++i) {
+    nodes[static_cast<size_t>(i)].parent = i - 1;
+    nodes[static_cast<size_t>(i)].results = DynamicBitset(2);
+    nodes[static_cast<size_t>(i)].origin = i;
+  }
+  SmallTree t(std::move(nodes));
+  EXPECT_DEATH(TopDownExhaustiveCost(t, {1, 2}), "antichain");
+  EXPECT_DEATH(TopDownExhaustiveCost(t, {}), "Check failed");
+  EXPECT_DEATH(TopDownExhaustiveCost(t, {0}), "Check failed");  // Root edge.
+}
+
+TEST(CountDuplicates, MultisetSemantics) {
+  std::vector<int> a = {0, 1, 1};  // Element 1 twice: 1 duplicate.
+  std::vector<int> b = {1, 2};
+  EXPECT_EQ(CountDuplicates({&a}, 3), 1);
+  EXPECT_EQ(CountDuplicates({&b}, 3), 0);
+  // Together: multiplicities {0:1, 1:3, 2:1} -> total 5, distinct 3 -> 2.
+  EXPECT_EQ(CountDuplicates({&a, &b}, 3), 2);
+  EXPECT_EQ(CountDuplicates({}, 3), 0);
+}
+
+TEST(TedInstance, DuplicatesOfUpperSelection) {
+  // Children: 0 = {e0, e1}, 1 = {e0}, 2 = {e1, e2, e2}.
+  TedInstance ted;
+  ted.node_elements = {{0, 1}, {0}, {1, 2, 2}};
+  ted.universe_size = 3;
+  // Keep all: multiplicities {e0:2, e1:2, e2:2} -> 6 - 3 = 3.
+  EXPECT_EQ(TedDuplicates(ted, {0, 1, 2}), 3);
+  // Keep {0,1}: upper dup 1 (e0); lower {2} alone has dup 1 (e2 twice).
+  EXPECT_EQ(TedDuplicates(ted, {0, 1}), 2);
+  // Keep nothing: lowers contribute only node 2's internal duplicate.
+  EXPECT_EQ(TedDuplicates(ted, {}), 1);
+}
+
+TEST(Ted, MaxDuplicatesBruteForce) {
+  TedInstance ted;
+  ted.node_elements = {{0, 1}, {0}, {1}};
+  ted.universe_size = 2;
+  // All together (1 component): dups = 4 - 2 = 2.
+  EXPECT_EQ(TedMaxDuplicates(ted, 1), 2);
+  // 2 components (cut one child): best keeps {0,1} or {0,2} -> 1 dup.
+  EXPECT_EQ(TedMaxDuplicates(ted, 2), 1);
+  // 4 components: everything split -> 0.
+  EXPECT_EQ(TedMaxDuplicates(ted, 4), 0);
+  EXPECT_TRUE(SolveTedDecision(ted, 2, 1));
+  EXPECT_FALSE(SolveTedDecision(ted, 2, 2));
+}
+
+TEST(Mes, ObjectiveAndBruteForce) {
+  WeightedGraph g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1, 5}, {1, 2, 3}, {2, 3, 2}, {0, 3, 1}};
+  EXPECT_EQ(MesObjective(g, {0, 1}), 5);
+  EXPECT_EQ(MesObjective(g, {0, 1, 2}), 8);
+  EXPECT_EQ(MesObjective(g, {0}), 0);
+  EXPECT_EQ(MesMaxBruteForce(g, 2), 5);
+  EXPECT_EQ(MesMaxBruteForce(g, 3), 8);
+  EXPECT_EQ(MesMaxBruteForce(g, 4), 11);
+  EXPECT_TRUE(SolveMesDecision(g, 2, 5));
+  EXPECT_FALSE(SolveMesDecision(g, 2, 6));
+}
+
+TEST(Reduction, ElementsMirrorEdgeWeights) {
+  WeightedGraph g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 2}, {1, 2, 1}};
+  TedInstance ted = ReduceMesToTed(g);
+  EXPECT_EQ(ted.universe_size, 3);  // 2 + 1 elements.
+  EXPECT_EQ(ted.node_elements[0].size(), 2u);
+  EXPECT_EQ(ted.node_elements[1].size(), 3u);
+  EXPECT_EQ(ted.node_elements[2].size(), 1u);
+  // Keeping {0,1} together yields exactly w(0,1) = 2 duplicates (node 2's
+  // singleton has none).
+  EXPECT_EQ(TedDuplicates(ted, {0, 1}), 2);
+}
+
+class ReductionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionPropertyTest, MesAndTedOptimaCoincide) {
+  // Theorem 1's correspondence, verified end-to-end: for every subset size
+  // s, the MES optimum equals the TED duplicate maximum with
+  // (n - s + 1) components on the reduced instance.
+  Rng rng(GetParam());
+  WeightedGraph g;
+  g.num_vertices = 3 + static_cast<int>(rng.Uniform(4));  // 3..6 vertices.
+  for (int u = 0; u < g.num_vertices; ++u) {
+    for (int v = u + 1; v < g.num_vertices; ++v) {
+      if (rng.Bernoulli(0.6)) {
+        g.edges.push_back({u, v, static_cast<int64_t>(1 + rng.Uniform(4))});
+      }
+    }
+  }
+  TedInstance ted = ReduceMesToTed(g);
+  for (int s = 0; s <= g.num_vertices; ++s) {
+    int num_components = g.num_vertices - s + 1;
+    EXPECT_EQ(MesMaxBruteForce(g, s),
+              TedMaxDuplicates(ted, num_components))
+        << "subset size " << s;
+  }
+  // Decision forms agree on a band of thresholds.
+  for (int s = 1; s <= g.num_vertices; ++s) {
+    int64_t opt = MesMaxBruteForce(g, s);
+    int k = g.num_vertices - s + 1;
+    EXPECT_TRUE(SolveTedDecision(ted, k, opt));
+    EXPECT_FALSE(SolveTedDecision(ted, k, opt + 1));
+    EXPECT_EQ(SolveMesDecision(g, s, opt / 2 + 1),
+              SolveTedDecision(ted, k, opt / 2 + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace bionav

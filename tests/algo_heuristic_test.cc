@@ -1,0 +1,224 @@
+#include "algo/heuristic_reduced_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/opt_edgecut.h"
+#include "algo/reduced_tree.h"
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+using ::bionav::testing::RandomInstance;
+
+TEST(HeuristicReducedOpt, ReturnsValidNonEmptyCut) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel cost(nav.get());
+  ActiveTree active(nav.get());
+  HeuristicReducedOpt strategy(&cost);
+
+  EdgeCut cut = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_FALSE(cut.empty());
+  EXPECT_TRUE(active.ValidateEdgeCut(NavigationTree::kRoot, cut).ok());
+}
+
+TEST(HeuristicReducedOpt, SmallComponentRunsExactDP) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel cost(nav.get());
+  ActiveTree active(nav.get());
+  // The mini tree has ~10 nodes; with max_partitions >= size the strategy
+  // must run the literal DP (reduced tree size == component size, no
+  // partition rounds).
+  HeuristicReducedOptOptions options;
+  options.max_partitions = kMaxSmallTreeNodes;
+  HeuristicReducedOpt strategy(&cost, options);
+  strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_EQ(strategy.last_stats().reduced_tree_size,
+            static_cast<int>(nav->size()));
+  EXPECT_EQ(strategy.last_stats().partition_rounds, 0);
+
+  // And the cut equals what Opt-EdgeCut on the literal tree chooses.
+  SmallTree literal = SmallTreeFromComponent(active, cost, 0);
+  OptEdgeCut opt(&literal, &cost);
+  std::vector<int> expected = opt.BestCut(literal.FullMask());
+  std::vector<NavNodeId> expected_nav;
+  for (int s : expected) expected_nav.push_back(literal.node(s).origin);
+  std::sort(expected_nav.begin(), expected_nav.end());
+  EdgeCut cut = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  std::vector<NavNodeId> got = cut.cut_children;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected_nav);
+}
+
+TEST(HeuristicReducedOpt, LargeComponentIsReduced) {
+  RandomInstance inst(11, 500, 60);
+  ASSERT_GT(inst.nav->size(), 10u);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOpt strategy(&cost);
+
+  EdgeCut cut = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_FALSE(cut.empty());
+  EXPECT_TRUE(active.ValidateEdgeCut(NavigationTree::kRoot, cut).ok());
+  EXPECT_LE(strategy.last_stats().reduced_tree_size, 10);
+  EXPECT_GE(strategy.last_stats().reduced_tree_size, 2);
+  EXPECT_GE(strategy.last_stats().partition_rounds, 1);
+  // Cut size is bounded by the reduced tree size minus its root.
+  EXPECT_LT(static_cast<int>(cut.size()),
+            strategy.last_stats().reduced_tree_size);
+}
+
+TEST(HeuristicReducedOpt, RespectsMaxPartitionsOption) {
+  RandomInstance inst(12, 500, 60);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  for (int k : {4, 6, 8, 14}) {
+    HeuristicReducedOptOptions options;
+    options.max_partitions = k;
+    HeuristicReducedOpt strategy(&cost, options);
+    strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+    EXPECT_LE(strategy.last_stats().reduced_tree_size, k) << "k=" << k;
+  }
+}
+
+TEST(HeuristicReducedOpt, DeterministicAcrossCalls) {
+  RandomInstance inst(13, 400, 50);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOpt strategy(&cost);
+  EdgeCut a = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EdgeCut b = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_EQ(a.cut_children, b.cut_children);
+}
+
+TEST(HeuristicReducedOpt, WorksOnLowerComponentsAfterCuts) {
+  RandomInstance inst(14, 400, 50);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOpt strategy(&cost);
+
+  EdgeCut first = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  auto revealed = active.ApplyEdgeCut(NavigationTree::kRoot, first);
+  revealed.status().CheckOK();
+  for (NavNodeId r : revealed.ValueOrDie()) {
+    int comp = active.ComponentOf(r);
+    if (active.ComponentSize(comp) < 2) continue;
+    EdgeCut cut = strategy.ChooseEdgeCut(active, r);
+    EXPECT_TRUE(active.ValidateEdgeCut(r, cut).ok())
+        << active.ValidateEdgeCut(r, cut).ToString();
+  }
+}
+
+TEST(HeuristicReducedOptCache, ReuseAnswersSubsequentExpandsFromDP) {
+  RandomInstance inst(31, 500, 60);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOptOptions options;
+  options.reuse_dp = true;
+  HeuristicReducedOpt strategy(&cost, options);
+
+  EdgeCut first = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_FALSE(strategy.last_stats().cache_hit);
+  EXPECT_GT(strategy.cache_size(), 0u);
+  active.ApplyEdgeCut(NavigationTree::kRoot, first).status().CheckOK();
+
+  // Expanding a component created by the first cut must be served from
+  // the cached DP whenever its reduced form has >= 2 supernodes.
+  bool saw_hit = false;
+  std::vector<NavNodeId> roots = first.cut_children;
+  roots.push_back(NavigationTree::kRoot);
+  for (NavNodeId r : roots) {
+    int comp = active.ComponentOf(r);
+    if (active.ComponentRoot(comp) != r || active.ComponentSize(comp) < 2) {
+      continue;
+    }
+    EdgeCut cut = strategy.ChooseEdgeCut(active, r);
+    EXPECT_TRUE(active.ValidateEdgeCut(r, cut).ok());
+    saw_hit |= strategy.last_stats().cache_hit;
+  }
+  EXPECT_TRUE(saw_hit);
+}
+
+TEST(HeuristicReducedOptCache, BacktrackInvalidatesStaleEntriesSafely) {
+  RandomInstance inst(32, 500, 60);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOptOptions options;
+  options.reuse_dp = true;
+  HeuristicReducedOpt strategy(&cost, options);
+
+  EdgeCut first = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  active.ApplyEdgeCut(NavigationTree::kRoot, first).status().CheckOK();
+  ASSERT_TRUE(active.Backtrack());
+
+  // The root component is back to its full size; the cache entry recorded
+  // the shrunken upper component, so this must be a (safe) miss that still
+  // yields a valid cut.
+  EdgeCut again = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_FALSE(strategy.last_stats().cache_hit);
+  EXPECT_TRUE(active.ValidateEdgeCut(NavigationTree::kRoot, again).ok());
+  // Deterministic: same component, same fresh computation, same cut.
+  EXPECT_EQ(again.cut_children, first.cut_children);
+}
+
+TEST(HeuristicReducedOptCache, ClearCacheDropsEntries) {
+  RandomInstance inst(33, 400, 50);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOptOptions options;
+  options.reuse_dp = true;
+  HeuristicReducedOpt strategy(&cost, options);
+  strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_GT(strategy.cache_size(), 0u);
+  strategy.ClearCache();
+  EXPECT_EQ(strategy.cache_size(), 0u);
+}
+
+TEST(HeuristicReducedOptCache, DisabledByDefault) {
+  RandomInstance inst(34, 400, 50);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  HeuristicReducedOpt strategy(&cost);
+  strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_EQ(strategy.cache_size(), 0u);
+  EXPECT_FALSE(strategy.last_stats().cache_hit);
+}
+
+TEST(HeuristicReducedOptCache, ReusedNavigationReachesTarget) {
+  RandomInstance inst(35, 600, 70);
+  CostModel cost(inst.nav.get());
+  HeuristicReducedOptOptions options;
+  options.reuse_dp = true;
+  HeuristicReducedOpt strategy(&cost, options);
+  NavigationMetrics m =
+      NavigateToTarget(*inst.nav, inst.target(), &strategy);
+  EXPECT_GT(m.expand_actions, 0);
+  EXPECT_LE(m.expand_actions, static_cast<int>(inst.nav->size()));
+}
+
+TEST(HeuristicReducedOptDeath, RequiresExpandableComponent) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel cost(nav.get());
+  ActiveTree active(nav.get());
+  HeuristicReducedOpt strategy(&cost);
+  // Expanding a hidden node is a caller bug.
+  EXPECT_DEATH(strategy.ChooseEdgeCut(active, 1), "visible component root");
+}
+
+TEST(HeuristicReducedOptDeath, RejectsBadOptions) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel cost(nav.get());
+  HeuristicReducedOptOptions options;
+  options.max_partitions = 1;
+  EXPECT_DEATH(HeuristicReducedOpt(&cost, options), "Check failed");
+  options.max_partitions = kMaxSmallTreeNodes + 1;
+  EXPECT_DEATH(HeuristicReducedOpt(&cost, options), "Check failed");
+}
+
+}  // namespace
+}  // namespace bionav

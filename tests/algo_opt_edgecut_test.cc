@@ -1,0 +1,287 @@
+#include "algo/opt_edgecut.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+// --- Builders -------------------------------------------------------------
+
+SmallTree BuildTree(const std::vector<int>& parents,
+                    const std::vector<std::vector<size_t>>& citations,
+                    size_t result_size, uint64_t weight_seed = 0) {
+  std::vector<SmallTree::Node> nodes(parents.size());
+  Rng rng(weight_seed + 1);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    nodes[i].parent = parents[i];
+    nodes[i].results = DynamicBitset(result_size);
+    for (size_t c : citations[i]) nodes[i].results.Set(c);
+    nodes[i].distinct = static_cast<int>(nodes[i].results.Count());
+    nodes[i].explore_weight =
+        weight_seed == 0 ? static_cast<double>(nodes[i].distinct)
+                         : rng.UniformDouble() * 5;
+    nodes[i].origin = static_cast<NavNodeId>(i);
+  }
+  return SmallTree(std::move(nodes));
+}
+
+// A cost model instance (the DP only uses its params / probability
+// helpers, with Z irrelevant to conditional costs).
+struct ModelHolder {
+  MiniFixture fixture;
+  std::unique_ptr<NavigationTree> nav = fixture.BuildNav("prothymosin");
+  CostModel model{nav.get()};
+};
+
+// --- Brute-force reference for the conditional cost recursion -------------
+
+bool IsValidCut(const SmallTree& tree, SmallTreeMask mask, SmallTreeMask cut) {
+  if (cut == 0) return false;
+  int root = SmallTree::MaskRoot(mask);
+  if (cut & (SmallTreeMask{1} << root)) return false;
+  if ((cut & mask) != cut) return false;
+  for (SmallTreeMask a = cut; a;) {
+    int u = __builtin_ctz(a);
+    a &= a - 1;
+    for (SmallTreeMask b = cut; b;) {
+      int v = __builtin_ctz(b);
+      b &= b - 1;
+      if (u != v && (tree.SubtreeMask(u) >> v) & 1) return false;
+    }
+  }
+  return true;
+}
+
+double BruteDistinct(const SmallTree& tree, SmallTreeMask mask) {
+  DynamicBitset acc = tree.node(SmallTree::MaskRoot(mask)).results;
+  for (SmallTreeMask r = mask; r;) {
+    int v = __builtin_ctz(r);
+    r &= r - 1;
+    acc.UnionWith(tree.node(v).results);
+  }
+  return static_cast<double>(acc.Count());
+}
+
+double BruteCost(const SmallTree& tree, const CostModel& model,
+                 SmallTreeMask mask) {
+  const CostModelParams& p = model.params();
+  int root = SmallTree::MaskRoot(mask);
+  double distinct = BruteDistinct(tree, mask);
+  std::vector<int> counts;
+  double weight = 0;
+  for (SmallTreeMask r = mask; r;) {
+    int v = __builtin_ctz(r);
+    r &= r - 1;
+    counts.push_back(tree.node(v).distinct);
+    weight += tree.node(v).explore_weight;
+  }
+  if (SmallTree::MaskSize(mask) == 1) return p.show_cost * distinct;
+  double px = model.ExpandProbability(static_cast<int>(distinct), counts);
+
+  double best = std::numeric_limits<double>::infinity();
+  // All subsets of mask \ {root}; filter to valid antichains.
+  SmallTreeMask candidates = mask & ~(SmallTreeMask{1} << root);
+  for (SmallTreeMask cut = candidates; cut; cut = (cut - 1) & candidates) {
+    if (!IsValidCut(tree, mask, cut)) continue;
+    double value = p.expand_cost;
+    SmallTreeMask upper = mask;
+    for (SmallTreeMask r = cut; r;) {
+      int u = __builtin_ctz(r);
+      r &= r - 1;
+      SmallTreeMask lower = mask & tree.SubtreeMask(u);
+      upper &= ~lower;
+      double lw = 0;
+      for (SmallTreeMask rr = lower; rr;) {
+        int v = __builtin_ctz(rr);
+        rr &= rr - 1;
+        lw += tree.node(v).explore_weight;
+      }
+      value += p.reveal_cost +
+               (weight > 0 ? lw / weight : 0) * BruteCost(tree, model, lower);
+    }
+    double uw = 0;
+    for (SmallTreeMask rr = upper; rr;) {
+      int v = __builtin_ctz(rr);
+      rr &= rr - 1;
+      uw += tree.node(v).explore_weight;
+    }
+    value += (weight > 0 ? uw / weight : 0) * BruteCost(tree, model, upper);
+    best = std::min(best, value);
+  }
+  return (1 - px) * p.show_cost * distinct + px * best;
+}
+
+// --- Tests -----------------------------------------------------------------
+
+TEST(OptEdgeCut, SingletonCostIsShowResults) {
+  ModelHolder m;
+  SmallTree t = BuildTree({-1}, {{0, 1, 2}}, 4);
+  OptEdgeCut opt(&t, &m.model);
+  EXPECT_DOUBLE_EQ(opt.ComponentCost(0b1), 3.0);
+  EXPECT_TRUE(opt.BestCut(0b1).empty());
+}
+
+TEST(OptEdgeCut, ChainHasOnlySingleEdgeCuts) {
+  ModelHolder m;
+  // Chain 0-1-2-3; each valid EdgeCut of the full component is one edge
+  // (any two edges of a chain share a root-leaf path).
+  SmallTree t = BuildTree({-1, 0, 1, 2}, {{0}, {1}, {2}, {3}}, 4);
+  OptEdgeCut opt(&t, &m.model);
+  opt.ComputeEntry(t.FullMask());
+  std::vector<int> cut = opt.BestCut(t.FullMask());
+  EXPECT_EQ(cut.size(), 1u);
+}
+
+TEST(OptEdgeCut, BestCutIsValidAntichainWithinMask) {
+  ModelHolder m;
+  SmallTree t = BuildTree({-1, 0, 0, 1, 1, 2, 2},
+                          {{0}, {1, 2}, {3, 4}, {1}, {2}, {3}, {4}}, 5, 7);
+  OptEdgeCut opt(&t, &m.model);
+  for (SmallTreeMask mask :
+       {t.FullMask(), static_cast<SmallTreeMask>(t.SubtreeMask(1)),
+        static_cast<SmallTreeMask>(t.SubtreeMask(2))}) {
+    const OptEdgeCut::Entry& e = opt.ComputeEntry(mask);
+    if (SmallTree::MaskSize(mask) >= 2) {
+      EXPECT_NE(e.best_cut, 0u);
+      EXPECT_TRUE(IsValidCut(t, mask, e.best_cut));
+    }
+  }
+}
+
+TEST(OptEdgeCut, MatchesBruteForceOnFixedTrees) {
+  ModelHolder m;
+  // Star.
+  {
+    SmallTree t = BuildTree({-1, 0, 0, 0},
+                            {{0, 1}, {1, 2}, {2, 3}, {0, 3}}, 4);
+    OptEdgeCut opt(&t, &m.model);
+    EXPECT_NEAR(opt.ComponentCost(t.FullMask()),
+                BruteCost(t, m.model, t.FullMask()), 1e-9);
+  }
+  // Chain.
+  {
+    SmallTree t = BuildTree({-1, 0, 1, 2}, {{0}, {0, 1}, {1, 2}, {2, 3}}, 4);
+    OptEdgeCut opt(&t, &m.model);
+    EXPECT_NEAR(opt.ComponentCost(t.FullMask()),
+                BruteCost(t, m.model, t.FullMask()), 1e-9);
+  }
+  // Mixed.
+  {
+    SmallTree t = BuildTree({-1, 0, 1, 1, 0, 4},
+                            {{0}, {1, 2}, {3}, {1, 3}, {0, 2}, {2}}, 4);
+    OptEdgeCut opt(&t, &m.model);
+    EXPECT_NEAR(opt.ComponentCost(t.FullMask()),
+                BruteCost(t, m.model, t.FullMask()), 1e-9);
+  }
+}
+
+class OptEdgeCutRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptEdgeCutRandomTest, MatchesBruteForceOnRandomTrees) {
+  Rng rng(GetParam());
+  ModelHolder m;
+  const int n = 2 + static_cast<int>(rng.Uniform(6));  // 2..7 nodes.
+  const size_t result_size = 6 + rng.Uniform(10);
+  std::vector<int> parents(static_cast<size_t>(n));
+  std::vector<std::vector<size_t>> citations(static_cast<size_t>(n));
+  parents[0] = -1;
+  for (int i = 1; i < n; ++i) {
+    parents[static_cast<size_t>(i)] = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    int k = 1 + static_cast<int>(rng.Uniform(4));
+    for (int j = 0; j < k; ++j) {
+      citations[static_cast<size_t>(i)].push_back(rng.Uniform(result_size));
+    }
+  }
+  SmallTree t = BuildTree(parents, citations, result_size, GetParam());
+  OptEdgeCut opt(&t, &m.model);
+  EXPECT_NEAR(opt.ComponentCost(t.FullMask()),
+              BruteCost(t, m.model, t.FullMask()), 1e-9);
+  // And for every subtree component.
+  for (int i = 1; i < n; ++i) {
+    SmallTreeMask mask = t.SubtreeMask(i);
+    EXPECT_NEAR(opt.ComponentCost(mask), BruteCost(t, m.model, mask), 1e-9)
+        << "subtree of node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptEdgeCutRandomTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(OptEdgeCut, MemoizationReusesEntries) {
+  ModelHolder m;
+  SmallTree t = BuildTree({-1, 0, 0, 1, 1}, {{0}, {1}, {2}, {3}, {0, 1}}, 4);
+  OptEdgeCut opt(&t, &m.model);
+  opt.ComputeEntry(t.FullMask());
+  size_t after_first = opt.memo_size();
+  EXPECT_GT(after_first, 1u);
+  opt.ComputeEntry(t.FullMask());
+  EXPECT_EQ(opt.memo_size(), after_first);  // Fully cached.
+}
+
+TEST(OptEdgeCut, BestCutNonEmptyEvenWhenExpandProbIsZero) {
+  ModelHolder m;
+  // Two nodes, a single citation each: distinct = 2 < lower threshold 10,
+  // so pX = 0 — yet the user can still click EXPAND and must get a cut.
+  SmallTree t = BuildTree({-1, 0}, {{0}, {1}}, 2);
+  OptEdgeCut opt(&t, &m.model);
+  const OptEdgeCut::Entry& e = opt.ComputeEntry(t.FullMask());
+  EXPECT_DOUBLE_EQ(e.expand_prob, 0.0);
+  EXPECT_EQ(opt.BestCut(t.FullMask()).size(), 1u);
+  // With pX = 0, the component's cost is its SHOWRESULTS cost.
+  EXPECT_DOUBLE_EQ(e.cost, 2.0);
+}
+
+TEST(OptEdgeCut, HigherExpandCostRevealsMore) {
+  // Section III: raising the EXPAND-action cost makes batched (larger)
+  // cuts relatively cheaper, so the chosen cut size grows (weakly).
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+
+  // Bushy tree with many duplicates and enough citations to trigger the
+  // entropy/threshold regimes.
+  std::vector<int> parents = {-1, 0, 0, 0, 1, 1, 2, 2, 3};
+  std::vector<std::vector<size_t>> cit = {
+      {0},          {1, 2, 3},    {4, 5, 6},  {7, 8, 9},  {1, 2},
+      {3, 10},      {4, 11},      {5, 6},     {7, 12}};
+  auto run = [&](double expand_cost) {
+    CostModelParams params;
+    params.expand_cost = expand_cost;
+    params.expand_lower_threshold = 0;
+    params.expand_upper_threshold = 2;  // Always expand.
+    CostModel model(nav.get(), params);
+    SmallTree t = BuildTree(parents, cit, 13);
+    OptEdgeCut opt(&t, &model);
+    return opt.BestCut(t.FullMask()).size();
+  };
+  EXPECT_LE(run(0.25), run(8.0));
+}
+
+TEST(OptEdgeCut, UnconditionalCostScalesByExploreProbability) {
+  ModelHolder m;
+  SmallTree t = BuildTree({-1, 0, 0}, {{0}, {1}, {2}}, 3);
+  OptEdgeCut opt(&t, &m.model);
+  const OptEdgeCut::Entry& e = opt.ComputeEntry(t.FullMask());
+  EXPECT_NEAR(opt.UnconditionalCost(t.FullMask()), e.explore_prob * e.cost,
+              1e-12);
+}
+
+TEST(OptEdgeCutDeath, EmptyMaskAborts) {
+  ModelHolder m;
+  SmallTree t = BuildTree({-1, 0}, {{0}, {1}}, 2);
+  OptEdgeCut opt(&t, &m.model);
+  EXPECT_DEATH(opt.ComputeEntry(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace bionav

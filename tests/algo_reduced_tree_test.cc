@@ -1,0 +1,109 @@
+#include "algo/reduced_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/opt_edgecut.h"
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+using ::bionav::testing::RandomInstance;
+
+/// A navigation tree whose root has `n` equal-weight children — every
+/// k-partition detachment threshold coincides, so the bound-growth loop
+/// can overshoot from many partitions straight to one (the regression this
+/// file guards).
+struct EqualChildrenFixture {
+  ConceptHierarchy mesh;
+  CitationStore store;
+  AssociationTable assoc{0};
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<NavigationTree> nav;
+
+  explicit EqualChildrenFixture(int n) {
+    std::vector<ConceptId> leaves;
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(
+          mesh.AddNode(ConceptHierarchy::kRoot, "c" + std::to_string(i)));
+    }
+    mesh.Freeze();
+    assoc = AssociationTable(mesh.size());
+    for (int i = 0; i < n; ++i) {
+      Citation c;
+      c.pmid = static_cast<uint64_t>(i + 1);
+      c.term_ids.push_back(store.InternTerm("q"));
+      CitationId id = store.Add(std::move(c));
+      assoc.Associate(id, leaves[static_cast<size_t>(i)],
+                      AssociationKind::kAnnotated);
+    }
+    index = std::make_unique<InvertedIndex>(store);
+    auto result = std::make_shared<const ResultSet>(index->Search("q"));
+    nav = std::make_unique<NavigationTree>(mesh, assoc, result);
+  }
+};
+
+TEST(ReduceComponent, SmallComponentIsLiteral) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel cost(nav.get());
+  ActiveTree active(nav.get());
+  auto reduced = ReduceComponent(active, cost, 0, kMaxSmallTreeNodes);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_EQ(reduced->tree.size(), static_cast<int>(nav->size()));
+  EXPECT_EQ(reduced->partition_rounds, 0);
+  for (int s : reduced->supernode_sizes) EXPECT_EQ(s, 1);
+}
+
+TEST(ReduceComponent, LargeComponentFitsBudget) {
+  RandomInstance inst(51, 500, 60);
+  CostModel cost(inst.nav.get());
+  ActiveTree active(inst.nav.get());
+  auto reduced = ReduceComponent(active, cost, 0, 10);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_GE(reduced->tree.size(), 2);
+  EXPECT_LE(reduced->tree.size(), 10);
+  // Supernode sizes cover the whole component.
+  int total = 0;
+  for (int s : reduced->supernode_sizes) total += s;
+  EXPECT_EQ(total, static_cast<int>(active.ComponentSize(0)));
+}
+
+TEST(ReduceComponent, EqualWeightChildrenOvershootRecovered) {
+  // 120 equal-weight children: the 1.3x growth overshoots the [2, 10]
+  // partition window; the binary search must still find a usable bound.
+  EqualChildrenFixture f(120);
+  CostModel cost(f.nav.get());
+  ActiveTree active(f.nav.get());
+  auto reduced = ReduceComponent(active, cost, 0, 10);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_GE(reduced->tree.size(), 2);
+  EXPECT_LE(reduced->tree.size(), kMaxSmallTreeNodes);
+
+  // And the full strategy issues a valid cut on such a component.
+  HeuristicReducedOpt strategy(&cost);
+  EdgeCut cut = strategy.ChooseEdgeCut(active, NavigationTree::kRoot);
+  EXPECT_TRUE(active.ValidateEdgeCut(NavigationTree::kRoot, cut).ok());
+}
+
+class ReduceComponentPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReduceComponentPropertyTest, StarSizesAlwaysReducible) {
+  // Stars of many sizes (including the pathological equal-weight ones).
+  int n = 12 + static_cast<int>(GetParam()) * 37;
+  EqualChildrenFixture f(n);
+  CostModel cost(f.nav.get());
+  ActiveTree active(f.nav.get());
+  auto reduced = ReduceComponent(active, cost, 0, 10);
+  ASSERT_TRUE(reduced.has_value()) << "n=" << n;
+  EXPECT_GE(reduced->tree.size(), 2);
+  EXPECT_LE(reduced->tree.size(), kMaxSmallTreeNodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceComponentPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,185 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nav_ = fixture_.BuildNav("prothymosin");
+    model_ = std::make_unique<CostModel>(nav_.get());
+  }
+
+  MiniFixture fixture_;
+  std::unique_ptr<NavigationTree> nav_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_F(CostModelTest, NodeWeightsAreSquaredOverGlobal) {
+  // proliferation: |L| = 3, |LT| = 4 -> w = 9/4.
+  NavNodeId prolif = nav_->NodeOfConcept(fixture_.proliferation);
+  EXPECT_DOUBLE_EQ(model_->NodeExploreWeight(prolif), 9.0 / 4.0);
+  // autophagy: |L| = 1, |LT| = 1 -> w = 1.
+  NavNodeId autop = nav_->NodeOfConcept(fixture_.autophagy);
+  EXPECT_DOUBLE_EQ(model_->NodeExploreWeight(autop), 1.0);
+}
+
+TEST_F(CostModelTest, NormalizationIsSumOfWeights) {
+  double sum = 0;
+  for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav_->size()); ++id) {
+    sum += model_->NodeExploreWeight(id);
+  }
+  EXPECT_DOUBLE_EQ(model_->normalization(), sum);
+  // The initial active tree (all nodes) has EXPLORE probability 1.
+  EXPECT_DOUBLE_EQ(model_->ExploreProbability(sum), 1.0);
+}
+
+TEST_F(CostModelTest, ExploreProbabilityClampsAndScales) {
+  double z = model_->normalization();
+  EXPECT_DOUBLE_EQ(model_->ExploreProbability(z / 2), 0.5);
+  EXPECT_DOUBLE_EQ(model_->ExploreProbability(0), 0.0);
+  EXPECT_DOUBLE_EQ(model_->ExploreProbability(2 * z), 1.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(model_->ExploreProbability(-1), 0.0);
+}
+
+TEST_F(CostModelTest, RootWeightIsZeroWithNoAttachments) {
+  EXPECT_DOUBLE_EQ(model_->NodeExploreWeight(NavigationTree::kRoot), 0.0);
+}
+
+TEST(ExpandProbability, SingletonIsZero) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel m(nav.get());
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(100, {100}), 0.0);
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(100, {}), 0.0);
+}
+
+TEST(ExpandProbability, ThresholdsPinToZeroAndOne) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel m(nav.get());
+  // Above the upper threshold (50): always expand.
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(51, {25, 26}), 1.0);
+  // Below the lower threshold (10): never expand.
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(9, {4, 5}), 0.0);
+}
+
+TEST(ExpandProbability, EntropyRegimeBetweenThresholds) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel m(nav.get());
+  // Uniform two-way split, no duplicates: entropy = 1, max = 1 -> p = 1.
+  EXPECT_NEAR(m.ExpandProbability(20, {10, 10}), 1.0, 1e-12);
+  // Skewed split: lower probability.
+  double skew = m.ExpandProbability(20, {19, 1});
+  EXPECT_GT(skew, 0.0);
+  EXPECT_LT(skew, 0.5);
+  // Duplicates can push the raw entropy above the duplicate-free maximum
+  // (3 members at p = 7/20 give H = 1.590 > log2 3); result is clamped.
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(20, {7, 7, 7}), 1.0);
+}
+
+TEST(ExpandProbability, ZeroCountMembersIgnoredInEntropy) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModel m(nav.get());
+  double with_zero = m.ExpandProbability(20, {10, 10, 0});
+  double without = m.ExpandProbability(20, {10, 10});
+  // The zero-count member contributes nothing to entropy but raises the
+  // maximum entropy (log2 3 vs log2 2), so p drops.
+  EXPECT_LT(with_zero, without);
+}
+
+TEST(MemberEntropy, MatchesManualComputation) {
+  // p = {0.5, 0.25, 0.25} -> H = 1.5 bits.
+  EXPECT_NEAR(CostModel::MemberEntropy(4, {2, 1, 1}), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(CostModel::MemberEntropy(0, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(CostModel::MemberEntropy(4, {4}), 0.0);
+}
+
+TEST(CostModelParams, CustomThresholds) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModelParams params;
+  params.expand_upper_threshold = 5;
+  params.expand_lower_threshold = 2;
+  CostModel m(nav.get(), params);
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(6, {3, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(m.ExpandProbability(1, {1, 1}), 0.0);
+}
+
+TEST(CostModelParams, ExploreWeightModes) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  NavNodeId prolif = nav->NodeOfConcept(f.proliferation);
+  // proliferation: |L| = 3, |LT| = 4.
+  {
+    CostModelParams p;
+    p.explore_weight_mode = ExploreWeightMode::kSquaredOverGlobal;
+    CostModel m(nav.get(), p);
+    EXPECT_DOUBLE_EQ(m.NodeExploreWeight(prolif), 9.0 / 4.0);
+  }
+  {
+    CostModelParams p;
+    p.explore_weight_mode = ExploreWeightMode::kCount;
+    CostModel m(nav.get(), p);
+    EXPECT_DOUBLE_EQ(m.NodeExploreWeight(prolif), 3.0);
+  }
+  {
+    CostModelParams p;
+    p.explore_weight_mode = ExploreWeightMode::kSelectivity;
+    CostModel m(nav.get(), p);
+    EXPECT_DOUBLE_EQ(m.NodeExploreWeight(prolif), 3.0 / 4.0);
+  }
+}
+
+TEST(CostModelParams, WeightModesKeepNormalizationLaw) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  for (ExploreWeightMode mode :
+       {ExploreWeightMode::kSquaredOverGlobal, ExploreWeightMode::kCount,
+        ExploreWeightMode::kSelectivity}) {
+    CostModelParams p;
+    p.explore_weight_mode = mode;
+    CostModel m(nav.get(), p);
+    double sum = 0;
+    for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav->size()); ++id) {
+      sum += m.NodeExploreWeight(id);
+    }
+    EXPECT_DOUBLE_EQ(m.normalization(), sum);
+    EXPECT_DOUBLE_EQ(m.ExploreProbability(sum), 1.0);
+  }
+}
+
+TEST(CostModelParams, GlobalCountFallback) {
+  // Hand-built navigation data without global counts must not divide by
+  // zero: |LT| falls back to |L|.
+  ConceptHierarchy mesh;
+  ConceptId a = mesh.AddNode(ConceptHierarchy::kRoot, "a");
+  mesh.Freeze();
+  CitationStore store;
+  Citation c;
+  c.pmid = 1;
+  c.term_ids.push_back(store.InternTerm("q"));
+  CitationId cid = store.Add(std::move(c));
+  AssociationTable assoc(mesh.size());
+  assoc.Associate(cid, a, AssociationKind::kAnnotated);
+  auto result = std::make_shared<const ResultSet>(std::vector<CitationId>{cid});
+  NavigationTree nav(mesh, assoc, result);
+  CostModel m(&nav);
+  NavNodeId node = nav.NodeOfConcept(a);
+  // |L| = 1, |LT| = 1 (the association table counted it) -> w = 1.
+  EXPECT_DOUBLE_EQ(m.NodeExploreWeight(node), 1.0);
+  EXPECT_GT(m.normalization(), 0.0);
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,86 @@
+#include "core/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+class JsonExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nav_ = fixture_.BuildNav("prothymosin");
+    model_ = std::make_unique<CostModel>(nav_.get());
+    active_ = std::make_unique<ActiveTree>(nav_.get());
+  }
+
+  MiniFixture fixture_;
+  std::unique_ptr<NavigationTree> nav_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<ActiveTree> active_;
+};
+
+TEST_F(JsonExportTest, InitialTreeIsSingleExpandableRoot) {
+  std::string json = VisualizationToJson(*active_, *model_);
+  EXPECT_EQ(json,
+            "{\"label\":\"MeSH\",\"count\":8,\"expandable\":true,"
+            "\"node\":0,\"children\":[]}");
+}
+
+TEST_F(JsonExportTest, RevealedConceptsAppearAsChildren) {
+  EdgeCut cut;
+  cut.cut_children = {nav_->NodeOfConcept(fixture_.death),
+                      nav_->NodeOfConcept(fixture_.proliferation)};
+  active_->ApplyEdgeCut(NavigationTree::kRoot, cut).status().CheckOK();
+  std::string json = VisualizationToJson(*active_, *model_);
+  EXPECT_NE(json.find("\"label\":\"Cell Death\",\"count\":4"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"Cell Proliferation\""),
+            std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(JsonExportTest, MaxDepthPrunesChildren) {
+  EdgeCut cut;
+  cut.cut_children = {nav_->NodeOfConcept(fixture_.death)};
+  active_->ApplyEdgeCut(NavigationTree::kRoot, cut).status().CheckOK();
+  std::string shallow = VisualizationToJson(*active_, *model_, 0);
+  EXPECT_EQ(shallow.find("Cell Death"), std::string::npos);
+  EXPECT_NE(shallow.find("\"label\":\"MeSH\""), std::string::npos);
+}
+
+TEST(SummariesToJson, FormatsList) {
+  std::vector<CitationSummary> summaries = {
+      {123, "Alpha \"quoted\"", 2008},
+      {456, "Beta", 1999},
+  };
+  EXPECT_EQ(SummariesToJson(summaries),
+            "[{\"pmid\":123,\"year\":2008,\"title\":\"Alpha "
+            "\\\"quoted\\\"\"},{\"pmid\":456,\"year\":1999,\"title\":"
+            "\"Beta\"}]");
+  EXPECT_EQ(SummariesToJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace bionav

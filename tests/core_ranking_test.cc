@@ -1,0 +1,151 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+class RankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nav_ = fixture_.BuildNav("prothymosin");
+    model_ = std::make_unique<CostModel>(nav_.get());
+    active_ = std::make_unique<ActiveTree>(nav_.get());
+  }
+
+  MiniFixture fixture_;
+  std::unique_ptr<NavigationTree> nav_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<ActiveTree> active_;
+};
+
+TEST_F(RankingTest, ComponentRelevanceSumsMemberWeights) {
+  // The initial single component's relevance is the whole normalization.
+  EXPECT_DOUBLE_EQ(ComponentRelevance(*active_, *model_, 0),
+                   model_->normalization());
+  // After a cut, lower + upper relevance still sum to the total.
+  EdgeCut cut;
+  cut.cut_children = {nav_->NodeOfConcept(fixture_.death)};
+  active_->ApplyEdgeCut(NavigationTree::kRoot, cut).status().CheckOK();
+  int lower = active_->ComponentOf(nav_->NodeOfConcept(fixture_.death));
+  EXPECT_NEAR(ComponentRelevance(*active_, *model_, 0) +
+                  ComponentRelevance(*active_, *model_, lower),
+              model_->normalization(), 1e-9);
+}
+
+TEST_F(RankingTest, VisualizeRankedOrdersSiblingsByRelevance) {
+  EdgeCut cut;
+  cut.cut_children = {nav_->NodeOfConcept(fixture_.death),
+                      nav_->NodeOfConcept(fixture_.proliferation),
+                      nav_->NodeOfConcept(fixture_.expression)};
+  active_->ApplyEdgeCut(NavigationTree::kRoot, cut).status().CheckOK();
+
+  ActiveTree::VisTree vis = VisualizeRanked(*active_, *model_);
+  const ActiveTree::VisNode& root = vis.nodes[0];
+  ASSERT_EQ(root.children.size(), 3u);
+  double prev = 1e300;
+  for (int child : root.children) {
+    double rel = ComponentRelevance(
+        *active_, *model_,
+        active_->ComponentOf(vis.nodes[static_cast<size_t>(child)].node));
+    EXPECT_LE(rel, prev);
+    prev = rel;
+  }
+}
+
+TEST_F(RankingTest, RankedRenderIsDeterministicAndComplete) {
+  EdgeCut cut;
+  cut.cut_children = {nav_->NodeOfConcept(fixture_.death),
+                      nav_->NodeOfConcept(fixture_.proliferation)};
+  active_->ApplyEdgeCut(NavigationTree::kRoot, cut).status().CheckOK();
+  std::string a = RenderAsciiRanked(*active_, *model_);
+  std::string b = RenderAsciiRanked(*active_, *model_);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("Cell Death"), std::string::npos);
+  EXPECT_NE(a.find("Cell Proliferation"), std::string::npos);
+  // Depth limiting prunes deeper lines.
+  std::string root_only = RenderAsciiRanked(*active_, *model_, 0);
+  EXPECT_EQ(root_only.find("Cell Death"), std::string::npos);
+  EXPECT_NE(root_only.find("MeSH"), std::string::npos);
+}
+
+TEST(RankCitations, MatchCountDominates) {
+  CitationStore store;
+  auto add = [&](uint64_t pmid, int year,
+                 const std::vector<std::string>& terms) {
+    Citation c;
+    c.pmid = pmid;
+    c.year = year;
+    for (const auto& t : terms) c.term_ids.push_back(store.InternTerm(t));
+    return store.Add(std::move(c));
+  };
+  CitationId both = add(1, 1990, {"prothymosin", "cancer"});
+  CitationId one_new = add(2, 2008, {"prothymosin"});
+  CitationId none = add(3, 2008, {"histone"});
+
+  auto ranked = RankCitations(store, {none, one_new, both},
+                              "prothymosin cancer");
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].id, both);      // 2 matches beat recency.
+  EXPECT_EQ(ranked[1].id, one_new);   // 1 match.
+  EXPECT_EQ(ranked[2].id, none);      // 0 matches.
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(RankCitations, RecencyBreaksTies) {
+  CitationStore store;
+  auto add = [&](uint64_t pmid, int year) {
+    Citation c;
+    c.pmid = pmid;
+    c.year = year;
+    c.term_ids.push_back(store.InternTerm("q"));
+    return store.Add(std::move(c));
+  };
+  CitationId old_cit = add(1, 1995);
+  CitationId new_cit = add(2, 2008);
+  auto ranked = RankCitations(store, {old_cit, new_cit}, "q");
+  EXPECT_EQ(ranked[0].id, new_cit);
+  EXPECT_EQ(ranked[1].id, old_cit);
+}
+
+TEST(RankCitations, DuplicateTermsCountedOnce) {
+  CitationStore store;
+  Citation a;
+  a.pmid = 1;
+  a.year = 2000;
+  int32_t t = store.InternTerm("q");
+  a.term_ids = {t, t, t};
+  CitationId spam = store.Add(std::move(a));
+  Citation b;
+  b.pmid = 2;
+  b.year = 2001;
+  b.term_ids = {store.LookupTerm("q")};
+  CitationId plain = store.Add(std::move(b));
+  auto ranked = RankCitations(store, {spam, plain}, "q");
+  // Same match count (1); newer wins.
+  EXPECT_EQ(ranked[0].id, plain);
+}
+
+TEST(RankCitations, UnknownQueryTermsIgnored) {
+  CitationStore store;
+  Citation c;
+  c.pmid = 1;
+  c.year = 2000;
+  c.term_ids.push_back(store.InternTerm("alpha"));
+  CitationId id = store.Add(std::move(c));
+  auto ranked = RankCitations(store, {id}, "neverseen alpha");
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_GE(ranked[0].score, 1.0);  // "alpha" still matches.
+}
+
+TEST(RankCitations, EmptyInput) {
+  CitationStore store;
+  EXPECT_TRUE(RankCitations(store, {}, "anything").empty());
+}
+
+}  // namespace
+}  // namespace bionav

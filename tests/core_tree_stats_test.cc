@@ -1,0 +1,79 @@
+#include "core/tree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+using ::bionav::testing::RandomInstance;
+
+TEST(TreeStats, MiniFixtureValues) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  NavigationTreeStats stats = ComputeTreeStats(*nav);
+  EXPECT_EQ(stats.result_citations, 8);
+  EXPECT_EQ(stats.tree_size, static_cast<int>(nav->size()));
+  EXPECT_EQ(stats.height, nav->Height());
+  EXPECT_EQ(stats.max_width, nav->MaxWidth());
+  EXPECT_EQ(stats.attachments_with_duplicates, 17);
+  EXPECT_GT(stats.max_fanout, 0);
+  EXPECT_NEAR(stats.mean_attachments_per_node,
+              17.0 / static_cast<double>(nav->size()), 1e-12);
+}
+
+TEST(TreeStats, EmptyResultTree) {
+  MiniFixture f;
+  auto nav = f.BuildNav("nosuchterm");
+  NavigationTreeStats stats = ComputeTreeStats(*nav);
+  EXPECT_EQ(stats.result_citations, 0);
+  EXPECT_EQ(stats.tree_size, 1);
+  EXPECT_EQ(stats.height, 0);
+  EXPECT_EQ(stats.max_width, 1);
+  EXPECT_EQ(stats.attachments_with_duplicates, 0);
+  EXPECT_EQ(stats.max_fanout, 0);
+}
+
+TEST(TreeStats, TargetStatsInTree) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  TargetConceptStats t = ComputeTargetStats(*nav, f.proliferation);
+  EXPECT_TRUE(t.in_navigation_tree);
+  EXPECT_EQ(t.mesh_level, 4);  // root->bio->physio->growth->proliferation.
+  EXPECT_EQ(t.attached_in_result, 3);
+  EXPECT_EQ(t.global_count, 4);
+  EXPECT_NEAR(t.selectivity, 0.75, 1e-12);
+}
+
+TEST(TreeStats, TargetStatsOutsideTree) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  TargetConceptStats t = ComputeTargetStats(*nav, f.genetic);
+  EXPECT_FALSE(t.in_navigation_tree);
+  EXPECT_EQ(t.attached_in_result, 0);
+  EXPECT_EQ(t.global_count, 0);
+  EXPECT_EQ(t.mesh_level, 1);
+}
+
+class TreeStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeStatsPropertyTest, ConsistentWithTreeAccessors) {
+  RandomInstance inst(GetParam(), 350, 45);
+  NavigationTreeStats stats = ComputeTreeStats(*inst.nav);
+  EXPECT_EQ(stats.tree_size, static_cast<int>(inst.nav->size()));
+  EXPECT_EQ(stats.height, inst.nav->Height());
+  EXPECT_EQ(stats.max_width, inst.nav->MaxWidth());
+  EXPECT_EQ(stats.attachments_with_duplicates,
+            inst.nav->TotalAttachedWithDuplicates());
+  EXPECT_GE(stats.attachments_with_duplicates, stats.result_citations);
+  EXPECT_LE(stats.max_width, stats.tree_size);
+  EXPECT_LT(stats.height, stats.tree_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeStatsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,96 @@
+#include "hierarchy/hierarchy_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+TEST(HierarchyGenerator, HitsTargetSize) {
+  HierarchyGeneratorOptions o;
+  o.target_nodes = 5000;
+  ConceptHierarchy h = GenerateMeshLikeHierarchy(o);
+  EXPECT_GE(h.size(), 5000u);
+  EXPECT_LE(h.size(), 5010u);
+  EXPECT_TRUE(h.frozen());
+}
+
+TEST(HierarchyGenerator, CategoriesAtDepthOne) {
+  HierarchyGeneratorOptions o;
+  o.target_nodes = 2000;
+  o.num_categories = 16;
+  ConceptHierarchy h = GenerateMeshLikeHierarchy(o);
+  EXPECT_EQ(h.children(ConceptHierarchy::kRoot).size(), 16u);
+  EXPECT_EQ(h.FindByLabel("Diseases"),
+            h.children(ConceptHierarchy::kRoot)[2]);
+}
+
+TEST(HierarchyGenerator, RespectsMaxDepth) {
+  HierarchyGeneratorOptions o;
+  o.target_nodes = 20000;
+  o.max_depth = 6;
+  ConceptHierarchy h = GenerateMeshLikeHierarchy(o);
+  EXPECT_LE(h.height(), 6);
+}
+
+TEST(HierarchyGenerator, DeterministicPerSeed) {
+  HierarchyGeneratorOptions o;
+  o.target_nodes = 1000;
+  o.seed = 5;
+  ConceptHierarchy a = GenerateMeshLikeHierarchy(o);
+  ConceptHierarchy b = GenerateMeshLikeHierarchy(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (ConceptId id = 0; id < static_cast<ConceptId>(a.size()); ++id) {
+    EXPECT_EQ(a.parent(id), b.parent(id));
+    EXPECT_EQ(a.label(id), b.label(id));
+  }
+  o.seed = 6;
+  ConceptHierarchy c = GenerateMeshLikeHierarchy(o);
+  bool differs = c.size() != a.size();
+  for (ConceptId id = 0; !differs && id < static_cast<ConceptId>(
+                                          std::min(a.size(), c.size()));
+       ++id) {
+    differs = a.parent(id) != c.parent(id);
+  }
+  EXPECT_TRUE(differs);
+}
+
+class GeneratorShapeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorShapeTest, MeshLikeShapeStatistics) {
+  HierarchyGeneratorOptions o;
+  o.seed = GetParam();
+  o.target_nodes = 12000;
+  ConceptHierarchy h = GenerateMeshLikeHierarchy(o);
+
+  // Depth histogram peaks in the middle levels (MeSH-like), not at the
+  // extremes; the tree has meaningful depth.
+  const std::vector<int>& w = h.LevelWidths();
+  ASSERT_GE(w.size(), 6u);
+  int peak_depth = 0;
+  for (size_t d = 0; d < w.size(); ++d) {
+    if (w[d] > w[static_cast<size_t>(peak_depth)]) {
+      peak_depth = static_cast<int>(d);
+    }
+  }
+  EXPECT_GE(peak_depth, 3);
+  EXPECT_LE(peak_depth, 7);
+  EXPECT_GE(h.height(), 6);
+
+  // The upper levels are bushy: some node has a large fanout.
+  size_t max_fanout = 0;
+  h.PreOrder([&](ConceptId id) {
+    max_fanout = std::max(max_fanout, h.children(id).size());
+  });
+  EXPECT_GE(max_fanout, 20u);
+
+  // Structural sanity: every non-root node's parent is shallower.
+  for (ConceptId id = 1; id < static_cast<ConceptId>(h.size()); ++id) {
+    EXPECT_EQ(h.depth(id), h.depth(h.parent(id)) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorShapeTest,
+                         ::testing::Values(1, 2, 3, 2009));
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,138 @@
+#include "hierarchy/hierarchy_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy_generator.h"
+
+namespace bionav {
+namespace {
+
+ConceptHierarchy MakeSample() {
+  ConceptHierarchy h;
+  ConceptId a = h.AddNode(ConceptHierarchy::kRoot, "Anatomy");
+  h.AddNode(a, "Body Regions");
+  ConceptId d = h.AddNode(ConceptHierarchy::kRoot, "Diseases");
+  ConceptId n = h.AddNode(d, "Neoplasms");
+  h.AddNode(n, "Neoplasms by Site");
+  h.Freeze();
+  return h;
+}
+
+TEST(HierarchyIO, WriteProducesOneLinePerNode) {
+  ConceptHierarchy h = MakeSample();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteHierarchy(h, &out).ok());
+  std::string text = out.str();
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, h.size());
+  EXPECT_NE(text.find("\tNeoplasms\n"), std::string::npos);
+}
+
+TEST(HierarchyIO, WriteRequiresFrozen) {
+  ConceptHierarchy h;
+  h.AddNode(ConceptHierarchy::kRoot, "a");
+  std::ostringstream out;
+  EXPECT_EQ(WriteHierarchy(h, &out).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyIO, RoundTripPreservesStructureAndLabels) {
+  ConceptHierarchy h = MakeSample();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteHierarchy(h, &out).ok());
+
+  std::istringstream in(out.str());
+  auto r = ReadHierarchy(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ConceptHierarchy& h2 = r.ValueOrDie();
+
+  ASSERT_EQ(h2.size(), h.size());
+  for (ConceptId id = 0; id < static_cast<ConceptId>(h.size()); ++id) {
+    EXPECT_EQ(h2.label(id), h.label(id));
+    EXPECT_EQ(h2.parent(id), h.parent(id));
+    EXPECT_EQ(h2.tree_number(id).ToString(), h.tree_number(id).ToString());
+  }
+
+  // Idempotence: writing the parsed hierarchy reproduces the bytes.
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteHierarchy(h2, &out2).ok());
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(HierarchyIO, RoundTripGeneratedHierarchy) {
+  HierarchyGeneratorOptions o;
+  o.target_nodes = 800;
+  ConceptHierarchy h = GenerateMeshLikeHierarchy(o);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteHierarchy(h, &out).ok());
+  std::istringstream in(out.str());
+  auto r = ReadHierarchy(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().size(), h.size());
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteHierarchy(r.ValueOrDie(), &out2).ok());
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(HierarchyIO, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# MeSH-like dump\n"
+      "\n"
+      "\tMeSH\n"
+      "A01\tAnatomy\n"
+      "  \n"
+      "A01.001\tBody Regions\n");
+  auto r = ReadHierarchy(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);
+  EXPECT_NE(r.ValueOrDie().FindByLabel("Body Regions"), kInvalidConcept);
+}
+
+TEST(HierarchyIO, RejectsMissingTab) {
+  std::istringstream in("A01 Anatomy\n");
+  auto r = ReadHierarchy(&in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyIO, RejectsOrphanNode) {
+  std::istringstream in("A01.001\tBody Regions\n");
+  auto r = ReadHierarchy(&in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("parent tree number"),
+            std::string::npos);
+}
+
+TEST(HierarchyIO, RejectsDuplicateTreeNumber) {
+  std::istringstream in(
+      "A01\tAnatomy\n"
+      "A01\tAnatomy Again\n");
+  auto r = ReadHierarchy(&in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(HierarchyIO, RejectsBadTreeNumber) {
+  std::istringstream in("A0x\tAnatomy\n");
+  EXPECT_FALSE(ReadHierarchy(&in).ok());
+}
+
+TEST(HierarchyIO, FileRoundTrip) {
+  ConceptHierarchy h = MakeSample();
+  std::string path = ::testing::TempDir() + "/bionav_hierarchy_test.tsv";
+  ASSERT_TRUE(WriteHierarchyToFile(h, path).ok());
+  auto r = ReadHierarchyFromFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().size(), h.size());
+}
+
+TEST(HierarchyIO, MissingFileIsIOError) {
+  auto r = ReadHierarchyFromFile("/nonexistent/path/x.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace bionav

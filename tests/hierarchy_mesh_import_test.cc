@@ -1,0 +1,149 @@
+#include "hierarchy/mesh_import.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+constexpr char kSample[] =
+    "Body Regions;A01\n"
+    "Neoplasms;C04\n"
+    "Neoplasms by Site;C04.588\n"
+    "Breast Neoplasms;C04.588.180\n"
+    "Apoptosis;G04.299.139.500\n"
+    "Cell Death;G04.299.139\n"
+    "Apoptosis;C04.588.999\n";  // Polyhierarchy: Apoptosis twice.
+
+TEST(MeshImport, ParsesSampleTree) {
+  std::istringstream in(kSample);
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MeshImportResult& m = r.ValueOrDie();
+
+  EXPECT_EQ(m.stats.lines, 7u);
+  EXPECT_TRUE(m.hierarchy.frozen());
+  // Nodes: 7 labeled + implicit G04 and G04.299 = 9 (plus the root).
+  EXPECT_EQ(m.stats.nodes_created, 9u);
+  EXPECT_EQ(m.stats.implicit_parents, 2u);
+  EXPECT_EQ(m.stats.polyhierarchy_labels, 1u);
+  EXPECT_EQ(m.hierarchy.size(), 10u);
+}
+
+TEST(MeshImport, StructureFollowsTreeNumbers) {
+  std::istringstream in(kSample);
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  const MeshImportResult& m = r.ValueOrDie();
+
+  ConceptId c04 = m.by_mesh_tree_number.at("C04");
+  ConceptId by_site = m.by_mesh_tree_number.at("C04.588");
+  ConceptId breast = m.by_mesh_tree_number.at("C04.588.180");
+  EXPECT_EQ(m.hierarchy.parent(c04), ConceptHierarchy::kRoot);
+  EXPECT_EQ(m.hierarchy.parent(by_site), c04);
+  EXPECT_EQ(m.hierarchy.parent(breast), by_site);
+  EXPECT_EQ(m.hierarchy.label(breast), "Breast Neoplasms");
+  EXPECT_EQ(m.hierarchy.depth(breast), 3);
+}
+
+TEST(MeshImport, ImplicitParentsLabelledWithTreeNumber) {
+  std::istringstream in(kSample);
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  const MeshImportResult& m = r.ValueOrDie();
+  ConceptId g04 = m.by_mesh_tree_number.at("G04");
+  EXPECT_EQ(m.hierarchy.label(g04), "G04");
+  ConceptId g04299 = m.by_mesh_tree_number.at("G04.299");
+  EXPECT_EQ(m.hierarchy.parent(g04299), g04);
+  // The labeled descendant hangs correctly below them.
+  ConceptId death = m.by_mesh_tree_number.at("G04.299.139");
+  EXPECT_EQ(m.hierarchy.label(death), "Cell Death");
+}
+
+TEST(MeshImport, PolyhierarchyBecomesTwoNodes) {
+  std::istringstream in(kSample);
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  const MeshImportResult& m = r.ValueOrDie();
+  ConceptId a1 = m.by_mesh_tree_number.at("G04.299.139.500");
+  ConceptId a2 = m.by_mesh_tree_number.at("C04.588.999");
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(m.hierarchy.label(a1), "Apoptosis");
+  EXPECT_EQ(m.hierarchy.label(a2), "Apoptosis");
+}
+
+TEST(MeshImport, OrderIndependent) {
+  // Same content shuffled: children listed before parents.
+  std::istringstream in(
+      "Breast Neoplasms;C04.588.180\n"
+      "Neoplasms;C04\n"
+      "Neoplasms by Site;C04.588\n");
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MeshImportResult& m = r.ValueOrDie();
+  EXPECT_EQ(m.stats.implicit_parents, 0u);
+  EXPECT_EQ(m.hierarchy.parent(m.by_mesh_tree_number.at("C04.588.180")),
+            m.by_mesh_tree_number.at("C04.588"));
+}
+
+TEST(MeshImport, SkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# MeSH 2008\n"
+      "\n"
+      "Neoplasms;C04\n");
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().stats.lines, 1u);
+}
+
+TEST(MeshImport, LabelWithSemicolonSplitsOnLast) {
+  std::istringstream in("Receptors; Cell Surface;D12.776\n");
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MeshImportResult& m = r.ValueOrDie();
+  EXPECT_EQ(m.hierarchy.label(m.by_mesh_tree_number.at("D12.776")),
+            "Receptors; Cell Surface");
+}
+
+TEST(MeshImport, RejectsMalformed) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return ImportMeshTreeFile(&in);
+  };
+  EXPECT_FALSE(parse("no separator line\n").ok());
+  EXPECT_FALSE(parse(";C04\n").ok());               // Empty label.
+  EXPECT_FALSE(parse("Neoplasms;\n").ok());         // Empty tree number.
+  EXPECT_FALSE(parse("Neoplasms;C0x\n").ok());      // Bad tree number.
+  EXPECT_FALSE(parse("A;C04\nB;C04\n").ok());       // Duplicate number.
+}
+
+TEST(MeshImport, EmptyInputYieldsRootOnly) {
+  std::istringstream in("");
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().hierarchy.size(), 1u);
+}
+
+TEST(MeshImport, MissingFileIsIOError) {
+  auto r = ImportMeshTreeFileFromPath("/nonexistent/mtrees2008.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(MeshImport, ImportedHierarchyDrivesNavigation) {
+  // The imported hierarchy is a regular ConceptHierarchy: ancestor tests
+  // and traversals work.
+  std::istringstream in(kSample);
+  auto r = ImportMeshTreeFile(&in);
+  ASSERT_TRUE(r.ok());
+  const MeshImportResult& m = r.ValueOrDie();
+  ConceptId c04 = m.by_mesh_tree_number.at("C04");
+  ConceptId breast = m.by_mesh_tree_number.at("C04.588.180");
+  EXPECT_TRUE(m.hierarchy.IsAncestorOrSelf(c04, breast));
+  EXPECT_FALSE(m.hierarchy.IsAncestorOrSelf(breast, c04));
+  EXPECT_EQ(m.hierarchy.Subtree(c04).size(), 4u);
+}
+
+}  // namespace
+}  // namespace bionav

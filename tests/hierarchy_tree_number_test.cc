@@ -1,0 +1,104 @@
+#include "hierarchy/tree_number.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+TEST(TreeNumber, ParseEmptyIsRoot) {
+  auto r = TreeNumber::Parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().IsRoot());
+  EXPECT_EQ(r.ValueOrDie().Depth(), 0u);
+  EXPECT_EQ(r.ValueOrDie().ToString(), "");
+}
+
+TEST(TreeNumber, ParseMeshStyle) {
+  auto r = TreeNumber::Parse("C04.557.337");
+  ASSERT_TRUE(r.ok());
+  const TreeNumber& tn = r.ValueOrDie();
+  EXPECT_EQ(tn.Depth(), 3u);
+  EXPECT_EQ(tn.components()[0], "C04");
+  EXPECT_EQ(tn.ToString(), "C04.557.337");
+}
+
+TEST(TreeNumber, ParseRejectsMalformed) {
+  EXPECT_FALSE(TreeNumber::Parse("C04..337").ok());   // Empty component.
+  EXPECT_FALSE(TreeNumber::Parse("C04.xyz").ok());    // Letters mid-path.
+  EXPECT_FALSE(TreeNumber::Parse("C").ok());          // Category, no digits.
+  EXPECT_FALSE(TreeNumber::Parse("04.C57").ok());     // Letter not leading.
+  EXPECT_FALSE(TreeNumber::Parse(".").ok());
+}
+
+TEST(TreeNumber, CategoryLetterOnlyOnFirstComponent) {
+  EXPECT_TRUE(TreeNumber::Parse("A01.047").ok());
+  EXPECT_FALSE(TreeNumber::Parse("047.A01").ok());
+}
+
+TEST(TreeNumber, ChildAppendsComponent) {
+  TreeNumber root = TreeNumber::Root();
+  TreeNumber a = root.Child("A01");
+  TreeNumber b = a.Child("047");
+  EXPECT_EQ(b.ToString(), "A01.047");
+  EXPECT_EQ(b.Depth(), 2u);
+  // Parents unchanged (value semantics).
+  EXPECT_EQ(a.ToString(), "A01");
+}
+
+TEST(TreeNumber, ParentInvertsChild) {
+  TreeNumber tn = TreeNumber::Parse("C04.557.337").ValueOrDie();
+  EXPECT_EQ(tn.Parent().ToString(), "C04.557");
+  EXPECT_EQ(tn.Parent().Parent().ToString(), "C04");
+  EXPECT_TRUE(tn.Parent().Parent().Parent().IsRoot());
+}
+
+TEST(TreeNumberDeath, ParentOfRootAborts) {
+  EXPECT_DEATH(TreeNumber::Root().Parent(), "root tree number");
+}
+
+TEST(TreeNumber, AncestorRelations) {
+  TreeNumber root = TreeNumber::Root();
+  TreeNumber a = TreeNumber::Parse("C04").ValueOrDie();
+  TreeNumber ab = TreeNumber::Parse("C04.557").ValueOrDie();
+  TreeNumber ac = TreeNumber::Parse("C04.600").ValueOrDie();
+  TreeNumber other = TreeNumber::Parse("D12").ValueOrDie();
+
+  EXPECT_TRUE(root.IsAncestorOrSelf(a));
+  EXPECT_TRUE(root.IsAncestorOrSelf(root));
+  EXPECT_TRUE(a.IsAncestorOrSelf(ab));
+  EXPECT_TRUE(a.IsAncestorOrSelf(a));
+  EXPECT_FALSE(ab.IsAncestorOrSelf(a));
+  EXPECT_FALSE(ab.IsAncestorOrSelf(ac));
+  EXPECT_FALSE(a.IsAncestorOrSelf(other));
+
+  EXPECT_TRUE(a.IsProperAncestor(ab));
+  EXPECT_FALSE(a.IsProperAncestor(a));
+}
+
+TEST(TreeNumber, PrefixNamesAreNotAncestors) {
+  // "C04.55" is not an ancestor of "C04.557": component-wise, not textual.
+  TreeNumber a = TreeNumber::Parse("C04.55").ValueOrDie();
+  TreeNumber b = TreeNumber::Parse("C04.557").ValueOrDie();
+  EXPECT_FALSE(a.IsAncestorOrSelf(b));
+}
+
+TEST(TreeNumber, OrderingAndEquality) {
+  TreeNumber a = TreeNumber::Parse("A01").ValueOrDie();
+  TreeNumber b = TreeNumber::Parse("A02").ValueOrDie();
+  TreeNumber a2 = TreeNumber::Parse("A01").ValueOrDie();
+  EXPECT_TRUE(a == a2);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(TreeNumber::Root() < a);
+}
+
+TEST(TreeNumber, ParseToStringRoundTrip) {
+  for (const char* text : {"", "A01", "C04.557.337", "Z99.001.002.003.004"}) {
+    auto r = TreeNumber::Parse(text);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_EQ(r.ValueOrDie().ToString(), text);
+  }
+}
+
+}  // namespace
+}  // namespace bionav

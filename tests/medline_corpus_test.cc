@@ -1,0 +1,194 @@
+#include "medline/corpus_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy_generator.h"
+
+namespace bionav {
+namespace {
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HierarchyGeneratorOptions hopts;
+    hopts.seed = 3;
+    hopts.target_nodes = 1500;
+    hopts.num_categories = 8;
+    hierarchy_ = GenerateMeshLikeHierarchy(hopts);
+
+    QuerySpec a;
+    a.name = "alpha";
+    a.keyword = "alphaterm";
+    a.result_size = 60;
+    a.target_depth = 4;
+    a.num_themes = 3;
+
+    QuerySpec b;
+    b.name = "beta";
+    b.keyword = "beta query";  // Two tokens.
+    b.result_size = 40;
+    b.target_depth = 3;
+    b.num_themes = 2;
+    b.target_global_extra = 200;
+
+    CorpusGeneratorOptions copts;
+    copts.seed = 99;
+    copts.background_citations = 1000;
+    corpus_ = GenerateCorpus(hierarchy_, {a, b}, copts);
+  }
+
+  ConceptHierarchy hierarchy_;
+  std::unique_ptr<SyntheticCorpus> corpus_;
+};
+
+TEST_F(CorpusTest, QueriesRealizedWithRequestedSizes) {
+  ASSERT_EQ(corpus_->queries.size(), 2u);
+  EXPECT_EQ(corpus_->queries[0].result.size(), 60u);
+  EXPECT_EQ(corpus_->queries[1].result.size(), 40u);
+}
+
+TEST_F(CorpusTest, ESearchReturnsExactlyTheGeneratedResult) {
+  for (const GeneratedQuery& q : corpus_->queries) {
+    std::vector<CitationId> found = corpus_->index->Search(q.spec.keyword);
+    std::vector<CitationId> expected = q.result;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(found, expected) << q.spec.name;
+  }
+}
+
+TEST_F(CorpusTest, ResultSetsOfDifferentQueriesDisjoint) {
+  std::set<CitationId> a(corpus_->queries[0].result.begin(),
+                         corpus_->queries[0].result.end());
+  for (CitationId id : corpus_->queries[1].result) {
+    EXPECT_FALSE(a.count(id));
+  }
+}
+
+TEST_F(CorpusTest, TargetConceptAtRequestedDepth) {
+  EXPECT_EQ(hierarchy_.depth(corpus_->queries[0].target), 4);
+  EXPECT_EQ(hierarchy_.depth(corpus_->queries[1].target), 3);
+}
+
+TEST_F(CorpusTest, TargetHasAttachedResultCitations) {
+  for (const GeneratedQuery& q : corpus_->queries) {
+    int attached = 0;
+    for (CitationId id : q.result) {
+      const auto& concepts = corpus_->associations.ConceptsOf(id);
+      attached += std::count(concepts.begin(), concepts.end(), q.target);
+    }
+    EXPECT_GT(attached, 0) << q.spec.name;
+  }
+}
+
+TEST_F(CorpusTest, TargetGlobalExtraInflatesGlobalCount) {
+  const GeneratedQuery& b = corpus_->queries[1];
+  EXPECT_GE(corpus_->associations.GlobalCount(b.target), 200);
+}
+
+TEST_F(CorpusTest, EveryResultCitationHasAnnotations) {
+  for (const GeneratedQuery& q : corpus_->queries) {
+    for (CitationId id : q.result) {
+      EXPECT_FALSE(corpus_->associations.ConceptsOf(id).empty());
+    }
+  }
+}
+
+TEST_F(CorpusTest, GlobalCountsAreAtLeastResultCounts) {
+  // |LT(n)| >= |L(n)| for every concept: the result citations are part of
+  // the corpus.
+  const GeneratedQuery& q = corpus_->queries[0];
+  std::set<CitationId> result(q.result.begin(), q.result.end());
+  std::vector<int64_t> local(hierarchy_.size(), 0);
+  for (CitationId id : q.result) {
+    for (ConceptId c : corpus_->associations.ConceptsOf(id)) {
+      local[static_cast<size_t>(c)]++;
+    }
+  }
+  for (size_t c = 0; c < hierarchy_.size(); ++c) {
+    EXPECT_LE(local[c], corpus_->associations.GlobalCount(
+                            static_cast<ConceptId>(c)));
+  }
+}
+
+TEST_F(CorpusTest, ThemesAreUnrelatedSubtrees) {
+  for (const GeneratedQuery& q : corpus_->queries) {
+    for (size_t i = 0; i < q.themes.size(); ++i) {
+      for (size_t j = i + 1; j < q.themes.size(); ++j) {
+        EXPECT_FALSE(hierarchy_.IsAncestorOrSelf(q.themes[i], q.themes[j]));
+        EXPECT_FALSE(hierarchy_.IsAncestorOrSelf(q.themes[j], q.themes[i]));
+      }
+    }
+  }
+}
+
+TEST_F(CorpusTest, DeterministicForSameSeed) {
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = 3;
+  hopts.target_nodes = 1500;
+  hopts.num_categories = 8;
+  ConceptHierarchy h2 = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec a;
+  a.name = "alpha";
+  a.keyword = "alphaterm";
+  a.result_size = 60;
+  a.target_depth = 4;
+  a.num_themes = 3;
+  QuerySpec b;
+  b.name = "beta";
+  b.keyword = "beta query";
+  b.result_size = 40;
+  b.target_depth = 3;
+  b.num_themes = 2;
+  b.target_global_extra = 200;
+  CorpusGeneratorOptions copts;
+  copts.seed = 99;
+  copts.background_citations = 1000;
+  auto corpus2 = GenerateCorpus(h2, {a, b}, copts);
+
+  EXPECT_EQ(corpus2->store.size(), corpus_->store.size());
+  EXPECT_EQ(corpus2->queries[0].target, corpus_->queries[0].target);
+  EXPECT_EQ(corpus2->queries[0].result, corpus_->queries[0].result);
+  EXPECT_EQ(corpus2->associations.TotalPairs(),
+            corpus_->associations.TotalPairs());
+}
+
+TEST_F(CorpusTest, SmallHierarchyFallsBackToAvailableDepth) {
+  // A 10-node hierarchy cannot host a depth-6 target; the generator must
+  // fall back instead of aborting.
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = 1;
+  hopts.target_nodes = 10;
+  hopts.num_categories = 3;
+  ConceptHierarchy tiny = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec s;
+  s.name = "t";
+  s.keyword = "t";
+  s.result_size = 15;
+  s.target_depth = 6;
+  CorpusGeneratorOptions copts;
+  copts.seed = 5;
+  copts.background_citations = 50;
+  auto corpus = GenerateCorpus(tiny, {s}, copts);
+  EXPECT_NE(corpus->queries[0].target, kInvalidConcept);
+  EXPECT_NE(corpus->queries[0].target, ConceptHierarchy::kRoot);
+}
+
+TEST_F(CorpusTest, MakeClientServesESummary) {
+  EUtilsClient client = corpus_->MakeClient();
+  const GeneratedQuery& q = corpus_->queries[0];
+  std::vector<CitationId> ids(q.result.begin(), q.result.begin() + 3);
+  std::vector<CitationSummary> summaries = client.ESummary(ids);
+  ASSERT_EQ(summaries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(summaries[i].pmid, corpus_->store.Get(ids[i]).pmid);
+    EXPECT_FALSE(summaries[i].title.empty());
+  }
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,222 @@
+#include "medline/bionav_database.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy_generator.h"
+#include "sim/session.h"
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+ConceptHierarchy MakeHierarchy() {
+  ConceptHierarchy h;
+  ConceptId d = h.AddNode(ConceptHierarchy::kRoot, "Diseases");
+  ConceptId n = h.AddNode(d, "Neoplasms");
+  h.AddNode(n, "Breast Neoplasms");
+  ConceptId c = h.AddNode(ConceptHierarchy::kRoot, "Chemicals");
+  h.AddNode(c, "Proteins");
+  h.Freeze();
+  return h;
+}
+
+std::vector<CitationSourceRecord> MakeRecords(const ConceptHierarchy& h) {
+  auto tn = [&](const char* label) {
+    ConceptId id = h.FindByLabel(label);
+    EXPECT_NE(id, kInvalidConcept) << label;
+    return h.tree_number(id).ToString();
+  };
+  std::vector<CitationSourceRecord> records;
+  {
+    CitationSourceRecord r;
+    r.pmid = 11;
+    r.year = 2001;
+    r.title = "Prothymosin in breast cancer";
+    r.terms = {"prothymosin", "cancer"};
+    r.annotated_tree_numbers = {tn("Breast Neoplasms"), tn("Neoplasms")};
+    r.indexed_tree_numbers = {tn("Proteins")};
+    records.push_back(r);
+  }
+  {
+    CitationSourceRecord r;
+    r.pmid = 12;
+    r.year = 2005;
+    r.title = "Protein survey\twith a tab";
+    r.terms = {"prothymosin"};
+    r.annotated_tree_numbers = {tn("Proteins")};
+    records.push_back(r);
+  }
+  {
+    CitationSourceRecord r;
+    r.pmid = 13;
+    r.year = 1999;
+    r.title = "Unrelated cardiology";
+    r.terms = {"heart"};
+    r.annotated_tree_numbers = {tn("Diseases")};
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(BioNavDatabase, BuildIngestsRecords) {
+  ConceptHierarchy h = MakeHierarchy();
+  auto records = MakeRecords(h);
+  auto db = BioNavDatabase::Build(std::move(h), records);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const BioNavDatabase& d = *db.ValueOrDie();
+
+  EXPECT_EQ(d.store().size(), 3u);
+  EXPECT_EQ(d.associations().TotalPairs(), 5);
+  ConceptId proteins = d.hierarchy().FindByLabel("Proteins");
+  EXPECT_EQ(d.associations().GlobalCount(proteins), 2);
+
+  // ESearch via the facade.
+  EUtilsClient client = d.MakeClient();
+  EXPECT_EQ(client.ESearch("prothymosin").size(), 2u);
+  EXPECT_EQ(client.ESearch("prothymosin cancer").size(), 1u);
+}
+
+TEST(BioNavDatabase, BuildRejectsUnknownTreeNumber) {
+  ConceptHierarchy h = MakeHierarchy();
+  CitationSourceRecord r;
+  r.pmid = 1;
+  r.year = 2000;
+  r.title = "x";
+  r.annotated_tree_numbers = {"Z99.999"};
+  auto db = BioNavDatabase::Build(std::move(h), {r});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BioNavDatabase, BuildRejectsDuplicatePmid) {
+  ConceptHierarchy h = MakeHierarchy();
+  CitationSourceRecord r;
+  r.pmid = 7;
+  r.year = 2000;
+  r.title = "x";
+  auto db = BioNavDatabase::Build(std::move(h), {r, r});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BioNavDatabase, BuildRequiresFrozenHierarchy) {
+  ConceptHierarchy h;
+  h.AddNode(ConceptHierarchy::kRoot, "a");
+  auto db = BioNavDatabase::Build(std::move(h), {});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BioNavDatabase, SaveLoadRoundTrip) {
+  ConceptHierarchy h = MakeHierarchy();
+  auto records = MakeRecords(h);
+  auto db = BioNavDatabase::Build(std::move(h), records);
+  ASSERT_TRUE(db.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(db.ValueOrDie()->Save(&out).ok());
+
+  std::istringstream in(out.str());
+  auto loaded = BioNavDatabase::Load(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const BioNavDatabase& d = *loaded.ValueOrDie();
+
+  EXPECT_EQ(d.hierarchy().size(), db.ValueOrDie()->hierarchy().size());
+  EXPECT_EQ(d.store().size(), 3u);
+  EXPECT_EQ(d.associations().TotalPairs(), 5);
+  // Tab in the title was sanitized to a space on write.
+  CitationId c12 = d.store().FindByPmid(12);
+  ASSERT_NE(c12, kInvalidCitation);
+  EXPECT_EQ(d.store().Get(c12).title, "Protein survey with a tab");
+  // Association kinds survive the round trip.
+  CitationId c11 = d.store().FindByPmid(11);
+  EXPECT_EQ(d.associations()
+                .ConceptsOf(c11, AssociationKind::kAnnotated)
+                .size(),
+            2u);
+  EXPECT_EQ(
+      d.associations().ConceptsOf(c11, AssociationKind::kIndexed).size(),
+      1u);
+
+  // Saving the loaded database reproduces the bytes (canonical format).
+  std::ostringstream out2;
+  ASSERT_TRUE(d.Save(&out2).ok());
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(BioNavDatabase, FileRoundTrip) {
+  ConceptHierarchy h = MakeHierarchy();
+  auto records = MakeRecords(h);
+  auto db = BioNavDatabase::Build(std::move(h), records);
+  ASSERT_TRUE(db.ok());
+  std::string path = ::testing::TempDir() + "/bionav_db_test.txt";
+  ASSERT_TRUE(db.ValueOrDie()->SaveToFile(path).ok());
+  auto loaded = BioNavDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie()->store().size(), 3u);
+}
+
+TEST(BioNavDatabase, LoadRejectsMalformedInputs) {
+  auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return BioNavDatabase::Load(&in);
+  };
+  EXPECT_FALSE(load("").ok());
+  EXPECT_FALSE(load("WRONG MAGIC\n").ok());
+  EXPECT_FALSE(load("BIONAVDB 1\nHIERARCHY nonsense\n").ok());
+  EXPECT_FALSE(load("BIONAVDB 1\nHIERARCHY 5\n\tMeSH\n").ok());  // Truncated.
+  EXPECT_FALSE(
+      load("BIONAVDB 1\nHIERARCHY 1\n\tMeSH\nCITATIONS 1\nbad line\nEND\n")
+          .ok());
+  EXPECT_FALSE(
+      load("BIONAVDB 1\nHIERARCHY 1\n\tMeSH\nCITATIONS 1\n"
+           "x\t2000\tt\t\t\t\nEND\n")
+          .ok());  // Non-numeric pmid.
+  EXPECT_FALSE(
+      load("BIONAVDB 1\nHIERARCHY 1\n\tMeSH\nCITATIONS 0\n").ok());  // No END.
+}
+
+TEST(BioNavDatabase, PersistSyntheticCorpusAndNavigate) {
+  // The Section VII flow on synthetic data: generate -> persist -> reload
+  // -> serve a navigation session, with identical query results.
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = 77;
+  hopts.target_nodes = 600;
+  hopts.num_categories = 6;
+  ConceptHierarchy hierarchy = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec spec;
+  spec.name = "persisted";
+  spec.keyword = "persistedterm";
+  spec.result_size = 40;
+  spec.target_depth = 3;
+  CorpusGeneratorOptions copts;
+  copts.seed = 78;
+  copts.background_citations = 500;
+  auto corpus = GenerateCorpus(hierarchy, {spec}, copts);
+
+  std::string path = ::testing::TempDir() + "/bionav_corpus_test.txt";
+  ASSERT_TRUE(SaveCorpusToFile(hierarchy, *corpus, path).ok());
+
+  auto db = BioNavDatabase::LoadFromFile(path);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const BioNavDatabase& d = *db.ValueOrDie();
+  EXPECT_EQ(d.store().size(), corpus->store.size());
+  EXPECT_EQ(d.associations().TotalPairs(),
+            corpus->associations.TotalPairs());
+
+  EUtilsClient client = d.MakeClient();
+  EXPECT_EQ(client.ESearch(spec.keyword).size(), 40u);
+
+  NavigationSession session(&d.hierarchy(), &client, spec.keyword,
+                            MakeBioNavStrategyFactory());
+  EXPECT_EQ(session.result_size(), 40u);
+  auto r = session.Expand(NavigationTree::kRoot);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.ValueOrDie().empty());
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,90 @@
+#include "medline/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](uint64_t pmid, const std::vector<std::string>& terms) {
+      Citation c;
+      c.pmid = pmid;
+      c.title = "t";
+      for (const auto& t : terms) c.term_ids.push_back(store_.InternTerm(t));
+      return store_.Add(std::move(c));
+    };
+    c0_ = add(1, {"prothymosin", "cancer"});
+    c1_ = add(2, {"cancer", "apoptosis"});
+    c2_ = add(3, {"prothymosin", "apoptosis", "cancer"});
+    c3_ = add(4, {"histone"});
+    index_ = std::make_unique<InvertedIndex>(store_);
+  }
+
+  CitationStore store_;
+  std::unique_ptr<InvertedIndex> index_;
+  CitationId c0_, c1_, c2_, c3_;
+};
+
+TEST_F(InvertedIndexTest, SingleTermSearch) {
+  EXPECT_EQ(index_->Search("prothymosin"),
+            (std::vector<CitationId>{c0_, c2_}));
+  EXPECT_EQ(index_->Search("histone"), (std::vector<CitationId>{c3_}));
+}
+
+TEST_F(InvertedIndexTest, SearchIsCaseInsensitive) {
+  EXPECT_EQ(index_->Search("PROTHYMOSIN"),
+            (std::vector<CitationId>{c0_, c2_}));
+}
+
+TEST_F(InvertedIndexTest, MultiTermSearchIsConjunction) {
+  EXPECT_EQ(index_->Search("prothymosin cancer"),
+            (std::vector<CitationId>{c0_, c2_}));
+  EXPECT_EQ(index_->Search("prothymosin apoptosis"),
+            (std::vector<CitationId>{c2_}));
+  EXPECT_EQ(index_->Search("cancer apoptosis prothymosin"),
+            (std::vector<CitationId>{c2_}));
+}
+
+TEST_F(InvertedIndexTest, UnknownTermYieldsEmpty) {
+  EXPECT_TRUE(index_->Search("unknownterm").empty());
+  EXPECT_TRUE(index_->Search("prothymosin unknownterm").empty());
+}
+
+TEST_F(InvertedIndexTest, EmptyQueryYieldsEmpty) {
+  EXPECT_TRUE(index_->Search("").empty());
+  EXPECT_TRUE(index_->Search("   ,;").empty());
+}
+
+TEST_F(InvertedIndexTest, PostingsSortedAndDeduplicated) {
+  const auto& p = index_->Postings("cancer");
+  EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(index_->DocumentFrequency("cancer"), 3u);
+  EXPECT_EQ(index_->DocumentFrequency("nothing"), 0u);
+}
+
+TEST_F(InvertedIndexTest, DuplicateTermInCitationCountedOnce) {
+  CitationStore store;
+  Citation c;
+  c.pmid = 9;
+  int32_t t = store.InternTerm("x");
+  c.term_ids = {t, t, t};
+  store.Add(std::move(c));
+  InvertedIndex idx(store);
+  EXPECT_EQ(idx.DocumentFrequency("x"), 1u);
+}
+
+TEST(IntersectSorted, Basics) {
+  EXPECT_EQ(IntersectSorted({1, 3, 5}, {2, 3, 5, 7}),
+            (std::vector<CitationId>{3, 5}));
+  EXPECT_TRUE(IntersectSorted({}, {1, 2}).empty());
+  EXPECT_TRUE(IntersectSorted({1, 2}, {}).empty());
+  EXPECT_EQ(IntersectSorted({1, 2, 3}, {1, 2, 3}),
+            (std::vector<CitationId>{1, 2, 3}));
+  EXPECT_TRUE(IntersectSorted({1, 3}, {2, 4}).empty());
+}
+
+}  // namespace
+}  // namespace bionav

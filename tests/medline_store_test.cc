@@ -1,0 +1,72 @@
+#include "medline/citation_store.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+Citation MakeCitation(uint64_t pmid) {
+  Citation c;
+  c.pmid = pmid;
+  c.title = "title " + std::to_string(pmid);
+  c.year = 2005;
+  return c;
+}
+
+TEST(CitationStore, AddAssignsDenseIds) {
+  CitationStore store;
+  EXPECT_EQ(store.Add(MakeCitation(100)), 0);
+  EXPECT_EQ(store.Add(MakeCitation(200)), 1);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(0).pmid, 100u);
+  EXPECT_EQ(store.Get(1).pmid, 200u);
+}
+
+TEST(CitationStore, FindByPmid) {
+  CitationStore store;
+  store.Add(MakeCitation(123));
+  CitationId id = store.Add(MakeCitation(456));
+  EXPECT_EQ(store.FindByPmid(456), id);
+  EXPECT_EQ(store.FindByPmid(999), kInvalidCitation);
+}
+
+TEST(CitationStoreDeath, DuplicatePmidAborts) {
+  CitationStore store;
+  store.Add(MakeCitation(123));
+  EXPECT_DEATH(store.Add(MakeCitation(123)), "duplicate PMID");
+}
+
+TEST(CitationStoreDeath, GetOutOfRangeAborts) {
+  CitationStore store;
+  EXPECT_DEATH(store.Get(0), "Check failed");
+}
+
+TEST(CitationStore, InternTermIsCaseInsensitiveAndIdempotent) {
+  CitationStore store;
+  int32_t a = store.InternTerm("Apoptosis");
+  int32_t b = store.InternTerm("apoptosis");
+  int32_t c = store.InternTerm("APOPTOSIS");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(store.TermCount(), 1u);
+  EXPECT_EQ(store.TermText(a), "apoptosis");
+}
+
+TEST(CitationStore, LookupTermDistinguishesUnknown) {
+  CitationStore store;
+  int32_t a = store.InternTerm("histone");
+  EXPECT_EQ(store.LookupTerm("Histone"), a);
+  EXPECT_EQ(store.LookupTerm("unknown"), -1);
+  EXPECT_EQ(store.TermCount(), 1u);  // Lookup does not intern.
+}
+
+TEST(CitationStore, TermIdsAreDense) {
+  CitationStore store;
+  EXPECT_EQ(store.InternTerm("a"), 0);
+  EXPECT_EQ(store.InternTerm("b"), 1);
+  EXPECT_EQ(store.InternTerm("c"), 2);
+  EXPECT_EQ(store.TermText(1), "b");
+}
+
+}  // namespace
+}  // namespace bionav

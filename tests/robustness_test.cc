@@ -1,0 +1,182 @@
+// Failure-injection and fuzz-style robustness tests: every parser must
+// reject arbitrary garbage with a Status (never crash), and the navigation
+// engine must reject malformed operations cleanly.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bionav.h"
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Printable-biased garbage with occasional control characters,
+    // separators and newlines.
+    uint64_t pick = rng->Uniform(100);
+    if (pick < 70) {
+      out.push_back(static_cast<char>(' ' + rng->Uniform(95)));
+    } else if (pick < 80) {
+      out.push_back('\t');
+    } else if (pick < 90) {
+      out.push_back('\n');
+    } else if (pick < 95) {
+      out.push_back(';');
+    } else {
+      out.push_back(static_cast<char>(rng->Uniform(32)));
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, HierarchyReaderNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::istringstream in(RandomBytes(&rng, 400));
+    auto r = ReadHierarchy(&in);
+    if (r.ok()) {
+      EXPECT_GE(r.ValueOrDie().size(), 1u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MeshImporterNeverCrashes) {
+  Rng rng(GetParam() * 31);
+  for (int i = 0; i < 200; ++i) {
+    std::istringstream in(RandomBytes(&rng, 400));
+    auto r = ImportMeshTreeFile(&in);
+    if (r.ok()) {
+      EXPECT_GE(r.ValueOrDie().hierarchy.size(), 1u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, DatabaseLoaderNeverCrashes) {
+  Rng rng(GetParam() * 77);
+  for (int i = 0; i < 100; ++i) {
+    std::string text = RandomBytes(&rng, 600);
+    if (rng.Bernoulli(0.5)) text = "BIONAVDB 1\n" + text;  // Valid magic.
+    std::istringstream in(text);
+    auto r = BioNavDatabase::Load(&in);
+    // Garbage virtually never parses; if it somehow does, it must be sane.
+    if (r.ok()) {
+      EXPECT_GE(r.ValueOrDie()->hierarchy().size(), 1u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, TreeNumberParserNeverCrashes) {
+  Rng rng(GetParam() * 13);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = RandomBytes(&rng, 40);
+    auto r = TreeNumber::Parse(text);
+    if (r.ok()) {
+      // Parse/render round trip holds for everything accepted.
+      EXPECT_EQ(TreeNumber::Parse(r.ValueOrDie().ToString())
+                    .ValueOrDie()
+                    .ToString(),
+                r.ValueOrDie().ToString());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, TokenizerNeverCrashesAndLowercases) {
+  Rng rng(GetParam() * 91);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = RandomBytes(&rng, 120);
+    for (const std::string& term : TokenizeTerms(text)) {
+      EXPECT_FALSE(term.empty());
+      for (char c : term) {
+        EXPECT_FALSE(c >= 'A' && c <= 'Z');
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(EngineRobustness, SearchGarbageQueriesIsSafe) {
+  MiniFixture f;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<CitationId> ids = f.index->Search(RandomBytes(&rng, 60));
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  }
+}
+
+TEST(EngineRobustness, SessionRejectsMalformedOperationsWithoutStateDamage) {
+  MiniFixture f;
+  NavigationSession session(&f.mesh, f.eutils.get(), "prothymosin",
+                            MakeBioNavStrategyFactory());
+  std::string initial = session.Render();
+  // A barrage of invalid operations must leave the session untouched.
+  EXPECT_FALSE(session.Expand(-5).ok());
+  EXPECT_FALSE(session.Expand(9999).ok());
+  EXPECT_FALSE(session.Expand(3).ok());  // Hidden node.
+  EXPECT_FALSE(session.ShowResults(-1).ok());
+  EXPECT_FALSE(session.ShowResults(4).ok());
+  EXPECT_FALSE(session.ExpandByLabel("").ok());
+  EXPECT_FALSE(session.ExpandByLabel("definitely missing").ok());
+  EXPECT_FALSE(session.Backtrack());
+  EXPECT_EQ(session.Render(), initial);
+}
+
+TEST(EngineRobustness, ActiveTreeRejectsForeignNodes) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  ActiveTree active(nav.get());
+  EdgeCut cut;
+  cut.cut_children = {static_cast<NavNodeId>(nav->size() + 10)};
+  EXPECT_FALSE(active.ApplyEdgeCut(NavigationTree::kRoot, cut).ok());
+  cut.cut_children = {-1};
+  EXPECT_FALSE(active.ApplyEdgeCut(NavigationTree::kRoot, cut).ok());
+}
+
+TEST(EngineRobustness, RepeatedCutsUntilFullyRevealedThenFullBacktrack) {
+  // Drive the active tree until every node is visible (no expandable
+  // component remains), then unwind completely — a full lifecycle stress.
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  ActiveTree active(nav.get());
+  StaticNavigationStrategy strategy;
+  int guard = 0;
+  while (true) {
+    NavNodeId expandable = kInvalidNavNode;
+    for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav->size()); ++id) {
+      if (active.IsVisible(id) &&
+          active.ComponentSize(active.ComponentOf(id)) >= 2) {
+        expandable = id;
+        break;
+      }
+    }
+    if (expandable == kInvalidNavNode) break;
+    active
+        .ApplyEdgeCut(expandable,
+                      strategy.ChooseEdgeCut(active, expandable))
+        .status()
+        .CheckOK();
+    ASSERT_LT(++guard, 1000);
+  }
+  // Everything visible: as many components as nodes.
+  for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav->size()); ++id) {
+    EXPECT_TRUE(active.IsVisible(id));
+  }
+  while (active.Backtrack()) {
+  }
+  EXPECT_EQ(active.ComponentMembers(0).size(), nav->size());
+}
+
+}  // namespace
+}  // namespace bionav

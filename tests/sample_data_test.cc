@@ -1,0 +1,84 @@
+// Tests over the shipped data/sample.mtrees slice — both a regression test
+// for the importer on realistic content and a guarantee that the sample
+// file stays valid.
+
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/mesh_import.h"
+
+namespace bionav {
+namespace {
+
+std::string SampleDataPath() {
+  const char* src_dir = std::getenv("BIONAV_SOURCE_DIR");
+  std::string base = src_dir != nullptr ? src_dir : ".";
+  return base + "/data/sample.mtrees";
+}
+
+class SampleDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::ifstream probe(SampleDataPath());
+    if (!probe) {
+      GTEST_SKIP() << "sample data not found at " << SampleDataPath()
+                   << " (set BIONAV_SOURCE_DIR)";
+    }
+    auto r = ImportMeshTreeFileFromPath(SampleDataPath());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    result_ = std::make_unique<MeshImportResult>(r.TakeValue());
+  }
+
+  std::unique_ptr<MeshImportResult> result_;
+};
+
+TEST_F(SampleDataTest, ImportsCleanly) {
+  EXPECT_GT(result_->stats.lines, 50u);
+  EXPECT_GT(result_->hierarchy.size(), result_->stats.lines);
+  EXPECT_TRUE(result_->hierarchy.frozen());
+}
+
+TEST_F(SampleDataTest, PaperNeighbourhoodPresent) {
+  const ConceptHierarchy& h = result_->hierarchy;
+  // The Fig 3 chain: Cell Physiology -> Cell Death -> Apoptosis.
+  ConceptId physio = result_->by_mesh_tree_number.at("G04.299");
+  ConceptId death = result_->by_mesh_tree_number.at("G04.299.139");
+  ConceptId apoptosis = result_->by_mesh_tree_number.at("G04.299.139.500");
+  EXPECT_EQ(h.label(physio), "Cell Physiology");
+  EXPECT_EQ(h.parent(death), physio);
+  EXPECT_EQ(h.parent(apoptosis), death);
+  EXPECT_TRUE(h.IsAncestorOrSelf(physio, apoptosis));
+
+  // Cell Proliferation under Cell Growth Processes, as in Fig 2c.
+  ConceptId growth = result_->by_mesh_tree_number.at("G04.299.160");
+  ConceptId prolif = result_->by_mesh_tree_number.at("G04.299.160.344");
+  EXPECT_EQ(h.label(growth), "Cell Growth Processes");
+  EXPECT_EQ(h.parent(prolif), growth);
+}
+
+TEST_F(SampleDataTest, TableITargetsResolvable) {
+  const ConceptHierarchy& h = result_->hierarchy;
+  for (const char* label :
+       {"Mice, Transgenic", "Histones", "Plants, Genetically Modified",
+        "Phosphodiesterase Inhibitors", "Polymorphism, Single Nucleotide",
+        "GABA Plasma Membrane Transport Proteins",
+        "Follicle Stimulating Hormone", "Nicotinic Agonists"}) {
+    EXPECT_NE(h.FindByLabel(label), kInvalidConcept) << label;
+  }
+}
+
+TEST_F(SampleDataTest, ImplicitParentsAreSynthesized) {
+  // "Polymorphism, Single Nucleotide;G05.360.162.655" has no explicit
+  // G05.360 / G05.360.162 lines; the importer must create them.
+  EXPECT_GT(result_->stats.implicit_parents, 0u);
+  EXPECT_TRUE(result_->by_mesh_tree_number.count("G05.360"));
+  EXPECT_TRUE(result_->by_mesh_tree_number.count("G05.360.162"));
+  EXPECT_EQ(result_->hierarchy.label(
+                result_->by_mesh_tree_number.at("G05.360")),
+            "G05.360");
+}
+
+}  // namespace
+}  // namespace bionav

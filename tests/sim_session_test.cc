@@ -1,0 +1,208 @@
+#include "sim/session.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : session_(&fixture_.mesh, fixture_.eutils.get(), "prothymosin",
+                 MakeBioNavStrategyFactory()) {}
+
+  MiniFixture fixture_;
+  NavigationSession session_;
+};
+
+TEST_F(SessionTest, RunsQueryThroughPipeline) {
+  EXPECT_EQ(session_.result_size(), 8u);
+  EXPECT_EQ(session_.query(), "prothymosin");
+  EXPECT_GT(session_.navigation_tree().size(), 1u);
+}
+
+TEST_F(SessionTest, InitialRenderShowsOnlyRoot) {
+  std::string text = session_.Render();
+  EXPECT_NE(text.find("MeSH (8) >>>"), std::string::npos);
+  EXPECT_EQ(text.find("Apoptosis"), std::string::npos);
+}
+
+TEST_F(SessionTest, ExpandRevealsConcepts) {
+  auto r = session_.Expand(NavigationTree::kRoot);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.ValueOrDie().empty());
+  for (NavNodeId id : r.ValueOrDie()) {
+    EXPECT_TRUE(session_.active_tree().IsVisible(id));
+  }
+}
+
+TEST_F(SessionTest, ExpandHiddenNodeFails) {
+  auto r = session_.Expand(2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, ExpandOutOfRangeFails) {
+  auto r = session_.Expand(-1);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  r = session_.Expand(static_cast<NavNodeId>(session_.navigation_tree().size()));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, ExpandByLabelFindsVisibleConcept) {
+  auto r = session_.ExpandByLabel("MeSH");
+  EXPECT_TRUE(r.ok());
+  auto miss = session_.ExpandByLabel("Nonexistent Concept");
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, ShowResultsReturnsSummaries) {
+  auto summaries = session_.ShowResults(NavigationTree::kRoot);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_EQ(summaries.ValueOrDie().size(), 8u);
+  for (const CitationSummary& s : summaries.ValueOrDie()) {
+    EXPECT_GE(s.pmid, 1u);
+    EXPECT_LE(s.pmid, 8u);
+    EXPECT_FALSE(s.title.empty());
+  }
+}
+
+TEST_F(SessionTest, ShowResultsOnHiddenNodeFails) {
+  auto r = session_.ShowResults(3);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, ShowResultsAfterExpandIsComponentScoped) {
+  session_.Expand(NavigationTree::kRoot).status().CheckOK();
+  // Find any expandable visible non-root node and check its results are a
+  // strict subset of the full result.
+  for (NavNodeId id = 1;
+       id < static_cast<NavNodeId>(session_.navigation_tree().size()); ++id) {
+    if (!session_.active_tree().IsVisible(id)) continue;
+    auto r = session_.ShowResults(id);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(r.ValueOrDie().size(), 8u);
+    EXPECT_GT(r.ValueOrDie().size(), 0u);
+  }
+}
+
+TEST_F(SessionTest, ShowResultsIsRankedByRelevance) {
+  // Citations 1 and 4 carry a second query-matching term only under the
+  // richer query; with "prothymosin" alone, ranking falls back to recency
+  // then PMID. All 8 results match the single term, so order is by year
+  // descending (year = 2000 + pmid % 9 in the fixture), i.e. PMID 8 (2008)
+  // first and PMID 1 (2001) near the end.
+  auto summaries = session_.ShowResults(NavigationTree::kRoot);
+  ASSERT_TRUE(summaries.ok());
+  const auto& list = summaries.ValueOrDie();
+  ASSERT_EQ(list.size(), 8u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].year, list[i].year);
+  }
+  EXPECT_EQ(list.front().pmid, 8u);
+}
+
+TEST_F(SessionTest, ShowResultsPagination) {
+  auto all = session_.ShowResults(NavigationTree::kRoot);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.ValueOrDie().size(), 8u);
+
+  auto page1 = session_.ShowResults(NavigationTree::kRoot, 0, 3);
+  auto page2 = session_.ShowResults(NavigationTree::kRoot, 3, 3);
+  auto page3 = session_.ShowResults(NavigationTree::kRoot, 6, 3);
+  ASSERT_TRUE(page1.ok());
+  ASSERT_TRUE(page2.ok());
+  ASSERT_TRUE(page3.ok());
+  EXPECT_EQ(page1.ValueOrDie().size(), 3u);
+  EXPECT_EQ(page2.ValueOrDie().size(), 3u);
+  EXPECT_EQ(page3.ValueOrDie().size(), 2u);  // Tail page.
+
+  // Pages concatenate to the full ranked list.
+  std::vector<uint64_t> paged;
+  for (const auto* page : {&page1, &page2, &page3}) {
+    for (const CitationSummary& s : page->ValueOrDie()) {
+      paged.push_back(s.pmid);
+    }
+  }
+  std::vector<uint64_t> full;
+  for (const CitationSummary& s : all.ValueOrDie()) full.push_back(s.pmid);
+  EXPECT_EQ(paged, full);
+
+  // Out-of-range start yields an empty page, not an error.
+  auto beyond = session_.ShowResults(NavigationTree::kRoot, 100, 3);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond.ValueOrDie().empty());
+}
+
+TEST_F(SessionTest, RenderOrdersConceptsByRelevance) {
+  session_.Expand(NavigationTree::kRoot).status().CheckOK();
+  std::string text = session_.Render();
+  // 'Cell Physiology' dominates the query's weight; if both root children
+  // are visible, it must list before 'Gene Expression'.
+  size_t physio = text.find("Cell Physiology");
+  size_t expr = text.find("Gene Expression");
+  if (physio != std::string::npos && expr != std::string::npos) {
+    EXPECT_LT(physio, expr);
+  }
+}
+
+TEST_F(SessionTest, BacktrackUndoesExpand) {
+  std::string before = session_.Render();
+  session_.Expand(NavigationTree::kRoot).status().CheckOK();
+  EXPECT_NE(session_.Render(), before);
+  EXPECT_TRUE(session_.Backtrack());
+  EXPECT_EQ(session_.Render(), before);
+  EXPECT_FALSE(session_.Backtrack());
+}
+
+TEST_F(SessionTest, FindVisibleByLabelTracksVisibility) {
+  EXPECT_EQ(session_.FindVisibleByLabel("Cell Death"), kInvalidNavNode);
+  // Expand until Cell Death is visible or nothing remains expandable.
+  for (int i = 0; i < 20; ++i) {
+    if (session_.FindVisibleByLabel("Cell Death") != kInvalidNavNode) break;
+    bool expanded = false;
+    for (NavNodeId id = 0;
+         id < static_cast<NavNodeId>(session_.navigation_tree().size());
+         ++id) {
+      if (session_.active_tree().IsVisible(id) &&
+          session_.active_tree().ComponentSize(
+              session_.active_tree().ComponentOf(id)) >= 2) {
+        session_.Expand(id).status().CheckOK();
+        expanded = true;
+        break;
+      }
+    }
+    if (!expanded) break;
+  }
+  EXPECT_NE(session_.FindVisibleByLabel("Cell Death"), kInvalidNavNode);
+}
+
+TEST(SessionStatic, StaticFactoryExpandsAllChildren) {
+  MiniFixture f;
+  NavigationSession session(&f.mesh, f.eutils.get(), "prothymosin",
+                            MakeStaticStrategyFactory());
+  auto r = session.Expand(NavigationTree::kRoot);
+  ASSERT_TRUE(r.ok());
+  // Root has exactly two embedded children (Cell Physiology spliced from
+  // empty Biological Phenomena, Gene Expression from Genetic Processes).
+  EXPECT_EQ(r.ValueOrDie().size(), 2u);
+}
+
+TEST(SessionEmpty, QueryWithNoResults) {
+  MiniFixture f;
+  NavigationSession session(&f.mesh, f.eutils.get(), "nosuchterm",
+                            MakeBioNavStrategyFactory());
+  EXPECT_EQ(session.result_size(), 0u);
+  auto r = session.Expand(NavigationTree::kRoot);
+  EXPECT_FALSE(r.ok());  // Nothing to expand.
+  auto s = session.ShowResults(NavigationTree::kRoot);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.ValueOrDie().empty());
+}
+
+}  // namespace
+}  // namespace bionav

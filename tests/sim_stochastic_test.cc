@@ -1,0 +1,166 @@
+#include "sim/stochastic_user.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/heuristic_reduced_opt.h"
+#include "algo/static_navigation.h"
+#include "test_support.h"
+
+namespace bionav {
+namespace {
+
+using ::bionav::testing::MiniFixture;
+
+/// A tiny tree whose components all stay below the EXPAND lower threshold,
+/// so the simulated user always SHOWRESULTS immediately.
+struct NoExpandFixture {
+  ConceptHierarchy mesh;
+  CitationStore store;
+  AssociationTable assoc{0};
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<NavigationTree> nav;
+
+  NoExpandFixture() {
+    ConceptId a = mesh.AddNode(ConceptHierarchy::kRoot, "a");
+    ConceptId b = mesh.AddNode(ConceptHierarchy::kRoot, "b");
+    mesh.Freeze();
+    assoc = AssociationTable(mesh.size());
+    for (uint64_t i = 0; i < 4; ++i) {
+      Citation c;
+      c.pmid = i + 1;
+      c.term_ids.push_back(store.InternTerm("q"));
+      CitationId id = store.Add(std::move(c));
+      assoc.Associate(id, i % 2 ? a : b, AssociationKind::kAnnotated);
+    }
+    index = std::make_unique<InvertedIndex>(store);
+    auto result = std::make_shared<const ResultSet>(index->Search("q"));
+    nav = std::make_unique<NavigationTree>(mesh, assoc, result);
+  }
+};
+
+TEST(StochasticUser, NoExpandRegimeIsDeterministic) {
+  NoExpandFixture f;
+  CostModel model(f.nav.get());  // 4 distinct < lower threshold 10 -> pX=0.
+  HeuristicReducedOpt strategy(&model);
+  Rng rng(1);
+  StochasticTrialResult r = SimulateTopDown(*f.nav, model, &strategy, &rng);
+  EXPECT_EQ(r.expand_actions, 0);
+  EXPECT_EQ(r.showresults_actions, 1);
+  EXPECT_EQ(r.revealed_concepts, 0);
+  EXPECT_EQ(r.inspected_citations, 4);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(StochasticUser, AlwaysExpandRegimeRevealsEverythingExplored) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModelParams params;
+  params.expand_lower_threshold = 0;
+  params.expand_upper_threshold = 0;  // Every multi-node component expands.
+  CostModel model(nav.get(), params);
+  HeuristicReducedOpt strategy(&model);
+  Rng rng(7);
+  StochasticTrialResult r = SimulateTopDown(*nav, model, &strategy, &rng);
+  EXPECT_GT(r.expand_actions, 0);
+  // All cost components add up.
+  EXPECT_DOUBLE_EQ(r.cost, r.expand_actions + r.revealed_concepts +
+                               static_cast<double>(r.inspected_citations));
+}
+
+TEST(StochasticUser, SeedsReproduceEpisodes) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModelParams params;
+  params.expand_lower_threshold = 2;
+  params.expand_upper_threshold = 5;
+  CostModel model(nav.get(), params);
+  HeuristicReducedOpt s1(&model), s2(&model);
+  Rng r1(99), r2(99);
+  StochasticTrialResult a = SimulateTopDown(*nav, model, &s1, &r1);
+  StochasticTrialResult b = SimulateTopDown(*nav, model, &s2, &r2);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.expand_actions, b.expand_actions);
+  EXPECT_EQ(a.revealed_concepts, b.revealed_concepts);
+}
+
+TEST(StochasticUser, WorksWithStaticStrategyToo) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  CostModelParams params;
+  params.expand_lower_threshold = 0;
+  params.expand_upper_threshold = 3;
+  CostModel model(nav.get(), params);
+  StaticNavigationStrategy strategy;
+  Rng rng(3);
+  StochasticTrialResult r = SimulateTopDown(*nav, model, &strategy, &rng);
+  EXPECT_GE(r.cost, 0);
+  EXPECT_GE(r.showresults_actions + r.expand_actions, 1);
+}
+
+TEST(StochasticUser, ValidationMatchesDeterministicCase) {
+  NoExpandFixture f;
+  CostModel model(f.nav.get());
+  CostModelValidation v = ValidateCostModel(*f.nav, model, 50, 5);
+  // pX = 0 everywhere: every episode costs exactly the distinct count.
+  EXPECT_DOUBLE_EQ(v.predicted, 4.0);
+  EXPECT_DOUBLE_EQ(v.simulated_mean, 4.0);
+  EXPECT_DOUBLE_EQ(v.simulated_stddev, 0.0);
+}
+
+class CostModelValidationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostModelValidationTest, MonteCarloAgreesWithDPPrediction) {
+  // Random small instances where the exact DP is available: the empirical
+  // mean episode cost must agree with the DP's closed-form expectation.
+  uint64_t seed = GetParam();
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = seed;
+  hopts.target_nodes = 16;
+  hopts.num_categories = 3;
+  hopts.top_branching = 3;
+  ConceptHierarchy hierarchy = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec spec;
+  spec.name = "mc";
+  spec.keyword = "mc";
+  spec.result_size = 30;
+  spec.target_depth = 3;
+  spec.num_themes = 2;
+  spec.focus_annotations_mean = 2.0;
+  spec.random_annotations_mean = 0.5;
+  spec.pool_size_factor = 0.5;
+  spec.field_background_factor = 1.0;
+  CorpusGeneratorOptions copts;
+  copts.seed = seed + 500;
+  copts.background_citations = 300;
+  copts.ancestor_walk_prob = 0.35;
+  auto corpus = GenerateCorpus(hierarchy, {spec}, copts);
+
+  auto result = std::make_shared<const ResultSet>(
+      corpus->index->Search(spec.keyword));
+  NavigationTree nav(hierarchy, corpus->associations, result);
+  ASSERT_LE(nav.size(), static_cast<size_t>(kMaxSmallTreeNodes));
+  CostModel model(&nav);
+
+  CostModelValidation v = ValidateCostModel(nav, model, 3000, seed * 13 + 1);
+  // 5 standard errors plus a small absolute epsilon for the zero-variance
+  // corner.
+  double tolerance = 5.0 * v.standard_error + 1e-9;
+  EXPECT_NEAR(v.simulated_mean, v.predicted, tolerance)
+      << "stddev=" << v.simulated_stddev << " se=" << v.standard_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelValidationTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(StochasticUserDeath, ValidationRejectsLargeTrees) {
+  MiniFixture f;
+  auto nav = f.BuildNav("prothymosin");
+  // The mini tree fits, so build a big random one instead.
+  ::bionav::testing::RandomInstance inst(3, 300, 40);
+  CostModel model(inst.nav.get());
+  EXPECT_DEATH(ValidateCostModel(*inst.nav, model, 10, 1), "exact");
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,105 @@
+#include "test_support.h"
+
+#include <set>
+
+namespace bionav::testing {
+
+MiniFixture::MiniFixture() {
+  bio = mesh.AddNode(ConceptHierarchy::kRoot, "Biological Phenomena");
+  physio = mesh.AddNode(bio, "Cell Physiology");
+  death = mesh.AddNode(physio, "Cell Death");
+  autophagy = mesh.AddNode(death, "Autophagy");
+  apoptosis = mesh.AddNode(death, "Apoptosis");
+  necrosis = mesh.AddNode(death, "Necrosis");
+  growth = mesh.AddNode(physio, "Cell Growth Processes");
+  proliferation = mesh.AddNode(growth, "Cell Proliferation");
+  division = mesh.AddNode(proliferation, "Cell Division");
+  genetic = mesh.AddNode(ConceptHierarchy::kRoot, "Genetic Processes");
+  expression = mesh.AddNode(genetic, "Gene Expression");
+  transcription = mesh.AddNode(expression, "Transcription, Genetic");
+  mesh.Freeze();
+
+  assoc = AssociationTable(mesh.size());
+  auto add = [&](uint64_t pmid, const std::vector<std::string>& terms,
+                 const std::vector<ConceptId>& concepts) {
+    Citation c;
+    c.pmid = pmid;
+    c.title = "citation " + std::to_string(pmid);
+    c.year = 2000 + static_cast<int>(pmid % 9);
+    for (const auto& t : terms) c.term_ids.push_back(store.InternTerm(t));
+    CitationId id = store.Add(std::move(c));
+    for (ConceptId k : concepts) {
+      assoc.Associate(id, k, AssociationKind::kAnnotated);
+    }
+    return id;
+  };
+
+  // Eight "prothymosin" citations spanning the two research lines, with
+  // deliberate duplicates across concepts, plus background citations that
+  // give |LT| > |L| for some concepts.
+  add(1, {"prothymosin", "apoptosis"}, {apoptosis, death, physio});
+  add(2, {"prothymosin"}, {proliferation, division, growth});
+  add(3, {"prothymosin"}, {transcription, expression});
+  add(4, {"prothymosin", "necrosis"}, {necrosis, death});
+  add(5, {"prothymosin"}, {proliferation, transcription});
+  add(6, {"prothymosin"}, {apoptosis, proliferation});
+  add(7, {"prothymosin"}, {autophagy});
+  add(8, {"prothymosin"}, {expression, physio});
+  // Background (not matching the query).
+  add(100, {"cardiology"}, {physio, death});
+  add(101, {"cardiology"}, {proliferation});
+  add(102, {"neurology"}, {transcription, expression, genetic});
+
+  index = std::make_unique<InvertedIndex>(store);
+  eutils = std::make_unique<EUtilsClient>(&store, index.get(), &assoc);
+}
+
+std::unique_ptr<NavigationTree> MiniFixture::BuildNav(
+    const std::string& q) const {
+  auto result = std::make_shared<const ResultSet>(index->Search(q));
+  return std::make_unique<NavigationTree>(mesh, assoc, result);
+}
+
+RandomInstance::RandomInstance(uint64_t seed, int hierarchy_nodes,
+                               int result_size, int target_depth) {
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = seed;
+  hopts.target_nodes = hierarchy_nodes;
+  hopts.num_categories = hierarchy_nodes >= 200 ? 8 : 3;
+  hopts.top_branching = 6;
+  hierarchy = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec spec;
+  spec.name = "rand";
+  spec.keyword = "randquery";
+  spec.result_size = result_size;
+  spec.target_depth = target_depth;
+  spec.num_themes = 3;
+  spec.random_annotations_mean = 2.0;
+  spec.pool_size_factor = 4.0;
+  spec.field_background_factor = 1.5;
+
+  CorpusGeneratorOptions copts;
+  copts.seed = seed + 17;
+  copts.background_citations = std::max(200, hierarchy_nodes / 4);
+  corpus = GenerateCorpus(hierarchy, {spec}, copts);
+
+  result = std::make_shared<const ResultSet>(
+      corpus->index->Search(spec.keyword));
+  nav = std::make_unique<NavigationTree>(hierarchy, corpus->associations,
+                                         result);
+}
+
+int ReferenceSubtreeDistinct(const NavigationTree& nav, NavNodeId id) {
+  std::set<size_t> seen;
+  std::vector<NavNodeId> stack = {id};
+  while (!stack.empty()) {
+    NavNodeId u = stack.back();
+    stack.pop_back();
+    for (size_t i : nav.node(u).results.ToIndexes()) seen.insert(i);
+    for (NavNodeId c : nav.node(u).children) stack.push_back(c);
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace bionav::testing

@@ -1,0 +1,175 @@
+#include "util/bitset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bionav {
+namespace {
+
+TEST(DynamicBitset, DefaultIsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitset, SetIsIdempotent) {
+  DynamicBitset b(10);
+  b.Set(3);
+  b.Set(3);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(DynamicBitset, ClearZeroesEverything) {
+  DynamicBitset b(100);
+  for (size_t i = 0; i < 100; i += 7) b.Set(i);
+  EXPECT_TRUE(b.Any());
+  b.Clear();
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.size(), 100u);  // Size is preserved.
+}
+
+TEST(DynamicBitset, UnionWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(2);
+  b.Set(65);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(DynamicBitset, IntersectWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  a.Set(3);
+  b.Set(3);
+  b.Set(65);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(65));
+}
+
+TEST(DynamicBitset, SubtractWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(2);
+  a.Set(65);
+  b.Set(2);
+  a.SubtractWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_FALSE(a.Test(2));
+}
+
+TEST(DynamicBitset, UnionCountWithoutMaterializing) {
+  DynamicBitset a(128), b(128);
+  a.Set(0);
+  a.Set(100);
+  b.Set(100);
+  b.Set(101);
+  EXPECT_EQ(a.UnionCount(b), 3u);
+  // Operands unchanged.
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitset, IntersectCount) {
+  DynamicBitset a(128), b(128);
+  a.Set(5);
+  a.Set(100);
+  b.Set(100);
+  b.Set(6);
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(40), b(40), c(41);
+  a.Set(7);
+  b.Set(7);
+  EXPECT_TRUE(a == b);
+  b.Set(8);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // Different sizes never equal.
+}
+
+TEST(DynamicBitset, ToIndexesSortedAndComplete) {
+  DynamicBitset b(200);
+  std::set<size_t> expected = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> got = b.ToIndexes();
+  EXPECT_EQ(got.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  for (size_t i : got) EXPECT_TRUE(expected.count(i)) << i;
+}
+
+class BitsetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsetPropertyTest, CountMatchesReferenceUnderRandomOps) {
+  Rng rng(GetParam());
+  const size_t n = 1 + rng.Uniform(300);
+  DynamicBitset b(n);
+  std::set<size_t> ref;
+  for (int op = 0; op < 500; ++op) {
+    size_t i = rng.Uniform(n);
+    if (rng.Bernoulli(0.7)) {
+      b.Set(i);
+      ref.insert(i);
+    } else {
+      b.Reset(i);
+      ref.erase(i);
+    }
+  }
+  EXPECT_EQ(b.Count(), ref.size());
+  std::vector<size_t> got = b.ToIndexes();
+  EXPECT_EQ(got, std::vector<size_t>(ref.begin(), ref.end()));
+}
+
+TEST_P(BitsetPropertyTest, UnionCountEqualsMaterializedUnion) {
+  Rng rng(GetParam() * 31 + 1);
+  const size_t n = 1 + rng.Uniform(250);
+  DynamicBitset a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+  }
+  DynamicBitset u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(a.UnionCount(b), u.Count());
+  EXPECT_GE(u.Count(), a.Count());
+  EXPECT_GE(u.Count(), b.Count());
+  EXPECT_LE(u.Count(), a.Count() + b.Count());
+  // Inclusion-exclusion.
+  EXPECT_EQ(a.Count() + b.Count(), u.Count() + a.IntersectCount(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) counts[rng.WeightedIndex(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) counts[rng.Zipf(10, 1.0)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(21);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identical.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(25);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {7};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+}  // namespace
+}  // namespace bionav

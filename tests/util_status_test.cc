@@ -1,0 +1,97 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Result, TakeValueMovesOut) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(Result, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("fine");
+    return Status::Internal("boom");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r.ValueOrDie().push_back(3);
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);
+}
+
+Status Fails() { return Status::IOError("disk"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UsesReturnIfError(bool fail) {
+  BIONAV_RETURN_IF_ERROR(Succeeds());
+  if (fail) {
+    BIONAV_RETURN_IF_ERROR(Fails());
+  }
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  Status s = UsesReturnIfError(true);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(StatusDeath, CheckOKAbortsOnError) {
+  EXPECT_DEATH(Status::Internal("fatal issue").CheckOK(), "fatal issue");
+}
+
+TEST(StatusDeath, ResultValueOrDieAbortsOnError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH(r.ValueOrDie(), "missing");
+}
+
+}  // namespace
+}  // namespace bionav

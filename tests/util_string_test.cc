@@ -1,0 +1,70 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bionav {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> pieces = {"C04", "557", "337"};
+  std::string joined = Join(pieces, ".");
+  EXPECT_EQ(joined, "C04.557.337");
+  EXPECT_EQ(Split(joined, '.'), pieces);
+}
+
+TEST(Join, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StripWhitespace, Variants) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("MeSH Concept-42"), "mesh concept-42");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TokenizeTerms, SplitsOnNonTermCharacters) {
+  EXPECT_EQ(TokenizeTerms("Prothymosin, alpha (human)"),
+            (std::vector<std::string>{"prothymosin", "alpha", "human"}));
+}
+
+TEST(TokenizeTerms, KeepsBiomedicalPunctuation) {
+  // "+", "-" and "/" occur in gene/protein names (Na+/I- symporter).
+  EXPECT_EQ(TokenizeTerms("Na+/I- symporter"),
+            (std::vector<std::string>{"na+/i-", "symporter"}));
+}
+
+TEST(TokenizeTerms, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(TokenizeTerms("").empty());
+  EXPECT_TRUE(TokenizeTerms("  \t ,,, ").empty());
+}
+
+TEST(TokenizeTerms, LowerCases) {
+  EXPECT_EQ(TokenizeTerms("LbetaT2"), (std::vector<std::string>{"lbetat2"}));
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("C04.557", "C04"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,300 @@
+// bionav_cli — command-line front end to the BioNav library.
+//
+//   bionav_cli generate <db-path> [--nodes N] [--background B] [--scale S]
+//                                 [--seed X]
+//       Generate the synthetic MEDLINE with the paper's 10-query workload
+//       and persist it as a BioNav database file.
+//
+//   bionav_cli info <db-path>
+//       Print database statistics.
+//
+//   bionav_cli search <db-path> <query terms...> [--top K]
+//       ESearch + ranked summaries.
+//
+//   bionav_cli tree <db-path> <query terms...> [--depth D]
+//       Build the navigation tree, print its Table-I statistics and the
+//       interface after one BioNav EXPAND of the root.
+//
+//   bionav_cli navigate <db-path> <query terms...> [--static]
+//       Interactive navigation REPL (expand <label> | show <label> |
+//       back | tree | quit).
+//
+//   bionav_cli convert-mesh <mtrees-path> <hierarchy-out>
+//       Convert an NLM MeSH tree file ("label;tree-number" lines, e.g.
+//       mtrees2008.bin) into the library's hierarchy format.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bionav.h"
+
+namespace bionav {
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  bool HasFlag(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+  std::string FlagOr(const std::string& name, const std::string& def) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return def;
+  }
+  int64_t IntFlagOr(const std::string& name, int64_t def) const {
+    std::string v = FlagOr(name, "");
+    if (v.empty()) return def;
+    return std::stoll(v);
+  }
+  double DoubleFlagOr(const std::string& name, double def) const {
+    std::string v = FlagOr(name, "");
+    if (v.empty()) return def;
+    return std::stod(v);
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string value = "true";
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+      args.flags.emplace_back(name, value);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: bionav_cli <command> ...\n"
+         "  generate <db-path> [--nodes N] [--background B] [--scale S]"
+         " [--seed X]\n"
+         "  info <db-path>\n"
+         "  search <db-path> <query terms...> [--top K]\n"
+         "  tree <db-path> <query terms...> [--depth D]\n"
+         "  navigate <db-path> <query terms...> [--static]\n"
+         "  convert-mesh <mtrees-path> <hierarchy-out>\n";
+  return 2;
+}
+
+std::string JoinQuery(const Args& args, size_t from) {
+  std::string query;
+  for (size_t i = from; i < args.positional.size(); ++i) {
+    if (!query.empty()) query += ' ';
+    query += args.positional[i];
+  }
+  return query;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& path = args.positional[0];
+
+  WorkloadOptions options;
+  options.hierarchy_nodes =
+      static_cast<int>(args.IntFlagOr("nodes", 12000));
+  options.background_citations =
+      static_cast<int>(args.IntFlagOr("background", 10000));
+  options.result_scale = args.DoubleFlagOr("scale", 0.5);
+  options.seed = static_cast<uint64_t>(args.IntFlagOr("seed", 2009));
+
+  std::cout << "Generating workload (" << options.hierarchy_nodes
+            << " concepts, " << options.background_citations
+            << " background citations)...\n";
+  Workload workload(options);
+  Status s = SaveCorpusToFile(workload.hierarchy(), workload.corpus(), path);
+  if (!s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Database written to " << path << "\nQueries:\n";
+  for (size_t i = 0; i < workload.num_queries(); ++i) {
+    const GeneratedQuery& q = workload.query(i);
+    std::cout << "  '" << q.spec.keyword << "' -> "
+              << q.result.size() << " citations, target '"
+              << workload.hierarchy().label(q.target) << "'\n";
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto db = BioNavDatabase::LoadFromFile(args.positional[0]);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  const BioNavDatabase& d = *db.ValueOrDie();
+  std::cout << "concepts:           " << d.hierarchy().size() << "\n"
+            << "hierarchy height:   " << d.hierarchy().height() << "\n"
+            << "citations:          " << d.store().size() << "\n"
+            << "distinct terms:     " << d.store().TermCount() << "\n"
+            << "association pairs:  " << d.associations().TotalPairs()
+            << "\n";
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto db = BioNavDatabase::LoadFromFile(args.positional[0]);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  const BioNavDatabase& d = *db.ValueOrDie();
+  std::string query = JoinQuery(args, 1);
+  std::vector<CitationId> ids = d.index().Search(query);
+  std::cout << ids.size() << " citations match '" << query << "'\n";
+
+  size_t top = static_cast<size_t>(args.IntFlagOr("top", 10));
+  std::vector<RankedCitation> ranked = RankCitations(d.store(), ids, query);
+  for (size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const Citation& c = d.store().Get(ranked[i].id);
+    std::cout << "  " << (i + 1) << ". PMID " << c.pmid << " (" << c.year
+              << ") " << c.title << "\n";
+  }
+  return 0;
+}
+
+int CmdTree(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto db = BioNavDatabase::LoadFromFile(args.positional[0]);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  const BioNavDatabase& d = *db.ValueOrDie();
+  std::string query = JoinQuery(args, 1);
+  EUtilsClient client = d.MakeClient();
+  NavigationSession session(&d.hierarchy(), &client, query,
+                            MakeBioNavStrategyFactory());
+  const NavigationTree& nav = session.navigation_tree();
+  std::cout << "query:            '" << query << "'\n"
+            << "result citations: " << nav.result().size() << "\n"
+            << "tree size:        " << nav.size() << "\n"
+            << "tree height:      " << nav.Height() << "\n"
+            << "max width:        " << nav.MaxWidth() << "\n"
+            << "attachments:      " << nav.TotalAttachedWithDuplicates()
+            << "\n";
+  if (nav.result().size() == 0) return 0;
+  session.Expand(NavigationTree::kRoot).status().CheckOK();
+  int depth = static_cast<int>(args.IntFlagOr("depth", 3));
+  std::cout << "\nAfter one BioNav EXPAND:\n" << session.Render(depth);
+  return 0;
+}
+
+int CmdNavigate(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto db = BioNavDatabase::LoadFromFile(args.positional[0]);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  const BioNavDatabase& d = *db.ValueOrDie();
+  std::string query = JoinQuery(args, 1);
+  EUtilsClient client = d.MakeClient();
+  NavigationSession session(&d.hierarchy(), &client, query,
+                            args.HasFlag("static")
+                                ? MakeStaticStrategyFactory()
+                                : MakeBioNavStrategyFactory());
+  std::cout << "'" << query << "': " << session.result_size()
+            << " citations. Commands: expand <label> | show <label> | back"
+               " | tree | quit\n"
+            << session.Render() << "> " << std::flush;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    std::string label(StripWhitespace(rest));
+    if (cmd == "quit" || cmd == "q") break;
+    if (cmd == "tree") {
+      std::cout << session.Render();
+    } else if (cmd == "back") {
+      std::cout << (session.Backtrack() ? "undone\n" : "nothing to undo\n");
+    } else if (cmd == "expand") {
+      auto r = session.ExpandByLabel(label);
+      std::cout << (r.ok() ? session.Render() : r.status().ToString() + "\n");
+    } else if (cmd == "show") {
+      NavNodeId node = session.FindVisibleByLabel(label);
+      if (node == kInvalidNavNode) {
+        std::cout << "no visible concept '" << label << "'\n";
+      } else {
+        auto summaries = session.ShowResults(node, 0, 20);
+        if (summaries.ok()) {
+          for (const CitationSummary& s : summaries.ValueOrDie()) {
+            std::cout << "  PMID " << s.pmid << ": " << s.title << "\n";
+          }
+        } else {
+          std::cout << summaries.status().ToString() << "\n";
+        }
+      }
+    } else if (!cmd.empty()) {
+      std::cout << "unknown command '" << cmd << "'\n";
+    }
+    std::cout << "> " << std::flush;
+  }
+  return 0;
+}
+
+int CmdConvertMesh(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto imported = ImportMeshTreeFileFromPath(args.positional[0]);
+  if (!imported.ok()) {
+    std::cerr << imported.status().ToString() << "\n";
+    return 1;
+  }
+  const MeshImportResult& m = imported.ValueOrDie();
+  Status s = WriteHierarchyToFile(m.hierarchy, args.positional[1]);
+  if (!s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "imported " << m.stats.lines << " descriptor lines into "
+            << m.hierarchy.size() << " concepts ("
+            << m.stats.implicit_parents << " implicit parents, "
+            << m.stats.polyhierarchy_labels
+            << " polyhierarchy labels); hierarchy written to "
+            << args.positional[1] << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "search") return CmdSearch(args);
+  if (command == "tree") return CmdTree(args);
+  if (command == "navigate") return CmdNavigate(args);
+  if (command == "convert-mesh") return CmdConvertMesh(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace bionav
+
+int main(int argc, char** argv) { return bionav::Main(argc, argv); }
