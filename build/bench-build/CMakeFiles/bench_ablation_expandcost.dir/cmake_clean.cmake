@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_expandcost"
+  "../bench/bench_ablation_expandcost.pdb"
+  "CMakeFiles/bench_ablation_expandcost.dir/bench_ablation_expandcost.cc.o"
+  "CMakeFiles/bench_ablation_expandcost.dir/bench_ablation_expandcost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_expandcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_more_button"
+  "../bench/bench_ablation_more_button.pdb"
+  "CMakeFiles/bench_ablation_more_button.dir/bench_ablation_more_button.cc.o"
+  "CMakeFiles/bench_ablation_more_button.dir/bench_ablation_more_button.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_more_button.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_opt_vs_heuristic"
+  "../bench/bench_opt_vs_heuristic.pdb"
+  "CMakeFiles/bench_opt_vs_heuristic.dir/bench_opt_vs_heuristic.cc.o"
+  "CMakeFiles/bench_opt_vs_heuristic.dir/bench_opt_vs_heuristic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_vs_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

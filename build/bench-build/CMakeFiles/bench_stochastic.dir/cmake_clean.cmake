@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stochastic"
+  "../bench/bench_stochastic.pdb"
+  "CMakeFiles/bench_stochastic.dir/bench_stochastic.cc.o"
+  "CMakeFiles/bench_stochastic.dir/bench_stochastic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_navigator.dir/catalog_navigator.cpp.o"
+  "CMakeFiles/catalog_navigator.dir/catalog_navigator.cpp.o.d"
+  "catalog_navigator"
+  "catalog_navigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_workflow.dir/mesh_workflow.cpp.o"
+  "CMakeFiles/mesh_workflow.dir/mesh_workflow.cpp.o.d"
+  "mesh_workflow"
+  "mesh_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

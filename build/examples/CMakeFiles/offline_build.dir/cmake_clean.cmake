@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_build.dir/offline_build.cpp.o"
+  "CMakeFiles/offline_build.dir/offline_build.cpp.o.d"
+  "offline_build"
+  "offline_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubmed_explorer.dir/pubmed_explorer.cpp.o"
+  "CMakeFiles/pubmed_explorer.dir/pubmed_explorer.cpp.o.d"
+  "pubmed_explorer"
+  "pubmed_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubmed_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/exhaustive.cc" "src/CMakeFiles/bionav.dir/algo/exhaustive.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/exhaustive.cc.o.d"
+  "/root/repo/src/algo/exhaustive_strategy.cc" "src/CMakeFiles/bionav.dir/algo/exhaustive_strategy.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/exhaustive_strategy.cc.o.d"
+  "/root/repo/src/algo/greedy_edgecut.cc" "src/CMakeFiles/bionav.dir/algo/greedy_edgecut.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/greedy_edgecut.cc.o.d"
+  "/root/repo/src/algo/heuristic_reduced_opt.cc" "src/CMakeFiles/bionav.dir/algo/heuristic_reduced_opt.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/heuristic_reduced_opt.cc.o.d"
+  "/root/repo/src/algo/k_partition.cc" "src/CMakeFiles/bionav.dir/algo/k_partition.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/k_partition.cc.o.d"
+  "/root/repo/src/algo/opt_edgecut.cc" "src/CMakeFiles/bionav.dir/algo/opt_edgecut.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/opt_edgecut.cc.o.d"
+  "/root/repo/src/algo/reduced_tree.cc" "src/CMakeFiles/bionav.dir/algo/reduced_tree.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/reduced_tree.cc.o.d"
+  "/root/repo/src/algo/small_tree.cc" "src/CMakeFiles/bionav.dir/algo/small_tree.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/small_tree.cc.o.d"
+  "/root/repo/src/algo/static_navigation.cc" "src/CMakeFiles/bionav.dir/algo/static_navigation.cc.o" "gcc" "src/CMakeFiles/bionav.dir/algo/static_navigation.cc.o.d"
+  "/root/repo/src/core/active_tree.cc" "src/CMakeFiles/bionav.dir/core/active_tree.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/active_tree.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/bionav.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/json_export.cc" "src/CMakeFiles/bionav.dir/core/json_export.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/json_export.cc.o.d"
+  "/root/repo/src/core/navigation_tree.cc" "src/CMakeFiles/bionav.dir/core/navigation_tree.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/navigation_tree.cc.o.d"
+  "/root/repo/src/core/query_refiner.cc" "src/CMakeFiles/bionav.dir/core/query_refiner.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/query_refiner.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/bionav.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/result_set.cc" "src/CMakeFiles/bionav.dir/core/result_set.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/result_set.cc.o.d"
+  "/root/repo/src/core/tree_stats.cc" "src/CMakeFiles/bionav.dir/core/tree_stats.cc.o" "gcc" "src/CMakeFiles/bionav.dir/core/tree_stats.cc.o.d"
+  "/root/repo/src/hierarchy/concept_hierarchy.cc" "src/CMakeFiles/bionav.dir/hierarchy/concept_hierarchy.cc.o" "gcc" "src/CMakeFiles/bionav.dir/hierarchy/concept_hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy_generator.cc" "src/CMakeFiles/bionav.dir/hierarchy/hierarchy_generator.cc.o" "gcc" "src/CMakeFiles/bionav.dir/hierarchy/hierarchy_generator.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy_io.cc" "src/CMakeFiles/bionav.dir/hierarchy/hierarchy_io.cc.o" "gcc" "src/CMakeFiles/bionav.dir/hierarchy/hierarchy_io.cc.o.d"
+  "/root/repo/src/hierarchy/mesh_import.cc" "src/CMakeFiles/bionav.dir/hierarchy/mesh_import.cc.o" "gcc" "src/CMakeFiles/bionav.dir/hierarchy/mesh_import.cc.o.d"
+  "/root/repo/src/hierarchy/tree_number.cc" "src/CMakeFiles/bionav.dir/hierarchy/tree_number.cc.o" "gcc" "src/CMakeFiles/bionav.dir/hierarchy/tree_number.cc.o.d"
+  "/root/repo/src/medline/association_table.cc" "src/CMakeFiles/bionav.dir/medline/association_table.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/association_table.cc.o.d"
+  "/root/repo/src/medline/bionav_database.cc" "src/CMakeFiles/bionav.dir/medline/bionav_database.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/bionav_database.cc.o.d"
+  "/root/repo/src/medline/citation_store.cc" "src/CMakeFiles/bionav.dir/medline/citation_store.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/citation_store.cc.o.d"
+  "/root/repo/src/medline/corpus_generator.cc" "src/CMakeFiles/bionav.dir/medline/corpus_generator.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/corpus_generator.cc.o.d"
+  "/root/repo/src/medline/eutils.cc" "src/CMakeFiles/bionav.dir/medline/eutils.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/eutils.cc.o.d"
+  "/root/repo/src/medline/inverted_index.cc" "src/CMakeFiles/bionav.dir/medline/inverted_index.cc.o" "gcc" "src/CMakeFiles/bionav.dir/medline/inverted_index.cc.o.d"
+  "/root/repo/src/sim/navigator.cc" "src/CMakeFiles/bionav.dir/sim/navigator.cc.o" "gcc" "src/CMakeFiles/bionav.dir/sim/navigator.cc.o.d"
+  "/root/repo/src/sim/session.cc" "src/CMakeFiles/bionav.dir/sim/session.cc.o" "gcc" "src/CMakeFiles/bionav.dir/sim/session.cc.o.d"
+  "/root/repo/src/sim/stochastic_user.cc" "src/CMakeFiles/bionav.dir/sim/stochastic_user.cc.o" "gcc" "src/CMakeFiles/bionav.dir/sim/stochastic_user.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/bionav.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/bionav.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/bionav.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bionav.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/bionav.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/bionav.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/bionav.dir/util/timer.cc.o.d"
+  "/root/repo/src/workload/table_format.cc" "src/CMakeFiles/bionav.dir/workload/table_format.cc.o" "gcc" "src/CMakeFiles/bionav.dir/workload/table_format.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/bionav.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/bionav.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

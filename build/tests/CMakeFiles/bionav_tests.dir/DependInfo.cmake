@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo_exhaustive_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_exhaustive_test.cc.o.d"
+  "/root/repo/tests/algo_heuristic_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_heuristic_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_heuristic_test.cc.o.d"
+  "/root/repo/tests/algo_k_partition_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_k_partition_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_k_partition_test.cc.o.d"
+  "/root/repo/tests/algo_opt_edgecut_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_opt_edgecut_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_opt_edgecut_test.cc.o.d"
+  "/root/repo/tests/algo_reduced_tree_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_reduced_tree_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_reduced_tree_test.cc.o.d"
+  "/root/repo/tests/algo_small_tree_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_small_tree_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_small_tree_test.cc.o.d"
+  "/root/repo/tests/algo_static_test.cc" "tests/CMakeFiles/bionav_tests.dir/algo_static_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/algo_static_test.cc.o.d"
+  "/root/repo/tests/core_active_tree_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_active_tree_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_active_tree_test.cc.o.d"
+  "/root/repo/tests/core_cost_model_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_cost_model_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_cost_model_test.cc.o.d"
+  "/root/repo/tests/core_json_export_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_json_export_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_json_export_test.cc.o.d"
+  "/root/repo/tests/core_navigation_tree_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_navigation_tree_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_navigation_tree_test.cc.o.d"
+  "/root/repo/tests/core_query_refiner_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_query_refiner_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_query_refiner_test.cc.o.d"
+  "/root/repo/tests/core_ranking_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_ranking_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_ranking_test.cc.o.d"
+  "/root/repo/tests/core_tree_stats_test.cc" "tests/CMakeFiles/bionav_tests.dir/core_tree_stats_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/core_tree_stats_test.cc.o.d"
+  "/root/repo/tests/hierarchy_concept_test.cc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_concept_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_concept_test.cc.o.d"
+  "/root/repo/tests/hierarchy_generator_test.cc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_generator_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_generator_test.cc.o.d"
+  "/root/repo/tests/hierarchy_io_test.cc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_io_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_io_test.cc.o.d"
+  "/root/repo/tests/hierarchy_mesh_import_test.cc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_mesh_import_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_mesh_import_test.cc.o.d"
+  "/root/repo/tests/hierarchy_tree_number_test.cc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_tree_number_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/hierarchy_tree_number_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/bionav_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/medline_association_test.cc" "tests/CMakeFiles/bionav_tests.dir/medline_association_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/medline_association_test.cc.o.d"
+  "/root/repo/tests/medline_corpus_test.cc" "tests/CMakeFiles/bionav_tests.dir/medline_corpus_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/medline_corpus_test.cc.o.d"
+  "/root/repo/tests/medline_database_test.cc" "tests/CMakeFiles/bionav_tests.dir/medline_database_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/medline_database_test.cc.o.d"
+  "/root/repo/tests/medline_index_test.cc" "tests/CMakeFiles/bionav_tests.dir/medline_index_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/medline_index_test.cc.o.d"
+  "/root/repo/tests/medline_store_test.cc" "tests/CMakeFiles/bionav_tests.dir/medline_store_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/medline_store_test.cc.o.d"
+  "/root/repo/tests/paper_scenarios_test.cc" "tests/CMakeFiles/bionav_tests.dir/paper_scenarios_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/paper_scenarios_test.cc.o.d"
+  "/root/repo/tests/properties_test.cc" "tests/CMakeFiles/bionav_tests.dir/properties_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/properties_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/bionav_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/sample_data_test.cc" "tests/CMakeFiles/bionav_tests.dir/sample_data_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/sample_data_test.cc.o.d"
+  "/root/repo/tests/sim_navigator_test.cc" "tests/CMakeFiles/bionav_tests.dir/sim_navigator_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/sim_navigator_test.cc.o.d"
+  "/root/repo/tests/sim_session_test.cc" "tests/CMakeFiles/bionav_tests.dir/sim_session_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/sim_session_test.cc.o.d"
+  "/root/repo/tests/sim_stochastic_test.cc" "tests/CMakeFiles/bionav_tests.dir/sim_stochastic_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/sim_stochastic_test.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/bionav_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/util_bitset_test.cc" "tests/CMakeFiles/bionav_tests.dir/util_bitset_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/util_bitset_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/bionav_tests.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/bionav_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_string_test.cc" "tests/CMakeFiles/bionav_tests.dir/util_string_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/util_string_test.cc.o.d"
+  "/root/repo/tests/util_timer_test.cc" "tests/CMakeFiles/bionav_tests.dir/util_timer_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/util_timer_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/bionav_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/bionav_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bionav.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionav_cli.dir/bionav_cli.cc.o"
+  "CMakeFiles/bionav_cli.dir/bionav_cli.cc.o.d"
+  "bionav_cli"
+  "bionav_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionav_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bionav_cli_smoke "bash" "-c" "set -e;     DB=/root/repo/build/cli_smoke_db.txt;     /root/repo/build/tools/bionav_cli generate \$DB --nodes 1500 --background 800 --scale 0.15;     /root/repo/build/tools/bionav_cli info \$DB;     /root/repo/build/tools/bionav_cli search \$DB prothymosin --top 3;     /root/repo/build/tools/bionav_cli tree \$DB follistatin --depth 2;     printf 'expand MeSH
+show MeSH
+back
+tree
+quit
+' | /root/repo/build/tools/bionav_cli navigate \$DB prothymosin;     /root/repo/build/tools/bionav_cli convert-mesh /root/repo/data/sample.mtrees /root/repo/build/cli_smoke_mesh.tsv")
+set_tests_properties(bionav_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
