@@ -1,7 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace bionav::bench {
 
@@ -35,6 +38,42 @@ NavigationMetrics RunOracle(const QueryFixture& fixture,
   std::unique_ptr<ExpandStrategy> strategy = factory(fixture.cost_model.get());
   return NavigateToTarget(*fixture.nav, fixture.query->target,
                           strategy.get());
+}
+
+BenchOptions ParseBenchOptions(int* argc, char** argv) {
+  BenchOptions options;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = std::atoi(arg + 10);
+      if (options.threads == 0) options.threads = ThreadPool::HardwareThreads();
+      if (options.threads < 1) options.threads = 1;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return options;
+}
+
+void AppendJsonRecord(const std::string& json_path, const std::string& bench,
+                      const std::string& config, int threads, double wall_ms,
+                      double sessions_per_sec) {
+  if (json_path.empty()) return;
+  std::ofstream out(json_path, std::ios::app);
+  if (!out) {
+    std::cerr << "warning: cannot open '" << json_path << "' for append\n";
+    return;
+  }
+  std::ostringstream line;
+  line << "{\"bench\": \"" << JsonEscape(bench) << "\", \"config\": \""
+       << JsonEscape(config) << "\", \"threads\": " << threads
+       << ", \"wall_ms\": " << wall_ms
+       << ", \"sessions_per_sec\": " << sessions_per_sec << "}";
+  out << line.str() << '\n';
 }
 
 void PrintPreamble(const std::string& bench_name) {

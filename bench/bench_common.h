@@ -37,6 +37,29 @@ NavigationMetrics RunOracle(const QueryFixture& fixture,
 /// Prints the standard bench preamble (workload scale, seed).
 void PrintPreamble(const std::string& bench_name);
 
+/// Flags shared by the bench binaries.
+struct BenchOptions {
+  /// --threads=N: worker threads for parallel session serving (default 1;
+  /// 0 selects ThreadPool::HardwareThreads()).
+  int threads = 1;
+  /// --json=PATH: append machine-readable records here (empty = off).
+  std::string json_path;
+};
+
+/// Parses --threads=N and --json=PATH out of argv, compacting recognized
+/// flags away (so remaining args can go to another parser, e.g.
+/// google-benchmark's). Unknown args are left untouched.
+BenchOptions ParseBenchOptions(int* argc, char** argv);
+
+/// Appends one JSON-lines record
+///   {"bench": ..., "config": ..., "threads": N, "wall_ms": ...,
+///    "sessions_per_sec": ...}
+/// to `json_path`; no-op when the path is empty. Future PRs diff these
+/// BENCH_*.json trajectories instead of scraping tables.
+void AppendJsonRecord(const std::string& json_path, const std::string& bench,
+                      const std::string& config, int threads, double wall_ms,
+                      double sessions_per_sec);
+
 }  // namespace bionav::bench
 
 #endif  // BIONAV_BENCH_BENCH_COMMON_H_

@@ -1,11 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
 // navigation-tree construction, EdgeCut application, k-partition, reduced
 // tree building and the Opt-EdgeCut DP.
+//
+// Accepts --json=PATH (stripped before google-benchmark sees argv) to
+// append one wall-clock record for the whole suite to the shared
+// JSON-lines trajectory.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "bench_common.h"
 #include "bionav.h"
 
 namespace bionav {
@@ -144,3 +149,19 @@ BENCHMARK(BM_OptEdgeCutDP)
 
 }  // namespace
 }  // namespace bionav
+
+int main(int argc, char** argv) {
+  // Our flags must come out of argv before benchmark::Initialize, which
+  // rejects anything it does not recognize.
+  bionav::bench::BenchOptions opts =
+      bionav::bench::ParseBenchOptions(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bionav::Timer timer;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bionav::bench::AppendJsonRecord(opts.json_path, "bench_micro", "suite",
+                                  opts.threads, timer.ElapsedMillis(),
+                                  /*sessions_per_sec=*/0.0);
+  return 0;
+}

@@ -1,22 +1,37 @@
 // Robustness sweep (paper Section VIII-A's claim: "The improvement is high
 // regardless of the navigation tree characteristics ... and regardless of
 // the number of citations in the query result"): re-runs the Fig 8
-// comparison while scaling the result sizes and the hierarchy size.
+// comparison while scaling the result sizes and the hierarchy size — and,
+// since the sessions are independent, serves each configuration's batch
+// through the parallel query engine (--threads=N; aggregate costs are
+// bit-identical for every thread count).
+//
+// A second sweep holds the workload fixed and scales the thread count,
+// reporting sessions/sec — the serving-throughput trajectory.
+//
+// Flags: --threads=N (default 1, 0 = hardware), --json=PATH (JSON-lines
+// records for trend tracking).
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
-  std::cout << "=== Scaling: improvement vs workload scale ===\n\n";
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  const char* scale_env = std::getenv("BIONAV_BENCH_SCALE");
+  const bool small = scale_env != nullptr && std::string(scale_env) == "small";
+  std::cout << "=== Scaling: improvement vs workload scale ===\n"
+            << "serving threads: " << opts.threads << "\n\n";
 
   TextTable table;
   table.SetHeader({"Hierarchy", "Result Scale", "Avg Static Cost",
-                   "Avg BioNav Cost", "Improvement %",
-                   "Avg Time/EXPAND (ms)"});
+                   "Avg BioNav Cost", "Improvement %", "Avg Time/EXPAND (ms)",
+                   "Sessions/s"});
 
   struct Config {
     int hierarchy_nodes;
@@ -29,31 +44,78 @@ int main() {
       {48000, 0.5},  {48000, 1.0}, {48000, 2.0},
   };
 
-  for (const Config& config : configs) {
+  for (const Config& full_config : configs) {
+    Config config = full_config;
+    if (small) config.hierarchy_nodes /= 4;  // CI smoke scale.
     WorkloadOptions options;
     options.hierarchy_nodes = config.hierarchy_nodes;
     options.background_citations = config.hierarchy_nodes;
     options.result_scale = config.result_scale;
     Workload workload(options);
 
+    WorkloadRunOptions run_options;
+    run_options.threads = opts.threads;
+    run_options.run_static_baseline = true;
+    WorkloadRunResult run = workload.Run(run_options);
+
     double static_sum = 0, bionav_sum = 0;
     TimingStats time_stats;
-    for (size_t i = 0; i < workload.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(workload, i);
-      NavigationMetrics s = RunOracle(f, MakeStaticStrategyFactory());
-      NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
-      static_sum += s.navigation_cost();
-      bionav_sum += b.navigation_cost();
-      for (double t : b.expand_time_ms) time_stats.Add(t);
+    for (const SessionOutcome& s : run.sessions) {
+      static_sum += s.static_metrics.navigation_cost();
+      bionav_sum += s.metrics.navigation_cost();
+      for (double t : s.metrics.expand_time_ms) time_stats.Add(t);
     }
-    double n = static_cast<double>(workload.num_queries());
+    double n = static_cast<double>(run.sessions.size());
     table.AddRow({std::to_string(config.hierarchy_nodes),
                   TextTable::Num(config.result_scale, 2),
                   TextTable::Num(static_sum / n, 1),
                   TextTable::Num(bionav_sum / n, 1),
                   TextTable::Num(100.0 * (1.0 - bionav_sum / static_sum), 1),
-                  TextTable::Num(time_stats.mean(), 3)});
+                  TextTable::Num(time_stats.mean(), 3),
+                  TextTable::Num(run.sessions_per_sec(), 1)});
+    AppendJsonRecord(opts.json_path, "bench_scaling",
+                     "hierarchy=" + std::to_string(config.hierarchy_nodes) +
+                         ",scale=" + TextTable::Num(config.result_scale, 2),
+                     run.threads, run.wall_ms, run.sessions_per_sec());
   }
-  std::cout << table.ToString();
+  std::cout << table.ToString() << "\n";
+
+  // Thread-scaling sweep on the standard configuration (env-scaled for CI):
+  // identical aggregate costs are asserted, sessions/sec is the payoff.
+  std::cout << "=== Scaling: sessions/sec vs serving threads ===\n\n";
+  Workload workload(BenchWorkloadOptions());
+  const int repeats = 3;
+
+  TextTable threads_table;
+  threads_table.SetHeader(
+      {"Threads", "Sessions", "Wall (ms)", "Sessions/s", "Total BioNav Cost"});
+
+  int64_t reference_cost = -1;
+  int sweep[] = {1, 2, opts.threads};
+  int last = 0;
+  for (int threads : sweep) {
+    if (threads <= last) continue;  // Dedup / keep increasing.
+    last = threads;
+    WorkloadRunOptions run_options;
+    run_options.threads = threads;
+    run_options.repeats = repeats;
+    WorkloadRunResult run = workload.Run(run_options);
+    int64_t cost = run.total_navigation_cost();
+    if (reference_cost < 0) reference_cost = cost;
+    if (cost != reference_cost) {
+      std::cerr << "ERROR: thread count changed aggregate navigation cost ("
+                << cost << " vs " << reference_cost << ")\n";
+      return 1;
+    }
+    threads_table.AddRow({std::to_string(threads),
+                          std::to_string(run.sessions.size()),
+                          TextTable::Num(run.wall_ms, 1),
+                          TextTable::Num(run.sessions_per_sec(), 1),
+                          std::to_string(cost)});
+    AppendJsonRecord(opts.json_path, "bench_scaling",
+                     "thread_sweep,threads=" + std::to_string(threads),
+                     threads, run.wall_ms, run.sessions_per_sec());
+  }
+  std::cout << threads_table.ToString();
   return 0;
 }

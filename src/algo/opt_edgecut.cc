@@ -9,6 +9,45 @@ OptEdgeCut::OptEdgeCut(const SmallTree* tree, const CostModel* cost_model)
     : tree_(tree), cost_model_(cost_model) {
   BIONAV_CHECK(tree != nullptr);
   BIONAV_CHECK(cost_model != nullptr);
+  slots_.resize(256);
+  shift_ = 32 - 8;
+}
+
+const OptEdgeCut::Entry* OptEdgeCut::FindMemo(SmallTreeMask mask) const {
+  size_t i = SlotIndex(mask);
+  const size_t cap_mask = slots_.size() - 1;
+  while (slots_[i].mask != 0) {
+    if (slots_[i].mask == mask) return &entries_[slots_[i].entry_index];
+    i = (i + 1) & cap_mask;
+  }
+  return nullptr;
+}
+
+const OptEdgeCut::Entry& OptEdgeCut::InsertMemo(SmallTreeMask mask,
+                                                const Entry& entry) {
+  BIONAV_CHECK_NE(mask, 0u);
+  if ((entries_.size() + 1) * 10 > slots_.size() * 7) {  // Load > 0.7: grow.
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    --shift_;
+    const size_t cap_mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.mask == 0) continue;
+      size_t i = SlotIndex(s.mask);
+      while (slots_[i].mask != 0) i = (i + 1) & cap_mask;
+      slots_[i] = s;
+    }
+  }
+  const size_t cap_mask = slots_.size() - 1;
+  size_t i = SlotIndex(mask);
+  while (slots_[i].mask != 0) {
+    BIONAV_CHECK_NE(slots_[i].mask, mask) << "duplicate memo insert";
+    i = (i + 1) & cap_mask;
+  }
+  slots_[i].mask = mask;
+  slots_[i].entry_index = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(entry);
+  return entries_.back();
 }
 
 void OptEdgeCut::Combos(int v, SmallTreeMask mask,
@@ -44,8 +83,7 @@ std::vector<SmallTreeMask> OptEdgeCut::EnumerateCuts(
 
 const OptEdgeCut::Entry& OptEdgeCut::ComputeEntry(SmallTreeMask mask) {
   BIONAV_CHECK_NE(mask, 0u);
-  auto it = memo_.find(mask);
-  if (it != memo_.end()) return it->second;
+  if (const Entry* found = FindMemo(mask)) return *found;
 
   const int root = SmallTree::MaskRoot(mask);
   const int m = SmallTree::MaskSize(mask);
@@ -118,9 +156,7 @@ const OptEdgeCut::Entry& OptEdgeCut::ComputeEntry(SmallTreeMask mask) {
     entry.cost = params.show_cost * static_cast<double>(entry.distinct);
   }
 
-  auto [pos, inserted] = memo_.emplace(mask, entry);
-  BIONAV_CHECK(inserted);
-  return pos->second;
+  return InsertMemo(mask, entry);
 }
 
 std::vector<int> OptEdgeCut::BestCut(SmallTreeMask mask) {

@@ -1,7 +1,8 @@
 #ifndef BIONAV_ALGO_OPT_EDGECUT_H_
 #define BIONAV_ALGO_OPT_EDGECUT_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "algo/small_tree.h"
@@ -79,7 +80,7 @@ class OptEdgeCut {
   std::vector<int> BestCut(SmallTreeMask mask);
 
   /// Number of memoized components (exposed for complexity tests).
-  size_t memo_size() const { return memo_.size(); }
+  size_t memo_size() const { return entries_.size(); }
 
   const SmallTree& tree() const { return *tree_; }
 
@@ -93,9 +94,36 @@ class OptEdgeCut {
   void Combos(int v, SmallTreeMask mask,
               std::vector<SmallTreeMask>* out) const;
 
+  // The DP memo is the dominant lookup cost of the whole EXPAND hot path,
+  // so instead of std::unordered_map (per-node allocation, pointer-chasing
+  // buckets) it is a flat open-addressing table: linear probing over
+  // power-of-two capacity at a controlled load factor, keyed directly by
+  // the component mask (never 0, so 0 marks an empty slot). Entries live in
+  // a deque so the references ComputeEntry hands out stay stable across
+  // table growth, matching the unordered_map guarantee.
+  struct Slot {
+    SmallTreeMask mask = 0;       // 0 = empty slot.
+    uint32_t entry_index = 0;     // Into entries_, valid when mask != 0.
+  };
+
+  /// Memoized entry for `mask`, or nullptr.
+  const Entry* FindMemo(SmallTreeMask mask) const;
+
+  /// Records `entry` for `mask` (which must not be present) and returns the
+  /// stable stored reference. Grows the table at 70% load.
+  const Entry& InsertMemo(SmallTreeMask mask, const Entry& entry);
+
+  size_t SlotIndex(SmallTreeMask mask) const {
+    // Fibonacci hashing: multiply spreads the low-entropy masks, the shift
+    // keeps the top bits that the multiply mixed best.
+    return static_cast<size_t>((mask * UINT32_C(2654435769)) >> shift_);
+  }
+
   const SmallTree* tree_;
   const CostModel* cost_model_;
-  std::unordered_map<SmallTreeMask, Entry> memo_;
+  std::vector<Slot> slots_;
+  std::deque<Entry> entries_;
+  int shift_ = 0;  // 32 - log2(slots_.size()).
 };
 
 }  // namespace bionav

@@ -63,8 +63,15 @@ std::optional<ReducedComponent> ReduceComponent(const ActiveTree& active,
   }
 
   int64_t total_weight = 0;
-  for (NavNodeId m : active.ComponentMembers(component)) {
-    total_weight += active.nav().node(m).attached_count;
+  if (active.ComponentIsIntact(component)) {
+    // Intact component: the subtree prefix sums answer the k-partition
+    // weight in O(1) instead of walking every member.
+    total_weight =
+        active.nav().SubtreeAttachedTotal(active.ComponentRoot(component));
+  } else {
+    for (NavNodeId m : active.ComponentMembers(component)) {
+      total_weight += active.nav().node(m).attached_count;
+    }
   }
 
   auto build = [&](std::vector<TreePartition> partitions, int rounds) {

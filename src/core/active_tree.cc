@@ -10,21 +10,17 @@ ActiveTree::ActiveTree(const NavigationTree* nav) : nav_(nav) {
   comp_of_.assign(nav->size(), 0);
   Component all;
   all.root = NavigationTree::kRoot;
-  all.results = nav->SubtreeResults(NavigationTree::kRoot);
-  all.distinct = static_cast<int>(all.results.Count());
+  all.results = nav->SubtreeResultsCached(NavigationTree::kRoot);
+  all.distinct = nav->SubtreeDistinct(NavigationTree::kRoot);
   all.num_members = static_cast<int>(nav->size());
   components_.push_back(std::move(all));
 }
 
 std::vector<NavNodeId> ActiveTree::ComponentMembers(int comp) const {
   CheckComp(comp);
-  NavNodeId root = components_[static_cast<size_t>(comp)].root;
   std::vector<NavNodeId> out;
   out.reserve(static_cast<size_t>(components_[static_cast<size_t>(comp)].num_members));
-  NavNodeId end = nav_->SubtreeEnd(root);
-  for (NavNodeId id = root; id < end; ++id) {
-    if (comp_of_[static_cast<size_t>(id)] == comp) out.push_back(id);
-  }
+  ForEachMember(comp, [&](NavNodeId id) { out.push_back(id); });
   return out;
 }
 
@@ -85,38 +81,58 @@ Result<std::vector<NavNodeId>> ActiveTree::ApplyEdgeCut(NavNodeId root,
   h.old_distinct = components_[static_cast<size_t>(comp)].distinct;
   h.old_num_members = components_[static_cast<size_t>(comp)].num_members;
 
+  // Intact components (the common case: EXPAND descending a fresh subtree)
+  // contain every cut child's full navigation subtree, so each lower
+  // component's citation set comes straight from the tree's subtree cache.
+  const bool intact = ComponentIsIntact(comp);
+
   std::vector<NavNodeId> lower_roots;
   lower_roots.reserve(cut.size());
   for (NavNodeId u : cut.cut_children) {
     int new_comp = static_cast<int>(components_.size());
     Component lower;
     lower.root = u;
-    lower.results = nav_->result().MakeBitset();
     NavNodeId end = nav_->SubtreeEnd(u);
-    for (NavNodeId id = u; id < end; ++id) {
-      if (comp_of_[static_cast<size_t>(id)] != comp) continue;
-      comp_of_[static_cast<size_t>(id)] = new_comp;
-      lower.results.UnionWith(nav_->node(id).results);
-      lower.num_members++;
-      h.reassigned.push_back(id);
+    if (intact) {
+      lower.results = nav_->SubtreeResultsCached(u);
+      lower.distinct = nav_->SubtreeDistinct(u);
+      lower.num_members = end - u;
+      for (NavNodeId id = u; id < end; ++id) {
+        comp_of_[static_cast<size_t>(id)] = new_comp;
+        h.reassigned.push_back(id);
+      }
+    } else {
+      lower.results = nav_->result().MakeBitset();
+      // Skip regions belonging to other components in O(1) each (see
+      // ForEachMember for why the jump is sound).
+      for (NavNodeId id = u; id < end;) {
+        int c = comp_of_[static_cast<size_t>(id)];
+        if (c != comp) {
+          id = nav_->SubtreeEnd(components_[static_cast<size_t>(c)].root);
+          continue;
+        }
+        comp_of_[static_cast<size_t>(id)] = new_comp;
+        lower.results.UnionWith(nav_->node(id).results);
+        lower.num_members++;
+        h.reassigned.push_back(id);
+        ++id;
+      }
+      lower.distinct = static_cast<int>(lower.results.Count());
     }
     components_[static_cast<size_t>(comp)].num_members -= lower.num_members;
-    lower.distinct = static_cast<int>(lower.results.Count());
     components_.push_back(std::move(lower));
     h.new_comps.push_back(new_comp);
     lower_roots.push_back(u);
   }
 
   // Recompute the (shrunken) upper component's citation set. Distinct
-  // counts are not subtractive under duplicates, so re-aggregate members.
+  // counts are not subtractive under duplicates, so re-aggregate members
+  // (skipping foreign subtrees wholesale).
   Component& upper = components_[static_cast<size_t>(comp)];
   upper.results.Clear();
-  NavNodeId end = nav_->SubtreeEnd(root);
-  for (NavNodeId id = root; id < end; ++id) {
-    if (comp_of_[static_cast<size_t>(id)] == comp) {
-      upper.results.UnionWith(nav_->node(id).results);
-    }
-  }
+  ForEachMember(comp, [&](NavNodeId id) {
+    upper.results.UnionWith(nav_->node(id).results);
+  });
   upper.distinct = static_cast<int>(upper.results.Count());
 
   history_.push_back(std::move(h));

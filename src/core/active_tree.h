@@ -58,6 +58,15 @@ class ActiveTree {
   /// Members of a component (the paper's I(n)), in navigation pre-order.
   std::vector<NavNodeId> ComponentMembers(int comp) const;
 
+  /// True iff the component is exactly the full navigation subtree of its
+  /// root (no descendant has been cut out of it). Intact components admit
+  /// O(1) answers from the navigation tree's subtree caches — the common
+  /// case while EXPAND works its way down fresh subtrees.
+  bool ComponentIsIntact(int comp) const {
+    const Component& c = components_[static_cast<size_t>(CheckComp(comp))];
+    return c.num_members == nav_->SubtreeEnd(c.root) - c.root;
+  }
+
   /// Number of nodes in the component.
   size_t ComponentSize(int comp) const {
     return static_cast<size_t>(components_[CheckComp(comp)].num_members);
@@ -135,6 +144,27 @@ class ActiveTree {
     BIONAV_CHECK_LT(static_cast<size_t>(comp), components_.size());
     BIONAV_CHECK(components_[static_cast<size_t>(comp)].alive);
     return comp;
+  }
+
+  /// Visits the members of `comp` in pre-order, skipping foreign regions in
+  /// O(1) each: components are connected and up-closed toward their roots,
+  /// so on hitting a node of another component the walk can jump past that
+  /// component root's entire navigation subtree (no member of `comp` can
+  /// hide inside it — once a node leaves a component it never returns,
+  /// Backtrack excepted, and Backtrack restores whole snapshots).
+  template <typename Fn>
+  void ForEachMember(int comp, Fn&& fn) const {
+    NavNodeId root = components_[static_cast<size_t>(comp)].root;
+    NavNodeId end = nav_->SubtreeEnd(root);
+    for (NavNodeId id = root; id < end;) {
+      int c = comp_of_[static_cast<size_t>(id)];
+      if (c == comp) {
+        fn(id);
+        ++id;
+      } else {
+        id = nav_->SubtreeEnd(components_[static_cast<size_t>(c)].root);
+      }
+    }
   }
 
   const NavigationTree* nav_;

@@ -88,6 +88,14 @@ NavigationTree::NavigationTree(const ConceptHierarchy& hierarchy,
     size_t p = static_cast<size_t>(nodes_[i].parent);
     subtree_end_[p] = std::max(subtree_end_[p], subtree_end_[i]);
   }
+
+  attached_prefix_.resize(nodes_.size() + 1);
+  attached_prefix_[0] = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    attached_prefix_[i + 1] = attached_prefix_[i] + nodes_[i].attached_count;
+  }
+  subtree_results_.resize(nodes_.size());
+  subtree_distinct_.assign(nodes_.size(), -1);
 }
 
 int NavigationTree::NodeDepth(NavNodeId id) const {
@@ -106,21 +114,39 @@ NavNodeId NavigationTree::NodeOfConcept(ConceptId concept_id) const {
 }
 
 DynamicBitset NavigationTree::SubtreeResults(NavNodeId id) const {
-  DynamicBitset acc = result_->MakeBitset();
-  std::vector<NavNodeId> stack = {id};
-  while (!stack.empty()) {
-    NavNodeId u = stack.back();
-    stack.pop_back();
-    acc.UnionWith(node(u).results);
-    for (NavNodeId c : node(u).children) stack.push_back(c);
+  return SubtreeResultsCached(id);  // Copy.
+}
+
+const DynamicBitset& NavigationTree::SubtreeResultsCached(
+    NavNodeId id) const {
+  BIONAV_CHECK_GE(id, 0);
+  BIONAV_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  if (subtree_distinct_[static_cast<size_t>(id)] >= 0) {
+    return subtree_results_[static_cast<size_t>(id)];
   }
-  return acc;
+  // Fill the whole subtree in one reverse-pre-order sweep (children precede
+  // parents); nodes already cached by earlier calls are reused as-is.
+  NavNodeId end = SubtreeEnd(id);
+  for (NavNodeId u = end; u-- > id;) {
+    size_t i = static_cast<size_t>(u);
+    if (subtree_distinct_[i] >= 0) continue;
+    DynamicBitset acc = nodes_[i].results;
+    for (NavNodeId c : nodes_[i].children) {
+      acc.UnionWith(subtree_results_[static_cast<size_t>(c)]);
+    }
+    subtree_distinct_[i] = static_cast<int>(acc.Count());
+    subtree_results_[i] = std::move(acc);
+  }
+  return subtree_results_[static_cast<size_t>(id)];
+}
+
+int NavigationTree::SubtreeDistinct(NavNodeId id) const {
+  SubtreeResultsCached(id);
+  return subtree_distinct_[static_cast<size_t>(id)];
 }
 
 int64_t NavigationTree::TotalAttachedWithDuplicates() const {
-  int64_t total = 0;
-  for (const NavNode& n : nodes_) total += n.attached_count;
-  return total;
+  return attached_prefix_.back();
 }
 
 int NavigationTree::MaxWidth() const {

@@ -74,6 +74,26 @@ class NavigationTree {
   /// (the per-node count displayed by the static interface of Fig 1).
   DynamicBitset SubtreeResults(NavNodeId id) const;
 
+  /// Same set, but served from a lazy per-node cache: the first call walks
+  /// the subtree once (filling the cache for every node in it), later
+  /// calls are O(1). EXPAND repeatedly needs subtree unions while cutting
+  /// its way down one root-to-leaf path, so this turns the per-EXPAND
+  /// re-walk of pre-order ranges into a single amortized pass per tree.
+  /// The cache is unsynchronized: a NavigationTree is a per-session object
+  /// (see DESIGN.md "Concurrency model"); do not share one across threads.
+  const DynamicBitset& SubtreeResultsCached(NavNodeId id) const;
+
+  /// |SubtreeResultsCached(id)|, cached alongside the set.
+  int SubtreeDistinct(NavNodeId id) const;
+
+  /// Sum of |L(n)| over the subtree of `id`, with duplicates — O(1) via
+  /// pre-order prefix sums (the k-partition weight of an intact subtree).
+  int64_t SubtreeAttachedTotal(NavNodeId id) const {
+    NavNodeId end = SubtreeEnd(id);
+    return attached_prefix_[static_cast<size_t>(end)] -
+           attached_prefix_[static_cast<size_t>(id)];
+  }
+
   /// Sum over all nodes of |L(n)| — the "Citations in Navigation Tree w/
   /// Duplicates" column of Table I.
   int64_t TotalAttachedWithDuplicates() const;
@@ -109,6 +129,10 @@ class NavigationTree {
   std::vector<NavNode> nodes_;
   std::vector<NavNodeId> concept_to_node_;  // Indexed by ConceptId.
   std::vector<NavNodeId> subtree_end_;      // Pre-order interval ends.
+  std::vector<int64_t> attached_prefix_;    // Size nodes+1.
+  // Lazy subtree-results cache (unsynchronized; per-session object).
+  mutable std::vector<DynamicBitset> subtree_results_;
+  mutable std::vector<int> subtree_distinct_;  // -1 = not yet computed.
 };
 
 }  // namespace bionav

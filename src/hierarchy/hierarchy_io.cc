@@ -30,14 +30,26 @@ Status WriteHierarchyToFile(const ConceptHierarchy& hierarchy,
   return WriteHierarchy(hierarchy, &out);
 }
 
-Result<ConceptHierarchy> ReadHierarchy(std::istream* in) {
+namespace {
+
+// Shared parser core. `bounded` reads exactly `line_count` lines (failing
+// on early EOF); unbounded reads to EOF.
+Result<ConceptHierarchy> ReadHierarchyImpl(std::istream* in, bool bounded,
+                                           size_t line_count) {
   ConceptHierarchy h;
   std::unordered_map<std::string, ConceptId> by_file_tn;
   by_file_tn.emplace("", ConceptHierarchy::kRoot);
 
   std::string line;
-  int line_no = 0;
-  while (std::getline(*in, line)) {
+  size_t line_no = 0;
+  while (true) {
+    if (bounded && line_no == line_count) break;
+    if (!std::getline(*in, line)) {
+      if (bounded) {
+        return Status::InvalidArgument("truncated hierarchy section");
+      }
+      break;
+    }
     ++line_no;
     // Do not strip the line as a whole: the root's tree number is empty,
     // so its line legitimately starts with the field separator.
@@ -74,6 +86,17 @@ Result<ConceptHierarchy> ReadHierarchy(std::istream* in) {
   }
   h.Freeze();
   return h;
+}
+
+}  // namespace
+
+Result<ConceptHierarchy> ReadHierarchy(std::istream* in) {
+  return ReadHierarchyImpl(in, /*bounded=*/false, 0);
+}
+
+Result<ConceptHierarchy> ReadHierarchyLines(std::istream* in,
+                                            size_t line_count) {
+  return ReadHierarchyImpl(in, /*bounded=*/true, line_count);
 }
 
 Result<ConceptHierarchy> ReadHierarchyFromFile(const std::string& path) {

@@ -27,6 +27,13 @@ Status WriteHierarchyToFile(const ConceptHierarchy& hierarchy,
 /// satisfies this). Returns a frozen hierarchy.
 Result<ConceptHierarchy> ReadHierarchy(std::istream* in);
 
+/// Same, but consumes exactly `line_count` lines of `in` and leaves the
+/// stream positioned after them — so an embedding format (BioNavDatabase)
+/// can parse its hierarchy section in place instead of copying it into a
+/// second stream. Fails if the stream ends early.
+Result<ConceptHierarchy> ReadHierarchyLines(std::istream* in,
+                                            size_t line_count);
+
 /// Reads from a file path.
 Result<ConceptHierarchy> ReadHierarchyFromFile(const std::string& path);
 

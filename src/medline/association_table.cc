@@ -15,14 +15,13 @@ void AssociationTable::Associate(CitationId citation, ConceptId concept_id,
   if (static_cast<size_t>(citation) >= by_citation_.size()) {
     by_citation_.resize(static_cast<size_t>(citation) + 1);
     concept_view_.resize(by_citation_.size());
-    view_dirty_.resize(by_citation_.size(), true);
   }
   auto& entries = by_citation_[static_cast<size_t>(citation)];
   for (const Entry& e : entries) {
     if (e.concept_id == concept_id) return;  // Duplicate pair: ignore.
   }
   entries.push_back({concept_id, kind});
-  view_dirty_[static_cast<size_t>(citation)] = true;
+  concept_view_[static_cast<size_t>(citation)].push_back(concept_id);
   global_counts_[static_cast<size_t>(concept_id)]++;
   total_pairs_++;
 }
@@ -32,16 +31,7 @@ const std::vector<ConceptId>& AssociationTable::ConceptsOf(
   BIONAV_CHECK_GE(citation, 0);
   static const std::vector<ConceptId> kEmpty;
   if (static_cast<size_t>(citation) >= by_citation_.size()) return kEmpty;
-  size_t idx = static_cast<size_t>(citation);
-  if (view_dirty_[idx]) {
-    concept_view_[idx].clear();
-    concept_view_[idx].reserve(by_citation_[idx].size());
-    for (const Entry& e : by_citation_[idx]) {
-      concept_view_[idx].push_back(e.concept_id);
-    }
-    view_dirty_[idx] = false;
-  }
-  return concept_view_[idx];
+  return concept_view_[static_cast<size_t>(citation)];
 }
 
 std::vector<ConceptId> AssociationTable::ConceptsOf(

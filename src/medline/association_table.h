@@ -40,7 +40,9 @@ class AssociationTable {
   void Associate(CitationId citation, ConceptId concept_id,
                  AssociationKind kind);
 
-  /// Concepts associated with the citation (both kinds), unsorted.
+  /// Concepts associated with the citation (both kinds), unsorted. Pure
+  /// read (the view is maintained incrementally by Associate), so a frozen
+  /// table is safe to share read-only across parallel sessions.
   const std::vector<ConceptId>& ConceptsOf(CitationId citation) const;
 
   /// Concepts of a citation restricted to one association kind.
@@ -68,9 +70,10 @@ class AssociationTable {
 
   // citation -> entries; grown on demand.
   std::vector<std::vector<Entry>> by_citation_;
-  // Cached concept-id view per citation (rebuilt lazily).
-  mutable std::vector<std::vector<ConceptId>> concept_view_;
-  mutable std::vector<bool> view_dirty_;
+  // Concept-id view per citation, kept in sync by Associate. Previously a
+  // lazily rebuilt mutable cache, which made const ConceptsOf a hidden
+  // write — a data race once navigation trees build concurrently.
+  std::vector<std::vector<ConceptId>> concept_view_;
   std::vector<int64_t> global_counts_;
   int64_t total_pairs_ = 0;
 };

@@ -170,17 +170,10 @@ Result<std::unique_ptr<BioNavDatabase>> BioNavDatabase::Load(
   }
   BIONAV_RETURN_IF_ERROR(ParseCount(line, "HIERARCHY", &node_count));
 
-  // Read exactly node_count hierarchy lines into a sub-stream for the
-  // hierarchy parser.
-  std::ostringstream hierarchy_text;
-  for (size_t i = 0; i < node_count; ++i) {
-    if (!std::getline(*in, line)) {
-      return Status::InvalidArgument("truncated hierarchy section");
-    }
-    hierarchy_text << line << '\n';
-  }
-  std::istringstream hierarchy_in(hierarchy_text.str());
-  Result<ConceptHierarchy> hierarchy = ReadHierarchy(&hierarchy_in);
+  // Parse the hierarchy section in place: the bounded reader consumes
+  // exactly node_count lines of the main stream, so the section is never
+  // copied through an intermediate ostringstream.
+  Result<ConceptHierarchy> hierarchy = ReadHierarchyLines(in, node_count);
   if (!hierarchy.ok()) return hierarchy.status();
   if (hierarchy.ValueOrDie().size() != node_count) {
     return Status::InvalidArgument("hierarchy node count mismatch");
@@ -198,7 +191,9 @@ Result<std::unique_ptr<BioNavDatabase>> BioNavDatabase::Load(
     if (!std::getline(*in, line)) {
       return Status::InvalidArgument("truncated citations section");
     }
-    std::vector<std::string> fields = Split(line, '\t');
+    // Field parsing stays zero-copy until the final std::string fields of
+    // the record: views into `line`, no intermediate Split allocations.
+    std::vector<std::string_view> fields = SplitViews(line, '\t');
     if (fields.size() != 6) {
       return Status::InvalidArgument(
           "citation line " + std::to_string(i + 1) + ": expected 6 fields, got " +
@@ -214,18 +209,16 @@ Result<std::unique_ptr<BioNavDatabase>> BioNavDatabase::Load(
       return Status::InvalidArgument("citation line " + std::to_string(i + 1) +
                                      ": bad pmid/year");
     }
-    record.title = fields[2];
-    auto split_list = [](const std::string& s) {
-      std::vector<std::string> out;
-      if (s.empty()) return out;
-      for (std::string& piece : Split(s, ',')) {
-        if (!piece.empty()) out.push_back(std::move(piece));
+    record.title = std::string(fields[2]);
+    auto split_list = [](std::string_view s, std::vector<std::string>* out) {
+      if (s.empty()) return;
+      for (std::string_view piece : SplitViews(s, ',')) {
+        if (!piece.empty()) out->emplace_back(piece);
       }
-      return out;
     };
-    record.terms = split_list(fields[3]);
-    record.annotated_tree_numbers = split_list(fields[4]);
-    record.indexed_tree_numbers = split_list(fields[5]);
+    split_list(fields[3], &record.terms);
+    split_list(fields[4], &record.annotated_tree_numbers);
+    split_list(fields[5], &record.indexed_tree_numbers);
     records.push_back(std::move(record));
   }
   if (!std::getline(*in, line) || StripWhitespace(line) != "END") {

@@ -19,6 +19,21 @@ std::vector<std::string> Split(std::string_view s, char sep) {
   return out;
 }
 
+std::vector<std::string_view> SplitViews(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
 std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
   std::string out;
   for (size_t i = 0; i < pieces.size(); ++i) {

@@ -10,6 +10,10 @@ namespace bionav {
 /// Splits `s` on `sep`, keeping empty fields.
 std::vector<std::string> Split(std::string_view s, char sep);
 
+/// Splits without copying: views into `s`, keeping empty fields. The views
+/// are invalidated by whatever invalidates `s` — parse, then discard.
+std::vector<std::string_view> SplitViews(std::string_view s, char sep);
+
 /// Joins pieces with `sep`.
 std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 

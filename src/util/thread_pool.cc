@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace bionav {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  BIONAV_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BIONAV_CHECK(!shutdown_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ && drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::exception_ptr error;
+  };
+  Shared shared;
+  const size_t workers =
+      std::min(static_cast<size_t>(pool->num_threads()), n);
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([&shared, &fn, n] {
+      while (!shared.abort.load(std::memory_order_relaxed)) {
+        size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          fn(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(shared.mu);
+          if (!shared.error) shared.error = std::current_exception();
+          shared.abort.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool->Wait();  // `shared` outlives every task: Wait blocks until drained.
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, fn);
+}
+
+}  // namespace bionav

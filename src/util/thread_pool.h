@@ -1,0 +1,99 @@
+#ifndef BIONAV_UTIL_THREAD_POOL_H_
+#define BIONAV_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bionav {
+
+/// A fixed-size work-queue thread pool — the concurrency substrate of the
+/// parallel query-serving engine. Sessions (one keyword query each) are
+/// fully independent, so the pool needs no work stealing: a single locked
+/// deque drained by N workers keeps the implementation small and the
+/// behaviour easy to reason about under TSan.
+///
+/// Tasks must not touch mutable state shared with other tasks unless they
+/// synchronize it themselves; see DESIGN.md "Concurrency model" for what
+/// the library guarantees to be safely shareable read-only.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, joins all workers. Pending tasks run to completion;
+  /// an unretrieved task exception is swallowed (call Wait() to observe it).
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks may Submit further tasks. A task that throws
+  /// does not kill the worker: the first exception is captured and
+  /// rethrown by the next Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.
+  void Wait();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // Signals workers: task or shutdown.
+  std::condition_variable idle_cv_;  // Signals Wait(): pool drained.
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently running tasks.
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) on the pool, blocking until all iterations finish.
+/// Iterations are claimed dynamically (atomic counter), so the schedule is
+/// nondeterministic but the index->iteration mapping is fixed: writing
+/// results by index yields output identical to the sequential run. If an
+/// iteration throws, remaining unclaimed iterations are skipped and the
+/// first exception is rethrown here. A null pool (or n <= 1) runs inline
+/// on the calling thread.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Convenience overload: `threads <= 1` runs inline; otherwise a transient
+/// pool of `threads` workers is created for this call.
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Maps fn over 0..n-1 in parallel and returns the results in index order
+/// (deterministic regardless of thread count). R must be default- and
+/// move-constructible.
+template <typename R, typename Fn>
+std::vector<R> ParallelMap(int threads, size_t n, Fn&& fn) {
+  std::vector<R> out(n);
+  ParallelFor(threads, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+template <typename R, typename Fn>
+std::vector<R> ParallelMap(ThreadPool* pool, size_t n, Fn&& fn) {
+  std::vector<R> out(n);
+  ParallelFor(pool, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace bionav
+
+#endif  // BIONAV_UTIL_THREAD_POOL_H_

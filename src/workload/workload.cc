@@ -5,8 +5,30 @@
 
 #include "core/result_set.h"
 #include "hierarchy/hierarchy_generator.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace bionav {
+
+int64_t WorkloadRunResult::total_navigation_cost() const {
+  int64_t total = 0;
+  for (const SessionOutcome& s : sessions) total += s.metrics.navigation_cost();
+  return total;
+}
+
+int64_t WorkloadRunResult::total_static_cost() const {
+  int64_t total = 0;
+  for (const SessionOutcome& s : sessions) {
+    total += s.static_metrics.navigation_cost();
+  }
+  return total;
+}
+
+int64_t WorkloadRunResult::total_expand_actions() const {
+  int64_t total = 0;
+  for (const SessionOutcome& s : sessions) total += s.metrics.expand_actions;
+  return total;
+}
 
 std::vector<QuerySpec> PaperQuerySpecs(double result_scale) {
   auto scaled = [result_scale](int n) {
@@ -160,6 +182,43 @@ std::unique_ptr<NavigationTree> Workload::BuildNavigationTree(
       corpus_->index->Search(q.spec.keyword));
   return std::make_unique<NavigationTree>(hierarchy_, corpus_->associations,
                                           result);
+}
+
+WorkloadRunResult Workload::Run(const WorkloadRunOptions& options) const {
+  BIONAV_CHECK_GE(options.repeats, 1);
+  StrategyFactory factory = options.strategy_factory
+                                ? options.strategy_factory
+                                : MakeBioNavStrategyFactory();
+  StrategyFactory static_factory =
+      options.run_static_baseline ? MakeStaticStrategyFactory()
+                                  : StrategyFactory();
+
+  const size_t n_sessions =
+      static_cast<size_t>(options.repeats) * num_queries();
+  WorkloadRunResult run;
+  run.threads = options.threads < 1 ? 1 : options.threads;
+  run.sessions.resize(n_sessions);
+
+  Timer timer;
+  ParallelFor(run.threads, n_sessions, [&](size_t s) {
+    const size_t qi = s % num_queries();
+    SessionOutcome& out = run.sessions[s];
+    out.session_index = s;
+    out.query_index = qi;
+
+    // Everything below is session-local; the workload itself is only read.
+    std::unique_ptr<NavigationTree> nav = BuildNavigationTree(qi);
+    CostModel cost_model(nav.get(), options.cost_params);
+    std::unique_ptr<ExpandStrategy> strategy = factory(&cost_model);
+    out.metrics = NavigateToTarget(*nav, query(qi).target, strategy.get());
+    if (static_factory) {
+      std::unique_ptr<ExpandStrategy> baseline = static_factory(&cost_model);
+      out.static_metrics =
+          NavigateToTarget(*nav, query(qi).target, baseline.get());
+    }
+  });
+  run.wall_ms = timer.ElapsedMillis();
+  return run;
 }
 
 }  // namespace bionav

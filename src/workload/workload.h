@@ -9,6 +9,8 @@
 #include "core/navigation_tree.h"
 #include "hierarchy/concept_hierarchy.h"
 #include "medline/corpus_generator.h"
+#include "sim/navigator.h"
+#include "sim/session.h"
 
 namespace bionav {
 
@@ -20,6 +22,50 @@ struct WorkloadOptions {
   int background_citations = 40000;
   /// Scales every query's result size (tests can use 0.2 for speed).
   double result_scale = 1.0;
+};
+
+/// Options of one Workload::Run — a batch of navigation sessions served by
+/// the parallel query engine.
+struct WorkloadRunOptions {
+  /// Worker threads; <= 1 runs sessions inline on the calling thread.
+  int threads = 1;
+  /// Passes over the query set: the batch is repeats * num_queries()
+  /// sessions (bench_scaling uses > 1 for stable sessions/sec numbers).
+  int repeats = 1;
+  CostModelParams cost_params;
+  /// Strategy under test; null selects the BioNav policy
+  /// (MakeBioNavStrategyFactory()).
+  StrategyFactory strategy_factory;
+  /// Also run the static all-children baseline on every session (for
+  /// improvement-% reporting).
+  bool run_static_baseline = false;
+};
+
+/// Outcome of one navigation session (one oracle run of one query).
+struct SessionOutcome {
+  size_t session_index = 0;
+  size_t query_index = 0;
+  NavigationMetrics metrics;
+  /// Valid iff WorkloadRunOptions::run_static_baseline.
+  NavigationMetrics static_metrics;
+};
+
+/// Result of a Workload::Run batch. `sessions` is ordered by session index
+/// regardless of the thread count — every per-session field is bit-identical
+/// to the sequential run, only wall_ms varies.
+struct WorkloadRunResult {
+  std::vector<SessionOutcome> sessions;
+  int threads = 1;
+  double wall_ms = 0;
+
+  double sessions_per_sec() const {
+    return wall_ms > 0 ? 1000.0 * static_cast<double>(sessions.size()) / wall_ms
+                       : 0;
+  }
+  /// Sum of navigation costs (revealed concepts + EXPANDs) over the batch.
+  int64_t total_navigation_cost() const;
+  int64_t total_static_cost() const;
+  int64_t total_expand_actions() const;
 };
 
 /// The materialized paper workload: hierarchy + corpus + the 10 queries of
@@ -44,6 +90,17 @@ class Workload {
   /// Builds the navigation tree for query `i` through the full on-line
   /// pipeline (ESearch + association lookups).
   std::unique_ptr<NavigationTree> BuildNavigationTree(size_t i) const;
+
+  /// Serves a batch of navigation sessions — session s runs query
+  /// s % num_queries() through the full pipeline (ESearch → navigation
+  /// tree → oracle EdgeCut loop → cost accounting). Sessions are fully
+  /// independent (the hierarchy, associations and inverted index are read
+  /// read-only; every session builds its own tree, cost model and
+  /// strategy), so with options.threads > 1 they are fanned out over a
+  /// ThreadPool. Results are written by session index: the output is
+  /// bit-identical to the sequential run for any thread count.
+  WorkloadRunResult Run(const WorkloadRunOptions& options =
+                            WorkloadRunOptions()) const;
 
  private:
   WorkloadOptions options_;

@@ -1,0 +1,151 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bionav {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownIdle) {
+  // A pool that never receives work must still shut down cleanly.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran++; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&] { count++; });
+  pool.Submit([&] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count++;
+    pool.Submit([&] { count++; });
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool remains usable after the error was retrieved.
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran++; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { ran++; });
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelForTest, EmptyRange) {
+  std::atomic<int> calls{0};
+  ParallelFor(4, 0, [&](size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+  ParallelFor(static_cast<ThreadPool*>(nullptr), 0, [&](size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleItemRunsInline) {
+  std::atomic<int> calls{0};
+  ParallelFor(8, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsSequentially) {
+  std::vector<size_t> order;
+  ParallelFor(static_cast<ThreadPool*>(nullptr), 10,
+              [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(4, kN, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SharedPoolOverload) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(&pool, 1000, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), 499500);
+  // The pool survives for further batches.
+  ParallelFor(&pool, 10, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), 499545);
+}
+
+TEST(ParallelForTest, PropagatesIterationException) {
+  EXPECT_THROW(ParallelFor(4, 100,
+                           [](size_t i) {
+                             if (i == 37) {
+                               throw std::invalid_argument("bad index");
+                             }
+                           }),
+               std::invalid_argument);
+}
+
+TEST(ParallelMapTest, ResultsInIndexOrderForAnyThreadCount) {
+  auto square = [](size_t i) { return static_cast<int>(i * i); };
+  std::vector<int> seq = ParallelMap<int>(1, 200, square);
+  for (int threads : {2, 4, 8}) {
+    std::vector<int> par = ParallelMap<int>(threads, 200, square);
+    EXPECT_EQ(par, seq) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,95 @@
+// Determinism of the parallel query-serving engine: Workload::Run must
+// produce, for any thread count, exactly the sessions the sequential run
+// produces (timing fields aside).
+
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/workload.h"
+
+namespace bionav {
+namespace {
+
+// One workload for the whole file; construction dominates the test time.
+const Workload& SmallWorkload() {
+  static const Workload* workload = [] {
+    WorkloadOptions options;
+    options.hierarchy_nodes = 3000;
+    options.background_citations = 2500;
+    options.result_scale = 0.2;
+    return new Workload(options);
+  }();
+  return *workload;
+}
+
+// Everything except wall-clock timings must match.
+void ExpectSameMetrics(const NavigationMetrics& a, const NavigationMetrics& b,
+                       size_t session) {
+  EXPECT_EQ(a.expand_actions, b.expand_actions) << "session " << session;
+  EXPECT_EQ(a.revealed_concepts, b.revealed_concepts) << "session " << session;
+  EXPECT_EQ(a.showresults_citations, b.showresults_citations)
+      << "session " << session;
+  EXPECT_EQ(a.revealed_per_expand, b.revealed_per_expand)
+      << "session " << session;
+  EXPECT_EQ(a.reduced_tree_sizes, b.reduced_tree_sizes)
+      << "session " << session;
+  EXPECT_EQ(a.expand_time_ms.size(), b.expand_time_ms.size())
+      << "session " << session;
+}
+
+TEST(WorkloadParallelTest, FourThreadsMatchSequential) {
+  WorkloadRunOptions sequential;
+  sequential.threads = 1;
+  sequential.run_static_baseline = true;
+  WorkloadRunResult base = SmallWorkload().Run(sequential);
+
+  WorkloadRunOptions parallel = sequential;
+  parallel.threads = 4;
+  WorkloadRunResult run = SmallWorkload().Run(parallel);
+
+  ASSERT_EQ(run.sessions.size(), base.sessions.size());
+  ASSERT_EQ(run.sessions.size(), SmallWorkload().num_queries());
+  for (size_t s = 0; s < run.sessions.size(); ++s) {
+    EXPECT_EQ(run.sessions[s].session_index, s);
+    EXPECT_EQ(run.sessions[s].query_index, base.sessions[s].query_index);
+    ExpectSameMetrics(run.sessions[s].metrics, base.sessions[s].metrics, s);
+    ExpectSameMetrics(run.sessions[s].static_metrics,
+                      base.sessions[s].static_metrics, s);
+  }
+  EXPECT_EQ(run.total_navigation_cost(), base.total_navigation_cost());
+  EXPECT_EQ(run.total_static_cost(), base.total_static_cost());
+  EXPECT_EQ(run.total_expand_actions(), base.total_expand_actions());
+}
+
+TEST(WorkloadParallelTest, RepeatsReplicateEveryQuery) {
+  WorkloadRunOptions options;
+  options.threads = 3;
+  options.repeats = 2;
+  WorkloadRunResult run = SmallWorkload().Run(options);
+
+  const size_t n = SmallWorkload().num_queries();
+  ASSERT_EQ(run.sessions.size(), 2 * n);
+  for (size_t s = 0; s < run.sessions.size(); ++s) {
+    EXPECT_EQ(run.sessions[s].query_index, s % n);
+    // Repeat passes are deterministic replicas of the first pass.
+    if (s >= n) {
+      ExpectSameMetrics(run.sessions[s].metrics, run.sessions[s - n].metrics,
+                        s);
+    }
+  }
+  EXPECT_GT(run.total_expand_actions(), 0);
+}
+
+TEST(WorkloadParallelTest, BaselineSkippedUnlessRequested) {
+  WorkloadRunOptions options;
+  options.threads = 2;
+  WorkloadRunResult run = SmallWorkload().Run(options);
+  for (const SessionOutcome& s : run.sessions) {
+    EXPECT_EQ(s.static_metrics.navigation_cost(), 0);
+    EXPECT_GT(s.metrics.navigation_cost(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace bionav
