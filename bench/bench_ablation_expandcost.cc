@@ -2,6 +2,9 @@
 // to executing an EXPAND action makes each EXPAND reveal more concepts.
 // This bench sweeps the expand-cost constant and reports the average number
 // of concepts revealed per EXPAND plus the end-to-end oracle cost.
+//
+// Flags: --threads=N (parallel per-query sessions within each sweep point),
+// --json=PATH (one record per sweep point).
 
 #include <iostream>
 
@@ -10,7 +13,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: EXPAND-action cost constant sweep");
 
   const Workload& w = SharedWorkload();
@@ -21,12 +25,17 @@ int main() {
   for (double expand_cost : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     CostModelParams params;
     params.expand_cost = expand_cost;
+    Timer timer;
+    std::vector<NavigationMetrics> runs = ParallelMap<NavigationMetrics>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i, params);
+          return RunOracle(f, MakeBioNavStrategyFactory());
+        });
+    double wall_ms = timer.ElapsedMillis();
     double revealed_sum = 0;
     double expands_sum = 0;
     double cost_sum = 0;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i, params);
-      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory());
+    for (const NavigationMetrics& m : runs) {
       revealed_sum += m.revealed_concepts;
       expands_sum += m.expand_actions;
       cost_sum += m.navigation_cost();
@@ -39,6 +48,9 @@ int main() {
                                  2),
                   TextTable::Num(expands_sum / n, 1),
                   TextTable::Num(cost_sum / n, 1)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_expandcost",
+                     "expand_cost=" + TextTable::Num(expand_cost, 1),
+                     opts.threads, wall_ms, PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

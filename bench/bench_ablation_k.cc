@@ -2,6 +2,9 @@
 // to the reduced-tree size K. The paper fixes K = 10 as "the maximum tree
 // size on which Opt-EdgeCut can operate in real-time"; this bench sweeps K
 // and reports the cost/time trade-off that justifies the choice.
+//
+// Flags: --threads=N (parallel per-query sessions within each K),
+// --json=PATH (one record per K).
 
 #include <iostream>
 
@@ -10,7 +13,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: reduced-tree size K sweep");
 
   const Workload& w = SharedWorkload();
@@ -19,22 +23,28 @@ int main() {
                    "Improvement vs Static %"});
 
   // Static baseline cost, once.
+  std::vector<int> static_costs =
+      ParallelMap<int>(opts.threads, w.num_queries(), [&](size_t i) {
+        QueryFixture f = BuildQueryFixture(w, i);
+        return RunOracle(f, MakeStaticStrategyFactory()).navigation_cost();
+      });
   double static_cost_sum = 0;
-  for (size_t i = 0; i < w.num_queries(); ++i) {
-    QueryFixture f = BuildQueryFixture(w, i);
-    static_cost_sum +=
-        RunOracle(f, MakeStaticStrategyFactory()).navigation_cost();
-  }
+  for (int c : static_costs) static_cost_sum += c;
 
   for (int k : {4, 6, 8, 10, 12, 14}) {
     HeuristicReducedOptOptions options;
     options.max_partitions = k;
+    Timer timer;
+    std::vector<NavigationMetrics> runs = ParallelMap<NavigationMetrics>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i);
+          return RunOracle(f, MakeBioNavStrategyFactory(options));
+        });
+    double wall_ms = timer.ElapsedMillis();
     double cost_sum = 0;
     double expands_sum = 0;
     TimingStats time_stats;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i);
-      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory(options));
+    for (const NavigationMetrics& m : runs) {
       cost_sum += m.navigation_cost();
       expands_sum += m.expand_actions;
       for (double t : m.expand_time_ms) time_stats.Add(t);
@@ -45,6 +55,9 @@ int main() {
                   TextTable::Num(time_stats.mean(), 3),
                   TextTable::Num(100.0 * (1.0 - cost_sum / static_cost_sum),
                                  1)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_k",
+                     "K=" + std::to_string(k), opts.threads, wall_ms,
+                     PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

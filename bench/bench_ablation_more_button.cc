@@ -3,6 +3,9 @@
 // static baseline's cost, since each "more" click costs an extra EXPAND.
 // This bench compares static all-children, ranked top-k + "more" (for a few
 // page sizes), the greedy local-search cut, and BioNav.
+//
+// Flags: --threads=N (parallel per-query sessions within each method),
+// --json=PATH (one record per method).
 
 #include <iostream>
 
@@ -33,30 +36,40 @@ StrategyFactory MakeExhaustiveFactory() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: 'more' button and greedy vs BioNav");
 
   const Workload& w = SharedWorkload();
   struct Method {
     std::string name;
+    std::string slug;
     StrategyFactory factory;
   };
   std::vector<Method> methods;
-  methods.push_back({"Static (all children)", MakeStaticStrategyFactory()});
-  methods.push_back({"Ranked top-5 + more", MakeRankedFactory(5)});
-  methods.push_back({"Ranked top-10 + more", MakeRankedFactory(10)});
-  methods.push_back({"Greedy-EdgeCut", MakeGreedyFactory()});
   methods.push_back(
-      {"Exhaustive-Reduced (Sec V model)", MakeExhaustiveFactory()});
-  methods.push_back({"Heuristic-ReducedOpt", MakeBioNavStrategyFactory()});
+      {"Static (all children)", "static", MakeStaticStrategyFactory()});
+  methods.push_back({"Ranked top-5 + more", "ranked5", MakeRankedFactory(5)});
+  methods.push_back(
+      {"Ranked top-10 + more", "ranked10", MakeRankedFactory(10)});
+  methods.push_back({"Greedy-EdgeCut", "greedy", MakeGreedyFactory()});
+  methods.push_back({"Exhaustive-Reduced (Sec V model)", "exhaustive",
+                     MakeExhaustiveFactory()});
+  methods.push_back(
+      {"Heuristic-ReducedOpt", "bionav", MakeBioNavStrategyFactory()});
 
   TextTable table;
   table.SetHeader({"Method", "Avg Cost", "Avg EXPANDs", "Avg Revealed"});
   for (const Method& m : methods) {
+    Timer timer;
+    std::vector<NavigationMetrics> runs = ParallelMap<NavigationMetrics>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i);
+          return RunOracle(f, m.factory);
+        });
+    double wall_ms = timer.ElapsedMillis();
     double cost_sum = 0, expands_sum = 0, revealed_sum = 0;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i);
-      NavigationMetrics r = RunOracle(f, m.factory);
+    for (const NavigationMetrics& r : runs) {
       cost_sum += r.navigation_cost();
       expands_sum += r.expand_actions;
       revealed_sum += r.revealed_concepts;
@@ -65,6 +78,9 @@ int main() {
     table.AddRow({m.name, TextTable::Num(cost_sum / n, 1),
                   TextTable::Num(expands_sum / n, 1),
                   TextTable::Num(revealed_sum / n, 1)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_more_button",
+                     "method=" + m.slug, opts.threads, wall_ms,
+                     PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

@@ -5,6 +5,9 @@
 // at the price of keeping the original (coarser) supernode granularity
 // instead of freshly re-partitioning the now-smaller component. This bench
 // quantifies that speed/quality trade-off.
+//
+// Flags: --threads=N (parallel per-query sessions within each mode),
+// --json=PATH (one record per mode).
 
 #include <iostream>
 
@@ -13,7 +16,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: Opt-EdgeCut DP reuse across expansions");
 
   const Workload& w = SharedWorkload();
@@ -21,32 +25,48 @@ int main() {
   table.SetHeader({"Mode", "Avg Cost", "Avg EXPANDs", "Avg Time/EXPAND (ms)",
                    "Cache Hit %"});
 
+  struct PerQuery {
+    int expands = 0;
+    int revealed = 0;
+    int hits = 0;
+    int calls = 0;
+    std::vector<double> expand_ms;
+  };
+
   for (bool reuse : {false, true}) {
+    Timer timer;
+    std::vector<PerQuery> runs = ParallelMap<PerQuery>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i);
+          HeuristicReducedOptOptions options;
+          options.reuse_dp = reuse;
+          HeuristicReducedOpt strategy(f.cost_model.get(), options);
+          // Manual oracle loop so we can read cache-hit stats per expand.
+          ActiveTree active(f.nav.get());
+          NavNodeId target = f.nav->NodeOfConcept(f.query->target);
+          PerQuery out;
+          while (!active.IsVisible(target)) {
+            NavNodeId root = active.ComponentRoot(active.ComponentOf(target));
+            EdgeCut cut = strategy.ChooseEdgeCut(active, root);
+            active.ApplyEdgeCut(root, cut).status().CheckOK();
+            ++out.expands;
+            out.revealed += static_cast<int>(cut.size());
+            ++out.calls;
+            out.hits += strategy.last_stats().cache_hit ? 1 : 0;
+            out.expand_ms.push_back(strategy.last_stats().elapsed_ms);
+          }
+          return out;
+        });
+    double wall_ms = timer.ElapsedMillis();
     double cost_sum = 0, expands_sum = 0;
     TimingStats time_stats;
     int hits = 0, calls = 0;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i);
-      HeuristicReducedOptOptions options;
-      options.reuse_dp = reuse;
-      HeuristicReducedOpt strategy(f.cost_model.get(), options);
-      // Manual oracle loop so we can read cache-hit stats per expand.
-      ActiveTree active(f.nav.get());
-      NavNodeId target = f.nav->NodeOfConcept(f.query->target);
-      int expands = 0, revealed = 0;
-      while (!active.IsVisible(target)) {
-        NavNodeId root =
-            active.ComponentRoot(active.ComponentOf(target));
-        EdgeCut cut = strategy.ChooseEdgeCut(active, root);
-        active.ApplyEdgeCut(root, cut).status().CheckOK();
-        ++expands;
-        revealed += static_cast<int>(cut.size());
-        ++calls;
-        hits += strategy.last_stats().cache_hit ? 1 : 0;
-        time_stats.Add(strategy.last_stats().elapsed_ms);
-      }
-      cost_sum += expands + revealed;
-      expands_sum += expands;
+    for (const PerQuery& q : runs) {
+      cost_sum += q.expands + q.revealed;
+      expands_sum += q.expands;
+      hits += q.hits;
+      calls += q.calls;
+      for (double t : q.expand_ms) time_stats.Add(t);
     }
     double n = static_cast<double>(w.num_queries());
     table.AddRow({reuse ? "reuse_dp=true" : "reuse_dp=false",
@@ -54,6 +74,9 @@ int main() {
                   TextTable::Num(expands_sum / n, 1),
                   TextTable::Num(time_stats.mean(), 3),
                   TextTable::Num(calls ? 100.0 * hits / calls : 0, 1)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_reuse",
+                     reuse ? "reuse_dp=true" : "reuse_dp=false", opts.threads,
+                     wall_ms, PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

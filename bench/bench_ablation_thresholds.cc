@@ -2,6 +2,9 @@
 // thresholds. "Currently, BioNav operates with 50 and 10 being the upper
 // and lower threshold respectively"; this bench sweeps both to show the
 // regime the paper's choice sits in.
+//
+// Flags: --threads=N (parallel per-query sessions within each pair),
+// --json=PATH (one record per threshold pair).
 
 #include <iostream>
 
@@ -10,7 +13,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: EXPAND-probability thresholds (upper/lower)");
 
   const Workload& w = SharedWorkload();
@@ -30,10 +34,15 @@ int main() {
     CostModelParams params;
     params.expand_upper_threshold = pair.upper;
     params.expand_lower_threshold = pair.lower;
+    Timer timer;
+    std::vector<NavigationMetrics> runs = ParallelMap<NavigationMetrics>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i, params);
+          return RunOracle(f, MakeBioNavStrategyFactory());
+        });
+    double wall_ms = timer.ElapsedMillis();
     double cost_sum = 0, expands_sum = 0, show_sum = 0;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i, params);
-      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory());
+    for (const NavigationMetrics& m : runs) {
       cost_sum += m.navigation_cost();
       expands_sum += m.expand_actions;
       show_sum += m.showresults_citations;
@@ -43,6 +52,10 @@ int main() {
                   TextTable::Num(cost_sum / n, 1),
                   TextTable::Num(expands_sum / n, 1),
                   TextTable::Num(show_sum / n, 1)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_thresholds",
+                     "upper=" + std::to_string(pair.upper) +
+                         ",lower=" + std::to_string(pair.lower),
+                     opts.threads, wall_ms, PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

@@ -4,6 +4,9 @@
 // This bench re-runs the oracle comparison with the two degenerate
 // variants — raw counts and pure selectivity — to show what each factor
 // contributes.
+//
+// Flags: --threads=N (parallel per-query sessions within each variant),
+// --json=PATH (one record per variant).
 
 #include <iostream>
 
@@ -12,18 +15,22 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Ablation: EXPLORE-weight formula variants");
 
   const Workload& w = SharedWorkload();
   struct Mode {
     const char* name;
+    const char* slug;
     ExploreWeightMode mode;
   };
   const Mode modes[] = {
-      {"|L|^2/|LT| (paper)", ExploreWeightMode::kSquaredOverGlobal},
-      {"|L| (raw count)", ExploreWeightMode::kCount},
-      {"|L|/|LT| (selectivity)", ExploreWeightMode::kSelectivity},
+      {"|L|^2/|LT| (paper)", "squared_over_global",
+       ExploreWeightMode::kSquaredOverGlobal},
+      {"|L| (raw count)", "count", ExploreWeightMode::kCount},
+      {"|L|/|LT| (selectivity)", "selectivity",
+       ExploreWeightMode::kSelectivity},
   };
 
   TextTable table;
@@ -33,11 +40,16 @@ int main() {
   for (const Mode& mode : modes) {
     CostModelParams params;
     params.explore_weight_mode = mode.mode;
+    Timer timer;
+    std::vector<NavigationMetrics> runs = ParallelMap<NavigationMetrics>(
+        opts.threads, w.num_queries(), [&](size_t i) {
+          QueryFixture f = BuildQueryFixture(w, i, params);
+          return RunOracle(f, MakeBioNavStrategyFactory());
+        });
+    double wall_ms = timer.ElapsedMillis();
     double cost_sum = 0, expands_sum = 0, revealed_sum = 0;
     int worst = 0;
-    for (size_t i = 0; i < w.num_queries(); ++i) {
-      QueryFixture f = BuildQueryFixture(w, i, params);
-      NavigationMetrics m = RunOracle(f, MakeBioNavStrategyFactory());
+    for (const NavigationMetrics& m : runs) {
       cost_sum += m.navigation_cost();
       expands_sum += m.expand_actions;
       revealed_sum += m.revealed_concepts;
@@ -48,6 +60,9 @@ int main() {
                   TextTable::Num(expands_sum / n, 1),
                   TextTable::Num(revealed_sum / n, 1),
                   std::to_string(worst)});
+    AppendJsonRecord(opts.json_path, "bench_ablation_weights",
+                     std::string("mode=") + mode.slug, opts.threads, wall_ms,
+                     PerSec(n, wall_ms));
   }
   std::cout << table.ToString();
   return 0;

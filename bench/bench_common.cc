@@ -59,6 +59,10 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
   return options;
 }
 
+double PerSec(double sessions, double wall_ms) {
+  return wall_ms > 0 ? 1000.0 * sessions / wall_ms : 0.0;
+}
+
 void AppendJsonRecord(const std::string& json_path, const std::string& bench,
                       const std::string& config, int threads, double wall_ms,
                       double sessions_per_sec) {

@@ -51,6 +51,9 @@ struct BenchOptions {
 /// google-benchmark's). Unknown args are left untouched.
 BenchOptions ParseBenchOptions(int* argc, char** argv);
 
+/// Sessions/sec for a batch that took `wall_ms`; 0 when the clock read 0.
+double PerSec(double sessions, double wall_ms);
+
 /// Appends one JSON-lines record
 ///   {"bench": ..., "config": ..., "threads": N, "wall_ms": ...,
 ///    "sessions_per_sec": ...}

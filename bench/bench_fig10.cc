@@ -3,6 +3,9 @@
 // hundreds of ms in 2008 Java/Oracle) differ from this in-memory C++ build;
 // the shape — time dominated by the reduced-tree size and the width of the
 // expanded component — is what the bench reproduces.
+//
+// Flags: --json=PATH. (Timing benches stay single-threaded so per-EXPAND
+// times are not distorted by sibling sessions competing for cores.)
 
 #include <iostream>
 
@@ -11,7 +14,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Fig 10: Heuristic-ReducedOpt avg execution time per EXPAND");
 
   const Workload& w = SharedWorkload();
@@ -19,6 +23,7 @@ int main() {
   table.SetHeader({"Query", "EXPANDs", "Avg Time (ms)", "Max Time (ms)",
                    "Avg Reduced Size"});
 
+  Timer timer;
   for (size_t i = 0; i < w.num_queries(); ++i) {
     QueryFixture f = BuildQueryFixture(w, i);
     NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
@@ -34,6 +39,9 @@ int main() {
                   TextTable::Num(stats.max(), 3),
                   TextTable::Num(avg_reduced, 1)});
   }
+  double wall_ms = timer.ElapsedMillis();
   std::cout << table.ToString();
+  AppendJsonRecord(opts.json_path, "bench_fig10", "default", 1, wall_ms,
+                   PerSec(static_cast<double>(w.num_queries()), wall_ms));
   return 0;
 }

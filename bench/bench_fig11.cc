@@ -2,6 +2,8 @@
 // the prothymosin query, annotated with the reduced-tree partition count of
 // each expansion. The paper shows times varying with the reduced-tree size
 // and the width of the expanded component (upper levels are wider).
+//
+// Flags: --json=PATH. (Single-session timing bench; --threads is ignored.)
 
 #include <iostream>
 
@@ -10,7 +12,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Fig 11: per-EXPAND times for 'prothymosin'");
 
   const Workload& w = SharedWorkload();
@@ -23,8 +26,10 @@ int main() {
   }
   BIONAV_CHECK_LT(prothymosin, w.num_queries());
 
+  Timer timer;
   QueryFixture f = BuildQueryFixture(w, prothymosin);
   NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+  double wall_ms = timer.ElapsedMillis();
 
   TextTable table;
   table.SetHeader({"EXPAND #", "Partitions", "Revealed", "Time (ms)"});
@@ -37,5 +42,7 @@ int main() {
   std::cout << table.ToString();
   std::cout << "\nTotal EXPANDs: " << b.expand_actions
             << ", navigation cost: " << b.navigation_cost() << "\n";
+  AppendJsonRecord(opts.json_path, "bench_fig11", "prothymosin", 1, wall_ms,
+                   PerSec(1.0, wall_ms));
   return 0;
 }

@@ -3,6 +3,8 @@
 // Heuristic-ReducedOpt, per query, for the oracle target navigation.
 // The paper reports BioNav improving the cost by ~85% on average, with the
 // smallest improvement on the unselective-target "ice nucleation" query.
+//
+// Flags: --threads=N (parallel per-query sessions), --json=PATH.
 
 #include <iostream>
 
@@ -11,24 +13,38 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Fig 8: Navigation Cost, Static vs Heuristic-ReducedOpt");
 
   const Workload& w = SharedWorkload();
   TextTable table;
   table.SetHeader({"Query", "Static Cost", "BioNav Cost", "Improvement %"});
 
+  struct Row {
+    std::string name;
+    int static_cost = 0;
+    int bionav_cost = 0;
+  };
+  Timer timer;
+  std::vector<Row> rows =
+      ParallelMap<Row>(opts.threads, w.num_queries(), [&](size_t i) {
+        QueryFixture f = BuildQueryFixture(w, i);
+        NavigationMetrics s = RunOracle(f, MakeStaticStrategyFactory());
+        NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+        return Row{f.query->spec.name, s.navigation_cost(),
+                   b.navigation_cost()};
+      });
+  double wall_ms = timer.ElapsedMillis();
+
   double improvement_sum = 0;
-  for (size_t i = 0; i < w.num_queries(); ++i) {
-    QueryFixture f = BuildQueryFixture(w, i);
-    NavigationMetrics s = RunOracle(f, MakeStaticStrategyFactory());
-    NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+  for (const Row& row : rows) {
     double improvement =
-        100.0 * (1.0 - static_cast<double>(b.navigation_cost()) /
-                           static_cast<double>(s.navigation_cost()));
+        100.0 * (1.0 - static_cast<double>(row.bionav_cost) /
+                           static_cast<double>(row.static_cost));
     improvement_sum += improvement;
-    table.AddRow({f.query->spec.name, std::to_string(s.navigation_cost()),
-                  std::to_string(b.navigation_cost()),
+    table.AddRow({row.name, std::to_string(row.static_cost),
+                  std::to_string(row.bionav_cost),
                   TextTable::Num(improvement, 1)});
   }
   std::cout << table.ToString();
@@ -37,5 +53,9 @@ int main() {
                                   static_cast<double>(w.num_queries()),
                               1)
             << "% (paper: ~85%)\n";
+  // Two oracle sessions (static + BioNav) per query.
+  AppendJsonRecord(opts.json_path, "bench_fig8", "default", opts.threads,
+                   wall_ms,
+                   PerSec(2.0 * static_cast<double>(w.num_queries()), wall_ms));
   return 0;
 }

@@ -5,6 +5,9 @@
 // report the expected model cost of the heuristic's first cut (with optimal
 // continuation) against the optimal expected cost, plus the oracle
 // navigation cost achieved by each.
+//
+// Flags: --threads=N (parallel per-seed instances; seeds make the rows
+// bit-identical for every thread count), --json=PATH.
 
 #include <iostream>
 #include <memory>
@@ -14,104 +17,134 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+namespace {
+
+struct InstanceRow {
+  bool feasible = false;
+  uint64_t seed = 0;
+  size_t tree_size = 0;
+  double opt_cost = 0;
+  double h4 = 0;
+  double h6 = 0;
+};
+
+InstanceRow RunInstance(uint64_t seed) {
+  InstanceRow row;
+  row.seed = seed;
+  // A small random instance: tiny hierarchy, one query, calibrated so
+  // the navigation tree stays within Opt-EdgeCut's exact-DP range.
+  HierarchyGeneratorOptions hopts;
+  hopts.seed = seed;
+  hopts.target_nodes = 18;
+  hopts.num_categories = 3;
+  hopts.top_branching = 3;
+  ConceptHierarchy hierarchy = GenerateMeshLikeHierarchy(hopts);
+
+  QuerySpec spec;
+  spec.name = "tiny";
+  spec.keyword = "tiny";
+  spec.result_size = 30;
+  spec.target_depth = 3;
+  spec.num_themes = 2;
+  spec.focus_annotations_mean = 2.0;
+  spec.random_annotations_mean = 0.5;
+  spec.pool_size_factor = 0.5;
+  spec.field_background_factor = 1.0;
+  CorpusGeneratorOptions copts;
+  copts.seed = seed * 1000;
+  copts.background_citations = 300;
+  copts.ancestor_walk_prob = 0.35;
+  std::unique_ptr<SyntheticCorpus> corpus =
+      GenerateCorpus(hierarchy, {spec}, copts);
+
+  auto result = std::make_shared<const ResultSet>(
+      corpus->index->Search(spec.keyword));
+  NavigationTree nav(hierarchy, corpus->associations, result);
+  if (nav.size() < 6 || nav.size() > static_cast<size_t>(kMaxSmallTreeNodes)) {
+    return row;  // Keep only instances where the exact DP is feasible.
+  }
+  CostModel cost_model(&nav);
+  ActiveTree active(&nav);
+
+  SmallTree literal = SmallTreeFromComponent(active, cost_model, 0);
+  OptEdgeCut opt(&literal, &cost_model);
+  double opt_cost = opt.ComponentCost(literal.FullMask());
+
+  // Expected cost when the first EXPAND uses the heuristic's cut and the
+  // continuation is optimal: re-evaluate that cut with the exact DP.
+  auto heuristic_first_cost = [&](int k) {
+    HeuristicReducedOptOptions options;
+    options.max_partitions = k;
+    HeuristicReducedOpt heuristic(&cost_model, options);
+    EdgeCut cut = heuristic.ChooseEdgeCut(active, NavigationTree::kRoot);
+    // Map navigation nodes back to literal SmallTree indexes.
+    SmallTreeMask mask = literal.FullMask();
+    SmallTreeMask upper = mask;
+    const CostModelParams& p = cost_model.params();
+    const OptEdgeCut::Entry& root_entry = opt.ComputeEntry(mask);
+    auto cond = [&](const OptEdgeCut::Entry& e) {
+      return root_entry.weight > 0 ? e.weight / root_entry.weight : 0.0;
+    };
+    double value = p.expand_cost;
+    for (NavNodeId nav_child : cut.cut_children) {
+      int small_id = -1;
+      for (int s = 0; s < literal.size(); ++s) {
+        if (literal.node(s).origin == nav_child) {
+          small_id = s;
+          break;
+        }
+      }
+      BIONAV_CHECK_GE(small_id, 0);
+      SmallTreeMask lower = mask & literal.SubtreeMask(small_id);
+      upper &= ~lower;
+      const OptEdgeCut::Entry& le = opt.ComputeEntry(lower);
+      value += p.reveal_cost + cond(le) * le.cost;
+    }
+    const OptEdgeCut::Entry& ue = opt.ComputeEntry(upper);
+    value += cond(ue) * ue.cost;
+    // Conditional expected cost with this first cut and optimal
+    // continuation, comparable to opt.ComponentCost(mask).
+    return (1.0 - root_entry.expand_prob) * p.show_cost *
+               root_entry.distinct +
+           root_entry.expand_prob * value;
+  };
+
+  row.feasible = true;
+  row.tree_size = nav.size();
+  row.opt_cost = opt_cost;
+  row.h4 = heuristic_first_cost(4);
+  row.h6 = heuristic_first_cost(6);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   std::cout << "=== Opt-EdgeCut vs Heuristic-ReducedOpt (small trees) ===\n\n";
 
   TextTable table;
   table.SetHeader({"Seed", "Tree Size", "Opt E[cost]", "Heu K=4 E[cost]",
                    "Heu K=6 E[cost]", "Ratio K=4", "Ratio K=6"});
 
+  constexpr uint64_t kSeeds = 12;
+  Timer timer;
+  std::vector<InstanceRow> rows = ParallelMap<InstanceRow>(
+      opts.threads, kSeeds, [](size_t i) { return RunInstance(i + 1); });
+  double wall_ms = timer.ElapsedMillis();
+
   double ratio4_sum = 0, ratio6_sum = 0;
   int instances = 0;
-  for (uint64_t seed = 1; seed <= 12; ++seed) {
-    // A small random instance: tiny hierarchy, one query, calibrated so
-    // the navigation tree stays within Opt-EdgeCut's exact-DP range.
-    HierarchyGeneratorOptions hopts;
-    hopts.seed = seed;
-    hopts.target_nodes = 18;
-    hopts.num_categories = 3;
-    hopts.top_branching = 3;
-    ConceptHierarchy hierarchy = GenerateMeshLikeHierarchy(hopts);
-
-    QuerySpec spec;
-    spec.name = "tiny";
-    spec.keyword = "tiny";
-    spec.result_size = 30;
-    spec.target_depth = 3;
-    spec.num_themes = 2;
-    spec.focus_annotations_mean = 2.0;
-    spec.random_annotations_mean = 0.5;
-    spec.pool_size_factor = 0.5;
-    spec.field_background_factor = 1.0;
-    CorpusGeneratorOptions copts;
-    copts.seed = seed * 1000;
-    copts.background_citations = 300;
-    copts.ancestor_walk_prob = 0.35;
-    std::unique_ptr<SyntheticCorpus> corpus =
-        GenerateCorpus(hierarchy, {spec}, copts);
-
-    auto result = std::make_shared<const ResultSet>(
-        corpus->index->Search(spec.keyword));
-    NavigationTree nav(hierarchy, corpus->associations, result);
-    if (nav.size() < 6 || nav.size() > static_cast<size_t>(kMaxSmallTreeNodes)) {
-      continue;  // Keep only instances where the exact DP is feasible.
-    }
-    CostModel cost_model(&nav);
-    ActiveTree active(&nav);
-
-    SmallTree literal = SmallTreeFromComponent(active, cost_model, 0);
-    OptEdgeCut opt(&literal, &cost_model);
-    double opt_cost = opt.ComponentCost(literal.FullMask());
-
-    // Expected cost when the first EXPAND uses the heuristic's cut and the
-    // continuation is optimal: re-evaluate that cut with the exact DP.
-    auto heuristic_first_cost = [&](int k) {
-      HeuristicReducedOptOptions options;
-      options.max_partitions = k;
-      HeuristicReducedOpt heuristic(&cost_model, options);
-      EdgeCut cut = heuristic.ChooseEdgeCut(active, NavigationTree::kRoot);
-      // Map navigation nodes back to literal SmallTree indexes.
-      SmallTreeMask mask = literal.FullMask();
-      SmallTreeMask upper = mask;
-      const CostModelParams& p = cost_model.params();
-      const OptEdgeCut::Entry& root_entry = opt.ComputeEntry(mask);
-      auto cond = [&](const OptEdgeCut::Entry& e) {
-        return root_entry.weight > 0 ? e.weight / root_entry.weight : 0.0;
-      };
-      double value = p.expand_cost;
-      for (NavNodeId nav_child : cut.cut_children) {
-        int small_id = -1;
-        for (int s = 0; s < literal.size(); ++s) {
-          if (literal.node(s).origin == nav_child) {
-            small_id = s;
-            break;
-          }
-        }
-        BIONAV_CHECK_GE(small_id, 0);
-        SmallTreeMask lower = mask & literal.SubtreeMask(small_id);
-        upper &= ~lower;
-        const OptEdgeCut::Entry& le = opt.ComputeEntry(lower);
-        value += p.reveal_cost + cond(le) * le.cost;
-      }
-      const OptEdgeCut::Entry& ue = opt.ComputeEntry(upper);
-      value += cond(ue) * ue.cost;
-      // Conditional expected cost with this first cut and optimal
-      // continuation, comparable to opt.ComponentCost(mask).
-      return (1.0 - root_entry.expand_prob) * p.show_cost *
-                 root_entry.distinct +
-             root_entry.expand_prob * value;
-    };
-
-    double h4 = heuristic_first_cost(4);
-    double h6 = heuristic_first_cost(6);
-    double r4 = opt_cost > 0 ? h4 / opt_cost : 1.0;
-    double r6 = opt_cost > 0 ? h6 / opt_cost : 1.0;
+  for (const InstanceRow& row : rows) {
+    if (!row.feasible) continue;
+    double r4 = row.opt_cost > 0 ? row.h4 / row.opt_cost : 1.0;
+    double r6 = row.opt_cost > 0 ? row.h6 / row.opt_cost : 1.0;
     ratio4_sum += r4;
     ratio6_sum += r6;
     instances++;
-    table.AddRow({std::to_string(seed), std::to_string(nav.size()),
-                  TextTable::Num(opt_cost, 3), TextTable::Num(h4, 3),
-                  TextTable::Num(h6, 3), TextTable::Num(r4, 3),
+    table.AddRow({std::to_string(row.seed), std::to_string(row.tree_size),
+                  TextTable::Num(row.opt_cost, 3), TextTable::Num(row.h4, 3),
+                  TextTable::Num(row.h6, 3), TextTable::Num(r4, 3),
                   TextTable::Num(r6, 3)});
   }
   std::cout << table.ToString();
@@ -121,5 +154,8 @@ int main() {
               << TextTable::Num(ratio6_sum / instances, 3)
               << " (1.0 = optimal)\n";
   }
+  AppendJsonRecord(opts.json_path, "bench_opt_vs_heuristic", "default",
+                   opts.threads, wall_ms,
+                   PerSec(static_cast<double>(instances), wall_ms));
   return 0;
 }

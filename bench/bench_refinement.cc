@@ -4,6 +4,9 @@
 // oracle interaction cost of that model against BioNav's navigation,
 // charging both the same way (1 per item read + 1 per action + 1 per
 // citation finally inspected).
+//
+// Flags: --json=PATH. (The refinement oracle shares one QueryRefiner, so
+// the query loop stays serial; --threads is recorded but unused.)
 
 #include <iostream>
 
@@ -12,7 +15,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Related work: query refinement vs BioNav navigation");
 
   const Workload& w = SharedWorkload();
@@ -24,6 +28,7 @@ int main() {
                    "Target Recall %", "BioNav Cost (w/ results)",
                    "BioNav Recall %"});
 
+  Timer timer;
   double refine_sum = 0, bionav_sum = 0, recall_sum = 0;
   for (size_t i = 0; i < w.num_queries(); ++i) {
     const GeneratedQuery& q = w.query(i);
@@ -46,6 +51,7 @@ int main() {
                   // component subtree, so every target citation is shown.
                   "100"});
   }
+  double wall_ms = timer.ElapsedMillis();
   std::cout << table.ToString();
   double n = static_cast<double>(w.num_queries());
   std::cout << "\nAverage cost: refinement "
@@ -55,5 +61,7 @@ int main() {
             << TextTable::Num(100.0 * recall_sum / n, 0)
             << "% of the target literature (BioNav: 100%) — the paper's"
                " Section I over-specification critique.\n";
+  AppendJsonRecord(opts.json_path, "bench_refinement", "default", 1, wall_ms,
+                   PerSec(2.0 * n, wall_ms));
   return 0;
 }

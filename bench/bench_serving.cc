@@ -1,0 +1,210 @@
+// Closed-loop load generator for the navigation service (bionav::server):
+// starts a NavServer on loopback over the shared bench workload and drives
+// it with N client threads, each running M complete navigation sessions
+// over its own TCP connection. A session is the full oracle protocol —
+// QUERY, then FIND/EXPAND until the target concept is visible, then
+// SHOWRESULTS and CLOSE — so every layer (wire protocol, session manager,
+// thread pool, EXPAND hot path) is on the measured path.
+//
+// Reports per-request latency percentiles (p50/p95/p99) and end-to-end
+// sessions/sec, and verifies that no session below the admission limit is
+// shed (RETRY_LATER) or dropped.
+//
+// Flags: --threads=N (server worker threads), --clients=N (load threads,
+// default 4), --sessions=M (sessions per client, default 8), --json=PATH.
+
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace bionav;
+using namespace bionav::bench;
+
+namespace {
+
+struct ClientResult {
+  int sessions_done = 0;
+  int sessions_failed = 0;
+  int retry_later = 0;
+  std::vector<double> request_ms;
+  std::string first_error;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+/// One full oracle session over the wire; appends per-request latencies.
+Status RunSession(NavClient& client, const std::string& keyword,
+                  ConceptId target, std::vector<double>* request_ms) {
+  Timer timer;
+  auto timed = [&](auto&& call) {
+    timer.Restart();
+    auto result = call();
+    request_ms->push_back(timer.ElapsedMillis());
+    return result;
+  };
+
+  auto opened = timed([&] { return client.Query(keyword); });
+  if (!opened.ok()) return opened.status();
+  const std::string token = opened.ValueOrDie().token;
+
+  // Oracle navigation: expand the target's component until it is visible.
+  // The 64-iteration cap only guards against a protocol bug looping.
+  NavNodeId target_node = kInvalidNavNode;
+  for (int step = 0; step < 64; ++step) {
+    auto found = timed([&] { return client.Find(token, target); });
+    if (!found.ok()) return found.status();
+    const NavClient::FindReply& f = found.ValueOrDie();
+    if (!f.found) break;  // Target not in this result — nothing to reach.
+    target_node = f.node;
+    if (f.visible) break;
+    auto revealed = timed([&] { return client.Expand(token, f.component_root); });
+    if (!revealed.ok()) return revealed.status();
+  }
+
+  if (target_node != kInvalidNavNode) {
+    auto shown =
+        timed([&] { return client.ShowResults(token, target_node, 0, 20); });
+    if (!shown.ok()) return shown.status();
+  }
+  timer.Restart();
+  Status closed = client.CloseSession(token);
+  request_ms->push_back(timer.ElapsedMillis());
+  return closed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  int clients = 4;
+  int sessions_per_client = 8;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    int64_t value = 0;
+    if (StartsWith(arg, "--clients=") &&
+        ParseInt64(arg.substr(10), &value) && value > 0) {
+      clients = static_cast<int>(value);
+    } else if (StartsWith(arg, "--sessions=") &&
+               ParseInt64(arg.substr(11), &value) && value > 0) {
+      sessions_per_client = static_cast<int>(value);
+    } else {
+      std::cerr << "bench_serving: unknown arg '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  PrintPreamble("Serving: closed-loop load on NavServer");
+  const Workload& w = SharedWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+
+  NavServerOptions server_options;
+  server_options.threads = opts.threads;
+  // Admit every closed-loop client: each holds one connection for the
+  // whole run, so live handlers == clients.
+  server_options.max_pending = clients;
+  server_options.session.max_sessions =
+      static_cast<size_t>(clients) * 2 + 8;
+  NavServer server(&w.hierarchy(), &eutils, MakeBioNavStrategyFactory(),
+                   server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "server: 127.0.0.1:" << server.port() << ", "
+            << server_options.threads << " worker threads, " << clients
+            << " clients x " << sessions_per_client << " sessions\n\n";
+
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+  Timer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientResult& r = results[static_cast<size_t>(c)];
+        auto connected = NavClient::Connect("127.0.0.1", server.port());
+        if (!connected.ok()) {
+          r.first_error = connected.status().ToString();
+          r.sessions_failed = sessions_per_client;
+          return;
+        }
+        NavClient& client = *connected.ValueOrDie();
+        for (int s = 0; s < sessions_per_client; ++s) {
+          size_t qi = static_cast<size_t>(c * sessions_per_client + s) %
+                      w.num_queries();
+          const GeneratedQuery& q = w.query(qi);
+          Status status =
+              RunSession(client, q.spec.keyword, q.target, &r.request_ms);
+          if (status.ok()) {
+            ++r.sessions_done;
+          } else {
+            ++r.sessions_failed;
+            if (status.message().find("RETRY_LATER") != std::string::npos) {
+              ++r.retry_later;
+            }
+            if (r.first_error.empty()) r.first_error = status.ToString();
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  double wall_ms = wall.ElapsedMillis();
+  server.Shutdown();
+
+  int done = 0, failed = 0, shed = 0;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    done += r.sessions_done;
+    failed += r.sessions_failed;
+    shed += r.retry_later;
+    latencies.insert(latencies.end(), r.request_ms.begin(),
+                     r.request_ms.end());
+    if (!r.first_error.empty()) {
+      std::cerr << "client error: " << r.first_error << "\n";
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  NavServerStats stats = server.stats();
+  TextTable table;
+  table.SetHeader({"Sessions", "Failed", "Requests", "p50 (ms)", "p95 (ms)",
+                   "p99 (ms)", "Sessions/s"});
+  table.AddRow({std::to_string(done), std::to_string(failed),
+                std::to_string(latencies.size()),
+                TextTable::Num(Percentile(&latencies, 0.50), 3),
+                TextTable::Num(Percentile(&latencies, 0.95), 3),
+                TextTable::Num(Percentile(&latencies, 0.99), 3),
+                TextTable::Num(PerSec(done, wall_ms), 1)});
+  std::cout << table.ToString();
+  std::cout << "\nserver: " << stats.requests << " requests, "
+            << stats.connections_accepted << " connections accepted, "
+            << stats.connections_shed << " shed, "
+            << stats.sessions.created << " sessions created, "
+            << stats.sessions.evicted_lru << " LRU-evicted\n";
+
+  AppendJsonRecord(opts.json_path, "bench_serving",
+                   "clients=" + std::to_string(clients) +
+                       ",sessions=" + std::to_string(sessions_per_client),
+                   server_options.threads, wall_ms, PerSec(done, wall_ms));
+
+  // Every client held one connection below the admission limit: a dropped
+  // or shed session is a serving bug, not load.
+  if (failed > 0 || shed > 0 || stats.connections_shed > 0) {
+    std::cerr << "ERROR: " << failed << " failed / " << shed
+              << " shed sessions below the admission limit\n";
+    return 1;
+  }
+  return 0;
+}

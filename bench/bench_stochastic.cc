@@ -4,6 +4,10 @@
 // navigation cost per strategy. This is the quantity Heuristic-ReducedOpt
 // explicitly minimizes, so it should dominate here even more clearly than
 // in the oracle experiment of Fig 8.
+//
+// Flags: --threads=N (parallel per-query Monte-Carlo batches; per-query
+// seeds keep the estimates bit-identical for every thread count),
+// --json=PATH.
 
 #include <iostream>
 
@@ -32,7 +36,8 @@ double MeanStochasticCost(const QueryFixture& fixture,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Stochastic-user expected cost, Static vs BioNav");
 
   const Workload& w = SharedWorkload();
@@ -40,17 +45,28 @@ int main() {
   table.SetHeader({"Query", "Static E[cost]", "BioNav E[cost]",
                    "Improvement %"});
 
+  struct Row {
+    std::string name;
+    double static_cost = 0;
+    double bionav_cost = 0;
+  };
+  Timer timer;
+  std::vector<Row> rows =
+      ParallelMap<Row>(opts.threads, w.num_queries(), [&](size_t i) {
+        QueryFixture f = BuildQueryFixture(w, i);
+        return Row{
+            f.query->spec.name,
+            MeanStochasticCost(f, MakeStaticStrategyFactory(), 1000 + i),
+            MeanStochasticCost(f, MakeBioNavStrategyFactory(), 2000 + i)};
+      });
+  double wall_ms = timer.ElapsedMillis();
+
   double ratio_sum = 0;
-  for (size_t i = 0; i < w.num_queries(); ++i) {
-    QueryFixture f = BuildQueryFixture(w, i);
-    double static_cost =
-        MeanStochasticCost(f, MakeStaticStrategyFactory(), 1000 + i);
-    double bionav_cost =
-        MeanStochasticCost(f, MakeBioNavStrategyFactory(), 2000 + i);
-    double improvement = 100.0 * (1.0 - bionav_cost / static_cost);
-    ratio_sum += bionav_cost / static_cost;
-    table.AddRow({f.query->spec.name, TextTable::Num(static_cost, 1),
-                  TextTable::Num(bionav_cost, 1),
+  for (const Row& row : rows) {
+    double improvement = 100.0 * (1.0 - row.bionav_cost / row.static_cost);
+    ratio_sum += row.bionav_cost / row.static_cost;
+    table.AddRow({row.name, TextTable::Num(row.static_cost, 1),
+                  TextTable::Num(row.bionav_cost, 1),
                   TextTable::Num(improvement, 1)});
   }
   std::cout << table.ToString();
@@ -60,5 +76,9 @@ int main() {
                                       static_cast<double>(w.num_queries())),
                    1)
             << "% (" << kTrials << " sampled episodes per cell)\n";
+  // 2 strategies x kTrials episodes per query.
+  AppendJsonRecord(
+      opts.json_path, "bench_stochastic", "default", opts.threads, wall_ms,
+      PerSec(2.0 * kTrials * static_cast<double>(w.num_queries()), wall_ms));
   return 0;
 }

@@ -1,6 +1,8 @@
 // Reproduces Table I: the query-workload characteristics — result size,
 // navigation-tree size / max width / height, citations with duplicates, and
 // the target concept's MeSH level, |L(target)| and |LT(target)|.
+//
+// Flags: --threads=N (parallel per-query fixture builds), --json=PATH.
 
 #include <iostream>
 
@@ -9,7 +11,8 @@
 using namespace bionav;
 using namespace bionav::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   PrintPreamble("Table I: Query Workload");
 
   const Workload& w = SharedWorkload();
@@ -18,14 +21,15 @@ int main() {
                    "Height", "Citations w/ Dup", "Target Concept",
                    "MeSH Level", "|L(t)|", "|LT(t)|"});
 
-  for (size_t i = 0; i < w.num_queries(); ++i) {
+  Timer timer;
+  std::vector<std::vector<std::string>> rows = ParallelMap<
+      std::vector<std::string>>(opts.threads, w.num_queries(), [&](size_t i) {
     QueryFixture f = BuildQueryFixture(w, i);
     const GeneratedQuery& q = *f.query;
     NavNodeId tnode = f.nav->NodeOfConcept(q.target);
-    int attached = tnode == kInvalidNavNode
-                       ? 0
-                       : f.nav->node(tnode).attached_count;
-    table.AddRow({
+    int attached =
+        tnode == kInvalidNavNode ? 0 : f.nav->node(tnode).attached_count;
+    return std::vector<std::string>{
         q.spec.name,
         std::to_string(f.nav->result().size()),
         std::to_string(f.nav->size()),
@@ -36,8 +40,13 @@ int main() {
         std::to_string(w.hierarchy().depth(q.target)),
         std::to_string(attached),
         std::to_string(w.corpus().associations.GlobalCount(q.target)),
-    });
-  }
+    };
+  });
+  double wall_ms = timer.ElapsedMillis();
+  for (std::vector<std::string>& row : rows) table.AddRow(row);
   std::cout << table.ToString();
+  AppendJsonRecord(opts.json_path, "bench_table1", "default", opts.threads,
+                   wall_ms,
+                   PerSec(static_cast<double>(w.num_queries()), wall_ms));
   return 0;
 }

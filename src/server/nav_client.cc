@@ -1,0 +1,219 @@
+#include "server/nav_client.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bionav {
+
+Result<std::unique_ptr<NavClient>> NavClient::Connect(const std::string& host,
+                                                      int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &result);
+  if (rc != 0) {
+    return Status::IOError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    return Status::IOError("cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<NavClient>(new NavClient(fd));
+}
+
+NavClient::~NavClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<JsonValue> NavClient::CallRaw(const Request& request) {
+  std::string line = SerializeRequest(request);
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("connection lost while sending request");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // One response line per request, in order.
+  std::string response;
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      response.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      break;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError("connection closed before response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  Result<JsonValue> parsed = ParseJson(response);
+  if (!parsed.ok()) {
+    return Status::Internal("malformed response from server: " +
+                            parsed.status().message());
+  }
+  if (!parsed.ValueOrDie().is_object()) {
+    return Status::Internal("response is not a JSON object");
+  }
+  return parsed;
+}
+
+Result<JsonValue> NavClient::Call(const Request& request) {
+  Result<JsonValue> response = CallRaw(request);
+  if (!response.ok()) return response;
+  const JsonValue& doc = response.ValueOrDie();
+  if (!doc.BoolOr("ok", false)) {
+    return StatusFromWireError(doc.StringOr("error", "INTERNAL"),
+                               doc.StringOr("message", ""));
+  }
+  return response;
+}
+
+Result<NavClient::QueryReply> NavClient::Query(const std::string& query) {
+  Request request;
+  request.op = RequestOp::kQuery;
+  request.query = query;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue& doc = response.ValueOrDie();
+  QueryReply reply;
+  reply.token = doc.StringOr("token", "");
+  reply.result_size = static_cast<size_t>(doc.IntOr("result_size", 0));
+  if (reply.token.empty()) {
+    return Status::Internal("QUERY response carries no token");
+  }
+  return reply;
+}
+
+Result<std::vector<NavNodeId>> NavClient::Expand(const std::string& token,
+                                                 NavNodeId node) {
+  Request request;
+  request.op = RequestOp::kExpand;
+  request.token = token;
+  request.node = node;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue* revealed = response.ValueOrDie().Find("revealed");
+  if (revealed == nullptr || !revealed->is_array()) {
+    return Status::Internal("EXPAND response carries no revealed array");
+  }
+  std::vector<NavNodeId> ids;
+  ids.reserve(revealed->array_items().size());
+  for (const JsonValue& item : revealed->array_items()) {
+    if (!item.is_number()) {
+      return Status::Internal("non-numeric node id in revealed array");
+    }
+    ids.push_back(static_cast<NavNodeId>(item.number_value()));
+  }
+  return ids;
+}
+
+Result<NavClient::ShowReply> NavClient::ShowResults(const std::string& token,
+                                                    NavNodeId node,
+                                                    uint64_t retstart,
+                                                    uint64_t retmax) {
+  Request request;
+  request.op = RequestOp::kShowResults;
+  request.token = token;
+  request.node = node;
+  request.retstart = retstart;
+  request.retmax = retmax;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue& doc = response.ValueOrDie();
+  ShowReply reply;
+  reply.total = static_cast<size_t>(doc.IntOr("total", 0));
+  const JsonValue* summaries = doc.Find("summaries");
+  if (summaries == nullptr || !summaries->is_array()) {
+    return Status::Internal("SHOWRESULTS response carries no summaries");
+  }
+  for (const JsonValue& item : summaries->array_items()) {
+    CitationSummary summary;
+    summary.pmid = static_cast<uint64_t>(item.IntOr("pmid", 0));
+    summary.year = static_cast<int>(item.IntOr("year", 0));
+    summary.title = item.StringOr("title", "");
+    reply.summaries.push_back(std::move(summary));
+  }
+  return reply;
+}
+
+Result<bool> NavClient::Backtrack(const std::string& token) {
+  Request request;
+  request.op = RequestOp::kBacktrack;
+  request.token = token;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  return response.ValueOrDie().BoolOr("undone", false);
+}
+
+Result<NavClient::FindReply> NavClient::Find(const std::string& token,
+                                             ConceptId concept_id) {
+  Request request;
+  request.op = RequestOp::kFind;
+  request.token = token;
+  request.concept_id = concept_id;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue& doc = response.ValueOrDie();
+  FindReply reply;
+  reply.found = doc.BoolOr("found", false);
+  reply.node = static_cast<NavNodeId>(doc.IntOr("node", kInvalidNavNode));
+  reply.visible = doc.BoolOr("visible", false);
+  reply.component_root =
+      static_cast<NavNodeId>(doc.IntOr("component_root", kInvalidNavNode));
+  reply.distinct = static_cast<int>(doc.IntOr("distinct", 0));
+  return reply;
+}
+
+Result<std::string> NavClient::View(const std::string& token, int depth) {
+  Request request;
+  request.op = RequestOp::kView;
+  request.token = token;
+  request.depth = depth;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue* tree = response.ValueOrDie().Find("tree");
+  if (tree == nullptr) {
+    return Status::Internal("VIEW response carries no tree");
+  }
+  return WriteJson(*tree);
+}
+
+Status NavClient::CloseSession(const std::string& token) {
+  Request request;
+  request.op = RequestOp::kClose;
+  request.token = token;
+  Result<JsonValue> response = Call(request);
+  return response.ok() ? Status::OK() : response.status();
+}
+
+Result<JsonValue> NavClient::Stats() {
+  Request request;
+  request.op = RequestOp::kStats;
+  return Call(request);
+}
+
+}  // namespace bionav

@@ -1,0 +1,82 @@
+#ifndef BIONAV_SERVER_NAV_CLIENT_H_
+#define BIONAV_SERVER_NAV_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "medline/eutils.h"
+#include "server/protocol.h"
+
+namespace bionav {
+
+/// Blocking client for the NavServer wire protocol: one TCP connection,
+/// strict request/response. Used by bionav_cli's remote mode, the loopback
+/// tests and the bench_serving load generator.
+class NavClient {
+ public:
+  /// Connects to host:port (numeric address or resolvable name).
+  static Result<std::unique_ptr<NavClient>> Connect(const std::string& host,
+                                                    int port);
+
+  NavClient(const NavClient&) = delete;
+  NavClient& operator=(const NavClient&) = delete;
+  ~NavClient();
+
+  /// Sends one request and returns the parsed response object — including
+  /// error responses (ok:false); only transport/parse failures are a
+  /// non-OK Result. Most callers want the typed wrappers below, which fold
+  /// wire errors into Status via StatusFromWireError.
+  Result<JsonValue> CallRaw(const Request& request);
+
+  struct QueryReply {
+    std::string token;
+    size_t result_size = 0;
+  };
+  Result<QueryReply> Query(const std::string& query);
+
+  /// EXPAND: ids of the navigation nodes the cut revealed.
+  Result<std::vector<NavNodeId>> Expand(const std::string& token,
+                                        NavNodeId node);
+
+  struct ShowReply {
+    size_t total = 0;
+    std::vector<CitationSummary> summaries;
+  };
+  Result<ShowReply> ShowResults(const std::string& token, NavNodeId node,
+                                uint64_t retstart = 0, uint64_t retmax = 0);
+
+  Result<bool> Backtrack(const std::string& token);
+
+  struct FindReply {
+    bool found = false;
+    NavNodeId node = kInvalidNavNode;
+    bool visible = false;
+    NavNodeId component_root = kInvalidNavNode;
+    int distinct = 0;
+  };
+  /// FIND: locate a concept in the session's navigation/active tree — the
+  /// primitive behind the oracle navigation (tests, bench_serving).
+  Result<FindReply> Find(const std::string& token, ConceptId concept_id);
+
+  /// VIEW: the active-tree visualization as a raw JSON string.
+  Result<std::string> View(const std::string& token, int depth = 100);
+
+  Status CloseSession(const std::string& token);
+
+  /// STATS: the server's counters as a parsed JSON object.
+  Result<JsonValue> Stats();
+
+ private:
+  explicit NavClient(int fd) : fd_(fd) {}
+
+  /// Sends a request and demands ok:true, folding wire errors to Status.
+  Result<JsonValue> Call(const Request& request);
+
+  int fd_ = -1;
+  std::string buffer_;  // Partial-line carry-over between reads.
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_SERVER_NAV_CLIENT_H_

@@ -1,0 +1,380 @@
+#include "server/nav_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/json_export.h"
+
+namespace bionav {
+
+namespace {
+
+/// Reads '\n'-terminated lines from a blocking socket. Returns false on
+/// EOF/error with no complete line buffered.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Writes the whole buffer; MSG_NOSIGNAL keeps a dead peer from raising
+/// SIGPIPE. False once the peer is gone.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendLine(int fd, std::string line) {
+  line.push_back('\n');
+  return SendAll(fd, line);
+}
+
+}  // namespace
+
+NavServer::NavServer(const ConceptHierarchy* hierarchy,
+                     const EUtilsClient* eutils,
+                     StrategyFactory strategy_factory, NavServerOptions options)
+    : options_(std::move(options)),
+      sessions_(hierarchy, eutils,
+                strategy_factory ? std::move(strategy_factory)
+                                 : MakeBioNavStrategyFactory(),
+                options_.session, options_.cost_params),
+      pool_(options_.threads < 1 ? 1 : options_.threads) {
+  if (options_.max_pending < 0) options_.max_pending = 0;
+}
+
+Status NavServer::Start() {
+  BIONAV_CHECK(!started_.load()) << "NavServer started twice";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NavServer::AcceptLoop() {
+  const int admission_limit = pool_.num_threads() + options_.max_pending;
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (or unrecoverable): stop accepting.
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      SendLine(fd, ErrorReply(WireError::kShuttingDown, "server is draining"));
+      ::close(fd);
+      break;
+    }
+    // Disable Nagle: the protocol is strictly request/response with small
+    // frames, so coalescing only adds latency.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Admission control: every live handler occupies either a pool worker
+    // or a bounded queue slot. Past that, shed with RETRY_LATER — the
+    // client backs off; the server never builds an unbounded backlog.
+    int live = live_handlers_.load(std::memory_order_acquire);
+    if (live >= admission_limit) {
+      SendLine(fd, ErrorReply(WireError::kRetryLater,
+                              "server at capacity, retry later"));
+      ::close(fd);
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    live_handlers_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      open_fds_.insert(fd);
+    }
+    pool_.Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void NavServer::HandleConnection(int fd) {
+  LineReader reader(fd);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    std::string response = HandleRequestLine(line);
+    if (!SendLine(fd, std::move(response))) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+  live_handlers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::string NavServer::HandleRequestLine(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  std::string error_message;
+  WireError error = ParseRequest(line, &request, &error_message);
+  if (error != WireError::kNone) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply(error, error_message);
+  }
+  switch (request.op) {
+    case RequestOp::kQuery: return HandleQuery(request);
+    case RequestOp::kExpand: return HandleExpand(request);
+    case RequestOp::kShowResults: return HandleShowResults(request);
+    case RequestOp::kBacktrack: return HandleBacktrack(request);
+    case RequestOp::kFind: return HandleFind(request);
+    case RequestOp::kView: return HandleView(request);
+    case RequestOp::kClose: return HandleClose(request);
+    case RequestOp::kStats: return HandleStats(request);
+  }
+  return ErrorReply(WireError::kInternal, "unhandled op");
+}
+
+namespace {
+
+/// A SessionManager-level NotFound means the token is not live; op-level
+/// statuses pass through with their own codes (see WithSession contract).
+std::string SessionErrorReply(const Status& status) {
+  if (status.code() == StatusCode::kNotFound) {
+    return ErrorReply(WireError::kUnknownSession, status.message());
+  }
+  return ErrorReply(WireErrorFromStatus(status), status.message());
+}
+
+}  // namespace
+
+std::string NavServer::HandleQuery(const Request& request) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return ErrorReply(WireError::kShuttingDown, "server is draining");
+  }
+  size_t result_size = 0;
+  Result<std::string> token = sessions_.Create(request.query, &result_size);
+  if (!token.ok()) {
+    return ErrorReply(WireErrorFromStatus(token.status()),
+                      token.status().message());
+  }
+  return ResponseBuilder(RequestOp::kQuery)
+      .Add("token", std::string_view(token.ValueOrDie()))
+      .Add("result_size", static_cast<uint64_t>(result_size))
+      .Finish();
+}
+
+std::string NavServer::HandleExpand(const Request& request) {
+  std::vector<NavNodeId> revealed;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        Result<std::vector<NavNodeId>> r = session.Expand(request.node);
+        if (!r.ok()) return r.status();
+        revealed = r.TakeValue();
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorReply(status);
+  std::string ids = "[";
+  for (size_t i = 0; i < revealed.size(); ++i) {
+    if (i > 0) ids.push_back(',');
+    ids += std::to_string(revealed[i]);
+  }
+  ids.push_back(']');
+  return ResponseBuilder(RequestOp::kExpand).AddRaw("revealed", ids).Finish();
+}
+
+std::string NavServer::HandleShowResults(const Request& request) {
+  std::vector<CitationSummary> summaries;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        Result<std::vector<CitationSummary>> r = session.ShowResults(
+            request.node, request.retstart, request.retmax);
+        if (!r.ok()) return r.status();
+        summaries = r.TakeValue();
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorReply(status);
+  return ResponseBuilder(RequestOp::kShowResults)
+      .Add("total", static_cast<uint64_t>(summaries.size()))
+      .AddRaw("summaries", SummariesToJson(summaries))
+      .Finish();
+}
+
+std::string NavServer::HandleBacktrack(const Request& request) {
+  bool undone = false;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        undone = session.Backtrack();
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorReply(status);
+  return ResponseBuilder(RequestOp::kBacktrack).Add("undone", undone).Finish();
+}
+
+std::string NavServer::HandleFind(const Request& request) {
+  bool found = false, visible = false;
+  NavNodeId node = kInvalidNavNode, root = kInvalidNavNode;
+  int distinct = 0;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        const NavigationTree& nav = session.navigation_tree();
+        node = nav.NodeOfConcept(request.concept_id);
+        if (node == kInvalidNavNode) return Status::OK();
+        found = true;
+        const ActiveTree& active = session.active_tree();
+        int comp = active.ComponentOf(node);
+        visible = active.IsVisible(node);
+        root = active.ComponentRoot(comp);
+        distinct = active.ComponentDistinctCount(comp);
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorReply(status);
+  return ResponseBuilder(RequestOp::kFind)
+      .Add("found", found)
+      .Add("node", static_cast<int64_t>(node))
+      .Add("visible", visible)
+      .Add("component_root", static_cast<int64_t>(root))
+      .Add("distinct", static_cast<int64_t>(distinct))
+      .Finish();
+}
+
+std::string NavServer::HandleView(const Request& request) {
+  std::string tree;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        tree = VisualizationToJson(session.active_tree(), session.cost_model(),
+                                   request.depth);
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorReply(status);
+  return ResponseBuilder(RequestOp::kView).AddRaw("tree", tree).Finish();
+}
+
+std::string NavServer::HandleClose(const Request& request) {
+  bool closed = sessions_.Close(request.token);
+  if (!closed) {
+    return ErrorReply(WireError::kUnknownSession,
+                      "unknown session '" + request.token + "'");
+  }
+  return ResponseBuilder(RequestOp::kClose).Add("closed", true).Finish();
+}
+
+std::string NavServer::HandleStats(const Request&) {
+  NavServerStats s = stats();
+  std::string sessions =
+      "{\"active\":" + std::to_string(s.sessions.active) +
+      ",\"created\":" + std::to_string(s.sessions.created) +
+      ",\"evicted_lru\":" + std::to_string(s.sessions.evicted_lru) +
+      ",\"expired_ttl\":" + std::to_string(s.sessions.expired_ttl) +
+      ",\"closed\":" + std::to_string(s.sessions.closed) +
+      ",\"operations\":" + std::to_string(s.sessions.operations) + "}";
+  return ResponseBuilder(RequestOp::kStats)
+      .Add("connections_accepted", s.connections_accepted)
+      .Add("connections_shed", s.connections_shed)
+      .Add("requests", s.requests)
+      .Add("protocol_errors", s.protocol_errors)
+      .Add("threads", pool_.num_threads())
+      .AddRaw("sessions", sessions)
+      .Finish();
+}
+
+NavServerStats NavServer::stats() const {
+  NavServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.sessions = sessions_.stats();
+  return s;
+}
+
+void NavServer::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (!started_.load() || shutting_down_.load()) return;
+  shutting_down_.store(true, std::memory_order_release);
+  // 1. Stop admitting: half-close the listener so the blocking accept
+  //    returns, then join the accept thread before closing the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Drain: half-close the read side of every live connection. A handler
+  //    mid-request finishes and writes its response (the write side stays
+  //    open); its next read sees EOF and the handler exits.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  pool_.Wait();
+}
+
+NavServer::~NavServer() { Shutdown(); }
+
+}  // namespace bionav

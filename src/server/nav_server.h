@@ -1,0 +1,119 @@
+#ifndef BIONAV_SERVER_NAV_SERVER_H_
+#define BIONAV_SERVER_NAV_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "server/protocol.h"
+#include "server/session_manager.h"
+#include "util/thread_pool.h"
+
+namespace bionav {
+
+struct NavServerOptions {
+  /// Bind address (loopback by default — fronting proxies terminate the
+  /// public edge in the paper's architecture).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port, readable via port() after Start.
+  int port = 0;
+  /// Worker threads serving connections (clamped to >= 1).
+  int threads = 4;
+  /// Admission control: connections beyond `threads + max_pending` are shed
+  /// with a RETRY_LATER reply instead of queuing unboundedly on the pool.
+  int max_pending = 16;
+  SessionManagerOptions session;
+  CostModelParams cost_params;
+};
+
+/// Server-level counters (session counters live in SessionManagerStats).
+struct NavServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_shed = 0;
+  int64_t requests = 0;
+  int64_t protocol_errors = 0;
+  SessionManagerStats sessions;
+};
+
+/// The navigation service of the paper's Section VII deployment: a
+/// blocking-socket TCP server speaking the line-delimited protocol of
+/// server/protocol.h. One accept thread admits connections and dispatches
+/// a per-connection handler onto the PR-1 ThreadPool; each handler reads
+/// request lines, executes them against the SessionManager, and writes one
+/// response line per request.
+///
+/// Backpressure: a connection admitted while `threads + max_pending`
+/// handlers are already live is answered with a single RETRY_LATER error
+/// line and closed — load is shed at the edge, never queued unboundedly.
+///
+/// Shutdown is graceful: Shutdown() stops the accept loop, half-closes the
+/// read side of every live connection, and drains the pool — a request
+/// already being processed completes and its response is written before
+/// the connection is torn down.
+class NavServer {
+ public:
+  /// The hierarchy/eutils substrate must outlive the server. The strategy
+  /// factory is shared by all sessions (BioNav policy by default).
+  NavServer(const ConceptHierarchy* hierarchy, const EUtilsClient* eutils,
+            StrategyFactory strategy_factory = nullptr,
+            NavServerOptions options = NavServerOptions());
+
+  NavServer(const NavServer&) = delete;
+  NavServer& operator=(const NavServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. IOError on bind failure.
+  Status Start();
+
+  /// Bound TCP port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; idempotent, also run by the destructor.
+  void Shutdown();
+
+  ~NavServer();
+
+  NavServerStats stats() const;
+  SessionManager& session_manager() { return sessions_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Executes one request line, returns the response line (no newline).
+  std::string HandleRequestLine(const std::string& line);
+
+  std::string HandleQuery(const Request& request);
+  std::string HandleExpand(const Request& request);
+  std::string HandleShowResults(const Request& request);
+  std::string HandleBacktrack(const Request& request);
+  std::string HandleFind(const Request& request);
+  std::string HandleView(const Request& request);
+  std::string HandleClose(const Request& request);
+  std::string HandleStats(const Request& request);
+
+  NavServerOptions options_;
+  SessionManager sessions_;
+  ThreadPool pool_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<int> live_handlers_{0};
+
+  mutable std::mutex conn_mu_;
+  std::unordered_set<int> open_fds_;
+  std::mutex shutdown_mu_;  // Serializes Shutdown (idempotence).
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_shed_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_SERVER_NAV_SERVER_H_

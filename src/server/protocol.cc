@@ -1,0 +1,682 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/json_export.h"
+
+namespace bionav {
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(Array a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(Object o) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t JsonValue::IntOr(std::string_view key, int64_t def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? static_cast<int64_t>(v->number_)
+                                        : def;
+}
+
+double JsonValue::NumberOr(std::string_view key, double def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_ : def;
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->bool_ : def;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_ : std::string(def);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (recursive descent, depth-capped)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxJsonDepth = 64;
+
+// Local analogue of BIONAV_RETURN_IF_ERROR for functions returning
+// Result<JsonValue> (the Status error converts implicitly).
+#define BIONAV_RETURN_IF_ERROR_RESULT(expr)  \
+  do {                                       \
+    ::bionav::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    BIONAV_RETURN_IF_ERROR_RESULT(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(std::string_view message) {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::string(message));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxJsonDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        BIONAV_RETURN_IF_ERROR_RESULT(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = JsonValue::MakeBool(true);
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = JsonValue::MakeBool(false);
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      BIONAV_RETURN_IF_ERROR_RESULT(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' in object");
+      JsonValue value;
+      BIONAV_RETURN_IF_ERROR_RESULT(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      BIONAV_RETURN_IF_ERROR_RESULT(ParseValue(&value, depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences — the protocol's own payloads
+          // are ASCII, this path only affects user-supplied queries).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  bool ConsumeDigits() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  /// Strict JSON number grammar: -? (0 | [1-9][0-9]*) frac? exp? — rejects
+  /// the strtod extensions ("+1", "01", "1.", ".5", hex, inf/nan).
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (!ConsumeDigits()) {
+      return Fail("malformed number");
+    }
+    if (Consume('.') && !ConsumeDigits()) return Fail("malformed number");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) return Fail("malformed number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Fail("malformed number");
+    }
+    *out = JsonValue::MakeNumber(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+#undef BIONAV_RETURN_IF_ERROR_RESULT
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+namespace {
+
+void WriteJsonTo(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Type::kBool:
+      out->append(value.bool_value() ? "true" : "false");
+      return;
+    case JsonValue::Type::kNumber: {
+      double n = value.number_value();
+      if (n == static_cast<double>(static_cast<int64_t>(n))) {
+        out->append(std::to_string(static_cast<int64_t>(n)));
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", n);
+        out->append(buffer);
+      }
+      return;
+    }
+    case JsonValue::Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(value.string_value()));
+      out->push_back('"');
+      return;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.array_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteJsonTo(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.object_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        out->append(JsonEscape(key));
+        out->append("\":");
+        WriteJsonTo(member, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteJsonTo(value, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const char* RequestOpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kQuery: return "QUERY";
+    case RequestOp::kExpand: return "EXPAND";
+    case RequestOp::kShowResults: return "SHOWRESULTS";
+    case RequestOp::kBacktrack: return "BACKTRACK";
+    case RequestOp::kFind: return "FIND";
+    case RequestOp::kView: return "VIEW";
+    case RequestOp::kClose: return "CLOSE";
+    case RequestOp::kStats: return "STATS";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+bool RequestOpFromName(std::string_view name, RequestOp* out) {
+  static constexpr RequestOp kOps[] = {
+      RequestOp::kQuery,     RequestOp::kExpand, RequestOp::kShowResults,
+      RequestOp::kBacktrack, RequestOp::kFind,   RequestOp::kView,
+      RequestOp::kClose,     RequestOp::kStats,
+  };
+  for (RequestOp op : kOps) {
+    if (name == RequestOpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NeedsToken(RequestOp op) {
+  return op != RequestOp::kQuery && op != RequestOp::kStats;
+}
+
+void AppendKey(std::string* out, std::string_view key) {
+  out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+}
+
+}  // namespace
+
+std::string SerializeRequest(const Request& request) {
+  std::string out = "{\"v\":" + std::to_string(request.version) +
+                    ",\"op\":\"" + RequestOpName(request.op) + "\"";
+  if (request.op == RequestOp::kQuery) {
+    AppendKey(&out, "query");
+    out += '"' + JsonEscape(request.query) + '"';
+  }
+  if (NeedsToken(request.op)) {
+    AppendKey(&out, "token");
+    out += '"' + JsonEscape(request.token) + '"';
+  }
+  if (request.op == RequestOp::kExpand ||
+      request.op == RequestOp::kShowResults) {
+    AppendKey(&out, "node");
+    out += std::to_string(request.node);
+  }
+  if (request.op == RequestOp::kShowResults) {
+    AppendKey(&out, "retstart");
+    out += std::to_string(request.retstart);
+    AppendKey(&out, "retmax");
+    out += std::to_string(request.retmax);
+  }
+  if (request.op == RequestOp::kFind) {
+    AppendKey(&out, "concept");
+    out += std::to_string(request.concept_id);
+  }
+  if (request.op == RequestOp::kView) {
+    AppendKey(&out, "depth");
+    out += std::to_string(request.depth);
+  }
+  out.push_back('}');
+  return out;
+}
+
+WireError ParseRequest(std::string_view line, Request* out,
+                       std::string* error_message) {
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    *error_message = parsed.status().message();
+    return WireError::kBadRequest;
+  }
+  const JsonValue& doc = parsed.ValueOrDie();
+  if (!doc.is_object()) {
+    *error_message = "request must be a JSON object";
+    return WireError::kBadRequest;
+  }
+  const JsonValue* version = doc.Find("v");
+  if (version == nullptr || !version->is_number()) {
+    // Absent or ill-typed "v" is a version we do not speak, not a malformed
+    // request — the reply tells the peer which version this server wants.
+    *error_message = "missing protocol version field \"v\"; server speaks " +
+                     std::to_string(kProtocolVersion);
+    return WireError::kUnsupportedVersion;
+  }
+  if (static_cast<int>(version->number_value()) != kProtocolVersion) {
+    *error_message = "server speaks protocol version " +
+                     std::to_string(kProtocolVersion);
+    return WireError::kUnsupportedVersion;
+  }
+  const JsonValue* op = doc.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error_message = "missing request field \"op\"";
+    return WireError::kBadRequest;
+  }
+  Request request;
+  request.version = kProtocolVersion;
+  if (!RequestOpFromName(op->string_value(), &request.op)) {
+    *error_message = "unknown op '" + op->string_value() + "'";
+    return WireError::kBadRequest;
+  }
+  if (request.op == RequestOp::kQuery) {
+    const JsonValue* query = doc.Find("query");
+    if (query == nullptr || !query->is_string() ||
+        query->string_value().empty()) {
+      *error_message = "QUERY requires a non-empty string field \"query\"";
+      return WireError::kBadRequest;
+    }
+    request.query = query->string_value();
+  }
+  if (NeedsToken(request.op)) {
+    const JsonValue* token = doc.Find("token");
+    if (token == nullptr || !token->is_string() ||
+        token->string_value().empty()) {
+      *error_message = std::string(RequestOpName(request.op)) +
+                       " requires a string field \"token\"";
+      return WireError::kBadRequest;
+    }
+    request.token = token->string_value();
+  }
+  if (request.op == RequestOp::kExpand ||
+      request.op == RequestOp::kShowResults) {
+    const JsonValue* node = doc.Find("node");
+    if (node == nullptr || !node->is_number()) {
+      *error_message = std::string(RequestOpName(request.op)) +
+                       " requires a numeric field \"node\"";
+      return WireError::kBadRequest;
+    }
+    request.node = static_cast<NavNodeId>(node->number_value());
+  }
+  if (request.op == RequestOp::kShowResults) {
+    int64_t retstart = doc.IntOr("retstart", 0);
+    int64_t retmax = doc.IntOr("retmax", 0);
+    if (retstart < 0 || retmax < 0) {
+      *error_message = "retstart/retmax must be non-negative";
+      return WireError::kBadRequest;
+    }
+    request.retstart = static_cast<uint64_t>(retstart);
+    request.retmax = static_cast<uint64_t>(retmax);
+  }
+  if (request.op == RequestOp::kFind) {
+    const JsonValue* concept_field = doc.Find("concept");
+    if (concept_field == nullptr || !concept_field->is_number()) {
+      *error_message = "FIND requires a numeric field \"concept\"";
+      return WireError::kBadRequest;
+    }
+    request.concept_id = static_cast<ConceptId>(concept_field->number_value());
+  }
+  if (request.op == RequestOp::kView) {
+    request.depth = static_cast<int>(doc.IntOr("depth", 100));
+  }
+  *out = request;
+  error_message->clear();
+  return WireError::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Responses and errors
+// ---------------------------------------------------------------------------
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "NONE";
+    case WireError::kBadRequest: return "BAD_REQUEST";
+    case WireError::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case WireError::kUnknownSession: return "UNKNOWN_SESSION";
+    case WireError::kRetryLater: return "RETRY_LATER";
+    case WireError::kShuttingDown: return "SHUTTING_DOWN";
+    case WireError::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireError::kNotFound: return "NOT_FOUND";
+    case WireError::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case WireError::kInternal: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::string ErrorReply(WireError error, std::string_view message) {
+  BIONAV_CHECK(error != WireError::kNone) << "ErrorReply on success";
+  return "{\"v\":" + std::to_string(kProtocolVersion) +
+         ",\"ok\":false,\"error\":\"" + WireErrorName(error) +
+         "\",\"message\":\"" + JsonEscape(std::string(message)) + "\"}";
+}
+
+WireError WireErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      BIONAV_CHECK(false) << "WireErrorFromStatus on OK";
+      return WireError::kInternal;
+    case StatusCode::kInvalidArgument: return WireError::kInvalidArgument;
+    case StatusCode::kNotFound: return WireError::kNotFound;
+    case StatusCode::kOutOfRange: return WireError::kInvalidArgument;
+    case StatusCode::kFailedPrecondition: return WireError::kFailedPrecondition;
+    case StatusCode::kInternal: return WireError::kInternal;
+    case StatusCode::kIOError: return WireError::kInternal;
+  }
+  return WireError::kInternal;
+}
+
+Status StatusFromWireError(std::string_view error_name,
+                           std::string_view message) {
+  std::string msg(message);
+  if (error_name == WireErrorName(WireError::kInvalidArgument) ||
+      error_name == WireErrorName(WireError::kBadRequest) ||
+      error_name == WireErrorName(WireError::kUnsupportedVersion)) {
+    return Status::InvalidArgument(msg);
+  }
+  if (error_name == WireErrorName(WireError::kNotFound) ||
+      error_name == WireErrorName(WireError::kUnknownSession)) {
+    return Status::NotFound(msg);
+  }
+  if (error_name == WireErrorName(WireError::kRetryLater) ||
+      error_name == WireErrorName(WireError::kShuttingDown) ||
+      error_name == WireErrorName(WireError::kFailedPrecondition)) {
+    // Shed / drain replies keep their code name so callers can detect
+    // backpressure without string-matching free-form messages.
+    if (error_name != WireErrorName(WireError::kFailedPrecondition)) {
+      return Status::FailedPrecondition(std::string(error_name) + ": " + msg);
+    }
+    return Status::FailedPrecondition(msg);
+  }
+  return Status::Internal(std::string(error_name) + ": " + msg);
+}
+
+ResponseBuilder::ResponseBuilder(RequestOp op) {
+  out_ = "{\"v\":" + std::to_string(kProtocolVersion) +
+         ",\"ok\":true,\"op\":\"" + RequestOpName(op) + "\"";
+}
+
+ResponseBuilder& ResponseBuilder::Add(std::string_view key, int64_t value) {
+  AppendKey(&out_, key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::Add(std::string_view key, uint64_t value) {
+  AppendKey(&out_, key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::Add(std::string_view key, int value) {
+  return Add(key, static_cast<int64_t>(value));
+}
+
+ResponseBuilder& ResponseBuilder::Add(std::string_view key, bool value) {
+  AppendKey(&out_, key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::Add(std::string_view key,
+                                      std::string_view value) {
+  AppendKey(&out_, key);
+  out_ += '"' + JsonEscape(std::string(value)) + '"';
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::AddRaw(std::string_view key,
+                                         std::string_view raw_json) {
+  AppendKey(&out_, key);
+  out_.append(raw_json);
+  return *this;
+}
+
+std::string ResponseBuilder::Finish() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+}  // namespace bionav

@@ -1,0 +1,195 @@
+#ifndef BIONAV_SERVER_PROTOCOL_H_
+#define BIONAV_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/navigation_tree.h"
+#include "hierarchy/concept_hierarchy.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// The BioNav wire protocol: one request line in, one response line out,
+/// both UTF-8 JSON objects terminated by '\n' (the paper's deployment is an
+/// HTTP web service; a line-delimited exchange keeps the reproduction
+/// dependency-free while preserving the request/response shape). Every
+/// message carries the protocol version under "v"; servers reject versions
+/// they do not speak with an UNSUPPORTED_VERSION error instead of guessing.
+///
+/// Request grammar (all requests):
+///   {"v": 1, "op": "<OP>", ...op-specific fields...}
+/// Ops and their fields:
+///   QUERY       {"query": "<keywords>"}            -> token, result_size
+///   EXPAND      {"token": t, "node": n}            -> revealed: [ids]
+///   SHOWRESULTS {"token": t, "node": n,
+///                "retstart": s, "retmax": m}       -> total, summaries
+///   BACKTRACK   {"token": t}                       -> undone
+///   FIND        {"token": t, "concept": c}         -> node, visible, ...
+///   VIEW        {"token": t, "depth": d}           -> tree (visualization)
+///   CLOSE       {"token": t}                       -> closed
+///   STATS       {}                                 -> stats
+/// Responses: {"v": 1, "ok": true, "op": "<OP>", ...} on success, or
+///   {"v": 1, "ok": false, "error": "<CODE>", "message": "..."} on failure.
+inline constexpr int kProtocolVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + parser (requests are parsed server-side,
+// responses client-side; core/json_export handles serialization of the
+// heavyweight payloads).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are doubles (the protocol's integers are
+/// well below 2^53, so the double round-trip is exact).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double n);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(Array a);
+  static JsonValue MakeObject(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array_items() const { return array_; }
+  const Object& object_items() const { return object_; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member getters with defaults (absent or wrong-typed -> default).
+  int64_t IntOr(std::string_view key, int64_t def) const;
+  double NumberOr(std::string_view key, double def) const;
+  bool BoolOr(std::string_view key, bool def) const;
+  std::string StringOr(std::string_view key, std::string_view def) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// whitespace allowed); nesting is capped to keep hostile inputs from
+/// exhausting the stack.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Serializes a JsonValue back to compact JSON (integral numbers print
+/// without a decimal point, so protocol integers round-trip textually).
+std::string WriteJson(const JsonValue& value);
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+enum class RequestOp {
+  kQuery,
+  kExpand,
+  kShowResults,
+  kBacktrack,
+  kFind,
+  kView,
+  kClose,
+  kStats,
+};
+
+/// Wire name of an op ("QUERY", ...).
+const char* RequestOpName(RequestOp op);
+
+/// One parsed request; fields beyond (version, op) are op-specific.
+struct Request {
+  int version = kProtocolVersion;
+  RequestOp op = RequestOp::kStats;
+  std::string token;                       // all session-scoped ops
+  std::string query;                       // QUERY
+  NavNodeId node = kInvalidNavNode;        // EXPAND / SHOWRESULTS
+  ConceptId concept_id = kInvalidConcept;  // FIND
+  uint64_t retstart = 0;                   // SHOWRESULTS
+  uint64_t retmax = 0;                     // SHOWRESULTS (0 = all)
+  int depth = 100;                         // VIEW
+};
+
+/// Serializes a request as one line (no trailing newline).
+std::string SerializeRequest(const Request& request);
+
+// ---------------------------------------------------------------------------
+// Responses and typed errors
+// ---------------------------------------------------------------------------
+
+/// Typed wire errors. kNone means success (only used as a parse outcome,
+/// never serialized).
+enum class WireError {
+  kNone = 0,
+  kBadRequest,          // unparsable line / missing or ill-typed fields
+  kUnsupportedVersion,  // "v" differs from kProtocolVersion
+  kUnknownSession,      // token not live (never created, closed, evicted)
+  kRetryLater,          // admission control shed this connection
+  kShuttingDown,        // server is draining
+  kInvalidArgument,     // op-level: bad node id etc.
+  kNotFound,            // op-level lookup miss
+  kFailedPrecondition,  // op-level: e.g. EXPAND on a hidden node
+  kInternal,
+};
+
+/// Wire name of an error code ("RETRY_LATER", ...).
+const char* WireErrorName(WireError error);
+
+/// Parses one request line. Returns kNone and fills `*out` on success;
+/// otherwise returns the typed error and a human-readable message.
+WireError ParseRequest(std::string_view line, Request* out,
+                       std::string* error_message);
+
+/// Builds the one-line error response for a typed error.
+std::string ErrorReply(WireError error, std::string_view message);
+
+/// Maps an op-level library Status onto the wire (OK statuses are a
+/// programming error; use ResponseBuilder for successes).
+WireError WireErrorFromStatus(const Status& status);
+
+/// Client-side mapping of a wire error back to a Status. RETRY_LATER and
+/// SHUTTING_DOWN map to FailedPrecondition with the code name prefixed to
+/// the message so callers can distinguish shed load from logic errors.
+Status StatusFromWireError(std::string_view error_name,
+                           std::string_view message);
+
+/// Assembles a success response line: {"v":1,"ok":true,"op":...,<fields>}.
+/// AddRaw splices pre-serialized JSON (e.g. core/json_export payloads).
+class ResponseBuilder {
+ public:
+  explicit ResponseBuilder(RequestOp op);
+  ResponseBuilder& Add(std::string_view key, int64_t value);
+  ResponseBuilder& Add(std::string_view key, uint64_t value);
+  ResponseBuilder& Add(std::string_view key, int value);
+  ResponseBuilder& Add(std::string_view key, bool value);
+  ResponseBuilder& Add(std::string_view key, std::string_view value);
+  ResponseBuilder& AddRaw(std::string_view key, std::string_view raw_json);
+  /// Returns the finished line (no trailing newline). The builder is spent.
+  std::string Finish();
+
+ private:
+  std::string out_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_SERVER_PROTOCOL_H_

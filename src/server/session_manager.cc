@@ -1,0 +1,137 @@
+#include "server/session_manager.h"
+
+#include <chrono>
+#include <utility>
+
+namespace bionav {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const ConceptHierarchy* hierarchy,
+                               const EUtilsClient* eutils,
+                               StrategyFactory strategy_factory,
+                               SessionManagerOptions options,
+                               CostModelParams cost_params)
+    : hierarchy_(hierarchy),
+      eutils_(eutils),
+      strategy_factory_(std::move(strategy_factory)),
+      options_(std::move(options)),
+      cost_params_(cost_params) {
+  BIONAV_CHECK(hierarchy_ != nullptr);
+  BIONAV_CHECK(eutils_ != nullptr);
+  BIONAV_CHECK(strategy_factory_ != nullptr);
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+  if (!options_.clock) options_.clock = SteadyNowMs;
+}
+
+int64_t SessionManager::NowMs() const { return options_.clock(); }
+
+Result<std::string> SessionManager::Create(const std::string& query,
+                                           size_t* result_size) {
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  // Build outside the lock: navigation-tree construction is the expensive
+  // part of QUERY and must not serialize against other sessions.
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::make_unique<NavigationSession>(
+      hierarchy_, eutils_, query, strategy_factory_, cost_params_);
+  if (result_size != nullptr) *result_size = entry->session->result_size();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowMs();
+  SweepExpiredLocked(now);
+  entry->token = "s" + std::to_string(next_token_++);
+  entry->last_used_ms = now;
+  sessions_.emplace(entry->token, entry);
+  ++counters_.created;
+  EvictToCapacityLocked();
+  return entry->token;
+}
+
+Status SessionManager::WithSession(
+    const std::string& token,
+    const std::function<Status(NavigationSession&)>& fn) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) {
+      return Status::NotFound("unknown session '" + token + "'");
+    }
+    int64_t now = NowMs();
+    if (options_.ttl_ms > 0 && now - it->second->last_used_ms > options_.ttl_ms) {
+      sessions_.erase(it);
+      ++counters_.expired_ttl;
+      return Status::NotFound("session '" + token + "' expired");
+    }
+    it->second->last_used_ms = now;
+    entry = it->second;
+    ++counters_.operations;
+  }
+  // Per-session serialization; the map lock is already released, so a slow
+  // EXPAND on one session never stalls traffic to the others.
+  std::lock_guard<std::mutex> op_lock(entry->op_mu);
+  return fn(*entry->session);
+}
+
+bool SessionManager::Close(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return false;
+  sessions_.erase(it);
+  ++counters_.closed;
+  return true;
+}
+
+size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats out = counters_;
+  out.active = sessions_.size();
+  return out;
+}
+
+void SessionManager::SweepExpiredLocked(int64_t now_ms) {
+  if (options_.ttl_ms <= 0) return;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_ms - it->second->last_used_ms > options_.ttl_ms) {
+      it = sessions_.erase(it);
+      ++counters_.expired_ttl;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SessionManager::EvictToCapacityLocked() {
+  // Linear LRU scan: capacity is a few hundred sessions, and eviction only
+  // runs on Create, so O(n) beats maintaining an intrusive list.
+  while (sessions_.size() > options_.max_sessions) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (victim == sessions_.end() ||
+          it->second->last_used_ms < victim->second->last_used_ms ||
+          (it->second->last_used_ms == victim->second->last_used_ms &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    sessions_.erase(victim);
+    ++counters_.evicted_lru;
+  }
+}
+
+}  // namespace bionav

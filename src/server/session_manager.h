@@ -1,0 +1,114 @@
+#ifndef BIONAV_SERVER_SESSION_MANAGER_H_
+#define BIONAV_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/session.h"
+
+namespace bionav {
+
+/// Tuning knobs of the session store. The defaults suit an interactive
+/// deployment: a navigation dialogue that pauses for ten minutes has been
+/// abandoned, and a few hundred live trees bound the server's memory.
+struct SessionManagerOptions {
+  /// Live-session capacity; creating one past it evicts the least recently
+  /// used session. Clamped to >= 1.
+  size_t max_sessions = 256;
+  /// Idle time after which a session expires; 0 disables TTL expiry.
+  int64_t ttl_ms = 10 * 60 * 1000;
+  /// Millisecond clock used for TTL/LRU accounting. Defaults to
+  /// std::chrono::steady_clock; tests inject a fake to step time manually.
+  std::function<int64_t()> clock;
+};
+
+/// Lifetime counters. `active` is the instantaneous live-session count;
+/// the rest are monotone since construction.
+struct SessionManagerStats {
+  size_t active = 0;
+  int64_t created = 0;
+  int64_t evicted_lru = 0;
+  int64_t expired_ttl = 0;
+  int64_t closed = 0;
+  /// Operations dispatched through WithSession (EXPAND, SHOWRESULTS, ...).
+  int64_t operations = 0;
+};
+
+/// Owns the live NavigationSessions of a serving process, keyed by opaque
+/// token. Thread-safe: the token map is guarded by one mutex, and every
+/// session carries its own operation mutex — two EXPANDs on one session
+/// serialize (an ActiveTree is stateful), while operations on distinct
+/// sessions proceed concurrently on the server's thread pool.
+///
+/// Eviction never blocks on a session being operated on: entries are
+/// shared_ptr-owned, so an LRU/TTL eviction or CLOSE unlinks the entry from
+/// the map and the in-flight operation finishes on the (now unlisted)
+/// session before it is destroyed.
+class SessionManager {
+ public:
+  SessionManager(const ConceptHierarchy* hierarchy, const EUtilsClient* eutils,
+                 StrategyFactory strategy_factory,
+                 SessionManagerOptions options = SessionManagerOptions(),
+                 CostModelParams cost_params = CostModelParams());
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Runs the full online pipeline for `query` (ESearch -> navigation tree
+  /// -> active tree) and registers the session. Returns its token; the
+  /// result size is reported through `*result_size` when non-null.
+  /// Expensive (tree construction) — deliberately outside any lock, so
+  /// concurrent creates overlap.
+  Result<std::string> Create(const std::string& query,
+                             size_t* result_size = nullptr);
+
+  /// Looks up `token`, refreshes its TTL/LRU stamp, and runs `fn` on the
+  /// session under its per-session mutex. Returns NotFound if the token is
+  /// not live (never created, closed, evicted or expired) — the only
+  /// NotFound this method itself produces; any other status comes from
+  /// `fn`.
+  Status WithSession(const std::string& token,
+                     const std::function<Status(NavigationSession&)>& fn);
+
+  /// Closes (unregisters) a session. False if the token was not live.
+  bool Close(const std::string& token);
+
+  size_t active() const;
+  SessionManagerStats stats() const;
+
+ private:
+  struct Entry {
+    std::string token;
+    std::unique_ptr<NavigationSession> session;
+    /// Serializes operations on this session.
+    std::mutex op_mu;
+    /// Guarded by SessionManager::mu_.
+    int64_t last_used_ms = 0;
+  };
+
+  int64_t NowMs() const;
+  /// Drops every TTL-expired entry. Requires mu_ held.
+  void SweepExpiredLocked(int64_t now_ms);
+  /// Evicts least-recently-used entries until below capacity. Requires
+  /// mu_ held.
+  void EvictToCapacityLocked();
+
+  const ConceptHierarchy* hierarchy_;
+  const EUtilsClient* eutils_;
+  StrategyFactory strategy_factory_;
+  SessionManagerOptions options_;
+  CostModelParams cost_params_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> sessions_;
+  uint64_t next_token_ = 1;
+  SessionManagerStats counters_;  // `active` field unused; derived from map.
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_SERVER_SESSION_MANAGER_H_

@@ -1,6 +1,9 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 namespace bionav {
 
@@ -76,6 +79,35 @@ std::vector<std::string> TokenizeTerms(std::string_view text) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty() || s.size() > 32) return false;
+  std::string token(s);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty() || s.size() > 64) return false;
+  // strtod accepts "nan"/"inf"/hex floats; flag values want plain decimals.
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  std::string token(s);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace bionav

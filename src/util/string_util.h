@@ -1,6 +1,7 @@
 #ifndef BIONAV_UTIL_STRING_UTIL_H_
 #define BIONAV_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,15 @@ std::vector<std::string> TokenizeTerms(std::string_view text);
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict full-string integer parse (optional sign, base 10). False — with
+/// `*out` untouched — on empty input, trailing garbage, or overflow; the
+/// checked alternative to std::stoll, which throws on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Strict full-string floating-point parse. Same contract as ParseInt64;
+/// rejects NaN/Inf spellings and anything strtod leaves unconsumed.
+bool ParseDouble(std::string_view s, double* out);
 
 }  // namespace bionav
 

@@ -1,0 +1,232 @@
+// Wire-protocol unit tests: JSON document round-trips, hostile/malformed
+// inputs, request parsing/serialization for every op, and the typed error
+// vocabulary.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bionav.h"
+
+namespace bionav {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(ParseJson("false").ValueOrDie().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42").ValueOrDie().number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2").ValueOrDie().number_value(), -350.0);
+  EXPECT_EQ(ParseJson("\"hi\"").ValueOrDie().string_value(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\/d\n\t\r\b\f")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.ValueOrDie().string_value(), "a\"b\\c/d\n\t\r\b\f");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  auto v = ParseJson(R"("\u00e9\u4e2d")");  // é, 中
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.ValueOrDie().string_value(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  auto v = ParseJson(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue& root = v.ValueOrDie();
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_items()[1].number_value(), 2.0);
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->BoolOr("c", false));
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, TypedGettersWithDefaults) {
+  auto v = ParseJson(R"({"n": 7, "s": "x", "b": true})").ValueOrDie();
+  EXPECT_EQ(v.IntOr("n", -1), 7);
+  EXPECT_EQ(v.IntOr("s", -1), -1);  // wrong type -> default
+  EXPECT_EQ(v.StringOr("s", "d"), "x");
+  EXPECT_EQ(v.StringOr("n", "d"), "d");
+  EXPECT_TRUE(v.BoolOr("b", false));
+  EXPECT_EQ(v.IntOr("missing", 13), 13);
+}
+
+TEST(JsonParse, MalformedInputsRejected) {
+  const char* bad[] = {
+      "",          "{",        "}",          "[1,",      "{\"a\":}",
+      "tru",       "01",       "1.",         "+1",       "nan",
+      "\"unterminated", "{\"a\" 1}", "[1 2]", "{'a': 1}", "\"\\x41\"",
+      "\"\\u12\"", "1 2",      "{} trailing",
+  };
+  for (const char* input : bad) {
+    EXPECT_FALSE(ParseJson(input).ok()) << "accepted: " << input;
+  }
+}
+
+TEST(JsonParse, DepthCapStopsHostileNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonWrite, RoundTripsIntegersTextually) {
+  auto v = ParseJson(R"({"n": 123456789, "f": 1.5, "s": "a\"b"})");
+  ASSERT_TRUE(v.ok());
+  std::string out = WriteJson(v.ValueOrDie());
+  EXPECT_NE(out.find("123456789"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  auto again = ParseJson(out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie().IntOr("n", -1), 123456789);
+  EXPECT_EQ(again.ValueOrDie().StringOr("s", ""), "a\"b");
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolRequest, RoundTripEveryOp) {
+  Request requests[8];
+  requests[0].op = RequestOp::kQuery;
+  requests[0].query = "prothymosin alpha";
+  requests[1].op = RequestOp::kExpand;
+  requests[1].token = "s42";
+  requests[1].node = 17;
+  requests[2].op = RequestOp::kShowResults;
+  requests[2].token = "s42";
+  requests[2].node = 3;
+  requests[2].retstart = 20;
+  requests[2].retmax = 10;
+  requests[3].op = RequestOp::kBacktrack;
+  requests[3].token = "s42";
+  requests[4].op = RequestOp::kFind;
+  requests[4].token = "s42";
+  requests[4].concept_id = 99;
+  requests[5].op = RequestOp::kView;
+  requests[5].token = "s42";
+  requests[5].depth = 4;
+  requests[6].op = RequestOp::kClose;
+  requests[6].token = "s42";
+  requests[7].op = RequestOp::kStats;
+
+  for (const Request& request : requests) {
+    std::string line = SerializeRequest(request);
+    Request parsed;
+    std::string message;
+    ASSERT_EQ(ParseRequest(line, &parsed, &message), WireError::kNone)
+        << line << ": " << message;
+    EXPECT_EQ(parsed.version, kProtocolVersion);
+    EXPECT_EQ(parsed.op, request.op) << line;
+    EXPECT_EQ(parsed.token, request.token);
+    EXPECT_EQ(parsed.query, request.query);
+    EXPECT_EQ(parsed.node, request.node);
+    EXPECT_EQ(parsed.concept_id, request.concept_id);
+    EXPECT_EQ(parsed.retstart, request.retstart);
+    EXPECT_EQ(parsed.retmax, request.retmax);
+    EXPECT_EQ(parsed.depth, request.depth);
+  }
+}
+
+TEST(ProtocolRequest, RejectsWrongVersion) {
+  Request parsed;
+  std::string message;
+  EXPECT_EQ(ParseRequest(R"({"v": 2, "op": "STATS"})", &parsed, &message),
+            WireError::kUnsupportedVersion);
+  EXPECT_EQ(ParseRequest(R"({"op": "STATS"})", &parsed, &message),
+            WireError::kUnsupportedVersion);
+}
+
+TEST(ProtocolRequest, RejectsMalformedRequests) {
+  struct Case {
+    const char* line;
+    WireError expected;
+  };
+  const Case cases[] = {
+      {"not json", WireError::kBadRequest},
+      {"[1,2]", WireError::kBadRequest},  // not an object
+      {R"({"v": 1})", WireError::kBadRequest},  // missing op
+      {R"({"v": 1, "op": "NOPE"})", WireError::kBadRequest},
+      {R"({"v": 1, "op": "QUERY"})", WireError::kBadRequest},  // no query
+      {R"({"v": 1, "op": "EXPAND", "token": "s1"})",
+       WireError::kBadRequest},  // no node
+      {R"({"v": 1, "op": "EXPAND", "node": 1})",
+       WireError::kBadRequest},  // no token
+      {R"({"v": 1, "op": "FIND", "token": "s1"})",
+       WireError::kBadRequest},  // no concept
+  };
+  for (const Case& c : cases) {
+    Request parsed;
+    std::string message;
+    EXPECT_EQ(ParseRequest(c.line, &parsed, &message), c.expected) << c.line;
+    EXPECT_FALSE(message.empty()) << c.line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Responses and errors
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolResponse, BuilderEmitsVersionedSuccessLine) {
+  std::string line = ResponseBuilder(RequestOp::kExpand)
+                         .Add("count", 3)
+                         .Add("flag", true)
+                         .Add("name", std::string_view("x"))
+                         .AddRaw("list", "[1,2]")
+                         .Finish();
+  auto v = ParseJson(line);
+  ASSERT_TRUE(v.ok()) << line;
+  const JsonValue& r = v.ValueOrDie();
+  EXPECT_EQ(r.IntOr("v", -1), kProtocolVersion);
+  EXPECT_TRUE(r.BoolOr("ok", false));
+  EXPECT_EQ(r.StringOr("op", ""), "EXPAND");
+  EXPECT_EQ(r.IntOr("count", -1), 3);
+  EXPECT_TRUE(r.BoolOr("flag", false));
+  ASSERT_NE(r.Find("list"), nullptr);
+  EXPECT_EQ(r.Find("list")->array_items().size(), 2u);
+}
+
+TEST(ProtocolResponse, ErrorReplyCarriesCodeAndMessage) {
+  std::string line = ErrorReply(WireError::kUnknownSession, "no such token");
+  auto v = ParseJson(line);
+  ASSERT_TRUE(v.ok()) << line;
+  const JsonValue& r = v.ValueOrDie();
+  EXPECT_EQ(r.IntOr("v", -1), kProtocolVersion);
+  EXPECT_FALSE(r.BoolOr("ok", true));
+  EXPECT_EQ(r.StringOr("error", ""), "UNKNOWN_SESSION");
+  EXPECT_EQ(r.StringOr("message", ""), "no such token");
+}
+
+TEST(ProtocolResponse, StatusMapsToWireAndBack) {
+  EXPECT_EQ(WireErrorFromStatus(Status::NotFound("x")), WireError::kNotFound);
+  EXPECT_EQ(WireErrorFromStatus(Status::InvalidArgument("x")),
+            WireError::kInvalidArgument);
+  EXPECT_EQ(WireErrorFromStatus(Status::FailedPrecondition("x")),
+            WireError::kFailedPrecondition);
+
+  Status s = StatusFromWireError("NOT_FOUND", "gone");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "gone");
+
+  // Shed load keeps its code name in the message so callers can tell it
+  // apart from logic errors.
+  Status shed = StatusFromWireError("RETRY_LATER", "at capacity");
+  EXPECT_EQ(shed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(shed.message().find("RETRY_LATER"), std::string::npos);
+}
+
+TEST(ProtocolResponse, UnknownWireErrorBecomesInternal) {
+  Status s = StatusFromWireError("SOME_FUTURE_CODE", "m");
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace bionav

@@ -22,7 +22,13 @@
 //   bionav_cli convert-mesh <mtrees-path> <hierarchy-out>
 //       Convert an NLM MeSH tree file ("label;tree-number" lines, e.g.
 //       mtrees2008.bin) into the library's hierarchy format.
+//
+//   bionav_cli remote <host:port> <query terms...>
+//       Open a navigation session against a running bionav_serve instance
+//       and drive it with a REPL (expand <node> | show <node> | back |
+//       tree | stats | quit) over the wire protocol.
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -49,15 +55,29 @@ struct Args {
     }
     return def;
   }
+  // Malformed numeric flag values are a usage error, not an uncaught
+  // std::invalid_argument out of std::stoll: report and exit non-zero.
   int64_t IntFlagOr(const std::string& name, int64_t def) const {
     std::string v = FlagOr(name, "");
     if (v.empty()) return def;
-    return std::stoll(v);
+    int64_t value = 0;
+    if (!ParseInt64(v, &value)) {
+      std::cerr << "bionav_cli: invalid integer '" << v << "' for --" << name
+                << "\n";
+      std::exit(2);
+    }
+    return value;
   }
   double DoubleFlagOr(const std::string& name, double def) const {
     std::string v = FlagOr(name, "");
     if (v.empty()) return def;
-    return std::stod(v);
+    double value = 0;
+    if (!ParseDouble(v, &value)) {
+      std::cerr << "bionav_cli: invalid number '" << v << "' for --" << name
+                << "\n";
+      std::exit(2);
+    }
+    return value;
   }
 };
 
@@ -92,7 +112,8 @@ int Usage() {
          "  search <db-path> <query terms...> [--top K]\n"
          "  tree <db-path> <query terms...> [--depth D]\n"
          "  navigate <db-path> <query terms...> [--static]\n"
-         "  convert-mesh <mtrees-path> <hierarchy-out>\n";
+         "  convert-mesh <mtrees-path> <hierarchy-out>\n"
+         "  remote <host:port> <query terms...>\n";
   return 2;
 }
 
@@ -259,6 +280,104 @@ int CmdNavigate(const Args& args) {
   return 0;
 }
 
+// The navigate REPL served over the wire: the session state lives in a
+// bionav_serve process; every command is one protocol request.
+int CmdRemote(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const std::string& endpoint = args.positional[0];
+  size_t colon = endpoint.rfind(':');
+  int64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64(endpoint.substr(colon + 1), &port) || port <= 0 ||
+      port > 65535) {
+    std::cerr << "bionav_cli: bad endpoint '" << endpoint
+              << "' (want host:port)\n";
+    return 2;
+  }
+  auto connected =
+      NavClient::Connect(endpoint.substr(0, colon), static_cast<int>(port));
+  if (!connected.ok()) {
+    std::cerr << connected.status().ToString() << "\n";
+    return 1;
+  }
+  NavClient& client = *connected.ValueOrDie();
+
+  std::string query = JoinQuery(args, 1);
+  auto opened = client.Query(query);
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string& token = opened.ValueOrDie().token;
+  std::cout << "'" << query << "': " << opened.ValueOrDie().result_size
+            << " citations (session " << token
+            << "). Commands: expand <node> | show <node> | back | tree"
+               " | stats | quit\n> "
+            << std::flush;
+
+  std::string line;
+  int exit_code = 0;
+  while (std::getline(std::cin, line)) {
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    int64_t node = 0;
+    bool node_ok = ParseInt64(StripWhitespace(rest), &node);
+    if (cmd == "quit" || cmd == "q") break;
+    if (cmd == "tree") {
+      auto tree = client.View(token);
+      std::cout << (tree.ok() ? tree.ValueOrDie()
+                              : tree.status().ToString())
+                << "\n";
+    } else if (cmd == "back") {
+      auto undone = client.Backtrack(token);
+      if (undone.ok()) {
+        std::cout << (undone.ValueOrDie() ? "undone\n" : "nothing to undo\n");
+      } else {
+        std::cout << undone.status().ToString() << "\n";
+      }
+    } else if (cmd == "stats") {
+      auto stats = client.Stats();
+      std::cout << (stats.ok() ? WriteJson(stats.ValueOrDie())
+                               : stats.status().ToString())
+                << "\n";
+    } else if (cmd == "expand") {
+      if (!node_ok) {
+        std::cout << "usage: expand <node-id>\n";
+      } else {
+        auto revealed = client.Expand(token, static_cast<NavNodeId>(node));
+        if (revealed.ok()) {
+          std::cout << "revealed " << revealed.ValueOrDie().size()
+                    << " concepts\n";
+        } else {
+          std::cout << revealed.status().ToString() << "\n";
+        }
+      }
+    } else if (cmd == "show") {
+      if (!node_ok) {
+        std::cout << "usage: show <node-id>\n";
+      } else {
+        auto shown =
+            client.ShowResults(token, static_cast<NavNodeId>(node), 0, 20);
+        if (shown.ok()) {
+          for (const CitationSummary& s : shown.ValueOrDie().summaries) {
+            std::cout << "  PMID " << s.pmid << ": " << s.title << "\n";
+          }
+        } else {
+          std::cout << shown.status().ToString() << "\n";
+        }
+      }
+    } else if (!cmd.empty()) {
+      std::cout << "unknown command '" << cmd << "'\n";
+    }
+    std::cout << "> " << std::flush;
+  }
+  client.CloseSession(token);
+  return exit_code;
+}
+
 int CmdConvertMesh(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   auto imported = ImportMeshTreeFileFromPath(args.positional[0]);
@@ -291,6 +410,7 @@ int Main(int argc, char** argv) {
   if (command == "tree") return CmdTree(args);
   if (command == "navigate") return CmdNavigate(args);
   if (command == "convert-mesh") return CmdConvertMesh(args);
+  if (command == "remote") return CmdRemote(args);
   return Usage();
 }
 

@@ -1,0 +1,139 @@
+// bionav_serve — the BioNav navigation service (paper Section VII's online
+// half): loads a BioNav database and serves the line-delimited wire
+// protocol of src/server/protocol.h over TCP.
+//
+//   bionav_serve <db-path> [--port P] [--threads N] [--max-pending Q]
+//                [--max-sessions S] [--ttl-ms T] [--static]
+//
+// --port 0 (the default) binds an ephemeral port; the bound port is
+// printed on the first stdout line ("listening on 127.0.0.1:PORT") so
+// wrappers can scrape it. The server runs until SIGINT/SIGTERM or EOF on
+// stdin, then drains in-flight requests and exits 0.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bionav.h"
+
+namespace bionav {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int64_t IntArg(const std::string& value, const char* flag) {
+  int64_t out = 0;
+  if (!ParseInt64(value, &out) || out < 0) {
+    std::cerr << "bionav_serve: invalid value '" << value << "' for " << flag
+              << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+int Usage() {
+  std::cerr << "usage: bionav_serve <db-path> [--port P] [--threads N]"
+               " [--max-pending Q] [--max-sessions S] [--ttl-ms T]"
+               " [--static]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string db_path;
+  NavServerOptions options;
+  options.threads = 4;
+  bool use_static = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bionav_serve: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<int>(IntArg(value("--port"), "--port"));
+    } else if (arg == "--threads") {
+      options.threads =
+          static_cast<int>(IntArg(value("--threads"), "--threads"));
+      if (options.threads == 0) options.threads = ThreadPool::HardwareThreads();
+    } else if (arg == "--max-pending") {
+      options.max_pending =
+          static_cast<int>(IntArg(value("--max-pending"), "--max-pending"));
+    } else if (arg == "--max-sessions") {
+      options.session.max_sessions = static_cast<size_t>(
+          IntArg(value("--max-sessions"), "--max-sessions"));
+    } else if (arg == "--ttl-ms") {
+      options.session.ttl_ms = IntArg(value("--ttl-ms"), "--ttl-ms");
+    } else if (arg == "--static") {
+      use_static = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bionav_serve: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else if (db_path.empty()) {
+      db_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (db_path.empty()) return Usage();
+
+  auto db = BioNavDatabase::LoadFromFile(db_path);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  const BioNavDatabase& d = *db.ValueOrDie();
+  EUtilsClient eutils = d.MakeClient();
+
+  NavServer server(&d.hierarchy(), &eutils,
+                   use_static ? MakeStaticStrategyFactory()
+                              : MakeBioNavStrategyFactory(),
+                   options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << options.bind_address << ":" << server.port()
+            << " (" << d.store().size() << " citations, "
+            << d.hierarchy().size() << " concepts)" << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Park until a signal arrives or stdin reaches EOF (the latter lets
+  // wrappers manage the server lifetime through a pipe).
+  while (!g_stop.load()) {
+    if (isatty(STDIN_FILENO) == 0) {
+      char buffer[256];
+      ssize_t n = ::read(STDIN_FILENO, buffer, sizeof(buffer));
+      if (n == 0) break;  // EOF: the controlling pipe closed.
+      if (n < 0 && errno != EINTR) break;
+    } else {
+      ::pause();
+    }
+  }
+
+  std::cout << "draining..." << std::endl;
+  server.Shutdown();
+  NavServerStats stats = server.stats();
+  std::cout << "served " << stats.requests << " requests over "
+            << stats.connections_accepted << " connections ("
+            << stats.connections_shed << " shed), "
+            << stats.sessions.created << " sessions" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bionav
+
+int main(int argc, char** argv) { return bionav::Main(argc, argv); }
