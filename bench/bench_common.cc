@@ -51,6 +51,9 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
       if (options.threads < 1) options.threads = 1;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--obs=", 6) == 0) {
+      options.obs = std::strcmp(arg + 6, "off") != 0;
+      SetObsEnabled(options.obs);
     } else {
       argv[out++] = argv[i];
     }

@@ -44,11 +44,15 @@ struct BenchOptions {
   int threads = 1;
   /// --json=PATH: append machine-readable records here (empty = off).
   std::string json_path;
+  /// --obs=off: disable TraceSpan clock reads (SetObsEnabled(false)) so
+  /// the instrumentation overhead itself can be A/B-measured.
+  bool obs = true;
 };
 
-/// Parses --threads=N and --json=PATH out of argv, compacting recognized
-/// flags away (so remaining args can go to another parser, e.g.
-/// google-benchmark's). Unknown args are left untouched.
+/// Parses --threads=N, --json=PATH and --obs=on|off out of argv,
+/// compacting recognized flags away (so remaining args can go to another
+/// parser, e.g. google-benchmark's). Unknown args are left untouched.
+/// --obs applies SetObsEnabled as a side effect.
 BenchOptions ParseBenchOptions(int* argc, char** argv);
 
 /// Sessions/sec for a batch that took `wall_ms`; 0 when the clock read 0.

@@ -6,12 +6,16 @@
 // SHOWRESULTS and CLOSE — so every layer (wire protocol, session manager,
 // thread pool, EXPAND hot path) is on the measured path.
 //
-// Reports per-request latency percentiles (p50/p95/p99) and end-to-end
-// sessions/sec, and verifies that no session below the admission limit is
-// shed (RETRY_LATER) or dropped.
+// Reports client-observed latency percentiles (p50/p95/p99) per operation
+// — QUERY builds the whole navigation tree and is orders of magnitude
+// slower than an EXPAND, so mixing the ops in one distribution would bury
+// the EXPAND tail — next to the server-side percentiles scraped from the
+// STATS metrics registry, plus end-to-end sessions/sec. Verifies that no
+// session below the admission limit is shed (RETRY_LATER) or dropped.
 //
 // Flags: --threads=N (server worker threads), --clients=N (load threads,
-// default 4), --sessions=M (sessions per client, default 8), --json=PATH.
+// default 4), --sessions=M (sessions per client, default 8), --json=PATH,
+// --obs=off (disable server-side trace spans).
 
 #include <algorithm>
 #include <atomic>
@@ -28,11 +32,26 @@ using namespace bionav::bench;
 
 namespace {
 
+/// Client-observed latencies, one distribution per operation class. QUERY
+/// and EXPAND are the paper-relevant ops; FIND/SHOWRESULTS/CLOSE land in
+/// `other` (kept out of both headline distributions).
+struct OpLatencies {
+  std::vector<double> query_ms;
+  std::vector<double> expand_ms;
+  std::vector<double> other_ms;
+
+  void MergeFrom(const OpLatencies& o) {
+    query_ms.insert(query_ms.end(), o.query_ms.begin(), o.query_ms.end());
+    expand_ms.insert(expand_ms.end(), o.expand_ms.begin(), o.expand_ms.end());
+    other_ms.insert(other_ms.end(), o.other_ms.begin(), o.other_ms.end());
+  }
+};
+
 struct ClientResult {
   int sessions_done = 0;
   int sessions_failed = 0;
   int retry_later = 0;
-  std::vector<double> request_ms;
+  OpLatencies latencies;
   std::string first_error;
 };
 
@@ -42,18 +61,20 @@ double Percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[idx];
 }
 
-/// One full oracle session over the wire; appends per-request latencies.
+/// One full oracle session over the wire; appends per-request latencies to
+/// the matching per-op distribution.
 Status RunSession(NavClient& client, const std::string& keyword,
-                  ConceptId target, std::vector<double>* request_ms) {
+                  ConceptId target, OpLatencies* latencies) {
   Timer timer;
-  auto timed = [&](auto&& call) {
+  auto timed = [&](std::vector<double>* bucket, auto&& call) {
     timer.Restart();
     auto result = call();
-    request_ms->push_back(timer.ElapsedMillis());
+    bucket->push_back(timer.ElapsedMillis());
     return result;
   };
 
-  auto opened = timed([&] { return client.Query(keyword); });
+  auto opened =
+      timed(&latencies->query_ms, [&] { return client.Query(keyword); });
   if (!opened.ok()) return opened.status();
   const std::string token = opened.ValueOrDie().token;
 
@@ -61,25 +82,41 @@ Status RunSession(NavClient& client, const std::string& keyword,
   // The 64-iteration cap only guards against a protocol bug looping.
   NavNodeId target_node = kInvalidNavNode;
   for (int step = 0; step < 64; ++step) {
-    auto found = timed([&] { return client.Find(token, target); });
+    auto found = timed(&latencies->other_ms,
+                       [&] { return client.Find(token, target); });
     if (!found.ok()) return found.status();
     const NavClient::FindReply& f = found.ValueOrDie();
     if (!f.found) break;  // Target not in this result — nothing to reach.
     target_node = f.node;
     if (f.visible) break;
-    auto revealed = timed([&] { return client.Expand(token, f.component_root); });
+    auto revealed = timed(&latencies->expand_ms, [&] {
+      return client.Expand(token, f.component_root);
+    });
     if (!revealed.ok()) return revealed.status();
   }
 
   if (target_node != kInvalidNavNode) {
-    auto shown =
-        timed([&] { return client.ShowResults(token, target_node, 0, 20); });
+    auto shown = timed(&latencies->other_ms, [&] {
+      return client.ShowResults(token, target_node, 0, 20);
+    });
     if (!shown.ok()) return shown.status();
   }
   timer.Restart();
   Status closed = client.CloseSession(token);
-  request_ms->push_back(timer.ElapsedMillis());
+  latencies->other_ms.push_back(timer.ElapsedMillis());
   return closed;
+}
+
+/// Server-side p99 for one op, read from the STATS metrics registry
+/// (microseconds -> ms); negative when the histogram is absent.
+double ServerP99Ms(const JsonValue& stats, const std::string& histogram) {
+  const JsonValue* metrics = stats.Find("metrics");
+  if (metrics == nullptr) return -1;
+  const JsonValue* histograms = metrics->Find("histograms");
+  if (histograms == nullptr) return -1;
+  const JsonValue* h = histograms->Find(histogram);
+  if (h == nullptr) return -1;
+  return h->NumberOr("p99_us", -1000.0) / 1000.0;
 }
 
 }  // namespace
@@ -145,7 +182,7 @@ int main(int argc, char** argv) {
                       w.num_queries();
           const GeneratedQuery& q = w.query(qi);
           Status status =
-              RunSession(client, q.spec.keyword, q.target, &r.request_ms);
+              RunSession(client, q.spec.keyword, q.target, &r.latencies);
           if (status.ok()) {
             ++r.sessions_done;
           } else {
@@ -161,34 +198,55 @@ int main(int argc, char** argv) {
     for (std::thread& t : threads) t.join();
   }
   double wall_ms = wall.ElapsedMillis();
+
+  // Scrape the server's own percentiles over the wire before shutdown —
+  // this also exercises the STATS metrics exposition end to end.
+  double server_query_p99 = -1, server_expand_p99 = -1;
+  if (auto scraper = NavClient::Connect("127.0.0.1", server.port());
+      scraper.ok()) {
+    if (auto stats_doc = scraper.ValueOrDie()->Stats(); stats_doc.ok()) {
+      server_query_p99 =
+          ServerP99Ms(stats_doc.ValueOrDie(), "bionav_server_op_query_us");
+      server_expand_p99 =
+          ServerP99Ms(stats_doc.ValueOrDie(), "bionav_server_op_expand_us");
+    }
+  }
   server.Shutdown();
 
   int done = 0, failed = 0, shed = 0;
-  std::vector<double> latencies;
+  OpLatencies all;
   for (const ClientResult& r : results) {
     done += r.sessions_done;
     failed += r.sessions_failed;
     shed += r.retry_later;
-    latencies.insert(latencies.end(), r.request_ms.begin(),
-                     r.request_ms.end());
+    all.MergeFrom(r.latencies);
     if (!r.first_error.empty()) {
       std::cerr << "client error: " << r.first_error << "\n";
     }
   }
-  std::sort(latencies.begin(), latencies.end());
+  std::sort(all.query_ms.begin(), all.query_ms.end());
+  std::sort(all.expand_ms.begin(), all.expand_ms.end());
+  std::sort(all.other_ms.begin(), all.other_ms.end());
 
   NavServerStats stats = server.stats();
   TextTable table;
-  table.SetHeader({"Sessions", "Failed", "Requests", "p50 (ms)", "p95 (ms)",
-                   "p99 (ms)", "Sessions/s"});
-  table.AddRow({std::to_string(done), std::to_string(failed),
-                std::to_string(latencies.size()),
-                TextTable::Num(Percentile(&latencies, 0.50), 3),
-                TextTable::Num(Percentile(&latencies, 0.95), 3),
-                TextTable::Num(Percentile(&latencies, 0.99), 3),
-                TextTable::Num(PerSec(done, wall_ms), 1)});
+  table.SetHeader({"Op", "Requests", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                   "Server p99"});
+  auto op_row = [&](const char* op, std::vector<double>* sorted,
+                    double server_p99) {
+    table.AddRow({op, std::to_string(sorted->size()),
+                  TextTable::Num(Percentile(sorted, 0.50), 3),
+                  TextTable::Num(Percentile(sorted, 0.95), 3),
+                  TextTable::Num(Percentile(sorted, 0.99), 3),
+                  server_p99 < 0 ? "-" : TextTable::Num(server_p99, 3)});
+  };
+  op_row("QUERY", &all.query_ms, server_query_p99);
+  op_row("EXPAND", &all.expand_ms, server_expand_p99);
+  op_row("other", &all.other_ms, -1);
   std::cout << table.ToString();
-  std::cout << "\nserver: " << stats.requests << " requests, "
+  std::cout << "\nsessions: " << done << " done, " << failed << " failed, "
+            << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n"
+            << "server: " << stats.requests << " requests, "
             << stats.connections_accepted << " connections accepted, "
             << stats.connections_shed << " shed, "
             << stats.sessions.created << " sessions created, "

@@ -4,9 +4,21 @@
 
 #include "algo/k_partition.h"
 #include "algo/reduced_tree.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace bionav {
+
+namespace {
+
+LatencyHistogram* OptCutHistogram() {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_opt_edgecut_us",
+      "Opt-EdgeCut DP solve per EXPAND (paper Fig 10 stage)");
+  return hist;
+}
+
+}  // namespace
 
 HeuristicReducedOpt::HeuristicReducedOpt(const CostModel* cost_model,
                                          HeuristicReducedOptOptions options)
@@ -54,6 +66,20 @@ void HeuristicReducedOpt::SeedCache(const Reduction& reduction,
 
 EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
                                            NavNodeId root) {
+  static LatencyHistogram* choose_hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_choose_cut_us",
+      "Heuristic-ReducedOpt ChooseEdgeCut end to end");
+  static Counter* dp_hits = GlobalMetrics().GetCounter(
+      "bionav_engine_dp_cache_hits_total",
+      "EXPANDs answered from a prior reduction's memoized DP");
+  static Counter* dp_misses = GlobalMetrics().GetCounter(
+      "bionav_engine_dp_cache_misses_total",
+      "EXPANDs that had to reduce the component from scratch");
+  static Counter* fallbacks = GlobalMetrics().GetCounter(
+      "bionav_engine_expand_fallback_total",
+      "EXPANDs that fell back to revealing all children (no usable "
+      "reduction)");
+  TraceSpan choose_span("choose_cut", choose_hist);
   Timer timer;
   last_stats_ = ExpandStats{};
   int comp = active.ComponentOf(root);
@@ -68,8 +94,13 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
     if (it != cache_.end() &&
         it->second.expected_members == active.ComponentSize(comp) &&
         SmallTree::MaskSize(it->second.mask) >= 2) {
+      dp_hits->Increment();
       const CacheEntry entry = it->second;  // Copy; SeedCache mutates map.
-      std::vector<int> cut_supernodes = entry.reduction.opt->BestCut(entry.mask);
+      std::vector<int> cut_supernodes;
+      {
+        TraceSpan opt_span("opt_edgecut", OptCutHistogram());
+        cut_supernodes = entry.reduction.opt->BestCut(entry.mask);
+      }
       BIONAV_CHECK(!cut_supernodes.empty());
       EdgeCut cut;
       for (int s : cut_supernodes) {
@@ -83,11 +114,13 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
     }
   }
 
+  dp_misses->Increment();
   // Small components run Opt-EdgeCut exactly (every node its own
   // supernode); larger ones are k-partition-reduced first.
   std::optional<ReducedComponent> reduced =
       ReduceComponent(active, *cost_model_, comp, options_.max_partitions);
   if (!reduced.has_value()) {
+    fallbacks->Increment();
     // Pathological tie structure with no usable reduction: fall back to
     // revealing all children of the expanded node (always a valid cut).
     EdgeCut fallback;
@@ -109,7 +142,11 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
       std::move(reduced->supernode_sizes));
 
   SmallTreeMask full = reduction.tree->FullMask();
-  std::vector<int> cut_supernodes = reduction.opt->BestCut(full);
+  std::vector<int> cut_supernodes;
+  {
+    TraceSpan opt_span("opt_edgecut", OptCutHistogram());
+    cut_supernodes = reduction.opt->BestCut(full);
+  }
   BIONAV_CHECK(!cut_supernodes.empty());
 
   EdgeCut cut;

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace bionav {
 
 std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
                                                int component,
                                                double max_weight) {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_k_partition_us",
+      "One k-partition pass over a component (paper Fig 10 stage)");
+  TraceSpan span("k_partition", hist);
   const NavigationTree& nav = active.nav();
   std::vector<NavNodeId> members = active.ComponentMembers(component);
   BIONAV_CHECK(!members.empty());

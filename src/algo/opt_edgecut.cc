@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace bionav {
 
 OptEdgeCut::OptEdgeCut(const SmallTree* tree, const CostModel* cost_model)
@@ -11,6 +13,17 @@ OptEdgeCut::OptEdgeCut(const SmallTree* tree, const CostModel* cost_model)
   BIONAV_CHECK(cost_model != nullptr);
   slots_.resize(256);
   shift_ = 32 - 8;
+}
+
+OptEdgeCut::~OptEdgeCut() {
+  if (memo_hits_ == 0 && memo_misses_ == 0) return;
+  static Counter* hits = GlobalMetrics().GetCounter(
+      "bionav_optcut_memo_hits_total", "Opt-EdgeCut DP memo lookups served");
+  static Counter* misses = GlobalMetrics().GetCounter(
+      "bionav_optcut_memo_misses_total",
+      "Opt-EdgeCut DP components computed from scratch");
+  hits->Increment(memo_hits_);
+  misses->Increment(memo_misses_);
 }
 
 const OptEdgeCut::Entry* OptEdgeCut::FindMemo(SmallTreeMask mask) const {
@@ -83,7 +96,11 @@ std::vector<SmallTreeMask> OptEdgeCut::EnumerateCuts(
 
 const OptEdgeCut::Entry& OptEdgeCut::ComputeEntry(SmallTreeMask mask) {
   BIONAV_CHECK_NE(mask, 0u);
-  if (const Entry* found = FindMemo(mask)) return *found;
+  if (const Entry* found = FindMemo(mask)) {
+    ++memo_hits_;
+    return *found;
+  }
+  ++memo_misses_;
 
   const int root = SmallTree::MaskRoot(mask);
   const int m = SmallTree::MaskSize(mask);

@@ -24,6 +24,7 @@ namespace bionav {
 class OptEdgeCut {
  public:
   OptEdgeCut(const SmallTree* tree, const CostModel* cost_model);
+  ~OptEdgeCut();
 
   OptEdgeCut(const OptEdgeCut&) = delete;
   OptEdgeCut& operator=(const OptEdgeCut&) = delete;
@@ -124,6 +125,12 @@ class OptEdgeCut {
   std::vector<Slot> slots_;
   std::deque<Entry> entries_;
   int shift_ = 0;  // 32 - log2(slots_.size()).
+  // Memo traffic, kept as plain ints because one OptEdgeCut is only ever
+  // driven from a single thread (per-reduction object); the destructor
+  // flushes them to the global metrics in one shot so the exponential DP
+  // never touches an atomic.
+  int64_t memo_hits_ = 0;
+  int64_t memo_misses_ = 0;
 };
 
 }  // namespace bionav

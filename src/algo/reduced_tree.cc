@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace bionav {
 
 SmallTree BuildReducedTree(const ActiveTree& active,
                            const CostModel& cost_model,
                            const std::vector<TreePartition>& partitions) {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_reduced_tree_us",
+      "Reduced-tree (supernode) construction from a partition set");
+  TraceSpan span("reduced_tree", hist);
   BIONAV_CHECK(!partitions.empty());
   BIONAV_CHECK_LE(static_cast<int>(partitions.size()), kMaxSmallTreeNodes);
   const NavigationTree& nav = active.nav();

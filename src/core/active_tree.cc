@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace bionav {
 
 ActiveTree::ActiveTree(const NavigationTree* nav) : nav_(nav) {
@@ -70,6 +72,10 @@ Status ActiveTree::ValidateEdgeCut(NavNodeId root, const EdgeCut& cut) const {
 
 Result<std::vector<NavNodeId>> ActiveTree::ApplyEdgeCut(NavNodeId root,
                                                         const EdgeCut& cut) {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_apply_cut_us",
+      "ActiveTree EdgeCut application (component split + history)");
+  TraceSpan span("apply_cut", hist);
   BIONAV_RETURN_IF_ERROR(ValidateEdgeCut(root, cut));
   const int comp = ComponentOf(root);
 

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace bionav {
 
 NavigationTree::NavigationTree(const ConceptHierarchy& hierarchy,
                                const AssociationTable& associations,
                                std::shared_ptr<const ResultSet> result)
     : hierarchy_(&hierarchy), result_(std::move(result)) {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_tree_build_us",
+      "Navigation-tree construction (maximum embedding) per query");
+  TraceSpan span("tree_build", hist);
   BIONAV_CHECK(hierarchy.frozen());
   BIONAV_CHECK(result_ != nullptr);
 

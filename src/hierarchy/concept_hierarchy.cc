@@ -60,7 +60,10 @@ void ConceptHierarchy::Freeze() {
       std::string component(buf);
       if (u == kRoot) {
         char cat = static_cast<char>('A' + ((ordinal - 1) % 26));
-        component = std::string(1, cat) + component.substr(component.size() > 2 ? component.size() - 2 : 0);
+        // Built in place (erase + insert) rather than via operator+: GCC 12
+        // flags the rvalue string concatenation with a bogus -Wrestrict.
+        if (component.size() > 2) component.erase(0, component.size() - 2);
+        component.insert(component.begin(), cat);
       }
       tree_numbers_[c] = tree_numbers_[u].Child(component);
       stack.push_back({c, 0});

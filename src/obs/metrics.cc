@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bionav {
+
+namespace {
+
+std::atomic<bool> g_obs_enabled{true};
+
+}  // namespace
+
+bool ObsEnabled() { return g_obs_enabled.load(std::memory_order_relaxed); }
+
+void SetObsEnabled(bool enabled) {
+  g_obs_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  // Bucket index = bit width: 0 -> bucket 0, [2^(i-1), 2^i) -> bucket i.
+  size_t bucket = 0;
+  for (uint64_t v = static_cast<uint64_t>(micros); v != 0; v >>= 1) ++bucket;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t LatencyHistogram::BucketUpperBound(size_t i) {
+  // Bucket i covers the integral durations [2^(i-1), 2^i - 1] µs; the last
+  // bucket is unbounded (the exposition prints it as +Inf).
+  if (i >= kBuckets - 1) return INT64_MAX;
+  return (int64_t{1} << i) - 1;
+}
+
+std::vector<int64_t> LatencyHistogram::BucketCounts() const {
+  std::vector<int64_t> out(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk buckets.
+  double rank = q * static_cast<double>(total - 1) + 1.0;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cumulative + counts[i]) >= rank) {
+      double lower = i == 0 ? 0.0 : static_cast<double>(int64_t{1} << (i - 1));
+      double upper = i >= kBuckets - 1
+                         ? lower * 2.0  // Overflow bucket: report its floor+.
+                         : static_cast<double>(int64_t{1} << i);
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(counts[i]);
+      return lower + within * (upper - lower);
+    }
+    cumulative += counts[i];
+  }
+  return static_cast<double>(MaxMicros());
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) return it->second.counter;
+  counters_.emplace_back();
+  Slot slot;
+  slot.kind = Kind::kCounter;
+  slot.help = help;
+  slot.counter = &counters_.back();
+  slots_.emplace(name, std::move(slot));
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) return it->second.gauge;
+  gauges_.emplace_back();
+  Slot slot;
+  slot.kind = Kind::kGauge;
+  slot.help = help;
+  slot.gauge = &gauges_.back();
+  slots_.emplace(name, std::move(slot));
+  return &gauges_.back();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) return it->second.histogram;
+  histograms_.emplace_back();
+  Slot slot;
+  slot.kind = Kind::kHistogram;
+  slot.help = help;
+  slot.histogram = &histograms_.back();
+  slots_.emplace(name, std::move(slot));
+  return &histograms_.back();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.counter : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.gauge : nullptr;
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.histogram : nullptr;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters = "{";
+  std::string gauges = "{";
+  std::string histograms = "{";
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        if (counters.size() > 1) counters.push_back(',');
+        counters += '"' + name + "\":" + std::to_string(slot.counter->Value());
+        break;
+      case Kind::kGauge:
+        if (gauges.size() > 1) gauges.push_back(',');
+        gauges += '"' + name + "\":" + std::to_string(slot.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        if (histograms.size() > 1) histograms.push_back(',');
+        const LatencyHistogram& h = *slot.histogram;
+        char quantiles[160];
+        std::snprintf(quantiles, sizeof(quantiles),
+                      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f",
+                      h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99));
+        histograms += '"' + name + "\":{\"count\":" +
+                      std::to_string(h.Count()) +
+                      ",\"sum_us\":" + std::to_string(h.SumMicros()) + "," +
+                      quantiles + ",\"max_us\":" +
+                      std::to_string(h.MaxMicros()) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":" + counters + "},\"gauges\":" + gauges +
+         "},\"histograms\":" + histograms + "}}";
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, slot] : slots_) {
+    if (!slot.help.empty()) {
+      out += "# HELP " + name + " " + slot.help + "\n";
+    }
+    switch (slot.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(slot.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(slot.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const LatencyHistogram& h = *slot.histogram;
+        std::vector<int64_t> counts = h.BucketCounts();
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          cumulative += counts[i];
+          // Empty buckets are elided (the cumulative series stays monotone
+          // with a sparse le set); +Inf always closes the series.
+          if (counts[i] == 0 && i + 1 < LatencyHistogram::kBuckets) continue;
+          std::string le =
+              i + 1 < LatencyHistogram::kBuckets
+                  ? std::to_string(LatencyHistogram::BucketUpperBound(i))
+                  : std::string("+Inf");
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + std::to_string(h.SumMicros()) + "\n";
+        out += name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace bionav

@@ -1,0 +1,171 @@
+#ifndef BIONAV_OBS_METRICS_H_
+#define BIONAV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bionav {
+
+/// Process-wide observability substrate (the runtime counterpart of the
+/// paper's evaluation: Figs 10/11 report where EXPAND time goes; these
+/// metrics report the same stages on live traffic). Everything here is
+/// wait-free on the hot path — relaxed atomics, no locks — so the engine
+/// can stay instrumented in production; the registry mutex is only taken
+/// at registration (once per call site) and at exposition time.
+
+/// Global instrumentation switch. When off, TraceSpans skip their clock
+/// reads entirely (counters stay live — a relaxed add is too cheap to
+/// gate). Used to A/B the instrumentation overhead (see DESIGN.md
+/// "Observability"); defaults to enabled.
+bool ObsEnabled();
+void SetObsEnabled(bool enabled);
+
+/// Monotone event counter. Increments are sharded across cache lines by
+/// thread so concurrent writers (server worker threads bumping the same
+/// request counter) do not bounce one line; reads sum the shards.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+
+  /// Stable per-thread shard slot (round-robin at first use).
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// Instantaneous level (live sessions, open connections). One atomic:
+/// gauges are written under their owner's bookkeeping anyway, so sharding
+/// would only blur the level.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over microseconds: bucket i counts
+/// durations in [2^(i-1), 2^i) µs (bucket 0 is [0, 1) µs), with the last
+/// bucket absorbing everything past ~36 minutes. Log2 bucketing gives the
+/// whole ns-to-minutes range in 32 counters with <= 2x quantile error —
+/// the right trade for per-stage EXPAND timings that span four orders of
+/// magnitude across queries (paper Fig 10). Quantiles interpolate
+/// linearly within the bucket. All methods are thread-safe (relaxed
+/// atomics); quantiles read a best-effort snapshot.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(int64_t micros);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t SumMicros() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t MaxMicros() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Value at quantile q in [0, 1], in microseconds (0 when empty).
+  double Quantile(double q) const;
+
+  /// Inclusive upper bound of bucket i in microseconds.
+  static int64_t BucketUpperBound(size_t i);
+
+  /// Raw bucket counts (index parallel to BucketUpperBound).
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Name-keyed registry of the three metric kinds. Registration is
+/// idempotent (same name -> same stable pointer; call sites cache the
+/// pointer in a function-local static so steady state never locks).
+/// Exposition: compact JSON for the wire STATS op, Prometheus text for
+/// the METRICS op / scrapers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help = "");
+
+  /// Lookup without registration (tests, exposition consumers); nullptr if
+  /// the name is unknown or registered as another kind.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum_us,
+  /// p50_us,p95_us,p99_us,max_us}}} — spliced raw into STATS responses.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (counter/gauge/histogram with _bucket
+  /// le-series in microseconds).
+  std::string ToPrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Kind kind;
+    std::string help;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    LatencyHistogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  /// Ordered so exposition output is deterministic.
+  std::map<std::string, Slot> slots_;
+  /// Deques own the metrics; pointers stay stable across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LatencyHistogram> histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation point records
+/// into; STATS/METRICS expose exactly this.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace bionav
+
+#endif  // BIONAV_OBS_METRICS_H_

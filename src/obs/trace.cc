@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+namespace bionav {
+
+namespace {
+
+thread_local SpanRing* t_current_ring = nullptr;
+
+int64_t MicrosSinceEpoch(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SpanRing::SpanRing(size_t capacity) : spans_(capacity == 0 ? 1 : capacity) {}
+
+void SpanRing::Record(const char* name, int64_t start_us,
+                      int64_t duration_us) {
+  spans_[next_] = Span{name, start_us, duration_us};
+  next_ = (next_ + 1) % spans_.size();
+  if (size_ < spans_.size()) ++size_;
+}
+
+void SpanRing::Clear() {
+  next_ = 0;
+  size_ = 0;
+}
+
+std::vector<SpanRing::Span> SpanRing::Snapshot() const {
+  std::vector<Span> out;
+  out.reserve(size_);
+  size_t first = (next_ + spans_.size() - size_) % spans_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(spans_[(first + i) % spans_.size()]);
+  }
+  return out;
+}
+
+SpanRing* CurrentSpanRing() { return t_current_ring; }
+
+ScopedSpanRing::ScopedSpanRing(SpanRing* ring) : previous_(t_current_ring) {
+  t_current_ring = ring;
+}
+
+ScopedSpanRing::~ScopedSpanRing() { t_current_ring = previous_; }
+
+TraceSpan::TraceSpan(const char* name, LatencyHistogram* histogram)
+    : name_(name), histogram_(nullptr), ring_(nullptr) {
+  if (!ObsEnabled()) return;
+  histogram_ = histogram;
+  ring_ = t_current_ring;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (histogram_ == nullptr && ring_ == nullptr) return;
+  auto end = std::chrono::steady_clock::now();
+  int64_t duration_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  if (histogram_ != nullptr) histogram_->Record(duration_us);
+  if (ring_ != nullptr) {
+    ring_->Record(name_, MicrosSinceEpoch(start_), duration_us);
+  }
+}
+
+}  // namespace bionav

@@ -216,4 +216,16 @@ Result<JsonValue> NavClient::Stats() {
   return Call(request);
 }
 
+Result<std::string> NavClient::Metrics() {
+  Request request;
+  request.op = RequestOp::kMetrics;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue* text = response.ValueOrDie().Find("text");
+  if (text == nullptr || !text->is_string()) {
+    return Status::Internal("METRICS response carries no text");
+  }
+  return text->string_value();
+}
+
 }  // namespace bionav

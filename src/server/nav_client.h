@@ -64,8 +64,12 @@ class NavClient {
 
   Status CloseSession(const std::string& token);
 
-  /// STATS: the server's counters as a parsed JSON object.
+  /// STATS: the server's counters as a parsed JSON object (includes the
+  /// full metrics registry under "metrics").
   Result<JsonValue> Stats();
+
+  /// METRICS: the server's Prometheus text exposition.
+  Result<std::string> Metrics();
 
  private:
   explicit NavClient(int fd) : fd_(fd) {}

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/json_export.h"
+#include "obs/trace.h"
 
 namespace bionav {
 
@@ -63,6 +64,35 @@ bool SendAll(int fd, std::string_view data) {
 bool SendLine(int fd, std::string line) {
   line.push_back('\n');
   return SendAll(fd, line);
+}
+
+/// Request latency by wire op — the serving-side counterpart of the
+/// client-observed numbers bench_serving reports. Registered once per op.
+LatencyHistogram* OpLatencyHistogram(RequestOp op) {
+  static LatencyHistogram* hists[] = {
+      GlobalMetrics().GetHistogram("bionav_server_op_query_us",
+                                   "QUERY request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_expand_us",
+                                   "EXPAND request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_showresults_us",
+                                   "SHOWRESULTS request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_backtrack_us",
+                                   "BACKTRACK request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_find_us",
+                                   "FIND request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_view_us",
+                                   "VIEW request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_close_us",
+                                   "CLOSE request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_stats_us",
+                                   "STATS request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_metrics_us",
+                                   "METRICS request latency"),
+  };
+  static_assert(sizeof(hists) / sizeof(hists[0]) ==
+                    static_cast<size_t>(RequestOp::kMetrics) + 1,
+                "one histogram per wire op");
+  return hists[static_cast<size_t>(op)];
 }
 
 }  // namespace
@@ -143,6 +173,9 @@ void NavServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    static Counter* accepted = GlobalMetrics().GetCounter(
+        "bionav_server_connections_accepted_total", "Connections accepted");
+    accepted->Increment();
     // Admission control: every live handler occupies either a pool worker
     // or a bounded queue slot. Past that, shed with RETRY_LATER — the
     // client backs off; the server never builds an unbounded backlog.
@@ -152,6 +185,10 @@ void NavServer::AcceptLoop() {
                               "server at capacity, retry later"));
       ::close(fd);
       connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      static Counter* shed = GlobalMetrics().GetCounter(
+          "bionav_server_connections_shed_total",
+          "Connections shed by admission control");
+      shed->Increment();
       continue;
     }
     live_handlers_.fetch_add(1, std::memory_order_acq_rel);
@@ -181,13 +218,21 @@ void NavServer::HandleConnection(int fd) {
 
 std::string NavServer::HandleRequestLine(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* requests = GlobalMetrics().GetCounter(
+      "bionav_server_requests_total", "Request lines received");
+  static Counter* errors = GlobalMetrics().GetCounter(
+      "bionav_server_protocol_errors_total",
+      "Request lines rejected before dispatch");
+  requests->Increment();
   Request request;
   std::string error_message;
   WireError error = ParseRequest(line, &request, &error_message);
   if (error != WireError::kNone) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    errors->Increment();
     return ErrorReply(error, error_message);
   }
+  TraceSpan span("server_op", OpLatencyHistogram(request.op));
   switch (request.op) {
     case RequestOp::kQuery: return HandleQuery(request);
     case RequestOp::kExpand: return HandleExpand(request);
@@ -197,6 +242,7 @@ std::string NavServer::HandleRequestLine(const std::string& line) {
     case RequestOp::kView: return HandleView(request);
     case RequestOp::kClose: return HandleClose(request);
     case RequestOp::kStats: return HandleStats(request);
+    case RequestOp::kMetrics: return HandleMetrics(request);
   }
   return ErrorReply(WireError::kInternal, "unhandled op");
 }
@@ -341,6 +387,16 @@ std::string NavServer::HandleStats(const Request&) {
       .Add("protocol_errors", s.protocol_errors)
       .Add("threads", pool_.num_threads())
       .AddRaw("sessions", sessions)
+      .AddRaw("metrics", GlobalMetrics().ToJson())
+      .Finish();
+}
+
+std::string NavServer::HandleMetrics(const Request&) {
+  // The exposition travels as one JSON string field; JsonEscape turns the
+  // newlines into \n so the line protocol survives, and clients (or
+  // `bionav_cli stats --prom`) unescape on print.
+  return ResponseBuilder(RequestOp::kMetrics)
+      .Add("text", std::string_view(GlobalMetrics().ToPrometheusText()))
       .Finish();
 }
 

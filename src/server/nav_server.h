@@ -92,6 +92,7 @@ class NavServer {
   std::string HandleView(const Request& request);
   std::string HandleClose(const Request& request);
   std::string HandleStats(const Request& request);
+  std::string HandleMetrics(const Request& request);
 
   NavServerOptions options_;
   SessionManager sessions_;

@@ -407,6 +407,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kView: return "VIEW";
     case RequestOp::kClose: return "CLOSE";
     case RequestOp::kStats: return "STATS";
+    case RequestOp::kMetrics: return "METRICS";
   }
   return "UNKNOWN";
 }
@@ -417,7 +418,7 @@ bool RequestOpFromName(std::string_view name, RequestOp* out) {
   static constexpr RequestOp kOps[] = {
       RequestOp::kQuery,     RequestOp::kExpand, RequestOp::kShowResults,
       RequestOp::kBacktrack, RequestOp::kFind,   RequestOp::kView,
-      RequestOp::kClose,     RequestOp::kStats,
+      RequestOp::kClose,     RequestOp::kStats,  RequestOp::kMetrics,
   };
   for (RequestOp op : kOps) {
     if (name == RequestOpName(op)) {
@@ -429,7 +430,8 @@ bool RequestOpFromName(std::string_view name, RequestOp* out) {
 }
 
 bool NeedsToken(RequestOp op) {
-  return op != RequestOp::kQuery && op != RequestOp::kStats;
+  return op != RequestOp::kQuery && op != RequestOp::kStats &&
+         op != RequestOp::kMetrics;
 }
 
 void AppendKey(std::string* out, std::string_view key) {

@@ -31,7 +31,8 @@ namespace bionav {
 ///   FIND        {"token": t, "concept": c}         -> node, visible, ...
 ///   VIEW        {"token": t, "depth": d}           -> tree (visualization)
 ///   CLOSE       {"token": t}                       -> closed
-///   STATS       {}                                 -> stats
+///   STATS       {}                                 -> stats (incl. metrics)
+///   METRICS     {}                                 -> text (Prometheus)
 /// Responses: {"v": 1, "ok": true, "op": "<OP>", ...} on success, or
 ///   {"v": 1, "ok": false, "error": "<CODE>", "message": "..."} on failure.
 inline constexpr int kProtocolVersion = 1;
@@ -111,6 +112,7 @@ enum class RequestOp {
   kView,
   kClose,
   kStats,
+  kMetrics,
 };
 
 /// Wire name of an op ("QUERY", ...).

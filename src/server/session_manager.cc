@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bionav {
 
 namespace {
@@ -11,6 +13,36 @@ int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Global mirrors of the per-manager counters_ so STATS/METRICS see session
+// churn without holding any manager's lock. All increments below happen
+// under the owning manager's mu_, but the metrics themselves are shared by
+// every manager in the process.
+Counter* SessionsCreated() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_created_total", "Navigation sessions created");
+  return c;
+}
+Counter* SessionsClosed() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_closed_total", "Sessions closed by the client");
+  return c;
+}
+Counter* SessionsEvicted() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_evicted_total", "Sessions evicted by the LRU cap");
+  return c;
+}
+Counter* SessionsExpired() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_expired_total", "Sessions expired by TTL");
+  return c;
+}
+Gauge* SessionsLive() {
+  static Gauge* g = GlobalMetrics().GetGauge("bionav_sessions_live",
+                                             "Sessions currently resident");
+  return g;
 }
 
 }  // namespace
@@ -32,6 +64,13 @@ SessionManager::SessionManager(const ConceptHierarchy* hierarchy,
   if (!options_.clock) options_.clock = SteadyNowMs;
 }
 
+SessionManager::~SessionManager() {
+  // Sessions dying with their manager leave the process-wide live gauge;
+  // without this, every short-lived manager (tests, restarts under one
+  // process) would leak residue into bionav_sessions_live.
+  SessionsLive()->Add(-static_cast<int64_t>(sessions_.size()));
+}
+
 int64_t SessionManager::NowMs() const { return options_.clock(); }
 
 Result<std::string> SessionManager::Create(const std::string& query,
@@ -49,10 +88,15 @@ Result<std::string> SessionManager::Create(const std::string& query,
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = NowMs();
   SweepExpiredLocked(now);
-  entry->token = "s" + std::to_string(next_token_++);
+  // Built in two steps: gcc 12's -Wrestrict misfires on the
+  // `"s" + std::to_string(...)` rvalue-insert path at -O2.
+  entry->token = std::to_string(next_token_++);
+  entry->token.insert(0, 1, 's');
   entry->last_used_ms = now;
   sessions_.emplace(entry->token, entry);
   ++counters_.created;
+  SessionsCreated()->Increment();
+  SessionsLive()->Add(1);
   EvictToCapacityLocked();
   return entry->token;
 }
@@ -71,6 +115,8 @@ Status SessionManager::WithSession(
     if (options_.ttl_ms > 0 && now - it->second->last_used_ms > options_.ttl_ms) {
       sessions_.erase(it);
       ++counters_.expired_ttl;
+      SessionsExpired()->Increment();
+      SessionsLive()->Add(-1);
       return Status::NotFound("session '" + token + "' expired");
     }
     it->second->last_used_ms = now;
@@ -89,6 +135,8 @@ bool SessionManager::Close(const std::string& token) {
   if (it == sessions_.end()) return false;
   sessions_.erase(it);
   ++counters_.closed;
+  SessionsClosed()->Increment();
+  SessionsLive()->Add(-1);
   return true;
 }
 
@@ -110,6 +158,8 @@ void SessionManager::SweepExpiredLocked(int64_t now_ms) {
     if (now_ms - it->second->last_used_ms > options_.ttl_ms) {
       it = sessions_.erase(it);
       ++counters_.expired_ttl;
+      SessionsExpired()->Increment();
+      SessionsLive()->Add(-1);
     } else {
       ++it;
     }
@@ -131,6 +181,8 @@ void SessionManager::EvictToCapacityLocked() {
     }
     sessions_.erase(victim);
     ++counters_.evicted_lru;
+    SessionsEvicted()->Increment();
+    SessionsLive()->Add(-1);
   }
 }
 

@@ -54,6 +54,7 @@ class SessionManager {
                  StrategyFactory strategy_factory,
                  SessionManagerOptions options = SessionManagerOptions(),
                  CostModelParams cost_params = CostModelParams());
+  ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;

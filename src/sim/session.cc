@@ -50,6 +50,16 @@ Result<std::vector<NavNodeId>> NavigationSession::Expand(NavNodeId node) {
     return Status::FailedPrecondition(
         "concept has no hidden descendants to reveal");
   }
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_expand_us",
+      "Full EXPAND: edge-cut selection plus active-tree application");
+  static Counter* expands = GlobalMetrics().GetCounter(
+      "bionav_engine_expand_total", "EXPAND operations executed");
+  expands->Increment();
+  // Install this session's ring (when tracing is on) so the stage spans
+  // opened inside the strategy and the active tree land in it.
+  ScopedSpanRing ring_scope(ring_.get());
+  TraceSpan span("expand", hist);
   EdgeCut cut = strategy_->ChooseEdgeCut(*active_, node);
   return active_->ApplyEdgeCut(node, cut);
 }
@@ -94,6 +104,10 @@ std::string NavigationSession::Render(int max_depth) const {
 }
 
 bool NavigationSession::Backtrack() { return active_->Backtrack(); }
+
+void NavigationSession::EnableTracing(size_t capacity) {
+  ring_ = std::make_unique<SpanRing>(capacity);
+}
 
 NavNodeId NavigationSession::FindVisibleByLabel(
     const std::string& label) const {

@@ -10,6 +10,7 @@
 #include "algo/heuristic_reduced_opt.h"
 #include "core/active_tree.h"
 #include "medline/eutils.h"
+#include "obs/trace.h"
 
 namespace bionav {
 
@@ -74,6 +75,14 @@ class NavigationSession {
   /// ranked by their relevance to the query (paper Section II).
   std::string Render(int max_depth = 100) const;
 
+  /// Retain the last `capacity` per-stage trace spans of this session's
+  /// EXPANDs (k-partition, reduced-tree, opt-edgecut, ...). Off by default;
+  /// `bionav_cli navigate --trace` turns it on.
+  void EnableTracing(size_t capacity);
+
+  /// The session's span ring, or nullptr when tracing is off.
+  const SpanRing* span_ring() const { return ring_.get(); }
+
  private:
   const ConceptHierarchy* hierarchy_;
   const EUtilsClient* eutils_;
@@ -82,6 +91,7 @@ class NavigationSession {
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<ExpandStrategy> strategy_;
   std::unique_ptr<ActiveTree> active_;
+  std::unique_ptr<SpanRing> ring_;
 };
 
 }  // namespace bionav

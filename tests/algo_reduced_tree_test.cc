@@ -25,8 +25,10 @@ struct EqualChildrenFixture {
   explicit EqualChildrenFixture(int n) {
     std::vector<ConceptId> leaves;
     for (int i = 0; i < n; ++i) {
-      leaves.push_back(
-          mesh.AddNode(ConceptHierarchy::kRoot, "c" + std::to_string(i)));
+      // Two-step concat: "c" + to_string(i) trips GCC 12's -Wrestrict.
+      std::string name = std::to_string(i);
+      name.insert(name.begin(), 'c');
+      leaves.push_back(mesh.AddNode(ConceptHierarchy::kRoot, name));
     }
     mesh.Freeze();
     assoc = AssociationTable(mesh.size());

@@ -1,0 +1,270 @@
+// Unit tests for the observability substrate (src/obs): log2 histogram
+// bucket boundaries, concurrent counter exactness, registry idempotence,
+// and both exposition formats (STATS JSON parsed back through the wire
+// JSON parser; Prometheus text checked for a monotone cumulative series).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bionav.h"
+
+namespace bionav {
+namespace {
+
+TEST(ObsCounter, SingleThreadedIncrements) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  g.Add(5);
+  EXPECT_EQ(g.Value(), 12);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreBitWidths) {
+  // Bucket i counts the integral durations [2^(i-1), 2^i - 1] µs; bucket 0
+  // holds exactly 0 µs. Probe each boundary from both sides.
+  LatencyHistogram h;
+  h.Record(0);                        // -> bucket 0
+  h.Record(1);                        // -> bucket 1
+  h.Record(2);                        // -> bucket 2 (lower edge)
+  h.Record(3);                        // -> bucket 2 (upper edge)
+  h.Record(4);                        // -> bucket 3
+  h.Record(1023);                     // -> bucket 10 (upper edge)
+  h.Record(1024);                     // -> bucket 11 (lower edge)
+  std::vector<int64_t> counts = h.BucketCounts();
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[10], 1);
+  EXPECT_EQ(counts[11], 1);
+  EXPECT_EQ(h.Count(), 7);
+
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(10), 1023);
+  EXPECT_EQ(
+      LatencyHistogram::BucketUpperBound(LatencyHistogram::kBuckets - 1),
+      INT64_MAX);
+}
+
+TEST(ObsHistogram, ExtremesClampIntoEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(-17);        // Clamped to 0 -> bucket 0.
+  h.Record(INT64_MAX);  // Past the last boundary -> overflow bucket.
+  std::vector<int64_t> counts = h.BucketCounts();
+  EXPECT_EQ(counts.front(), 1);
+  EXPECT_EQ(counts.back(), 1);
+  EXPECT_EQ(h.MaxMicros(), INT64_MAX);
+}
+
+TEST(ObsHistogram, QuantilesInterpolateWithinBucket) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // Empty histogram.
+  for (int i = 0; i < 100; ++i) h.Record(700);  // All in [512, 1024).
+  EXPECT_GE(h.Quantile(0.50), 512.0);
+  EXPECT_LE(h.Quantile(0.50), 1024.0);
+  EXPECT_LE(h.Quantile(0.50), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
+  EXPECT_EQ(h.SumMicros(), 70000);
+  EXPECT_EQ(h.MaxMicros(), 700);
+}
+
+TEST(ObsHistogram, QuantileSpreadAcrossBuckets) {
+  // 90 fast observations and 10 slow ones: p50 stays in the fast bucket,
+  // p99 reaches the slow one — the property the per-stage EXPAND
+  // histograms exist to surface.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);      // Bucket [8, 16).
+  for (int i = 0; i < 10; ++i) h.Record(100000);  // Bucket [65536, 131072).
+  EXPECT_LT(h.Quantile(0.50), 16.0);
+  EXPECT_GE(h.Quantile(0.99), 65536.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAreExact) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(t + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), int64_t{kThreads} * kPerThread);
+  // Sum of t+1 for t in [0, 8), each kPerThread times.
+  EXPECT_EQ(h.SumMicros(), int64_t{kPerThread} * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+  EXPECT_EQ(h.MaxMicros(), kThreads);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotentAndKindChecked) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("requests", "total requests");
+  Counter* c2 = registry.GetCounter("requests");
+  EXPECT_EQ(c1, c2);  // Same name -> same stable pointer.
+  EXPECT_EQ(registry.FindCounter("requests"), c1);
+  EXPECT_EQ(registry.FindCounter("no-such-metric"), nullptr);
+
+  registry.GetHistogram("latency");
+  // Kind mismatch: the name exists but not as that kind.
+  EXPECT_EQ(registry.FindCounter("latency"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("requests"), nullptr);
+  EXPECT_NE(registry.FindHistogram("latency"), nullptr);
+}
+
+TEST(ObsRegistry, JsonExpositionRoundTripsThroughWireParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops_total")->Increment(7);
+  registry.GetGauge("live")->Set(-2);
+  LatencyHistogram* h = registry.GetHistogram("stage_us");
+  h->Record(100);
+  h->Record(300);
+
+  Result<JsonValue> parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.ValueOrDie();
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->IntOr("ops_total", -1), 7);
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->IntOr("live", 0), -2);
+  const JsonValue* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* stage = histograms->Find("stage_us");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->IntOr("count", -1), 2);
+  EXPECT_EQ(stage->IntOr("sum_us", -1), 400);
+  EXPECT_EQ(stage->IntOr("max_us", -1), 300);
+  EXPECT_GT(stage->NumberOr("p99_us", 0.0), 0.0);
+}
+
+TEST(ObsRegistry, PrometheusExpositionHasMonotoneCumulativeSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops_total", "operations served")->Increment(3);
+  registry.GetGauge("live")->Set(4);
+  LatencyHistogram* h = registry.GetHistogram("stage_us");
+  h->Record(1);
+  h->Record(5);
+  h->Record(1000000);
+
+  std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP ops_total operations served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ops_total counter\nops_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE live gauge\nlive 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stage_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("stage_us_sum 1000006\n"), std::string::npos);
+  EXPECT_NE(text.find("stage_us_count 3\n"), std::string::npos);
+
+  // The le-series is cumulative and monotone, and +Inf closes at count.
+  int64_t previous = 0;
+  int64_t inf_value = -1;
+  size_t pos = 0;
+  while ((pos = text.find("stage_us_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    int64_t cumulative = 0;
+    ASSERT_TRUE(ParseInt64(
+        text.substr(value_at + 2, text.find('\n', value_at) - value_at - 2),
+        &cumulative));
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    if (text.compare(pos, 26, "stage_us_bucket{le=\"+Inf\"}") == 0) {
+      inf_value = cumulative;
+    }
+    ++pos;
+  }
+  EXPECT_EQ(inf_value, 3);
+}
+
+TEST(ObsSpanRing, WrapsKeepingMostRecentOldestFirst) {
+  SpanRing ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.Record("a", 0, 1);
+  ring.Record("b", 1, 2);
+  EXPECT_EQ(ring.size(), 2u);
+  ring.Record("c", 2, 3);
+  ring.Record("d", 3, 4);  // Evicts "a".
+  std::vector<SpanRing::Span> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "b");
+  EXPECT_STREQ(spans[1].name, "c");
+  EXPECT_STREQ(spans[2].name, "d");
+  EXPECT_EQ(spans[2].duration_us, 4);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(ObsTraceSpan, RecordsIntoHistogramAndInstalledRing) {
+  LatencyHistogram h;
+  SpanRing ring(4);
+  {
+    ScopedSpanRing scope(&ring);
+    EXPECT_EQ(CurrentSpanRing(), &ring);
+    TraceSpan span("stage", &h);
+  }
+  EXPECT_EQ(CurrentSpanRing(), nullptr);  // Scope restored.
+  EXPECT_EQ(h.Count(), 1);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_STREQ(ring.Snapshot()[0].name, "stage");
+}
+
+TEST(ObsTraceSpan, NestedRingScopesRestoreThePrevious) {
+  SpanRing outer(2), inner(2);
+  ScopedSpanRing outer_scope(&outer);
+  {
+    ScopedSpanRing inner_scope(&inner);
+    TraceSpan span("inner_stage", nullptr);
+  }
+  EXPECT_EQ(CurrentSpanRing(), &outer);
+  EXPECT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer.size(), 0u);
+}
+
+TEST(ObsTraceSpan, DisabledObservabilitySkipsRecording) {
+  LatencyHistogram h;
+  SpanRing ring(2);
+  SetObsEnabled(false);
+  {
+    ScopedSpanRing scope(&ring);
+    TraceSpan span("stage", &h);
+  }
+  SetObsEnabled(true);
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bionav

@@ -1,0 +1,172 @@
+// End-to-end tests of the metrics exposition path: a NavServer on an
+// ephemeral port, a wire oracle session with a known operation count, and
+// the assertion that the METRICS (Prometheus text) and STATS (embedded
+// registry JSON) responses reflect exactly that traffic. GlobalMetrics()
+// is process-wide and other instrumented code runs in this process too,
+// so every assertion is on a delta across the driven session, never on an
+// absolute value.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bionav.h"
+
+namespace bionav {
+namespace {
+
+const Workload& SmallWorkload() {
+  static const Workload* workload = [] {
+    WorkloadOptions options;
+    options.hierarchy_nodes = 3000;
+    options.background_citations = 2500;
+    options.result_scale = 0.2;
+    return new Workload(options);
+  }();
+  return *workload;
+}
+
+/// Value of a counter (or a histogram's `_count` series) in a Prometheus
+/// text exposition; 0 when the series is absent (not yet registered).
+int64_t PromValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      int64_t value = 0;
+      size_t end = text.find('\n', pos);
+      if (ParseInt64(text.substr(pos + needle.size(),
+                                 end - pos - needle.size()),
+                     &value)) {
+        return value;
+      }
+      return 0;
+    }
+    pos += needle.size();
+  }
+  return 0;
+}
+
+/// Count of one engine histogram from the registry JSON embedded in a
+/// STATS response; 0 when absent.
+int64_t StatsHistogramCount(const JsonValue& stats, const std::string& name) {
+  const JsonValue* metrics = stats.Find("metrics");
+  if (metrics == nullptr) return 0;
+  const JsonValue* histograms = metrics->Find("histograms");
+  if (histograms == nullptr) return 0;
+  const JsonValue* h = histograms->Find(name);
+  return h == nullptr ? 0 : h->IntOr("count", 0);
+}
+
+/// Oracle navigation of one query over the wire; returns the number of
+/// EXPAND requests it issued.
+int RunOracleSession(NavClient& client, const GeneratedQuery& q) {
+  int expands = 0;
+  auto opened = client.Query(q.spec.keyword);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return expands;
+  const std::string token = opened.ValueOrDie().token;
+  for (int step = 0; step < 1000; ++step) {
+    auto found = client.Find(token, q.target);
+    EXPECT_TRUE(found.ok()) << found.status().ToString();
+    if (!found.ok()) break;
+    const NavClient::FindReply& f = found.ValueOrDie();
+    if (!f.found || f.visible) break;
+    auto revealed = client.Expand(token, f.component_root);
+    EXPECT_TRUE(revealed.ok()) << revealed.status().ToString();
+    if (!revealed.ok()) break;
+    ++expands;
+  }
+  EXPECT_TRUE(client.CloseSession(token).ok());
+  return expands;
+}
+
+TEST(ServerMetricsE2E, MetricsExpositionTracksDrivenTraffic) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+  NavServer server(&w.hierarchy(), &eutils);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = NavClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NavClient& client = *connected.ValueOrDie();
+
+  auto before_text = client.Metrics();
+  ASSERT_TRUE(before_text.ok()) << before_text.status().ToString();
+  const std::string& before = before_text.ValueOrDie();
+
+  int expands = 0;
+  int sessions = 0;
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    expands += RunOracleSession(client, w.query(i));
+    ++sessions;
+  }
+  ASSERT_GT(expands, 0) << "workload drove no EXPANDs; test is vacuous";
+
+  auto after_text = client.Metrics();
+  ASSERT_TRUE(after_text.ok()) << after_text.status().ToString();
+  const std::string& after = after_text.ValueOrDie();
+
+  // Engine-level: one bump of the EXPAND counter and one sample in the
+  // stage histogram per wire EXPAND; one tree build per QUERY.
+  EXPECT_EQ(PromValue(after, "bionav_engine_expand_total") -
+                PromValue(before, "bionav_engine_expand_total"),
+            expands);
+  EXPECT_EQ(PromValue(after, "bionav_engine_expand_us_count") -
+                PromValue(before, "bionav_engine_expand_us_count"),
+            expands);
+  EXPECT_EQ(PromValue(after, "bionav_engine_tree_build_us_count") -
+                PromValue(before, "bionav_engine_tree_build_us_count"),
+            sessions);
+
+  // Server-level: per-op latency histograms saw exactly the ops we sent.
+  EXPECT_EQ(PromValue(after, "bionav_server_op_expand_us_count") -
+                PromValue(before, "bionav_server_op_expand_us_count"),
+            expands);
+  EXPECT_EQ(PromValue(after, "bionav_server_op_query_us_count") -
+                PromValue(before, "bionav_server_op_query_us_count"),
+            sessions);
+  EXPECT_EQ(PromValue(after, "bionav_sessions_created_total") -
+                PromValue(before, "bionav_sessions_created_total"),
+            sessions);
+
+  // Every closed session decremented the live count back down.
+  EXPECT_EQ(server.stats().sessions.active, 0u);
+  server.Shutdown();
+}
+
+TEST(ServerMetricsE2E, StatsEmbedsTheSameRegistry) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+  NavServer server(&w.hierarchy(), &eutils);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = NavClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  NavClient& client = *connected.ValueOrDie();
+
+  auto before_doc = client.Stats();
+  ASSERT_TRUE(before_doc.ok()) << before_doc.status().ToString();
+  int64_t before =
+      StatsHistogramCount(before_doc.ValueOrDie(), "bionav_engine_expand_us");
+
+  int expands = RunOracleSession(client, w.query(0));
+
+  auto after_doc = client.Stats();
+  ASSERT_TRUE(after_doc.ok()) << after_doc.status().ToString();
+  const JsonValue& stats = after_doc.ValueOrDie();
+  EXPECT_EQ(StatsHistogramCount(stats, "bionav_engine_expand_us") - before,
+            expands);
+
+  // The embedded registry JSON agrees with the Prometheus exposition.
+  auto text = client.Metrics();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(StatsHistogramCount(stats, "bionav_engine_expand_us"),
+            PromValue(text.ValueOrDie(), "bionav_engine_expand_us_count"));
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace bionav

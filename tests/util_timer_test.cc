@@ -18,7 +18,7 @@ TEST(Timer, RestartResets) {
   Timer t;
   // Burn a little time so elapsed is very likely non-zero.
   volatile int sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   int64_t before = t.ElapsedMicros();
   t.Restart();
   EXPECT_LE(t.ElapsedMicros(), before + 1000000);

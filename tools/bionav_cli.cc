@@ -15,9 +15,11 @@
 //       Build the navigation tree, print its Table-I statistics and the
 //       interface after one BioNav EXPAND of the root.
 //
-//   bionav_cli navigate <db-path> <query terms...> [--static]
+//   bionav_cli navigate <db-path> <query terms...> [--static] [--trace]
 //       Interactive navigation REPL (expand <label> | show <label> |
-//       back | tree | quit).
+//       back | tree | trace | quit). --trace retains per-stage spans of
+//       each EXPAND (k-partition, reduced-tree, opt-edgecut, ...) for the
+//       `trace` command.
 //
 //   bionav_cli convert-mesh <mtrees-path> <hierarchy-out>
 //       Convert an NLM MeSH tree file ("label;tree-number" lines, e.g.
@@ -27,6 +29,11 @@
 //       Open a navigation session against a running bionav_serve instance
 //       and drive it with a REPL (expand <node> | show <node> | back |
 //       tree | stats | quit) over the wire protocol.
+//
+//   bionav_cli stats <host:port> [--prom]
+//       One-shot server metrics: the STATS JSON document, or with --prom
+//       the Prometheus text exposition (METRICS op) — pipe it to a file
+//       a node_exporter textfile collector can scrape.
 
 #include <cstdlib>
 #include <iostream>
@@ -111,9 +118,10 @@ int Usage() {
          "  info <db-path>\n"
          "  search <db-path> <query terms...> [--top K]\n"
          "  tree <db-path> <query terms...> [--depth D]\n"
-         "  navigate <db-path> <query terms...> [--static]\n"
+         "  navigate <db-path> <query terms...> [--static] [--trace]\n"
          "  convert-mesh <mtrees-path> <hierarchy-out>\n"
-         "  remote <host:port> <query terms...>\n";
+         "  remote <host:port> <query terms...>\n"
+         "  stats <host:port> [--prom]\n";
   return 2;
 }
 
@@ -237,9 +245,10 @@ int CmdNavigate(const Args& args) {
                             args.HasFlag("static")
                                 ? MakeStaticStrategyFactory()
                                 : MakeBioNavStrategyFactory());
+  if (args.HasFlag("trace")) session.EnableTracing(64);
   std::cout << "'" << query << "': " << session.result_size()
             << " citations. Commands: expand <label> | show <label> | back"
-               " | tree | quit\n"
+               " | tree | trace | quit\n"
             << session.Render() << "> " << std::flush;
 
   std::string line;
@@ -253,6 +262,17 @@ int CmdNavigate(const Args& args) {
     if (cmd == "quit" || cmd == "q") break;
     if (cmd == "tree") {
       std::cout << session.Render();
+    } else if (cmd == "trace") {
+      const SpanRing* ring = session.span_ring();
+      if (ring == nullptr) {
+        std::cout << "tracing is off (run with --trace)\n";
+      } else if (ring->size() == 0) {
+        std::cout << "no spans yet (run an expand)\n";
+      } else {
+        for (const SpanRing::Span& s : ring->Snapshot()) {
+          std::cout << "  " << s.name << ": " << s.duration_us << " us\n";
+        }
+      }
     } else if (cmd == "back") {
       std::cout << (session.Backtrack() ? "undone\n" : "nothing to undo\n");
     } else if (cmd == "expand") {
@@ -280,11 +300,9 @@ int CmdNavigate(const Args& args) {
   return 0;
 }
 
-// The navigate REPL served over the wire: the session state lives in a
-// bionav_serve process; every command is one protocol request.
-int CmdRemote(const Args& args) {
-  if (args.positional.size() < 2) return Usage();
-  const std::string& endpoint = args.positional[0];
+// Parses "host:port" and connects; prints the reason and returns nullptr
+// on failure (the caller exits non-zero).
+std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint) {
   size_t colon = endpoint.rfind(':');
   int64_t port = 0;
   if (colon == std::string::npos || colon == 0 ||
@@ -292,15 +310,24 @@ int CmdRemote(const Args& args) {
       port > 65535) {
     std::cerr << "bionav_cli: bad endpoint '" << endpoint
               << "' (want host:port)\n";
-    return 2;
+    return nullptr;
   }
   auto connected =
       NavClient::Connect(endpoint.substr(0, colon), static_cast<int>(port));
   if (!connected.ok()) {
     std::cerr << connected.status().ToString() << "\n";
-    return 1;
+    return nullptr;
   }
-  NavClient& client = *connected.ValueOrDie();
+  return connected.TakeValue();
+}
+
+// The navigate REPL served over the wire: the session state lives in a
+// bionav_serve process; every command is one protocol request.
+int CmdRemote(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  std::unique_ptr<NavClient> connected = ConnectEndpoint(args.positional[0]);
+  if (connected == nullptr) return 1;
+  NavClient& client = *connected;
 
   std::string query = JoinQuery(args, 1);
   auto opened = client.Query(query);
@@ -378,6 +405,31 @@ int CmdRemote(const Args& args) {
   return exit_code;
 }
 
+// One-shot server metrics: STATS JSON by default, Prometheus text with
+// --prom. Exists so an operator (or a textfile-collector cron job) can
+// scrape a running bionav_serve without opening a navigation session.
+int CmdStats(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  std::unique_ptr<NavClient> client = ConnectEndpoint(args.positional[0]);
+  if (client == nullptr) return 1;
+  if (args.HasFlag("prom")) {
+    auto text = client->Metrics();
+    if (!text.ok()) {
+      std::cerr << text.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << text.ValueOrDie();
+    return 0;
+  }
+  auto stats = client->Stats();
+  if (!stats.ok()) {
+    std::cerr << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << WriteJson(stats.ValueOrDie()) << "\n";
+  return 0;
+}
+
 int CmdConvertMesh(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   auto imported = ImportMeshTreeFileFromPath(args.positional[0]);
@@ -411,6 +463,7 @@ int Main(int argc, char** argv) {
   if (command == "navigate") return CmdNavigate(args);
   if (command == "convert-mesh") return CmdConvertMesh(args);
   if (command == "remote") return CmdRemote(args);
+  if (command == "stats") return CmdStats(args);
   return Usage();
 }
 
