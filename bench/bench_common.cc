@@ -54,6 +54,9 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
     } else if (std::strncmp(arg, "--obs=", 6) == 0) {
       options.obs = std::strcmp(arg + 6, "off") != 0;
       SetObsEnabled(options.obs);
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      options.warmup = std::atoi(arg + 9);
+      if (options.warmup < 0) options.warmup = 0;
     } else {
       argv[out++] = argv[i];
     }
@@ -68,7 +71,7 @@ double PerSec(double sessions, double wall_ms) {
 
 void AppendJsonRecord(const std::string& json_path, const std::string& bench,
                       const std::string& config, int threads, double wall_ms,
-                      double sessions_per_sec) {
+                      double sessions_per_sec, const std::string& extra_json) {
   if (json_path.empty()) return;
   std::ofstream out(json_path, std::ios::app);
   if (!out) {
@@ -79,7 +82,9 @@ void AppendJsonRecord(const std::string& json_path, const std::string& bench,
   line << "{\"bench\": \"" << JsonEscape(bench) << "\", \"config\": \""
        << JsonEscape(config) << "\", \"threads\": " << threads
        << ", \"wall_ms\": " << wall_ms
-       << ", \"sessions_per_sec\": " << sessions_per_sec << "}";
+       << ", \"sessions_per_sec\": " << sessions_per_sec;
+  if (!extra_json.empty()) line << ", " << extra_json;
+  line << "}";
   out << line.str() << '\n';
 }
 

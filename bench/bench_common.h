@@ -47,12 +47,17 @@ struct BenchOptions {
   /// --obs=off: disable TraceSpan clock reads (SetObsEnabled(false)) so
   /// the instrumentation overhead itself can be A/B-measured.
   bool obs = true;
+  /// --warmup=N: iterations (sessions, benchmark repetitions, ...) to run
+  /// and discard before the measured phase. Warms allocator arenas, page
+  /// cache and — for the serving bench — the query-artifact cache, so the
+  /// measured numbers reflect steady state.
+  int warmup = 0;
 };
 
-/// Parses --threads=N, --json=PATH and --obs=on|off out of argv,
-/// compacting recognized flags away (so remaining args can go to another
-/// parser, e.g. google-benchmark's). Unknown args are left untouched.
-/// --obs applies SetObsEnabled as a side effect.
+/// Parses --threads=N, --json=PATH, --obs=on|off and --warmup=N out of
+/// argv, compacting recognized flags away (so remaining args can go to
+/// another parser, e.g. google-benchmark's). Unknown args are left
+/// untouched. --obs applies SetObsEnabled as a side effect.
 BenchOptions ParseBenchOptions(int* argc, char** argv);
 
 /// Sessions/sec for a batch that took `wall_ms`; 0 when the clock read 0.
@@ -60,12 +65,15 @@ double PerSec(double sessions, double wall_ms);
 
 /// Appends one JSON-lines record
 ///   {"bench": ..., "config": ..., "threads": N, "wall_ms": ...,
-///    "sessions_per_sec": ...}
-/// to `json_path`; no-op when the path is empty. Future PRs diff these
-/// BENCH_*.json trajectories instead of scraping tables.
+///    "sessions_per_sec": ...[, <extra_json>]}
+/// to `json_path`; no-op when the path is empty. `extra_json`, when
+/// non-empty, is a raw fragment of additional key/value pairs (no braces,
+/// e.g. "\"cache_hit_rate\": 0.93") spliced into the object. Future PRs
+/// diff these BENCH_*.json trajectories instead of scraping tables.
 void AppendJsonRecord(const std::string& json_path, const std::string& bench,
                       const std::string& config, int threads, double wall_ms,
-                      double sessions_per_sec);
+                      double sessions_per_sec,
+                      const std::string& extra_json = std::string());
 
 }  // namespace bionav::bench
 

@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "bionav.h"
@@ -155,6 +157,17 @@ int main(int argc, char** argv) {
   // rejects anything it does not recognize.
   bionav::bench::BenchOptions opts =
       bionav::bench::ParseBenchOptions(&argc, argv);
+  // --warmup=N maps onto google-benchmark's discarded warmup phase: each
+  // unit requests 0.1s of per-benchmark warmup before measured batches.
+  std::vector<char*> args(argv, argv + argc);
+  std::string warmup_flag;
+  if (opts.warmup > 0) {
+    warmup_flag = "--benchmark_min_warmup_time=" +
+                  std::to_string(0.1 * opts.warmup);
+    args.insert(args.begin() + 1, warmup_flag.data());
+    ++argc;
+  }
+  argv = args.data();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   bionav::Timer timer;

@@ -4,23 +4,37 @@
 // over its own TCP connection. A session is the full oracle protocol —
 // QUERY, then FIND/EXPAND until the target concept is visible, then
 // SHOWRESULTS and CLOSE — so every layer (wire protocol, session manager,
-// thread pool, EXPAND hot path) is on the measured path.
+// query-artifact cache, thread pool, EXPAND hot path) is on the measured
+// path.
+//
+// Query traffic is shaped like PubMed's: a fixed universe of
+// --distinct-queries variants sampled per session from a seeded Zipf(s)
+// popularity distribution (--zipf-s; 0 = uniform round-robin). Head
+// queries repeat heavily, so with the server's artifact cache on
+// (default), most QUERYs are warm hits that skip navigation-tree
+// construction; --cache=off serves every QUERY cold for A/B comparison.
 //
 // Reports client-observed latency percentiles (p50/p95/p99) per operation
-// — QUERY builds the whole navigation tree and is orders of magnitude
-// slower than an EXPAND, so mixing the ops in one distribution would bury
-// the EXPAND tail — next to the server-side percentiles scraped from the
-// STATS metrics registry, plus end-to-end sessions/sec. Verifies that no
-// session below the admission limit is shed (RETRY_LATER) or dropped.
+// — QUERY is split into cold (built the tree) and warm (served from the
+// cache) via the response's `cached` field, since the two differ by
+// orders of magnitude and one distribution would bury both tails — next
+// to the server-side percentiles scraped from the STATS metrics registry,
+// plus end-to-end sessions/sec and the server's cache hit rate. Verifies
+// that no session below the admission limit is shed (RETRY_LATER) or
+// dropped.
 //
 // Flags: --threads=N (server worker threads), --clients=N (load threads,
-// default 4), --sessions=M (sessions per client, default 8), --json=PATH,
-// --obs=off (disable server-side trace spans).
+// default 4), --sessions=M (sessions per client, default 8),
+// --distinct-queries=D (query universe; 0 = the raw workload queries),
+// --zipf-s=S (popularity skew, default 0 = round-robin), --cache=off,
+// --warmup=N (discarded sessions per client before the measured phase),
+// --json=PATH, --obs=off (disable server-side trace spans).
 
 #include <algorithm>
 #include <atomic>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,15 +47,20 @@ using namespace bionav::bench;
 namespace {
 
 /// Client-observed latencies, one distribution per operation class. QUERY
-/// and EXPAND are the paper-relevant ops; FIND/SHOWRESULTS/CLOSE land in
-/// `other` (kept out of both headline distributions).
+/// (cold vs warm) and EXPAND are the paper-relevant ops;
+/// FIND/SHOWRESULTS/CLOSE land in `other` (kept out of the headline
+/// distributions).
 struct OpLatencies {
-  std::vector<double> query_ms;
+  std::vector<double> query_cold_ms;
+  std::vector<double> query_warm_ms;
   std::vector<double> expand_ms;
   std::vector<double> other_ms;
 
   void MergeFrom(const OpLatencies& o) {
-    query_ms.insert(query_ms.end(), o.query_ms.begin(), o.query_ms.end());
+    query_cold_ms.insert(query_cold_ms.end(), o.query_cold_ms.begin(),
+                         o.query_cold_ms.end());
+    query_warm_ms.insert(query_warm_ms.end(), o.query_warm_ms.begin(),
+                         o.query_warm_ms.end());
     expand_ms.insert(expand_ms.end(), o.expand_ms.begin(), o.expand_ms.end());
     other_ms.insert(other_ms.end(), o.other_ms.begin(), o.other_ms.end());
   }
@@ -55,6 +74,35 @@ struct ClientResult {
   std::string first_error;
 };
 
+/// One entry of the query universe the generator samples from. Variants
+/// beyond the workload's distinct keywords repeat the keyword — the
+/// inverted index intersects postings, so "kw kw" matches exactly what
+/// "kw" does while being a distinct cache key (and wire query).
+struct QueryVariant {
+  std::string query;
+  ConceptId target = kInvalidConcept;
+};
+
+std::vector<QueryVariant> BuildQueryUniverse(const Workload& w,
+                                             int distinct_queries) {
+  std::vector<QueryVariant> universe;
+  size_t count = distinct_queries > 0 ? static_cast<size_t>(distinct_queries)
+                                      : w.num_queries();
+  universe.reserve(count);
+  for (size_t d = 0; d < count; ++d) {
+    const GeneratedQuery& q = w.query(d % w.num_queries());
+    size_t repetitions = d / w.num_queries() + 1;
+    QueryVariant v;
+    v.target = q.target;
+    for (size_t r = 0; r < repetitions; ++r) {
+      if (r > 0) v.query.push_back(' ');
+      v.query += q.spec.keyword;
+    }
+    universe.push_back(std::move(v));
+  }
+  return universe;
+}
+
 double Percentile(std::vector<double>* sorted, double p) {
   if (sorted->empty()) return 0.0;
   size_t idx = static_cast<size_t>(p * static_cast<double>(sorted->size() - 1));
@@ -63,8 +111,8 @@ double Percentile(std::vector<double>* sorted, double p) {
 
 /// One full oracle session over the wire; appends per-request latencies to
 /// the matching per-op distribution.
-Status RunSession(NavClient& client, const std::string& keyword,
-                  ConceptId target, OpLatencies* latencies) {
+Status RunSession(NavClient& client, const QueryVariant& variant,
+                  OpLatencies* latencies) {
   Timer timer;
   auto timed = [&](std::vector<double>* bucket, auto&& call) {
     timer.Restart();
@@ -73,9 +121,13 @@ Status RunSession(NavClient& client, const std::string& keyword,
     return result;
   };
 
-  auto opened =
-      timed(&latencies->query_ms, [&] { return client.Query(keyword); });
+  timer.Restart();
+  auto opened = client.Query(variant.query);
+  double query_ms = timer.ElapsedMillis();
   if (!opened.ok()) return opened.status();
+  (opened.ValueOrDie().cached ? latencies->query_warm_ms
+                              : latencies->query_cold_ms)
+      .push_back(query_ms);
   const std::string token = opened.ValueOrDie().token;
 
   // Oracle navigation: expand the target's component until it is visible.
@@ -83,7 +135,7 @@ Status RunSession(NavClient& client, const std::string& keyword,
   NavNodeId target_node = kInvalidNavNode;
   for (int step = 0; step < 64; ++step) {
     auto found = timed(&latencies->other_ms,
-                       [&] { return client.Find(token, target); });
+                       [&] { return client.Find(token, variant.target); });
     if (!found.ok()) return found.status();
     const NavClient::FindReply& f = found.ValueOrDie();
     if (!f.found) break;  // Target not in this result — nothing to reach.
@@ -107,6 +159,43 @@ Status RunSession(NavClient& client, const std::string& keyword,
   return closed;
 }
 
+/// Runs `sessions` oracle sessions on one connection; results (including
+/// failures) accumulate into `r`. `phase_salt` decorrelates the warmup
+/// RNG stream from the measured one.
+void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
+               int client_index, uint64_t phase_salt, int sessions, int port,
+               ClientResult* r) {
+  auto connected = NavClient::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    r->first_error = connected.status().ToString();
+    r->sessions_failed += sessions;
+    return;
+  }
+  NavClient& client = *connected.ValueOrDie();
+  // Seeded per client (and phase): runs are reproducible, clients draw
+  // decorrelated Zipf streams.
+  Rng rng(0x9e3779b97f4a7c15ULL ^ phase_salt ^
+          static_cast<uint64_t>(client_index));
+  for (int s = 0; s < sessions; ++s) {
+    size_t vi;
+    if (zipf_s > 0) {
+      vi = rng.Zipf(universe.size(), zipf_s);
+    } else {
+      vi = static_cast<size_t>(client_index * sessions + s) % universe.size();
+    }
+    Status status = RunSession(client, universe[vi], &r->latencies);
+    if (status.ok()) {
+      ++r->sessions_done;
+    } else {
+      ++r->sessions_failed;
+      if (status.message().find("RETRY_LATER") != std::string::npos) {
+        ++r->retry_later;
+      }
+      if (r->first_error.empty()) r->first_error = status.ToString();
+    }
+  }
+}
+
 /// Server-side p99 for one op, read from the STATS metrics registry
 /// (microseconds -> ms); negative when the histogram is absent.
 double ServerP99Ms(const JsonValue& stats, const std::string& histogram) {
@@ -125,24 +214,39 @@ int main(int argc, char** argv) {
   BenchOptions opts = ParseBenchOptions(&argc, argv);
   int clients = 4;
   int sessions_per_client = 8;
+  int distinct_queries = 0;
+  double zipf_s = 0.0;
+  bool cache_enabled = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     int64_t value = 0;
+    double dvalue = 0;
     if (StartsWith(arg, "--clients=") &&
         ParseInt64(arg.substr(10), &value) && value > 0) {
       clients = static_cast<int>(value);
     } else if (StartsWith(arg, "--sessions=") &&
                ParseInt64(arg.substr(11), &value) && value > 0) {
       sessions_per_client = static_cast<int>(value);
+    } else if (StartsWith(arg, "--distinct-queries=") &&
+               ParseInt64(arg.substr(19), &value) && value >= 0) {
+      distinct_queries = static_cast<int>(value);
+    } else if (StartsWith(arg, "--zipf-s=") &&
+               ParseDouble(arg.substr(9), &dvalue) && dvalue >= 0) {
+      zipf_s = dvalue;
+    } else if (arg == "--cache=off") {
+      cache_enabled = false;
+    } else if (arg == "--cache=on") {
+      cache_enabled = true;
     } else {
       std::cerr << "bench_serving: unknown arg '" << arg << "'\n";
       return 2;
     }
   }
 
-  PrintPreamble("Serving: closed-loop load on NavServer");
+  PrintPreamble("Serving: closed-loop Zipf load on NavServer");
   const Workload& w = SharedWorkload();
   EUtilsClient eutils = w.corpus().MakeClient();
+  std::vector<QueryVariant> universe = BuildQueryUniverse(w, distinct_queries);
 
   NavServerOptions server_options;
   server_options.threads = opts.threads;
@@ -151,6 +255,7 @@ int main(int argc, char** argv) {
   server_options.max_pending = clients;
   server_options.session.max_sessions =
       static_cast<size_t>(clients) * 2 + 8;
+  server_options.session.cache_enabled = cache_enabled;
   NavServer server(&w.hierarchy(), &eutils, MakeBioNavStrategyFactory(),
                    server_options);
   Status started = server.Start();
@@ -159,49 +264,47 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "server: 127.0.0.1:" << server.port() << ", "
-            << server_options.threads << " worker threads, " << clients
-            << " clients x " << sessions_per_client << " sessions\n\n";
+            << server_options.threads << " worker threads, cache "
+            << (cache_enabled ? "on" : "off") << "\n"
+            << "load: " << clients << " clients x " << sessions_per_client
+            << " sessions (+" << opts.warmup << " warmup), "
+            << universe.size() << " distinct queries, zipf_s=" << zipf_s
+            << "\n\n";
 
   std::vector<ClientResult> results(static_cast<size_t>(clients));
-  Timer wall;
-  {
+  auto run_phase = [&](uint64_t salt, int sessions,
+                       std::vector<ClientResult>* out) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        ClientResult& r = results[static_cast<size_t>(c)];
-        auto connected = NavClient::Connect("127.0.0.1", server.port());
-        if (!connected.ok()) {
-          r.first_error = connected.status().ToString();
-          r.sessions_failed = sessions_per_client;
-          return;
-        }
-        NavClient& client = *connected.ValueOrDie();
-        for (int s = 0; s < sessions_per_client; ++s) {
-          size_t qi = static_cast<size_t>(c * sessions_per_client + s) %
-                      w.num_queries();
-          const GeneratedQuery& q = w.query(qi);
-          Status status =
-              RunSession(client, q.spec.keyword, q.target, &r.latencies);
-          if (status.ok()) {
-            ++r.sessions_done;
-          } else {
-            ++r.sessions_failed;
-            if (status.message().find("RETRY_LATER") != std::string::npos) {
-              ++r.retry_later;
-            }
-            if (r.first_error.empty()) r.first_error = status.ToString();
-          }
-        }
+        RunClient(universe, zipf_s, c, salt, sessions, server.port(),
+                  &(*out)[static_cast<size_t>(c)]);
       });
     }
     for (std::thread& t : threads) t.join();
+  };
+  // Warmup phase: discarded sessions prime allocator arenas and the
+  // artifact cache, so the measured distribution reflects steady state.
+  if (opts.warmup > 0) {
+    std::vector<ClientResult> warmup_results(static_cast<size_t>(clients));
+    run_phase(/*salt=*/0x77ULL, opts.warmup, &warmup_results);
+    for (const ClientResult& r : warmup_results) {
+      if (!r.first_error.empty()) {
+        std::cerr << "warmup client error: " << r.first_error << "\n";
+        return 1;
+      }
+    }
   }
+  Timer wall;
+  run_phase(/*salt=*/0, sessions_per_client, &results);
   double wall_ms = wall.ElapsedMillis();
 
-  // Scrape the server's own percentiles over the wire before shutdown —
-  // this also exercises the STATS metrics exposition end to end.
+  // Scrape the server's own percentiles and cache counters over the wire
+  // before shutdown — this also exercises the STATS exposition end to end.
   double server_query_p99 = -1, server_expand_p99 = -1;
+  int64_t cache_hits = 0, cache_misses = 0, cache_entries = 0,
+          cache_bytes = 0;
   if (auto scraper = NavClient::Connect("127.0.0.1", server.port());
       scraper.ok()) {
     if (auto stats_doc = scraper.ValueOrDie()->Stats(); stats_doc.ok()) {
@@ -209,6 +312,12 @@ int main(int argc, char** argv) {
           ServerP99Ms(stats_doc.ValueOrDie(), "bionav_server_op_query_us");
       server_expand_p99 =
           ServerP99Ms(stats_doc.ValueOrDie(), "bionav_server_op_expand_us");
+      if (const JsonValue* c = stats_doc.ValueOrDie().Find("cache")) {
+        cache_hits = c->IntOr("hits", 0);
+        cache_misses = c->IntOr("misses", 0);
+        cache_entries = c->IntOr("entries", 0);
+        cache_bytes = c->IntOr("bytes", 0);
+      }
     }
   }
   server.Shutdown();
@@ -224,7 +333,8 @@ int main(int argc, char** argv) {
       std::cerr << "client error: " << r.first_error << "\n";
     }
   }
-  std::sort(all.query_ms.begin(), all.query_ms.end());
+  std::sort(all.query_cold_ms.begin(), all.query_cold_ms.end());
+  std::sort(all.query_warm_ms.begin(), all.query_warm_ms.end());
   std::sort(all.expand_ms.begin(), all.expand_ms.end());
   std::sort(all.other_ms.begin(), all.other_ms.end());
 
@@ -240,22 +350,48 @@ int main(int argc, char** argv) {
                   TextTable::Num(Percentile(sorted, 0.99), 3),
                   server_p99 < 0 ? "-" : TextTable::Num(server_p99, 3)});
   };
-  op_row("QUERY", &all.query_ms, server_query_p99);
+  op_row("QUERY cold", &all.query_cold_ms, server_query_p99);
+  op_row("QUERY warm", &all.query_warm_ms, -1);
   op_row("EXPAND", &all.expand_ms, server_expand_p99);
   op_row("other", &all.other_ms, -1);
   std::cout << table.ToString();
+
+  double cold_p50 = Percentile(&all.query_cold_ms, 0.50);
+  double warm_p50 = Percentile(&all.query_warm_ms, 0.50);
+  int64_t cache_lookups = cache_hits + cache_misses;
+  double hit_rate = cache_lookups > 0 ? static_cast<double>(cache_hits) /
+                                            static_cast<double>(cache_lookups)
+                                      : 0.0;
   std::cout << "\nsessions: " << done << " done, " << failed << " failed, "
             << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n"
             << "server: " << stats.requests << " requests, "
             << stats.connections_accepted << " connections accepted, "
             << stats.connections_shed << " shed, "
             << stats.sessions.created << " sessions created, "
-            << stats.sessions.evicted_lru << " LRU-evicted\n";
+            << stats.sessions.evicted_lru << " LRU-evicted\n"
+            << "cache: " << cache_hits << " hits, " << cache_misses
+            << " misses (hit rate " << TextTable::Num(hit_rate, 3) << "), "
+            << cache_entries << " entries, " << cache_bytes << " bytes";
+  if (warm_p50 > 0 && cold_p50 > 0) {
+    std::cout << ", warm QUERY p50 " << TextTable::Num(cold_p50 / warm_p50, 1)
+              << "x faster than cold";
+  }
+  std::cout << "\n";
 
+  std::ostringstream extra;
+  extra << "\"cache\": " << (cache_enabled ? "true" : "false")
+        << ", \"cache_hit_rate\": " << hit_rate
+        << ", \"zipf_s\": " << zipf_s
+        << ", \"distinct_queries\": " << universe.size()
+        << ", \"warmup\": " << opts.warmup
+        << ", \"query_cold_p50_ms\": " << cold_p50
+        << ", \"query_warm_p50_ms\": " << warm_p50;
   AppendJsonRecord(opts.json_path, "bench_serving",
                    "clients=" + std::to_string(clients) +
-                       ",sessions=" + std::to_string(sessions_per_client),
-                   server_options.threads, wall_ms, PerSec(done, wall_ms));
+                       ",sessions=" + std::to_string(sessions_per_client) +
+                       ",cache=" + (cache_enabled ? "on" : "off"),
+                   server_options.threads, wall_ms, PerSec(done, wall_ms),
+                   extra.str());
 
   // Every client held one connection below the admission limit: a dropped
   // or shed session is a serving bug, not load.

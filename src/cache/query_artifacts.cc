@@ -1,0 +1,49 @@
+#include "cache/query_artifacts.h"
+
+#include <cctype>
+
+#include "util/timer.h"
+
+namespace bionav {
+
+size_t QueryArtifacts::MemoryFootprint() const {
+  size_t bytes = sizeof(QueryArtifacts) + key.capacity();
+  if (result != nullptr) bytes += result->MemoryFootprint();
+  if (nav != nullptr) bytes += nav->MemoryFootprint();
+  if (cost_model != nullptr) bytes += cost_model->MemoryFootprint();
+  return bytes;
+}
+
+std::string NormalizeQueryKey(std::string_view query) {
+  std::string key;
+  key.reserve(query.size());
+  for (char c : query) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!key.empty() && key.back() != ' ') key.push_back(' ');
+    } else {
+      key.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!key.empty() && key.back() == ' ') key.pop_back();
+  return key;
+}
+
+std::shared_ptr<const QueryArtifacts> BuildQueryArtifacts(
+    const ConceptHierarchy& hierarchy, const EUtilsClient& eutils,
+    const std::string& query, CostModelParams params, bool freeze) {
+  Timer timer;
+  auto artifacts = std::make_shared<QueryArtifacts>();
+  artifacts->key = NormalizeQueryKey(query);
+  artifacts->result =
+      std::make_shared<const ResultSet>(eutils.ESearch(query));
+  auto nav = std::make_shared<NavigationTree>(hierarchy, eutils.associations(),
+                                              artifacts->result);
+  if (freeze) nav->Freeze();
+  artifacts->cost_model = std::make_shared<const CostModel>(nav.get(), params);
+  artifacts->nav = std::move(nav);
+  artifacts->build_us = static_cast<int64_t>(timer.ElapsedMicros());
+  return artifacts;
+}
+
+}  // namespace bionav

@@ -1,0 +1,56 @@
+#ifndef BIONAV_CACHE_QUERY_ARTIFACTS_H_
+#define BIONAV_CACHE_QUERY_ARTIFACTS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/cost_model.h"
+#include "core/navigation_tree.h"
+#include "core/result_set.h"
+#include "medline/eutils.h"
+
+namespace bionav {
+
+/// The immutable per-query outcome of the online pipeline of Section VII:
+/// ESearch result, the maximum-embedding navigation tree and its cost
+/// model. Everything mutable about a navigation dialogue (ActiveTree,
+/// strategy memos, trace ring) lives in the NavigationSession; this bundle
+/// is what QueryArtifactCache shares across sessions, so once published it
+/// must never change — trees destined for sharing are Freeze()d so even
+/// their lazy subtree caches are fully materialized before first use.
+struct QueryArtifacts {
+  /// Normalized cache key the bundle was built for (NormalizeQueryKey).
+  std::string key;
+  std::shared_ptr<const ResultSet> result;
+  std::shared_ptr<const NavigationTree> nav;
+  std::shared_ptr<const CostModel> cost_model;
+  /// Wall time the build took — re-recorded as "build time saved" every
+  /// time a later session is served from the cache instead of rebuilding.
+  int64_t build_us = 0;
+
+  /// Heap bytes held by the bundle (result set, tree incl. precomputed
+  /// subtree caches, cost model) — the unit of the cache's byte budget.
+  size_t MemoryFootprint() const;
+};
+
+/// Cache key of a query string: ASCII-lowercased with whitespace runs
+/// collapsed to single spaces and outer whitespace stripped. Deliberately
+/// conservative — term order and repetition are preserved, so two queries
+/// share a key only when the backend trivially treats them identically
+/// (ESearch keyword matching is case- and spacing-insensitive; reordering
+/// is not assumed, mirroring PubMed query semantics).
+std::string NormalizeQueryKey(std::string_view query);
+
+/// Runs the full per-query pipeline (ESearch -> navigation tree -> cost
+/// model) and bundles the artifacts. `freeze` precomputes the tree's
+/// subtree-results/distinct caches so the bundle is safe to share across
+/// threads (always pass true when the result goes into a cache); building
+/// a private per-session bundle can skip it and keep the lazy fill.
+std::shared_ptr<const QueryArtifacts> BuildQueryArtifacts(
+    const ConceptHierarchy& hierarchy, const EUtilsClient& eutils,
+    const std::string& query, CostModelParams params, bool freeze);
+
+}  // namespace bionav
+
+#endif  // BIONAV_CACHE_QUERY_ARTIFACTS_H_

@@ -93,6 +93,11 @@ class CostModel {
   static double MemberEntropy(int distinct_count,
                               const std::vector<int>& member_counts);
 
+  /// Heap bytes of the weight table (QueryArtifactCache accounting).
+  size_t MemoryFootprint() const {
+    return sizeof(CostModel) + weights_.capacity() * sizeof(double);
+  }
+
  private:
   const NavigationTree* nav_;
   CostModelParams params_;

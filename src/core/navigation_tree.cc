@@ -130,6 +130,9 @@ const DynamicBitset& NavigationTree::SubtreeResultsCached(
   if (subtree_distinct_[static_cast<size_t>(id)] >= 0) {
     return subtree_results_[static_cast<size_t>(id)];
   }
+  // Freeze() materialized every node, so a fill on a frozen tree means a
+  // stale index or corrupted cache — and would race concurrent readers.
+  BIONAV_CHECK(!frozen_) << "lazy subtree-cache fill on a frozen tree";
   // Fill the whole subtree in one reverse-pre-order sweep (children precede
   // parents); nodes already cached by earlier calls are reused as-is.
   NavNodeId end = SubtreeEnd(id);
@@ -144,6 +147,30 @@ const DynamicBitset& NavigationTree::SubtreeResultsCached(
     subtree_results_[i] = std::move(acc);
   }
   return subtree_results_[static_cast<size_t>(id)];
+}
+
+void NavigationTree::Freeze() {
+  if (frozen_) return;
+  // The root fill materializes the cache for every node in one sweep;
+  // after this, every const method is a pure read.
+  SubtreeResultsCached(kRoot);
+  frozen_ = true;
+}
+
+size_t NavigationTree::MemoryFootprint() const {
+  size_t bytes = sizeof(NavigationTree);
+  for (const NavNode& n : nodes_) {
+    bytes += sizeof(NavNode) + n.children.capacity() * sizeof(NavNodeId) +
+             n.results.MemoryBytes();
+  }
+  bytes += (nodes_.capacity() - nodes_.size()) * sizeof(NavNode);
+  bytes += concept_to_node_.capacity() * sizeof(NavNodeId);
+  bytes += subtree_end_.capacity() * sizeof(NavNodeId);
+  bytes += attached_prefix_.capacity() * sizeof(int64_t);
+  bytes += subtree_distinct_.capacity() * sizeof(int);
+  bytes += subtree_results_.capacity() * sizeof(DynamicBitset);
+  for (const DynamicBitset& b : subtree_results_) bytes += b.MemoryBytes();
+  return bytes;
 }
 
 int NavigationTree::SubtreeDistinct(NavNodeId id) const {

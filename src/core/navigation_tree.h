@@ -79,9 +79,26 @@ class NavigationTree {
   /// calls are O(1). EXPAND repeatedly needs subtree unions while cutting
   /// its way down one root-to-leaf path, so this turns the per-EXPAND
   /// re-walk of pre-order ranges into a single amortized pass per tree.
-  /// The cache is unsynchronized: a NavigationTree is a per-session object
-  /// (see DESIGN.md "Concurrency model"); do not share one across threads.
+  /// The cache is unsynchronized: an unfrozen NavigationTree is a
+  /// per-session object (see DESIGN.md "Concurrency model"); Freeze() a
+  /// tree before sharing it across threads.
   const DynamicBitset& SubtreeResultsCached(NavNodeId id) const;
+
+  /// Precomputes the subtree-results/distinct caches for every node and
+  /// marks the tree frozen. A frozen tree is deeply immutable — every
+  /// const method is a pure read — so one instance can serve concurrent
+  /// sessions (the QueryArtifactCache's sharing contract). Reaching the
+  /// lazy fill path on a frozen tree is a checked invariant violation.
+  void Freeze();
+
+  /// True once Freeze() ran.
+  bool frozen() const { return frozen_; }
+
+  /// Heap bytes held by the tree: nodes (children lists, attached-citation
+  /// bitsets), the concept index, pre-order intervals, prefix sums and
+  /// whatever portion of the subtree caches is materialized. Feeds the
+  /// QueryArtifactCache byte budget.
+  size_t MemoryFootprint() const;
 
   /// |SubtreeResultsCached(id)|, cached alongside the set.
   int SubtreeDistinct(NavNodeId id) const;
@@ -130,9 +147,10 @@ class NavigationTree {
   std::vector<NavNodeId> concept_to_node_;  // Indexed by ConceptId.
   std::vector<NavNodeId> subtree_end_;      // Pre-order interval ends.
   std::vector<int64_t> attached_prefix_;    // Size nodes+1.
-  // Lazy subtree-results cache (unsynchronized; per-session object).
+  // Lazy subtree-results cache (unsynchronized until Freeze()).
   mutable std::vector<DynamicBitset> subtree_results_;
   mutable std::vector<int> subtree_distinct_;  // -1 = not yet computed.
+  bool frozen_ = false;
 };
 
 }  // namespace bionav

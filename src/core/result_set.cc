@@ -16,4 +16,14 @@ int ResultSet::LocalIndex(CitationId id) const {
   return it == local_.end() ? -1 : it->second;
 }
 
+size_t ResultSet::MemoryFootprint() const {
+  // The hash map's exact layout is implementation-defined; approximate
+  // each slot as its key/value pair plus two pointers of node/bucket
+  // overhead (libstdc++'s node-based unordered_map is close to this).
+  return sizeof(ResultSet) + citations_.capacity() * sizeof(CitationId) +
+         local_.size() *
+             (sizeof(std::pair<CitationId, int>) + 2 * sizeof(void*)) +
+         local_.bucket_count() * sizeof(void*);
+}
+
 }  // namespace bionav

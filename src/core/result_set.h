@@ -36,6 +36,10 @@ class ResultSet {
 
   const std::vector<CitationId>& citations() const { return citations_; }
 
+  /// Heap bytes of the id list and the reverse index (QueryArtifactCache
+  /// byte-budget accounting).
+  size_t MemoryFootprint() const;
+
  private:
   std::vector<CitationId> citations_;
   std::unordered_map<CitationId, int> local_;

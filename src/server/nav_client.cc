@@ -102,6 +102,7 @@ Result<NavClient::QueryReply> NavClient::Query(const std::string& query) {
   QueryReply reply;
   reply.token = doc.StringOr("token", "");
   reply.result_size = static_cast<size_t>(doc.IntOr("result_size", 0));
+  reply.cached = doc.BoolOr("cached", false);
   if (reply.token.empty()) {
     return Status::Internal("QUERY response carries no token");
   }

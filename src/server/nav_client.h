@@ -32,6 +32,8 @@ class NavClient {
   struct QueryReply {
     std::string token;
     size_t result_size = 0;
+    /// The session was served from the server's query-artifact cache.
+    bool cached = false;
   };
   Result<QueryReply> Query(const std::string& query);
 

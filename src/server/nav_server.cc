@@ -264,15 +264,16 @@ std::string NavServer::HandleQuery(const Request& request) {
   if (shutting_down_.load(std::memory_order_acquire)) {
     return ErrorReply(WireError::kShuttingDown, "server is draining");
   }
-  size_t result_size = 0;
-  Result<std::string> token = sessions_.Create(request.query, &result_size);
-  if (!token.ok()) {
-    return ErrorReply(WireErrorFromStatus(token.status()),
-                      token.status().message());
+  Result<SessionManager::CreateInfo> info =
+      sessions_.CreateSession(request.query);
+  if (!info.ok()) {
+    return ErrorReply(WireErrorFromStatus(info.status()),
+                      info.status().message());
   }
   return ResponseBuilder(RequestOp::kQuery)
-      .Add("token", std::string_view(token.ValueOrDie()))
-      .Add("result_size", static_cast<uint64_t>(result_size))
+      .Add("token", std::string_view(info.ValueOrDie().token))
+      .Add("result_size", static_cast<uint64_t>(info.ValueOrDie().result_size))
+      .Add("cached", info.ValueOrDie().cache_hit)
       .Finish();
 }
 
@@ -380,6 +381,21 @@ std::string NavServer::HandleStats(const Request&) {
       ",\"expired_ttl\":" + std::to_string(s.sessions.expired_ttl) +
       ",\"closed\":" + std::to_string(s.sessions.closed) +
       ",\"operations\":" + std::to_string(s.sessions.operations) + "}";
+  // Artifact-cache section: enabled:false (and zeros) when --cache=off, so
+  // scrapers can rely on the section's presence either way.
+  QueryArtifactCacheStats c;
+  const QueryArtifactCache* cache = sessions_.cache();
+  if (cache != nullptr) c = cache->stats();
+  std::string cache_json =
+      std::string("{\"enabled\":") + (cache != nullptr ? "true" : "false") +
+      ",\"hits\":" + std::to_string(c.hits) +
+      ",\"misses\":" + std::to_string(c.misses) +
+      ",\"singleflight_waits\":" + std::to_string(c.singleflight_waits) +
+      ",\"evicted_lru\":" + std::to_string(c.evicted_lru) +
+      ",\"expired_ttl\":" + std::to_string(c.expired_ttl) +
+      ",\"entries\":" + std::to_string(c.entries) +
+      ",\"bytes\":" + std::to_string(c.bytes) +
+      ",\"build_us_saved\":" + std::to_string(c.build_us_saved) + "}";
   return ResponseBuilder(RequestOp::kStats)
       .Add("connections_accepted", s.connections_accepted)
       .Add("connections_shed", s.connections_shed)
@@ -387,6 +403,7 @@ std::string NavServer::HandleStats(const Request&) {
       .Add("protocol_errors", s.protocol_errors)
       .Add("threads", pool_.num_threads())
       .AddRaw("sessions", sessions)
+      .AddRaw("cache", cache_json)
       .AddRaw("metrics", GlobalMetrics().ToJson())
       .Finish();
 }

@@ -23,7 +23,8 @@ namespace bionav {
 /// Request grammar (all requests):
 ///   {"v": 1, "op": "<OP>", ...op-specific fields...}
 /// Ops and their fields:
-///   QUERY       {"query": "<keywords>"}            -> token, result_size
+///   QUERY       {"query": "<keywords>"}            -> token, result_size,
+///                                                     cached
 ///   EXPAND      {"token": t, "node": n}            -> revealed: [ids]
 ///   SHOWRESULTS {"token": t, "node": n,
 ///                "retstart": s, "retmax": m}       -> total, summaries

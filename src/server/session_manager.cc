@@ -62,6 +62,14 @@ SessionManager::SessionManager(const ConceptHierarchy* hierarchy,
   BIONAV_CHECK(strategy_factory_ != nullptr);
   if (options_.max_sessions == 0) options_.max_sessions = 1;
   if (!options_.clock) options_.clock = SteadyNowMs;
+  if (options_.cache_enabled) {
+    QueryArtifactCacheOptions cache_options;
+    cache_options.max_bytes = options_.cache_max_bytes;
+    cache_options.ttl_ms = options_.cache_ttl_ms;
+    cache_options.shards = options_.cache_shards;
+    cache_options.clock = options_.clock;
+    cache_ = std::make_unique<QueryArtifactCache>(std::move(cache_options));
+  }
 }
 
 SessionManager::~SessionManager() {
@@ -75,15 +83,39 @@ int64_t SessionManager::NowMs() const { return options_.clock(); }
 
 Result<std::string> SessionManager::Create(const std::string& query,
                                            size_t* result_size) {
+  Result<CreateInfo> info = CreateSession(query);
+  if (!info.ok()) return info.status();
+  if (result_size != nullptr) *result_size = info.ValueOrDie().result_size;
+  return info.TakeValue().token;
+}
+
+Result<SessionManager::CreateInfo> SessionManager::CreateSession(
+    const std::string& query) {
   if (query.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  // Build outside the lock: navigation-tree construction is the expensive
-  // part of QUERY and must not serialize against other sessions.
+  // Resolve the artifacts outside the session-map lock: navigation-tree
+  // construction is the expensive part of QUERY and must not serialize
+  // against other sessions. With the cache on, the build also singleflights
+  // — concurrent QUERYs of one normalized key share a single build.
+  CreateInfo info;
+  std::shared_ptr<const QueryArtifacts> artifacts;
+  if (cache_ != nullptr) {
+    QueryArtifactCache::Lookup lookup =
+        cache_->GetOrBuild(NormalizeQueryKey(query), [&] {
+          return BuildQueryArtifacts(*hierarchy_, *eutils_, query,
+                                     cost_params_, /*freeze=*/true);
+        });
+    artifacts = std::move(lookup.artifacts);
+    info.cache_hit = lookup.hit;
+  } else {
+    artifacts = BuildQueryArtifacts(*hierarchy_, *eutils_, query,
+                                    cost_params_, /*freeze=*/false);
+  }
   auto entry = std::make_shared<Entry>();
   entry->session = std::make_unique<NavigationSession>(
-      hierarchy_, eutils_, query, strategy_factory_, cost_params_);
-  if (result_size != nullptr) *result_size = entry->session->result_size();
+      eutils_, std::move(artifacts), query, strategy_factory_);
+  info.result_size = entry->session->result_size();
 
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = NowMs();
@@ -98,7 +130,8 @@ Result<std::string> SessionManager::Create(const std::string& query,
   SessionsCreated()->Increment();
   SessionsLive()->Add(1);
   EvictToCapacityLocked();
-  return entry->token;
+  info.token = entry->token;
+  return info;
 }
 
 Status SessionManager::WithSession(

@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/query_artifact_cache.h"
 #include "sim/session.h"
 
 namespace bionav {
@@ -23,7 +24,19 @@ struct SessionManagerOptions {
   int64_t ttl_ms = 10 * 60 * 1000;
   /// Millisecond clock used for TTL/LRU accounting. Defaults to
   /// std::chrono::steady_clock; tests inject a fake to step time manually.
+  /// Also handed to the query-artifact cache, so session TTL and artifact
+  /// TTL tick on the same (possibly fake) clock.
   std::function<int64_t()> clock;
+  /// Share query artifacts (result set, frozen navigation tree, cost
+  /// model) across sessions of the same normalized query. When false,
+  /// every QUERY rebuilds privately (the pre-cache behavior).
+  bool cache_enabled = true;
+  /// Byte budget / TTL / shard count of the artifact cache; see
+  /// QueryArtifactCacheOptions. The cache's clock is always inherited from
+  /// `clock` above.
+  size_t cache_max_bytes = QueryArtifactCacheOptions().max_bytes;
+  int64_t cache_ttl_ms = 0;
+  size_t cache_shards = 8;
 };
 
 /// Lifetime counters. `active` is the instantaneous live-session count;
@@ -59,11 +72,26 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Runs the full online pipeline for `query` (ESearch -> navigation tree
-  /// -> active tree) and registers the session. Returns its token; the
-  /// result size is reported through `*result_size` when non-null.
-  /// Expensive (tree construction) — deliberately outside any lock, so
-  /// concurrent creates overlap.
+  /// What CreateSession produced: the registered session's token, the
+  /// query's result size, and whether the artifacts came from the shared
+  /// cache (false on a cold build or when the cache is disabled).
+  struct CreateInfo {
+    std::string token;
+    size_t result_size = 0;
+    bool cache_hit = false;
+  };
+
+  /// Runs the online pipeline for `query` (ESearch -> navigation tree ->
+  /// active tree) — or, on a cache hit, reuses the shared frozen artifacts
+  /// of an earlier session with the same normalized query — and registers
+  /// the session. Expensive on a miss (tree construction), so the build
+  /// runs outside every lock; concurrent creates of *distinct* queries
+  /// overlap, while concurrent creates of the *same* query singleflight on
+  /// one build.
+  Result<CreateInfo> CreateSession(const std::string& query);
+
+  /// Back-compat wrapper over CreateSession: returns the token; the result
+  /// size is reported through `*result_size` when non-null.
   Result<std::string> Create(const std::string& query,
                              size_t* result_size = nullptr);
 
@@ -80,6 +108,9 @@ class SessionManager {
 
   size_t active() const;
   SessionManagerStats stats() const;
+
+  /// The shared artifact cache, or nullptr when cache_enabled is false.
+  const QueryArtifactCache* cache() const { return cache_.get(); }
 
  private:
   struct Entry {
@@ -103,6 +134,8 @@ class SessionManager {
   StrategyFactory strategy_factory_;
   SessionManagerOptions options_;
   CostModelParams cost_params_;
+  /// Shared per-query artifacts; null when caching is disabled.
+  std::unique_ptr<QueryArtifactCache> cache_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> sessions_;

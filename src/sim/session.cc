@@ -23,23 +23,37 @@ NavigationSession::NavigationSession(const ConceptHierarchy* hierarchy,
                                      std::string query,
                                      StrategyFactory strategy_factory,
                                      CostModelParams params)
-    : hierarchy_(hierarchy), eutils_(eutils), query_(std::move(query)) {
-  BIONAV_CHECK(hierarchy != nullptr);
+    : NavigationSession(
+          eutils,
+          // On-line pipeline of Section VII: ESearch for citation ids, then
+          // the navigation tree from the association table, then the cost
+          // model. Unshared, so the tree keeps its lazy subtree caches.
+          [&] {
+            BIONAV_CHECK(hierarchy != nullptr);
+            BIONAV_CHECK(eutils != nullptr);
+            return BuildQueryArtifacts(*hierarchy, *eutils, query, params,
+                                       /*freeze=*/false);
+          }(),
+          query, std::move(strategy_factory)) {}
+
+NavigationSession::NavigationSession(
+    const EUtilsClient* eutils, std::shared_ptr<const QueryArtifacts> artifacts,
+    std::string query, StrategyFactory strategy_factory)
+    : eutils_(eutils),
+      query_(std::move(query)),
+      artifacts_(std::move(artifacts)) {
   BIONAV_CHECK(eutils != nullptr);
   BIONAV_CHECK(strategy_factory != nullptr);
-
-  // On-line pipeline of Section VII: ESearch for citation ids, then build
-  // the navigation tree from the association table, then the active tree.
-  auto result = std::make_shared<const ResultSet>(eutils_->ESearch(query_));
-  nav_ = std::make_unique<NavigationTree>(*hierarchy_,
-                                          eutils_->associations(), result);
-  cost_model_ = std::make_unique<CostModel>(nav_.get(), params);
-  strategy_ = strategy_factory(cost_model_.get());
-  active_ = std::make_unique<ActiveTree>(nav_.get());
+  BIONAV_CHECK(artifacts_ != nullptr);
+  BIONAV_CHECK(artifacts_->nav != nullptr);
+  BIONAV_CHECK(artifacts_->cost_model != nullptr);
+  hierarchy_ = &artifacts_->nav->hierarchy();
+  strategy_ = strategy_factory(artifacts_->cost_model.get());
+  active_ = std::make_unique<ActiveTree>(artifacts_->nav.get());
 }
 
 Result<std::vector<NavNodeId>> NavigationSession::Expand(NavNodeId node) {
-  if (node < 0 || static_cast<size_t>(node) >= nav_->size()) {
+  if (node < 0 || static_cast<size_t>(node) >= nav().size()) {
     return Status::InvalidArgument("node id out of range");
   }
   if (!active_->IsVisible(node)) {
@@ -75,7 +89,7 @@ Result<std::vector<NavNodeId>> NavigationSession::ExpandByLabel(
 
 Result<std::vector<CitationSummary>> NavigationSession::ShowResults(
     NavNodeId node, size_t retstart, size_t retmax) const {
-  if (node < 0 || static_cast<size_t>(node) >= nav_->size()) {
+  if (node < 0 || static_cast<size_t>(node) >= nav().size()) {
     return Status::InvalidArgument("node id out of range");
   }
   if (!active_->IsVisible(node)) {
@@ -87,7 +101,7 @@ Result<std::vector<CitationSummary>> NavigationSession::ShowResults(
   std::vector<CitationId> ids;
   ids.reserve(bits.Count());
   for (size_t local : bits.ToIndexes()) {
-    ids.push_back(nav_->result().citation(local));
+    ids.push_back(nav().result().citation(local));
   }
   std::vector<RankedCitation> ranked =
       RankCitations(eutils_->store(), ids, query_);
@@ -100,7 +114,7 @@ Result<std::vector<CitationSummary>> NavigationSession::ShowResults(
 }
 
 std::string NavigationSession::Render(int max_depth) const {
-  return RenderAsciiRanked(*active_, *cost_model_, max_depth);
+  return RenderAsciiRanked(*active_, *artifacts_->cost_model, max_depth);
 }
 
 bool NavigationSession::Backtrack() { return active_->Backtrack(); }
@@ -111,9 +125,9 @@ void NavigationSession::EnableTracing(size_t capacity) {
 
 NavNodeId NavigationSession::FindVisibleByLabel(
     const std::string& label) const {
-  for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav_->size()); ++id) {
+  for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav().size()); ++id) {
     if (!active_->IsVisible(id)) continue;
-    if (hierarchy_->label(nav_->node(id).concept_id) == label) return id;
+    if (hierarchy_->label(nav().node(id).concept_id) == label) return id;
   }
   return kInvalidNavNode;
 }

@@ -8,6 +8,7 @@
 
 #include "algo/expand_strategy.h"
 #include "algo/heuristic_reduced_opt.h"
+#include "cache/query_artifacts.h"
 #include "core/active_tree.h"
 #include "medline/eutils.h"
 #include "obs/trace.h"
@@ -35,20 +36,38 @@ StrategyFactory MakeStaticStrategyFactory();
 /// moves on) and BACKTRACK.
 class NavigationSession {
  public:
+  /// Cold path: runs the full pipeline privately for this session (the
+  /// artifacts are built lazily-cached and unshared).
   NavigationSession(const ConceptHierarchy* hierarchy,
                     const EUtilsClient* eutils, std::string query,
                     StrategyFactory strategy_factory,
                     CostModelParams params = CostModelParams());
 
+  /// Shared-artifact path: the result set, navigation tree and cost model
+  /// come (typically frozen, from the QueryArtifactCache) ready-built;
+  /// only the per-session state — ActiveTree, strategy memos, trace ring —
+  /// is constructed here. `query` is the user's original string (ranking
+  /// in ShowResults uses it verbatim; the artifacts are keyed by its
+  /// normalized form).
+  NavigationSession(const EUtilsClient* eutils,
+                    std::shared_ptr<const QueryArtifacts> artifacts,
+                    std::string query, StrategyFactory strategy_factory);
+
   /// Number of citations the query matched.
-  size_t result_size() const { return nav_->result().size(); }
+  size_t result_size() const { return nav().result().size(); }
 
   /// The query string this session navigates.
   const std::string& query() const { return query_; }
 
-  const NavigationTree& navigation_tree() const { return *nav_; }
+  const NavigationTree& navigation_tree() const { return nav(); }
   const ActiveTree& active_tree() const { return *active_; }
-  const CostModel& cost_model() const { return *cost_model_; }
+  const CostModel& cost_model() const { return *artifacts_->cost_model; }
+
+  /// The per-query artifact bundle this session navigates (shared when the
+  /// session was served from the QueryArtifactCache).
+  const std::shared_ptr<const QueryArtifacts>& artifacts() const {
+    return artifacts_;
+  }
 
   /// EXPAND on a visible concept (by its navigation node). Returns the
   /// newly revealed navigation nodes.
@@ -84,11 +103,14 @@ class NavigationSession {
   const SpanRing* span_ring() const { return ring_.get(); }
 
  private:
+  const NavigationTree& nav() const { return *artifacts_->nav; }
+
   const ConceptHierarchy* hierarchy_;
   const EUtilsClient* eutils_;
   std::string query_;
-  std::unique_ptr<NavigationTree> nav_;
-  std::unique_ptr<CostModel> cost_model_;
+  /// Immutable per-query artifacts (possibly shared across sessions).
+  std::shared_ptr<const QueryArtifacts> artifacts_;
+  /// Per-session navigation state.
   std::unique_ptr<ExpandStrategy> strategy_;
   std::unique_ptr<ActiveTree> active_;
   std::unique_ptr<SpanRing> ring_;

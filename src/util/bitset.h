@@ -98,6 +98,10 @@ class DynamicBitset {
   /// Returns the indexes of all set bits in increasing order.
   std::vector<size_t> ToIndexes() const;
 
+  /// Heap bytes of the word array (memory-accounting helper; excludes
+  /// sizeof(DynamicBitset) itself, which the owner counts).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
  private:
   size_t size_;
   std::vector<uint64_t> words_;

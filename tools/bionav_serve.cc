@@ -4,6 +4,7 @@
 //
 //   bionav_serve <db-path> [--port P] [--threads N] [--max-pending Q]
 //                [--max-sessions S] [--ttl-ms T] [--static]
+//                [--cache-mb MB] [--cache-ttl MS] [--cache=off]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on the first stdout line ("listening on 127.0.0.1:PORT") so
@@ -40,7 +41,7 @@ int64_t IntArg(const std::string& value, const char* flag) {
 int Usage() {
   std::cerr << "usage: bionav_serve <db-path> [--port P] [--threads N]"
                " [--max-pending Q] [--max-sessions S] [--ttl-ms T]"
-               " [--static]\n";
+               " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]\n";
   return 2;
 }
 
@@ -73,6 +74,13 @@ int Main(int argc, char** argv) {
           IntArg(value("--max-sessions"), "--max-sessions"));
     } else if (arg == "--ttl-ms") {
       options.session.ttl_ms = IntArg(value("--ttl-ms"), "--ttl-ms");
+    } else if (arg == "--cache-mb") {
+      options.session.cache_max_bytes =
+          static_cast<size_t>(IntArg(value("--cache-mb"), "--cache-mb")) << 20;
+    } else if (arg == "--cache-ttl") {
+      options.session.cache_ttl_ms = IntArg(value("--cache-ttl"), "--cache-ttl");
+    } else if (arg == "--cache=off") {
+      options.session.cache_enabled = false;
     } else if (arg == "--static") {
       use_static = true;
     } else if (!arg.empty() && arg[0] == '-') {
