@@ -23,16 +23,37 @@
 // that no session below the admission limit is shed (RETRY_LATER) or
 // dropped.
 //
-// Flags: --threads=N (server worker threads), --clients=N (load threads,
-// default 4), --sessions=M (sessions per client, default 8),
-// --distinct-queries=D (query universe; 0 = the raw workload queries),
-// --zipf-s=S (popularity skew, default 0 = round-robin), --cache=off,
-// --warmup=N (discarded sessions per client before the measured phase),
-// --json=PATH, --obs=off (disable server-side trace spans).
+// Two load models:
+//   closed loop (default): --clients blocking threads, one strict
+//     request/response session at a time each — measures latency under
+//     bounded concurrency.
+//   open loop (--open-loop / --connections=N): N concurrent connections
+//     driven as non-blocking state machines by one client-side EventLoop —
+//     the connection-scaling sweep for the event-driven server. Verifies
+//     the reactor sustains N concurrent clients with zero transport errors.
+//
+// Flags: --threads=N (server worker threads), --io-threads=N (server
+// reactor threads), --clients=N (closed-loop load threads, default 4),
+// --connections=N (open-loop concurrent connections; implies --open-loop),
+// --open-loop (default 64 connections), --sessions=M (sessions per
+// client/connection, default 8), --distinct-queries=D (query universe;
+// 0 = the raw workload queries), --zipf-s=S (popularity skew, default 0 =
+// round-robin), --cache=off, --warmup=N (discarded sessions per client
+// before the measured phase; closed loop only), --json=PATH, --obs=off
+// (disable server-side trace spans).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -40,6 +61,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "util/event_loop.h"
 
 using namespace bionav;
 using namespace bionav::bench;
@@ -196,6 +218,310 @@ void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop mode: every connection is a self-driving oracle state machine
+// on one client-side EventLoop — N of them run concurrently against the
+// server, strict request/response within a connection (the measured unit
+// is one round trip; pipelining depth is the server tests' concern).
+// ---------------------------------------------------------------------------
+
+struct OpenLoopTotals {
+  int sessions_done = 0;
+  int sessions_failed = 0;
+  int transport_errors = 0;
+  int shed = 0;
+  OpLatencies latencies;
+  std::string first_error;
+};
+
+class OpenLoopHarness {
+ public:
+  OpenLoopHarness(int port, const std::vector<QueryVariant>& universe,
+                  double zipf_s, int connections, int sessions_per_conn)
+      : port_(port), universe_(universe), zipf_s_(zipf_s) {
+    conns_.reserve(static_cast<size_t>(connections));
+    for (int i = 0; i < connections; ++i) {
+      auto conn = std::make_unique<Conn>();
+      conn->index = i;
+      conn->sessions_left = sessions_per_conn;
+      conn->rng = Rng(0xb5297a4d3f84c2e1ULL ^ static_cast<uint64_t>(i));
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  OpenLoopTotals Run() {
+    for (std::unique_ptr<Conn>& conn : conns_) StartConnect(conn.get());
+    if (active_ > 0) loop_.Run();
+    return std::move(totals_);
+  }
+
+ private:
+  enum class Wait { kConnect, kQuery, kFind, kExpand, kShow, kClose };
+
+  struct Conn {
+    int index = 0;
+    int fd = -1;
+    Wait wait = Wait::kConnect;
+    LineFrameDecoder decoder{8u << 20};
+    std::string outbox;
+    size_t out_off = 0;
+    std::string token;
+    const QueryVariant* variant = nullptr;
+    NavNodeId target_node = kInvalidNavNode;
+    int nav_steps = 0;
+    int sessions_left = 0;
+    Timer op_timer;
+    Rng rng{0};
+  };
+
+  void StartConnect(Conn* c) {
+    c->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (c->fd < 0 ||
+        (::connect(c->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+             0 &&
+         errno != EINPROGRESS)) {
+      RecordTransportError(c, std::string("connect: ") + std::strerror(errno));
+      totals_.sessions_failed += c->sessions_left;
+      if (c->fd >= 0) ::close(c->fd);
+      c->fd = -1;
+      return;
+    }
+    ++active_;
+    loop_.Add(c->fd, EventLoop::kWritable,
+              [this, c](uint32_t events) { OnEvent(c, events); });
+  }
+
+  void OnEvent(Conn* c, uint32_t events) {
+    if (c->fd < 0) return;
+    if (events & EventLoop::kError) {
+      TransportError(c, "socket error");
+      return;
+    }
+    if (events & EventLoop::kWritable) {
+      if (c->wait == Wait::kConnect) {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+          TransportError(c, std::string("connect: ") + std::strerror(soerr));
+          return;
+        }
+        int one = 1;
+        ::setsockopt(c->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        StartSession(c);
+      } else {
+        FlushOut(c);
+      }
+      if (c->fd < 0) return;
+    }
+    if (events & EventLoop::kReadable) ReadInput(c);
+  }
+
+  void StartSession(Conn* c) {
+    if (c->sessions_left == 0) {
+      Finish(c, /*abandoned_sessions=*/0);
+      return;
+    }
+    --c->sessions_left;
+    size_t vi =
+        zipf_s_ > 0
+            ? c->rng.Zipf(universe_.size(), zipf_s_)
+            : (static_cast<size_t>(c->index) + session_serial_++) %
+                  universe_.size();
+    c->variant = &universe_[vi];
+    c->target_node = kInvalidNavNode;
+    c->nav_steps = 0;
+    Request query;
+    query.op = RequestOp::kQuery;
+    query.query = c->variant->query;
+    SendRequest(c, query, Wait::kQuery);
+  }
+
+  void SendRequest(Conn* c, const Request& request, Wait wait) {
+    c->outbox += SerializeRequest(request);
+    c->outbox.push_back('\n');
+    c->wait = wait;
+    c->op_timer.Restart();
+    FlushOut(c);
+  }
+
+  void FlushOut(Conn* c) {
+    while (c->out_off < c->outbox.size()) {
+      ssize_t n = ::send(c->fd, c->outbox.data() + c->out_off,
+                         c->outbox.size() - c->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      TransportError(c, "send failed");
+      return;
+    }
+    if (c->out_off >= c->outbox.size()) {
+      c->outbox.clear();
+      c->out_off = 0;
+    }
+    loop_.Modify(c->fd, EventLoop::kReadable |
+                            (c->outbox.empty() ? 0u : EventLoop::kWritable));
+  }
+
+  void ReadInput(Conn* c) {
+    char chunk[16384];
+    while (true) {
+      ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        if (!c->decoder.Feed(std::string_view(chunk,
+                                              static_cast<size_t>(n)))) {
+          TransportError(c, "response frame overflow");
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        TransportError(c, "server closed connection");
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      TransportError(c, std::string("recv: ") + std::strerror(errno));
+      return;
+    }
+    std::string line;
+    while (c->fd >= 0 && c->decoder.Next(&line)) HandleLine(c, line);
+  }
+
+  void HandleLine(Conn* c, const std::string& line) {
+    double elapsed_ms = c->op_timer.ElapsedMillis();
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok() || !parsed.ValueOrDie().is_object()) {
+      TransportError(c, "malformed response from server");
+      return;
+    }
+    const JsonValue& doc = parsed.ValueOrDie();
+    if (!doc.BoolOr("ok", false)) {
+      std::string error = doc.StringOr("error", "INTERNAL");
+      if (error == "RETRY_LATER" || error == "SHUTTING_DOWN") {
+        ++totals_.shed;
+      } else {
+        ++totals_.sessions_failed;
+        if (totals_.first_error.empty()) {
+          totals_.first_error = error + ": " + doc.StringOr("message", "");
+        }
+      }
+      Finish(c, c->sessions_left + 1);
+      return;
+    }
+    switch (c->wait) {
+      case Wait::kQuery: {
+        (doc.BoolOr("cached", false) ? totals_.latencies.query_warm_ms
+                                     : totals_.latencies.query_cold_ms)
+            .push_back(elapsed_ms);
+        c->token = doc.StringOr("token", "");
+        SendFind(c);
+        break;
+      }
+      case Wait::kFind: {
+        totals_.latencies.other_ms.push_back(elapsed_ms);
+        bool found = doc.BoolOr("found", false);
+        if (found) {
+          c->target_node =
+              static_cast<NavNodeId>(doc.IntOr("node", kInvalidNavNode));
+        }
+        if (found && !doc.BoolOr("visible", false) && c->nav_steps < 64) {
+          Request expand;
+          expand.op = RequestOp::kExpand;
+          expand.token = c->token;
+          expand.node = static_cast<NavNodeId>(
+              doc.IntOr("component_root", kInvalidNavNode));
+          SendRequest(c, expand, Wait::kExpand);
+        } else if (c->target_node != kInvalidNavNode) {
+          Request show;
+          show.op = RequestOp::kShowResults;
+          show.token = c->token;
+          show.node = c->target_node;
+          show.retstart = 0;
+          show.retmax = 20;
+          SendRequest(c, show, Wait::kShow);
+        } else {
+          SendClose(c);
+        }
+        break;
+      }
+      case Wait::kExpand: {
+        totals_.latencies.expand_ms.push_back(elapsed_ms);
+        ++c->nav_steps;
+        SendFind(c);
+        break;
+      }
+      case Wait::kShow:
+        totals_.latencies.other_ms.push_back(elapsed_ms);
+        SendClose(c);
+        break;
+      case Wait::kClose:
+        totals_.latencies.other_ms.push_back(elapsed_ms);
+        ++totals_.sessions_done;
+        StartSession(c);
+        break;
+      case Wait::kConnect:
+        TransportError(c, "response before any request");
+        break;
+    }
+  }
+
+  void SendFind(Conn* c) {
+    Request find;
+    find.op = RequestOp::kFind;
+    find.token = c->token;
+    find.concept_id = c->variant->target;
+    SendRequest(c, find, Wait::kFind);
+  }
+
+  void SendClose(Conn* c) {
+    Request close_request;
+    close_request.op = RequestOp::kClose;
+    close_request.token = c->token;
+    SendRequest(c, close_request, Wait::kClose);
+  }
+
+  void RecordTransportError(Conn* c, const std::string& message) {
+    ++totals_.transport_errors;
+    if (totals_.first_error.empty()) {
+      totals_.first_error =
+          "conn " + std::to_string(c->index) + ": " + message;
+    }
+  }
+
+  void TransportError(Conn* c, const std::string& message) {
+    RecordTransportError(c, message);
+    Finish(c, c->sessions_left + (c->wait == Wait::kConnect ? 0 : 1));
+  }
+
+  /// Unregisters and closes the connection; `abandoned_sessions` sessions
+  /// (the in-progress one plus never-started ones) count as failed.
+  void Finish(Conn* c, int abandoned_sessions) {
+    if (c->fd < 0) return;
+    loop_.Remove(c->fd);
+    ::close(c->fd);
+    c->fd = -1;
+    totals_.sessions_failed += abandoned_sessions;
+    if (--active_ == 0) loop_.Stop();
+  }
+
+  EventLoop loop_{10};
+  const int port_;
+  const std::vector<QueryVariant>& universe_;
+  const double zipf_s_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  OpenLoopTotals totals_;
+  int active_ = 0;
+  size_t session_serial_ = 0;  // Round-robin stream when zipf_s == 0.
+};
+
 /// Server-side p99 for one op, read from the STATS metrics registry
 /// (microseconds -> ms); negative when the histogram is absent.
 double ServerP99Ms(const JsonValue& stats, const std::string& histogram) {
@@ -217,6 +543,9 @@ int main(int argc, char** argv) {
   int distinct_queries = 0;
   double zipf_s = 0.0;
   bool cache_enabled = true;
+  bool open_loop = false;
+  int connections = 0;
+  int io_threads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     int64_t value = 0;
@@ -224,6 +553,15 @@ int main(int argc, char** argv) {
     if (StartsWith(arg, "--clients=") &&
         ParseInt64(arg.substr(10), &value) && value > 0) {
       clients = static_cast<int>(value);
+    } else if (StartsWith(arg, "--connections=") &&
+               ParseInt64(arg.substr(14), &value) && value > 0) {
+      connections = static_cast<int>(value);
+      open_loop = true;
+    } else if (arg == "--open-loop") {
+      open_loop = true;
+    } else if (StartsWith(arg, "--io-threads=") &&
+               ParseInt64(arg.substr(13), &value) && value > 0) {
+      io_threads = static_cast<int>(value);
     } else if (StartsWith(arg, "--sessions=") &&
                ParseInt64(arg.substr(11), &value) && value > 0) {
       sessions_per_client = static_cast<int>(value);
@@ -243,18 +581,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  PrintPreamble("Serving: closed-loop Zipf load on NavServer");
+  if (open_loop && connections == 0) connections = 64;
+
+  PrintPreamble(open_loop
+                    ? "Serving: open-loop connection sweep on NavServer"
+                    : "Serving: closed-loop Zipf load on NavServer");
   const Workload& w = SharedWorkload();
   EUtilsClient eutils = w.corpus().MakeClient();
   std::vector<QueryVariant> universe = BuildQueryUniverse(w, distinct_queries);
 
+  int concurrent = open_loop ? connections : clients;
   NavServerOptions server_options;
   server_options.threads = opts.threads;
-  // Admit every closed-loop client: each holds one connection for the
-  // whole run, so live handlers == clients.
-  server_options.max_pending = clients;
+  server_options.io_threads = io_threads;
+  // Admit every generated connection (plus the stats scraper): shed load
+  // below the limit is a serving bug the final check catches.
+  if (concurrent + 8 > server_options.max_connections) {
+    server_options.max_connections = concurrent + 8;
+  }
   server_options.session.max_sessions =
-      static_cast<size_t>(clients) * 2 + 8;
+      static_cast<size_t>(concurrent) * 2 + 8;
   server_options.session.cache_enabled = cache_enabled;
   NavServer server(&w.hierarchy(), &eutils, MakeBioNavStrategyFactory(),
                    server_options);
@@ -264,41 +610,58 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "server: 127.0.0.1:" << server.port() << ", "
-            << server_options.threads << " worker threads, cache "
-            << (cache_enabled ? "on" : "off") << "\n"
-            << "load: " << clients << " clients x " << sessions_per_client
-            << " sessions (+" << opts.warmup << " warmup), "
-            << universe.size() << " distinct queries, zipf_s=" << zipf_s
-            << "\n\n";
+            << server_options.threads << " worker threads, " << io_threads
+            << " io thread(s), cache " << (cache_enabled ? "on" : "off")
+            << "\n";
+  if (open_loop) {
+    std::cout << "load: " << connections << " open-loop connections x "
+              << sessions_per_client << " sessions, " << universe.size()
+              << " distinct queries, zipf_s=" << zipf_s << "\n\n";
+  } else {
+    std::cout << "load: " << clients << " clients x " << sessions_per_client
+              << " sessions (+" << opts.warmup << " warmup), "
+              << universe.size() << " distinct queries, zipf_s=" << zipf_s
+              << "\n\n";
+  }
 
   std::vector<ClientResult> results(static_cast<size_t>(clients));
-  auto run_phase = [&](uint64_t salt, int sessions,
-                       std::vector<ClientResult>* out) {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(clients));
-    for (int c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        RunClient(universe, zipf_s, c, salt, sessions, server.port(),
-                  &(*out)[static_cast<size_t>(c)]);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  };
-  // Warmup phase: discarded sessions prime allocator arenas and the
-  // artifact cache, so the measured distribution reflects steady state.
-  if (opts.warmup > 0) {
-    std::vector<ClientResult> warmup_results(static_cast<size_t>(clients));
-    run_phase(/*salt=*/0x77ULL, opts.warmup, &warmup_results);
-    for (const ClientResult& r : warmup_results) {
-      if (!r.first_error.empty()) {
-        std::cerr << "warmup client error: " << r.first_error << "\n";
-        return 1;
+  OpenLoopTotals open_totals;
+  double wall_ms = 0;
+  if (open_loop) {
+    OpenLoopHarness harness(server.port(), universe, zipf_s, connections,
+                            sessions_per_client);
+    Timer wall;
+    open_totals = harness.Run();
+    wall_ms = wall.ElapsedMillis();
+  } else {
+    auto run_phase = [&](uint64_t salt, int sessions,
+                         std::vector<ClientResult>* out) {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          RunClient(universe, zipf_s, c, salt, sessions, server.port(),
+                    &(*out)[static_cast<size_t>(c)]);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    };
+    // Warmup phase: discarded sessions prime allocator arenas and the
+    // artifact cache, so the measured distribution reflects steady state.
+    if (opts.warmup > 0) {
+      std::vector<ClientResult> warmup_results(static_cast<size_t>(clients));
+      run_phase(/*salt=*/0x77ULL, opts.warmup, &warmup_results);
+      for (const ClientResult& r : warmup_results) {
+        if (!r.first_error.empty()) {
+          std::cerr << "warmup client error: " << r.first_error << "\n";
+          return 1;
+        }
       }
     }
+    Timer wall;
+    run_phase(/*salt=*/0, sessions_per_client, &results);
+    wall_ms = wall.ElapsedMillis();
   }
-  Timer wall;
-  run_phase(/*salt=*/0, sessions_per_client, &results);
-  double wall_ms = wall.ElapsedMillis();
 
   // Scrape the server's own percentiles and cache counters over the wire
   // before shutdown — this also exercises the STATS exposition end to end.
@@ -322,15 +685,26 @@ int main(int argc, char** argv) {
   }
   server.Shutdown();
 
-  int done = 0, failed = 0, shed = 0;
+  int done = 0, failed = 0, shed = 0, transport_errors = 0;
   OpLatencies all;
-  for (const ClientResult& r : results) {
-    done += r.sessions_done;
-    failed += r.sessions_failed;
-    shed += r.retry_later;
-    all.MergeFrom(r.latencies);
-    if (!r.first_error.empty()) {
-      std::cerr << "client error: " << r.first_error << "\n";
+  if (open_loop) {
+    done = open_totals.sessions_done;
+    failed = open_totals.sessions_failed;
+    shed = open_totals.shed;
+    transport_errors = open_totals.transport_errors;
+    all.MergeFrom(open_totals.latencies);
+    if (!open_totals.first_error.empty()) {
+      std::cerr << "client error: " << open_totals.first_error << "\n";
+    }
+  } else {
+    for (const ClientResult& r : results) {
+      done += r.sessions_done;
+      failed += r.sessions_failed;
+      shed += r.retry_later;
+      all.MergeFrom(r.latencies);
+      if (!r.first_error.empty()) {
+        std::cerr << "client error: " << r.first_error << "\n";
+      }
     }
   }
   std::sort(all.query_cold_ms.begin(), all.query_cold_ms.end());
@@ -363,10 +737,13 @@ int main(int argc, char** argv) {
                                             static_cast<double>(cache_lookups)
                                       : 0.0;
   std::cout << "\nsessions: " << done << " done, " << failed << " failed, "
+            << transport_errors << " transport errors, "
             << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n"
             << "server: " << stats.requests << " requests, "
             << stats.connections_accepted << " connections accepted, "
             << stats.connections_shed << " shed, "
+            << stats.connections_idle_closed << " idle-closed, "
+            << stats.epoll_wakeups << " epoll wakeups, "
             << stats.sessions.created << " sessions created, "
             << stats.sessions.evicted_lru << " LRU-evicted\n"
             << "cache: " << cache_hits << " hits, " << cache_misses
@@ -379,25 +756,34 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   std::ostringstream extra;
-  extra << "\"cache\": " << (cache_enabled ? "true" : "false")
+  extra << "\"mode\": \"" << (open_loop ? "open" : "closed") << "\""
+        << ", \"connections\": " << concurrent
+        << ", \"transport_errors\": " << transport_errors
+        << ", \"cache\": " << (cache_enabled ? "true" : "false")
         << ", \"cache_hit_rate\": " << hit_rate
         << ", \"zipf_s\": " << zipf_s
         << ", \"distinct_queries\": " << universe.size()
         << ", \"warmup\": " << opts.warmup
         << ", \"query_cold_p50_ms\": " << cold_p50
-        << ", \"query_warm_p50_ms\": " << warm_p50;
-  AppendJsonRecord(opts.json_path, "bench_serving",
-                   "clients=" + std::to_string(clients) +
-                       ",sessions=" + std::to_string(sessions_per_client) +
-                       ",cache=" + (cache_enabled ? "on" : "off"),
-                   server_options.threads, wall_ms, PerSec(done, wall_ms),
-                   extra.str());
+        << ", \"query_warm_p50_ms\": " << warm_p50
+        << ", \"query_warm_p99_ms\": " << Percentile(&all.query_warm_ms, 0.99)
+        << ", \"expand_p99_ms\": " << Percentile(&all.expand_ms, 0.99);
+  AppendJsonRecord(
+      opts.json_path, "bench_serving",
+      std::string(open_loop ? "mode=open,connections=" : "mode=closed,clients=") +
+          std::to_string(concurrent) +
+          ",sessions=" + std::to_string(sessions_per_client) +
+          ",cache=" + (cache_enabled ? "on" : "off"),
+      server_options.threads, wall_ms, PerSec(done, wall_ms), extra.str());
 
-  // Every client held one connection below the admission limit: a dropped
-  // or shed session is a serving bug, not load.
-  if (failed > 0 || shed > 0 || stats.connections_shed > 0) {
-    std::cerr << "ERROR: " << failed << " failed / " << shed
-              << " shed sessions below the admission limit\n";
+  // Every connection stayed below the admission limit: a dropped or shed
+  // session — or, in open-loop mode, any transport-level failure — is a
+  // serving bug, not load.
+  if (failed > 0 || shed > 0 || transport_errors > 0 ||
+      stats.connections_shed > 0) {
+    std::cerr << "ERROR: " << failed << " failed / " << shed << " shed / "
+              << transport_errors
+              << " transport errors below the admission limit\n";
     return 1;
   }
   return 0;

@@ -1,7 +1,10 @@
 #include "server/nav_client.h"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -10,8 +13,57 @@
 
 namespace bionav {
 
-Result<std::unique_ptr<NavClient>> NavClient::Connect(const std::string& host,
-                                                      int port) {
+namespace {
+
+/// connect() bounded by a deadline: the socket goes non-blocking for the
+/// handshake (poll for writability, then harvest SO_ERROR) and returns to
+/// blocking mode afterwards. timeout_ms <= 0 means plain blocking connect.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                          int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    while (::connect(fd, addr, addrlen) != 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  Status status = Status::OK();
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      status = Status::IOError(std::string("connect: ") +
+                               std::strerror(errno));
+    } else {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        status = Status::DeadlineExceeded(
+            "connect timed out after " + std::to_string(timeout_ms) + " ms");
+      } else if (ready < 0) {
+        status = Status::IOError(std::string("poll: ") + std::strerror(errno));
+      } else {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+          status = Status::IOError(std::string("connect: ") +
+                                   std::strerror(soerr));
+        }
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return status;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NavClient>> NavClient::Connect(
+    const std::string& host, int port, NavClientOptions options) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -22,17 +74,27 @@ Result<std::unique_ptr<NavClient>> NavClient::Connect(const std::string& host,
     return Status::IOError("getaddrinfo(" + host + "): " + gai_strerror(rc));
   }
   int fd = -1;
+  Status last = Status::IOError("no usable address for " + host);
   for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                              options.connect_timeout_ms);
+    if (last.ok()) break;
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(result);
   if (fd < 0) {
+    if (last.code() == StatusCode::kDeadlineExceeded) return last;
     return Status::IOError("cannot connect to " + host + ":" +
-                           std::to_string(port) + ": " + std::strerror(errno));
+                           std::to_string(port) + ": " + last.message());
+  }
+  if (options.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.recv_timeout_ms / 1000;
+    tv.tv_usec = (options.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   return std::unique_ptr<NavClient>(new NavClient(fd));
 }
@@ -41,7 +103,7 @@ NavClient::~NavClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<JsonValue> NavClient::CallRaw(const Request& request) {
+Status NavClient::Send(const Request& request) {
   std::string line = SerializeRequest(request);
   line.push_back('\n');
   size_t sent = 0;
@@ -54,21 +116,31 @@ Result<JsonValue> NavClient::CallRaw(const Request& request) {
     }
     sent += static_cast<size_t>(n);
   }
-  // One response line per request, in order.
+  return Status::OK();
+}
+
+Result<JsonValue> NavClient::Receive() {
+  // One response line per request, in order (the server releases pipelined
+  // responses in arrival order, so Receive N pairs with Send N).
   std::string response;
-  while (true) {
-    size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      response.assign(buffer_, 0, newline);
-      buffer_.erase(0, newline + 1);
-      break;
-    }
+  while (!decoder_.Next(&response)) {
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
+    if (n > 0) {
+      if (!decoder_.Feed(std::string_view(chunk, static_cast<size_t>(n)))) {
+        return Status::Internal("response frame exceeds client frame limit");
+      }
+      continue;
+    }
+    if (n == 0) {
       return Status::IOError("connection closed before response");
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired with the response still outstanding.
+      return Status::DeadlineExceeded("timed out waiting for response");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
   }
   Result<JsonValue> parsed = ParseJson(response);
   if (!parsed.ok()) {
@@ -79,6 +151,12 @@ Result<JsonValue> NavClient::CallRaw(const Request& request) {
     return Status::Internal("response is not a JSON object");
   }
   return parsed;
+}
+
+Result<JsonValue> NavClient::CallRaw(const Request& request) {
+  Status sent = Send(request);
+  if (!sent.ok()) return sent;
+  return Receive();
 }
 
 Result<JsonValue> NavClient::Call(const Request& request) {

@@ -10,14 +10,25 @@
 
 namespace bionav {
 
+struct NavClientOptions {
+  /// TCP connect deadline; expiry surfaces as kDeadlineExceeded. 0 blocks
+  /// indefinitely (kernel default timeout).
+  int64_t connect_timeout_ms = 5000;
+  /// Per-recv deadline (SO_RCVTIMEO) while waiting for a response line;
+  /// expiry surfaces as kDeadlineExceeded. 0 waits forever.
+  int64_t recv_timeout_ms = 0;
+};
+
 /// Blocking client for the NavServer wire protocol: one TCP connection,
-/// strict request/response. Used by bionav_cli's remote mode, the loopback
-/// tests and the bench_serving load generator.
+/// strict request/response by default, with a Send/Receive split for
+/// pipelining. Used by bionav_cli's remote mode, the loopback tests and
+/// the bench_serving load generator.
 class NavClient {
  public:
   /// Connects to host:port (numeric address or resolvable name).
-  static Result<std::unique_ptr<NavClient>> Connect(const std::string& host,
-                                                    int port);
+  static Result<std::unique_ptr<NavClient>> Connect(
+      const std::string& host, int port,
+      NavClientOptions options = NavClientOptions());
 
   NavClient(const NavClient&) = delete;
   NavClient& operator=(const NavClient&) = delete;
@@ -28,6 +39,13 @@ class NavClient {
   /// non-OK Result. Most callers want the typed wrappers below, which fold
   /// wire errors into Status via StatusFromWireError.
   Result<JsonValue> CallRaw(const Request& request);
+
+  /// Pipelining half-calls: Send queues a request on the wire without
+  /// waiting; Receive blocks for the next response line (responses arrive
+  /// in request order — the server guarantees it). Interleave freely with
+  /// CallRaw as long as every Send is matched by a Receive first.
+  Status Send(const Request& request);
+  Result<JsonValue> Receive();
 
   struct QueryReply {
     std::string token;
@@ -80,7 +98,9 @@ class NavClient {
   Result<JsonValue> Call(const Request& request);
 
   int fd_ = -1;
-  std::string buffer_;  // Partial-line carry-over between reads.
+  /// Partial-line carry-over between reads. Response frames (VIEW trees,
+  /// METRICS expositions) dwarf request frames, hence the generous cap.
+  LineFrameDecoder decoder_{64u << 20};
 };
 
 }  // namespace bionav

@@ -1,12 +1,14 @@
 #include "server/nav_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -18,52 +20,51 @@ namespace bionav {
 
 namespace {
 
-/// Reads '\n'-terminated lines from a blocking socket. Returns false on
-/// EOF/error with no complete line buffered.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_(fd) {}
-
-  bool ReadLine(std::string* line) {
-    while (true) {
-      size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        line->assign(buffer_, 0, newline);
-        if (!line->empty() && line->back() == '\r') line->pop_back();
-        buffer_.erase(0, newline + 1);
-        return true;
-      }
-      char chunk[4096];
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
-
-/// Writes the whole buffer; MSG_NOSIGNAL keeps a dead peer from raising
-/// SIGPIPE. False once the peer is gone.
-bool SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-bool SendLine(int fd, std::string line) {
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-effort one-line reply on a socket about to be closed (accept-path
+/// shedding). The socket buffer of a fresh connection swallows a short
+/// line, so a single non-blocking send suffices.
+void SendLineBestEffort(int fd, std::string line) {
   line.push_back('\n');
-  return SendAll(fd, line);
+  [[maybe_unused]] ssize_t n =
+      ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+Gauge* OpenConnectionsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_server_open_connections", "Connections currently open");
+  return gauge;
+}
+
+Gauge* WriteQueueBytesGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_server_write_queue_bytes",
+      "Total response bytes queued across connections");
+  return gauge;
+}
+
+Gauge* EpollWakeupsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_server_epoll_wakeups", "Reactor epoll_wait returns (monotone)");
+  return gauge;
+}
+
+LatencyHistogram* ReadToDispatchHistogram() {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_server_read_to_dispatch_us",
+      "Frame decode to compute pickup latency");
+  return hist;
 }
 
 /// Request latency by wire op — the serving-side counterpart of the
@@ -106,13 +107,21 @@ NavServer::NavServer(const ConceptHierarchy* hierarchy,
                                  : MakeBioNavStrategyFactory(),
                 options_.session, options_.cost_params),
       pool_(options_.threads < 1 ? 1 : options_.threads) {
-  if (options_.max_pending < 0) options_.max_pending = 0;
+  if (options_.io_threads < 1) options_.io_threads = 1;
+  if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_inflight_per_connection < 1) {
+    options_.max_inflight_per_connection = 1;
+  }
+  if (options_.max_write_queue_bytes < 4096) {
+    options_.max_write_queue_bytes = 4096;
+  }
 }
 
 Status NavServer::Start() {
   BIONAV_CHECK(!started_.load()) << "NavServer started twice";
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
@@ -137,7 +146,7 @@ Status NavServer::Start() {
     listen_fd_ = -1;
     return status;
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd_, 512) != 0) {
     Status status =
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(listen_fd_);
@@ -149,40 +158,60 @@ Status NavServer::Start() {
       0) {
     port_ = ntohs(addr.sin_port);
   }
+
+  loops_.clear();
+  loop_conns_.clear();
+  for (int i = 0; i < options_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  loop_conns_.resize(loops_.size());
+
+  // Pre-Run registration is safe: no loop thread is running yet. The
+  // listener lives on loop 0; accepted fds are spread round-robin.
+  Status added = loops_[0]->Add(listen_fd_, EventLoop::kReadable,
+                                [this](uint32_t) { OnAcceptable(); });
+  if (!added.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return added;
+  }
+
   started_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    io_threads_.emplace_back([this, i] { IoThreadMain(i); });
+  }
   return Status::OK();
 }
 
-void NavServer::AcceptLoop() {
-  const int admission_limit = pool_.num_threads() + options_.max_pending;
-  while (!shutting_down_.load(std::memory_order_acquire)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+void NavServer::IoThreadMain(size_t loop_index) {
+  loops_[loop_index]->Run();
+}
+
+void NavServer::OnAcceptable() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // Listener shut down (or unrecoverable): stop accepting.
+      return;  // EAGAIN (drained) or listener gone.
     }
-    if (shutting_down_.load(std::memory_order_acquire)) {
-      SendLine(fd, ErrorReply(WireError::kShuttingDown, "server is draining"));
-      ::close(fd);
-      break;
-    }
-    // Disable Nagle: the protocol is strictly request/response with small
-    // frames, so coalescing only adds latency.
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     static Counter* accepted = GlobalMetrics().GetCounter(
         "bionav_server_connections_accepted_total", "Connections accepted");
     accepted->Increment();
-    // Admission control: every live handler occupies either a pool worker
-    // or a bounded queue slot. Past that, shed with RETRY_LATER — the
-    // client backs off; the server never builds an unbounded backlog.
-    int live = live_handlers_.load(std::memory_order_acquire);
-    if (live >= admission_limit) {
-      SendLine(fd, ErrorReply(WireError::kRetryLater,
-                              "server at capacity, retry later"));
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      SendLineBestEffort(
+          fd, ErrorReply(WireError::kShuttingDown, "server is draining"));
+      ::close(fd);
+      continue;
+    }
+    // Admission control at the accept path: past max_connections the
+    // connection is shed with RETRY_LATER — the client backs off, the
+    // server never builds an unbounded connection table.
+    if (connections_open_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      SendLineBestEffort(fd, ErrorReply(WireError::kRetryLater,
+                                        "server at capacity, retry later"));
       ::close(fd);
       connections_shed_.fetch_add(1, std::memory_order_relaxed);
       static Counter* shed = GlobalMetrics().GetCounter(
@@ -191,47 +220,372 @@ void NavServer::AcceptLoop() {
       shed->Increment();
       continue;
     }
-    live_handlers_.fetch_add(1, std::memory_order_acq_rel);
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      open_fds_.insert(fd);
-    }
-    pool_.Submit([this, fd] { HandleConnection(fd); });
+    AdmitConnection(fd);
   }
 }
 
-void NavServer::HandleConnection(int fd) {
-  LineReader reader(fd);
+void NavServer::AdmitConnection(int fd) {
+  // Disable Nagle: responses are small frames written as soon as they are
+  // released; coalescing only adds latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  connections_open_.fetch_add(1, std::memory_order_acq_rel);
+  OpenConnectionsGauge()->Add(1);
+
+  size_t loop_index =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  ConnPtr conn = std::make_shared<Connection>(options_.max_frame_bytes);
+  conn->fd = fd;
+  conn->loop_index = loop_index;
+  conn->last_activity_ms = SteadyNowMs();
+
+  EventLoop* loop = loops_[loop_index].get();
+  loop->RunInLoop([this, loop, conn] {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      // Raced with drain: this connection would never be drained by
+      // Shutdown's sweep, so refuse it here.
+      SendLineBestEffort(conn->fd, ErrorReply(WireError::kShuttingDown,
+                                              "server is draining"));
+      ::close(conn->fd);
+      conn->closed = true;
+      connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+      OpenConnectionsGauge()->Add(-1);
+      drain_cv_.notify_all();
+      return;
+    }
+    loop_conns_[conn->loop_index].emplace(conn->fd, conn);
+    Status added =
+        loop->Add(conn->fd, EventLoop::kReadable,
+                  [this, conn](uint32_t events) {
+                    OnConnectionEvent(conn, events);
+                  });
+    if (!added.ok()) {
+      loop_conns_[conn->loop_index].erase(conn->fd);
+      ::close(conn->fd);
+      conn->closed = true;
+      connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+      OpenConnectionsGauge()->Add(-1);
+      drain_cv_.notify_all();
+      return;
+    }
+    ArmIdleTimer(conn);
+  });
+}
+
+void NavServer::OnConnectionEvent(const ConnPtr& conn, uint32_t events) {
+  if (conn->closed) return;
+  if (events & EventLoop::kError) {
+    CloseConnection(conn);
+    return;
+  }
+  if (events & EventLoop::kWritable) FlushWrites(conn);
+  if (conn->closed) return;
+  if (events & EventLoop::kReadable) ReadConnection(conn);
+}
+
+void NavServer::ReadConnection(const ConnPtr& conn) {
+  // Bounded reads per readiness event so one firehose connection cannot
+  // starve its loop siblings; level-triggering redrives the remainder.
+  char chunk[16384];
+  bool got_bytes = false;
+  bool peer_eof = false;
+  for (int i = 0; i < 4; ++i) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      got_bytes = true;
+      if (!conn->decoder.Feed(std::string_view(chunk,
+                                               static_cast<size_t>(n)))) {
+        break;  // Overflow latched; handled below.
+      }
+      // A short read almost always means the buffer is drained — skip the
+      // EAGAIN-confirming recv (level-triggering re-fires on the rare
+      // refill race, so this trades no correctness for one syscall).
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);  // Reset or hard error: responses are moot.
+    return;
+  }
+  if (got_bytes) conn->last_activity_ms = SteadyNowMs();
+
+  DispatchFrames(conn);
+  if (conn->closed) return;
+
+  if (conn->decoder.overflowed()) {
+    // Slow-loris / runaway frame: answer with a typed error in sequence
+    // (after any complete frames that preceded it), then drain and close.
+    oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    conn->draining = true;
+    conn->close_after_flush = true;
+    CompleteRequest(
+        conn, seq,
+        ErrorReply(WireError::kBadRequest,
+                   "request frame exceeds " +
+                       std::to_string(options_.max_frame_bytes) + " bytes"));
+    return;
+  }
+  if (peer_eof) {
+    // Half-close: the client is done sending. Already-buffered pipelined
+    // frames still execute and their responses flush before the close.
+    conn->close_after_flush = true;
+    UpdateInterest(conn);
+    if (conn->inflight == 0 && conn->write_queue.empty() &&
+        !conn->decoder.has_frame()) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void NavServer::DispatchFrames(const ConnPtr& conn) {
+  // Re-entrancy guard: an inline completion below calls back into
+  // CompleteRequest, whose refill would otherwise recurse here once per
+  // buffered frame. The outer invocation's loop drains them instead.
+  if (conn->dispatching) return;
+  conn->dispatching = true;
   std::string line;
-  while (reader.ReadLine(&line)) {
+  while (!conn->closed) {
+    if (conn->draining) {
+      // Shutdown drain: every queued pipelined request still gets a
+      // definite answer instead of silence (no cap — answers are local).
+      if (!conn->decoder.Next(&line)) break;
+      if (line.empty()) continue;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t seq = conn->next_dispatch_seq++;
+      ++conn->inflight;
+      CompleteRequest(conn, seq,
+                      ErrorReply(WireError::kShuttingDown,
+                                 "server is draining"));
+      continue;
+    }
+    if (conn->inflight >= options_.max_inflight_per_connection) break;
+    if (!conn->decoder.Next(&line)) break;
     if (line.empty()) continue;
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    // Inline fast path: with no pipeline backlog, a request that cannot
+    // stall the loop (parse error, or a QUERY whose artifacts are already
+    // cached) executes on the reactor thread itself. That skips both
+    // scheduler handoffs of the pool round-trip — on a saturated box they
+    // dominate the latency of the warm interactive case the cache exists
+    // to serve. With a backlog the parse itself moves to the pool.
+    if (conn->inflight == 1) {
+      Request request;
+      std::string error_message;
+      WireError parse_error = ParseRequest(line, &request, &error_message);
+      if (parse_error != WireError::kNone) {
+        ReadToDispatchHistogram()->Record(0);
+        CompleteRequest(conn, seq, HandleParseError(parse_error, error_message));
+        continue;  // The loop condition re-checks closed.
+      }
+      if (FastPathEligible(request)) {
+        ReadToDispatchHistogram()->Record(0);
+        CompleteRequest(conn, seq, HandleRequest(request));
+        continue;
+      }
+    }
+    DispatchRequest(conn, seq, std::move(line));
+  }
+  conn->dispatching = false;
+}
+
+bool NavServer::FastPathEligible(const Request& request) const {
+  if (request.op != RequestOp::kQuery) return false;
+  // Contains() is false for entries still building (singleflight), so an
+  // inline Open never waits behind a cold tree build. The probe can go
+  // stale (eviction before Open), costing one inline cold build — the
+  // race window is microseconds against an LRU/TTL horizon of minutes.
+  const QueryArtifactCache* cache = sessions_.cache();
+  return cache != nullptr && cache->Contains(NormalizeQueryKey(request.query));
+}
+
+void NavServer::DispatchRequest(const ConnPtr& conn, uint64_t seq,
+                                std::string line) {
+  EventLoop* loop = loops_[conn->loop_index].get();
+  int64_t decoded_us = SteadyNowUs();
+  pool_.Submit([this, loop, conn, seq, decoded_us,
+                line = std::move(line)]() mutable {
+    ReadToDispatchHistogram()->Record(SteadyNowUs() - decoded_us);
     std::string response = HandleRequestLine(line);
-    if (!SendLine(fd, std::move(response))) break;
+    loop->RunInLoop([this, conn, seq, response = std::move(response)]() mutable {
+      CompleteRequest(conn, seq, std::move(response));
+    });
+  });
+}
+
+void NavServer::CompleteRequest(const ConnPtr& conn, uint64_t seq,
+                                std::string response) {
+  if (conn->closed) return;  // Completion raced with a reset/force-close.
+  --conn->inflight;
+  response.push_back('\n');
+  if (seq == conn->next_release_seq && conn->completed.empty()) {
+    // In-order completion — the only case on the inline fast path and the
+    // common one under pipelining — skips the reorder map and its per-node
+    // allocation.
+    conn->write_queue_bytes += response.size();
+    WriteQueueBytesGauge()->Add(static_cast<int64_t>(response.size()));
+    conn->write_queue.push_back(std::move(response));
+    ++conn->next_release_seq;
+  } else {
+    conn->completed.emplace(seq, std::move(response));
+    // Release every response whose predecessors are all out: pipelined
+    // responses hit the wire in request arrival order, whatever order the
+    // pool finished them in.
+    while (!conn->completed.empty() &&
+           conn->completed.begin()->first == conn->next_release_seq) {
+      std::string& ready = conn->completed.begin()->second;
+      conn->write_queue_bytes += ready.size();
+      WriteQueueBytesGauge()->Add(static_cast<int64_t>(ready.size()));
+      conn->write_queue.push_back(std::move(ready));
+      conn->completed.erase(conn->completed.begin());
+      ++conn->next_release_seq;
+    }
   }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    open_fds_.erase(fd);
+  FlushWrites(conn);
+  if (conn->closed) return;
+  // Capacity freed (inflight slot and possibly queue bytes): pull more
+  // buffered frames, then recompute read interest.
+  if (conn->decoder.has_frame()) DispatchFrames(conn);
+  if (!conn->closed) UpdateInterest(conn);
+}
+
+void NavServer::FlushWrites(const ConnPtr& conn) {
+  while (!conn->write_queue.empty()) {
+    const std::string& front = conn->write_queue.front();
+    ssize_t n = ::send(conn->fd, front.data() + conn->write_offset,
+                       front.size() - conn->write_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn);  // Peer gone; drop the queue.
+      return;
+    }
+    conn->write_offset += static_cast<size_t>(n);
+    conn->write_queue_bytes -= static_cast<size_t>(n);
+    WriteQueueBytesGauge()->Add(-static_cast<int64_t>(n));
+    if (conn->write_offset < front.size()) break;  // Socket buffer full.
+    conn->write_queue.pop_front();
+    conn->write_offset = 0;
   }
-  ::close(fd);
-  live_handlers_.fetch_sub(1, std::memory_order_acq_rel);
+  UpdateInterest(conn);
+  if (conn->close_after_flush && conn->inflight == 0 &&
+      conn->write_queue.empty() && conn->completed.empty() &&
+      !conn->decoder.has_frame()) {
+    CloseConnection(conn);
+  }
+}
+
+void NavServer::UpdateInterest(const ConnPtr& conn) {
+  if (conn->closed) return;
+  bool want_read = !conn->draining && !conn->close_after_flush &&
+                   !conn->decoder.overflowed() &&
+                   conn->inflight < options_.max_inflight_per_connection &&
+                   conn->write_queue_bytes < options_.max_write_queue_bytes;
+  bool want_write = !conn->write_queue.empty();
+  if (want_read == conn->reading && want_write == conn->want_write) return;
+  uint32_t events = (want_read ? EventLoop::kReadable : 0) |
+                    (want_write ? EventLoop::kWritable : 0);
+  loops_[conn->loop_index]->Modify(conn->fd, events);
+  conn->reading = want_read;
+  conn->want_write = want_write;
+}
+
+void NavServer::ArmIdleTimer(const ConnPtr& conn) {
+  if (options_.idle_timeout_ms <= 0 || conn->closed) return;
+  int64_t idle = SteadyNowMs() - conn->last_activity_ms;
+  int64_t remaining = options_.idle_timeout_ms - idle;
+  if (remaining <= 0) {
+    // Only reap a connection that is truly quiet — in-flight work or
+    // unflushed responses count as activity.
+    if (conn->inflight == 0 && conn->write_queue.empty() &&
+        conn->completed.empty()) {
+      connections_idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return;
+    }
+    remaining = options_.idle_timeout_ms;
+  }
+  conn->idle_timer = loops_[conn->loop_index]->AddTimer(
+      remaining, [this, conn] {
+        conn->idle_timer = kInvalidTimer;
+        ArmIdleTimer(conn);
+      });
+}
+
+void NavServer::CloseConnection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  EventLoop* loop = loops_[conn->loop_index].get();
+  if (conn->idle_timer != kInvalidTimer) {
+    loop->CancelTimer(conn->idle_timer);
+    conn->idle_timer = kInvalidTimer;
+  }
+  loop->Remove(conn->fd);
+  ::close(conn->fd);
+  if (conn->write_queue_bytes > 0) {
+    WriteQueueBytesGauge()->Add(-static_cast<int64_t>(conn->write_queue_bytes));
+    conn->write_queue_bytes = 0;
+  }
+  loop_conns_[conn->loop_index].erase(conn->fd);
+  connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+  OpenConnectionsGauge()->Add(-1);
+  drain_cv_.notify_all();
+}
+
+void NavServer::DrainConnection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->draining = true;
+  conn->close_after_flush = true;
+  DispatchFrames(conn);  // Buffered pipelined frames answer SHUTTING_DOWN.
+  UpdateInterest(conn);
+  if (conn->inflight == 0 && conn->write_queue.empty() &&
+      conn->completed.empty()) {
+    CloseConnection(conn);
+  }
 }
 
 std::string NavServer::HandleRequestLine(const std::string& line) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  static Counter* requests = GlobalMetrics().GetCounter(
-      "bionav_server_requests_total", "Request lines received");
-  static Counter* errors = GlobalMetrics().GetCounter(
-      "bionav_server_protocol_errors_total",
-      "Request lines rejected before dispatch");
-  requests->Increment();
   Request request;
   std::string error_message;
   WireError error = ParseRequest(line, &request, &error_message);
   if (error != WireError::kNone) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    errors->Increment();
-    return ErrorReply(error, error_message);
+    return HandleParseError(error, error_message);
   }
+  return HandleRequest(request);
+}
+
+std::string NavServer::HandleParseError(WireError error,
+                                        const std::string& message) {
+  CountRequest();
+  static Counter* errors = GlobalMetrics().GetCounter(
+      "bionav_server_protocol_errors_total",
+      "Request lines rejected before dispatch");
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  errors->Increment();
+  return ErrorReply(error, message);
+}
+
+void NavServer::CountRequest() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* requests = GlobalMetrics().GetCounter(
+      "bionav_server_requests_total", "Request lines received");
+  requests->Increment();
+}
+
+std::string NavServer::HandleRequest(const Request& request) {
+  CountRequest();
   TraceSpan span("server_op", OpLatencyHistogram(request.op));
   switch (request.op) {
     case RequestOp::kQuery: return HandleQuery(request);
@@ -399,9 +753,14 @@ std::string NavServer::HandleStats(const Request&) {
   return ResponseBuilder(RequestOp::kStats)
       .Add("connections_accepted", s.connections_accepted)
       .Add("connections_shed", s.connections_shed)
+      .Add("connections_open", s.connections_open)
+      .Add("connections_idle_closed", s.connections_idle_closed)
       .Add("requests", s.requests)
       .Add("protocol_errors", s.protocol_errors)
+      .Add("oversized_frames", s.oversized_frames)
+      .Add("epoll_wakeups", s.epoll_wakeups)
       .Add("threads", pool_.num_threads())
+      .Add("io_threads", static_cast<int64_t>(loops_.size()))
       .AddRaw("sessions", sessions)
       .AddRaw("cache", cache_json)
       .AddRaw("metrics", GlobalMetrics().ToJson())
@@ -409,6 +768,11 @@ std::string NavServer::HandleStats(const Request&) {
 }
 
 std::string NavServer::HandleMetrics(const Request&) {
+  int64_t wakeups = 0;
+  for (const std::unique_ptr<EventLoop>& loop : loops_) {
+    wakeups += loop->wakeups();
+  }
+  EpollWakeupsGauge()->Set(wakeups);
   // The exposition travels as one JSON string field; JsonEscape turns the
   // newlines into \n so the line protocol survives, and clients (or
   // `bionav_cli stats --prom`) unescape on print.
@@ -422,8 +786,18 @@ NavServerStats NavServer::stats() const {
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.connections_idle_closed =
+      connections_idle_closed_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.oversized_frames = oversized_frames_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<EventLoop>& loop : loops_) {
+    s.epoll_wakeups += loop->wakeups();
+  }
+  // Pull-refreshed at exposition: STATS/METRICS are exactly when the value
+  // is read, so the reactor threads never spend a timer keeping it warm.
+  EpollWakeupsGauge()->Set(s.epoll_wakeups);
   s.sessions = sessions_.stats();
   return s;
 }
@@ -432,20 +806,70 @@ void NavServer::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (!started_.load() || shutting_down_.load()) return;
   shutting_down_.store(true, std::memory_order_release);
-  // 1. Stop admitting: half-close the listener so the blocking accept
-  //    returns, then join the accept thread before closing the fd.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  // 2. Drain: half-close the read side of every live connection. A handler
-  //    mid-request finishes and writes its response (the write side stays
-  //    open); its next read sees EOF and the handler exits.
+
+  // 1. Stop admitting: unregister and close the listener on its loop so
+  //    no accept races the teardown.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    loops_[0]->RunInLoop([&] {
+      loops_[0]->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
   }
+
+  // 2. Drain every connection: in-flight requests finish normally,
+  //    buffered-but-undispatched pipelined frames answer SHUTTING_DOWN,
+  //    write queues flush before fds close.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->RunInLoop([this, i] {
+      std::vector<ConnPtr> conns;
+      conns.reserve(loop_conns_[i].size());
+      for (const auto& [fd, conn] : loop_conns_[i]) conns.push_back(conn);
+      for (const ConnPtr& conn : conns) DrainConnection(conn);
+    });
+  }
+
+  // 3. Let the pool finish every dispatched request (their completions
+  //    re-enter the still-running loops and flush).
   pool_.Wait();
+
+  // 4. Bounded drain: wait for the loops to report every connection
+  //    closed, then force-close stragglers (dead peers that never drain
+  //    their receive window).
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_deadline_ms),
+        [this] { return connections_open_.load() == 0; });
+  }
+  if (connections_open_.load() > 0) {
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      loops_[i]->RunInLoop([this, i] {
+        std::vector<ConnPtr> conns;
+        conns.reserve(loop_conns_[i].size());
+        for (const auto& [fd, conn] : loop_conns_[i]) conns.push_back(conn);
+        for (const ConnPtr& conn : conns) CloseConnection(conn);
+      });
+    }
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1000),
+                       [this] { return connections_open_.load() == 0; });
+  }
+
+  // 5. Stop and join the reactors.
+  for (std::unique_ptr<EventLoop>& loop : loops_) loop->Stop();
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
 }
 
 NavServer::~NavServer() { Shutdown(); }

@@ -2,14 +2,20 @@
 #define BIONAV_SERVER_NAV_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 #include "server/protocol.h"
 #include "server/session_manager.h"
+#include "util/event_loop.h"
 #include "util/thread_pool.h"
 
 namespace bionav {
@@ -20,11 +26,33 @@ struct NavServerOptions {
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port, readable via port() after Start.
   int port = 0;
-  /// Worker threads serving connections (clamped to >= 1).
+  /// Compute workers (the PR-1 ThreadPool) executing decoded requests.
   int threads = 4;
-  /// Admission control: connections beyond `threads + max_pending` are shed
-  /// with a RETRY_LATER reply instead of queuing unboundedly on the pool.
-  int max_pending = 16;
+  /// Reactor threads owning the non-blocking sockets. 1–2 saturate the
+  /// line-protocol I/O for thousands of connections; compute stays on the
+  /// pool above. Clamped to >= 1.
+  int io_threads = 1;
+  /// Admission control at the accept path: a connection arriving while
+  /// this many are open is answered RETRY_LATER and closed. Connections
+  /// are cheap reactor state, so the default holds thousands.
+  int max_connections = 4096;
+  /// Pipelining depth: decoded-but-unanswered requests per connection.
+  /// Past it the reactor stops reading that connection until responses
+  /// drain (per-connection backpressure, never a global stall).
+  int max_inflight_per_connection = 64;
+  /// Write-queue backpressure: when a connection's queued response bytes
+  /// exceed this, reading it pauses until the queue drains below.
+  size_t max_write_queue_bytes = 4 << 20;
+  /// A request line may grow to this many bytes before termination; past
+  /// it the connection gets a typed BAD_REQUEST and is closed (slow-loris
+  /// defense; see LineFrameDecoder).
+  size_t max_frame_bytes = LineFrameDecoder::kDefaultMaxFrameBytes;
+  /// Idle connections are closed after this long without a readable byte
+  /// (enforced by the reactor's timer wheel). 0 disables.
+  int64_t idle_timeout_ms = 5 * 60 * 1000;
+  /// Shutdown drains pending write queues for at most this long before
+  /// force-closing what remains.
+  int64_t drain_deadline_ms = 2000;
   SessionManagerOptions session;
   CostModelParams cost_params;
 };
@@ -33,26 +61,43 @@ struct NavServerOptions {
 struct NavServerStats {
   int64_t connections_accepted = 0;
   int64_t connections_shed = 0;
+  int64_t connections_open = 0;
+  int64_t connections_idle_closed = 0;
   int64_t requests = 0;
   int64_t protocol_errors = 0;
+  int64_t oversized_frames = 0;
+  int64_t epoll_wakeups = 0;
   SessionManagerStats sessions;
 };
 
-/// The navigation service of the paper's Section VII deployment: a
-/// blocking-socket TCP server speaking the line-delimited protocol of
-/// server/protocol.h. One accept thread admits connections and dispatches
-/// a per-connection handler onto the PR-1 ThreadPool; each handler reads
-/// request lines, executes them against the SessionManager, and writes one
-/// response line per request.
+/// The navigation service of the paper's Section VII deployment, serving
+/// the line-delimited protocol of server/protocol.h over TCP — rebuilt as
+/// an event-driven reactor so "heavy traffic from millions of users" is a
+/// connection-count problem, not a thread-count problem.
 ///
-/// Backpressure: a connection admitted while `threads + max_pending`
-/// handlers are already live is answered with a single RETRY_LATER error
-/// line and closed — load is shed at the edge, never queued unboundedly.
+/// Threading: `io_threads` reactor threads (EventLoop each) own the
+/// non-blocking sockets. They accept, assemble frames incrementally from
+/// partial reads, and hand decoded request lines to the compute ThreadPool;
+/// finished responses marshal back to the owning loop, which writes them
+/// out through a per-connection bounded queue. A connection is a small
+/// state object pinned to one loop — all its state is loop-thread-only, so
+/// the hot path takes no locks.
 ///
-/// Shutdown is graceful: Shutdown() stops the accept loop, half-closes the
-/// read side of every live connection, and drains the pool — a request
-/// already being processed completes and its response is written before
-/// the connection is torn down.
+/// Pipelining: a client may send many requests without waiting; they
+/// execute concurrently on the pool but responses are written in request
+/// arrival order (sequence numbers reorder completions). Requests that
+/// cannot stall the loop (parse errors, cache-hit QUERYs) execute inline
+/// on the reactor when the connection has no backlog, skipping the pool
+/// round-trip's two scheduler handoffs on the warm interactive path.
+///
+/// Backpressure: reading pauses per connection when its in-flight count or
+/// queued write bytes exceed their caps, and resumes as responses drain;
+/// admission is shed at the accept path past max_connections.
+///
+/// Shutdown is graceful: the listener closes, already-decoded requests
+/// complete, frames buffered but not yet dispatched are answered
+/// SHUTTING_DOWN, and write queues are flushed under drain_deadline_ms
+/// before fds close.
 class NavServer {
  public:
   /// The hierarchy/eutils substrate must outlive the server. The strategy
@@ -64,7 +109,7 @@ class NavServer {
   NavServer(const NavServer&) = delete;
   NavServer& operator=(const NavServer&) = delete;
 
-  /// Binds, listens and starts the accept thread. IOError on bind failure.
+  /// Binds, listens, and starts the reactor threads. IOError on failure.
   Status Start();
 
   /// Bound TCP port (valid after a successful Start).
@@ -79,10 +124,71 @@ class NavServer {
   SessionManager& session_manager() { return sessions_; }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  /// Executes one request line, returns the response line (no newline).
+  /// Per-connection reactor state. Every field is touched only on the
+  /// owning loop's thread; pool completions re-enter via RunInLoop.
+  struct Connection {
+    explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+    int fd = -1;
+    size_t loop_index = 0;
+    LineFrameDecoder decoder;
+    /// Responses released in order, front may be partially written.
+    std::deque<std::string> write_queue;
+    size_t write_offset = 0;
+    size_t write_queue_bytes = 0;
+    /// Pipelining bookkeeping: requests are numbered on decode; responses
+    /// park in `completed` until every earlier one has been released.
+    uint64_t next_dispatch_seq = 0;
+    uint64_t next_release_seq = 0;
+    std::map<uint64_t, std::string> completed;
+    int inflight = 0;
+    bool reading = true;      // kReadable currently in the interest set.
+    bool want_write = false;  // kWritable currently in the interest set.
+    bool dispatching = false;  // DispatchFrames re-entrancy guard.
+    bool draining = false;    // No new dispatches (EOF, error, shutdown).
+    bool close_after_flush = false;
+    bool closed = false;
+    int64_t last_activity_ms = 0;
+    TimerId idle_timer = kInvalidTimer;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void IoThreadMain(size_t loop_index);
+  void OnAcceptable();
+  void AdmitConnection(int fd);
+  void OnConnectionEvent(const ConnPtr& conn, uint32_t events);
+  void ReadConnection(const ConnPtr& conn);
+  /// Decodes buffered frames and dispatches them to the pool (or answers
+  /// SHUTTING_DOWN when draining). Honors the pipelining cap.
+  void DispatchFrames(const ConnPtr& conn);
+  void DispatchRequest(const ConnPtr& conn, uint64_t seq, std::string line);
+  /// True when a parsed request may execute inline on the reactor thread
+  /// without risking a loop stall: a QUERY whose artifacts the cache
+  /// already holds built. (Parse failures are always inline-safe — their
+  /// reply is a constant error line — and are handled before this check.)
+  bool FastPathEligible(const Request& request) const;
+  /// Loop-thread: files a finished response under its sequence number and
+  /// releases every in-order response to the write queue.
+  void CompleteRequest(const ConnPtr& conn, uint64_t seq,
+                       std::string response);
+  void FlushWrites(const ConnPtr& conn);
+  void UpdateInterest(const ConnPtr& conn);
+  /// (Re)arms the idle timer against last_activity_ms.
+  void ArmIdleTimer(const ConnPtr& conn);
+  void CloseConnection(const ConnPtr& conn);
+  /// Loop-thread: transitions a connection into drain (no more reads or
+  /// dispatches; buffered frames answered SHUTTING_DOWN; close on flush).
+  void DrainConnection(const ConnPtr& conn);
+
+  /// Executes one request line (parse + dispatch), returns the response
+  /// line (no newline). Runs on a pool thread or inline on a reactor
+  /// thread; everything it touches is thread-safe.
   std::string HandleRequestLine(const std::string& line);
+  /// Dispatches an already-parsed request (the inline fast path parses on
+  /// the loop thread and must not pay for a second parse).
+  std::string HandleRequest(const Request& request);
+  std::string HandleParseError(WireError error, const std::string& message);
+  void CountRequest();
 
   std::string HandleQuery(const Request& request);
   std::string HandleExpand(const Request& request);
@@ -100,19 +206,29 @@ class NavServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> io_threads_;
+  /// Connections owned by each loop (loop-thread-only containers; indexed
+  /// by loop). Used by drain and the idle sweep.
+  std::vector<std::unordered_map<int, ConnPtr>> loop_conns_;
+  std::atomic<size_t> next_loop_{0};  // Round-robin connection placement.
+
   std::atomic<bool> started_{false};
   std::atomic<bool> shutting_down_{false};
-  std::atomic<int> live_handlers_{0};
-
-  mutable std::mutex conn_mu_;
-  std::unordered_set<int> open_fds_;
   std::mutex shutdown_mu_;  // Serializes Shutdown (idempotence).
+
+  /// Signaled by loops as connections close; Shutdown waits on it for the
+  /// bounded drain.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
 
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_shed_{0};
+  std::atomic<int64_t> connections_open_{0};
+  std::atomic<int64_t> connections_idle_closed_{0};
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> oversized_frames_{0};
 };
 
 }  // namespace bionav

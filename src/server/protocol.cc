@@ -394,6 +394,41 @@ std::string WriteJson(const JsonValue& value) {
 }
 
 // ---------------------------------------------------------------------------
+// Frame assembly
+// ---------------------------------------------------------------------------
+
+bool LineFrameDecoder::Feed(std::string_view data) {
+  if (overflowed_) return false;
+  // Compact lazily: only when the consumed prefix dominates, so a steady
+  // stream of small frames does not memmove per frame.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+  // Overflow only counts an *unterminated* tail: a Feed carrying several
+  // complete pipelined frames may legitimately exceed one frame's budget.
+  size_t last_newline = buffer_.find_last_of('\n');
+  size_t tail_start = last_newline == std::string::npos ? consumed_
+                                                        : last_newline + 1;
+  if (tail_start < consumed_) tail_start = consumed_;
+  if (buffer_.size() - tail_start > max_frame_bytes_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool LineFrameDecoder::Next(std::string* line) {
+  size_t newline = buffer_.find('\n', consumed_);
+  if (newline == std::string::npos) return false;
+  line->assign(buffer_, consumed_, newline - consumed_);
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  consumed_ = newline + 1;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 
@@ -606,6 +641,8 @@ WireError WireErrorFromStatus(const Status& status) {
     case StatusCode::kFailedPrecondition: return WireError::kFailedPrecondition;
     case StatusCode::kInternal: return WireError::kInternal;
     case StatusCode::kIOError: return WireError::kInternal;
+    // Client-side deadline; a server never produces it on the wire.
+    case StatusCode::kDeadlineExceeded: return WireError::kInternal;
   }
   return WireError::kInternal;
 }

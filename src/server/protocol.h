@@ -101,6 +101,46 @@ Result<JsonValue> ParseJson(std::string_view text);
 std::string WriteJson(const JsonValue& value);
 
 // ---------------------------------------------------------------------------
+// Frame assembly
+// ---------------------------------------------------------------------------
+
+/// Incremental assembly of '\n'-delimited frames from a non-blocking byte
+/// stream: the reactor feeds whatever recv() returned (possibly a fraction
+/// of a line, possibly several pipelined lines) and pops complete frames.
+/// A frame that grows past `max_frame_bytes` without a terminator trips the
+/// overflow latch — the caller answers with a typed error and closes
+/// instead of buffering without bound (slow-loris defense).
+class LineFrameDecoder {
+ public:
+  static constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+  explicit LineFrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes. Returns false (and latches overflowed()) once the
+  /// unterminated tail exceeds the frame limit; further input is dropped.
+  bool Feed(std::string_view data);
+
+  /// Pops the next complete frame into `*line` ('\n' consumed, one trailing
+  /// '\r' trimmed). False when no complete frame is buffered.
+  bool Next(std::string* line);
+
+  bool overflowed() const { return overflowed_; }
+  /// True when a complete frame is buffered (Next() would succeed).
+  bool has_frame() const {
+    return buffer_.find('\n', consumed_) != std::string::npos;
+  }
+  /// Bytes of the unconsumed tail (partial frame + undelivered frames).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix already handed out via Next().
+  bool overflowed_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 

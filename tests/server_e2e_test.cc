@@ -196,7 +196,7 @@ TEST(NavServerE2E, AdmissionControlShedsBeyondLimit) {
 
   NavServerOptions options;
   options.threads = 1;
-  options.max_pending = 0;  // Admission limit: exactly one live connection.
+  options.max_connections = 1;  // Admission limit: one live connection.
   NavServer server(&w.hierarchy(), &eutils, nullptr, options);
   ASSERT_TRUE(server.Start().ok());
 

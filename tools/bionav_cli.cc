@@ -36,7 +36,9 @@
 //       a node_exporter textfile collector can scrape.
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -322,28 +324,61 @@ std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint) {
 }
 
 // The navigate REPL served over the wire: the session state lives in a
-// bionav_serve process; every command is one protocol request.
+// bionav_serve process; every command is one protocol request. If the
+// server drops the connection mid-REPL (restart, idle timeout), the CLI
+// reconnects once, opens a fresh session with the original query —
+// navigation state lives server-side and is gone with the old session —
+// and retries the command before giving up.
 int CmdRemote(const Args& args) {
   if (args.positional.size() < 2) return Usage();
-  std::unique_ptr<NavClient> connected = ConnectEndpoint(args.positional[0]);
+  const std::string endpoint = args.positional[0];
+  std::unique_ptr<NavClient> connected = ConnectEndpoint(endpoint);
   if (connected == nullptr) return 1;
-  NavClient& client = *connected;
 
   std::string query = JoinQuery(args, 1);
-  auto opened = client.Query(query);
+  std::string token;
+  auto open_session = [&](bool banner) -> Status {
+    auto opened = connected->Query(query);
+    if (!opened.ok()) return opened.status();
+    token = opened.ValueOrDie().token;
+    if (banner) {
+      std::cout << "'" << query << "': " << opened.ValueOrDie().result_size
+                << " citations (session " << token
+                << "). Commands: expand <node> | show <node> | back | tree"
+                   " | stats | quit\n";
+    }
+    return Status::OK();
+  };
+  Status opened = open_session(/*banner=*/true);
   if (!opened.ok()) {
-    std::cerr << opened.status().ToString() << "\n";
+    std::cerr << opened.ToString() << "\n";
     return 1;
   }
-  const std::string& token = opened.ValueOrDie().token;
-  std::cout << "'" << query << "': " << opened.ValueOrDie().result_size
-            << " citations (session " << token
-            << "). Commands: expand <node> | show <node> | back | tree"
-               " | stats | quit\n> "
-            << std::flush;
+
+  // Runs one command attempt; on a transport-level failure (server EOF or
+  // timeout — wire-level errors keep their own codes) reconnects once with
+  // a fresh session and retries the same attempt.
+  auto with_retry = [&](const std::function<Status()>& attempt) -> Status {
+    Status status = attempt();
+    if (status.code() != StatusCode::kIOError &&
+        status.code() != StatusCode::kDeadlineExceeded) {
+      return status;
+    }
+    std::cout << "(connection lost: " << status.message()
+              << "; reconnecting)\n";
+    std::unique_ptr<NavClient> fresh = ConnectEndpoint(endpoint);
+    if (fresh == nullptr) return status;
+    connected = std::move(fresh);
+    Status reopened = open_session(/*banner=*/false);
+    if (!reopened.ok()) return reopened;
+    std::cout << "(new session " << token
+              << "; navigation state was reset)\n";
+    return attempt();
+  };
 
   std::string line;
   int exit_code = 0;
+  std::cout << "> " << std::flush;
   while (std::getline(std::cin, line)) {
     std::istringstream iss(line);
     std::string cmd;
@@ -353,55 +388,62 @@ int CmdRemote(const Args& args) {
     int64_t node = 0;
     bool node_ok = ParseInt64(StripWhitespace(rest), &node);
     if (cmd == "quit" || cmd == "q") break;
+    Status status = Status::OK();
     if (cmd == "tree") {
-      auto tree = client.View(token);
-      std::cout << (tree.ok() ? tree.ValueOrDie()
-                              : tree.status().ToString())
-                << "\n";
+      status = with_retry([&]() -> Status {
+        auto tree = connected->View(token);
+        if (!tree.ok()) return tree.status();
+        std::cout << tree.ValueOrDie() << "\n";
+        return Status::OK();
+      });
     } else if (cmd == "back") {
-      auto undone = client.Backtrack(token);
-      if (undone.ok()) {
+      status = with_retry([&]() -> Status {
+        auto undone = connected->Backtrack(token);
+        if (!undone.ok()) return undone.status();
         std::cout << (undone.ValueOrDie() ? "undone\n" : "nothing to undo\n");
-      } else {
-        std::cout << undone.status().ToString() << "\n";
-      }
+        return Status::OK();
+      });
     } else if (cmd == "stats") {
-      auto stats = client.Stats();
-      std::cout << (stats.ok() ? WriteJson(stats.ValueOrDie())
-                               : stats.status().ToString())
-                << "\n";
+      status = with_retry([&]() -> Status {
+        auto stats = connected->Stats();
+        if (!stats.ok()) return stats.status();
+        std::cout << WriteJson(stats.ValueOrDie()) << "\n";
+        return Status::OK();
+      });
     } else if (cmd == "expand") {
       if (!node_ok) {
         std::cout << "usage: expand <node-id>\n";
       } else {
-        auto revealed = client.Expand(token, static_cast<NavNodeId>(node));
-        if (revealed.ok()) {
+        status = with_retry([&]() -> Status {
+          auto revealed =
+              connected->Expand(token, static_cast<NavNodeId>(node));
+          if (!revealed.ok()) return revealed.status();
           std::cout << "revealed " << revealed.ValueOrDie().size()
                     << " concepts\n";
-        } else {
-          std::cout << revealed.status().ToString() << "\n";
-        }
+          return Status::OK();
+        });
       }
     } else if (cmd == "show") {
       if (!node_ok) {
         std::cout << "usage: show <node-id>\n";
       } else {
-        auto shown =
-            client.ShowResults(token, static_cast<NavNodeId>(node), 0, 20);
-        if (shown.ok()) {
+        status = with_retry([&]() -> Status {
+          auto shown = connected->ShowResults(
+              token, static_cast<NavNodeId>(node), 0, 20);
+          if (!shown.ok()) return shown.status();
           for (const CitationSummary& s : shown.ValueOrDie().summaries) {
             std::cout << "  PMID " << s.pmid << ": " << s.title << "\n";
           }
-        } else {
-          std::cout << shown.status().ToString() << "\n";
-        }
+          return Status::OK();
+        });
       }
     } else if (!cmd.empty()) {
       std::cout << "unknown command '" << cmd << "'\n";
     }
+    if (!status.ok()) std::cout << status.ToString() << "\n";
     std::cout << "> " << std::flush;
   }
-  client.CloseSession(token);
+  connected->CloseSession(token);
   return exit_code;
 }
 

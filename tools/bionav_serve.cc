@@ -2,7 +2,8 @@
 // half): loads a BioNav database and serves the line-delimited wire
 // protocol of src/server/protocol.h over TCP.
 //
-//   bionav_serve <db-path> [--port P] [--threads N] [--max-pending Q]
+//   bionav_serve <db-path> [--port P] [--threads N] [--io-threads I]
+//                [--max-connections C] [--idle-timeout-ms MS]
 //                [--max-sessions S] [--ttl-ms T] [--static]
 //                [--cache-mb MB] [--cache-ttl MS] [--cache=off]
 //
@@ -40,7 +41,8 @@ int64_t IntArg(const std::string& value, const char* flag) {
 
 int Usage() {
   std::cerr << "usage: bionav_serve <db-path> [--port P] [--threads N]"
-               " [--max-pending Q] [--max-sessions S] [--ttl-ms T]"
+               " [--io-threads I] [--max-connections C] [--idle-timeout-ms MS]"
+               " [--max-sessions S] [--ttl-ms T]"
                " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]\n";
   return 2;
 }
@@ -66,9 +68,15 @@ int Main(int argc, char** argv) {
       options.threads =
           static_cast<int>(IntArg(value("--threads"), "--threads"));
       if (options.threads == 0) options.threads = ThreadPool::HardwareThreads();
-    } else if (arg == "--max-pending") {
-      options.max_pending =
-          static_cast<int>(IntArg(value("--max-pending"), "--max-pending"));
+    } else if (arg == "--io-threads") {
+      options.io_threads =
+          static_cast<int>(IntArg(value("--io-threads"), "--io-threads"));
+    } else if (arg == "--max-connections") {
+      options.max_connections = static_cast<int>(
+          IntArg(value("--max-connections"), "--max-connections"));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms =
+          IntArg(value("--idle-timeout-ms"), "--idle-timeout-ms");
     } else if (arg == "--max-sessions") {
       options.session.max_sessions = static_cast<size_t>(
           IntArg(value("--max-sessions"), "--max-sessions"));
