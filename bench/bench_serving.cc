@@ -38,9 +38,11 @@
 // --open-loop (default 64 connections), --sessions=M (sessions per
 // client/connection, default 8), --distinct-queries=D (query universe;
 // 0 = the raw workload queries), --zipf-s=S (popularity skew, default 0 =
-// round-robin), --cache=off, --warmup=N (discarded sessions per client
-// before the measured phase; closed loop only), --json=PATH, --obs=off
-// (disable server-side trace spans).
+// round-robin), --proto=json|binary (wire encoding; binary negotiates the
+// length-prefixed v2 protocol and is the A/B lever for bytes/request),
+// --cache=off, --warmup=N (discarded sessions per client before the
+// measured phase; closed loop only), --json=PATH, --obs=off (disable
+// server-side trace spans).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -61,6 +63,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "util/event_loop.h"
 
 using namespace bionav;
@@ -186,8 +189,10 @@ Status RunSession(NavClient& client, const QueryVariant& variant,
 /// RNG stream from the measured one.
 void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
                int client_index, uint64_t phase_salt, int sessions, int port,
-               ClientResult* r) {
-  auto connected = NavClient::Connect("127.0.0.1", port);
+               WireProto proto, ClientResult* r) {
+  NavClientOptions client_options;
+  client_options.proto = proto;
+  auto connected = NavClient::Connect("127.0.0.1", port, client_options);
   if (!connected.ok()) {
     r->first_error = connected.status().ToString();
     r->sessions_failed += sessions;
@@ -237,8 +242,9 @@ struct OpenLoopTotals {
 class OpenLoopHarness {
  public:
   OpenLoopHarness(int port, const std::vector<QueryVariant>& universe,
-                  double zipf_s, int connections, int sessions_per_conn)
-      : port_(port), universe_(universe), zipf_s_(zipf_s) {
+                  double zipf_s, WireProto proto, int connections,
+                  int sessions_per_conn)
+      : port_(port), universe_(universe), zipf_s_(zipf_s), proto_(proto) {
     conns_.reserve(static_cast<size_t>(connections));
     for (int i = 0; i < connections; ++i) {
       auto conn = std::make_unique<Conn>();
@@ -263,6 +269,7 @@ class OpenLoopHarness {
     int fd = -1;
     Wait wait = Wait::kConnect;
     LineFrameDecoder decoder{8u << 20};
+    BinaryFrameDecoder bdecoder{8u << 20};
     std::string outbox;
     size_t out_off = 0;
     std::string token;
@@ -312,6 +319,11 @@ class OpenLoopHarness {
         }
         int one = 1;
         ::setsockopt(c->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        // Binary mode: the negotiation preamble rides in front of the
+        // first QUERY — one coalesced send.
+        if (proto_ == WireProto::kBinary) {
+          c->outbox.append(kBinaryPreamble, sizeof(kBinaryPreamble));
+        }
         StartSession(c);
       } else {
         FlushOut(c);
@@ -342,8 +354,12 @@ class OpenLoopHarness {
   }
 
   void SendRequest(Conn* c, const Request& request, Wait wait) {
-    c->outbox += SerializeRequest(request);
-    c->outbox.push_back('\n');
+    if (proto_ == WireProto::kBinary) {
+      c->outbox += SerializeRequestBinary(request);
+    } else {
+      c->outbox += SerializeRequest(request);
+      c->outbox.push_back('\n');
+    }
     c->wait = wait;
     c->op_timer.Restart();
     FlushOut(c);
@@ -375,8 +391,10 @@ class OpenLoopHarness {
     while (true) {
       ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
       if (n > 0) {
-        if (!c->decoder.Feed(std::string_view(chunk,
-                                              static_cast<size_t>(n)))) {
+        std::string_view data(chunk, static_cast<size_t>(n));
+        bool fed = proto_ == WireProto::kBinary ? c->bdecoder.Feed(data)
+                                                : c->decoder.Feed(data);
+        if (!fed) {
           TransportError(c, "response frame overflow");
           return;
         }
@@ -391,8 +409,26 @@ class OpenLoopHarness {
       TransportError(c, std::string("recv: ") + std::strerror(errno));
       return;
     }
+    if (proto_ == WireProto::kBinary) {
+      std::string body;
+      while (c->fd >= 0 && c->bdecoder.Next(&body)) HandleBinaryFrame(c, body);
+      if (c->fd >= 0 && c->bdecoder.broken()) {
+        TransportError(c, "malformed binary response frame");
+      }
+      return;
+    }
     std::string line;
     while (c->fd >= 0 && c->decoder.Next(&line)) HandleLine(c, line);
+  }
+
+  void HandleBinaryFrame(Conn* c, const std::string& body) {
+    double elapsed_ms = c->op_timer.ElapsedMillis();
+    Result<JsonValue> decoded = DecodeBinaryResponse(body);
+    if (!decoded.ok()) {
+      TransportError(c, "malformed binary response from server");
+      return;
+    }
+    HandleDoc(c, decoded.ValueOrDie(), elapsed_ms);
   }
 
   void HandleLine(Conn* c, const std::string& line) {
@@ -402,7 +438,10 @@ class OpenLoopHarness {
       TransportError(c, "malformed response from server");
       return;
     }
-    const JsonValue& doc = parsed.ValueOrDie();
+    HandleDoc(c, parsed.ValueOrDie(), elapsed_ms);
+  }
+
+  void HandleDoc(Conn* c, const JsonValue& doc, double elapsed_ms) {
     if (!doc.BoolOr("ok", false)) {
       std::string error = doc.StringOr("error", "INTERNAL");
       if (error == "RETRY_LATER" || error == "SHUTTING_DOWN") {
@@ -516,6 +555,7 @@ class OpenLoopHarness {
   const int port_;
   const std::vector<QueryVariant>& universe_;
   const double zipf_s_;
+  const WireProto proto_;
   std::vector<std::unique_ptr<Conn>> conns_;
   OpenLoopTotals totals_;
   int active_ = 0;
@@ -546,6 +586,7 @@ int main(int argc, char** argv) {
   bool open_loop = false;
   int connections = 0;
   int io_threads = 1;
+  WireProto proto = WireProto::kJson;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     int64_t value = 0;
@@ -575,6 +616,10 @@ int main(int argc, char** argv) {
       cache_enabled = false;
     } else if (arg == "--cache=on") {
       cache_enabled = true;
+    } else if (arg == "--proto=json") {
+      proto = WireProto::kJson;
+    } else if (arg == "--proto=binary") {
+      proto = WireProto::kBinary;
     } else {
       std::cerr << "bench_serving: unknown arg '" << arg << "'\n";
       return 2;
@@ -612,7 +657,7 @@ int main(int argc, char** argv) {
   std::cout << "server: 127.0.0.1:" << server.port() << ", "
             << server_options.threads << " worker threads, " << io_threads
             << " io thread(s), cache " << (cache_enabled ? "on" : "off")
-            << "\n";
+            << ", " << WireProtoName(proto) << " wire\n";
   if (open_loop) {
     std::cout << "load: " << connections << " open-loop connections x "
               << sessions_per_client << " sessions, " << universe.size()
@@ -628,8 +673,8 @@ int main(int argc, char** argv) {
   OpenLoopTotals open_totals;
   double wall_ms = 0;
   if (open_loop) {
-    OpenLoopHarness harness(server.port(), universe, zipf_s, connections,
-                            sessions_per_client);
+    OpenLoopHarness harness(server.port(), universe, zipf_s, proto,
+                            connections, sessions_per_client);
     Timer wall;
     open_totals = harness.Run();
     wall_ms = wall.ElapsedMillis();
@@ -641,7 +686,7 @@ int main(int argc, char** argv) {
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
           RunClient(universe, zipf_s, c, salt, sessions, server.port(),
-                    &(*out)[static_cast<size_t>(c)]);
+                    proto, &(*out)[static_cast<size_t>(c)]);
         });
       }
       for (std::thread& t : threads) t.join();
@@ -661,6 +706,32 @@ int main(int argc, char** argv) {
     Timer wall;
     run_phase(/*salt=*/0, sessions_per_client, &results);
     wall_ms = wall.ElapsedMillis();
+  }
+
+  // Wire-volume accounting is snapshotted before the stats scraper
+  // connects, so bytes/request reflects only the load phases (warmup is
+  // proportionally identical across protocols and does not skew the
+  // per-request average).
+  NavServerStats wire_stats = server.stats();
+  double bytes_tx_per_req =
+      wire_stats.requests > 0
+          ? static_cast<double>(wire_stats.bytes_tx) /
+                static_cast<double>(wire_stats.requests)
+          : 0.0;
+  double bytes_rx_per_req =
+      wire_stats.requests > 0
+          ? static_cast<double>(wire_stats.bytes_rx) /
+                static_cast<double>(wire_stats.requests)
+          : 0.0;
+  // Flush-batch shape: frames coalesced per sendmsg on the reactor's
+  // write path (the histogram's "_us" fields carry frame counts here).
+  double flush_batch_mean = 0.0, flush_batch_p99 = 0.0;
+  if (const LatencyHistogram* fb =
+          GlobalMetrics().FindHistogram("bionav_server_flush_batch");
+      fb != nullptr && fb->Count() > 0) {
+    flush_batch_mean = static_cast<double>(fb->SumMicros()) /
+                       static_cast<double>(fb->Count());
+    flush_batch_p99 = fb->Quantile(0.99);
   }
 
   // Scrape the server's own percentiles and cache counters over the wire
@@ -753,11 +824,23 @@ int main(int argc, char** argv) {
     std::cout << ", warm QUERY p50 " << TextTable::Num(cold_p50 / warm_p50, 1)
               << "x faster than cold";
   }
-  std::cout << "\n";
+  std::cout << "\n"
+            << "wire: " << WireProtoName(proto) << ", " << wire_stats.bytes_rx
+            << " B rx / " << wire_stats.bytes_tx << " B tx ("
+            << TextTable::Num(bytes_rx_per_req, 1) << " rx / "
+            << TextTable::Num(bytes_tx_per_req, 1)
+            << " tx B per request), flush batch mean "
+            << TextTable::Num(flush_batch_mean, 2) << " frames, p99 "
+            << TextTable::Num(flush_batch_p99, 1) << "\n";
 
   std::ostringstream extra;
   extra << "\"mode\": \"" << (open_loop ? "open" : "closed") << "\""
+        << ", \"proto\": \"" << WireProtoName(proto) << "\""
         << ", \"connections\": " << concurrent
+        << ", \"bytes_per_request\": " << bytes_tx_per_req
+        << ", \"bytes_rx_per_request\": " << bytes_rx_per_req
+        << ", \"flush_batch_mean\": " << flush_batch_mean
+        << ", \"flush_batch_p99\": " << flush_batch_p99
         << ", \"transport_errors\": " << transport_errors
         << ", \"cache\": " << (cache_enabled ? "true" : "false")
         << ", \"cache_hit_rate\": " << hit_rate
@@ -773,7 +856,8 @@ int main(int argc, char** argv) {
       std::string(open_loop ? "mode=open,connections=" : "mode=closed,clients=") +
           std::to_string(concurrent) +
           ",sessions=" + std::to_string(sessions_per_client) +
-          ",cache=" + (cache_enabled ? "on" : "off"),
+          ",cache=" + (cache_enabled ? "on" : "off") + ",proto=" +
+          WireProtoName(proto),
       server_options.threads, wall_ms, PerSec(done, wall_ms), extra.str());
 
   // Every connection stayed below the admission limit: a dropped or shed

@@ -124,14 +124,33 @@ QueryArtifactCache::Lookup QueryArtifactCache::GetOrBuild(
         wait_on = e.pending;
       } else {
         e.last_used_ms = now;
+        Lookup result{e.artifacts, /*hit=*/true, /*waited=*/false};
+        int64_t build_us = e.build_us;
+        // Response templates render lazily after insert and grow the
+        // bundle's footprint; re-read it on hits so the byte budget stays
+        // honest (and over-budget shards evict — our own copy above keeps
+        // this bundle alive even if it is the victim).
+        size_t footprint = result.artifacts->MemoryFootprint();
+        if (footprint != e.bytes) {
+          int64_t delta = static_cast<int64_t>(footprint) -
+                          static_cast<int64_t>(e.bytes);
+          shard.resident_bytes = shard.resident_bytes - e.bytes + footprint;
+          e.bytes = footprint;
+          {
+            std::lock_guard<std::mutex> stats_lock(stats_mu_);
+            bytes_ += delta;
+          }
+          CacheBytes()->Add(delta);
+          EvictShardLocked(shard);
+        }
         {
           std::lock_guard<std::mutex> stats_lock(stats_mu_);
           ++counters_.hits;
-          counters_.build_us_saved += e.build_us;
+          counters_.build_us_saved += build_us;
         }
         CacheHits()->Increment();
-        CacheSavedHist()->Record(e.build_us);
-        return {e.artifacts, /*hit=*/true, /*waited=*/false};
+        CacheSavedHist()->Record(build_us);
+        return result;
       }
     } else {
       entry = std::make_shared<Entry>();
@@ -208,6 +227,19 @@ bool QueryArtifactCache::Contains(const std::string& key) const {
   return true;
 }
 
+std::shared_ptr<const QueryArtifacts> QueryArtifactCache::Peek(
+    const std::string& key) const {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second->building) return nullptr;
+  if (options_.ttl_ms > 0 &&
+      NowMs() - it->second->inserted_ms > options_.ttl_ms) {
+    return nullptr;
+  }
+  return it->second->artifacts;
+}
+
 bool QueryArtifactCache::Invalidate(const std::string& key) {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -262,14 +294,25 @@ void QueryArtifactCache::EvictShardLocked(Shard& shard) {
   // artifact bundles (each is a whole navigation tree), so O(n) beats
   // maintaining an intrusive list.
   while (shard.resident_bytes > shard_budget_) {
-    uint64_t newest = 0;
-    for (const auto& [k, e] : shard.map) {
-      if (!e->building) newest = std::max(newest, e->sequence);
+    // The most-recently-used ready entry is exempt: a just-inserted or
+    // just-refreshed bundle (template renders grow footprints on hits)
+    // must not self-evict, however oversized. Sequence breaks ties so a
+    // same-tick insert still outranks the entry it displaced.
+    auto mru = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      Entry& e = *it->second;
+      if (e.building) continue;
+      if (mru == shard.map.end() ||
+          e.last_used_ms > mru->second->last_used_ms ||
+          (e.last_used_ms == mru->second->last_used_ms &&
+           e.sequence > mru->second->sequence)) {
+        mru = it;
+      }
     }
     auto victim = shard.map.end();
     for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
       Entry& e = *it->second;
-      if (e.building || e.sequence == newest) continue;
+      if (e.building || it == mru) continue;
       if (victim == shard.map.end() ||
           e.last_used_ms < victim->second->last_used_ms ||
           (e.last_used_ms == victim->second->last_used_ms &&
@@ -277,7 +320,7 @@ void QueryArtifactCache::EvictShardLocked(Shard& shard) {
         victim = it;
       }
     }
-    if (victim == shard.map.end()) break;  // Only the newest bundle left.
+    if (victim == shard.map.end()) break;  // Only the MRU bundle left.
     shard.resident_bytes -= victim->second->bytes;
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);

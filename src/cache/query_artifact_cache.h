@@ -100,6 +100,12 @@ class QueryArtifactCache {
   /// refresh; test/introspection helper).
   bool Contains(const std::string& key) const;
 
+  /// The resident bundle for `key`, or null if absent, still building, or
+  /// expired. No LRU refresh and no hit accounting — an introspection
+  /// window (e.g. asserting on a bundle's response-template stats) that
+  /// leaves the cache's behavior unobserved.
+  std::shared_ptr<const QueryArtifacts> Peek(const std::string& key) const;
+
   /// Drops a ready entry; live sessions keep their references. False if
   /// the key was absent (or still building — in-flight builds are pinned).
   bool Invalidate(const std::string& key);

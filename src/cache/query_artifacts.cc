@@ -2,15 +2,56 @@
 
 #include <cctype>
 
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace bionav {
+
+namespace {
+
+/// Charged per template entry on top of the key and payload bytes (table
+/// node, two control blocks, shared_ptr) — an estimate, like the other
+/// MemoryFootprint accounting, but keeps many-small-template bundles from
+/// looking free.
+constexpr size_t kTemplateEntryOverhead = 96;
+
+}  // namespace
+
+std::shared_ptr<const std::string> ResponseTemplateStore::GetOrRender(
+    const std::string& key, int encoding,
+    const std::function<std::string()>& render) const {
+  BIONAV_CHECK(encoding >= 0 && encoding < kNumEncodings)
+      << "bad template encoding " << encoding;
+  std::string full_key = std::to_string(encoding) + "|" + key;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(full_key);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  auto payload = std::make_shared<const std::string>(render());
+  ++renders_[encoding];
+  bytes_.fetch_add(full_key.size() + payload->size() + kTemplateEntryOverhead,
+                   std::memory_order_relaxed);
+  map_.emplace(std::move(full_key), payload);
+  return payload;
+}
+
+ResponseTemplateStore::Stats ResponseTemplateStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  for (int i = 0; i < kNumEncodings; ++i) stats.renders[i] = renders_[i];
+  stats.hits = hits_;
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
 
 size_t QueryArtifacts::MemoryFootprint() const {
   size_t bytes = sizeof(QueryArtifacts) + key.capacity();
   if (result != nullptr) bytes += result->MemoryFootprint();
   if (nav != nullptr) bytes += nav->MemoryFootprint();
   if (cost_model != nullptr) bytes += cost_model->MemoryFootprint();
+  bytes += templates.bytes();
   return bytes;
 }
 

@@ -1,9 +1,14 @@
 #ifndef BIONAV_CACHE_QUERY_ARTIFACTS_H_
 #define BIONAV_CACHE_QUERY_ARTIFACTS_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "core/cost_model.h"
 #include "core/navigation_tree.h"
@@ -11,6 +16,49 @@
 #include "medline/eutils.h"
 
 namespace bionav {
+
+/// Pre-serialized response payloads keyed by (request shape, encoding) —
+/// the zero-copy unit of wire protocol v2. A frozen navigation tree
+/// answers the same QUERY/EXPAND/SHOWRESULTS requests with byte-identical
+/// payloads for every session sharing it, so the serialization is rendered
+/// once per encoding, held refcounted, and served via writev without
+/// copying. The store is attached to (immutable, shared) QueryArtifacts;
+/// lazily filling it is the one sanctioned mutation, guarded here.
+class ResponseTemplateStore {
+ public:
+  /// Encodings are opaque small ints here (the server passes its WireProto)
+  /// so the cache layer does not depend on protocol headers.
+  static constexpr int kNumEncodings = 2;
+
+  struct Stats {
+    int64_t renders[kNumEncodings] = {0, 0};  // Misses that ran `render`.
+    int64_t hits = 0;                         // Served without rendering.
+    size_t bytes = 0;                         // Resident payload bytes.
+  };
+
+  /// Returns the payload for `key`+`encoding`, invoking `render` exactly
+  /// once per (key, encoding) across all threads (later callers share the
+  /// first result — the render runs under the store lock, which is what
+  /// makes "rendered once" an invariant rather than a likelihood).
+  std::shared_ptr<const std::string> GetOrRender(
+      const std::string& key, int encoding,
+      const std::function<std::string()>& render) const;
+
+  /// Resident payload bytes (keys + rendered payloads + table overhead);
+  /// folded into QueryArtifacts::MemoryFootprint so the cache byte budget
+  /// counts templates.
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const std::string>> map_;
+  mutable int64_t renders_[kNumEncodings] = {0, 0};
+  mutable int64_t hits_ = 0;
+  mutable std::atomic<size_t> bytes_{0};
+};
 
 /// The immutable per-query outcome of the online pipeline of Section VII:
 /// ESearch result, the maximum-embedding navigation tree and its cost
@@ -28,9 +76,14 @@ struct QueryArtifacts {
   /// Wall time the build took — re-recorded as "build time saved" every
   /// time a later session is served from the cache instead of rebuilding.
   int64_t build_us = 0;
+  /// Pre-serialized wire responses for this bundle's frozen tree, filled
+  /// lazily by the server on first touch per (request shape, encoding).
+  ResponseTemplateStore templates;
 
   /// Heap bytes held by the bundle (result set, tree incl. precomputed
-  /// subtree caches, cost model) — the unit of the cache's byte budget.
+  /// subtree caches, cost model, rendered response templates) — the unit
+  /// of the cache's byte budget. Grows as templates render; the cache
+  /// re-reads it on hits to keep its budget honest.
   size_t MemoryFootprint() const;
 };
 

@@ -96,7 +96,22 @@ Result<std::unique_ptr<NavClient>> NavClient::Connect(
     tv.tv_usec = (options.recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
-  return std::unique_ptr<NavClient>(new NavClient(fd));
+  if (options.proto == WireProto::kBinary) {
+    // Negotiate v2 before the first request: the server switches this
+    // connection to binary framing on these four bytes.
+    size_t sent = 0;
+    while (sent < sizeof(kBinaryPreamble)) {
+      ssize_t n = ::send(fd, kBinaryPreamble + sent,
+                         sizeof(kBinaryPreamble) - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return Status::IOError("connection lost while negotiating protocol");
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  return std::unique_ptr<NavClient>(new NavClient(fd, options.proto));
 }
 
 NavClient::~NavClient() {
@@ -104,11 +119,16 @@ NavClient::~NavClient() {
 }
 
 Status NavClient::Send(const Request& request) {
-  std::string line = SerializeRequest(request);
-  line.push_back('\n');
+  std::string frame;
+  if (proto_ == WireProto::kBinary && !json_fallback_) {
+    frame = SerializeRequestBinary(request);
+  } else {
+    frame = SerializeRequest(request);
+    frame.push_back('\n');
+  }
   size_t sent = 0;
-  while (sent < line.size()) {
-    ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
                        MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -120,13 +140,62 @@ Status NavClient::Send(const Request& request) {
 }
 
 Result<JsonValue> NavClient::Receive() {
-  // One response line per request, in order (the server releases pipelined
+  // One response frame per request, in order (the server releases pipelined
   // responses in arrival order, so Receive N pairs with Send N).
+  if (proto_ == WireProto::kBinary && !json_fallback_) {
+    std::string body;
+    while (true) {
+      if (bdecoder_.Next(&body)) {
+        Result<JsonValue> decoded = DecodeBinaryResponse(body);
+        if (!decoded.ok()) {
+          return Status::Internal("malformed binary response from server: " +
+                                  decoded.status().message());
+        }
+        return decoded;
+      }
+      if (bdecoder_.broken()) {
+        return Status::Internal("malformed binary response frame");
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        if (!saw_response_byte_) {
+          saw_response_byte_ = true;
+          if (chunk[0] == '{') {
+            // The server answered in JSON before reading our preamble
+            // (accept-path shedding) — it is about to close. Fall back to
+            // line framing so the typed error surfaces normally.
+            json_fallback_ = true;
+            if (!decoder_.Feed(
+                    std::string_view(chunk, static_cast<size_t>(n)))) {
+              return Status::Internal(
+                  "response frame exceeds client frame limit");
+            }
+            break;  // Continue on the JSON loop below.
+          }
+        }
+        if (!bdecoder_.Feed(std::string_view(chunk,
+                                             static_cast<size_t>(n)))) {
+          return Status::Internal("malformed binary response frame");
+        }
+        continue;
+      }
+      if (n == 0) {
+        return Status::IOError("connection closed before response");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("timed out waiting for response");
+      }
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+  }
   std::string response;
   while (!decoder_.Next(&response)) {
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      saw_response_byte_ = true;
       if (!decoder_.Feed(std::string_view(chunk, static_cast<size_t>(n)))) {
         return Status::Internal("response frame exceeds client frame limit");
       }

@@ -17,6 +17,13 @@ struct NavClientOptions {
   /// Per-recv deadline (SO_RCVTIMEO) while waiting for a response line;
   /// expiry surfaces as kDeadlineExceeded. 0 waits forever.
   int64_t recv_timeout_ms = 0;
+  /// Wire encoding. kBinary sends the "BNV2" preamble right after connect
+  /// and speaks length-prefixed v2 frames both ways; the typed wrappers
+  /// below are encoding-agnostic (binary responses decode into the same
+  /// JsonValue document a JSON line parses to). A pre-negotiation JSON
+  /// reply (accept-path shedding answers before reading the preamble) is
+  /// recognized by its '{' first byte and handled transparently.
+  WireProto proto = WireProto::kJson;
 };
 
 /// Blocking client for the NavServer wire protocol: one TCP connection,
@@ -91,16 +98,25 @@ class NavClient {
   /// METRICS: the server's Prometheus text exposition.
   Result<std::string> Metrics();
 
+  /// The negotiated wire encoding of this connection.
+  WireProto proto() const { return proto_; }
+
  private:
-  explicit NavClient(int fd) : fd_(fd) {}
+  NavClient(int fd, WireProto proto) : fd_(fd), proto_(proto) {}
 
   /// Sends a request and demands ok:true, folding wire errors to Status.
   Result<JsonValue> Call(const Request& request);
 
   int fd_ = -1;
-  /// Partial-line carry-over between reads. Response frames (VIEW trees,
+  WireProto proto_ = WireProto::kJson;
+  /// First response byte was '{': the server answered in JSON before the
+  /// preamble was read (shed path). The connection stays line-framed.
+  bool json_fallback_ = false;
+  bool saw_response_byte_ = false;
+  /// Partial-frame carry-over between reads. Response frames (VIEW trees,
   /// METRICS expositions) dwarf request frames, hence the generous cap.
   LineFrameDecoder decoder_{64u << 20};
+  BinaryFrameDecoder bdecoder_{64u << 20};
 };
 
 }  // namespace bionav

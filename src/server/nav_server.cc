@@ -5,11 +5,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,12 +36,18 @@ int64_t SteadyNowUs() {
 
 /// Best-effort one-line reply on a socket about to be closed (accept-path
 /// shedding). The socket buffer of a fresh connection swallows a short
-/// line, so a single non-blocking send suffices.
+/// line, so a single non-blocking send suffices. Shed replies are always
+/// JSON: they may fire before the peer's first byte decides its protocol,
+/// and a binary client recognizes the '{' as the JSON fallback signal.
 void SendLineBestEffort(int fd, std::string line) {
   line.push_back('\n');
   [[maybe_unused]] ssize_t n =
       ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
 }
+
+/// iovec segments per sendmsg. Each queued frame spends at most two (owned
+/// head + shared template body), so one flush coalesces up to 32 responses.
+constexpr size_t kMaxIov = 64;
 
 Gauge* OpenConnectionsGauge() {
   static Gauge* gauge = GlobalMetrics().GetGauge(
@@ -58,6 +66,25 @@ Gauge* EpollWakeupsGauge() {
   static Gauge* gauge = GlobalMetrics().GetGauge(
       "bionav_server_epoll_wakeups", "Reactor epoll_wait returns (monotone)");
   return gauge;
+}
+
+Counter* RxBytesCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_server_bytes_rx_total", "Request bytes read from client sockets");
+  return counter;
+}
+
+Counter* TxBytesCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_server_bytes_tx_total",
+      "Response bytes written to client sockets");
+  return counter;
+}
+
+LatencyHistogram* FlushBatchHistogram() {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_server_flush_batch", "Response frames coalesced per sendmsg");
+  return hist;
 }
 
 LatencyHistogram* ReadToDispatchHistogram() {
@@ -284,19 +311,68 @@ void NavServer::OnConnectionEvent(const ConnPtr& conn, uint32_t events) {
   if (events & EventLoop::kReadable) ReadConnection(conn);
 }
 
+bool NavServer::FeedConnection(const ConnPtr& conn, std::string_view data) {
+  if (!conn->proto_decided) {
+    conn->preamble.append(data.data(), data.size());
+    if (conn->preamble.empty()) return true;
+    if (conn->preamble[0] != kBinaryPreamble[0]) {
+      // A JSON request line always starts with '{': the connection is v1.
+      // Replay everything buffered so far into the line decoder.
+      conn->proto = WireProto::kJson;
+      conn->proto_decided = true;
+      std::string buffered = std::move(conn->preamble);
+      conn->preamble.clear();
+      return conn->decoder.Feed(buffered);
+    }
+    if (conn->preamble.size() < sizeof(kBinaryPreamble)) return true;
+    if (std::memcmp(conn->preamble.data(), kBinaryPreamble,
+                    sizeof(kBinaryPreamble)) != 0) {
+      conn->preamble_error = true;
+      return false;
+    }
+    conn->proto = WireProto::kBinary;
+    conn->proto_decided = true;
+    std::string buffered = std::move(conn->preamble);
+    conn->preamble.clear();
+    return conn->bdecoder.Feed(
+        std::string_view(buffered).substr(sizeof(kBinaryPreamble)));
+  }
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.Feed(data)
+                                           : conn->decoder.Feed(data);
+}
+
+bool NavServer::HasBufferedFrame(const ConnPtr& conn) const {
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.has_frame()
+                                           : conn->decoder.has_frame();
+}
+
+bool NavServer::NextBufferedFrame(const ConnPtr& conn, std::string* payload) {
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.Next(payload)
+                                           : conn->decoder.Next(payload);
+}
+
+bool NavServer::DecoderBroken(const ConnPtr& conn) const {
+  if (conn->preamble_error) return true;
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.broken()
+                                           : conn->decoder.overflowed();
+}
+
 void NavServer::ReadConnection(const ConnPtr& conn) {
   // Bounded reads per readiness event so one firehose connection cannot
   // starve its loop siblings; level-triggering redrives the remainder.
   char chunk[16384];
-  bool got_bytes = false;
+  int64_t received = 0;
   bool peer_eof = false;
   for (int i = 0; i < 4; ++i) {
     ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
-      got_bytes = true;
-      if (!conn->decoder.Feed(std::string_view(chunk,
-                                               static_cast<size_t>(n)))) {
-        break;  // Overflow latched; handled below.
+      received += n;
+      if (!FeedConnection(conn, std::string_view(chunk,
+                                                 static_cast<size_t>(n)))) {
+        break;  // Preamble error or broken decoder; handled below.
       }
       // A short read almost always means the buffer is drained — skip the
       // EAGAIN-confirming recv (level-triggering re-fires on the rare
@@ -313,35 +389,62 @@ void NavServer::ReadConnection(const ConnPtr& conn) {
     CloseConnection(conn);  // Reset or hard error: responses are moot.
     return;
   }
-  if (got_bytes) conn->last_activity_ms = SteadyNowMs();
+  if (received > 0) {
+    conn->last_activity_ms = SteadyNowMs();
+    bytes_rx_.fetch_add(received, std::memory_order_relaxed);
+    RxBytesCounter()->Increment(received);
+  }
 
   DispatchFrames(conn);
   if (conn->closed) return;
 
-  if (conn->decoder.overflowed()) {
-    // Slow-loris / runaway frame: answer with a typed error in sequence
-    // (after any complete frames that preceded it), then drain and close.
-    oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->preamble_error && !conn->draining) {
+    // First bytes were 'B'-led but not "BNV2": the peer speaks neither
+    // protocol. Answer in JSON (its encoding is unknowable) and close.
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     uint64_t seq = conn->next_dispatch_seq++;
     ++conn->inflight;
     conn->draining = true;
     conn->close_after_flush = true;
-    CompleteRequest(
-        conn, seq,
-        ErrorReply(WireError::kBadRequest,
-                   "request frame exceeds " +
-                       std::to_string(options_.max_frame_bytes) + " bytes"));
+    CompleteRequest(conn, seq,
+                    WireResponse::Error(WireProto::kJson,
+                                        WireError::kBadRequest,
+                                        "unrecognized protocol preamble"));
+    return;
+  }
+  if (DecoderBroken(conn) && !conn->draining) {
+    // Slow-loris / runaway frame (either framing), or a binary stream that
+    // lost sync: answer with a typed error in sequence (after any complete
+    // frames that preceded it), then drain and close.
+    bool oversized = conn->proto == WireProto::kBinary
+                         ? conn->bdecoder.overflowed()
+                         : conn->decoder.overflowed();
+    if (oversized) oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    conn->draining = true;
+    conn->close_after_flush = true;
+    std::string message =
+        oversized ? "request frame exceeds " +
+                        std::to_string(options_.max_frame_bytes) + " bytes"
+                  : "malformed binary frame header";
+    CompleteRequest(conn, seq,
+                    WireResponse::Error(conn->proto, WireError::kBadRequest,
+                                        message));
     return;
   }
   if (peer_eof) {
     // Half-close: the client is done sending. Already-buffered pipelined
-    // frames still execute and their responses flush before the close.
+    // frames still execute and their responses flush before the close. A
+    // mid-frame EOF (partial binary frame, unterminated line, or a torn
+    // preamble) has no buffered frame and closes cleanly here.
     conn->close_after_flush = true;
     UpdateInterest(conn);
     if (conn->inflight == 0 && conn->write_queue.empty() &&
-        !conn->decoder.has_frame()) {
+        !HasBufferedFrame(conn)) {
       CloseConnection(conn);
     }
     return;
@@ -355,24 +458,25 @@ void NavServer::DispatchFrames(const ConnPtr& conn) {
   // buffered frame. The outer invocation's loop drains them instead.
   if (conn->dispatching) return;
   conn->dispatching = true;
-  std::string line;
+  std::string payload;
   while (!conn->closed) {
     if (conn->draining) {
       // Shutdown drain: every queued pipelined request still gets a
       // definite answer instead of silence (no cap — answers are local).
-      if (!conn->decoder.Next(&line)) break;
-      if (line.empty()) continue;
+      if (!NextBufferedFrame(conn, &payload)) break;
+      if (payload.empty() && conn->proto == WireProto::kJson) continue;
       requests_.fetch_add(1, std::memory_order_relaxed);
       uint64_t seq = conn->next_dispatch_seq++;
       ++conn->inflight;
       CompleteRequest(conn, seq,
-                      ErrorReply(WireError::kShuttingDown,
-                                 "server is draining"));
+                      WireResponse::Error(conn->proto,
+                                          WireError::kShuttingDown,
+                                          "server is draining"));
       continue;
     }
     if (conn->inflight >= options_.max_inflight_per_connection) break;
-    if (!conn->decoder.Next(&line)) break;
-    if (line.empty()) continue;
+    if (!NextBufferedFrame(conn, &payload)) break;
+    if (payload.empty() && conn->proto == WireProto::kJson) continue;
     uint64_t seq = conn->next_dispatch_seq++;
     ++conn->inflight;
     // Inline fast path: with no pipeline backlog, a request that cannot
@@ -382,26 +486,35 @@ void NavServer::DispatchFrames(const ConnPtr& conn) {
     // dominate the latency of the warm interactive case the cache exists
     // to serve. With a backlog the parse itself moves to the pool.
     if (conn->inflight == 1) {
-      Request request;
+      Request request;  // Owned storage for the JSON parse path.
+      RequestView view;
       std::string error_message;
-      WireError parse_error = ParseRequest(line, &request, &error_message);
+      WireError parse_error;
+      if (conn->proto == WireProto::kBinary) {
+        parse_error = ParseRequestBinary(payload, &view, &error_message);
+      } else {
+        parse_error = ParseRequest(payload, &request, &error_message);
+        if (parse_error == WireError::kNone) view = MakeRequestView(request);
+      }
       if (parse_error != WireError::kNone) {
         ReadToDispatchHistogram()->Record(0);
-        CompleteRequest(conn, seq, HandleParseError(parse_error, error_message));
+        CompleteRequest(
+            conn, seq,
+            HandleParseError(conn->proto, parse_error, error_message));
         continue;  // The loop condition re-checks closed.
       }
-      if (FastPathEligible(request)) {
+      if (FastPathEligible(view)) {
         ReadToDispatchHistogram()->Record(0);
-        CompleteRequest(conn, seq, HandleRequest(request));
+        CompleteRequest(conn, seq, HandleRequest(view, conn->proto));
         continue;
       }
     }
-    DispatchRequest(conn, seq, std::move(line));
+    DispatchRequest(conn, seq, std::move(payload));
   }
   conn->dispatching = false;
 }
 
-bool NavServer::FastPathEligible(const Request& request) const {
+bool NavServer::FastPathEligible(const RequestView& request) const {
   if (request.op != RequestOp::kQuery) return false;
   // Contains() is false for entries still building (singleflight), so an
   // inline Open never waits behind a cold tree build. The probe can go
@@ -412,30 +525,32 @@ bool NavServer::FastPathEligible(const Request& request) const {
 }
 
 void NavServer::DispatchRequest(const ConnPtr& conn, uint64_t seq,
-                                std::string line) {
+                                std::string payload) {
   EventLoop* loop = loops_[conn->loop_index].get();
+  WireProto proto = conn->proto;  // Loop-thread state; read before Submit.
   int64_t decoded_us = SteadyNowUs();
-  pool_.Submit([this, loop, conn, seq, decoded_us,
-                line = std::move(line)]() mutable {
+  pool_.Submit([this, loop, conn, seq, proto, decoded_us,
+                payload = std::move(payload)]() mutable {
     ReadToDispatchHistogram()->Record(SteadyNowUs() - decoded_us);
-    std::string response = HandleRequestLine(line);
-    loop->RunInLoop([this, conn, seq, response = std::move(response)]() mutable {
+    WireFrame response = HandleFrame(proto, payload);
+    loop->RunInLoop([this, conn, seq,
+                     response = std::move(response)]() mutable {
       CompleteRequest(conn, seq, std::move(response));
     });
   });
 }
 
 void NavServer::CompleteRequest(const ConnPtr& conn, uint64_t seq,
-                                std::string response) {
+                                WireFrame response) {
   if (conn->closed) return;  // Completion raced with a reset/force-close.
   --conn->inflight;
-  response.push_back('\n');
   if (seq == conn->next_release_seq && conn->completed.empty()) {
     // In-order completion — the only case on the inline fast path and the
     // common one under pipelining — skips the reorder map and its per-node
     // allocation.
-    conn->write_queue_bytes += response.size();
-    WriteQueueBytesGauge()->Add(static_cast<int64_t>(response.size()));
+    size_t bytes = response.size();
+    conn->write_queue_bytes += bytes;
+    WriteQueueBytesGauge()->Add(static_cast<int64_t>(bytes));
     conn->write_queue.push_back(std::move(response));
     ++conn->next_release_seq;
   } else {
@@ -445,9 +560,10 @@ void NavServer::CompleteRequest(const ConnPtr& conn, uint64_t seq,
     // pool finished them in.
     while (!conn->completed.empty() &&
            conn->completed.begin()->first == conn->next_release_seq) {
-      std::string& ready = conn->completed.begin()->second;
-      conn->write_queue_bytes += ready.size();
-      WriteQueueBytesGauge()->Add(static_cast<int64_t>(ready.size()));
+      WireFrame& ready = conn->completed.begin()->second;
+      size_t bytes = ready.size();
+      conn->write_queue_bytes += bytes;
+      WriteQueueBytesGauge()->Add(static_cast<int64_t>(bytes));
       conn->write_queue.push_back(std::move(ready));
       conn->completed.erase(conn->completed.begin());
       ++conn->next_release_seq;
@@ -457,32 +573,74 @@ void NavServer::CompleteRequest(const ConnPtr& conn, uint64_t seq,
   if (conn->closed) return;
   // Capacity freed (inflight slot and possibly queue bytes): pull more
   // buffered frames, then recompute read interest.
-  if (conn->decoder.has_frame()) DispatchFrames(conn);
+  if (HasBufferedFrame(conn)) DispatchFrames(conn);
   if (!conn->closed) UpdateInterest(conn);
 }
 
 void NavServer::FlushWrites(const ConnPtr& conn) {
   while (!conn->write_queue.empty()) {
-    const std::string& front = conn->write_queue.front();
-    ssize_t n = ::send(conn->fd, front.data() + conn->write_offset,
-                       front.size() - conn->write_offset, MSG_NOSIGNAL);
+    // Coalesce the ready responses into one sendmsg. Template-served
+    // responses contribute their shared body segment by reference — the
+    // kernel reads the cached bytes in place, no copy, no re-render.
+    iovec iov[kMaxIov];
+    size_t iov_count = 0;
+    size_t batch_bytes = 0;
+    int64_t frames = 0;
+    size_t skip = conn->write_offset;  // Partially-written front frame.
+    for (const WireFrame& frame : conn->write_queue) {
+      if (iov_count + 2 > kMaxIov) break;
+      if (skip < frame.head.size()) {
+        iov[iov_count].iov_base =
+            const_cast<char*>(frame.head.data()) + skip;
+        iov[iov_count].iov_len = frame.head.size() - skip;
+        batch_bytes += iov[iov_count].iov_len;
+        ++iov_count;
+        skip = 0;
+      } else {
+        skip -= frame.head.size();
+      }
+      if (frame.body != nullptr) {
+        if (skip < frame.body->size()) {
+          iov[iov_count].iov_base =
+              const_cast<char*>(frame.body->data()) + skip;
+          iov[iov_count].iov_len = frame.body->size() - skip;
+          batch_bytes += iov[iov_count].iov_len;
+          ++iov_count;
+          skip = 0;
+        } else {
+          skip -= frame.body->size();
+        }
+      }
+      ++frames;
+    }
+    if (iov_count == 0) break;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       CloseConnection(conn);  // Peer gone; drop the queue.
       return;
     }
-    conn->write_offset += static_cast<size_t>(n);
+    FlushBatchHistogram()->Record(frames);
+    bytes_tx_.fetch_add(n, std::memory_order_relaxed);
+    TxBytesCounter()->Increment(n);
     conn->write_queue_bytes -= static_cast<size_t>(n);
     WriteQueueBytesGauge()->Add(-static_cast<int64_t>(n));
-    if (conn->write_offset < front.size()) break;  // Socket buffer full.
-    conn->write_queue.pop_front();
-    conn->write_offset = 0;
+    conn->write_offset += static_cast<size_t>(n);
+    while (!conn->write_queue.empty() &&
+           conn->write_offset >= conn->write_queue.front().size()) {
+      conn->write_offset -= conn->write_queue.front().size();
+      conn->write_queue.pop_front();
+    }
+    if (static_cast<size_t>(n) < batch_bytes) break;  // Socket buffer full.
   }
   UpdateInterest(conn);
   if (conn->close_after_flush && conn->inflight == 0 &&
       conn->write_queue.empty() && conn->completed.empty() &&
-      !conn->decoder.has_frame()) {
+      !HasBufferedFrame(conn)) {
     CloseConnection(conn);
   }
 }
@@ -490,7 +648,7 @@ void NavServer::FlushWrites(const ConnPtr& conn) {
 void NavServer::UpdateInterest(const ConnPtr& conn) {
   if (conn->closed) return;
   bool want_read = !conn->draining && !conn->close_after_flush &&
-                   !conn->decoder.overflowed() &&
+                   !DecoderBroken(conn) &&
                    conn->inflight < options_.max_inflight_per_connection &&
                    conn->write_queue_bytes < options_.max_write_queue_bytes;
   bool want_write = !conn->write_queue.empty();
@@ -556,129 +714,221 @@ void NavServer::DrainConnection(const ConnPtr& conn) {
   }
 }
 
-std::string NavServer::HandleRequestLine(const std::string& line) {
+WireFrame NavServer::HandleFrame(WireProto proto, const std::string& payload) {
+  if (proto == WireProto::kBinary) {
+    // Arena decode: the view's string fields point into `payload`, which
+    // outlives the whole handler call.
+    RequestView view;
+    std::string error_message;
+    WireError error = ParseRequestBinary(payload, &view, &error_message);
+    if (error != WireError::kNone) {
+      return HandleParseError(proto, error, error_message);
+    }
+    return HandleRequest(view, proto);
+  }
   Request request;
   std::string error_message;
-  WireError error = ParseRequest(line, &request, &error_message);
+  WireError error = ParseRequest(payload, &request, &error_message);
   if (error != WireError::kNone) {
-    return HandleParseError(error, error_message);
+    return HandleParseError(proto, error, error_message);
   }
-  return HandleRequest(request);
+  return HandleRequest(MakeRequestView(request), proto);
 }
 
-std::string NavServer::HandleParseError(WireError error,
-                                        const std::string& message) {
+WireFrame NavServer::HandleParseError(WireProto proto, WireError error,
+                                      const std::string& message) {
   CountRequest();
   static Counter* errors = GlobalMetrics().GetCounter(
       "bionav_server_protocol_errors_total",
-      "Request lines rejected before dispatch");
+      "Request frames rejected before dispatch");
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   errors->Increment();
-  return ErrorReply(error, message);
+  return WireResponse::Error(proto, error, message);
 }
 
 void NavServer::CountRequest() {
   requests_.fetch_add(1, std::memory_order_relaxed);
   static Counter* requests = GlobalMetrics().GetCounter(
-      "bionav_server_requests_total", "Request lines received");
+      "bionav_server_requests_total", "Request frames received");
   requests->Increment();
 }
 
-std::string NavServer::HandleRequest(const Request& request) {
+WireFrame NavServer::HandleRequest(const RequestView& request,
+                                   WireProto proto) {
   CountRequest();
   TraceSpan span("server_op", OpLatencyHistogram(request.op));
   switch (request.op) {
-    case RequestOp::kQuery: return HandleQuery(request);
-    case RequestOp::kExpand: return HandleExpand(request);
-    case RequestOp::kShowResults: return HandleShowResults(request);
-    case RequestOp::kBacktrack: return HandleBacktrack(request);
-    case RequestOp::kFind: return HandleFind(request);
-    case RequestOp::kView: return HandleView(request);
-    case RequestOp::kClose: return HandleClose(request);
-    case RequestOp::kStats: return HandleStats(request);
-    case RequestOp::kMetrics: return HandleMetrics(request);
+    case RequestOp::kQuery: return HandleQuery(request, proto);
+    case RequestOp::kExpand: return HandleExpand(request, proto);
+    case RequestOp::kShowResults: return HandleShowResults(request, proto);
+    case RequestOp::kBacktrack: return HandleBacktrack(request, proto);
+    case RequestOp::kFind: return HandleFind(request, proto);
+    case RequestOp::kView: return HandleView(request, proto);
+    case RequestOp::kClose: return HandleClose(request, proto);
+    case RequestOp::kStats: return HandleStats(request, proto);
+    case RequestOp::kMetrics: return HandleMetrics(request, proto);
   }
-  return ErrorReply(WireError::kInternal, "unhandled op");
+  return WireResponse::Error(proto, WireError::kInternal, "unhandled op");
 }
 
 namespace {
 
 /// A SessionManager-level NotFound means the token is not live; op-level
 /// statuses pass through with their own codes (see WithSession contract).
-std::string SessionErrorReply(const Status& status) {
+WireFrame SessionErrorFrame(WireProto proto, const Status& status) {
   if (status.code() == StatusCode::kNotFound) {
-    return ErrorReply(WireError::kUnknownSession, status.message());
+    return WireResponse::Error(proto, WireError::kUnknownSession,
+                               status.message());
   }
-  return ErrorReply(WireErrorFromStatus(status), status.message());
+  return WireResponse::Error(proto, WireErrorFromStatus(status),
+                             status.message());
 }
 
 }  // namespace
 
-std::string NavServer::HandleQuery(const Request& request) {
+WireFrame NavServer::HandleQuery(const RequestView& request, WireProto proto) {
   if (shutting_down_.load(std::memory_order_acquire)) {
-    return ErrorReply(WireError::kShuttingDown, "server is draining");
+    return WireResponse::Error(proto, WireError::kShuttingDown,
+                               "server is draining");
   }
   Result<SessionManager::CreateInfo> info =
-      sessions_.CreateSession(request.query);
+      sessions_.CreateSession(std::string(request.query));
   if (!info.ok()) {
-    return ErrorReply(WireErrorFromStatus(info.status()),
-                      info.status().message());
+    return WireResponse::Error(proto, WireErrorFromStatus(info.status()),
+                               info.status().message());
   }
-  return ResponseBuilder(RequestOp::kQuery)
-      .Add("token", std::string_view(info.ValueOrDie().token))
-      .Add("result_size", static_cast<uint64_t>(info.ValueOrDie().result_size))
-      .Add("cached", info.ValueOrDie().cache_hit)
+  const SessionManager::CreateInfo& created = info.ValueOrDie();
+  WireResponse response(proto, RequestOp::kQuery);
+  response.AddString(WireField::kToken, created.token);
+  if (created.cache_hit && created.artifacts != nullptr) {
+    // Warm path: every session of a cached query answers with the same
+    // (result_size, cached:true) suffix — rendered once per encoding on
+    // the shared bundle, then served by reference forever after.
+    std::shared_ptr<const std::string> payload =
+        created.artifacts->templates.GetOrRender(
+            "Q", static_cast<int>(proto), [&] {
+              return WirePayload(proto)
+                  .AddUInt(WireField::kResultSize, created.result_size)
+                  .AddBool(WireField::kCached, true)
+                  .Finish();
+            });
+    return response.FinishWithPayload(std::move(payload));
+  }
+  return response.AddUInt(WireField::kResultSize, created.result_size)
+      .AddBool(WireField::kCached, created.cache_hit)
       .Finish();
 }
 
-std::string NavServer::HandleExpand(const Request& request) {
+WireFrame NavServer::HandleExpand(const RequestView& request,
+                                  WireProto proto) {
   std::vector<NavNodeId> revealed;
+  std::shared_ptr<const QueryArtifacts> artifacts;
+  std::string template_key;
   Status status = sessions_.WithSession(
       request.token, [&](NavigationSession& session) -> Status {
+        // Template eligibility must be probed before Expand mutates the
+        // active tree: expanding a *visible* node whose component was
+        // never split reveals a node set that is a pure function of the
+        // frozen artifacts (tree + cost model + shared strategy), so the
+        // serialized reply is identical across sessions and cacheable.
+        bool eligible = false;
+        if (request.node >= 0 &&
+            static_cast<size_t>(request.node) <
+                session.navigation_tree().size()) {
+          const ActiveTree& active = session.active_tree();
+          if (active.IsVisible(request.node)) {
+            eligible =
+                active.ComponentIsIntact(active.ComponentOf(request.node));
+          }
+        }
         Result<std::vector<NavNodeId>> r = session.Expand(request.node);
         if (!r.ok()) return r.status();
         revealed = r.TakeValue();
+        if (eligible) {
+          artifacts = session.artifacts();
+          template_key = "E|" + std::to_string(request.node);
+        }
         return Status::OK();
       });
-  if (!status.ok()) return SessionErrorReply(status);
-  std::string ids = "[";
-  for (size_t i = 0; i < revealed.size(); ++i) {
-    if (i > 0) ids.push_back(',');
-    ids += std::to_string(revealed[i]);
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  WireResponse response(proto, RequestOp::kExpand);
+  if (artifacts != nullptr) {
+    std::shared_ptr<const std::string> payload =
+        artifacts->templates.GetOrRender(
+            template_key, static_cast<int>(proto), [&] {
+              return WirePayload(proto)
+                  .AddIntList(WireField::kRevealed, revealed)
+                  .Finish();
+            });
+    return response.FinishWithPayload(std::move(payload));
   }
-  ids.push_back(']');
-  return ResponseBuilder(RequestOp::kExpand).AddRaw("revealed", ids).Finish();
+  return response.AddIntList(WireField::kRevealed, revealed).Finish();
 }
 
-std::string NavServer::HandleShowResults(const Request& request) {
+WireFrame NavServer::HandleShowResults(const RequestView& request,
+                                       WireProto proto) {
   std::vector<CitationSummary> summaries;
+  std::shared_ptr<const QueryArtifacts> artifacts;
+  std::string template_key;
   Status status = sessions_.WithSession(
       request.token, [&](NavigationSession& session) -> Status {
         Result<std::vector<CitationSummary>> r = session.ShowResults(
             request.node, request.retstart, request.retmax);
         if (!r.ok()) return r.status();
         summaries = r.TakeValue();
+        // Same intact-component gate as EXPAND: the citations attached
+        // under a visible, never-split component are exactly its frozen
+        // navigation subtree's, and their ranking depends only on the
+        // session query — which therefore joins the template key.
+        if (request.node >= 0 &&
+            static_cast<size_t>(request.node) <
+                session.navigation_tree().size()) {
+          const ActiveTree& active = session.active_tree();
+          if (active.IsVisible(request.node) &&
+              active.ComponentIsIntact(active.ComponentOf(request.node))) {
+            artifacts = session.artifacts();
+            template_key = "S|" + std::to_string(request.node) + "|" +
+                           std::to_string(request.retstart) + "|" +
+                           std::to_string(request.retmax) + "|" +
+                           session.query();
+          }
+        }
         return Status::OK();
       });
-  if (!status.ok()) return SessionErrorReply(status);
-  return ResponseBuilder(RequestOp::kShowResults)
-      .Add("total", static_cast<uint64_t>(summaries.size()))
-      .AddRaw("summaries", SummariesToJson(summaries))
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  WireResponse response(proto, RequestOp::kShowResults);
+  if (artifacts != nullptr) {
+    std::shared_ptr<const std::string> payload =
+        artifacts->templates.GetOrRender(
+            template_key, static_cast<int>(proto), [&] {
+              return WirePayload(proto)
+                  .AddUInt(WireField::kTotal, summaries.size())
+                  .AddRawJson(WireField::kSummaries,
+                              SummariesToJson(summaries))
+                  .Finish();
+            });
+    return response.FinishWithPayload(std::move(payload));
+  }
+  return response.AddUInt(WireField::kTotal, summaries.size())
+      .AddRawJson(WireField::kSummaries, SummariesToJson(summaries))
       .Finish();
 }
 
-std::string NavServer::HandleBacktrack(const Request& request) {
+WireFrame NavServer::HandleBacktrack(const RequestView& request,
+                                     WireProto proto) {
   bool undone = false;
   Status status = sessions_.WithSession(
       request.token, [&](NavigationSession& session) -> Status {
         undone = session.Backtrack();
         return Status::OK();
       });
-  if (!status.ok()) return SessionErrorReply(status);
-  return ResponseBuilder(RequestOp::kBacktrack).Add("undone", undone).Finish();
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  return WireResponse(proto, RequestOp::kBacktrack)
+      .AddBool(WireField::kUndone, undone)
+      .Finish();
 }
 
-std::string NavServer::HandleFind(const Request& request) {
+WireFrame NavServer::HandleFind(const RequestView& request, WireProto proto) {
   bool found = false, visible = false;
   NavNodeId node = kInvalidNavNode, root = kInvalidNavNode;
   int distinct = 0;
@@ -695,17 +945,17 @@ std::string NavServer::HandleFind(const Request& request) {
         distinct = active.ComponentDistinctCount(comp);
         return Status::OK();
       });
-  if (!status.ok()) return SessionErrorReply(status);
-  return ResponseBuilder(RequestOp::kFind)
-      .Add("found", found)
-      .Add("node", static_cast<int64_t>(node))
-      .Add("visible", visible)
-      .Add("component_root", static_cast<int64_t>(root))
-      .Add("distinct", static_cast<int64_t>(distinct))
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  return WireResponse(proto, RequestOp::kFind)
+      .AddBool(WireField::kFound, found)
+      .AddInt(WireField::kNode, static_cast<int64_t>(node))
+      .AddBool(WireField::kVisible, visible)
+      .AddInt(WireField::kComponentRoot, static_cast<int64_t>(root))
+      .AddInt(WireField::kDistinct, static_cast<int64_t>(distinct))
       .Finish();
 }
 
-std::string NavServer::HandleView(const Request& request) {
+WireFrame NavServer::HandleView(const RequestView& request, WireProto proto) {
   std::string tree;
   Status status = sessions_.WithSession(
       request.token, [&](NavigationSession& session) -> Status {
@@ -713,20 +963,25 @@ std::string NavServer::HandleView(const Request& request) {
                                    request.depth);
         return Status::OK();
       });
-  if (!status.ok()) return SessionErrorReply(status);
-  return ResponseBuilder(RequestOp::kView).AddRaw("tree", tree).Finish();
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  return WireResponse(proto, RequestOp::kView)
+      .AddRawJson(WireField::kTree, tree)
+      .Finish();
 }
 
-std::string NavServer::HandleClose(const Request& request) {
+WireFrame NavServer::HandleClose(const RequestView& request, WireProto proto) {
   bool closed = sessions_.Close(request.token);
   if (!closed) {
-    return ErrorReply(WireError::kUnknownSession,
-                      "unknown session '" + request.token + "'");
+    return WireResponse::Error(
+        proto, WireError::kUnknownSession,
+        "unknown session '" + std::string(request.token) + "'");
   }
-  return ResponseBuilder(RequestOp::kClose).Add("closed", true).Finish();
+  return WireResponse(proto, RequestOp::kClose)
+      .AddBool(WireField::kClosed, true)
+      .Finish();
 }
 
-std::string NavServer::HandleStats(const Request&) {
+WireFrame NavServer::HandleStats(const RequestView&, WireProto proto) {
   NavServerStats s = stats();
   std::string sessions =
       "{\"active\":" + std::to_string(s.sessions.active) +
@@ -750,24 +1005,30 @@ std::string NavServer::HandleStats(const Request&) {
       ",\"entries\":" + std::to_string(c.entries) +
       ",\"bytes\":" + std::to_string(c.bytes) +
       ",\"build_us_saved\":" + std::to_string(c.build_us_saved) + "}";
-  return ResponseBuilder(RequestOp::kStats)
-      .Add("connections_accepted", s.connections_accepted)
-      .Add("connections_shed", s.connections_shed)
-      .Add("connections_open", s.connections_open)
-      .Add("connections_idle_closed", s.connections_idle_closed)
-      .Add("requests", s.requests)
-      .Add("protocol_errors", s.protocol_errors)
-      .Add("oversized_frames", s.oversized_frames)
-      .Add("epoll_wakeups", s.epoll_wakeups)
-      .Add("threads", pool_.num_threads())
-      .Add("io_threads", static_cast<int64_t>(loops_.size()))
-      .AddRaw("sessions", sessions)
-      .AddRaw("cache", cache_json)
-      .AddRaw("metrics", GlobalMetrics().ToJson())
-      .Finish();
+  // The exposition-sized payload has no hot-path template; both protocols
+  // carry the identical JSON document (binary wraps it as a kWhole field).
+  std::string line =
+      ResponseBuilder(RequestOp::kStats)
+          .Add("connections_accepted", s.connections_accepted)
+          .Add("connections_shed", s.connections_shed)
+          .Add("connections_open", s.connections_open)
+          .Add("connections_idle_closed", s.connections_idle_closed)
+          .Add("requests", s.requests)
+          .Add("protocol_errors", s.protocol_errors)
+          .Add("oversized_frames", s.oversized_frames)
+          .Add("epoll_wakeups", s.epoll_wakeups)
+          .Add("bytes_rx", s.bytes_rx)
+          .Add("bytes_tx", s.bytes_tx)
+          .Add("threads", pool_.num_threads())
+          .Add("io_threads", static_cast<int64_t>(loops_.size()))
+          .AddRaw("sessions", sessions)
+          .AddRaw("cache", cache_json)
+          .AddRaw("metrics", GlobalMetrics().ToJson())
+          .Finish();
+  return WrapWholeJson(proto, std::move(line));
 }
 
-std::string NavServer::HandleMetrics(const Request&) {
+WireFrame NavServer::HandleMetrics(const RequestView&, WireProto proto) {
   int64_t wakeups = 0;
   for (const std::unique_ptr<EventLoop>& loop : loops_) {
     wakeups += loop->wakeups();
@@ -776,9 +1037,11 @@ std::string NavServer::HandleMetrics(const Request&) {
   // The exposition travels as one JSON string field; JsonEscape turns the
   // newlines into \n so the line protocol survives, and clients (or
   // `bionav_cli stats --prom`) unescape on print.
-  return ResponseBuilder(RequestOp::kMetrics)
-      .Add("text", std::string_view(GlobalMetrics().ToPrometheusText()))
-      .Finish();
+  std::string line =
+      ResponseBuilder(RequestOp::kMetrics)
+          .Add("text", std::string_view(GlobalMetrics().ToPrometheusText()))
+          .Finish();
+  return WrapWholeJson(proto, std::move(line));
 }
 
 NavServerStats NavServer::stats() const {
@@ -792,6 +1055,8 @@ NavServerStats NavServer::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.oversized_frames = oversized_frames_.load(std::memory_order_relaxed);
+  s.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
+  s.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
   for (const std::unique_ptr<EventLoop>& loop : loops_) {
     s.epoll_wakeups += loop->wakeups();
   }

@@ -67,13 +67,23 @@ struct NavServerStats {
   int64_t protocol_errors = 0;
   int64_t oversized_frames = 0;
   int64_t epoll_wakeups = 0;
+  /// Wire bytes received/sent across all connections (both protocols).
+  int64_t bytes_rx = 0;
+  int64_t bytes_tx = 0;
   SessionManagerStats sessions;
 };
 
 /// The navigation service of the paper's Section VII deployment, serving
-/// the line-delimited protocol of server/protocol.h over TCP — rebuilt as
-/// an event-driven reactor so "heavy traffic from millions of users" is a
-/// connection-count problem, not a thread-count problem.
+/// the wire protocol of server/protocol.h over TCP — rebuilt as an
+/// event-driven reactor so "heavy traffic from millions of users" is a
+/// connection-count problem, not a thread-count problem. Each connection
+/// negotiates its encoding on its first bytes: the "BNV2" preamble selects
+/// length-prefixed binary v2; everything else stays line-delimited JSON v1,
+/// so one server concurrently serves a mixed fleet. Hot responses
+/// (cache-hit QUERY, first EXPAND/SHOWRESULTS of an intact component) are
+/// served from pre-rendered templates on the shared QueryArtifacts — one
+/// serialization per (request shape, encoding), then writev of {owned
+/// header, shared body} for every later session.
 ///
 /// Threading: `io_threads` reactor threads (EventLoop each) own the
 /// non-blocking sockets. They accept, assemble frames incrementally from
@@ -127,20 +137,32 @@ class NavServer {
   /// Per-connection reactor state. Every field is touched only on the
   /// owning loop's thread; pool completions re-enter via RunInLoop.
   struct Connection {
-    explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+    explicit Connection(size_t max_frame_bytes)
+        : decoder(max_frame_bytes), bdecoder(max_frame_bytes) {}
 
     int fd = -1;
     size_t loop_index = 0;
-    LineFrameDecoder decoder;
+    /// Wire encoding, decided by the connection's very first bytes: the
+    /// "BNV2" preamble selects binary; anything else (a JSON line always
+    /// starts with '{') keeps v1 JSON. Until decided, bytes accumulate in
+    /// `preamble` (at most 4) and neither decoder is fed.
+    WireProto proto = WireProto::kJson;
+    bool proto_decided = false;
+    /// First bytes were 'B'-led but not the preamble: answer BAD_REQUEST
+    /// (in JSON — the peer's encoding is unknowable) and close.
+    bool preamble_error = false;
+    std::string preamble;
+    LineFrameDecoder decoder;     // JSON framing.
+    BinaryFrameDecoder bdecoder;  // Binary framing.
     /// Responses released in order, front may be partially written.
-    std::deque<std::string> write_queue;
+    std::deque<WireFrame> write_queue;
     size_t write_offset = 0;
     size_t write_queue_bytes = 0;
     /// Pipelining bookkeeping: requests are numbered on decode; responses
     /// park in `completed` until every earlier one has been released.
     uint64_t next_dispatch_seq = 0;
     uint64_t next_release_seq = 0;
-    std::map<uint64_t, std::string> completed;
+    std::map<uint64_t, WireFrame> completed;
     int inflight = 0;
     bool reading = true;      // kReadable currently in the interest set.
     bool want_write = false;  // kWritable currently in the interest set.
@@ -158,19 +180,30 @@ class NavServer {
   void AdmitConnection(int fd);
   void OnConnectionEvent(const ConnPtr& conn, uint32_t events);
   void ReadConnection(const ConnPtr& conn);
+  /// Routes received bytes through protocol negotiation into the
+  /// connection's decoder. False once the stream is unrecoverable
+  /// (preamble error or a broken decoder latch).
+  bool FeedConnection(const ConnPtr& conn, std::string_view data);
+  /// Negotiation-aware views over the connection's active decoder.
+  bool HasBufferedFrame(const ConnPtr& conn) const;
+  bool NextBufferedFrame(const ConnPtr& conn, std::string* payload);
+  bool DecoderBroken(const ConnPtr& conn) const;
   /// Decodes buffered frames and dispatches them to the pool (or answers
   /// SHUTTING_DOWN when draining). Honors the pipelining cap.
   void DispatchFrames(const ConnPtr& conn);
-  void DispatchRequest(const ConnPtr& conn, uint64_t seq, std::string line);
+  void DispatchRequest(const ConnPtr& conn, uint64_t seq,
+                       std::string payload);
   /// True when a parsed request may execute inline on the reactor thread
   /// without risking a loop stall: a QUERY whose artifacts the cache
   /// already holds built. (Parse failures are always inline-safe — their
-  /// reply is a constant error line — and are handled before this check.)
-  bool FastPathEligible(const Request& request) const;
+  /// reply is a constant error frame — and are handled before this check.)
+  bool FastPathEligible(const RequestView& request) const;
   /// Loop-thread: files a finished response under its sequence number and
   /// releases every in-order response to the write queue.
   void CompleteRequest(const ConnPtr& conn, uint64_t seq,
-                       std::string response);
+                       WireFrame response);
+  /// Coalesces every ready response (owned heads and shared template
+  /// bodies alike) into one sendmsg before re-arming EPOLLOUT.
   void FlushWrites(const ConnPtr& conn);
   void UpdateInterest(const ConnPtr& conn);
   /// (Re)arms the idle timer against last_activity_ms.
@@ -180,25 +213,26 @@ class NavServer {
   /// dispatches; buffered frames answered SHUTTING_DOWN; close on flush).
   void DrainConnection(const ConnPtr& conn);
 
-  /// Executes one request line (parse + dispatch), returns the response
-  /// line (no newline). Runs on a pool thread or inline on a reactor
-  /// thread; everything it touches is thread-safe.
-  std::string HandleRequestLine(const std::string& line);
+  /// Executes one request frame (parse + dispatch) in the connection's
+  /// encoding, returns the finished response frame. Runs on a pool thread
+  /// or inline on a reactor thread; everything it touches is thread-safe.
+  WireFrame HandleFrame(WireProto proto, const std::string& payload);
   /// Dispatches an already-parsed request (the inline fast path parses on
   /// the loop thread and must not pay for a second parse).
-  std::string HandleRequest(const Request& request);
-  std::string HandleParseError(WireError error, const std::string& message);
+  WireFrame HandleRequest(const RequestView& request, WireProto proto);
+  WireFrame HandleParseError(WireProto proto, WireError error,
+                             const std::string& message);
   void CountRequest();
 
-  std::string HandleQuery(const Request& request);
-  std::string HandleExpand(const Request& request);
-  std::string HandleShowResults(const Request& request);
-  std::string HandleBacktrack(const Request& request);
-  std::string HandleFind(const Request& request);
-  std::string HandleView(const Request& request);
-  std::string HandleClose(const Request& request);
-  std::string HandleStats(const Request& request);
-  std::string HandleMetrics(const Request& request);
+  WireFrame HandleQuery(const RequestView& request, WireProto proto);
+  WireFrame HandleExpand(const RequestView& request, WireProto proto);
+  WireFrame HandleShowResults(const RequestView& request, WireProto proto);
+  WireFrame HandleBacktrack(const RequestView& request, WireProto proto);
+  WireFrame HandleFind(const RequestView& request, WireProto proto);
+  WireFrame HandleView(const RequestView& request, WireProto proto);
+  WireFrame HandleClose(const RequestView& request, WireProto proto);
+  WireFrame HandleStats(const RequestView& request, WireProto proto);
+  WireFrame HandleMetrics(const RequestView& request, WireProto proto);
 
   NavServerOptions options_;
   SessionManager sessions_;
@@ -229,6 +263,8 @@ class NavServer {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> oversized_frames_{0};
+  std::atomic<int64_t> bytes_rx_{0};
+  std::atomic<int64_t> bytes_tx_{0};
 };
 
 }  // namespace bionav

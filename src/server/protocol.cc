@@ -718,4 +718,674 @@ std::string ResponseBuilder::Finish() {
   return std::move(out_);
 }
 
+// ---------------------------------------------------------------------------
+// Binary protocol v2
+// ---------------------------------------------------------------------------
+
+const char* WireProtoName(WireProto proto) {
+  switch (proto) {
+    case WireProto::kJson: return "json";
+    case WireProto::kBinary: return "binary";
+  }
+  return "json";
+}
+
+void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool ReadVarint(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // More than 10 continuation bytes: not a valid varint.
+}
+
+namespace {
+
+void AppendU32LE(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t ReadU32LE(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+/// Self-describing value encodings of a binary field. Unknown field *ids*
+/// are skippable by type; an unknown *type* makes the frame undecodable.
+enum FieldType : uint8_t {
+  kFieldUVarint = 0,
+  kFieldSVarint = 1,
+  kFieldBool = 2,
+  kFieldString = 3,   // varint length + bytes
+  kFieldJson = 4,     // varint length + serialized JSON text
+  kFieldIntList = 5,  // varint count + zigzag varints
+};
+
+void AppendFieldUInt(std::string* out, uint8_t id, uint64_t value) {
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(kFieldUVarint));
+  AppendVarint(out, value);
+}
+
+void AppendFieldInt(std::string* out, uint8_t id, int64_t value) {
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(kFieldSVarint));
+  AppendVarint(out, ZigzagEncode(value));
+}
+
+void AppendFieldBool(std::string* out, uint8_t id, bool value) {
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(kFieldBool));
+  out->push_back(value ? '\1' : '\0');
+}
+
+void AppendFieldBytes(std::string* out, uint8_t id, uint8_t type,
+                      std::string_view bytes) {
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(type));
+  AppendVarint(out, bytes.size());
+  out->append(bytes);
+}
+
+void AppendFieldIntList(std::string* out, uint8_t id,
+                        const std::vector<NavNodeId>& ids) {
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(kFieldIntList));
+  AppendVarint(out, ids.size());
+  for (NavNodeId node : ids) {
+    AppendVarint(out, ZigzagEncode(static_cast<int64_t>(node)));
+  }
+}
+
+/// One decoded field value; which member is live depends on `type`.
+struct FieldValue {
+  uint64_t uval = 0;
+  int64_t ival = 0;
+  bool bval = false;
+  std::string_view bytes;          // kFieldString / kFieldJson
+  std::vector<int64_t> list;       // kFieldIntList
+};
+
+/// Decodes (and thereby skips) one field value of the given type at `*pos`.
+/// False on truncation, overlong lengths, or an unknown type.
+bool ReadFieldValue(std::string_view body, size_t* pos, uint8_t type,
+                    FieldValue* out) {
+  switch (type) {
+    case kFieldUVarint:
+      return ReadVarint(body, pos, &out->uval);
+    case kFieldSVarint: {
+      uint64_t raw = 0;
+      if (!ReadVarint(body, pos, &raw)) return false;
+      out->ival = ZigzagDecode(raw);
+      return true;
+    }
+    case kFieldBool:
+      if (*pos >= body.size()) return false;
+      out->bval = body[(*pos)++] != '\0';
+      return true;
+    case kFieldString:
+    case kFieldJson: {
+      uint64_t length = 0;
+      if (!ReadVarint(body, pos, &length)) return false;
+      if (length > body.size() - *pos) return false;
+      out->bytes = body.substr(*pos, length);
+      *pos += length;
+      return true;
+    }
+    case kFieldIntList: {
+      uint64_t count = 0;
+      if (!ReadVarint(body, pos, &count)) return false;
+      if (count > body.size() - *pos) return false;  // >= 1 byte per entry
+      out->list.clear();
+      out->list.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t raw = 0;
+        if (!ReadVarint(body, pos, &raw)) return false;
+        out->list.push_back(ZigzagDecode(raw));
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Binary request field ids (private to the request codec; response fields
+/// use the public WireField registry).
+enum ReqField : uint8_t {
+  kReqToken = 1,
+  kReqQuery = 2,
+  kReqNode = 3,
+  kReqConcept = 4,
+  kReqRetstart = 5,
+  kReqRetmax = 6,
+  kReqDepth = 7,
+};
+
+/// Error responses carry this op byte (JSON errors carry no "op" member).
+constexpr uint8_t kBinaryOpError = 0xFF;
+/// Whole-JSON passthrough frames (STATS/METRICS) carry this op byte; the
+/// decoder returns the embedded document, so the byte never surfaces.
+constexpr uint8_t kBinaryOpWhole = 0xFE;
+
+std::string FinishBinaryFrame(std::string body) {
+  std::string frame;
+  frame.reserve(kBinaryFrameHeaderBytes + body.size());
+  frame.push_back(static_cast<char>(kBinaryFrameMagic));
+  AppendU32LE(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BinaryFrameDecoder
+// ---------------------------------------------------------------------------
+
+bool BinaryFrameDecoder::Feed(std::string_view data) {
+  if (broken()) return false;
+  // Same lazy compaction policy as LineFrameDecoder.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+  ScanHead();
+  return !broken();
+}
+
+void BinaryFrameDecoder::ScanHead() {
+  if (broken()) return;
+  size_t avail = buffer_.size() - consumed_;
+  if (avail == 0) return;
+  if (static_cast<uint8_t>(buffer_[consumed_]) != kBinaryFrameMagic) {
+    corrupted_ = true;
+    return;
+  }
+  if (avail < kBinaryFrameHeaderBytes) return;
+  if (ReadU32LE(buffer_.data() + consumed_ + 1) > max_frame_bytes_) {
+    overflowed_ = true;
+  }
+}
+
+bool BinaryFrameDecoder::has_frame() const {
+  if (broken()) return false;
+  size_t avail = buffer_.size() - consumed_;
+  if (avail < kBinaryFrameHeaderBytes) return false;
+  return avail - kBinaryFrameHeaderBytes >=
+         ReadU32LE(buffer_.data() + consumed_ + 1);
+}
+
+bool BinaryFrameDecoder::Next(std::string* body) {
+  if (!has_frame()) return false;
+  uint32_t length = ReadU32LE(buffer_.data() + consumed_ + 1);
+  body->assign(buffer_, consumed_ + kBinaryFrameHeaderBytes, length);
+  consumed_ += kBinaryFrameHeaderBytes + length;
+  // Validate the next frame's head right away so broken() trips as soon as
+  // the stream goes bad, not one Feed later.
+  ScanHead();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Binary requests
+// ---------------------------------------------------------------------------
+
+RequestView MakeRequestView(const Request& request) {
+  RequestView view;
+  view.version = request.version;
+  view.op = request.op;
+  view.token = request.token;
+  view.query = request.query;
+  view.node = request.node;
+  view.concept_id = request.concept_id;
+  view.retstart = request.retstart;
+  view.retmax = request.retmax;
+  view.depth = request.depth;
+  return view;
+}
+
+std::string SerializeRequestBinary(const Request& request) {
+  std::string body;
+  body.push_back(static_cast<char>(kBinaryProtocolVersion));
+  body.push_back(static_cast<char>(request.op));
+  if (request.op == RequestOp::kQuery) {
+    AppendFieldBytes(&body, kReqQuery, kFieldString, request.query);
+  }
+  if (NeedsToken(request.op)) {
+    AppendFieldBytes(&body, kReqToken, kFieldString, request.token);
+  }
+  if (request.op == RequestOp::kExpand ||
+      request.op == RequestOp::kShowResults) {
+    AppendFieldInt(&body, kReqNode, static_cast<int64_t>(request.node));
+  }
+  if (request.op == RequestOp::kShowResults) {
+    AppendFieldUInt(&body, kReqRetstart, request.retstart);
+    AppendFieldUInt(&body, kReqRetmax, request.retmax);
+  }
+  if (request.op == RequestOp::kFind) {
+    AppendFieldInt(&body, kReqConcept, static_cast<int64_t>(request.concept_id));
+  }
+  if (request.op == RequestOp::kView) {
+    AppendFieldInt(&body, kReqDepth, request.depth);
+  }
+  return FinishBinaryFrame(std::move(body));
+}
+
+WireError ParseRequestBinary(std::string_view body, RequestView* out,
+                             std::string* error_message) {
+  if (body.size() < 2) {
+    *error_message = "binary request body too short";
+    return WireError::kBadRequest;
+  }
+  int version = static_cast<uint8_t>(body[0]);
+  if (version != kBinaryProtocolVersion) {
+    *error_message = "server speaks binary protocol version " +
+                     std::to_string(kBinaryProtocolVersion);
+    return WireError::kUnsupportedVersion;
+  }
+  uint8_t op_byte = static_cast<uint8_t>(body[1]);
+  if (op_byte > static_cast<uint8_t>(RequestOp::kMetrics)) {
+    *error_message = "unknown op byte " + std::to_string(op_byte);
+    return WireError::kBadRequest;
+  }
+  RequestView view;
+  view.version = version;
+  view.op = static_cast<RequestOp>(op_byte);
+  bool has_node = false;
+  bool has_concept = false;
+  size_t pos = 2;
+  while (pos < body.size()) {
+    if (pos + 2 > body.size()) {
+      *error_message = "truncated field header";
+      return WireError::kBadRequest;
+    }
+    uint8_t id = static_cast<uint8_t>(body[pos]);
+    uint8_t type = static_cast<uint8_t>(body[pos + 1]);
+    pos += 2;
+    FieldValue value;
+    if (!ReadFieldValue(body, &pos, type, &value)) {
+      *error_message = "malformed field " + std::to_string(id);
+      return WireError::kBadRequest;
+    }
+    // A known id with an unexpected type counts as absent (the per-op
+    // required-field validation below reports it), matching the JSON
+    // parser's treatment of ill-typed members.
+    switch (id) {
+      case kReqToken:
+        if (type == kFieldString) view.token = value.bytes;
+        break;
+      case kReqQuery:
+        if (type == kFieldString) view.query = value.bytes;
+        break;
+      case kReqNode:
+        if (type == kFieldSVarint) {
+          view.node = static_cast<NavNodeId>(value.ival);
+          has_node = true;
+        }
+        break;
+      case kReqConcept:
+        if (type == kFieldSVarint) {
+          view.concept_id = static_cast<ConceptId>(value.ival);
+          has_concept = true;
+        }
+        break;
+      case kReqRetstart:
+        if (type == kFieldUVarint) view.retstart = value.uval;
+        break;
+      case kReqRetmax:
+        if (type == kFieldUVarint) view.retmax = value.uval;
+        break;
+      case kReqDepth:
+        if (type == kFieldSVarint) view.depth = static_cast<int>(value.ival);
+        break;
+      default:
+        break;  // Unknown field: skipped by its self-describing type.
+    }
+  }
+  if (view.op == RequestOp::kQuery && view.query.empty()) {
+    *error_message = "QUERY requires a non-empty string field \"query\"";
+    return WireError::kBadRequest;
+  }
+  if (NeedsToken(view.op) && view.token.empty()) {
+    *error_message = std::string(RequestOpName(view.op)) +
+                     " requires a string field \"token\"";
+    return WireError::kBadRequest;
+  }
+  if ((view.op == RequestOp::kExpand || view.op == RequestOp::kShowResults) &&
+      !has_node) {
+    *error_message = std::string(RequestOpName(view.op)) +
+                     " requires a numeric field \"node\"";
+    return WireError::kBadRequest;
+  }
+  if (view.op == RequestOp::kFind && !has_concept) {
+    *error_message = "FIND requires a numeric field \"concept\"";
+    return WireError::kBadRequest;
+  }
+  *out = view;
+  error_message->clear();
+  return WireError::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Proto-generic responses
+// ---------------------------------------------------------------------------
+
+const char* WireFieldName(WireField field) {
+  switch (field) {
+    case WireField::kToken: return "token";
+    case WireField::kResultSize: return "result_size";
+    case WireField::kCached: return "cached";
+    case WireField::kRevealed: return "revealed";
+    case WireField::kTotal: return "total";
+    case WireField::kSummaries: return "summaries";
+    case WireField::kUndone: return "undone";
+    case WireField::kFound: return "found";
+    case WireField::kNode: return "node";
+    case WireField::kVisible: return "visible";
+    case WireField::kComponentRoot: return "component_root";
+    case WireField::kDistinct: return "distinct";
+    case WireField::kTree: return "tree";
+    case WireField::kClosed: return "closed";
+    case WireField::kError: return "error";
+    case WireField::kMessage: return "message";
+    case WireField::kWhole: return "whole";
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// WireFieldName over a raw id byte; nullptr for ids this build ignores.
+const char* WireFieldNameOrNull(uint8_t id) {
+  if (id < static_cast<uint8_t>(WireField::kToken) ||
+      id > static_cast<uint8_t>(WireField::kWhole)) {
+    return nullptr;
+  }
+  return WireFieldName(static_cast<WireField>(id));
+}
+
+}  // namespace
+
+WirePayload& WirePayload::AddUInt(WireField field, uint64_t value) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_ += std::to_string(value);
+  } else {
+    AppendFieldUInt(&out_, static_cast<uint8_t>(field), value);
+  }
+  return *this;
+}
+
+WirePayload& WirePayload::AddInt(WireField field, int64_t value) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_ += std::to_string(value);
+  } else {
+    AppendFieldInt(&out_, static_cast<uint8_t>(field), value);
+  }
+  return *this;
+}
+
+WirePayload& WirePayload::AddBool(WireField field, bool value) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_ += value ? "true" : "false";
+  } else {
+    AppendFieldBool(&out_, static_cast<uint8_t>(field), value);
+  }
+  return *this;
+}
+
+WirePayload& WirePayload::AddString(WireField field, std::string_view value) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_ += '"' + JsonEscape(std::string(value)) + '"';
+  } else {
+    AppendFieldBytes(&out_, static_cast<uint8_t>(field), kFieldString, value);
+  }
+  return *this;
+}
+
+WirePayload& WirePayload::AddRawJson(WireField field,
+                                     std::string_view raw_json) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_.append(raw_json);
+  } else {
+    AppendFieldBytes(&out_, static_cast<uint8_t>(field), kFieldJson, raw_json);
+  }
+  return *this;
+}
+
+WirePayload& WirePayload::AddIntList(WireField field,
+                                     const std::vector<NavNodeId>& ids) {
+  if (proto_ == WireProto::kJson) {
+    AppendKey(&out_, WireFieldName(field));
+    out_.push_back('[');
+    bool first = true;
+    for (NavNodeId node : ids) {
+      if (!first) out_.push_back(',');
+      first = false;
+      out_ += std::to_string(node);
+    }
+    out_.push_back(']');
+  } else {
+    AppendFieldIntList(&out_, static_cast<uint8_t>(field), ids);
+  }
+  return *this;
+}
+
+std::string WirePayload::Finish() {
+  if (proto_ == WireProto::kJson) out_.append("}\n");
+  return std::move(out_);
+}
+
+namespace {
+
+/// The per-request binary response prefix: [version][flags][op].
+std::string BinaryResponseHead(bool ok, uint8_t op_byte) {
+  std::string head;
+  head.push_back(static_cast<char>(kBinaryProtocolVersion));
+  head.push_back(ok ? '\1' : '\0');
+  head.push_back(static_cast<char>(op_byte));
+  return head;
+}
+
+}  // namespace
+
+WireResponse::WireResponse(WireProto proto, RequestOp op)
+    : proto_(proto), op_(op), fields_(proto) {}
+
+WireResponse& WireResponse::AddUInt(WireField field, uint64_t value) {
+  fields_.AddUInt(field, value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddInt(WireField field, int64_t value) {
+  fields_.AddInt(field, value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddBool(WireField field, bool value) {
+  fields_.AddBool(field, value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddString(WireField field, std::string_view value) {
+  fields_.AddString(field, value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddRawJson(WireField field,
+                                       std::string_view raw_json) {
+  fields_.AddRawJson(field, raw_json);
+  return *this;
+}
+
+WireResponse& WireResponse::AddIntList(WireField field,
+                                       const std::vector<NavNodeId>& ids) {
+  fields_.AddIntList(field, ids);
+  return *this;
+}
+
+WireFrame WireResponse::Finish() {
+  WireFrame frame;
+  if (proto_ == WireProto::kJson) {
+    frame.head = "{\"v\":" + std::to_string(kProtocolVersion) +
+                 ",\"ok\":true,\"op\":\"" + RequestOpName(op_) + "\"" +
+                 fields_.Finish();
+  } else {
+    frame.head = FinishBinaryFrame(
+        BinaryResponseHead(true, static_cast<uint8_t>(op_)) +
+        fields_.Finish());
+  }
+  return frame;
+}
+
+WireFrame WireResponse::FinishWithPayload(
+    std::shared_ptr<const std::string> payload) {
+  BIONAV_CHECK(payload != nullptr) << "FinishWithPayload on null payload";
+  WireFrame frame;
+  if (proto_ == WireProto::kJson) {
+    // The shared payload closes the object and carries the '\n'.
+    frame.head = "{\"v\":" + std::to_string(kProtocolVersion) +
+                 ",\"ok\":true,\"op\":\"" + RequestOpName(op_) + "\"" +
+                 std::move(fields_.out_);
+  } else {
+    std::string inner =
+        BinaryResponseHead(true, static_cast<uint8_t>(op_)) +
+        std::move(fields_.out_);
+    frame.head.reserve(kBinaryFrameHeaderBytes + inner.size());
+    frame.head.push_back(static_cast<char>(kBinaryFrameMagic));
+    AppendU32LE(&frame.head,
+                static_cast<uint32_t>(inner.size() + payload->size()));
+    frame.head.append(inner);
+  }
+  frame.body = std::move(payload);
+  return frame;
+}
+
+WireFrame WireResponse::Error(WireProto proto, WireError error,
+                              std::string_view message) {
+  WireFrame frame;
+  if (proto == WireProto::kJson) {
+    frame.head = ErrorReply(error, message) + "\n";
+    return frame;
+  }
+  BIONAV_CHECK(error != WireError::kNone) << "Error frame on success";
+  std::string body = BinaryResponseHead(false, kBinaryOpError);
+  AppendFieldBytes(&body, static_cast<uint8_t>(WireField::kError),
+                   kFieldString, WireErrorName(error));
+  AppendFieldBytes(&body, static_cast<uint8_t>(WireField::kMessage),
+                   kFieldString, message);
+  frame.head = FinishBinaryFrame(std::move(body));
+  return frame;
+}
+
+WireFrame WrapWholeJson(WireProto proto, std::string json_line) {
+  WireFrame frame;
+  if (proto == WireProto::kJson) {
+    frame.head = std::move(json_line) + "\n";
+    return frame;
+  }
+  std::string body = BinaryResponseHead(true, kBinaryOpWhole);
+  AppendFieldBytes(&body, static_cast<uint8_t>(WireField::kWhole), kFieldJson,
+                   json_line);
+  frame.head = FinishBinaryFrame(std::move(body));
+  return frame;
+}
+
+Result<JsonValue> DecodeBinaryResponse(std::string_view body) {
+  if (body.size() < 3) {
+    return Status::InvalidArgument("binary response body too short");
+  }
+  if (static_cast<uint8_t>(body[0]) != kBinaryProtocolVersion) {
+    return Status::InvalidArgument("unexpected binary response version byte");
+  }
+  bool ok = (static_cast<uint8_t>(body[1]) & 1) != 0;
+  uint8_t op_byte = static_cast<uint8_t>(body[2]);
+  JsonValue::Object members;
+  members.emplace_back("v", JsonValue::MakeNumber(kBinaryProtocolVersion));
+  members.emplace_back("ok", JsonValue::MakeBool(ok));
+  // Error frames carry no "op" member, matching the JSON error shape.
+  if (op_byte <= static_cast<uint8_t>(RequestOp::kMetrics)) {
+    members.emplace_back(
+        "op", JsonValue::MakeString(
+                  RequestOpName(static_cast<RequestOp>(op_byte))));
+  }
+  size_t pos = 3;
+  while (pos < body.size()) {
+    if (pos + 2 > body.size()) {
+      return Status::InvalidArgument("truncated response field header");
+    }
+    uint8_t id = static_cast<uint8_t>(body[pos]);
+    uint8_t type = static_cast<uint8_t>(body[pos + 1]);
+    pos += 2;
+    FieldValue value;
+    if (!ReadFieldValue(body, &pos, type, &value)) {
+      return Status::InvalidArgument("malformed response field " +
+                                     std::to_string(id));
+    }
+    if (id == static_cast<uint8_t>(WireField::kWhole)) {
+      // Whole-JSON passthrough: the embedded document IS the response.
+      return ParseJson(value.bytes);
+    }
+    const char* name = WireFieldNameOrNull(id);
+    if (name == nullptr) continue;  // Forward compatibility: skip unknown.
+    switch (type) {
+      case kFieldUVarint:
+        members.emplace_back(
+            name, JsonValue::MakeNumber(static_cast<double>(value.uval)));
+        break;
+      case kFieldSVarint:
+        members.emplace_back(
+            name, JsonValue::MakeNumber(static_cast<double>(value.ival)));
+        break;
+      case kFieldBool:
+        members.emplace_back(name, JsonValue::MakeBool(value.bval));
+        break;
+      case kFieldString:
+        members.emplace_back(name,
+                             JsonValue::MakeString(std::string(value.bytes)));
+        break;
+      case kFieldJson: {
+        Result<JsonValue> parsed = ParseJson(value.bytes);
+        if (!parsed.ok()) return parsed.status();
+        members.emplace_back(name, std::move(parsed.ValueOrDie()));
+        break;
+      }
+      case kFieldIntList: {
+        JsonValue::Array items;
+        items.reserve(value.list.size());
+        for (int64_t v : value.list) {
+          items.push_back(JsonValue::MakeNumber(static_cast<double>(v)));
+        }
+        members.emplace_back(name, JsonValue::MakeArray(std::move(items)));
+        break;
+      }
+    }
+  }
+  return JsonValue::MakeObject(std::move(members));
+}
+
 }  // namespace bionav

@@ -2,6 +2,7 @@
 #define BIONAV_SERVER_PROTOCOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -37,6 +38,50 @@ namespace bionav {
 /// Responses: {"v": 1, "ok": true, "op": "<OP>", ...} on success, or
 ///   {"v": 1, "ok": false, "error": "<CODE>", "message": "..."} on failure.
 inline constexpr int kProtocolVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Binary protocol v2 (negotiated per connection)
+// ---------------------------------------------------------------------------
+
+/// Version byte carried in every binary frame body.
+inline constexpr int kBinaryProtocolVersion = 2;
+
+/// Connection preamble that switches a fresh connection to binary framing.
+/// A JSON request line always starts with '{', never 'B', so the server
+/// decides the connection's protocol on its very first byte; clients that
+/// never send the preamble keep speaking v1 JSON unchanged.
+inline constexpr char kBinaryPreamble[4] = {'B', 'N', 'V', '2'};
+
+/// Leading magic byte of every binary frame (requests and responses):
+///   [magic u8][length u32 LE][body]
+/// body = [version u8][op u8][fields...] for requests and
+/// [version u8][flags u8 (bit0 = ok)][op u8][fields...] for responses,
+/// where each field is [id u8][type u8][value...] with varint-coded
+/// integers and length-prefixed strings. The magic is outside the JSON
+/// first-byte alphabet, so a binary client can still recognize a
+/// pre-negotiation JSON error line (accept-path shedding) by its '{'.
+inline constexpr uint8_t kBinaryFrameMagic = 0xB2;
+
+/// Bytes a binary frame spends before the body (magic + length prefix).
+inline constexpr size_t kBinaryFrameHeaderBytes = 5;
+
+/// Wire encoding of one connection; negotiated by the first client byte.
+enum class WireProto { kJson = 0, kBinary = 1 };
+inline constexpr int kNumWireProtos = 2;
+
+/// Lowercase name ("json"/"binary") for flags, bench records and logs.
+const char* WireProtoName(WireProto proto);
+
+/// LEB128 varint append/read (unsigned) and zigzag for signed fields.
+void AppendVarint(std::string* out, uint64_t value);
+bool ReadVarint(std::string_view data, size_t* pos, uint64_t* value);
+constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> (sizeof(int64_t) * 8 - 1));
+}
+constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
 
 // ---------------------------------------------------------------------------
 // Minimal JSON document model + parser (requests are parsed server-side,
@@ -140,9 +185,54 @@ class LineFrameDecoder {
   bool overflowed_ = false;
 };
 
+/// Incremental assembly of length-prefixed binary frames (protocol v2),
+/// the binary counterpart of LineFrameDecoder. A frame whose declared
+/// length exceeds `max_frame_bytes` latches overflowed() the moment the
+/// prefix arrives (no need to buffer the body — slow-loris defense), and a
+/// frame that does not start with kBinaryFrameMagic latches corrupted();
+/// either way the stream is unrecoverable and the caller answers a typed
+/// error and closes.
+class BinaryFrameDecoder {
+ public:
+  static constexpr size_t kDefaultMaxFrameBytes =
+      LineFrameDecoder::kDefaultMaxFrameBytes;
+
+  explicit BinaryFrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes. Returns false (input dropped) once broken().
+  bool Feed(std::string_view data);
+
+  /// Pops the next complete frame's body into `*body` (magic and length
+  /// prefix consumed). False when no complete frame is buffered.
+  bool Next(std::string* body);
+
+  /// Declared frame length exceeded max_frame_bytes.
+  bool overflowed() const { return overflowed_; }
+  /// A frame did not start with kBinaryFrameMagic.
+  bool corrupted() const { return corrupted_; }
+  bool broken() const { return overflowed_ || corrupted_; }
+  /// True when a complete frame is buffered (Next() would succeed).
+  bool has_frame() const;
+  /// Bytes of the unconsumed tail (partial frame + undelivered frames).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  /// Validates the head frame's magic/length; latches broken() states.
+  void ScanHead();
+
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool overflowed_ = false;
+  bool corrupted_ = false;
+};
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
+
+enum class WireError;  // Defined with the response machinery below.
 
 enum class RequestOp {
   kQuery,
@@ -174,6 +264,37 @@ struct Request {
 
 /// Serializes a request as one line (no trailing newline).
 std::string SerializeRequest(const Request& request);
+
+/// Arena-backed request decode: the string fields view the frame body the
+/// reactor popped from its decoder (the frame itself is the arena), so the
+/// binary parse allocates nothing per field. The JSON path adapts an owned
+/// Request via MakeRequestView (escape processing needs owned storage).
+/// Views are only valid while the backing frame buffer is alive — the
+/// server handles a request before popping the next frame.
+struct RequestView {
+  int version = kProtocolVersion;
+  RequestOp op = RequestOp::kStats;
+  std::string_view token;
+  std::string_view query;
+  NavNodeId node = kInvalidNavNode;
+  ConceptId concept_id = kInvalidConcept;
+  uint64_t retstart = 0;
+  uint64_t retmax = 0;
+  int depth = 100;
+};
+
+/// A view over an owned Request (JSON parse path).
+RequestView MakeRequestView(const Request& request);
+
+/// Serializes a request as a complete binary v2 frame (magic + length
+/// prefix + body).
+std::string SerializeRequestBinary(const Request& request);
+
+/// Parses one binary frame body (as popped by BinaryFrameDecoder::Next)
+/// with the same per-op field validation as ParseRequest. Returns kNone
+/// and fills `*out` (string fields viewing `body`) on success.
+WireError ParseRequestBinary(std::string_view body, RequestView* out,
+                             std::string* error_message);
 
 // ---------------------------------------------------------------------------
 // Responses and typed errors
@@ -232,6 +353,113 @@ class ResponseBuilder {
  private:
   std::string out_;
 };
+
+// ---------------------------------------------------------------------------
+// Proto-generic response assembly (v2)
+// ---------------------------------------------------------------------------
+
+/// Response field registry. Binary frames tag each field with its id; the
+/// client-side decoder maps ids back to the JSON member names below, so
+/// one decode path yields the same JsonValue document either way.
+enum class WireField : uint8_t {
+  kToken = 1,
+  kResultSize = 2,
+  kCached = 3,
+  kRevealed = 4,
+  kTotal = 5,
+  kSummaries = 6,
+  kUndone = 7,
+  kFound = 8,
+  kNode = 9,
+  kVisible = 10,
+  kComponentRoot = 11,
+  kDistinct = 12,
+  kTree = 13,
+  kClosed = 14,
+  kError = 15,
+  kMessage = 16,
+  kWhole = 17,
+};
+
+/// JSON member name of a response field ("token", "result_size", ...).
+const char* WireFieldName(WireField field);
+
+/// One outgoing response: an owned per-request head plus an optional
+/// shared pre-rendered suffix (a response template attached to cached
+/// query artifacts). The reactor writes {head, body} with one writev, so
+/// serving a template never copies or re-renders the shared bytes.
+struct WireFrame {
+  std::string head;
+  std::shared_ptr<const std::string> body;
+  size_t size() const { return head.size() + (body ? body->size() : 0); }
+};
+
+/// Renders the shareable field suffix of a response — the template unit
+/// cached on QueryArtifacts. For JSON the suffix closes the object and
+/// carries the frame's trailing newline; for binary it is raw field bytes
+/// (the head's length prefix accounts for it at assembly time).
+class WirePayload {
+ public:
+  explicit WirePayload(WireProto proto) : proto_(proto) {}
+  WirePayload& AddUInt(WireField field, uint64_t value);
+  WirePayload& AddInt(WireField field, int64_t value);
+  WirePayload& AddBool(WireField field, bool value);
+  WirePayload& AddString(WireField field, std::string_view value);
+  /// Splices pre-serialized JSON (summaries, tree visualizations). Binary
+  /// frames carry it as a tagged JSON-text field the decoder re-parses.
+  WirePayload& AddRawJson(WireField field, std::string_view raw_json);
+  WirePayload& AddIntList(WireField field, const std::vector<NavNodeId>& ids);
+  /// Returns the rendered suffix. The builder is spent.
+  std::string Finish();
+
+ private:
+  friend class WireResponse;
+  WireProto proto_;
+  std::string out_;
+};
+
+/// Assembles one success response in either encoding; the proto-aware
+/// counterpart of ResponseBuilder. Fields added here become the owned
+/// per-request head; FinishWithPayload appends a shared template suffix
+/// rendered by WirePayload instead.
+class WireResponse {
+ public:
+  WireResponse(WireProto proto, RequestOp op);
+  WireResponse& AddUInt(WireField field, uint64_t value);
+  WireResponse& AddInt(WireField field, int64_t value);
+  WireResponse& AddBool(WireField field, bool value);
+  WireResponse& AddString(WireField field, std::string_view value);
+  WireResponse& AddRawJson(WireField field, std::string_view raw_json);
+  WireResponse& AddIntList(WireField field, const std::vector<NavNodeId>& ids);
+  /// Self-contained frame (JSON line incl. '\n', or length-prefixed
+  /// binary). The builder is spent.
+  WireFrame Finish();
+  /// Frame whose suffix is the shared pre-rendered `payload` (must have
+  /// been produced by WirePayload::Finish with the same proto).
+  WireFrame FinishWithPayload(std::shared_ptr<const std::string> payload);
+
+  /// Typed error response as a frame in the given encoding.
+  static WireFrame Error(WireProto proto, WireError error,
+                         std::string_view message);
+
+ private:
+  WireProto proto_;
+  RequestOp op_;
+  WirePayload fields_;
+};
+
+/// Wraps an already-rendered complete JSON response line (no newline) for
+/// the given proto: JSON connections send the line verbatim; binary
+/// connections carry it as a kWhole field, which DecodeBinaryResponse
+/// unwraps back into the identical document. Used by STATS/METRICS, whose
+/// exposition-sized payloads have no hot-path templates.
+WireFrame WrapWholeJson(WireProto proto, std::string json_line);
+
+/// Client-side decode of one binary response frame body into the same
+/// JsonValue document shape a JSON response parses to (kWhole fields are
+/// unwrapped; unknown field ids are skipped by their self-describing
+/// type). Non-OK only on malformed frames.
+Result<JsonValue> DecodeBinaryResponse(std::string_view body);
 
 }  // namespace bionav
 

@@ -112,6 +112,7 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
     artifacts = BuildQueryArtifacts(*hierarchy_, *eutils_, query,
                                     cost_params_, /*freeze=*/false);
   }
+  info.artifacts = artifacts;
   auto entry = std::make_shared<Entry>();
   entry->session = std::make_unique<NavigationSession>(
       eutils_, std::move(artifacts), query, strategy_factory_);
@@ -135,14 +136,14 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
 }
 
 Status SessionManager::WithSession(
-    const std::string& token,
+    std::string_view token,
     const std::function<Status(NavigationSession&)>& fn) {
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(token);
     if (it == sessions_.end()) {
-      return Status::NotFound("unknown session '" + token + "'");
+      return Status::NotFound("unknown session '" + std::string(token) + "'");
     }
     int64_t now = NowMs();
     if (options_.ttl_ms > 0 && now - it->second->last_used_ms > options_.ttl_ms) {
@@ -150,7 +151,7 @@ Status SessionManager::WithSession(
       ++counters_.expired_ttl;
       SessionsExpired()->Increment();
       SessionsLive()->Add(-1);
-      return Status::NotFound("session '" + token + "' expired");
+      return Status::NotFound("session '" + std::string(token) + "' expired");
     }
     it->second->last_used_ms = now;
     entry = it->second;
@@ -162,7 +163,7 @@ Status SessionManager::WithSession(
   return fn(*entry->session);
 }
 
-bool SessionManager::Close(const std::string& token) {
+bool SessionManager::Close(std::string_view token) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(token);
   if (it == sessions_.end()) return false;

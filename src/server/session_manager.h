@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "cache/query_artifact_cache.h"
@@ -79,6 +80,9 @@ class SessionManager {
     std::string token;
     size_t result_size = 0;
     bool cache_hit = false;
+    /// The session's (possibly shared) artifacts — the server serves
+    /// pre-rendered response templates straight off the bundle on hits.
+    std::shared_ptr<const QueryArtifacts> artifacts;
   };
 
   /// Runs the online pipeline for `query` (ESearch -> navigation tree ->
@@ -99,12 +103,13 @@ class SessionManager {
   /// session under its per-session mutex. Returns NotFound if the token is
   /// not live (never created, closed, evicted or expired) — the only
   /// NotFound this method itself produces; any other status comes from
-  /// `fn`.
-  Status WithSession(const std::string& token,
+  /// `fn`. Takes a view so arena-backed binary request tokens flow through
+  /// without materializing a std::string.
+  Status WithSession(std::string_view token,
                      const std::function<Status(NavigationSession&)>& fn);
 
   /// Closes (unregisters) a session. False if the token was not live.
-  bool Close(const std::string& token);
+  bool Close(std::string_view token);
 
   size_t active() const;
   SessionManagerStats stats() const;
@@ -137,8 +142,18 @@ class SessionManager {
   /// Shared per-query artifacts; null when caching is disabled.
   std::unique_ptr<QueryArtifactCache> cache_;
 
+  /// Transparent hashing so string_view tokens (viewing a binary request
+  /// frame) probe the map without an allocating conversion.
+  struct TokenHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view token) const {
+      return std::hash<std::string_view>()(token);
+    }
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> sessions_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>, TokenHash,
+                     std::equal_to<>> sessions_;
   uint64_t next_token_ = 1;
   SessionManagerStats counters_;  // `active` field unused; derived from map.
 };

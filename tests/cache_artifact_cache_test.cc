@@ -188,6 +188,75 @@ TEST(QueryArtifactCacheTest, InvalidateDropsEntryAndItsBytes) {
   EXPECT_EQ(lookup.artifacts->key, "q");
 }
 
+TEST(QueryArtifactCacheTest, TemplateStoreRendersOncePerKeyAndEncoding) {
+  auto artifacts = MakeStub("t");
+  int renders = 0;
+  auto render = [&] {
+    ++renders;
+    return std::string(256, 'p');
+  };
+  auto first = artifacts->templates.GetOrRender("E|1", 0, render);
+  auto again = artifacts->templates.GetOrRender("E|1", 0, render);
+  EXPECT_EQ(renders, 1) << "same key+encoding must not re-render";
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), again.get()) << "payload must be shared, not copied";
+
+  // The other encoding is its own template: rendered once, independently.
+  auto other = artifacts->templates.GetOrRender("E|1", 1, render);
+  EXPECT_EQ(renders, 2);
+  EXPECT_NE(first.get(), other.get());
+  auto different_key = artifacts->templates.GetOrRender("S|1|0|20", 0, render);
+  EXPECT_EQ(renders, 3);
+  EXPECT_NE(different_key, nullptr);
+
+  ResponseTemplateStore::Stats stats = artifacts->templates.stats();
+  EXPECT_EQ(stats.renders[0], 2);
+  EXPECT_EQ(stats.renders[1], 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_GE(stats.bytes, 3 * 256u) << "resident payload bytes undercounted";
+  EXPECT_EQ(artifacts->templates.bytes(), stats.bytes);
+}
+
+TEST(QueryArtifactCacheTest, TemplateBytesGrowFootprintAndCountTowardBudget) {
+  const std::string key_a(1000, 'a'), key_b(1000, 'b');
+  const size_t entry_bytes = MakeStub(key_a)->MemoryFootprint();
+
+  int64_t now = 0;
+  QueryArtifactCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+  options.clock = [&now] { return now; };
+  QueryArtifactCache cache(options);
+
+  auto a = cache.GetOrBuild(key_a, [&] { return MakeStub(key_a); }).artifacts;
+  now = 1;
+  cache.GetOrBuild(key_b, [&] { return MakeStub(key_b); });
+  EXPECT_EQ(cache.stats().entries, 2);
+  const int64_t resident_before = cache.stats().bytes;
+
+  // Rendering a template grows the bundle's footprint lazily (the server
+  // does this on the first EXPAND/QUERY it serves from the bundle)...
+  const size_t footprint_before = a->MemoryFootprint();
+  a->templates.GetOrRender(
+      "E|7", 0, [&] { return std::string(2 * entry_bytes, 'p'); });
+  EXPECT_GE(a->MemoryFootprint(), footprint_before + 2 * entry_bytes)
+      << "template bytes missing from MemoryFootprint";
+
+  // ...and the cache re-reads the footprint on the next hit: the resident
+  // total grows, the byte budget now counts the template, and the LRU
+  // entry is evicted to get back under it.
+  now = 2;
+  EXPECT_TRUE(cache.GetOrBuild(key_a, [&] { return MakeStub(key_a); }).hit);
+  EXPECT_GT(cache.stats().bytes, resident_before)
+      << "hit did not refresh the entry's footprint";
+  EXPECT_TRUE(cache.Contains(key_a));
+  EXPECT_FALSE(cache.Contains(key_b))
+      << "LRU budget must count rendered template bytes";
+  EXPECT_EQ(cache.stats().evicted_lru, 1);
+  EXPECT_GE(cache.stats().bytes,
+            static_cast<int64_t>(a->MemoryFootprint()));
+}
+
 TEST(QueryArtifactCacheTest, FrozenTreeMatchesLazyFilledTree) {
   const Workload& w = CacheWorkload();
   std::unique_ptr<NavigationTree> lazy = w.BuildNavigationTree(0);

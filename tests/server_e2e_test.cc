@@ -190,6 +190,149 @@ TEST(NavServerE2E, ProtocolErrorsAnswerTyped) {
   server.Shutdown();
 }
 
+TEST(NavServerE2E, BinaryWireOracleMatchesJsonAndInProcess) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+
+  NavServerOptions options;
+  options.threads = 4;
+  NavServer server(&w.hierarchy(), &eutils, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WorkloadRunResult reference = w.Run(WorkloadRunOptions());
+
+  // The same oracle sessions over both encodings against one server: the
+  // wire format must be invisible to navigation outcomes.
+  for (WireProto proto : {WireProto::kJson, WireProto::kBinary}) {
+    NavClientOptions client_options;
+    client_options.proto = proto;
+    auto connected =
+        NavClient::Connect("127.0.0.1", server.port(), client_options);
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    NavClient& client = *connected.ValueOrDie();
+    EXPECT_EQ(client.proto(), proto);
+
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      const GeneratedQuery& q = w.query(i);
+      WireOracleOutcome wire = RunWireOracle(client, q.spec.keyword, q.target);
+      const NavigationMetrics& ref = reference.sessions[i].metrics;
+      EXPECT_EQ(wire.expand_actions, ref.expand_actions)
+          << WireProtoName(proto) << ": " << q.spec.name;
+      EXPECT_EQ(wire.revealed_concepts, ref.revealed_concepts)
+          << WireProtoName(proto) << ": " << q.spec.name;
+      EXPECT_EQ(wire.navigation_cost(), ref.navigation_cost())
+          << WireProtoName(proto) << ": " << q.spec.name;
+      EXPECT_EQ(wire.showresults_citations, ref.showresults_citations)
+          << WireProtoName(proto) << ": " << q.spec.name;
+    }
+  }
+  EXPECT_EQ(server.stats().protocol_errors, 0);
+  server.Shutdown();
+}
+
+TEST(NavServerE2E, MixedFleetServesBothProtocolsConcurrently) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+
+  NavServerOptions options;
+  options.threads = 4;
+  NavServer server(&w.hierarchy(), &eutils, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WorkloadRunResult reference = w.Run(WorkloadRunOptions());
+
+  // Interleaved JSON and binary clients against one server, concurrently:
+  // negotiation is per connection, so the fleet can be mixed freely.
+  const int kClientsPerQuery = 2;  // One JSON, one binary.
+  const size_t total = w.num_queries() * kClientsPerQuery;
+  std::vector<WireOracleOutcome> outcomes(total);
+  {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < total; ++c) {
+      threads.emplace_back([&, c] {
+        NavClientOptions client_options;
+        client_options.proto =
+            c % 2 == 0 ? WireProto::kJson : WireProto::kBinary;
+        auto connected =
+            NavClient::Connect("127.0.0.1", server.port(), client_options);
+        ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+        const GeneratedQuery& q = w.query(c / kClientsPerQuery);
+        outcomes[c] =
+            RunWireOracle(*connected.ValueOrDie(), q.spec.keyword, q.target);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (size_t c = 0; c < total; ++c) {
+    EXPECT_EQ(outcomes[c].navigation_cost(),
+              reference.sessions[c / kClientsPerQuery].metrics
+                  .navigation_cost())
+        << (c % 2 == 0 ? "json" : "binary") << " client " << c;
+  }
+  EXPECT_EQ(server.stats().protocol_errors, 0);
+  server.Shutdown();
+}
+
+TEST(NavServerE2E, TemplatesRenderOncePerProtocolAcrossSessions) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+  NavServer server(&w.hierarchy(), &eutils);
+  ASSERT_TRUE(server.Start().ok());
+
+  const GeneratedQuery& q = w.query(0);
+
+  // Warm the bundle per encoding. Two sessions each: the first is the
+  // cache miss (QUERY has no template until the bundle is shared), the
+  // second touches every template the oracle session can reach — QUERY,
+  // each EXPAND and the SHOWRESULTS — so the render set is saturated.
+  for (WireProto proto : {WireProto::kJson, WireProto::kBinary}) {
+    NavClientOptions client_options;
+    client_options.proto = proto;
+    auto connected =
+        NavClient::Connect("127.0.0.1", server.port(), client_options);
+    ASSERT_TRUE(connected.ok());
+    RunWireOracle(*connected.ValueOrDie(), q.spec.keyword, q.target);
+    RunWireOracle(*connected.ValueOrDie(), q.spec.keyword, q.target);
+  }
+
+  const QueryArtifactCache* cache = server.session_manager().cache();
+  ASSERT_NE(cache, nullptr);
+  auto artifacts = cache->Peek(NormalizeQueryKey(q.spec.keyword));
+  ASSERT_NE(artifacts, nullptr) << "query bundle not cached";
+  ResponseTemplateStore::Stats warm = artifacts->templates.stats();
+  ASSERT_GT(warm.renders[static_cast<int>(WireProto::kJson)], 0)
+      << "JSON session rendered no templates; render-once is vacuous";
+  ASSERT_GT(warm.renders[static_cast<int>(WireProto::kBinary)], 0)
+      << "binary session rendered no templates; render-once is vacuous";
+  ASSERT_GT(warm.bytes, 0u);
+
+  // N more sessions per encoding: every cacheable response is now served
+  // from the rendered templates — the render counts must not move.
+  const int kSessions = 3;
+  for (WireProto proto : {WireProto::kJson, WireProto::kBinary}) {
+    NavClientOptions client_options;
+    client_options.proto = proto;
+    auto connected =
+        NavClient::Connect("127.0.0.1", server.port(), client_options);
+    ASSERT_TRUE(connected.ok());
+    for (int s = 0; s < kSessions; ++s) {
+      RunWireOracle(*connected.ValueOrDie(), q.spec.keyword, q.target);
+    }
+  }
+
+  ResponseTemplateStore::Stats after = artifacts->templates.stats();
+  EXPECT_EQ(after.renders[static_cast<int>(WireProto::kJson)],
+            warm.renders[static_cast<int>(WireProto::kJson)])
+      << "JSON templates re-rendered on warm sessions";
+  EXPECT_EQ(after.renders[static_cast<int>(WireProto::kBinary)],
+            warm.renders[static_cast<int>(WireProto::kBinary)])
+      << "binary templates re-rendered on warm sessions";
+  EXPECT_GT(after.hits, warm.hits)
+      << "warm sessions never served from templates";
+  EXPECT_EQ(after.bytes, warm.bytes);
+  server.Shutdown();
+}
+
 TEST(NavServerE2E, AdmissionControlShedsBeyondLimit) {
   const Workload& w = SmallWorkload();
   EUtilsClient eutils = w.corpus().MakeClient();

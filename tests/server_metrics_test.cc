@@ -168,5 +168,79 @@ TEST(ServerMetricsE2E, StatsEmbedsTheSameRegistry) {
   server.Shutdown();
 }
 
+/// A counter from the registry JSON embedded in a STATS response; 0 when
+/// absent.
+int64_t StatsCounter(const JsonValue& stats, const std::string& name) {
+  const JsonValue* metrics = stats.Find("metrics");
+  if (metrics == nullptr) return 0;
+  const JsonValue* counters = metrics->Find("counters");
+  return counters == nullptr ? 0 : counters->IntOr(name, 0);
+}
+
+TEST(ServerMetricsE2E, WireByteCountersTrackTrafficInBothProtocols) {
+  const Workload& w = SmallWorkload();
+  EUtilsClient eutils = w.corpus().MakeClient();
+
+  // Request bytes received per oracle session, per encoding — the binary
+  // leg must come in under the JSON leg (the satellite byte guard at unit
+  // scale; responses are compared in the serving bench, where the mix is
+  // not dominated by STATS expositions).
+  int64_t rx_delta[2] = {0, 0};
+  for (WireProto proto : {WireProto::kJson, WireProto::kBinary}) {
+    NavServer server(&w.hierarchy(), &eutils);
+    ASSERT_TRUE(server.Start().ok());
+    NavClientOptions client_options;
+    client_options.proto = proto;
+    auto connected =
+        NavClient::Connect("127.0.0.1", server.port(), client_options);
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    NavClient& client = *connected.ValueOrDie();
+
+    auto before_doc = client.Stats();
+    ASSERT_TRUE(before_doc.ok()) << before_doc.status().ToString();
+    const JsonValue& before = before_doc.ValueOrDie();
+    // STATS carries the totals both as top-level fields and as registry
+    // counters, snapshotted in the same response — they must agree on the
+    // traffic this session drives.
+    ASSERT_NE(before.Find("bytes_rx"), nullptr) << "STATS lost bytes_rx";
+    ASSERT_NE(before.Find("bytes_tx"), nullptr) << "STATS lost bytes_tx";
+
+    int expands = RunOracleSession(client, w.query(0));
+    ASSERT_GE(expands, 0);
+
+    auto after_doc = client.Stats();
+    ASSERT_TRUE(after_doc.ok()) << after_doc.status().ToString();
+    const JsonValue& after = after_doc.ValueOrDie();
+
+    int64_t field_rx = after.IntOr("bytes_rx", 0) - before.IntOr("bytes_rx", 0);
+    int64_t field_tx = after.IntOr("bytes_tx", 0) - before.IntOr("bytes_tx", 0);
+    EXPECT_GT(field_rx, 0) << "no request bytes counted";
+    EXPECT_GT(field_tx, 0) << "no response bytes counted";
+    EXPECT_EQ(field_rx,
+              StatsCounter(after, "bionav_server_bytes_rx_total") -
+                  StatsCounter(before, "bionav_server_bytes_rx_total"))
+        << "STATS field and registry counter disagree on rx";
+    EXPECT_EQ(field_tx,
+              StatsCounter(after, "bionav_server_bytes_tx_total") -
+                  StatsCounter(before, "bionav_server_bytes_tx_total"))
+        << "STATS field and registry counter disagree on tx";
+
+    // The Prometheus exposition carries the same counters (scraped after
+    // the STATS snapshot, so it has seen at least as many bytes).
+    auto text = client.Metrics();
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    EXPECT_GE(PromValue(text.ValueOrDie(), "bionav_server_bytes_rx_total"),
+              StatsCounter(after, "bionav_server_bytes_rx_total"));
+    EXPECT_GE(PromValue(text.ValueOrDie(), "bionav_server_bytes_tx_total"),
+              StatsCounter(after, "bionav_server_bytes_tx_total"));
+
+    rx_delta[static_cast<int>(proto)] = field_rx;
+    server.Shutdown();
+  }
+  EXPECT_LT(rx_delta[static_cast<int>(WireProto::kBinary)],
+            rx_delta[static_cast<int>(WireProto::kJson)])
+      << "binary requests not smaller than JSON for the same session";
+}
+
 }  // namespace
 }  // namespace bionav

@@ -114,10 +114,46 @@ class RawConn {
     return n == 0;
   }
 
+  /// Half-closes the write side (the server sees EOF after the bytes sent
+  /// so far) while leaving the read side open for its response.
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Blocking read of the next binary v2 frame's body (magic and length
+  /// prefix validated and consumed); false on EOF or a garbled stream.
+  bool ReadFrameBody(std::string* body) {
+    while (true) {
+      if (buffer_.size() >= kBinaryFrameHeaderBytes) {
+        if (static_cast<uint8_t>(buffer_[0]) != kBinaryFrameMagic) {
+          return false;
+        }
+        uint32_t length = 0;
+        std::memcpy(&length, buffer_.data() + 1, sizeof(length));
+        if (buffer_.size() >= kBinaryFrameHeaderBytes + length) {
+          body->assign(buffer_, kBinaryFrameHeaderBytes, length);
+          buffer_.erase(0, kBinaryFrameHeaderBytes + length);
+          return true;
+        }
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
  private:
   int fd_ = -1;
   std::string buffer_;
 };
+
+/// The 4-byte binary-negotiation preamble as a sendable string.
+std::string Preamble() {
+  return std::string(kBinaryPreamble, sizeof(kBinaryPreamble));
+}
 
 std::string RequestLine(RequestOp op) {
   Request request;
@@ -372,6 +408,194 @@ TEST(NavServerReactor, ShutdownAnswersQueuedPipelinedRequests) {
   // The drain hit while the cold QUERY computed, so the undispatched tail
   // was refused; the in-flight head completed normally.
   EXPECT_GE(refused, 1) << "drain never saw a queued request";
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol hardening: every malformed-frame shape must end in a
+// typed error or a clean close — never a hang, never a silent drop.
+// ---------------------------------------------------------------------------
+
+TEST(NavServerReactor, BinaryNegotiationServesBinaryFrames) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  Request stats;
+  stats.op = RequestOp::kStats;
+  ASSERT_TRUE(conn.SendAll(Preamble() + SerializeRequestBinary(stats)));
+  std::string body;
+  ASSERT_TRUE(conn.ReadFrameBody(&body));
+  Result<JsonValue> doc = DecodeBinaryResponse(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.ValueOrDie().BoolOr("ok", false));
+  EXPECT_EQ(doc.ValueOrDie().StringOr("op", ""), "STATS");
+  EXPECT_EQ(server->stats().protocol_errors, 0);
+  server->Shutdown();
+}
+
+TEST(NavServerReactor, TruncatedLengthPrefixThenEofClosesCleanly) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // Magic plus two of the four length bytes, then EOF: an incomplete
+  // header is not an error — the peer simply went away mid-frame, and the
+  // server must close without a response and without hanging.
+  std::string torn;
+  torn += Preamble();
+  torn.push_back(static_cast<char>(kBinaryFrameMagic));
+  torn.push_back('\x10');
+  torn.push_back('\x00');
+  ASSERT_TRUE(conn.SendAll(torn));
+  conn.ShutdownWrite();
+  EXPECT_TRUE(conn.AtEof()) << "server answered or stayed open on torn header";
+  server->Shutdown();
+  EXPECT_EQ(server->stats().protocol_errors, 0);
+}
+
+TEST(NavServerReactor, MidFrameEofClosesCleanly) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // A complete, well-formed header promising 64 body bytes, of which only
+  // 8 ever arrive: on EOF the server discards the torn frame and closes.
+  std::string torn = Preamble();
+  torn.push_back(static_cast<char>(kBinaryFrameMagic));
+  uint32_t declared = 64;
+  torn.append(reinterpret_cast<const char*>(&declared), sizeof(declared));
+  torn.append(8, '\x02');
+  ASSERT_TRUE(conn.SendAll(torn));
+  conn.ShutdownWrite();
+  EXPECT_TRUE(conn.AtEof()) << "server answered or stayed open mid-frame";
+  server->Shutdown();
+  EXPECT_EQ(server->stats().protocol_errors, 0);
+}
+
+TEST(NavServerReactor, BinaryFramePastCapAnswersTypedErrorThenClose) {
+  NavServerOptions options;
+  options.max_frame_bytes = 1024;
+  auto server = StartServer(options);
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // The length prefix alone declares 1 MiB: the overflow must latch on
+  // the prefix (no body ever sent), answer one typed binary error, and
+  // close — the binary analogue of the oversized-line defense.
+  std::string frame = Preamble();
+  frame.push_back(static_cast<char>(kBinaryFrameMagic));
+  uint32_t declared = 1u << 20;
+  frame.append(reinterpret_cast<const char*>(&declared), sizeof(declared));
+  ASSERT_TRUE(conn.SendAll(frame));
+  std::string body;
+  ASSERT_TRUE(conn.ReadFrameBody(&body)) << "no error frame before close";
+  Result<JsonValue> doc = DecodeBinaryResponse(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(doc.ValueOrDie().BoolOr("ok", true));
+  EXPECT_EQ(doc.ValueOrDie().StringOr("error", ""), "BAD_REQUEST");
+  EXPECT_NE(doc.ValueOrDie().StringOr("message", "").find("exceeds"),
+            std::string::npos);
+  EXPECT_TRUE(conn.AtEof()) << "connection left open after oversized frame";
+  NavServerStats stats = server->stats();
+  EXPECT_EQ(stats.oversized_frames, 1);
+  EXPECT_GE(stats.protocol_errors, 1);
+  server->Shutdown();
+}
+
+TEST(NavServerReactor, GarbageVersionByteAnswersInPlaceAndKeepsServing) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // A well-framed body whose version byte is garbage: a parse error, not
+  // a stream error — answered in place, connection keeps serving.
+  Request stats;
+  stats.op = RequestOp::kStats;
+  std::string valid = SerializeRequestBinary(stats);
+  std::string garbled = valid;
+  garbled[kBinaryFrameHeaderBytes] = '\x09';
+  ASSERT_TRUE(conn.SendAll(Preamble() + garbled + valid));
+  std::string body;
+  ASSERT_TRUE(conn.ReadFrameBody(&body));
+  Result<JsonValue> error_doc = DecodeBinaryResponse(body);
+  ASSERT_TRUE(error_doc.ok()) << error_doc.status().ToString();
+  EXPECT_FALSE(error_doc.ValueOrDie().BoolOr("ok", true));
+  EXPECT_EQ(error_doc.ValueOrDie().StringOr("error", ""),
+            "UNSUPPORTED_VERSION");
+  ASSERT_TRUE(conn.ReadFrameBody(&body)) << "connection died after bad frame";
+  Result<JsonValue> ok_doc = DecodeBinaryResponse(body);
+  ASSERT_TRUE(ok_doc.ok());
+  EXPECT_TRUE(ok_doc.ValueOrDie().BoolOr("ok", false));
+  EXPECT_GE(server->stats().protocol_errors, 1);
+  server->Shutdown();
+}
+
+TEST(NavServerReactor, GarbageFrameMagicAnswersTypedErrorThenClose) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // After a clean negotiation, a frame that does not start with the magic
+  // byte makes the stream unrecoverable (framing is lost): one typed
+  // error, then close.
+  ASSERT_TRUE(conn.SendAll(Preamble() + "\x41garbage-not-a-frame"));
+  std::string body;
+  ASSERT_TRUE(conn.ReadFrameBody(&body)) << "no error frame before close";
+  Result<JsonValue> doc = DecodeBinaryResponse(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(doc.ValueOrDie().BoolOr("ok", true));
+  EXPECT_EQ(doc.ValueOrDie().StringOr("error", ""), "BAD_REQUEST");
+  EXPECT_TRUE(conn.AtEof()) << "connection left open after garbled stream";
+  EXPECT_GE(server->stats().protocol_errors, 1);
+  server->Shutdown();
+}
+
+TEST(NavServerReactor, UnrecognizedPreambleAnswersJsonErrorThenClose) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // 'B'-led but not "BNV2": neither valid JSON nor a known binary
+  // protocol. The server answers in JSON (the only encoding it can assume
+  // the peer reads) and closes.
+  ASSERT_TRUE(conn.SendAll("BNVX{\"v\":1,\"op\":\"STATS\"}\n"));
+  std::string line;
+  ASSERT_TRUE(conn.ReadLine(&line));
+  JsonValue doc = MustParse(line);
+  EXPECT_FALSE(doc.BoolOr("ok", true));
+  EXPECT_EQ(doc.StringOr("error", ""), "BAD_REQUEST");
+  EXPECT_NE(doc.StringOr("message", "").find("preamble"), std::string::npos);
+  EXPECT_TRUE(conn.AtEof()) << "connection left open after bad preamble";
+  EXPECT_GE(server->stats().protocol_errors, 1);
+  server->Shutdown();
+}
+
+TEST(NavServerReactor, MixedProtocolPipelineOnBinaryConnection) {
+  auto server = StartServer(NavServerOptions());
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // Preamble and two pipelined binary requests in one send: negotiation
+  // must not eat into the first frame, and order is preserved.
+  Request stats;
+  stats.op = RequestOp::kStats;
+  Request metrics;
+  metrics.op = RequestOp::kMetrics;
+  ASSERT_TRUE(conn.SendAll(Preamble() + SerializeRequestBinary(stats) +
+                           SerializeRequestBinary(metrics)));
+  std::string body;
+  ASSERT_TRUE(conn.ReadFrameBody(&body));
+  Result<JsonValue> first = DecodeBinaryResponse(body);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.ValueOrDie().BoolOr("ok", false));
+  EXPECT_EQ(first.ValueOrDie().Find("text"), nullptr)
+      << "STATS answered out of order";
+  ASSERT_TRUE(conn.ReadFrameBody(&body));
+  Result<JsonValue> second = DecodeBinaryResponse(body);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.ValueOrDie().Find("text"), nullptr)
+      << "METRICS answered out of order";
+  server->Shutdown();
 }
 
 TEST(NavServerReactor, ClientRecvTimeoutSurfacesDeadlineExceeded) {

@@ -25,15 +25,18 @@
 //       Convert an NLM MeSH tree file ("label;tree-number" lines, e.g.
 //       mtrees2008.bin) into the library's hierarchy format.
 //
-//   bionav_cli remote <host:port> <query terms...>
+//   bionav_cli remote <host:port> <query terms...> [--proto json|binary]
 //       Open a navigation session against a running bionav_serve instance
 //       and drive it with a REPL (expand <node> | show <node> | back |
-//       tree | stats | quit) over the wire protocol.
+//       tree | stats | quit) over the wire protocol. --proto binary
+//       negotiates the length-prefixed v2 encoding (fewer bytes per
+//       request); the default stays line-delimited JSON.
 //
-//   bionav_cli stats <host:port> [--prom]
-//       One-shot server metrics: the STATS JSON document, or with --prom
-//       the Prometheus text exposition (METRICS op) — pipe it to a file
-//       a node_exporter textfile collector can scrape.
+//   bionav_cli stats <host:port> [--prom] [--proto json|binary]
+//       One-shot server metrics: the STATS JSON document (including the
+//       server's bytes_rx/bytes_tx wire counters), or with --prom the
+//       Prometheus text exposition (METRICS op) — pipe it to a file a
+//       node_exporter textfile collector can scrape.
 
 #include <cstdlib>
 #include <functional>
@@ -122,8 +125,8 @@ int Usage() {
          "  tree <db-path> <query terms...> [--depth D]\n"
          "  navigate <db-path> <query terms...> [--static] [--trace]\n"
          "  convert-mesh <mtrees-path> <hierarchy-out>\n"
-         "  remote <host:port> <query terms...>\n"
-         "  stats <host:port> [--prom]\n";
+         "  remote <host:port> <query terms...> [--proto json|binary]\n"
+         "  stats <host:port> [--prom] [--proto json|binary]\n";
   return 2;
 }
 
@@ -302,9 +305,27 @@ int CmdNavigate(const Args& args) {
   return 0;
 }
 
+// Resolves --proto into a wire encoding; prints the reason and returns
+// false on an unknown name (the caller exits non-zero).
+bool ParseProtoFlag(const Args& args, WireProto* proto) {
+  std::string name = args.FlagOr("proto", "json");
+  if (name == "json") {
+    *proto = WireProto::kJson;
+    return true;
+  }
+  if (name == "binary") {
+    *proto = WireProto::kBinary;
+    return true;
+  }
+  std::cerr << "bionav_cli: unknown --proto '" << name
+            << "' (want json|binary)\n";
+  return false;
+}
+
 // Parses "host:port" and connects; prints the reason and returns nullptr
 // on failure (the caller exits non-zero).
-std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint) {
+std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint,
+                                           WireProto proto) {
   size_t colon = endpoint.rfind(':');
   int64_t port = 0;
   if (colon == std::string::npos || colon == 0 ||
@@ -314,8 +335,10 @@ std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint) {
               << "' (want host:port)\n";
     return nullptr;
   }
-  auto connected =
-      NavClient::Connect(endpoint.substr(0, colon), static_cast<int>(port));
+  NavClientOptions options;
+  options.proto = proto;
+  auto connected = NavClient::Connect(endpoint.substr(0, colon),
+                                      static_cast<int>(port), options);
   if (!connected.ok()) {
     std::cerr << connected.status().ToString() << "\n";
     return nullptr;
@@ -332,7 +355,9 @@ std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint) {
 int CmdRemote(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   const std::string endpoint = args.positional[0];
-  std::unique_ptr<NavClient> connected = ConnectEndpoint(endpoint);
+  WireProto proto = WireProto::kJson;
+  if (!ParseProtoFlag(args, &proto)) return 2;
+  std::unique_ptr<NavClient> connected = ConnectEndpoint(endpoint, proto);
   if (connected == nullptr) return 1;
 
   std::string query = JoinQuery(args, 1);
@@ -343,8 +368,9 @@ int CmdRemote(const Args& args) {
     token = opened.ValueOrDie().token;
     if (banner) {
       std::cout << "'" << query << "': " << opened.ValueOrDie().result_size
-                << " citations (session " << token
-                << "). Commands: expand <node> | show <node> | back | tree"
+                << " citations (session " << token << ", "
+                << WireProtoName(proto) << " wire)."
+                   " Commands: expand <node> | show <node> | back | tree"
                    " | stats | quit\n";
     }
     return Status::OK();
@@ -366,7 +392,7 @@ int CmdRemote(const Args& args) {
     }
     std::cout << "(connection lost: " << status.message()
               << "; reconnecting)\n";
-    std::unique_ptr<NavClient> fresh = ConnectEndpoint(endpoint);
+    std::unique_ptr<NavClient> fresh = ConnectEndpoint(endpoint, proto);
     if (fresh == nullptr) return status;
     connected = std::move(fresh);
     Status reopened = open_session(/*banner=*/false);
@@ -452,7 +478,10 @@ int CmdRemote(const Args& args) {
 // scrape a running bionav_serve without opening a navigation session.
 int CmdStats(const Args& args) {
   if (args.positional.size() != 1) return Usage();
-  std::unique_ptr<NavClient> client = ConnectEndpoint(args.positional[0]);
+  WireProto proto = WireProto::kJson;
+  if (!ParseProtoFlag(args, &proto)) return 2;
+  std::unique_ptr<NavClient> client =
+      ConnectEndpoint(args.positional[0], proto);
   if (client == nullptr) return 1;
   if (args.HasFlag("prom")) {
     auto text = client->Metrics();
