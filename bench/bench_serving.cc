@@ -43,6 +43,12 @@
 // --cache=off, --warmup=N (discarded sessions per client before the
 // measured phase; closed loop only), --json=PATH, --obs=off (disable
 // server-side trace spans).
+//
+// Sharded-tier modes: --backends=N stands up N in-process NavServer shards
+// behind a NavRouter and drives the router endpoint (per-backend request
+// counts and an aggregate p99 land in --json); --target=HOST:PORT skips
+// the in-process tier entirely and drives an external endpoint, e.g. a
+// `bionav_route --backends=auto:N` fleet started out of band.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -188,11 +194,12 @@ Status RunSession(NavClient& client, const QueryVariant& variant,
 /// failures) accumulate into `r`. `phase_salt` decorrelates the warmup
 /// RNG stream from the measured one.
 void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
-               int client_index, uint64_t phase_salt, int sessions, int port,
-               WireProto proto, ClientResult* r) {
+               int client_index, uint64_t phase_salt, int sessions,
+               const std::string& host, int port, WireProto proto,
+               ClientResult* r) {
   NavClientOptions client_options;
   client_options.proto = proto;
-  auto connected = NavClient::Connect("127.0.0.1", port, client_options);
+  auto connected = NavClient::Connect(host, port, client_options);
   if (!connected.ok()) {
     r->first_error = connected.status().ToString();
     r->sessions_failed += sessions;
@@ -241,10 +248,14 @@ struct OpenLoopTotals {
 
 class OpenLoopHarness {
  public:
-  OpenLoopHarness(int port, const std::vector<QueryVariant>& universe,
-                  double zipf_s, WireProto proto, int connections,
-                  int sessions_per_conn)
-      : port_(port), universe_(universe), zipf_s_(zipf_s), proto_(proto) {
+  OpenLoopHarness(std::string host, int port,
+                  const std::vector<QueryVariant>& universe, double zipf_s,
+                  WireProto proto, int connections, int sessions_per_conn)
+      : host_(std::move(host)),
+        port_(port),
+        universe_(universe),
+        zipf_s_(zipf_s),
+        proto_(proto) {
     conns_.reserve(static_cast<size_t>(connections));
     for (int i = 0; i < connections; ++i) {
       auto conn = std::make_unique<Conn>();
@@ -286,7 +297,7 @@ class OpenLoopHarness {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<uint16_t>(port_));
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr);
     if (c->fd < 0 ||
         (::connect(c->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
              0 &&
@@ -552,6 +563,7 @@ class OpenLoopHarness {
   }
 
   EventLoop loop_{10};
+  const std::string host_;
   const int port_;
   const std::vector<QueryVariant>& universe_;
   const double zipf_s_;
@@ -586,6 +598,8 @@ int main(int argc, char** argv) {
   bool open_loop = false;
   int connections = 0;
   int io_threads = 1;
+  int backends = 0;
+  std::string target;
   WireProto proto = WireProto::kJson;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -620,6 +634,11 @@ int main(int argc, char** argv) {
       proto = WireProto::kJson;
     } else if (arg == "--proto=binary") {
       proto = WireProto::kBinary;
+    } else if (StartsWith(arg, "--backends=") &&
+               ParseInt64(arg.substr(11), &value) && value > 0) {
+      backends = static_cast<int>(value);
+    } else if (StartsWith(arg, "--target=")) {
+      target = arg.substr(9);
     } else {
       std::cerr << "bench_serving: unknown arg '" << arg << "'\n";
       return 2;
@@ -627,6 +646,10 @@ int main(int argc, char** argv) {
   }
 
   if (open_loop && connections == 0) connections = 64;
+  if (backends > 0 && !target.empty()) {
+    std::cerr << "bench_serving: --backends and --target are exclusive\n";
+    return 2;
+  }
 
   PrintPreamble(open_loop
                     ? "Serving: open-loop connection sweep on NavServer"
@@ -647,17 +670,74 @@ int main(int argc, char** argv) {
   server_options.session.max_sessions =
       static_cast<size_t>(concurrent) * 2 + 8;
   server_options.session.cache_enabled = cache_enabled;
-  NavServer server(&w.hierarchy(), &eutils, MakeBioNavStrategyFactory(),
-                   server_options);
-  Status started = server.Start();
-  if (!started.ok()) {
-    std::cerr << started.ToString() << "\n";
-    return 1;
+
+  // The endpoint under test comes in three shapes: the default in-process
+  // NavServer, a sharded tier (--backends=N stands up N NavServers behind
+  // an in-process NavRouter so both load models drive the full router data
+  // path over real TCP), or an external endpoint (--target=HOST:PORT, e.g.
+  // a bionav_route fleet started out of band).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::unique_ptr<NavServer> server;
+  std::vector<std::unique_ptr<NavServer>> shards;
+  std::unique_ptr<NavRouter> router;
+  if (!target.empty()) {
+    size_t colon = target.rfind(':');
+    int64_t target_port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !ParseInt64(target.substr(colon + 1), &target_port) ||
+        target_port <= 0 || target_port > 65535) {
+      std::cerr << "bench_serving: --target needs HOST:PORT\n";
+      return 2;
+    }
+    host = target.substr(0, colon);
+    port = static_cast<int>(target_port);
+    std::cout << "target: " << host << ":" << port << " (external), "
+              << WireProtoName(proto) << " wire\n";
+  } else if (backends > 0) {
+    std::vector<RouterBackend> fleet;
+    for (int b = 0; b < backends; ++b) {
+      std::string id = "shard" + std::to_string(b);
+      NavServerOptions shard_options = server_options;
+      // The router pins sessions by token string, so each shard's minted
+      // tokens must be unique fleet-wide.
+      shard_options.session.token_prefix = id + "-";
+      auto shard = std::make_unique<NavServer>(
+          &w.hierarchy(), &eutils, MakeBioNavStrategyFactory(), shard_options);
+      if (Status up = shard->Start(); !up.ok()) {
+        std::cerr << up.ToString() << "\n";
+        return 1;
+      }
+      fleet.push_back({"127.0.0.1", shard->port(), id});
+      shards.push_back(std::move(shard));
+    }
+    NavRouterOptions router_options;
+    router_options.io_threads = io_threads;
+    router_options.max_connections = server_options.max_connections;
+    router = std::make_unique<NavRouter>(std::move(fleet), router_options);
+    if (Status started = router->Start(); !started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    port = router->port();
+    std::cout << "tier: router 127.0.0.1:" << port << " over " << backends
+              << " shards, " << server_options.threads
+              << " worker threads each, " << io_threads
+              << " io thread(s), cache " << (cache_enabled ? "on" : "off")
+              << ", " << WireProtoName(proto) << " wire\n";
+  } else {
+    server = std::make_unique<NavServer>(
+        &w.hierarchy(), &eutils, MakeBioNavStrategyFactory(), server_options);
+    if (Status started = server->Start(); !started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    port = server->port();
+    std::cout << "server: 127.0.0.1:" << port << ", "
+              << server_options.threads << " worker threads, " << io_threads
+              << " io thread(s), cache " << (cache_enabled ? "on" : "off")
+              << ", " << WireProtoName(proto) << " wire\n";
   }
-  std::cout << "server: 127.0.0.1:" << server.port() << ", "
-            << server_options.threads << " worker threads, " << io_threads
-            << " io thread(s), cache " << (cache_enabled ? "on" : "off")
-            << ", " << WireProtoName(proto) << " wire\n";
   if (open_loop) {
     std::cout << "load: " << connections << " open-loop connections x "
               << sessions_per_client << " sessions, " << universe.size()
@@ -673,8 +753,8 @@ int main(int argc, char** argv) {
   OpenLoopTotals open_totals;
   double wall_ms = 0;
   if (open_loop) {
-    OpenLoopHarness harness(server.port(), universe, zipf_s, proto,
-                            connections, sessions_per_client);
+    OpenLoopHarness harness(host, port, universe, zipf_s, proto, connections,
+                            sessions_per_client);
     Timer wall;
     open_totals = harness.Run();
     wall_ms = wall.ElapsedMillis();
@@ -685,8 +765,8 @@ int main(int argc, char** argv) {
       threads.reserve(static_cast<size_t>(clients));
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
-          RunClient(universe, zipf_s, c, salt, sessions, server.port(),
-                    proto, &(*out)[static_cast<size_t>(c)]);
+          RunClient(universe, zipf_s, c, salt, sessions, host, port, proto,
+                    &(*out)[static_cast<size_t>(c)]);
         });
       }
       for (std::thread& t : threads) t.join();
@@ -711,8 +791,26 @@ int main(int argc, char** argv) {
   // Wire-volume accounting is snapshotted before the stats scraper
   // connects, so bytes/request reflects only the load phases (warmup is
   // proportionally identical across protocols and does not skew the
-  // per-request average).
-  NavServerStats wire_stats = server.stats();
+  // per-request average). With the sharded tier the shards' counters are
+  // summed — that is the backend-side wire volume, one router hop in from
+  // what the clients saw. An external --target leaves them zero.
+  NavServerStats wire_stats{};
+  if (server != nullptr) wire_stats = server->stats();
+  for (const std::unique_ptr<NavServer>& shard : shards) {
+    NavServerStats s = shard->stats();
+    wire_stats.requests += s.requests;
+    wire_stats.bytes_rx += s.bytes_rx;
+    wire_stats.bytes_tx += s.bytes_tx;
+    wire_stats.connections_accepted += s.connections_accepted;
+    wire_stats.connections_shed += s.connections_shed;
+    wire_stats.connections_idle_closed += s.connections_idle_closed;
+    wire_stats.epoll_wakeups += s.epoll_wakeups;
+    wire_stats.sessions.created += s.sessions.created;
+    wire_stats.sessions.closed += s.sessions.closed;
+    wire_stats.sessions.evicted_lru += s.sessions.evicted_lru;
+  }
+  NavRouterStats router_stats{};
+  if (router != nullptr) router_stats = router->stats();
   double bytes_tx_per_req =
       wire_stats.requests > 0
           ? static_cast<double>(wire_stats.bytes_tx) /
@@ -739,8 +837,7 @@ int main(int argc, char** argv) {
   double server_query_p99 = -1, server_expand_p99 = -1;
   int64_t cache_hits = 0, cache_misses = 0, cache_entries = 0,
           cache_bytes = 0;
-  if (auto scraper = NavClient::Connect("127.0.0.1", server.port());
-      scraper.ok()) {
+  if (auto scraper = NavClient::Connect(host, port); scraper.ok()) {
     if (auto stats_doc = scraper.ValueOrDie()->Stats(); stats_doc.ok()) {
       server_query_p99 =
           ServerP99Ms(stats_doc.ValueOrDie(), "bionav_server_op_query_us");
@@ -751,10 +848,38 @@ int main(int argc, char** argv) {
         cache_misses = c->IntOr("misses", 0);
         cache_entries = c->IntOr("entries", 0);
         cache_bytes = c->IntOr("bytes", 0);
+      } else if (const JsonValue* fleet =
+                     stats_doc.ValueOrDie().Find("fleet")) {
+        // A router endpoint exposes the fleet rollup instead of a single
+        // server's cache block (entries/bytes are per-shard, not summed).
+        cache_hits = fleet->IntOr("cache_hits", 0);
+        cache_misses = fleet->IntOr("cache_misses", 0);
       }
     }
   }
-  server.Shutdown();
+  // The fleet rollup lags a health-probe interval behind the load; with the
+  // in-process tier the shards are right here, so scrape them directly for
+  // an up-to-date cache picture.
+  if (!shards.empty()) {
+    cache_hits = cache_misses = cache_entries = cache_bytes = 0;
+    for (const std::unique_ptr<NavServer>& shard : shards) {
+      auto scraper = NavClient::Connect("127.0.0.1", shard->port());
+      if (!scraper.ok()) continue;
+      auto stats_doc = scraper.ValueOrDie()->Stats();
+      if (!stats_doc.ok()) continue;
+      if (const JsonValue* c = stats_doc.ValueOrDie().Find("cache")) {
+        cache_hits += c->IntOr("hits", 0);
+        cache_misses += c->IntOr("misses", 0);
+        cache_entries += c->IntOr("entries", 0);
+        cache_bytes += c->IntOr("bytes", 0);
+      }
+    }
+  }
+  // Tear the tier down front-to-back so shards never see a dead router's
+  // upstream connections as client aborts.
+  if (router != nullptr) router->Shutdown();
+  for (const std::unique_ptr<NavServer>& shard : shards) shard->Shutdown();
+  if (server != nullptr) server->Shutdown();
 
   int done = 0, failed = 0, shed = 0, transport_errors = 0;
   OpLatencies all;
@@ -783,7 +908,21 @@ int main(int argc, char** argv) {
   std::sort(all.expand_ms.begin(), all.expand_ms.end());
   std::sort(all.other_ms.begin(), all.other_ms.end());
 
-  NavServerStats stats = server.stats();
+  // Aggregate distribution over every operation class — the one-number
+  // comparison between a direct server and the routed tier, where each
+  // op pays the extra hop.
+  std::vector<double> all_ops;
+  all_ops.reserve(all.query_cold_ms.size() + all.query_warm_ms.size() +
+                  all.expand_ms.size() + all.other_ms.size());
+  for (const std::vector<double>* v :
+       {&all.query_cold_ms, &all.query_warm_ms, &all.expand_ms,
+        &all.other_ms}) {
+    all_ops.insert(all_ops.end(), v->begin(), v->end());
+  }
+  std::sort(all_ops.begin(), all_ops.end());
+  double aggregate_p99 = Percentile(&all_ops, 0.99);
+
+  const NavServerStats& stats = wire_stats;
   TextTable table;
   table.SetHeader({"Op", "Requests", "p50 (ms)", "p95 (ms)", "p99 (ms)",
                    "Server p99"});
@@ -809,15 +948,28 @@ int main(int argc, char** argv) {
                                       : 0.0;
   std::cout << "\nsessions: " << done << " done, " << failed << " failed, "
             << transport_errors << " transport errors, "
-            << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n"
-            << "server: " << stats.requests << " requests, "
-            << stats.connections_accepted << " connections accepted, "
-            << stats.connections_shed << " shed, "
-            << stats.connections_idle_closed << " idle-closed, "
-            << stats.epoll_wakeups << " epoll wakeups, "
-            << stats.sessions.created << " sessions created, "
-            << stats.sessions.evicted_lru << " LRU-evicted\n"
-            << "cache: " << cache_hits << " hits, " << cache_misses
+            << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n";
+  if (server != nullptr || !shards.empty()) {
+    std::cout << "server: " << stats.requests << " requests, "
+              << stats.connections_accepted << " connections accepted, "
+              << stats.connections_shed << " shed, "
+              << stats.connections_idle_closed << " idle-closed, "
+              << stats.epoll_wakeups << " epoll wakeups, "
+              << stats.sessions.created << " sessions created, "
+              << stats.sessions.evicted_lru << " LRU-evicted\n";
+  }
+  if (router != nullptr) {
+    std::cout << "router: " << router_stats.forwarded << " forwarded, "
+              << router_stats.retry_later << " retry-later, "
+              << router_stats.protocol_errors << " protocol errors, "
+              << router_stats.healthy_backends << "/"
+              << router_stats.backends.size() << " healthy; per backend:";
+    for (const RouterBackendStats& b : router_stats.backends) {
+      std::cout << " " << b.id << "=" << b.forwarded;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "cache: " << cache_hits << " hits, " << cache_misses
             << " misses (hit rate " << TextTable::Num(hit_rate, 3) << "), "
             << cache_entries << " entries, " << cache_bytes << " bytes";
   if (warm_p50 > 0 && cold_p50 > 0) {
@@ -850,7 +1002,19 @@ int main(int argc, char** argv) {
         << ", \"query_cold_p50_ms\": " << cold_p50
         << ", \"query_warm_p50_ms\": " << warm_p50
         << ", \"query_warm_p99_ms\": " << Percentile(&all.query_warm_ms, 0.99)
-        << ", \"expand_p99_ms\": " << Percentile(&all.expand_ms, 0.99);
+        << ", \"expand_p99_ms\": " << Percentile(&all.expand_ms, 0.99)
+        << ", \"aggregate_p99_ms\": " << aggregate_p99 << ", \"tier\": \""
+        << (router != nullptr ? "router"
+                              : (target.empty() ? "server" : "external"))
+        << "\"";
+  if (router != nullptr) {
+    extra << ", \"backends\": " << router_stats.backends.size()
+          << ", \"backend_requests\": [";
+    for (size_t b = 0; b < router_stats.backends.size(); ++b) {
+      extra << (b > 0 ? ", " : "") << router_stats.backends[b].forwarded;
+    }
+    extra << "]";
+  }
   AppendJsonRecord(
       opts.json_path, "bench_serving",
       std::string(open_loop ? "mode=open,connections=" : "mode=closed,clients=") +
@@ -864,10 +1028,20 @@ int main(int argc, char** argv) {
   // session — or, in open-loop mode, any transport-level failure — is a
   // serving bug, not load.
   if (failed > 0 || shed > 0 || transport_errors > 0 ||
-      stats.connections_shed > 0) {
+      stats.connections_shed > 0 || router_stats.protocol_errors > 0 ||
+      router_stats.retry_later > 0) {
     std::cerr << "ERROR: " << failed << " failed / " << shed << " shed / "
               << transport_errors
-              << " transport errors below the admission limit\n";
+              << " transport errors below the admission limit"
+              << (router != nullptr ? " (router: " +
+                                          std::to_string(
+                                              router_stats.retry_later) +
+                                          " retry-later, " +
+                                          std::to_string(
+                                              router_stats.protocol_errors) +
+                                          " protocol errors)"
+                                    : "")
+              << "\n";
     return 1;
   }
   return 0;

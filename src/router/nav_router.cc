@@ -1,0 +1,1597 @@
+#include "router/nav_router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "cache/query_artifacts.h"
+#include "core/json_export.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace bionav {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-effort one-line reply on a socket about to be closed (accept-path
+/// shedding). Always JSON, as in NavServer: the reply may precede the
+/// peer's first byte, and binary clients recognize '{' as the fallback.
+void SendLineBestEffort(int fd, std::string line) {
+  line.push_back('\n');
+  [[maybe_unused]] ssize_t n =
+      ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+/// iovec segments per sendmsg on the downstream flush path.
+constexpr size_t kMaxIov = 64;
+
+constexpr size_t kNoBackend = static_cast<size_t>(-1);
+
+/// Success peek without a full decode: a binary response body is
+/// [version][flags][op] with flags bit0 = ok; a JSON response line always
+/// opens {"v":1,"ok":... (ResponseBuilder / WireResponse / ErrorReply all
+/// emit the members in that order). Only non-OK frames and QUERY replies
+/// pay for a real decode.
+bool PeekResponseOk(WireProto proto, const std::string& frame) {
+  if (proto == WireProto::kBinary) {
+    return frame.size() >= 2 &&
+           (static_cast<unsigned char>(frame[1]) & 1) != 0;
+  }
+  return frame.compare(0, 16, "{\"v\":1,\"ok\":true") == 0;
+}
+
+/// Full response decode for the frames that need field access (pin
+/// learning, error typing): one document shape for both encodings.
+Result<JsonValue> DecodeResponseDoc(WireProto proto,
+                                    const std::string& frame) {
+  if (proto == WireProto::kBinary) return DecodeBinaryResponse(frame);
+  return ParseJson(frame);
+}
+
+/// Re-frames a relayed payload for the wire: binary frames regain their
+/// magic + length prefix, JSON lines their terminator.
+void AppendWireFrame(std::string* out, WireProto proto,
+                     std::string_view payload) {
+  if (proto == WireProto::kBinary) {
+    out->push_back(static_cast<char>(kBinaryFrameMagic));
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    out->push_back(static_cast<char>(len & 0xFF));
+    out->push_back(static_cast<char>((len >> 8) & 0xFF));
+    out->push_back(static_cast<char>((len >> 16) & 0xFF));
+    out->push_back(static_cast<char>((len >> 24) & 0xFF));
+    out->append(payload.data(), payload.size());
+    return;
+  }
+  out->append(payload.data(), payload.size());
+  out->push_back('\n');
+}
+
+Counter* RequestsCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_requests_total", "Request frames received by the router");
+  return counter;
+}
+
+Counter* ForwardedCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_forwarded_total", "Requests forwarded to backends");
+  return counter;
+}
+
+Counter* RetryLaterCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_retry_later_total",
+      "Requests answered RETRY_LATER by the router");
+  return counter;
+}
+
+Counter* ProtocolErrorsCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_protocol_errors_total",
+      "Request frames rejected by the router before forwarding");
+  return counter;
+}
+
+Counter* UpstreamErrorsCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_upstream_errors_total",
+      "Forwarded requests failed by upstream transport errors");
+  return counter;
+}
+
+Counter* ProbeFailuresCounter() {
+  static Counter* counter = GlobalMetrics().GetCounter(
+      "bionav_router_probe_failures_total", "Health probes that failed");
+  return counter;
+}
+
+Gauge* OpenConnectionsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_router_open_connections",
+      "Downstream connections currently open");
+  return gauge;
+}
+
+Gauge* PinnedSessionsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_router_pinned_sessions", "Live session-token pins");
+  return gauge;
+}
+
+Gauge* HealthyBackendsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge(
+      "bionav_router_healthy_backends", "Backends currently healthy");
+  return gauge;
+}
+
+LatencyHistogram* ForwardLatencyHistogram() {
+  static LatencyHistogram* hist = GlobalMetrics().GetHistogram(
+      "bionav_router_forward_us",
+      "Forward-to-response latency through a backend");
+  return hist;
+}
+
+}  // namespace
+
+const char* BackendHealthName(BackendHealth health) {
+  switch (health) {
+    case BackendHealth::kHealthy: return "healthy";
+    case BackendHealth::kUnhealthy: return "unhealthy";
+    case BackendHealth::kHalfOpen: return "halfopen";
+  }
+  return "unhealthy";
+}
+
+NavRouter::NavRouter(std::vector<RouterBackend> backends,
+                     NavRouterOptions options)
+    : options_(std::move(options)),
+      ring_(HashRingOptions{options_.ring_vnodes, options_.ring_seed}) {
+  BIONAV_CHECK(!backends.empty()) << "NavRouter needs at least one backend";
+  if (options_.io_threads < 1) options_.io_threads = 1;
+  if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_inflight_per_connection < 1) {
+    options_.max_inflight_per_connection = 1;
+  }
+  if (options_.max_write_queue_bytes < 4096) {
+    options_.max_write_queue_bytes = 4096;
+  }
+  if (options_.max_upstream_queue_bytes < 4096) {
+    options_.max_upstream_queue_bytes = 4096;
+  }
+  if (options_.upstream_pool_size < 1) options_.upstream_pool_size = 1;
+  if (options_.health_failures_to_eject < 1) {
+    options_.health_failures_to_eject = 1;
+  }
+  for (RouterBackend& backend : backends) {
+    if (backend.id.empty()) {
+      backend.id = backend.host + ":" + std::to_string(backend.port);
+    }
+    BIONAV_CHECK(backend_index_by_id_.count(backend.id) == 0)
+        << "duplicate backend id '" << backend.id << "'";
+    backend_index_by_id_.emplace(backend.id, backends_.size());
+    auto state = std::make_unique<BackendState>();
+    state->config = backend;
+    backends_.push_back(std::move(state));
+    ring_.AddBackend(backend.id);
+  }
+}
+
+Status NavRouter::Start() {
+  BIONAV_CHECK(!started_.load()) << "NavRouter started twice";
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 512) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  loops_.clear();
+  loop_conns_.clear();
+  loop_upstreams_.clear();
+  for (int i = 0; i < options_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  loop_conns_.resize(loops_.size());
+  loop_upstreams_.resize(loops_.size());
+  size_t slots = backends_.size() * static_cast<size_t>(kNumWireProtos) *
+                 static_cast<size_t>(options_.upstream_pool_size);
+  for (auto& pool : loop_upstreams_) pool.resize(slots);
+  probes_.assign(backends_.size(), nullptr);
+  RefreshHealthyGauge();
+
+  Status added = loops_[0]->Add(listen_fd_, EventLoop::kReadable,
+                                [this](uint32_t) { OnAcceptable(); });
+  if (!added.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return added;
+  }
+
+  started_.store(true);
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    io_threads_.emplace_back([this, i] { IoThreadMain(i); });
+  }
+  if (options_.health_interval_ms > 0) {
+    loops_[0]->RunInLoop([this] { ArmHealthTimer(); });
+  }
+  return Status::OK();
+}
+
+void NavRouter::IoThreadMain(size_t loop_index) {
+  loops_[loop_index]->Run();
+}
+
+// ---------------------------------------------------------------------------
+// Downstream path (the NavServer reactor shape; see nav_server.cc)
+// ---------------------------------------------------------------------------
+
+void NavRouter::OnAcceptable() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone.
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      SendLineBestEffort(
+          fd, ErrorReply(WireError::kShuttingDown, "router is draining"));
+      ::close(fd);
+      continue;
+    }
+    if (connections_open_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      SendLineBestEffort(fd, ErrorReply(WireError::kRetryLater,
+                                        "router at capacity, retry later"));
+      ::close(fd);
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    AdmitConnection(fd);
+  }
+}
+
+void NavRouter::AdmitConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  connections_open_.fetch_add(1, std::memory_order_acq_rel);
+  OpenConnectionsGauge()->Add(1);
+
+  size_t loop_index =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  ConnPtr conn = std::make_shared<Conn>(options_.max_frame_bytes);
+  conn->conn_id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  conn->fd = fd;
+  conn->loop_index = loop_index;
+  conn->last_activity_ms = SteadyNowMs();
+
+  EventLoop* loop = loops_[loop_index].get();
+  loop->RunInLoop([this, loop, conn] {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      SendLineBestEffort(conn->fd, ErrorReply(WireError::kShuttingDown,
+                                              "router is draining"));
+      ::close(conn->fd);
+      conn->closed = true;
+      connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+      OpenConnectionsGauge()->Add(-1);
+      drain_cv_.notify_all();
+      return;
+    }
+    loop_conns_[conn->loop_index].emplace(conn->fd, conn);
+    Status added = loop->Add(conn->fd, EventLoop::kReadable,
+                             [this, conn](uint32_t events) {
+                               OnConnectionEvent(conn, events);
+                             });
+    if (!added.ok()) {
+      loop_conns_[conn->loop_index].erase(conn->fd);
+      ::close(conn->fd);
+      conn->closed = true;
+      connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+      OpenConnectionsGauge()->Add(-1);
+      drain_cv_.notify_all();
+      return;
+    }
+    ArmIdleTimer(conn);
+  });
+}
+
+void NavRouter::OnConnectionEvent(const ConnPtr& conn, uint32_t events) {
+  if (conn->closed) return;
+  if (events & EventLoop::kError) {
+    CloseConnection(conn);
+    return;
+  }
+  if (events & EventLoop::kWritable) FlushWrites(conn);
+  if (conn->closed) return;
+  if (events & EventLoop::kReadable) ReadConnection(conn);
+}
+
+bool NavRouter::FeedConnection(const ConnPtr& conn, std::string_view data) {
+  if (!conn->proto_decided) {
+    conn->preamble.append(data.data(), data.size());
+    if (conn->preamble.empty()) return true;
+    if (conn->preamble[0] != kBinaryPreamble[0]) {
+      conn->proto = WireProto::kJson;
+      conn->proto_decided = true;
+      std::string buffered = std::move(conn->preamble);
+      conn->preamble.clear();
+      return conn->decoder.Feed(buffered);
+    }
+    if (conn->preamble.size() < sizeof(kBinaryPreamble)) return true;
+    if (std::memcmp(conn->preamble.data(), kBinaryPreamble,
+                    sizeof(kBinaryPreamble)) != 0) {
+      conn->preamble_error = true;
+      return false;
+    }
+    conn->proto = WireProto::kBinary;
+    conn->proto_decided = true;
+    std::string buffered = std::move(conn->preamble);
+    conn->preamble.clear();
+    return conn->bdecoder.Feed(
+        std::string_view(buffered).substr(sizeof(kBinaryPreamble)));
+  }
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.Feed(data)
+                                           : conn->decoder.Feed(data);
+}
+
+bool NavRouter::HasBufferedFrame(const ConnPtr& conn) const {
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.has_frame()
+                                           : conn->decoder.has_frame();
+}
+
+bool NavRouter::NextBufferedFrame(const ConnPtr& conn, std::string* payload) {
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.Next(payload)
+                                           : conn->decoder.Next(payload);
+}
+
+bool NavRouter::DecoderBroken(const ConnPtr& conn) const {
+  if (conn->preamble_error) return true;
+  if (!conn->proto_decided) return false;
+  return conn->proto == WireProto::kBinary ? conn->bdecoder.broken()
+                                           : conn->decoder.overflowed();
+}
+
+void NavRouter::ReadConnection(const ConnPtr& conn) {
+  char chunk[16384];
+  int64_t received = 0;
+  bool peer_eof = false;
+  for (int i = 0; i < 4; ++i) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      received += n;
+      if (!FeedConnection(conn,
+                          std::string_view(chunk, static_cast<size_t>(n)))) {
+        break;  // Preamble error or broken decoder; handled below.
+      }
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+  if (received > 0) conn->last_activity_ms = SteadyNowMs();
+
+  DispatchFrames(conn);
+  if (conn->closed) return;
+
+  if (conn->preamble_error && !conn->draining) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ProtocolErrorsCounter()->Increment();
+    CountRequest();
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    conn->draining = true;
+    conn->close_after_flush = true;
+    CompleteRequest(conn, seq,
+                    WireResponse::Error(WireProto::kJson,
+                                        WireError::kBadRequest,
+                                        "unrecognized protocol preamble"));
+    return;
+  }
+  if (DecoderBroken(conn) && !conn->draining) {
+    bool oversized = conn->proto == WireProto::kBinary
+                         ? conn->bdecoder.overflowed()
+                         : conn->decoder.overflowed();
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ProtocolErrorsCounter()->Increment();
+    CountRequest();
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    conn->draining = true;
+    conn->close_after_flush = true;
+    std::string message =
+        oversized ? "request frame exceeds " +
+                        std::to_string(options_.max_frame_bytes) + " bytes"
+                  : "malformed binary frame header";
+    CompleteRequest(conn, seq,
+                    WireResponse::Error(conn->proto, WireError::kBadRequest,
+                                        message));
+    return;
+  }
+  if (peer_eof) {
+    conn->close_after_flush = true;
+    UpdateInterest(conn);
+    if (conn->inflight == 0 && conn->write_queue.empty() &&
+        !HasBufferedFrame(conn)) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void NavRouter::DispatchFrames(const ConnPtr& conn) {
+  if (conn->dispatching) return;
+  conn->dispatching = true;
+  std::string payload;
+  while (!conn->closed) {
+    if (conn->draining) {
+      if (!NextBufferedFrame(conn, &payload)) break;
+      if (payload.empty() && conn->proto == WireProto::kJson) continue;
+      CountRequest();
+      uint64_t seq = conn->next_dispatch_seq++;
+      ++conn->inflight;
+      CompleteRequest(conn, seq,
+                      WireResponse::Error(conn->proto,
+                                          WireError::kShuttingDown,
+                                          "router is draining"));
+      continue;
+    }
+    if (conn->inflight >= options_.max_inflight_per_connection) break;
+    if (!NextBufferedFrame(conn, &payload)) break;
+    if (payload.empty() && conn->proto == WireProto::kJson) continue;
+    uint64_t seq = conn->next_dispatch_seq++;
+    ++conn->inflight;
+    RouteFrame(conn, seq, payload);
+  }
+  conn->dispatching = false;
+}
+
+void NavRouter::CompleteRequest(const ConnPtr& conn, uint64_t seq,
+                                WireFrame response) {
+  if (conn->closed) return;
+  --conn->inflight;
+  if (seq == conn->next_release_seq && conn->completed.empty()) {
+    conn->write_queue_bytes += response.size();
+    conn->write_queue.push_back(std::move(response));
+    ++conn->next_release_seq;
+  } else {
+    conn->completed.emplace(seq, std::move(response));
+    while (!conn->completed.empty() &&
+           conn->completed.begin()->first == conn->next_release_seq) {
+      WireFrame& ready = conn->completed.begin()->second;
+      conn->write_queue_bytes += ready.size();
+      conn->write_queue.push_back(std::move(ready));
+      conn->completed.erase(conn->completed.begin());
+      ++conn->next_release_seq;
+    }
+  }
+  FlushWrites(conn);
+  if (conn->closed) return;
+  if (HasBufferedFrame(conn)) DispatchFrames(conn);
+  if (!conn->closed) UpdateInterest(conn);
+}
+
+void NavRouter::FlushWrites(const ConnPtr& conn) {
+  while (!conn->write_queue.empty()) {
+    iovec iov[kMaxIov];
+    size_t iov_count = 0;
+    size_t batch_bytes = 0;
+    size_t skip = conn->write_offset;
+    for (const WireFrame& frame : conn->write_queue) {
+      if (iov_count + 2 > kMaxIov) break;
+      if (skip < frame.head.size()) {
+        iov[iov_count].iov_base = const_cast<char*>(frame.head.data()) + skip;
+        iov[iov_count].iov_len = frame.head.size() - skip;
+        batch_bytes += iov[iov_count].iov_len;
+        ++iov_count;
+        skip = 0;
+      } else {
+        skip -= frame.head.size();
+      }
+      if (frame.body != nullptr) {
+        if (skip < frame.body->size()) {
+          iov[iov_count].iov_base =
+              const_cast<char*>(frame.body->data()) + skip;
+          iov[iov_count].iov_len = frame.body->size() - skip;
+          batch_bytes += iov[iov_count].iov_len;
+          ++iov_count;
+          skip = 0;
+        } else {
+          skip -= frame.body->size();
+        }
+      }
+    }
+    if (iov_count == 0) break;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn);
+      return;
+    }
+    conn->write_queue_bytes -= static_cast<size_t>(n);
+    conn->write_offset += static_cast<size_t>(n);
+    while (!conn->write_queue.empty() &&
+           conn->write_offset >= conn->write_queue.front().size()) {
+      conn->write_offset -= conn->write_queue.front().size();
+      conn->write_queue.pop_front();
+    }
+    if (static_cast<size_t>(n) < batch_bytes) break;
+  }
+  UpdateInterest(conn);
+  if (conn->close_after_flush && conn->inflight == 0 &&
+      conn->write_queue.empty() && conn->completed.empty() &&
+      !HasBufferedFrame(conn)) {
+    CloseConnection(conn);
+  }
+}
+
+void NavRouter::UpdateInterest(const ConnPtr& conn) {
+  if (conn->closed) return;
+  bool want_read = !conn->draining && !conn->close_after_flush &&
+                   !DecoderBroken(conn) &&
+                   conn->inflight < options_.max_inflight_per_connection &&
+                   conn->write_queue_bytes < options_.max_write_queue_bytes;
+  bool want_write = !conn->write_queue.empty();
+  if (want_read == conn->reading && want_write == conn->want_write) return;
+  uint32_t events = (want_read ? EventLoop::kReadable : 0) |
+                    (want_write ? EventLoop::kWritable : 0);
+  loops_[conn->loop_index]->Modify(conn->fd, events);
+  conn->reading = want_read;
+  conn->want_write = want_write;
+}
+
+void NavRouter::ArmIdleTimer(const ConnPtr& conn) {
+  if (options_.idle_timeout_ms <= 0 || conn->closed) return;
+  int64_t idle = SteadyNowMs() - conn->last_activity_ms;
+  int64_t remaining = options_.idle_timeout_ms - idle;
+  if (remaining <= 0) {
+    if (conn->inflight == 0 && conn->write_queue.empty() &&
+        conn->completed.empty()) {
+      CloseConnection(conn);
+      return;
+    }
+    remaining = options_.idle_timeout_ms;
+  }
+  conn->idle_timer =
+      loops_[conn->loop_index]->AddTimer(remaining, [this, conn] {
+        conn->idle_timer = kInvalidTimer;
+        ArmIdleTimer(conn);
+      });
+}
+
+void NavRouter::CloseConnection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  EventLoop* loop = loops_[conn->loop_index].get();
+  if (conn->idle_timer != kInvalidTimer) {
+    loop->CancelTimer(conn->idle_timer);
+    conn->idle_timer = kInvalidTimer;
+  }
+  loop->Remove(conn->fd);
+  ::close(conn->fd);
+  loop_conns_[conn->loop_index].erase(conn->fd);
+  connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+  OpenConnectionsGauge()->Add(-1);
+  drain_cv_.notify_all();
+}
+
+void NavRouter::DrainConnection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->draining = true;
+  conn->close_after_flush = true;
+  DispatchFrames(conn);
+  UpdateInterest(conn);
+  if (conn->inflight == 0 && conn->write_queue.empty() &&
+      conn->completed.empty()) {
+    CloseConnection(conn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void NavRouter::CountRequest() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestsCounter()->Increment();
+}
+
+void NavRouter::RouteFrame(const ConnPtr& conn, uint64_t seq,
+                           const std::string& payload) {
+  CountRequest();
+  Request owned;  // Backing storage for the JSON parse path.
+  RequestView view;
+  std::string error_message;
+  WireError parse_error;
+  if (conn->proto == WireProto::kBinary) {
+    parse_error = ParseRequestBinary(payload, &view, &error_message);
+  } else {
+    parse_error = ParseRequest(payload, &owned, &error_message);
+    if (parse_error == WireError::kNone) view = MakeRequestView(owned);
+  }
+  if (parse_error != WireError::kNone) {
+    // The router rejects unparsable frames itself — a typed error without
+    // a backend round trip, and no garbage ever reaches a shard.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ProtocolErrorsCounter()->Increment();
+    CompleteRequest(conn, seq,
+                    WireResponse::Error(conn->proto, parse_error,
+                                        error_message));
+    return;
+  }
+
+  switch (view.op) {
+    case RequestOp::kStats:
+      CompleteRequest(conn, seq, BuildAggregatedStats(conn->proto));
+      return;
+    case RequestOp::kMetrics:
+      CompleteRequest(conn, seq, BuildMetricsFrame(conn->proto));
+      return;
+    case RequestOp::kQuery: {
+      int chosen = ChooseQueryBackend(NormalizeQueryKey(view.query));
+      if (chosen < 0) {
+        AnswerRetryLater(conn, seq, kNoBackend, "all backends draining");
+        return;
+      }
+      size_t backend = static_cast<size_t>(chosen);
+      if (backends_[backend]->health.load(std::memory_order_acquire) !=
+          static_cast<int>(BackendHealth::kHealthy)) {
+        AnswerRetryLater(conn, seq, backend,
+                         "shard '" + backends_[backend]->config.id +
+                             "' is down, retry later");
+        return;
+      }
+      ForwardToBackend(conn, seq, backend, view, payload);
+      return;
+    }
+    default: {
+      size_t backend = ChooseSessionBackend(view.token);
+      if (backends_[backend]->health.load(std::memory_order_acquire) !=
+          static_cast<int>(BackendHealth::kHealthy)) {
+        // The session's shard is down. Its state lives only there, so the
+        // honest answer is a typed retry — not a silent remap that would
+        // surface UNKNOWN_SESSION from an innocent shard.
+        AnswerRetryLater(conn, seq, backend,
+                         "shard '" + backends_[backend]->config.id +
+                             "' is down, retry later");
+        return;
+      }
+      ForwardToBackend(conn, seq, backend, view, payload);
+      return;
+    }
+  }
+}
+
+int NavRouter::ChooseQueryBackend(std::string_view query_key) const {
+  // Owner first, then the clockwise walk — a draining backend stops
+  // receiving *new* sessions while its pinned ones finish elsewhere in
+  // ForwardToBackend. Health is deliberately not part of the walk: a dead
+  // owner's slice answers RETRY_LATER instead of silently migrating, so a
+  // flapping shard cannot smear its keys' artifacts across the fleet.
+  for (const std::string& id : ring_.PreferenceOrder(query_key)) {
+    const BackendState& backend = *backends_[backend_index_by_id_.at(id)];
+    if (backend.draining.load(std::memory_order_acquire)) continue;
+    return static_cast<int>(backend_index_by_id_.at(id));
+  }
+  return -1;
+}
+
+size_t NavRouter::ChooseSessionBackend(std::string_view token) const {
+  {
+    std::lock_guard<std::mutex> lock(pins_mu_);
+    auto it = pins_.find(std::string(token));
+    if (it != pins_.end()) return it->second;
+  }
+  // No pin (evicted, never created here, or a stale client token): the
+  // ring owner of the token answers authoritatively — usually with
+  // UNKNOWN_SESSION.
+  return backend_index_by_id_.at(ring_.OwnerOf(token));
+}
+
+void NavRouter::AnswerRetryLater(const ConnPtr& conn, uint64_t seq,
+                                 size_t backend_index,
+                                 std::string_view message) {
+  retry_later_.fetch_add(1, std::memory_order_relaxed);
+  RetryLaterCounter()->Increment();
+  if (backend_index != kNoBackend) {
+    backends_[backend_index]->retry_later.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  CompleteRequest(conn, seq,
+                  WireResponse::Error(conn->proto, WireError::kRetryLater,
+                                      message));
+}
+
+void NavRouter::ForwardToBackend(const ConnPtr& conn, uint64_t seq,
+                                 size_t backend_index, const RequestView& view,
+                                 const std::string& payload) {
+  UpPtr up =
+      GetUpstream(conn->loop_index, backend_index, conn->proto, conn->conn_id);
+  if (up == nullptr) {
+    AnswerRetryLater(conn, seq, backend_index,
+                     "shard '" + backends_[backend_index]->config.id +
+                         "' unavailable, retry later");
+    return;
+  }
+  if (up->outbox.size() - up->out_off + payload.size() >
+      options_.max_upstream_queue_bytes) {
+    // Per-backend bounded write queue: shed instead of buffering without
+    // bound against a stalled shard.
+    AnswerRetryLater(conn, seq, backend_index,
+                     "shard '" + backends_[backend_index]->config.id +
+                         "' write queue full, retry later");
+    return;
+  }
+  AppendWireFrame(&up->outbox, conn->proto, payload);
+  Pending pending;
+  pending.conn = conn;
+  pending.seq = seq;
+  pending.op = view.op;
+  pending.token = std::string(view.token);
+  pending.learn_token = view.op == RequestOp::kQuery;
+  pending.sent_us = SteadyNowUs();
+  up->pending.push_back(std::move(pending));
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  ForwardedCounter()->Increment();
+  backends_[backend_index]->forwarded.fetch_add(1, std::memory_order_relaxed);
+  if (!up->connecting) {
+    FlushUpstream(up);
+  } else {
+    UpdateUpstreamInterest(up);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Upstream pool
+// ---------------------------------------------------------------------------
+
+size_t NavRouter::UpstreamSlot(size_t backend_index, WireProto proto,
+                               uint64_t conn_id) const {
+  size_t pool = static_cast<size_t>(options_.upstream_pool_size);
+  // Slot affinity by downstream connection id: all of one connection's
+  // requests to a given backend ride the same upstream, preserving that
+  // connection's request order through the shard.
+  return (backend_index * static_cast<size_t>(kNumWireProtos) +
+          static_cast<size_t>(proto)) *
+             pool +
+         static_cast<size_t>(conn_id % pool);
+}
+
+NavRouter::UpPtr NavRouter::GetUpstream(size_t loop_index,
+                                        size_t backend_index, WireProto proto,
+                                        uint64_t conn_id) {
+  UpPtr& slot =
+      loop_upstreams_[loop_index][UpstreamSlot(backend_index, proto,
+                                               conn_id)];
+  if (slot == nullptr || slot->closed) {
+    slot = CreateUpstream(loop_index, backend_index, proto);
+  }
+  return slot;
+}
+
+NavRouter::UpPtr NavRouter::CreateUpstream(size_t loop_index,
+                                           size_t backend_index,
+                                           WireProto proto) {
+  const RouterBackend& config = backends_[backend_index]->config;
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config.port));
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  bool connecting = false;
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      connecting = true;
+      break;
+    }
+    // Synchronous refusal (rare on loopback, but possible): counts toward
+    // ejection like any transport failure.
+    ::close(fd);
+    RecordBackendFailure(backend_index);
+    return nullptr;
+  }
+
+  UpPtr up = std::make_shared<Upstream>();
+  up->backend_index = backend_index;
+  up->proto = proto;
+  up->loop_index = loop_index;
+  up->fd = fd;
+  up->connecting = connecting;
+  if (proto == WireProto::kBinary) {
+    up->outbox.assign(kBinaryPreamble, sizeof(kBinaryPreamble));
+  }
+  Status added = loops_[loop_index]->Add(
+      fd, EventLoop::kReadable | EventLoop::kWritable,
+      [this, up](uint32_t events) { OnUpstreamEvent(up, events); });
+  if (!added.ok()) {
+    ::close(fd);
+    return nullptr;
+  }
+  up->reading = true;
+  up->want_write = true;
+  if (connecting && options_.connect_timeout_ms > 0) {
+    up->connect_timer = loops_[loop_index]->AddTimer(
+        options_.connect_timeout_ms, [this, up] {
+          up->connect_timer = kInvalidTimer;
+          if (!up->closed && up->connecting) {
+            FailUpstream(up, WireError::kRetryLater,
+                         "backend connect timed out", true);
+          }
+        });
+  }
+  return up;
+}
+
+void NavRouter::OnUpstreamEvent(const UpPtr& up, uint32_t events) {
+  if (up->closed) return;
+  if (events & EventLoop::kError) {
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(up->fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    FailUpstream(up, WireError::kRetryLater,
+                 std::string("backend connection error: ") +
+                     std::strerror(soerr != 0 ? soerr : ECONNRESET),
+                 true);
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    if (up->connecting) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(up->fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        FailUpstream(up, WireError::kRetryLater,
+                     std::string("backend connect failed: ") +
+                         std::strerror(soerr),
+                     true);
+        return;
+      }
+      up->connecting = false;
+      if (up->connect_timer != kInvalidTimer) {
+        loops_[up->loop_index]->CancelTimer(up->connect_timer);
+        up->connect_timer = kInvalidTimer;
+      }
+    }
+    FlushUpstream(up);
+    if (up->closed) return;
+  }
+  if (events & EventLoop::kReadable) ReadUpstream(up);
+}
+
+void NavRouter::FlushUpstream(const UpPtr& up) {
+  while (up->out_off < up->outbox.size()) {
+    ssize_t n = ::send(up->fd, up->outbox.data() + up->out_off,
+                       up->outbox.size() - up->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      FailUpstream(up, WireError::kRetryLater,
+                   std::string("backend send failed: ") +
+                       std::strerror(errno),
+                   true);
+      return;
+    }
+    up->out_off += static_cast<size_t>(n);
+  }
+  if (up->out_off >= up->outbox.size()) {
+    up->outbox.clear();
+    up->out_off = 0;
+  } else if (up->out_off > (64u << 10) &&
+             up->out_off * 2 > up->outbox.size()) {
+    up->outbox.erase(0, up->out_off);
+    up->out_off = 0;
+  }
+  UpdateUpstreamInterest(up);
+}
+
+void NavRouter::UpdateUpstreamInterest(const UpPtr& up) {
+  if (up->closed) return;
+  bool want_write = up->connecting || up->out_off < up->outbox.size();
+  bool want_read = true;  // Responses may arrive any time.
+  if (want_read == up->reading && want_write == up->want_write) return;
+  uint32_t events = (want_read ? EventLoop::kReadable : 0) |
+                    (want_write ? EventLoop::kWritable : 0);
+  loops_[up->loop_index]->Modify(up->fd, events);
+  up->reading = want_read;
+  up->want_write = want_write;
+}
+
+void NavRouter::ReadUpstream(const UpPtr& up) {
+  char chunk[16384];
+  bool peer_eof = false;
+  for (int i = 0; i < 4; ++i) {
+    ssize_t n = ::recv(up->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      std::string_view data(chunk, static_cast<size_t>(n));
+      if (up->proto == WireProto::kBinary && !up->json_fallback &&
+          !up->saw_first_byte) {
+        up->saw_first_byte = true;
+        // A '{' before any binary frame is the backend's pre-negotiation
+        // JSON reply (accept-path shed or drain) — it will close next.
+        if (data[0] == '{') up->json_fallback = true;
+      }
+      bool fed = (up->proto == WireProto::kJson || up->json_fallback)
+                     ? up->decoder.Feed(data)
+                     : up->bdecoder.Feed(data);
+      if (!fed) break;  // Broken decoder; handled below.
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    FailUpstream(up, WireError::kRetryLater,
+                 std::string("backend recv failed: ") + std::strerror(errno),
+                 true);
+    return;
+  }
+
+  if (up->json_fallback) {
+    // The backend answered in JSON on a binary upstream: it shed or is
+    // draining, and the typed error applies to everything queued here.
+    std::string line;
+    if (up->decoder.Next(&line)) {
+      WireError error = WireError::kRetryLater;
+      std::string message = "backend shed this connection";
+      Result<JsonValue> parsed = ParseJson(line);
+      if (parsed.ok()) {
+        const JsonValue& doc = parsed.ValueOrDie();
+        if (doc.StringOr("error", "") ==
+            WireErrorName(WireError::kShuttingDown)) {
+          error = WireError::kShuttingDown;
+        }
+        message = doc.StringOr("message", message);
+      }
+      FailUpstream(up, error, message, false);
+      return;
+    }
+  } else {
+    std::string frame;
+    while (!up->closed) {
+      bool have = up->proto == WireProto::kBinary ? up->bdecoder.Next(&frame)
+                                                  : up->decoder.Next(&frame);
+      if (!have) break;
+      if (frame.empty() && up->proto == WireProto::kJson) continue;
+      HandleUpstreamFrame(up, frame);
+    }
+    if (up->closed) return;
+    bool broken = up->proto == WireProto::kBinary ? up->bdecoder.broken()
+                                                  : up->decoder.overflowed();
+    if (broken) {
+      FailUpstream(up, WireError::kInternal,
+                   "malformed response from backend", true);
+      return;
+    }
+  }
+  if (peer_eof && !up->closed) {
+    // An idle upstream the backend reaped is not a failure; one with
+    // requests outstanding is.
+    FailUpstream(up, WireError::kRetryLater, "backend closed connection",
+                 !up->pending.empty());
+  }
+}
+
+void NavRouter::HandleUpstreamFrame(const UpPtr& up,
+                                    const std::string& frame) {
+  if (up->pending.empty()) {
+    // A response nothing asked for: the stream is out of sync.
+    FailUpstream(up, WireError::kInternal,
+                 "unsolicited response from backend", true);
+    return;
+  }
+  Pending pending = std::move(up->pending.front());
+  up->pending.pop_front();
+  RecordBackendSuccess(up->backend_index);
+
+  bool ok = PeekResponseOk(up->proto, frame);
+  if (ok && pending.learn_token) {
+    Result<JsonValue> doc = DecodeResponseDoc(up->proto, frame);
+    if (doc.ok()) {
+      std::string token = doc.ValueOrDie().StringOr("token", "");
+      if (!token.empty()) PinSession(token, up->backend_index);
+    }
+  } else if (ok && pending.op == RequestOp::kClose) {
+    UnpinSession(pending.token);
+  } else if (!ok) {
+    Result<JsonValue> doc = DecodeResponseDoc(up->proto, frame);
+    if (doc.ok() && doc.ValueOrDie().StringOr("error", "") ==
+                        WireErrorName(WireError::kUnknownSession)) {
+      // The shard no longer knows the session (evicted, expired): the pin
+      // is stale, drop it so a recreated token can re-place freely.
+      UnpinSession(pending.token);
+    }
+  }
+  ForwardLatencyHistogram()->Record(SteadyNowUs() - pending.sent_us);
+
+  if (pending.conn == nullptr || pending.conn->closed) return;
+  WireFrame response;
+  AppendWireFrame(&response.head, up->proto, frame);
+  CompleteRequest(pending.conn, pending.seq, std::move(response));
+}
+
+void NavRouter::FailUpstream(const UpPtr& up, WireError error,
+                             std::string_view message, bool count_failure) {
+  if (up->closed) return;
+  up->closed = true;
+  EventLoop* loop = loops_[up->loop_index].get();
+  if (up->connect_timer != kInvalidTimer) {
+    loop->CancelTimer(up->connect_timer);
+    up->connect_timer = kInvalidTimer;
+  }
+  loop->Remove(up->fd);
+  ::close(up->fd);
+  // Detach from the pool slot first: completions below can re-enter the
+  // dispatch path and must get a fresh upstream, not this corpse.
+  for (size_t s = 0; s < static_cast<size_t>(options_.upstream_pool_size);
+       ++s) {
+    UpPtr& candidate = loop_upstreams_[up->loop_index][UpstreamSlot(
+        up->backend_index, up->proto, s)];
+    if (candidate == up) candidate = nullptr;
+  }
+  if (count_failure) RecordBackendFailure(up->backend_index);
+  std::deque<Pending> pending = std::move(up->pending);
+  up->pending.clear();
+  for (Pending& p : pending) {
+    backends_[up->backend_index]->upstream_errors.fetch_add(
+        1, std::memory_order_relaxed);
+    UpstreamErrorsCounter()->Increment();
+    if (p.conn == nullptr || p.conn->closed) continue;
+    CompleteRequest(p.conn, p.seq,
+                    WireResponse::Error(p.conn->proto, error, message));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session pins
+// ---------------------------------------------------------------------------
+
+void NavRouter::PinSession(const std::string& token, size_t backend_index) {
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  auto [it, inserted] = pins_.emplace(token, backend_index);
+  if (!inserted) it->second = backend_index;
+  if (inserted) PinnedSessionsGauge()->Add(1);
+}
+
+void NavRouter::UnpinSession(std::string_view token) {
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  if (pins_.erase(std::string(token)) > 0) PinnedSessionsGauge()->Add(-1);
+}
+
+// ---------------------------------------------------------------------------
+// Health checking
+// ---------------------------------------------------------------------------
+
+void NavRouter::ArmHealthTimer() {
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  loops_[0]->AddTimer(options_.health_interval_ms, [this] {
+    RunProbes();
+    ArmHealthTimer();
+  });
+}
+
+void NavRouter::RunProbes() {
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  int64_t now = SteadyNowMs();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (probes_[i] != nullptr) continue;  // Previous probe still in flight.
+    BackendState& backend = *backends_[i];
+    int health = backend.health.load(std::memory_order_acquire);
+    if (health == static_cast<int>(BackendHealth::kUnhealthy)) {
+      if (now - backend.ejected_at_ms.load(std::memory_order_acquire) <
+          options_.half_open_after_ms) {
+        continue;  // Still cooling down.
+      }
+      backend.health.store(static_cast<int>(BackendHealth::kHalfOpen),
+                           std::memory_order_release);
+      RefreshHealthyGauge();
+    }
+    StartProbe(i);
+  }
+}
+
+void NavRouter::StartProbe(size_t backend_index) {
+  const RouterBackend& config = backends_[backend_index]->config;
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config.port));
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return;
+  }
+  bool connecting = false;
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      connecting = true;
+      break;
+    }
+    ::close(fd);
+    backends_[backend_index]->probes_failed.fetch_add(
+        1, std::memory_order_relaxed);
+    ProbeFailuresCounter()->Increment();
+    RecordBackendFailure(backend_index);
+    return;
+  }
+  ProbePtr probe = std::make_shared<Probe>();
+  probe->backend_index = backend_index;
+  probe->fd = fd;
+  probe->connecting = connecting;
+  probe->outbox = "{\"v\":1,\"op\":\"STATS\"}\n";
+  Status added = loops_[0]->Add(
+      fd, EventLoop::kReadable | EventLoop::kWritable,
+      [this, probe](uint32_t events) { OnProbeEvent(probe, events); });
+  if (!added.ok()) {
+    ::close(fd);
+    return;
+  }
+  if (options_.health_timeout_ms > 0) {
+    probe->timeout_timer =
+        loops_[0]->AddTimer(options_.health_timeout_ms, [this, probe] {
+          probe->timeout_timer = kInvalidTimer;
+          FinishProbe(probe, false, "");
+        });
+  }
+  probes_[backend_index] = probe;
+}
+
+void NavRouter::OnProbeEvent(const ProbePtr& probe, uint32_t events) {
+  if (probe->done) return;
+  if (events & EventLoop::kError) {
+    FinishProbe(probe, false, "");
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    if (probe->connecting) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(probe->fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        FinishProbe(probe, false, "");
+        return;
+      }
+      probe->connecting = false;
+    }
+    while (probe->out_off < probe->outbox.size()) {
+      ssize_t n = ::send(probe->fd, probe->outbox.data() + probe->out_off,
+                         probe->outbox.size() - probe->out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        FinishProbe(probe, false, "");
+        return;
+      }
+      probe->out_off += static_cast<size_t>(n);
+    }
+    if (probe->out_off >= probe->outbox.size()) {
+      loops_[0]->Modify(probe->fd, EventLoop::kReadable);
+    }
+  }
+  if (events & EventLoop::kReadable) {
+    char chunk[16384];
+    while (true) {
+      ssize_t n = ::recv(probe->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        if (!probe->decoder.Feed(
+                std::string_view(chunk, static_cast<size_t>(n)))) {
+          FinishProbe(probe, false, "");
+          return;
+        }
+        std::string line;
+        if (probe->decoder.Next(&line)) {
+          FinishProbe(probe, true, line);
+          return;
+        }
+        if (static_cast<size_t>(n) < sizeof(chunk)) return;
+        continue;
+      }
+      if (n == 0) {
+        FinishProbe(probe, false, "");
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      FinishProbe(probe, false, "");
+      return;
+    }
+  }
+}
+
+void NavRouter::FinishProbe(const ProbePtr& probe, bool success,
+                            const std::string& response_line) {
+  if (probe->done) return;
+  probe->done = true;
+  if (probe->timeout_timer != kInvalidTimer) {
+    loops_[0]->CancelTimer(probe->timeout_timer);
+    probe->timeout_timer = kInvalidTimer;
+  }
+  loops_[0]->Remove(probe->fd);
+  ::close(probe->fd);
+  probes_[probe->backend_index] = nullptr;
+
+  BackendState& backend = *backends_[probe->backend_index];
+  if (success) {
+    Result<JsonValue> parsed = ParseJson(response_line);
+    if (parsed.ok() && parsed.ValueOrDie().BoolOr("ok", false)) {
+      const JsonValue& doc = parsed.ValueOrDie();
+      BackendScrape scrape;
+      scrape.valid = true;
+      scrape.requests = doc.IntOr("requests", 0);
+      scrape.bytes_rx = doc.IntOr("bytes_rx", 0);
+      scrape.bytes_tx = doc.IntOr("bytes_tx", 0);
+      if (const JsonValue* sessions = doc.Find("sessions")) {
+        scrape.sessions_active = sessions->IntOr("active", 0);
+        scrape.sessions_created = sessions->IntOr("created", 0);
+      }
+      if (const JsonValue* cache = doc.Find("cache")) {
+        scrape.cache_hits = cache->IntOr("hits", 0);
+        scrape.cache_misses = cache->IntOr("misses", 0);
+      }
+      scrape.raw = response_line;
+      {
+        std::lock_guard<std::mutex> lock(backend.scrape_mu);
+        backend.scrape = std::move(scrape);
+      }
+      backend.probes_ok.fetch_add(1, std::memory_order_relaxed);
+      RecordBackendSuccess(probe->backend_index);
+      return;
+    }
+    // An ok:false STATS (the backend is draining) is a failed probe.
+  }
+  backend.probes_failed.fetch_add(1, std::memory_order_relaxed);
+  ProbeFailuresCounter()->Increment();
+  RecordBackendFailure(probe->backend_index);
+}
+
+void NavRouter::RecordBackendFailure(size_t backend_index) {
+  BackendState& backend = *backends_[backend_index];
+  int failures =
+      backend.consecutive_failures.fetch_add(1, std::memory_order_acq_rel) +
+      1;
+  int health = backend.health.load(std::memory_order_acquire);
+  if (health == static_cast<int>(BackendHealth::kHalfOpen)) {
+    // The readmission probe failed: back to ejected, cooldown restarts.
+    backend.health.store(static_cast<int>(BackendHealth::kUnhealthy),
+                         std::memory_order_release);
+    backend.ejected_at_ms.store(SteadyNowMs(), std::memory_order_release);
+    RefreshHealthyGauge();
+    return;
+  }
+  if (health == static_cast<int>(BackendHealth::kHealthy) &&
+      failures >= options_.health_failures_to_eject) {
+    backend.health.store(static_cast<int>(BackendHealth::kUnhealthy),
+                         std::memory_order_release);
+    backend.ejected_at_ms.store(SteadyNowMs(), std::memory_order_release);
+    RefreshHealthyGauge();
+  }
+}
+
+void NavRouter::RecordBackendSuccess(size_t backend_index) {
+  BackendState& backend = *backends_[backend_index];
+  backend.consecutive_failures.store(0, std::memory_order_release);
+  int health = backend.health.load(std::memory_order_acquire);
+  if (health != static_cast<int>(BackendHealth::kHealthy)) {
+    backend.health.store(static_cast<int>(BackendHealth::kHealthy),
+                         std::memory_order_release);
+    RefreshHealthyGauge();
+  }
+}
+
+void NavRouter::RefreshHealthyGauge() {
+  int64_t healthy = 0;
+  for (const std::unique_ptr<BackendState>& backend : backends_) {
+    if (backend->health.load(std::memory_order_acquire) ==
+        static_cast<int>(BackendHealth::kHealthy)) {
+      ++healthy;
+    }
+  }
+  HealthyBackendsGauge()->Set(healthy);
+}
+
+// ---------------------------------------------------------------------------
+// Local answers
+// ---------------------------------------------------------------------------
+
+WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
+  NavRouterStats s = stats();
+  std::string router_json =
+      "{\"connections_accepted\":" + std::to_string(s.connections_accepted) +
+      ",\"connections_shed\":" + std::to_string(s.connections_shed) +
+      ",\"connections_open\":" + std::to_string(s.connections_open) +
+      ",\"requests\":" + std::to_string(s.requests) +
+      ",\"protocol_errors\":" + std::to_string(s.protocol_errors) +
+      ",\"forwarded\":" + std::to_string(s.forwarded) +
+      ",\"retry_later\":" + std::to_string(s.retry_later) +
+      ",\"pinned_sessions\":" + std::to_string(s.pinned_sessions) +
+      ",\"backends_total\":" + std::to_string(s.backends.size()) +
+      ",\"healthy_backends\":" + std::to_string(s.healthy_backends) +
+      ",\"io_threads\":" + std::to_string(loops_.size()) + "}";
+
+  // Fleet rollup from the last scraped backend STATS. Scrapes refresh on
+  // the probe cadence, so the sums lag live truth by at most one interval.
+  int64_t scraped = 0, requests = 0, sessions_active = 0;
+  int64_t sessions_created = 0, cache_hits = 0, cache_misses = 0;
+  int64_t bytes_rx = 0, bytes_tx = 0;
+  std::vector<std::string> raw_scrapes(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(backends_[i]->scrape_mu);
+    const BackendScrape& scrape = backends_[i]->scrape;
+    if (!scrape.valid) continue;
+    ++scraped;
+    requests += scrape.requests;
+    sessions_active += scrape.sessions_active;
+    sessions_created += scrape.sessions_created;
+    cache_hits += scrape.cache_hits;
+    cache_misses += scrape.cache_misses;
+    bytes_rx += scrape.bytes_rx;
+    bytes_tx += scrape.bytes_tx;
+    raw_scrapes[i] = scrape.raw;
+  }
+  std::string fleet_json =
+      "{\"scraped\":" + std::to_string(scraped) +
+      ",\"requests\":" + std::to_string(requests) +
+      ",\"sessions_active\":" + std::to_string(sessions_active) +
+      ",\"sessions_created\":" + std::to_string(sessions_created) +
+      ",\"cache_hits\":" + std::to_string(cache_hits) +
+      ",\"cache_misses\":" + std::to_string(cache_misses) +
+      ",\"bytes_rx\":" + std::to_string(bytes_rx) +
+      ",\"bytes_tx\":" + std::to_string(bytes_tx) + "}";
+
+  std::string backends_json = "[";
+  for (size_t i = 0; i < s.backends.size(); ++i) {
+    const RouterBackendStats& b = s.backends[i];
+    if (i > 0) backends_json += ",";
+    backends_json +=
+        "{\"id\":\"" + JsonEscape(b.id) + "\"" +
+        ",\"state\":\"" + BackendHealthName(b.health) + "\"" +
+        ",\"draining\":" + (b.draining ? "true" : "false") +
+        ",\"forwarded\":" + std::to_string(b.forwarded) +
+        ",\"upstream_errors\":" + std::to_string(b.upstream_errors) +
+        ",\"retry_later\":" + std::to_string(b.retry_later) +
+        ",\"pinned_sessions\":" + std::to_string(b.pinned_sessions) +
+        ",\"probes_ok\":" + std::to_string(b.probes_ok) +
+        ",\"probes_failed\":" + std::to_string(b.probes_failed) +
+        ",\"stats\":" +
+        (raw_scrapes[i].empty() ? std::string("null") : raw_scrapes[i]) + "}";
+  }
+  backends_json += "]";
+
+  std::string line = ResponseBuilder(RequestOp::kStats)
+                         .Add("role", std::string_view("router"))
+                         .AddRaw("router", router_json)
+                         .AddRaw("fleet", fleet_json)
+                         .AddRaw("backends", backends_json)
+                         .AddRaw("metrics", GlobalMetrics().ToJson())
+                         .Finish();
+  return WrapWholeJson(proto, std::move(line));
+}
+
+WireFrame NavRouter::BuildMetricsFrame(WireProto proto) const {
+  std::string line =
+      ResponseBuilder(RequestOp::kMetrics)
+          .Add("text", std::string_view(GlobalMetrics().ToPrometheusText()))
+          .Finish();
+  return WrapWholeJson(proto, std::move(line));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection and control
+// ---------------------------------------------------------------------------
+
+NavRouterStats NavRouter::stats() const {
+  NavRouterStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.forwarded = forwarded_.load(std::memory_order_relaxed);
+  s.retry_later = retry_later_.load(std::memory_order_relaxed);
+
+  std::vector<int64_t> pins_per_backend(backends_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(pins_mu_);
+    s.pinned_sessions = static_cast<int64_t>(pins_.size());
+    for (const auto& [token, backend] : pins_) {
+      if (backend < pins_per_backend.size()) ++pins_per_backend[backend];
+    }
+  }
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const BackendState& backend = *backends_[i];
+    RouterBackendStats b;
+    b.id = backend.config.id;
+    b.health = static_cast<BackendHealth>(
+        backend.health.load(std::memory_order_acquire));
+    b.draining = backend.draining.load(std::memory_order_acquire);
+    b.forwarded = backend.forwarded.load(std::memory_order_relaxed);
+    b.upstream_errors =
+        backend.upstream_errors.load(std::memory_order_relaxed);
+    b.retry_later = backend.retry_later.load(std::memory_order_relaxed);
+    b.probes_ok = backend.probes_ok.load(std::memory_order_relaxed);
+    b.probes_failed = backend.probes_failed.load(std::memory_order_relaxed);
+    b.pinned_sessions = pins_per_backend[i];
+    if (b.health == BackendHealth::kHealthy) ++s.healthy_backends;
+    s.backends.push_back(std::move(b));
+  }
+  return s;
+}
+
+bool NavRouter::SetBackendDraining(const std::string& id, bool draining) {
+  auto it = backend_index_by_id_.find(id);
+  if (it == backend_index_by_id_.end()) return false;
+  backends_[it->second]->draining.store(draining, std::memory_order_release);
+  return true;
+}
+
+void NavRouter::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (!started_.load() || shutting_down_.load()) return;
+  shutting_down_.store(true, std::memory_order_release);
+
+  // 1. Stop admitting: close the listener on its loop.
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    loops_[0]->RunInLoop([&] {
+      loops_[0]->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+
+  // 2. Drain downstream connections: forwarded requests complete as their
+  //    backend responses arrive (the loops keep running), buffered frames
+  //    answer SHUTTING_DOWN, write queues flush before fds close.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->RunInLoop([this, i] {
+      std::vector<ConnPtr> conns;
+      conns.reserve(loop_conns_[i].size());
+      for (const auto& [fd, conn] : loop_conns_[i]) conns.push_back(conn);
+      for (const ConnPtr& conn : conns) DrainConnection(conn);
+    });
+  }
+
+  // 3. Bounded drain, then force-close stragglers (including connections
+  //    whose pinned shard will never answer).
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_deadline_ms),
+        [this] { return connections_open_.load() == 0; });
+  }
+  if (connections_open_.load() > 0) {
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      loops_[i]->RunInLoop([this, i] {
+        std::vector<ConnPtr> conns;
+        conns.reserve(loop_conns_[i].size());
+        for (const auto& [fd, conn] : loop_conns_[i]) conns.push_back(conn);
+        for (const ConnPtr& conn : conns) CloseConnection(conn);
+      });
+    }
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1000),
+                       [this] { return connections_open_.load() == 0; });
+  }
+
+  // 4. Tear down upstreams and probes on their loops. Stop() drains
+  //    functions enqueued before it, so these run before the loops exit.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->RunInLoop([this, i] {
+      std::vector<UpPtr> ups;
+      for (const UpPtr& up : loop_upstreams_[i]) {
+        if (up != nullptr && !up->closed) ups.push_back(up);
+      }
+      for (const UpPtr& up : ups) {
+        FailUpstream(up, WireError::kShuttingDown, "router is draining",
+                     false);
+      }
+      if (i == 0) {
+        for (const ProbePtr& probe : probes_) {
+          if (probe != nullptr && !probe->done) FinishProbe(probe, false, "");
+        }
+      }
+    });
+  }
+
+  // 5. Stop and join the reactors.
+  for (std::unique_ptr<EventLoop>& loop : loops_) loop->Stop();
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
+}
+
+NavRouter::~NavRouter() { Shutdown(); }
+
+}  // namespace bionav

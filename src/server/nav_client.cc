@@ -8,8 +8,11 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace bionav {
 
@@ -64,6 +67,20 @@ Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
 
 Result<std::unique_ptr<NavClient>> NavClient::Connect(
     const std::string& host, int port, NavClientOptions options) {
+  int64_t backoff_ms = 50;
+  for (int attempt = 0;; ++attempt) {
+    Result<std::unique_ptr<NavClient>> connected =
+        ConnectOnce(host, port, options);
+    if (connected.ok() || attempt >= options.connect_retries) {
+      return connected;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<int64_t>(backoff_ms * 2, 1000);
+  }
+}
+
+Result<std::unique_ptr<NavClient>> NavClient::ConnectOnce(
+    const std::string& host, int port, const NavClientOptions& options) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;

@@ -24,6 +24,11 @@ struct NavClientOptions {
   /// reply (accept-path shedding answers before reading the preamble) is
   /// recognized by its '{' first byte and handled transparently.
   WireProto proto = WireProto::kJson;
+  /// Extra connect attempts after a failed first try, with capped
+  /// exponential backoff between attempts (50ms doubling to a 1s cap).
+  /// Covers ECONNREFUSED and connect timeouts — a client racing a backend
+  /// that is still binding its port. 0 (the default) fails fast.
+  int connect_retries = 0;
 };
 
 /// Blocking client for the NavServer wire protocol: one TCP connection,
@@ -103,6 +108,10 @@ class NavClient {
 
  private:
   NavClient(int fd, WireProto proto) : fd_(fd), proto_(proto) {}
+
+  /// One connect attempt (Connect adds the retry loop around it).
+  static Result<std::unique_ptr<NavClient>> ConnectOnce(
+      const std::string& host, int port, const NavClientOptions& options);
 
   /// Sends a request and demands ok:true, folding wire errors to Status.
   Result<JsonValue> Call(const Request& request);

@@ -125,6 +125,7 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
   // `"s" + std::to_string(...)` rvalue-insert path at -O2.
   entry->token = std::to_string(next_token_++);
   entry->token.insert(0, 1, 's');
+  entry->token.insert(0, options_.token_prefix);
   entry->last_used_ms = now;
   sessions_.emplace(entry->token, entry);
   ++counters_.created;

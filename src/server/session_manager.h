@@ -23,6 +23,12 @@ struct SessionManagerOptions {
   size_t max_sessions = 256;
   /// Idle time after which a session expires; 0 disables TTL expiry.
   int64_t ttl_ms = 10 * 60 * 1000;
+  /// Prepended to every minted session token ("shard0-s17"). Tokens are
+  /// opaque to clients but must be unique across a whole serving tier:
+  /// bionav_route pins sessions to shards by token, so two backends
+  /// minting the same "s1" would alias in the router's pin map. Empty
+  /// (the default) for single-process deployments.
+  std::string token_prefix;
   /// Millisecond clock used for TTL/LRU accounting. Defaults to
   /// std::chrono::steady_clock; tests inject a fake to step time manually.
   /// Also handed to the query-artifact cache, so session TTL and artifact

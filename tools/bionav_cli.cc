@@ -32,11 +32,14 @@
 //       negotiates the length-prefixed v2 encoding (fewer bytes per
 //       request); the default stays line-delimited JSON.
 //
-//   bionav_cli stats <host:port> [--prom] [--proto json|binary]
+//   bionav_cli stats <host:port | --target host:port> [--prom]
+//                    [--proto json|binary] [--connect-retries N]
 //       One-shot server metrics: the STATS JSON document (including the
 //       server's bytes_rx/bytes_tx wire counters), or with --prom the
 //       Prometheus text exposition (METRICS op) — pipe it to a file a
-//       node_exporter textfile collector can scrape.
+//       node_exporter textfile collector can scrape. When the target is a
+//       bionav_route front door, the aggregated document is also rendered
+//       as a fleet rollup with per-backend breakdowns.
 
 #include <cstdlib>
 #include <functional>
@@ -125,8 +128,10 @@ int Usage() {
          "  tree <db-path> <query terms...> [--depth D]\n"
          "  navigate <db-path> <query terms...> [--static] [--trace]\n"
          "  convert-mesh <mtrees-path> <hierarchy-out>\n"
-         "  remote <host:port> <query terms...> [--proto json|binary]\n"
-         "  stats <host:port> [--prom] [--proto json|binary]\n";
+         "  remote <host:port> <query terms...> [--proto json|binary]"
+         " [--connect-retries N]\n"
+         "  stats <host:port | --target host:port> [--prom]"
+         " [--proto json|binary] [--connect-retries N]\n";
   return 2;
 }
 
@@ -325,7 +330,8 @@ bool ParseProtoFlag(const Args& args, WireProto* proto) {
 // Parses "host:port" and connects; prints the reason and returns nullptr
 // on failure (the caller exits non-zero).
 std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint,
-                                           WireProto proto) {
+                                           WireProto proto,
+                                           int connect_retries = 0) {
   size_t colon = endpoint.rfind(':');
   int64_t port = 0;
   if (colon == std::string::npos || colon == 0 ||
@@ -337,6 +343,7 @@ std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint,
   }
   NavClientOptions options;
   options.proto = proto;
+  options.connect_retries = connect_retries;
   auto connected = NavClient::Connect(endpoint.substr(0, colon),
                                       static_cast<int>(port), options);
   if (!connected.ok()) {
@@ -357,7 +364,9 @@ int CmdRemote(const Args& args) {
   const std::string endpoint = args.positional[0];
   WireProto proto = WireProto::kJson;
   if (!ParseProtoFlag(args, &proto)) return 2;
-  std::unique_ptr<NavClient> connected = ConnectEndpoint(endpoint, proto);
+  std::unique_ptr<NavClient> connected = ConnectEndpoint(
+      endpoint, proto,
+      static_cast<int>(args.IntFlagOr("connect-retries", 0)));
   if (connected == nullptr) return 1;
 
   std::string query = JoinQuery(args, 1);
@@ -473,15 +482,61 @@ int CmdRemote(const Args& args) {
   return exit_code;
 }
 
+// Renders a router STATS document's fleet rollup and per-backend
+// breakdowns as human-readable lines after the raw JSON. The JSON stays
+// machine-parseable stdout; these lines are the operator's at-a-glance
+// view of the tier.
+void RenderRouterStats(const JsonValue& doc) {
+  const JsonValue* fleet = doc.Find("fleet");
+  const JsonValue* router = doc.Find("router");
+  if (fleet != nullptr && router != nullptr) {
+    std::cout << "fleet: " << fleet->IntOr("requests", 0) << " requests, "
+              << fleet->IntOr("sessions_active", 0) << " active sessions ("
+              << fleet->IntOr("sessions_created", 0) << " created), cache "
+              << fleet->IntOr("cache_hits", 0) << " hits / "
+              << fleet->IntOr("cache_misses", 0) << " misses, "
+              << fleet->IntOr("scraped", 0) << "/"
+              << router->IntOr("backends_total", 0)
+              << " backends scraped\n";
+    std::cout << "router: " << router->IntOr("forwarded", 0)
+              << " forwarded, " << router->IntOr("retry_later", 0)
+              << " retry-later, " << router->IntOr("pinned_sessions", 0)
+              << " pinned sessions, " << router->IntOr("healthy_backends", 0)
+              << "/" << router->IntOr("backends_total", 0) << " healthy\n";
+  }
+  const JsonValue* backends = doc.Find("backends");
+  if (backends != nullptr && backends->is_array()) {
+    for (const JsonValue& b : backends->array_items()) {
+      std::cout << "  " << b.StringOr("id", "?") << ": "
+                << b.StringOr("state", "?")
+                << (b.BoolOr("draining", false) ? " (draining)" : "") << ", "
+                << b.IntOr("forwarded", 0) << " forwarded, "
+                << b.IntOr("pinned_sessions", 0) << " pinned, "
+                << b.IntOr("upstream_errors", 0) << " upstream errors, "
+                << b.IntOr("retry_later", 0) << " retry-later\n";
+    }
+  }
+}
+
 // One-shot server metrics: STATS JSON by default, Prometheus text with
 // --prom. Exists so an operator (or a textfile-collector cron job) can
 // scrape a running bionav_serve without opening a navigation session.
+// --target (equivalent to the positional endpoint) may point at a
+// bionav_route front door instead; the router's aggregated document is
+// then also rendered as a fleet rollup with per-backend breakdowns.
 int CmdStats(const Args& args) {
-  if (args.positional.size() != 1) return Usage();
+  std::string endpoint = args.FlagOr("target", "");
+  if (endpoint.empty()) {
+    if (args.positional.size() != 1) return Usage();
+    endpoint = args.positional[0];
+  } else if (!args.positional.empty()) {
+    return Usage();
+  }
   WireProto proto = WireProto::kJson;
   if (!ParseProtoFlag(args, &proto)) return 2;
-  std::unique_ptr<NavClient> client =
-      ConnectEndpoint(args.positional[0], proto);
+  std::unique_ptr<NavClient> client = ConnectEndpoint(
+      endpoint, proto,
+      static_cast<int>(args.IntFlagOr("connect-retries", 0)));
   if (client == nullptr) return 1;
   if (args.HasFlag("prom")) {
     auto text = client->Metrics();
@@ -497,7 +552,9 @@ int CmdStats(const Args& args) {
     std::cerr << stats.status().ToString() << "\n";
     return 1;
   }
-  std::cout << WriteJson(stats.ValueOrDie()) << "\n";
+  const JsonValue& doc = stats.ValueOrDie();
+  std::cout << WriteJson(doc) << "\n";
+  if (doc.StringOr("role", "") == "router") RenderRouterStats(doc);
   return 0;
 }
 

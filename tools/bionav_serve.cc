@@ -4,8 +4,8 @@
 //
 //   bionav_serve <db-path> [--port P] [--threads N] [--io-threads I]
 //                [--max-connections C] [--idle-timeout-ms MS]
-//                [--max-sessions S] [--ttl-ms T] [--static]
-//                [--cache-mb MB] [--cache-ttl MS] [--cache=off]
+//                [--max-sessions S] [--ttl-ms T] [--token-prefix P]
+//                [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on the first stdout line ("listening on 127.0.0.1:PORT") so
@@ -42,7 +42,7 @@ int64_t IntArg(const std::string& value, const char* flag) {
 int Usage() {
   std::cerr << "usage: bionav_serve <db-path> [--port P] [--threads N]"
                " [--io-threads I] [--max-connections C] [--idle-timeout-ms MS]"
-               " [--max-sessions S] [--ttl-ms T]"
+               " [--max-sessions S] [--ttl-ms T] [--token-prefix P]"
                " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]\n";
   return 2;
 }
@@ -82,6 +82,8 @@ int Main(int argc, char** argv) {
           IntArg(value("--max-sessions"), "--max-sessions"));
     } else if (arg == "--ttl-ms") {
       options.session.ttl_ms = IntArg(value("--ttl-ms"), "--ttl-ms");
+    } else if (arg == "--token-prefix") {
+      options.session.token_prefix = value("--token-prefix");
     } else if (arg == "--cache-mb") {
       options.session.cache_max_bytes =
           static_cast<size_t>(IntArg(value("--cache-mb"), "--cache-mb")) << 20;
