@@ -44,6 +44,28 @@
 // measured phase; closed loop only), --json=PATH, --obs=off (disable
 // server-side trace spans).
 //
+// Behavioral load (closed loop only): --archetype=finder|browser|
+// backtracker shapes each session like a user population instead of the
+// pure protocol oracle — finder drills straight to the target, browser
+// wanders (random result-page peeks between reveals), backtracker drills
+// down and then retraces every EXPAND with BACKTRACK. --think-ms=M pauses
+// a uniform 0.5-1.5x M between operations; --abandon-p=P leaves sessions
+// open without CLOSE with probability P (the server's TTL/spill tier owns
+// them — which is the point). --tolerate-retry-later turns the typed
+// RETRY_LATER/SHUTTING_DOWN shed window into a bounded backoff-and-retry
+// instead of a failure, for soaks that restart backends under load.
+//
+// Durability check (drives an external --target, e.g. a bionav_route
+// fleet over spill-enabled backends): --park=N --park-file=PATH opens N
+// sessions, navigates a few steps, records each session's token and VIEW
+// response as JSON lines, and leaves them open. A later run with
+// --verify-parked=PATH replays VIEW for every recorded token and demands
+// a byte-identical response — the wire-level oracle that snapshot /
+// restore preserved navigation state exactly — then scrapes the
+// bionav_session_restore_us p99 into the --json record
+// (--stats-target=HOST:PORT points the scrape at a specific backend when
+// the main target is a router, whose STATS lacks backend histograms).
+//
 // Sharded-tier modes: --backends=N stands up N in-process NavServer shards
 // behind a NavRouter and drives the router endpoint (per-backend request
 // counts and an aggregate p99 land in --json); --target=HOST:PORT skips
@@ -59,7 +81,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -101,9 +125,78 @@ struct ClientResult {
   int sessions_done = 0;
   int sessions_failed = 0;
   int retry_later = 0;
+  /// Sessions deliberately left open (no CLOSE) by --abandon-p.
+  int sessions_parked = 0;
+  /// Shed responses absorbed by --tolerate-retry-later's bounded retry
+  /// (each one re-ran the session; not counted as shed or failed).
+  int shed_retries = 0;
   OpLatencies latencies;
   std::string first_error;
 };
+
+// ---------------------------------------------------------------------------
+// Behavioral archetypes (closed loop): --archetype shapes each session
+// like a user population instead of the pure protocol oracle, with think
+// times between operations and optional abandonment. The open-loop state
+// machine stays oracle-only — it measures the reactor, not the users.
+// ---------------------------------------------------------------------------
+
+enum class Archetype { kFinder, kBrowser, kBacktracker };
+
+const char* ArchetypeName(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kFinder:
+      return "finder";
+    case Archetype::kBrowser:
+      return "browser";
+    case Archetype::kBacktracker:
+      return "backtracker";
+  }
+  return "?";
+}
+
+/// Knobs shaping closed-loop session behavior, shared by every client.
+struct LoadProfile {
+  Archetype archetype = Archetype::kFinder;
+  /// Mean pause between operations in ms; each pause draws uniform
+  /// 0.5-1.5x the mean. 0 disables thinking entirely.
+  double think_ms = 0;
+  /// Probability a finished session is parked open instead of CLOSEd.
+  double abandon_p = 0;
+  /// Treat RETRY_LATER/SHUTTING_DOWN as a bounded backoff-and-retry (the
+  /// expected window while a backend warm-restarts) instead of a failure.
+  bool tolerate_retry_later = false;
+};
+
+void Think(const LoadProfile& profile, Rng& rng) {
+  if (profile.think_ms <= 0) return;
+  double ms = profile.think_ms * (0.5 + rng.UniformDouble());
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+}
+
+/// The typed shed window: admission control (RETRY_LATER) or a draining /
+/// warm-restarting server (SHUTTING_DOWN).
+bool IsShedStatus(const Status& status) {
+  return status.message().find("RETRY_LATER") != std::string::npos ||
+         status.message().find("SHUTTING_DOWN") != std::string::npos;
+}
+
+/// Abandon-or-CLOSE epilogue shared by the archetypes. A parked session
+/// is left open on the server — its TTL or spill tier owns it now.
+Status FinishSession(NavClient& client, const std::string& token,
+                     const LoadProfile& profile, Rng& rng,
+                     OpLatencies* latencies, bool* parked) {
+  if (profile.abandon_p > 0 && rng.Bernoulli(profile.abandon_p)) {
+    *parked = true;
+    return Status::OK();
+  }
+  Timer timer;
+  timer.Restart();
+  Status closed = client.CloseSession(token);
+  latencies->other_ms.push_back(timer.ElapsedMillis());
+  return closed;
+}
 
 /// One entry of the query universe the generator samples from. Variants
 /// beyond the workload's distinct keywords repeat the keyword — the
@@ -140,10 +233,27 @@ double Percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[idx];
 }
 
-/// One full oracle session over the wire; appends per-request latencies to
-/// the matching per-op distribution.
-Status RunSession(NavClient& client, const QueryVariant& variant,
-                  OpLatencies* latencies) {
+/// QUERY + cold/warm latency classification; returns the session token.
+Result<std::string> OpenSession(NavClient& client, const QueryVariant& variant,
+                                OpLatencies* latencies) {
+  Timer timer;
+  timer.Restart();
+  auto opened = client.Query(variant.query);
+  double query_ms = timer.ElapsedMillis();
+  if (!opened.ok()) return opened.status();
+  (opened.ValueOrDie().cached ? latencies->query_warm_ms
+                              : latencies->query_cold_ms)
+      .push_back(query_ms);
+  return opened.ValueOrDie().token;
+}
+
+/// Finder archetype — the full protocol oracle: QUERY, then FIND/EXPAND
+/// the target's component until it is visible, SHOWRESULTS, CLOSE (or
+/// abandon); appends per-request latencies to the matching per-op
+/// distribution.
+Status RunFinderSession(NavClient& client, const QueryVariant& variant,
+                        const LoadProfile& profile, Rng& rng,
+                        OpLatencies* latencies, bool* parked) {
   Timer timer;
   auto timed = [&](std::vector<double>* bucket, auto&& call) {
     timer.Restart();
@@ -152,19 +262,15 @@ Status RunSession(NavClient& client, const QueryVariant& variant,
     return result;
   };
 
-  timer.Restart();
-  auto opened = client.Query(variant.query);
-  double query_ms = timer.ElapsedMillis();
+  auto opened = OpenSession(client, variant, latencies);
   if (!opened.ok()) return opened.status();
-  (opened.ValueOrDie().cached ? latencies->query_warm_ms
-                              : latencies->query_cold_ms)
-      .push_back(query_ms);
-  const std::string token = opened.ValueOrDie().token;
+  const std::string token = opened.ValueOrDie();
 
   // Oracle navigation: expand the target's component until it is visible.
   // The 64-iteration cap only guards against a protocol bug looping.
   NavNodeId target_node = kInvalidNavNode;
   for (int step = 0; step < 64; ++step) {
+    Think(profile, rng);
     auto found = timed(&latencies->other_ms,
                        [&] { return client.Find(token, variant.target); });
     if (!found.ok()) return found.status();
@@ -184,28 +290,151 @@ Status RunSession(NavClient& client, const QueryVariant& variant,
     });
     if (!shown.ok()) return shown.status();
   }
-  timer.Restart();
-  Status closed = client.CloseSession(token);
-  latencies->other_ms.push_back(timer.ElapsedMillis());
-  return closed;
+  return FinishSession(client, token, profile, rng, latencies, parked);
 }
 
-/// Runs `sessions` oracle sessions on one connection; results (including
-/// failures) accumulate into `r`. `phase_salt` decorrelates the warmup
-/// RNG stream from the measured one.
+/// Collects every node id marked expandable in a VIEW tree document.
+void CollectExpandable(const JsonValue& node, std::vector<NavNodeId>* out) {
+  if (!node.is_object()) return;
+  if (node.BoolOr("expandable", false)) {
+    NavNodeId id = static_cast<NavNodeId>(node.IntOr("node", kInvalidNavNode));
+    if (id != kInvalidNavNode) out->push_back(id);
+  }
+  if (const JsonValue* children = node.Find("children");
+      children != nullptr && children->is_array()) {
+    for (const JsonValue& child : children->array_items()) {
+      CollectExpandable(child, out);
+    }
+  }
+}
+
+/// Browser archetype — a wandering user with no destination: VIEWs the
+/// tree, expands a random expandable node, peeks at a result page of a
+/// freshly-revealed node, and repeats a few times. Driven entirely by
+/// what the wire shows (no oracle target id), so it behaves identically
+/// against an external fleet whose concept ids differ from this
+/// process's in-memory workload.
+Status RunBrowserSession(NavClient& client, const QueryVariant& variant,
+                         const LoadProfile& profile, Rng& rng,
+                         OpLatencies* latencies, bool* parked) {
+  Timer timer;
+  auto timed = [&](std::vector<double>* bucket, auto&& call) {
+    timer.Restart();
+    auto result = call();
+    bucket->push_back(timer.ElapsedMillis());
+    return result;
+  };
+
+  auto opened = OpenSession(client, variant, latencies);
+  if (!opened.ok()) return opened.status();
+  const std::string token = opened.ValueOrDie();
+
+  int steps = static_cast<int>(rng.UniformInt(2, 6));
+  for (int step = 0; step < steps; ++step) {
+    Think(profile, rng);
+    auto viewed =
+        timed(&latencies->other_ms, [&] { return client.View(token); });
+    if (!viewed.ok()) return viewed.status();
+    auto tree = ParseJson(viewed.ValueOrDie());
+    if (!tree.ok()) return Status::Internal("malformed VIEW response");
+    std::vector<NavNodeId> expandable;
+    CollectExpandable(tree.ValueOrDie(), &expandable);
+    if (expandable.empty()) break;  // Fully revealed — nothing left to do.
+    NavNodeId pick = expandable[rng.Uniform(expandable.size())];
+    auto revealed = timed(&latencies->expand_ms,
+                          [&] { return client.Expand(token, pick); });
+    if (!revealed.ok()) return revealed.status();
+    const std::vector<NavNodeId>& nodes = revealed.ValueOrDie();
+    if (!nodes.empty()) {
+      NavNodeId peek = nodes[rng.Uniform(nodes.size())];
+      auto shown = timed(&latencies->other_ms,
+                         [&] { return client.ShowResults(token, peek, 0, 5); });
+      if (!shown.ok()) return shown.status();
+    }
+  }
+  return FinishSession(client, token, profile, rng, latencies, parked);
+}
+
+/// Backtracker archetype — drills to the target like the finder, then
+/// retraces every EXPAND with BACKTRACK before closing. Exercises the
+/// history stack, and (against a spill-enabled server) backtracking
+/// through replayed history on a restored session.
+Status RunBacktrackerSession(NavClient& client, const QueryVariant& variant,
+                             const LoadProfile& profile, Rng& rng,
+                             OpLatencies* latencies, bool* parked) {
+  Timer timer;
+  auto timed = [&](std::vector<double>* bucket, auto&& call) {
+    timer.Restart();
+    auto result = call();
+    bucket->push_back(timer.ElapsedMillis());
+    return result;
+  };
+
+  auto opened = OpenSession(client, variant, latencies);
+  if (!opened.ok()) return opened.status();
+  const std::string token = opened.ValueOrDie();
+
+  int expands = 0;
+  for (int step = 0; step < 64; ++step) {
+    Think(profile, rng);
+    auto found = timed(&latencies->other_ms,
+                       [&] { return client.Find(token, variant.target); });
+    if (!found.ok()) return found.status();
+    const NavClient::FindReply& f = found.ValueOrDie();
+    if (!f.found || f.visible) break;
+    auto revealed = timed(&latencies->expand_ms, [&] {
+      return client.Expand(token, f.component_root);
+    });
+    if (!revealed.ok()) return revealed.status();
+    ++expands;
+  }
+  for (int back = 0; back < expands; ++back) {
+    Think(profile, rng);
+    auto popped = timed(&latencies->other_ms,
+                        [&] { return client.Backtrack(token); });
+    if (!popped.ok()) return popped.status();
+    if (!popped.ValueOrDie()) {
+      return Status::Internal("BACKTRACK ran out of history early");
+    }
+  }
+  return FinishSession(client, token, profile, rng, latencies, parked);
+}
+
+Status RunArchetypeSession(NavClient& client, const QueryVariant& variant,
+                           const LoadProfile& profile, Rng& rng,
+                           OpLatencies* latencies, bool* parked) {
+  switch (profile.archetype) {
+    case Archetype::kFinder:
+      return RunFinderSession(client, variant, profile, rng, latencies, parked);
+    case Archetype::kBrowser:
+      return RunBrowserSession(client, variant, profile, rng, latencies,
+                               parked);
+    case Archetype::kBacktracker:
+      return RunBacktrackerSession(client, variant, profile, rng, latencies,
+                                   parked);
+  }
+  return Status::InvalidArgument("unknown archetype");
+}
+
+/// Runs `sessions` archetype sessions on one connection; results
+/// (including failures) accumulate into `r`. `phase_salt` decorrelates
+/// the warmup RNG stream from the measured one.
 void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
                int client_index, uint64_t phase_salt, int sessions,
                const std::string& host, int port, WireProto proto,
-               ClientResult* r) {
+               const LoadProfile& profile, ClientResult* r) {
   NavClientOptions client_options;
   client_options.proto = proto;
+  // Under --tolerate-retry-later a backend may be mid-exec when we
+  // (re)connect; ride the listen-backlog window out.
+  if (profile.tolerate_retry_later) client_options.connect_retries = 10;
   auto connected = NavClient::Connect(host, port, client_options);
   if (!connected.ok()) {
     r->first_error = connected.status().ToString();
     r->sessions_failed += sessions;
     return;
   }
-  NavClient& client = *connected.ValueOrDie();
+  std::unique_ptr<NavClient> client = std::move(connected.ValueOrDie());
   // Seeded per client (and phase): runs are reproducible, clients draw
   // decorrelated Zipf streams.
   Rng rng(0x9e3779b97f4a7c15ULL ^ phase_salt ^
@@ -217,9 +446,31 @@ void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
     } else {
       vi = static_cast<size_t>(client_index * sessions + s) % universe.size();
     }
-    Status status = RunSession(client, universe[vi], &r->latencies);
+    bool parked = false;
+    Status status = RunArchetypeSession(*client, universe[vi], profile, rng,
+                                        &r->latencies, &parked);
+    // Bounded shed tolerance: back off, reconnect (the old connection may
+    // have been drained away under us) and re-run the whole session. Only
+    // a session still shed after every retry counts as failed.
+    for (int attempt = 0;
+         !status.ok() && profile.tolerate_retry_later &&
+         IsShedStatus(status) && attempt < 20;
+         ++attempt) {
+      ++r->shed_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      auto reconnected = NavClient::Connect(host, port, client_options);
+      if (!reconnected.ok()) {
+        status = reconnected.status();
+        continue;
+      }
+      client = std::move(reconnected.ValueOrDie());
+      parked = false;
+      status = RunArchetypeSession(*client, universe[vi], profile, rng,
+                                   &r->latencies, &parked);
+    }
     if (status.ok()) {
       ++r->sessions_done;
+      if (parked) ++r->sessions_parked;
     } else {
       ++r->sessions_failed;
       if (status.message().find("RETRY_LATER") != std::string::npos) {
@@ -586,6 +837,208 @@ double ServerP99Ms(const JsonValue& stats, const std::string& histogram) {
   return h->NumberOr("p99_us", -1000.0) / 1000.0;
 }
 
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  size_t colon = spec.rfind(':');
+  int64_t parsed = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64(spec.substr(colon + 1), &parsed) || parsed <= 0 ||
+      parsed > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<int>(parsed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Durability check: park sessions (leave them open, record their VIEW
+// responses) and, in a later invocation — typically after the backend was
+// killed or warm-restarted onto its spill directory — verify every parked
+// token still answers VIEW byte-identically. The VIEW response renders
+// the whole active tree, so byte equality is the wire-level oracle that
+// snapshot/restore preserved navigation state exactly.
+// ---------------------------------------------------------------------------
+
+/// Opens `count` sessions against host:port, navigates a couple of oracle
+/// steps each (so the snapshots carry replay state), appends one JSON
+/// line {token, query, view} per session to `path`, and leaves every
+/// session open.
+int ParkSessions(const std::string& host, int port, WireProto proto,
+                 const std::vector<QueryVariant>& universe, int count,
+                 const std::string& path) {
+  NavClientOptions options;
+  options.proto = proto;
+  auto connected = NavClient::Connect(host, port, options);
+  if (!connected.ok()) {
+    std::cerr << "park: " << connected.status().ToString() << "\n";
+    return 1;
+  }
+  NavClient& client = *connected.ValueOrDie();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "park: cannot write " << path << "\n";
+    return 1;
+  }
+  for (int i = 0; i < count; ++i) {
+    const QueryVariant& variant = universe[static_cast<size_t>(i) %
+                                           universe.size()];
+    auto opened = client.Query(variant.query);
+    if (!opened.ok()) {
+      std::cerr << "park: QUERY failed: " << opened.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const std::string token = opened.ValueOrDie().token;
+    // Two VIEW-driven reveals (first expandable node each time, so the
+    // walk is deterministic): the snapshot a spill tier takes of this
+    // session carries real replay state.
+    for (int step = 0; step < 2; ++step) {
+      auto viewed = client.View(token);
+      if (!viewed.ok()) {
+        std::cerr << "park: VIEW failed: " << viewed.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      auto tree = ParseJson(viewed.ValueOrDie());
+      if (!tree.ok()) {
+        std::cerr << "park: malformed VIEW response\n";
+        return 1;
+      }
+      std::vector<NavNodeId> expandable;
+      CollectExpandable(tree.ValueOrDie(), &expandable);
+      if (expandable.empty()) break;
+      auto revealed = client.Expand(token, expandable.front());
+      if (!revealed.ok()) {
+        std::cerr << "park: EXPAND failed: " << revealed.status().ToString()
+                  << "\n";
+        return 1;
+      }
+    }
+    auto view = client.View(token);
+    if (!view.ok()) {
+      std::cerr << "park: VIEW failed: " << view.status().ToString() << "\n";
+      return 1;
+    }
+    out << "{\"token\":\"" << JsonEscape(token) << "\",\"query\":\""
+        << JsonEscape(variant.query) << "\",\"view\":\""
+        << JsonEscape(view.ValueOrDie()) << "\"}\n";
+  }
+  out.flush();
+  if (!out) {
+    std::cerr << "park: short write to " << path << "\n";
+    return 1;
+  }
+  std::cout << "parked " << count << " open sessions to " << path << "\n";
+  return 0;
+}
+
+/// Replays VIEW for every token recorded in `path` and demands a
+/// byte-identical response. With `tolerate`, shed responses and failed
+/// connects get a bounded backoff-and-retry (the warm-restart window).
+/// Scrapes the restore-latency p99 from STATS (of `stats_spec` when
+/// given — a router's STATS has no backend histograms) into the --json
+/// record. Nonzero on any mismatch or unrecoverable token.
+int VerifyParked(const std::string& host, int port, WireProto proto,
+                 const std::string& path, bool tolerate,
+                 const std::string& stats_spec, const BenchOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "verify-parked: cannot read " << path << "\n";
+    return 1;
+  }
+  NavClientOptions options;
+  options.proto = proto;
+  if (tolerate) options.connect_retries = 10;
+  std::unique_ptr<NavClient> client;
+  auto connect = [&]() -> bool {
+    auto connected = NavClient::Connect(host, port, options);
+    if (!connected.ok()) {
+      std::cerr << "verify-parked: " << connected.status().ToString() << "\n";
+      return false;
+    }
+    client = std::move(connected.ValueOrDie());
+    return true;
+  };
+  if (!connect()) return 1;
+
+  Timer wall;
+  wall.Restart();
+  int verified = 0, mismatched = 0, failed = 0, retried = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok() || !parsed.ValueOrDie().is_object()) {
+      std::cerr << "verify-parked: malformed record in " << path << "\n";
+      return 1;
+    }
+    const JsonValue& record = parsed.ValueOrDie();
+    const std::string token = record.StringOr("token", "");
+    const std::string expected = record.StringOr("view", "");
+    Result<std::string> view = client->View(token);
+    for (int attempt = 0;
+         !view.ok() && tolerate && IsShedStatus(view.status()) &&
+         attempt < 40;
+         ++attempt) {
+      ++retried;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (!connect()) continue;
+      view = client->View(token);
+    }
+    if (!view.ok()) {
+      ++failed;
+      std::cerr << "verify-parked: VIEW " << token
+                << " failed: " << view.status().ToString() << "\n";
+      continue;
+    }
+    if (view.ValueOrDie() == expected) {
+      ++verified;
+    } else {
+      ++mismatched;
+      std::cerr << "verify-parked: VIEW " << token
+                << " differs from its parked-time response\n";
+    }
+  }
+  double wall_ms = wall.ElapsedMillis();
+
+  double restore_p99_ms = -1;
+  std::string stats_host = host;
+  int stats_port = port;
+  if (!stats_spec.empty() &&
+      !ParseHostPort(stats_spec, &stats_host, &stats_port)) {
+    std::cerr << "verify-parked: --stats-target needs HOST:PORT\n";
+    return 1;
+  }
+  if (auto scraper = NavClient::Connect(stats_host, stats_port, options);
+      scraper.ok()) {
+    if (auto stats_doc = scraper.ValueOrDie()->Stats(); stats_doc.ok()) {
+      restore_p99_ms =
+          ServerP99Ms(stats_doc.ValueOrDie(), "bionav_session_restore_us");
+    }
+  }
+
+  std::cout << "verify-parked: " << verified << " byte-identical, "
+            << mismatched << " mismatched, " << failed << " failed, "
+            << retried << " shed retries; session restore p99 ";
+  if (restore_p99_ms < 0) {
+    std::cout << "- (histogram absent)\n";
+  } else {
+    std::cout << TextTable::Num(restore_p99_ms, 3) << " ms\n";
+  }
+
+  std::ostringstream extra;
+  extra << "\"mode\": \"verify-parked\", \"parked_verified\": " << verified
+        << ", \"parked_mismatched\": " << mismatched
+        << ", \"parked_failed\": " << failed
+        << ", \"shed_retries\": " << retried
+        << ", \"restore_p99_ms\": " << restore_p99_ms;
+  AppendJsonRecord(opts.json_path, "bench_serving",
+                   "mode=verify-parked,proto=" +
+                       std::string(WireProtoName(proto)),
+                   1, wall_ms, PerSec(verified, wall_ms), extra.str());
+  return (mismatched > 0 || failed > 0) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -601,6 +1054,9 @@ int main(int argc, char** argv) {
   int backends = 0;
   std::string target;
   WireProto proto = WireProto::kJson;
+  LoadProfile profile;
+  int park = 0;
+  std::string park_file, verify_parked, stats_target;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     int64_t value = 0;
@@ -639,6 +1095,36 @@ int main(int argc, char** argv) {
       backends = static_cast<int>(value);
     } else if (StartsWith(arg, "--target=")) {
       target = arg.substr(9);
+    } else if (StartsWith(arg, "--archetype=")) {
+      std::string name = arg.substr(12);
+      if (name == "finder") {
+        profile.archetype = Archetype::kFinder;
+      } else if (name == "browser") {
+        profile.archetype = Archetype::kBrowser;
+      } else if (name == "backtracker") {
+        profile.archetype = Archetype::kBacktracker;
+      } else {
+        std::cerr << "bench_serving: unknown archetype '" << name << "'\n";
+        return 2;
+      }
+    } else if (StartsWith(arg, "--think-ms=") &&
+               ParseDouble(arg.substr(11), &dvalue) && dvalue >= 0) {
+      profile.think_ms = dvalue;
+    } else if (StartsWith(arg, "--abandon-p=") &&
+               ParseDouble(arg.substr(12), &dvalue) && dvalue >= 0 &&
+               dvalue <= 1) {
+      profile.abandon_p = dvalue;
+    } else if (arg == "--tolerate-retry-later") {
+      profile.tolerate_retry_later = true;
+    } else if (StartsWith(arg, "--park=") &&
+               ParseInt64(arg.substr(7), &value) && value > 0) {
+      park = static_cast<int>(value);
+    } else if (StartsWith(arg, "--park-file=")) {
+      park_file = arg.substr(12);
+    } else if (StartsWith(arg, "--verify-parked=")) {
+      verify_parked = arg.substr(16);
+    } else if (StartsWith(arg, "--stats-target=")) {
+      stats_target = arg.substr(15);
     } else {
       std::cerr << "bench_serving: unknown arg '" << arg << "'\n";
       return 2;
@@ -649,6 +1135,30 @@ int main(int argc, char** argv) {
   if (backends > 0 && !target.empty()) {
     std::cerr << "bench_serving: --backends and --target are exclusive\n";
     return 2;
+  }
+  if (open_loop && (profile.archetype != Archetype::kFinder ||
+                    profile.think_ms > 0 || profile.abandon_p > 0 ||
+                    park > 0)) {
+    std::cerr << "bench_serving: archetypes, think times, abandonment and "
+                 "--park are closed-loop only\n";
+    return 2;
+  }
+  if ((park > 0) != !park_file.empty()) {
+    std::cerr << "bench_serving: --park=N and --park-file=PATH go together\n";
+    return 2;
+  }
+
+  // Verify mode stands alone: no workload, no in-process tier — just the
+  // parked-session oracle against an external endpoint.
+  if (!verify_parked.empty()) {
+    std::string verify_host;
+    int verify_port = 0;
+    if (target.empty() || !ParseHostPort(target, &verify_host, &verify_port)) {
+      std::cerr << "bench_serving: --verify-parked needs --target=HOST:PORT\n";
+      return 2;
+    }
+    return VerifyParked(verify_host, verify_port, proto, verify_parked,
+                        profile.tolerate_retry_later, stats_target, opts);
   }
 
   PrintPreamble(open_loop
@@ -746,7 +1256,9 @@ int main(int argc, char** argv) {
     std::cout << "load: " << clients << " clients x " << sessions_per_client
               << " sessions (+" << opts.warmup << " warmup), "
               << universe.size() << " distinct queries, zipf_s=" << zipf_s
-              << "\n\n";
+              << ", archetype=" << ArchetypeName(profile.archetype)
+              << ", think_ms=" << profile.think_ms
+              << ", abandon_p=" << profile.abandon_p << "\n\n";
   }
 
   std::vector<ClientResult> results(static_cast<size_t>(clients));
@@ -766,7 +1278,7 @@ int main(int argc, char** argv) {
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
           RunClient(universe, zipf_s, c, salt, sessions, host, port, proto,
-                    &(*out)[static_cast<size_t>(c)]);
+                    profile, &(*out)[static_cast<size_t>(c)]);
         });
       }
       for (std::thread& t : threads) t.join();
@@ -786,6 +1298,17 @@ int main(int argc, char** argv) {
     Timer wall;
     run_phase(/*salt=*/0, sessions_per_client, &results);
     wall_ms = wall.ElapsedMillis();
+  }
+
+  // Durability park rides after the measured phase: open --park sessions,
+  // record their VIEW responses to --park-file, leave them open for a
+  // later --verify-parked run (meaningful against --target, where the
+  // server outlives this process).
+  if (park > 0) {
+    if (int rc = ParkSessions(host, port, proto, universe, park, park_file);
+        rc != 0) {
+      return rc;
+    }
   }
 
   // Wire-volume accounting is snapshotted before the stats scraper
@@ -882,6 +1405,7 @@ int main(int argc, char** argv) {
   if (server != nullptr) server->Shutdown();
 
   int done = 0, failed = 0, shed = 0, transport_errors = 0;
+  int parked_open = 0, shed_retries = 0;
   OpLatencies all;
   if (open_loop) {
     done = open_totals.sessions_done;
@@ -897,6 +1421,8 @@ int main(int argc, char** argv) {
       done += r.sessions_done;
       failed += r.sessions_failed;
       shed += r.retry_later;
+      parked_open += r.sessions_parked;
+      shed_retries += r.shed_retries;
       all.MergeFrom(r.latencies);
       if (!r.first_error.empty()) {
         std::cerr << "client error: " << r.first_error << "\n";
@@ -947,7 +1473,9 @@ int main(int argc, char** argv) {
                                             static_cast<double>(cache_lookups)
                                       : 0.0;
   std::cout << "\nsessions: " << done << " done, " << failed << " failed, "
-            << transport_errors << " transport errors, "
+            << parked_open << " abandoned open, " << shed_retries
+            << " tolerated shed retries, " << transport_errors
+            << " transport errors, "
             << TextTable::Num(PerSec(done, wall_ms), 1) << "/s\n";
   if (server != nullptr || !shards.empty()) {
     std::cout << "server: " << stats.requests << " requests, "
@@ -1003,7 +1531,12 @@ int main(int argc, char** argv) {
         << ", \"query_warm_p50_ms\": " << warm_p50
         << ", \"query_warm_p99_ms\": " << Percentile(&all.query_warm_ms, 0.99)
         << ", \"expand_p99_ms\": " << Percentile(&all.expand_ms, 0.99)
-        << ", \"aggregate_p99_ms\": " << aggregate_p99 << ", \"tier\": \""
+        << ", \"aggregate_p99_ms\": " << aggregate_p99
+        << ", \"archetype\": \"" << ArchetypeName(profile.archetype) << "\""
+        << ", \"think_ms\": " << profile.think_ms
+        << ", \"abandon_p\": " << profile.abandon_p
+        << ", \"sessions_parked\": " << parked_open
+        << ", \"shed_retries\": " << shed_retries << ", \"tier\": \""
         << (router != nullptr ? "router"
                               : (target.empty() ? "server" : "external"))
         << "\"";
@@ -1026,10 +1559,13 @@ int main(int argc, char** argv) {
 
   // Every connection stayed below the admission limit: a dropped or shed
   // session — or, in open-loop mode, any transport-level failure — is a
-  // serving bug, not load.
-  if (failed > 0 || shed > 0 || transport_errors > 0 ||
+  // serving bug, not load. Under --tolerate-retry-later the typed shed
+  // window is expected (a backend restarted under load) and only sessions
+  // that stayed failed after the bounded retries count.
+  bool shed_is_failure = !profile.tolerate_retry_later;
+  if (failed > 0 || (shed_is_failure && shed > 0) || transport_errors > 0 ||
       stats.connections_shed > 0 || router_stats.protocol_errors > 0 ||
-      router_stats.retry_later > 0) {
+      (shed_is_failure && router_stats.retry_later > 0)) {
     std::cerr << "ERROR: " << failed << " failed / " << shed << " shed / "
               << transport_errors
               << " transport errors below the admission limit"

@@ -228,4 +228,18 @@ std::string ActiveTree::RenderAscii(int max_depth) const {
   return out.str();
 }
 
+size_t ActiveTree::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += comp_of_.capacity() * sizeof(int);
+  bytes += components_.capacity() * sizeof(Component);
+  for (const Component& c : components_) bytes += c.results.MemoryBytes();
+  bytes += history_.capacity() * sizeof(HistoryEntry);
+  for (const HistoryEntry& h : history_) {
+    bytes += h.reassigned.capacity() * sizeof(NavNodeId);
+    bytes += h.new_comps.capacity() * sizeof(int);
+    bytes += h.old_results.MemoryBytes();
+  }
+  return bytes;
+}
+
 }  // namespace bionav

@@ -102,6 +102,11 @@ class ActiveTree {
   /// Number of EXPAND operations that can be backtracked.
   size_t HistorySize() const { return history_.size(); }
 
+  /// Estimated heap footprint of the per-session state (component table,
+  /// citation bitsets, backtrack history). Excludes the shared navigation
+  /// tree. Drives the session-heap gauge the spill tier is judged by.
+  size_t MemoryBytes() const;
+
   /// Visualization of the active tree (Definition 5): the embedded tree of
   /// visible nodes, each with its component's distinct citation count and
   /// an "expandable" flag (>>> hyperlink).

@@ -1,0 +1,213 @@
+#include "persist/spill_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace bionav {
+
+namespace {
+
+constexpr char kSnapshotSuffix[] = ".snap";
+constexpr char kTempSuffix[] = ".tmp";
+constexpr char kManifestName[] = "MANIFEST";
+
+bool SafeChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EscapeSpillToken(std::string_view token) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    if (SafeChar(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeSpillToken(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] != '%') {
+      out.push_back(name[i]);
+      continue;
+    }
+    if (i + 2 >= name.size()) {
+      return Status::InvalidArgument("truncated %XX escape");
+    }
+    int hi = HexValue(name[i + 1]), lo = HexValue(name[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad %XX escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+SpillStore::SpillStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string SpillStore::PathFor(const std::string& token) const {
+  return dir_ + "/" + EscapeSpillToken(token) + kSnapshotSuffix;
+}
+
+Status SpillStore::Init() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill dir '" + dir_ +
+                           "': " + ec.message());
+  }
+  // A kill -9 between temp write and rename leaves a *.tmp; it was never
+  // the live record of anything, so drop it.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > sizeof(kTempSuffix) - 1 &&
+        name.compare(name.size() - (sizeof(kTempSuffix) - 1),
+                     sizeof(kTempSuffix) - 1, kTempSuffix) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Status SpillStore::Put(const std::string& token, std::string_view record) {
+  return WriteFileAtomic(PathFor(token), record);
+}
+
+Status SpillStore::WriteFileAtomic(const std::string& path,
+                                   std::string_view record) {
+  const std::string tmp = path + kTempSuffix;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open", tmp);
+  size_t off = 0;
+  while (off < record.size()) {
+    ssize_t n = ::write(fd, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write failed on", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::close(fd) != 0) {
+    Status st = Errno("close failed on", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Errno("rename failed to", path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<std::string> SpillStore::Get(const std::string& token) {
+  const std::string path = PathFor(token);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot for '" + token + "'");
+    }
+    return Errno("cannot open", path);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read failed on", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool SpillStore::Delete(const std::string& token) {
+  return ::unlink(PathFor(token).c_str()) == 0;
+}
+
+std::vector<std::string> SpillStore::ListTokens() const {
+  std::vector<std::string> tokens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t suffix = sizeof(kSnapshotSuffix) - 1;
+    if (name.size() < suffix ||
+        name.compare(name.size() - suffix, suffix, kSnapshotSuffix) != 0) {
+      continue;
+    }
+    Result<std::string> token =
+        UnescapeSpillToken(name.substr(0, name.size() - suffix));
+    if (token.ok()) tokens.push_back(token.TakeValue());
+  }
+  return tokens;
+}
+
+Status SpillStore::WriteManifest(uint64_t next_token) {
+  // "bionav-spill v1\nnext_token <N>\n" — human-readable on purpose; it is
+  // the operator's first stop when inspecting a spill directory.
+  std::string body = "bionav-spill v1\nnext_token ";
+  body += std::to_string(next_token);
+  body += "\n";
+  return WriteFileAtomic(dir_ + "/" + kManifestName, body);
+}
+
+Result<uint64_t> SpillStore::ReadManifest() const {
+  const std::string path = dir_ + "/" + kManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("no spill manifest");
+  char line[128];
+  uint64_t next_token = 0;
+  bool have_header = false, have_token = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "bionav-spill v1", 15) == 0) have_header = true;
+    unsigned long long parsed = 0;  // NOLINT(runtime/int) — sscanf %llu
+    if (std::sscanf(line, "next_token %llu", &parsed) == 1) {
+      next_token = parsed;
+      have_token = true;
+    }
+  }
+  std::fclose(f);
+  if (!have_header || !have_token) {
+    return Status::NotFound("spill manifest unreadable");
+  }
+  return next_token;
+}
+
+}  // namespace bionav

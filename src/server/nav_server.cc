@@ -8,6 +8,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -147,38 +148,55 @@ NavServer::NavServer(const ConceptHierarchy* hierarchy,
 Status NavServer::Start() {
   BIONAV_CHECK(!started_.load()) << "NavServer started twice";
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
   sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    Status status =
-        Status::IOError(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, 512) != 0) {
-    Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+  if (options_.inherit_listen_fd >= 0) {
+    // Warm restart: the predecessor's listener, already bound and
+    // listening, arrives across exec. Re-assert the flags Start would have
+    // set (the dup dropped CLOEXEC deliberately; NONBLOCK is shared but
+    // cheap to enforce) and read the port back off the socket.
+    listen_fd_ = options_.inherit_listen_fd;
+    int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+      Status status = Status::IOError(
+          std::string("inherited listener unusable: ") + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    ::fcntl(listen_fd_, F_SETFD, FD_CLOEXEC);
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("bad bind address '" +
+                                     options_.bind_address + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status status =
+          Status::IOError(std::string("bind: ") + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    if (::listen(listen_fd_, 512) != 0) {
+      Status status =
+          Status::IOError(std::string("listen: ") + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
@@ -203,6 +221,11 @@ Status NavServer::Start() {
     return added;
   }
 
+  // The idle-spill sweep also registers pre-Run (same safety argument).
+  if (sessions_.spill_enabled() && options_.session.spill_after_ms > 0) {
+    ArmSpillSweep();
+  }
+
   started_.store(true);
   for (size_t i = 0; i < loops_.size(); ++i) {
     io_threads_.emplace_back([this, i] { IoThreadMain(i); });
@@ -212,6 +235,30 @@ Status NavServer::Start() {
 
 void NavServer::IoThreadMain(size_t loop_index) {
   loops_[loop_index]->Run();
+}
+
+void NavServer::ArmSpillSweep() {
+  // Runs on loop 0 (or before the loops start). Re-arms itself each tick;
+  // the chain dies with the loop on Shutdown. Sweeping at a quarter of the
+  // idle threshold keeps the worst-case overshoot at ~25%.
+  const int64_t period =
+      std::max<int64_t>(options_.session.spill_after_ms / 4, 50);
+  loops_[0]->AddTimer(period, [this] {
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+    if (!spill_sweep_inflight_.exchange(true)) {
+      pool_.Submit([this] {
+        sessions_.SpillIdle();
+        spill_sweep_inflight_.store(false);
+      });
+    }
+    ArmSpillSweep();
+  });
+}
+
+int NavServer::DetachListener() {
+  if (!started_.load() || listen_fd_ < 0) return -1;
+  // F_DUPFD (not F_DUPFD_CLOEXEC): the whole point is surviving exec.
+  return ::fcntl(listen_fd_, F_DUPFD, 3);
 }
 
 void NavServer::OnAcceptable() {
@@ -989,7 +1036,13 @@ WireFrame NavServer::HandleStats(const RequestView&, WireProto proto) {
       ",\"evicted_lru\":" + std::to_string(s.sessions.evicted_lru) +
       ",\"expired_ttl\":" + std::to_string(s.sessions.expired_ttl) +
       ",\"closed\":" + std::to_string(s.sessions.closed) +
-      ",\"operations\":" + std::to_string(s.sessions.operations) + "}";
+      ",\"operations\":" + std::to_string(s.sessions.operations) +
+      ",\"spilled\":" + std::to_string(s.sessions.spilled) +
+      ",\"restored\":" + std::to_string(s.sessions.restored) +
+      ",\"restore_failed\":" + std::to_string(s.sessions.restore_failed) +
+      ",\"spilled_now\":" + std::to_string(s.sessions.spilled_now) +
+      ",\"resident_bytes\":" + std::to_string(s.sessions.resident_bytes) +
+      "}";
   // Artifact-cache section: enabled:false (and zeros) when --cache=off, so
   // scrapers can rely on the section's presence either way.
   QueryArtifactCacheStats c;

@@ -53,6 +53,11 @@ struct NavServerOptions {
   /// Shutdown drains pending write queues for at most this long before
   /// force-closing what remains.
   int64_t drain_deadline_ms = 2000;
+  /// Warm restart: adopt this already-bound, already-listening fd instead
+  /// of socket/bind/listen. The predecessor process dups its listener
+  /// CLOEXEC-free (DetachListener), execs the new binary, and connections
+  /// queued in the listen backlog ride through the swap. -1 disables.
+  int inherit_listen_fd = -1;
   SessionManagerOptions session;
   CostModelParams cost_params;
 };
@@ -128,6 +133,14 @@ class NavServer {
   /// Graceful shutdown; idempotent, also run by the destructor.
   void Shutdown();
 
+  /// Warm-restart support: dups the listening socket WITHOUT close-on-exec
+  /// and returns the new fd (-1 if not listening). The dup keeps the
+  /// kernel's listen backlog alive across Shutdown + exec — clients
+  /// connecting during the swap queue there instead of seeing RST. Call
+  /// before Shutdown, pass the fd to the next binary via
+  /// --inherit-listen-fd.
+  int DetachListener();
+
   ~NavServer();
 
   NavServerStats stats() const;
@@ -176,6 +189,9 @@ class NavServer {
   using ConnPtr = std::shared_ptr<Connection>;
 
   void IoThreadMain(size_t loop_index);
+  /// Arms (and re-arms) the periodic idle-spill sweep on loop 0. The sweep
+  /// body runs on the compute pool — disk writes never block the reactor.
+  void ArmSpillSweep();
   void OnAcceptable();
   void AdmitConnection(int fd);
   void OnConnectionEvent(const ConnPtr& conn, uint32_t events);
@@ -249,6 +265,8 @@ class NavServer {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> shutting_down_{false};
+  /// One idle-spill sweep at a time; a slow disk must not pile up sweeps.
+  std::atomic<bool> spill_sweep_inflight_{false};
   std::mutex shutdown_mu_;  // Serializes Shutdown (idempotence).
 
   /// Signaled by loops as connections close; Shutdown waits on it for the

@@ -643,6 +643,9 @@ WireError WireErrorFromStatus(const Status& status) {
     case StatusCode::kIOError: return WireError::kInternal;
     // Client-side deadline; a server never produces it on the wire.
     case StatusCode::kDeadlineExceeded: return WireError::kInternal;
+    // Corrupt persisted state; the session layer translates it to
+    // NotFound before the wire, so this is a defensive mapping.
+    case StatusCode::kDataLoss: return WireError::kInternal;
   }
   return WireError::kInternal;
 }

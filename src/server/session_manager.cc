@@ -1,9 +1,12 @@
 #include "server/session_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "persist/session_snapshot.h"
 
 namespace bionav {
 
@@ -12,6 +15,12 @@ namespace {
 int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
 
@@ -44,6 +53,54 @@ Gauge* SessionsLive() {
                                              "Sessions currently resident");
   return g;
 }
+Counter* SessionsSpilled() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_spilled_total", "Session snapshots written to disk");
+  return c;
+}
+Counter* SessionsRestored() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_sessions_restored_total",
+      "Sessions resurrected from the spill tier");
+  return c;
+}
+Counter* SessionsRestoreFailed() {
+  static Counter* c = GlobalMetrics().GetCounter(
+      "bionav_session_restore_failed_total",
+      "Parked sessions dropped because their snapshot was unusable");
+  return c;
+}
+Gauge* SessionsSpilledNow() {
+  static Gauge* g = GlobalMetrics().GetGauge(
+      "bionav_sessions_spilled", "Sessions currently parked on disk");
+  return g;
+}
+Gauge* SessionHeapBytes() {
+  static Gauge* g = GlobalMetrics().GetGauge(
+      "bionav_session_heap_bytes",
+      "Estimated heap bytes of resident session state");
+  return g;
+}
+LatencyHistogram* RestoreLatency() {
+  static LatencyHistogram* h = GlobalMetrics().GetHistogram(
+      "bionav_session_restore_us",
+      "Restore-on-touch: snapshot read, decode, artifact lookup and replay");
+  return h;
+}
+
+/// Numeric suffix of a minted token ("shard0-s17" -> 17), or 0 if the
+/// token does not look minted. Used to keep next_token_ ahead of whatever
+/// is parked on disk after an unclean restart.
+uint64_t TokenOrdinal(const std::string& token) {
+  size_t s = token.rfind('s');
+  if (s == std::string::npos || s + 1 >= token.size()) return 0;
+  uint64_t value = 0;
+  for (size_t i = s + 1; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return 0;
+    value = value * 10 + static_cast<uint64_t>(token[i] - '0');
+  }
+  return value;
+}
 
 }  // namespace
 
@@ -70,13 +127,33 @@ SessionManager::SessionManager(const ConceptHierarchy* hierarchy,
     cache_options.clock = options_.clock;
     cache_ = std::make_unique<QueryArtifactCache>(std::move(cache_options));
   }
+  if (!options_.spill_dir.empty()) {
+    spill_ = std::make_unique<SpillStore>(options_.spill_dir);
+    spill_->Init().CheckOK();
+    // Adopt whatever a predecessor left parked, and keep the token mint
+    // ahead of it: after a warm restart (manifest) or a crash (scan), a
+    // fresh "s17" must never alias a parked "s17".
+    uint64_t max_seen = 0;
+    for (std::string& token : spill_->ListTokens()) {
+      max_seen = std::max(max_seen, TokenOrdinal(token));
+      spilled_tokens_.insert(std::move(token));
+    }
+    next_token_ = max_seen + 1;
+    Result<uint64_t> manifest = spill_->ReadManifest();
+    if (manifest.ok()) {
+      next_token_ = std::max(next_token_, manifest.ValueOrDie());
+    }
+    SessionsSpilledNow()->Add(static_cast<int64_t>(spilled_tokens_.size()));
+  }
 }
 
 SessionManager::~SessionManager() {
-  // Sessions dying with their manager leave the process-wide live gauge;
+  // Sessions dying with their manager leave the process-wide gauges;
   // without this, every short-lived manager (tests, restarts under one
-  // process) would leak residue into bionav_sessions_live.
+  // process) would leak residue into bionav_sessions_live and friends.
   SessionsLive()->Add(-static_cast<int64_t>(sessions_.size()));
+  SessionHeapBytes()->Add(-static_cast<int64_t>(resident_bytes_));
+  SessionsSpilledNow()->Add(-static_cast<int64_t>(spilled_tokens_.size()));
 }
 
 int64_t SessionManager::NowMs() const { return options_.clock(); }
@@ -117,6 +194,7 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
   entry->session = std::make_unique<NavigationSession>(
       eutils_, std::move(artifacts), query, strategy_factory_);
   info.result_size = entry->session->result_size();
+  entry->mem_bytes = entry->session->MemoryBytes();
 
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = NowMs();
@@ -128,6 +206,8 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
   entry->token.insert(0, options_.token_prefix);
   entry->last_used_ms = now;
   sessions_.emplace(entry->token, entry);
+  resident_bytes_ += entry->mem_bytes;
+  SessionHeapBytes()->Add(static_cast<int64_t>(entry->mem_bytes));
   ++counters_.created;
   SessionsCreated()->Increment();
   SessionsLive()->Add(1);
@@ -143,36 +223,262 @@ Status SessionManager::WithSession(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(token);
-    if (it == sessions_.end()) {
-      return Status::NotFound("unknown session '" + std::string(token) + "'");
+    if (it != sessions_.end()) {
+      int64_t now = NowMs();
+      if (options_.ttl_ms > 0 &&
+          now - it->second->last_used_ms > options_.ttl_ms) {
+        ++counters_.expired_ttl;
+        SessionsExpired()->Increment();
+        EraseResidentLocked(it);
+        return Status::NotFound("session '" + std::string(token) +
+                                "' expired");
+      }
+      it->second->last_used_ms = now;
+      entry = it->second;
+      // Pin: spill and spill-backed eviction skip entries with an op in
+      // flight, so the session we are about to mutate cannot be
+      // snapshotted (stale) or unlinked-to-disk underneath us.
+      ++entry->inflight;
+      ++counters_.operations;
     }
-    int64_t now = NowMs();
-    if (options_.ttl_ms > 0 && now - it->second->last_used_ms > options_.ttl_ms) {
-      sessions_.erase(it);
-      ++counters_.expired_ttl;
-      SessionsExpired()->Increment();
-      SessionsLive()->Add(-1);
-      return Status::NotFound("session '" + std::string(token) + "' expired");
-    }
-    it->second->last_used_ms = now;
-    entry = it->second;
-    ++counters_.operations;
   }
-  // Per-session serialization; the map lock is already released, so a slow
-  // EXPAND on one session never stalls traffic to the others.
-  std::lock_guard<std::mutex> op_lock(entry->op_mu);
-  return fn(*entry->session);
+  if (entry == nullptr) {
+    Status restore_status;
+    entry = RestoreFromSpill(token, &restore_status);
+    if (entry == nullptr) return restore_status;
+  }
+  Status result;
+  {
+    // Per-session serialization; the map lock is already released, so a
+    // slow EXPAND on one session never stalls traffic to the others.
+    std::lock_guard<std::mutex> op_lock(entry->op_mu);
+    result = fn(*entry->session);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --entry->inflight;
+    auto it = sessions_.find(entry->token);
+    if (it != sessions_.end() && it->second == entry) {
+      entry->last_used_ms = NowMs();
+      size_t bytes = entry->session->MemoryBytes();
+      int64_t delta = static_cast<int64_t>(bytes) -
+                      static_cast<int64_t>(entry->mem_bytes);
+      entry->mem_bytes = bytes;
+      resident_bytes_ =
+          static_cast<size_t>(static_cast<int64_t>(resident_bytes_) + delta);
+      SessionHeapBytes()->Add(delta);
+    }
+  }
+  return result;
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::RestoreFromSpill(
+    std::string_view token, Status* status) {
+  *status = Status::NotFound("unknown session '" + std::string(token) + "'");
+  if (spill_ == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spilled_tokens_.find(token) == spilled_tokens_.end()) return nullptr;
+  }
+  const std::string token_str(token);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Read, decode, rebuild artifacts and replay — all outside mu_; a cold
+  // restore costs a disk read plus (usually) an artifact-cache hit, and
+  // must not stall traffic to resident sessions.
+  Status fail;
+  std::unique_ptr<NavigationSession> restored;
+  Result<std::string> raw = spill_->Get(token_str);
+  if (!raw.ok()) {
+    fail = raw.status();
+  } else {
+    Result<SessionSnapshot> decoded = DecodeSnapshot(raw.ValueOrDie());
+    if (!decoded.ok()) {
+      fail = decoded.status();
+    } else {
+      const SessionSnapshot& snap = decoded.ValueOrDie();
+      std::shared_ptr<const QueryArtifacts> artifacts;
+      if (cache_ != nullptr) {
+        artifacts = cache_
+                        ->GetOrBuild(NormalizeQueryKey(snap.query),
+                                     [&] {
+                                       return BuildQueryArtifacts(
+                                           *hierarchy_, *eutils_, snap.query,
+                                           cost_params_, /*freeze=*/true);
+                                     })
+                        .artifacts;
+      } else {
+        artifacts = BuildQueryArtifacts(*hierarchy_, *eutils_, snap.query,
+                                        cost_params_, /*freeze=*/false);
+      }
+      Result<std::unique_ptr<NavigationSession>> session = RestoreSession(
+          snap, eutils_, std::move(artifacts), strategy_factory_);
+      if (!session.ok()) {
+        fail = session.status();
+      } else {
+        restored = session.TakeValue();
+      }
+    }
+  }
+
+  if (restored == nullptr) {
+    // The parked record is unusable (corrupt, or the world changed under
+    // it). Drop it so the failure is not sticky, and surface a NotFound —
+    // the wire maps it to UNKNOWN_SESSION like any dead token.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = spilled_tokens_.find(token);
+      if (it != spilled_tokens_.end()) {
+        spilled_tokens_.erase(it);
+        SessionsSpilledNow()->Add(-1);
+      }
+      ++counters_.restore_failed;
+    }
+    SessionsRestoreFailed()->Increment();
+    spill_->Delete(token_str);
+    *status = Status::NotFound("session '" + token_str +
+                               "' unrecoverable: " + fail.ToString());
+    return nullptr;
+  }
+
+  const int64_t restore_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  std::shared_ptr<Entry> entry;
+  bool won = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it != sessions_.end()) {
+      // A concurrent touch restored it first; ours was wasted work.
+      entry = it->second;
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->token = token_str;
+      entry->session = std::move(restored);
+      entry->mem_bytes = entry->session->MemoryBytes();
+      sessions_.emplace(entry->token, entry);
+      resident_bytes_ += entry->mem_bytes;
+      SessionHeapBytes()->Add(static_cast<int64_t>(entry->mem_bytes));
+      SessionsLive()->Add(1);
+      auto parked = spilled_tokens_.find(token);
+      if (parked != spilled_tokens_.end()) {
+        spilled_tokens_.erase(parked);
+        SessionsSpilledNow()->Add(-1);
+      }
+      ++counters_.restored;
+      SessionsRestored()->Increment();
+      RestoreLatency()->Record(restore_us);
+      won = true;
+    }
+    entry->last_used_ms = NowMs();
+    ++entry->inflight;
+    ++counters_.operations;
+    if (won) EvictToCapacityLocked();
+  }
+  if (won) spill_->Delete(token_str);
+  *status = Status::OK();
+  return entry;
 }
 
 bool SessionManager::Close(std::string_view token) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(token);
-  if (it == sessions_.end()) return false;
-  sessions_.erase(it);
-  ++counters_.closed;
-  SessionsClosed()->Increment();
-  SessionsLive()->Add(-1);
+  if (it != sessions_.end()) {
+    EraseResidentLocked(it);
+    ++counters_.closed;
+    SessionsClosed()->Increment();
+    return true;
+  }
+  auto parked = spilled_tokens_.find(token);
+  if (parked != spilled_tokens_.end()) {
+    spill_->Delete(*parked);
+    spilled_tokens_.erase(parked);
+    SessionsSpilledNow()->Add(-1);
+    ++counters_.closed;
+    SessionsClosed()->Increment();
+    return true;
+  }
+  return false;
+}
+
+size_t SessionManager::SpillIdle() {
+  if (spill_ == nullptr || options_.spill_after_ms <= 0) return 0;
+  // Candidates are collected first, then spilled one map-lock hold each:
+  // a 10k-session idle sweep is a burst of small writes, and the map must
+  // stay responsive to live traffic between them.
+  std::vector<std::string> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = NowMs();
+    for (const auto& [token, entry] : sessions_) {
+      if (entry->inflight == 0 &&
+          now - entry->last_used_ms >= options_.spill_after_ms) {
+        candidates.push_back(token);
+      }
+    }
+  }
+  size_t spilled = 0;
+  for (const std::string& token : candidates) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) continue;
+    const std::shared_ptr<Entry>& entry = it->second;
+    // Re-check under the lock: the session may have been touched (or an op
+    // may be in flight) since the candidate scan.
+    if (entry->inflight != 0) continue;
+    if (NowMs() - entry->last_used_ms < options_.spill_after_ms) continue;
+    if (SpillEntryLocked(entry)) {
+      EraseResidentLocked(it);
+      ++spilled;
+    }
+  }
+  return spilled;
+}
+
+size_t SessionManager::SpillAll() {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t spilled = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->inflight == 0 && SpillEntryLocked(it->second)) {
+      it = EraseResidentLocked(it);
+      ++spilled;
+    } else {
+      ++it;
+    }
+  }
+  // The manifest marks a clean spill and carries the token mint; if the
+  // write fails the successor falls back to scanning parked tokens.
+  (void)spill_->WriteManifest(next_token_);
+  return spilled;
+}
+
+bool SessionManager::SpillEntryLocked(const std::shared_ptr<Entry>& entry) {
+  BIONAV_CHECK_EQ(entry->inflight, 0);
+  SessionSnapshot snap =
+      SnapshotSession(*entry->session, entry->token, WallUnixMs());
+  Status written = spill_->Put(entry->token, EncodeSnapshot(snap));
+  if (!written.ok()) {
+    BIONAV_LOG(Error) << "spill of '" << entry->token
+                      << "' failed: " << written.ToString();
+    return false;
+  }
+  if (spilled_tokens_.insert(entry->token).second) {
+    SessionsSpilledNow()->Add(1);
+  }
+  ++counters_.spilled;
+  SessionsSpilled()->Increment();
   return true;
+}
+
+SessionManager::SessionMap::iterator SessionManager::EraseResidentLocked(
+    SessionMap::iterator it) {
+  resident_bytes_ -= it->second->mem_bytes;
+  SessionHeapBytes()->Add(-static_cast<int64_t>(it->second->mem_bytes));
+  SessionsLive()->Add(-1);
+  return sessions_.erase(it);
 }
 
 size_t SessionManager::active() const {
@@ -184,17 +490,19 @@ SessionManagerStats SessionManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionManagerStats out = counters_;
   out.active = sessions_.size();
+  out.spilled_now = spilled_tokens_.size();
+  out.resident_bytes = resident_bytes_;
   return out;
 }
 
 void SessionManager::SweepExpiredLocked(int64_t now_ms) {
   if (options_.ttl_ms <= 0) return;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now_ms - it->second->last_used_ms > options_.ttl_ms) {
-      it = sessions_.erase(it);
+    if (it->second->inflight == 0 &&
+        now_ms - it->second->last_used_ms > options_.ttl_ms) {
       ++counters_.expired_ttl;
       SessionsExpired()->Increment();
-      SessionsLive()->Add(-1);
+      it = EraseResidentLocked(it);
     } else {
       ++it;
     }
@@ -203,10 +511,14 @@ void SessionManager::SweepExpiredLocked(int64_t now_ms) {
 
 void SessionManager::EvictToCapacityLocked() {
   // Linear LRU scan: capacity is a few hundred sessions, and eviction only
-  // runs on Create, so O(n) beats maintaining an intrusive list.
+  // runs on Create/restore, so O(n) beats maintaining an intrusive list.
+  // With the spill tier on, eviction parks the victim on disk instead of
+  // destroying it. In-flight entries are never victims: a mid-op snapshot
+  // would persist a stale tree.
   while (sessions_.size() > options_.max_sessions) {
     auto victim = sessions_.end();
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second->inflight != 0) continue;
       if (victim == sessions_.end() ||
           it->second->last_used_ms < victim->second->last_used_ms ||
           (it->second->last_used_ms == victim->second->last_used_ms &&
@@ -214,10 +526,14 @@ void SessionManager::EvictToCapacityLocked() {
         victim = it;
       }
     }
-    sessions_.erase(victim);
-    ++counters_.evicted_lru;
-    SessionsEvicted()->Increment();
-    SessionsLive()->Add(-1);
+    // Everything is pinned by an in-flight op: stay over capacity for a
+    // moment rather than lose or corrupt a session.
+    if (victim == sessions_.end()) break;
+    if (spill_ == nullptr || !SpillEntryLocked(victim->second)) {
+      ++counters_.evicted_lru;
+      SessionsEvicted()->Increment();
+    }
+    EraseResidentLocked(victim);
   }
 }
 

@@ -8,8 +8,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cache/query_artifact_cache.h"
+#include "persist/spill_store.h"
 #include "sim/session.h"
 
 namespace bionav {
@@ -44,6 +46,17 @@ struct SessionManagerOptions {
   size_t cache_max_bytes = QueryArtifactCacheOptions().max_bytes;
   int64_t cache_ttl_ms = 0;
   size_t cache_shards = 8;
+  /// Directory for the spill tier; empty disables spilling. With spill on,
+  /// idle and capacity-evicted sessions are snapshotted to disk instead of
+  /// destroyed, and the next touch of their token restores them
+  /// transparently — millions of parked dialogues fit a small heap.
+  std::string spill_dir;
+  /// Idle time after which SpillIdle writes a session out. 0 means "only
+  /// spill on capacity eviction or SpillAll". Should be well below ttl_ms:
+  /// TTL still destroys *resident* sessions, while parked snapshots live
+  /// until CLOSE or restore (steady clocks do not survive a restart, so
+  /// on-disk records carry no trustworthy idle age).
+  int64_t spill_after_ms = 0;
 };
 
 /// Lifetime counters. `active` is the instantaneous live-session count;
@@ -56,6 +69,15 @@ struct SessionManagerStats {
   int64_t closed = 0;
   /// Operations dispatched through WithSession (EXPAND, SHOWRESULTS, ...).
   int64_t operations = 0;
+  /// Spill-tier traffic (all zero when spill_dir is empty).
+  int64_t spilled = 0;
+  int64_t restored = 0;
+  int64_t restore_failed = 0;
+  /// Sessions currently parked on disk.
+  size_t spilled_now = 0;
+  /// Estimated heap bytes of the resident sessions (the spill tier's
+  /// memory-bounding claim is judged against this gauge).
+  size_t resident_bytes = 0;
 };
 
 /// Owns the live NavigationSessions of a serving process, keyed by opaque
@@ -106,16 +128,32 @@ class SessionManager {
                              size_t* result_size = nullptr);
 
   /// Looks up `token`, refreshes its TTL/LRU stamp, and runs `fn` on the
-  /// session under its per-session mutex. Returns NotFound if the token is
-  /// not live (never created, closed, evicted or expired) — the only
+  /// session under its per-session mutex. A token parked in the spill tier
+  /// is restored first (artifact rebuild + replay), transparently to the
+  /// caller. Returns NotFound if the token is not live (never created,
+  /// closed, evicted, expired, or its snapshot is unreadable) — the only
   /// NotFound this method itself produces; any other status comes from
   /// `fn`. Takes a view so arena-backed binary request tokens flow through
   /// without materializing a std::string.
   Status WithSession(std::string_view token,
                      const std::function<Status(NavigationSession&)>& fn);
 
-  /// Closes (unregisters) a session. False if the token was not live.
+  /// Closes (unregisters) a session, resident or spilled. False if the
+  /// token was not live.
   bool Close(std::string_view token);
+
+  /// Spills every resident session idle for spill_after_ms (skipping any
+  /// with an operation in flight) to disk and drops it from the heap.
+  /// Returns the number written. No-op unless spill is configured.
+  size_t SpillIdle();
+
+  /// Spills every resident session regardless of idleness and persists the
+  /// token counter in the spill manifest — the warm-restart path (call
+  /// after the server drained, so nothing is in flight). Returns the
+  /// number written.
+  size_t SpillAll();
+
+  bool spill_enabled() const { return spill_ != nullptr; }
 
   size_t active() const;
   SessionManagerStats stats() const;
@@ -131,14 +169,30 @@ class SessionManager {
     std::mutex op_mu;
     /// Guarded by SessionManager::mu_.
     int64_t last_used_ms = 0;
+    /// Operations between lookup and release (guarded by mu_). Spill and
+    /// spill-backed eviction skip pinned entries: snapshotting a session
+    /// mid-mutation would persist a stale tree and lose the op — the
+    /// touch-during-spill race the regression tests pin down.
+    int inflight = 0;
+    /// Last MemoryBytes() estimate, for the resident-heap gauge (mu_).
+    size_t mem_bytes = 0;
   };
 
   int64_t NowMs() const;
   /// Drops every TTL-expired entry. Requires mu_ held.
   void SweepExpiredLocked(int64_t now_ms);
-  /// Evicts least-recently-used entries until below capacity. Requires
-  /// mu_ held.
+  /// Evicts least-recently-used entries until below capacity (spilling
+  /// them first when the spill tier is on). Requires mu_ held.
   void EvictToCapacityLocked();
+  /// Snapshots `entry` to the spill store. Requires mu_ held and
+  /// entry->inflight == 0 (the lock plus the zero pin count guarantee no
+  /// thread is touching the session). Does not unlink from the map.
+  bool SpillEntryLocked(const std::shared_ptr<Entry>& entry);
+  /// Restores `token` from the spill tier, registers it, and returns the
+  /// entry pinned (inflight incremented). On failure returns null and
+  /// reports through `status`.
+  std::shared_ptr<Entry> RestoreFromSpill(std::string_view token,
+                                          Status* status);
 
   const ConceptHierarchy* hierarchy_;
   const EUtilsClient* eutils_;
@@ -156,10 +210,24 @@ class SessionManager {
       return std::hash<std::string_view>()(token);
     }
   };
+  using SessionMap = std::unordered_map<std::string, std::shared_ptr<Entry>,
+                                        TokenHash, std::equal_to<>>;
+
+  /// Unlinks a resident entry and settles the live/heap gauges. Requires
+  /// mu_ held. Returns the next iterator.
+  SessionMap::iterator EraseResidentLocked(SessionMap::iterator it);
+
+  /// The spill store, or null when options_.spill_dir is empty.
+  std::unique_ptr<SpillStore> spill_;
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>, TokenHash,
-                     std::equal_to<>> sessions_;
+  SessionMap sessions_;
+  /// Tokens currently parked on disk (mirrors the spill directory, so a
+  /// WithSession miss never pays a disk probe for a genuinely unknown
+  /// token). Guarded by mu_.
+  std::unordered_set<std::string, TokenHash, std::equal_to<>> spilled_tokens_;
+  /// Running MemoryBytes() total of resident sessions. Guarded by mu_.
+  size_t resident_bytes_ = 0;
   uint64_t next_token_ = 1;
   SessionManagerStats counters_;  // `active` field unused; derived from map.
 };

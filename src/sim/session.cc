@@ -75,7 +75,16 @@ Result<std::vector<NavNodeId>> NavigationSession::Expand(NavNodeId node) {
   ScopedSpanRing ring_scope(ring_.get());
   TraceSpan span("expand", hist);
   EdgeCut cut = strategy_->ChooseEdgeCut(*active_, node);
-  return active_->ApplyEdgeCut(node, cut);
+  Result<std::vector<NavNodeId>> revealed = active_->ApplyEdgeCut(node, cut);
+  if (revealed.ok()) expand_log_.push_back({node, std::move(cut)});
+  return revealed;
+}
+
+Status NavigationSession::ReplayExpand(NavNodeId root, const EdgeCut& cut) {
+  Result<std::vector<NavNodeId>> applied = active_->ApplyEdgeCut(root, cut);
+  if (!applied.ok()) return applied.status();
+  expand_log_.push_back({root, cut});
+  return Status::OK();
 }
 
 Result<std::vector<NavNodeId>> NavigationSession::ExpandByLabel(
@@ -117,7 +126,21 @@ std::string NavigationSession::Render(int max_depth) const {
   return RenderAsciiRanked(*active_, *artifacts_->cost_model, max_depth);
 }
 
-bool NavigationSession::Backtrack() { return active_->Backtrack(); }
+bool NavigationSession::Backtrack() {
+  if (!active_->Backtrack()) return false;
+  BIONAV_CHECK(!expand_log_.empty());
+  expand_log_.pop_back();
+  return true;
+}
+
+size_t NavigationSession::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + query_.capacity() + active_->MemoryBytes();
+  bytes += expand_log_.capacity() * sizeof(ExpandRecord);
+  for (const ExpandRecord& rec : expand_log_) {
+    bytes += rec.cut.cut_children.capacity() * sizeof(NavNodeId);
+  }
+  return bytes;
+}
 
 void NavigationSession::EnableTracing(size_t capacity) {
   ring_ = std::make_unique<SpanRing>(capacity);

@@ -28,6 +28,16 @@ StrategyFactory MakeBioNavStrategyFactory(
 /// Factory for the static all-children baseline.
 StrategyFactory MakeStaticStrategyFactory();
 
+/// One applied EXPAND: the component root that was expanded and the exact
+/// edge cut the strategy chose. The sequence of these records *is* the
+/// session's durable state — EXPAND is deterministic given the artifacts,
+/// so replaying the cuts (ApplyEdgeCut, bypassing the strategy) rebuilds an
+/// identical ActiveTree, and BACKTRACK pops the same stack on both sides.
+struct ExpandRecord {
+  NavNodeId root = kInvalidNavNode;
+  EdgeCut cut;
+};
+
 /// An interactive BioNav navigation session — the engine behind the web
 /// interface of Section VII's architecture. Wraps the full online pipeline
 /// for one keyword query: ESearch -> navigation-tree construction -> active
@@ -87,6 +97,22 @@ class NavigationSession {
   /// BACKTRACK: undo the most recent EXPAND. False if none.
   bool Backtrack();
 
+  /// Re-applies a recorded EXPAND verbatim (snapshot restore): the cut is
+  /// validated and applied directly, without consulting the strategy, and
+  /// appended to the expand log so further BACKTRACKs behave identically.
+  Status ReplayExpand(NavNodeId root, const EdgeCut& cut);
+
+  /// The EXPANDs currently applied (those a BACKTRACK would undo), oldest
+  /// first. This is exactly what a snapshot persists.
+  const std::vector<ExpandRecord>& expand_log() const { return expand_log_; }
+
+  /// Name of the session's expansion policy ("Heuristic-ReducedOpt", ...).
+  std::string strategy_name() const { return strategy_->name(); }
+
+  /// Estimated heap bytes of the per-session state (active tree, expand
+  /// log, query string). Excludes the shared query artifacts.
+  size_t MemoryBytes() const;
+
   /// Visible node whose concept has the given label, or kInvalidNavNode.
   NavNodeId FindVisibleByLabel(const std::string& label) const;
 
@@ -113,6 +139,7 @@ class NavigationSession {
   /// Per-session navigation state.
   std::unique_ptr<ExpandStrategy> strategy_;
   std::unique_ptr<ActiveTree> active_;
+  std::vector<ExpandRecord> expand_log_;
   std::unique_ptr<SpanRing> ring_;
 };
 

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

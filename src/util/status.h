@@ -21,6 +21,10 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kDeadlineExceeded,
+  /// Persistent data is unreadable: truncated, checksum-mismatched or
+  /// otherwise corrupt. Unlike kIOError (the environment failed), the bytes
+  /// were read fine but cannot be trusted.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -56,6 +60,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

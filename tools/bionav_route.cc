@@ -57,7 +57,8 @@ int Usage() {
          "         [--max-connections C] [--idle-timeout-ms MS]\n"
          "         [--health-interval-ms MS] [--health-timeout-ms MS]\n"
          "         [--eject-after N] [--half-open-ms MS] [--pool P]\n"
-         "         [--serve-bin PATH] [--serve-threads N] (auto mode)\n";
+         "         [--serve-bin PATH] [--serve-threads N]\n"
+         "         [--spill-dir DIR] [--spill-after-ms MS] (auto mode)\n";
   return 2;
 }
 
@@ -83,6 +84,7 @@ std::string SelfDirectory() {
 /// (the caller tears down previously spawned children).
 bool SpawnBackend(const std::string& serve_bin, const std::string& db_path,
                   int serve_threads, const std::string& shard_id,
+                  const std::string& spill_dir, int64_t spill_after_ms,
                   Child* child) {
   int stdin_pipe[2];
   int stdout_pipe[2];
@@ -111,9 +113,25 @@ bool SpawnBackend(const std::string& serve_bin, const std::string& db_path,
     // Per-shard token prefix: the router pins sessions by token, so the
     // fleet's tokens must not collide across backends.
     std::string prefix = shard_id + "-";
-    ::execl(serve_bin.c_str(), serve_bin.c_str(), db_path.c_str(), "--port",
-            "0", "--threads", threads.c_str(), "--token-prefix",
-            prefix.c_str(), static_cast<char*>(nullptr));
+    std::vector<std::string> args = {serve_bin,        db_path,
+                                     "--port",         "0",
+                                     "--threads",      threads,
+                                     "--token-prefix", prefix};
+    if (!spill_dir.empty()) {
+      // Per-shard spill subdirectory: snapshots of shard0 must never be
+      // adopted by shard1 after a restart (tokens and pins are per-shard).
+      args.push_back("--spill-dir");
+      args.push_back(spill_dir + "/" + shard_id);
+      if (spill_after_ms > 0) {
+        args.push_back("--spill-after-ms");
+        args.push_back(std::to_string(spill_after_ms));
+      }
+    }
+    std::vector<char*> exec_argv;
+    exec_argv.reserve(args.size() + 1);
+    for (std::string& a : args) exec_argv.push_back(a.data());
+    exec_argv.push_back(nullptr);
+    ::execv(serve_bin.c_str(), exec_argv.data());
     std::fprintf(stderr, "bionav_route: exec %s: %s\n", serve_bin.c_str(),
                  std::strerror(errno));
     ::_exit(127);
@@ -188,6 +206,8 @@ int Main(int argc, char** argv) {
   std::string db_path;
   std::string serve_bin;
   int serve_threads = 2;
+  std::string spill_dir;
+  int64_t spill_after_ms = 0;
   NavRouterOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -237,6 +257,10 @@ int Main(int argc, char** argv) {
     } else if (arg == "--serve-threads") {
       serve_threads = static_cast<int>(
           IntArg(value("--serve-threads"), "--serve-threads"));
+    } else if (arg == "--spill-dir") {
+      spill_dir = value("--spill-dir");
+    } else if (arg == "--spill-after-ms") {
+      spill_after_ms = IntArg(value("--spill-after-ms"), "--spill-after-ms");
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "bionav_route: unknown flag '" << arg << "'\n";
       return Usage();
@@ -258,7 +282,7 @@ int Main(int argc, char** argv) {
       Child child;
       std::string shard_id = "shard" + std::to_string(i);
       if (!SpawnBackend(serve_bin, db_path, serve_threads, shard_id,
-                        &child)) {
+                        spill_dir, spill_after_ms, &child)) {
         std::cerr << "bionav_route: failed to spawn backend " << i << " ("
                   << serve_bin << ")\n";
         ReapChildren(&children);

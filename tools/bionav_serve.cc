@@ -6,19 +6,31 @@
 //                [--max-connections C] [--idle-timeout-ms MS]
 //                [--max-sessions S] [--ttl-ms T] [--token-prefix P]
 //                [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]
+//                [--spill-dir DIR] [--spill-after-ms MS]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on the first stdout line ("listening on 127.0.0.1:PORT") so
 // wrappers can scrape it. The server runs until SIGINT/SIGTERM or EOF on
 // stdin, then drains in-flight requests and exits 0.
+//
+// With --spill-dir, idle sessions park on disk (after --spill-after-ms of
+// inactivity) and resurrect transparently on their next touch, and SIGUSR2
+// triggers a warm restart: drain, snapshot every session, exec this binary
+// again with the listening socket inherited (--inherit-listen-fd, internal)
+// — clients connecting during the swap wait in the listen backlog, parked
+// tokens keep working, and the router's pins survive.
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bionav.h"
 
@@ -26,8 +38,25 @@ namespace bionav {
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_warm_restart{false};
 
 void HandleSignal(int) { g_stop.store(true); }
+
+void HandleWarmRestart(int) {
+  g_warm_restart.store(true);
+  g_stop.store(true);
+}
+
+/// Installs `handler` without SA_RESTART, so the blocking stdin read in the
+/// lifetime loop returns EINTR instead of swallowing the signal.
+void InstallSignal(int signo, void (*handler)(int)) {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(signo, &action, nullptr);
+}
 
 int64_t IntArg(const std::string& value, const char* flag) {
   int64_t out = 0;
@@ -43,11 +72,17 @@ int Usage() {
   std::cerr << "usage: bionav_serve <db-path> [--port P] [--threads N]"
                " [--io-threads I] [--max-connections C] [--idle-timeout-ms MS]"
                " [--max-sessions S] [--ttl-ms T] [--token-prefix P]"
-               " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]\n";
+               " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]"
+               " [--spill-dir DIR] [--spill-after-ms MS]\n";
   return 2;
 }
 
 int Main(int argc, char** argv) {
+  // Wrappers (bionav_route) scrape only the first stdout line and then
+  // close their end of the pipe; later startup/lifecycle lines must get
+  // EPIPE, not a fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string db_path;
   NavServerOptions options;
   options.threads = 4;
@@ -91,6 +126,14 @@ int Main(int argc, char** argv) {
       options.session.cache_ttl_ms = IntArg(value("--cache-ttl"), "--cache-ttl");
     } else if (arg == "--cache=off") {
       options.session.cache_enabled = false;
+    } else if (arg == "--spill-dir") {
+      options.session.spill_dir = value("--spill-dir");
+    } else if (arg == "--spill-after-ms") {
+      options.session.spill_after_ms =
+          IntArg(value("--spill-after-ms"), "--spill-after-ms");
+    } else if (arg == "--inherit-listen-fd") {
+      options.inherit_listen_fd = static_cast<int>(
+          IntArg(value("--inherit-listen-fd"), "--inherit-listen-fd"));
     } else if (arg == "--static") {
       use_static = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -103,6 +146,10 @@ int Main(int argc, char** argv) {
     }
   }
   if (db_path.empty()) return Usage();
+  if (!options.session.spill_dir.empty() &&
+      options.session.spill_after_ms == 0) {
+    options.session.spill_after_ms = 60 * 1000;
+  }
 
   auto db = BioNavDatabase::LoadFromFile(db_path);
   if (!db.ok()) {
@@ -124,9 +171,15 @@ int Main(int argc, char** argv) {
   std::cout << "listening on " << options.bind_address << ":" << server.port()
             << " (" << d.store().size() << " citations, "
             << d.hierarchy().size() << " concepts)" << std::endl;
+  if (server.session_manager().spill_enabled()) {
+    SessionManagerStats s = server.session_manager().stats();
+    std::cout << "spill dir " << options.session.spill_dir << ": "
+              << s.spilled_now << " parked sessions adopted" << std::endl;
+  }
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  InstallSignal(SIGINT, HandleSignal);
+  InstallSignal(SIGTERM, HandleSignal);
+  InstallSignal(SIGUSR2, HandleWarmRestart);
 
   // Park until a signal arrives or stdin reaches EOF (the latter lets
   // wrappers manage the server lifetime through a pipe).
@@ -141,8 +194,59 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (g_warm_restart.load() && server.session_manager().spill_enabled()) {
+    // Warm restart: keep the kernel's listen queue alive across exec, then
+    // drain, park every session, and become the new binary. Clients
+    // connecting during the swap wait in the backlog; parked tokens are
+    // adopted by the successor through the spill directory + manifest.
+    std::cout << "warm restart: detaching listener..." << std::endl;
+    int inherited = server.DetachListener();
+    server.Shutdown();
+    size_t parked = server.session_manager().SpillAll();
+    std::cout << "warm restart: " << parked
+              << " sessions parked, exec new binary" << std::endl;
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+      // Strip any stale --inherit-listen-fd from a previous generation.
+      if (std::strcmp(argv[i], "--inherit-listen-fd") == 0) {
+        ++i;
+        continue;
+      }
+      args.push_back(argv[i]);
+    }
+    if (inherited >= 0) {
+      args.push_back("--inherit-listen-fd");
+      args.push_back(std::to_string(inherited));
+    }
+    std::vector<char*> exec_argv;
+    exec_argv.reserve(args.size() + 1);
+    for (std::string& a : args) exec_argv.push_back(a.data());
+    exec_argv.push_back(nullptr);
+    std::cout.flush();
+    // Resolve /proc/self/exe rather than trusting argv[0] (the binary may
+    // have been found via PATH or the cwd moved since launch), but exec the
+    // resolved path: exec'ing the literal "/proc/self/exe" renames the
+    // process to "exe" and breaks pgrep -x bionav_serve after a restart.
+    char self[4096];
+    ssize_t self_len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (self_len > 0) {
+      self[self_len] = '\0';
+    } else {
+      std::snprintf(self, sizeof(self), "/proc/self/exe");
+    }
+    ::execv(self, exec_argv.data());
+    std::cerr << "bionav_serve: execv failed: " << std::strerror(errno)
+              << std::endl;
+    return 1;
+  }
+
   std::cout << "draining..." << std::endl;
   server.Shutdown();
+  if (g_warm_restart.load()) {
+    // SIGUSR2 without a spill dir: nothing to hand over; plain shutdown.
+    std::cerr << "bionav_serve: warm restart needs --spill-dir; draining"
+              << std::endl;
+  }
   NavServerStats stats = server.stats();
   std::cout << "served " << stats.requests << " requests over "
             << stats.connections_accepted << " connections ("
