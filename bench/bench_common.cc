@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -65,6 +66,112 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
   return options;
 }
 
+namespace {
+
+/// Deterministic multi-target pick: the query's own target first, then
+/// deep attached concepts spread across the navigation tree (an even
+/// pre-order stride over the candidates of maximal depth), so successive
+/// legs share root-side path prefixes without being identical descents.
+std::vector<NavNodeId> PickSessionTargets(const QueryFixture& fixture,
+                                          int num_targets) {
+  const NavigationTree& nav = *fixture.nav;
+  std::vector<NavNodeId> targets;
+  NavNodeId primary = nav.NodeOfConcept(fixture.query->target);
+  BIONAV_CHECK_NE(primary, kInvalidNavNode);
+  targets.push_back(primary);
+
+  std::vector<NavNodeId> candidates;
+  for (NavNodeId id = 1; id < static_cast<NavNodeId>(nav.size()); ++id) {
+    if (id != primary && nav.attached_count(id) > 0 &&
+        nav.NodeDepth(id) >= 2) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return targets;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NavNodeId a, NavNodeId b) {
+                     return nav.NodeDepth(a) > nav.NodeDepth(b);
+                   });
+  // Keep the deepest half (long descents), then stride across it.
+  size_t pool = std::max<size_t>(1, candidates.size() / 2);
+  size_t want = static_cast<size_t>(std::max(0, num_targets - 1));
+  for (size_t k = 0; k < want && k < pool; ++k) {
+    targets.push_back(candidates[k * pool / std::max<size_t>(want, 1)]);
+  }
+  return targets;
+}
+
+}  // namespace
+
+double MultiTargetResult::MeanTimeMs(int first_leg, int last_leg) const {
+  double sum = 0;
+  int n = 0;
+  for (const ExpandSample& s : samples) {
+    if (s.leg < first_leg || s.leg > last_leg) continue;
+    sum += s.time_ms;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+MultiTargetResult RunMultiTargetSession(const QueryFixture& fixture,
+                                        const MultiTargetOptions& options) {
+  HeuristicReducedOptOptions strategy_options;
+  strategy_options.incremental = options.incremental;
+  HeuristicReducedOpt strategy(fixture.cost_model.get(), strategy_options);
+  ActiveTree active(fixture.nav.get());
+
+  MultiTargetResult result;
+  result.cut_fingerprint = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&](uint64_t v) {
+    result.cut_fingerprint =
+        (result.cut_fingerprint ^ v) * 1099511628211ull;
+  };
+
+  std::vector<NavNodeId> targets =
+      PickSessionTargets(fixture, options.num_targets);
+  int depth = 0;
+  int leg = 0;
+  const int max_expands = static_cast<int>(fixture.nav->size()) + 1;
+  for (int round = 0; round < options.rounds; ++round) {
+    for (NavNodeId target : targets) {
+      // Fresh descent from the initial view; the strategy (and with it
+      // the incremental memo) deliberately survives the backtracks.
+      while (active.Backtrack()) {
+      }
+      int step = 0;
+      while (!active.IsVisible(target)) {
+        BIONAV_CHECK_LT(step, max_expands) << "navigation did not converge";
+        int comp = active.ComponentOf(target);
+        NavNodeId root = active.ComponentRoot(comp);
+        EdgeCut cut = strategy.ChooseEdgeCut(active, root);
+        mix(static_cast<uint64_t>(root));
+        for (NavNodeId c : cut.cut_children) mix(static_cast<uint64_t>(c));
+        mix(~uint64_t{0});
+        Result<std::vector<NavNodeId>> revealed =
+            active.ApplyEdgeCut(root, cut);
+        revealed.status().CheckOK();
+
+        ExpandSample sample;
+        sample.depth = depth;
+        sample.leg = leg;
+        sample.step = step;
+        sample.revealed = static_cast<int>(revealed.ValueOrDie().size());
+        sample.reduced_size = strategy.last_stats().reduced_tree_size;
+        sample.incremental_hit = strategy.last_stats().incremental_hit;
+        sample.time_ms = strategy.last_stats().elapsed_ms;
+        result.samples.push_back(sample);
+        result.expand_actions++;
+        result.revealed_concepts += sample.revealed;
+        ++depth;
+        ++step;
+      }
+      ++leg;
+    }
+  }
+  return result;
+}
+
 double PerSec(double sessions, double wall_ms) {
   return wall_ms > 0 ? 1000.0 * sessions / wall_ms : 0.0;
 }
@@ -86,6 +193,17 @@ void AppendJsonRecord(const std::string& json_path, const std::string& bench,
   if (!extra_json.empty()) line << ", " << extra_json;
   line << "}";
   out << line.str() << '\n';
+}
+
+void AppendJsonLine(const std::string& json_path,
+                    const std::string& json_object) {
+  if (json_path.empty()) return;
+  std::ofstream out(json_path, std::ios::app);
+  if (!out) {
+    std::cerr << "warning: cannot open '" << json_path << "' for append\n";
+    return;
+  }
+  out << json_object << '\n';
 }
 
 void PrintPreamble(const std::string& bench_name) {

@@ -34,6 +34,64 @@ QueryFixture BuildQueryFixture(const Workload& workload, size_t i,
 NavigationMetrics RunOracle(const QueryFixture& fixture,
                             const StrategyFactory& factory);
 
+/// One timed EXPAND of a multi-target session (the per-depth JSON records
+/// of bench_fig10/bench_fig11).
+struct ExpandSample {
+  /// EXPANDs performed before this one, across the whole session — the
+  /// session depth the paper's incremental claim is measured against.
+  int depth = 0;
+  /// Navigation leg (one oracle descent to one target) the sample is from.
+  int leg = 0;
+  /// EXPAND index within the leg (0 = the root expansion).
+  int step = 0;
+  int revealed = 0;
+  int reduced_size = 0;
+  bool incremental_hit = false;
+  double time_ms = 0;
+};
+
+/// Knobs of the multi-target session the timing benches run. A single
+/// oracle descent never revisits a component, so cross-EXPAND reuse only
+/// shows on sessions that backtrack and navigate again — the shape real
+/// exploratory navigation (and the paper's Section VIII user study) has.
+struct MultiTargetOptions {
+  /// Full passes over the target list. Round 1 is the cold baseline;
+  /// later rounds re-descend through already-memoized component shapes.
+  int rounds = 3;
+  /// Targets per round: the query's own target plus deep attached
+  /// concepts picked deterministically from the navigation tree.
+  int num_targets = 4;
+  /// Off = from-scratch recompute on every EXPAND (the A/B baseline).
+  bool incremental = true;
+};
+
+/// Outcome of one multi-target session.
+struct MultiTargetResult {
+  std::vector<ExpandSample> samples;
+  int expand_actions = 0;
+  int revealed_concepts = 0;
+  /// FNV-1a over every (component root, cut children) sequence, in order.
+  /// Incremental-on and -off runs of the same fixture must produce the
+  /// same fingerprint — the CI A/B guard's byte-identity check.
+  uint64_t cut_fingerprint = 0;
+
+  int navigation_cost() const { return expand_actions + revealed_concepts; }
+  double total_expand_time_ms() const {
+    double t = 0;
+    for (const ExpandSample& s : samples) t += s.time_ms;
+    return t;
+  }
+  /// Mean EXPAND time over samples whose leg lies in [first_leg, last_leg].
+  double MeanTimeMs(int first_leg, int last_leg) const;
+};
+
+/// Runs the multi-target session for one query fixture: for every round and
+/// target, backtracks to the initial view and navigates to the target with
+/// Heuristic-ReducedOpt, timing each ChooseEdgeCut. The strategy instance
+/// (and with it the incremental memo) lives for the whole session.
+MultiTargetResult RunMultiTargetSession(const QueryFixture& fixture,
+                                        const MultiTargetOptions& options);
+
 /// Prints the standard bench preamble (workload scale, seed).
 void PrintPreamble(const std::string& bench_name);
 
@@ -74,6 +132,11 @@ void AppendJsonRecord(const std::string& json_path, const std::string& bench,
                       const std::string& config, int threads, double wall_ms,
                       double sessions_per_sec,
                       const std::string& extra_json = std::string());
+
+/// Appends one complete raw JSON object as its own JSON-lines record (the
+/// per-depth EXPAND records of fig10/fig11); no-op when the path is empty.
+void AppendJsonLine(const std::string& json_path,
+                    const std::string& json_object);
 
 }  // namespace bionav::bench
 

@@ -3,9 +3,18 @@
 // each expansion. The paper shows times varying with the reduced-tree size
 // and the width of the expanded component (upper levels are wider).
 //
-// Flags: --json=PATH. (Single-session timing bench; --threads is ignored.)
+// Like bench_fig10, the session is multi-target with full backtracks
+// between legs, so the table also shows the incremental engine replaying
+// memoized cuts once a component shape recurs (the "Hit" column) — the
+// per-EXPAND time dropping with session depth while cuts stay identical.
+//
+// Flags: --json=PATH (per-depth EXPAND records + one summary),
+//        --incremental=on|off (default on), --rounds=N, --targets=N.
+// (Single-session timing bench; --threads is ignored.)
 
+#include <cstring>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.h"
 
@@ -14,6 +23,18 @@ using namespace bionav::bench;
 
 int main(int argc, char** argv) {
   BenchOptions opts = ParseBenchOptions(&argc, argv);
+  MultiTargetOptions session;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--incremental=", 14) == 0) {
+      session.incremental = std::strcmp(argv[i] + 14, "off") != 0;
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      session.rounds = std::max(1, std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--targets=", 10) == 0) {
+      session.num_targets = std::max(1, std::atoi(argv[i] + 10));
+    }
+  }
+  const std::string config =
+      session.incremental ? "incremental=on" : "incremental=off";
   PrintPreamble("Fig 11: per-EXPAND times for 'prothymosin'");
 
   const Workload& w = SharedWorkload();
@@ -28,21 +49,41 @@ int main(int argc, char** argv) {
 
   Timer timer;
   QueryFixture f = BuildQueryFixture(w, prothymosin);
-  NavigationMetrics b = RunOracle(f, MakeBioNavStrategyFactory());
+  MultiTargetResult r = RunMultiTargetSession(f, session);
   double wall_ms = timer.ElapsedMillis();
 
   TextTable table;
-  table.SetHeader({"EXPAND #", "Partitions", "Revealed", "Time (ms)"});
-  for (size_t e = 0; e < b.expand_time_ms.size(); ++e) {
-    table.AddRow({std::to_string(e + 1),
-                  std::to_string(b.reduced_tree_sizes[e]),
-                  std::to_string(b.revealed_per_expand[e]),
-                  TextTable::Num(b.expand_time_ms[e], 3)});
+  table.SetHeader(
+      {"Depth", "Leg", "Partitions", "Revealed", "Hit", "Time (ms)"});
+  for (const ExpandSample& s : r.samples) {
+    table.AddRow({std::to_string(s.depth), std::to_string(s.leg),
+                  std::to_string(s.reduced_size), std::to_string(s.revealed),
+                  s.incremental_hit ? "yes" : "no",
+                  TextTable::Num(s.time_ms, 3)});
+    std::ostringstream rec;
+    rec << "{\"bench\": \"bench_fig11\", \"record\": \"expand\", \"query\": "
+        << "\"prothymosin\", \"config\": \"" << config
+        << "\", \"depth\": " << s.depth << ", \"leg\": " << s.leg
+        << ", \"step\": " << s.step << ", \"revealed\": " << s.revealed
+        << ", \"reduced_size\": " << s.reduced_size
+        << ", \"incremental_hit\": " << (s.incremental_hit ? "true" : "false")
+        << ", \"time_ms\": " << s.time_ms << "}";
+    AppendJsonLine(opts.json_path, rec.str());
   }
   std::cout << table.ToString();
-  std::cout << "\nTotal EXPANDs: " << b.expand_actions
-            << ", navigation cost: " << b.navigation_cost() << "\n";
-  AppendJsonRecord(opts.json_path, "bench_fig11", "prothymosin", 1, wall_ms,
+  std::cout << "\nTotal EXPANDs: " << r.expand_actions
+            << ", navigation cost: " << r.navigation_cost()
+            << ", total EXPAND time: " << r.total_expand_time_ms() << " ms\n";
+  std::ostringstream summary;
+  summary << "{\"bench\": \"bench_fig11\", \"record\": \"summary\", "
+          << "\"query\": \"prothymosin\", \"config\": \"" << config
+          << "\", \"expands\": " << r.expand_actions
+          << ", \"navigation_cost\": " << r.navigation_cost()
+          << ", \"total_expand_time_ms\": " << r.total_expand_time_ms()
+          << ", \"cut_fingerprint\": \"" << std::hex << r.cut_fingerprint
+          << "\"}";
+  AppendJsonLine(opts.json_path, summary.str());
+  AppendJsonRecord(opts.json_path, "bench_fig11", config, 1, wall_ms,
                    PerSec(1.0, wall_ms));
   return 0;
 }

@@ -54,6 +54,9 @@
 // them — which is the point). --tolerate-retry-later turns the typed
 // RETRY_LATER/SHUTTING_DOWN shed window into a bounded backoff-and-retry
 // instead of a failure, for soaks that restart backends under load.
+// --batch-expand (browser only) coalesces each step's expansions into one
+// BATCH_EXPAND round trip of up to 4 frontier nodes, for A/B-ing the
+// batched op's latency against repeated single EXPANDs.
 //
 // Durability check (drives an external --target, e.g. a bionav_route
 // fleet over spill-enabled backends): --park=N --park-file=PATH opens N
@@ -166,6 +169,9 @@ struct LoadProfile {
   /// Treat RETRY_LATER/SHUTTING_DOWN as a bounded backoff-and-retry (the
   /// expected window while a backend warm-restarts) instead of a failure.
   bool tolerate_retry_later = false;
+  /// Browser archetype only: coalesce each step's expansions into one
+  /// BATCH_EXPAND round trip (up to 4 nodes) instead of a single EXPAND.
+  bool batch_expand = false;
 };
 
 void Think(const LoadProfile& profile, Rng& rng) {
@@ -340,11 +346,30 @@ Status RunBrowserSession(NavClient& client, const QueryVariant& variant,
     std::vector<NavNodeId> expandable;
     CollectExpandable(tree.ValueOrDie(), &expandable);
     if (expandable.empty()) break;  // Fully revealed — nothing left to do.
-    NavNodeId pick = expandable[rng.Uniform(expandable.size())];
-    auto revealed = timed(&latencies->expand_ms,
-                          [&] { return client.Expand(token, pick); });
-    if (!revealed.ok()) return revealed.status();
-    const std::vector<NavNodeId>& nodes = revealed.ValueOrDie();
+    std::vector<NavNodeId> nodes;
+    if (profile.batch_expand) {
+      // One BATCH_EXPAND round trip covering several frontier nodes: a
+      // random starting offset and stride over the expandable list, so
+      // the batch spreads across the tree like repeated single EXPANDs.
+      std::vector<NavNodeId> picks;
+      size_t want = std::min<size_t>(4, expandable.size());
+      size_t start = rng.Uniform(expandable.size());
+      for (size_t k = 0; k < want; ++k) {
+        picks.push_back(
+            expandable[(start + k * expandable.size() / want) %
+                       expandable.size()]);
+      }
+      auto batched = timed(&latencies->expand_ms,
+                           [&] { return client.ExpandMany(token, picks); });
+      if (!batched.ok()) return batched.status();
+      nodes = batched.ValueOrDie().revealed;
+    } else {
+      NavNodeId pick = expandable[rng.Uniform(expandable.size())];
+      auto revealed = timed(&latencies->expand_ms,
+                            [&] { return client.Expand(token, pick); });
+      if (!revealed.ok()) return revealed.status();
+      nodes = revealed.ValueOrDie();
+    }
     if (!nodes.empty()) {
       NavNodeId peek = nodes[rng.Uniform(nodes.size())];
       auto shown = timed(&latencies->other_ms,
@@ -1116,6 +1141,8 @@ int main(int argc, char** argv) {
       profile.abandon_p = dvalue;
     } else if (arg == "--tolerate-retry-later") {
       profile.tolerate_retry_later = true;
+    } else if (arg == "--batch-expand") {
+      profile.batch_expand = true;
     } else if (StartsWith(arg, "--park=") &&
                ParseInt64(arg.substr(7), &value) && value > 0) {
       park = static_cast<int>(value);
@@ -1134,6 +1161,10 @@ int main(int argc, char** argv) {
   if (open_loop && connections == 0) connections = 64;
   if (backends > 0 && !target.empty()) {
     std::cerr << "bench_serving: --backends and --target are exclusive\n";
+    return 2;
+  }
+  if (profile.batch_expand && profile.archetype != Archetype::kBrowser) {
+    std::cerr << "bench_serving: --batch-expand needs --archetype=browser\n";
     return 2;
   }
   if (open_loop && (profile.archetype != Archetype::kFinder ||

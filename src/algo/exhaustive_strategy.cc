@@ -30,9 +30,9 @@ EdgeCut ExhaustiveReducedStrategy::ChooseEdgeCut(const ActiveTree& active,
       ReduceComponent(active, *cost_model_, comp, max_partitions_);
   if (!reduced.has_value()) {
     EdgeCut fallback;
-    for (NavNodeId c : active.nav().node(root).children) {
+    active.nav().ForEachChild(root, [&](NavNodeId c) {
       if (active.ComponentOf(c) == comp) fallback.cut_children.push_back(c);
-    }
+    });
     BIONAV_CHECK(!fallback.empty());
     last_stats_.elapsed_ms = timer.ElapsedMillis();
     return fallback;

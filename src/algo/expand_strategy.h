@@ -19,6 +19,9 @@ struct ExpandStats {
   /// True when the cut was answered from a cached Opt-EdgeCut DP
   /// (HeuristicReducedOptOptions::reuse_dp).
   bool cache_hit = false;
+  /// True when the cut was answered from the bit-identical incremental
+  /// memo (HeuristicReducedOptOptions::incremental) without recomputing.
+  bool incremental_hit = false;
 };
 
 /// Interface of a node-expansion policy: given the active tree and the root

@@ -18,6 +18,28 @@ LatencyHistogram* OptCutHistogram() {
   return hist;
 }
 
+/// Topmost nodes of subtree(root) that are NOT members of `comp`, in
+/// pre-order. Because active-tree components are connected and up-closed
+/// toward their root, the component's member set is exactly subtree(root)
+/// minus the (disjoint) subtrees of these holes, and the first non-member
+/// met in pre-order is always the top of its foreign region — so one
+/// skip-walk of O(members + holes) steps suffices.
+std::vector<NavNodeId> ComponentHoles(const ActiveTree& active, int comp,
+                                      NavNodeId root) {
+  const NavigationTree& nav = active.nav();
+  std::vector<NavNodeId> holes;
+  NavNodeId end = nav.SubtreeEnd(root);
+  for (NavNodeId id = root; id < end;) {
+    if (active.ComponentOf(id) == comp) {
+      ++id;
+    } else {
+      holes.push_back(id);
+      id = nav.SubtreeEnd(id);
+    }
+  }
+  return holes;
+}
+
 }  // namespace
 
 HeuristicReducedOpt::HeuristicReducedOpt(const CostModel* cost_model,
@@ -79,6 +101,19 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
       "bionav_engine_expand_fallback_total",
       "EXPANDs that fell back to revealing all children (no usable "
       "reduction)");
+  static LatencyHistogram* inc_reuse_hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_incremental_reuse_us",
+      "EXPANDs answered from the incremental memo (validation + replay)");
+  static LatencyHistogram* inc_invalidated_hist = GlobalMetrics().GetHistogram(
+      "bionav_engine_incremental_invalidated_us",
+      "Stale incremental-memo probes (validation time before recompute)");
+  static Counter* inc_hits = GlobalMetrics().GetCounter(
+      "bionav_engine_incremental_hits_total",
+      "EXPANDs replayed bit-identically from the incremental memo");
+  static Counter* subtrees_recomputed = GlobalMetrics().GetCounter(
+      "bionav_engine_subtrees_recomputed",
+      "Component subtrees recomputed from scratch (incremental memo misses "
+      "plus runs with the incremental engine off)");
   TraceSpan choose_span("choose_cut", choose_hist);
   Timer timer;
   last_stats_ = ExpandStats{};
@@ -86,6 +121,43 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
   BIONAV_CHECK_EQ(active.ComponentRoot(comp), root)
       << "EXPAND must target a visible component root";
   BIONAV_CHECK_GE(active.ComponentSize(comp), 2u);
+
+  // Incremental fast path: replay the memoized cut when the exact component
+  // recurs. An entry keyed by (root, member count) matches iff every
+  // recorded hole still lies outside the component: holes outside imply
+  // members(now) is a subset of members(then) (a member inside a hole's
+  // subtree would pull the hole into the component via up-closedness), and
+  // the equal counts force set equality — so the replay is bit-identical to
+  // a fresh recompute. Entries never need eager invalidation; a stale entry
+  // simply fails this check, and BACKTRACK re-validates old entries for
+  // free. Mutually exclusive with reuse_dp, which intentionally trades cut
+  // quality for speed and would break bit-identity.
+  const bool use_incremental = options_.incremental && !options_.reuse_dp;
+  const uint64_t memo_key =
+      IncrementalState::Key(root, active.ComponentSize(comp));
+  if (use_incremental) {
+    auto it = incremental_.memo.find(memo_key);
+    if (it != incremental_.memo.end()) {
+      bool valid = true;
+      for (NavNodeId h : it->second.holes) {
+        if (active.ComponentOf(h) == comp) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        inc_hits->Increment();
+        last_stats_.reduced_tree_size = it->second.reduced_tree_size;
+        last_stats_.partition_rounds = it->second.partition_rounds;
+        last_stats_.incremental_hit = true;
+        last_stats_.elapsed_ms = timer.ElapsedMillis();
+        inc_reuse_hist->Record(timer.ElapsedMicros());
+        return it->second.cut;
+      }
+      incremental_.memo.erase(it);
+      inc_invalidated_hist->Record(timer.ElapsedMicros());
+    }
+  }
 
   // Fast path (Section VI-B): a previous reduction already covers this
   // component — its optimal cut is in the memoized DP.
@@ -114,7 +186,24 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
     }
   }
 
+  // Memoizes the freshly computed answer for this component shape. The cap
+  // guards against unbounded growth in adversarial sessions; clearing on
+  // overflow is safe because the memo is a pure cache.
+  auto remember = [&](const EdgeCut& cut) {
+    if (!use_incremental) return;
+    if (incremental_.memo.size() >= options_.incremental_max_entries) {
+      incremental_.Clear();
+    }
+    IncrementalState::Entry entry;
+    entry.holes = ComponentHoles(active, comp, root);
+    entry.cut = cut;
+    entry.reduced_tree_size = last_stats_.reduced_tree_size;
+    entry.partition_rounds = last_stats_.partition_rounds;
+    incremental_.memo[memo_key] = std::move(entry);
+  };
+
   dp_misses->Increment();
+  subtrees_recomputed->Increment();
   // Small components run Opt-EdgeCut exactly (every node its own
   // supernode); larger ones are k-partition-reduced first.
   std::optional<ReducedComponent> reduced =
@@ -124,10 +213,11 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
     // Pathological tie structure with no usable reduction: fall back to
     // revealing all children of the expanded node (always a valid cut).
     EdgeCut fallback;
-    for (NavNodeId c : active.nav().node(root).children) {
+    active.nav().ForEachChild(root, [&](NavNodeId c) {
       if (active.ComponentOf(c) == comp) fallback.cut_children.push_back(c);
-    }
+    });
     BIONAV_CHECK(!fallback.empty());
+    remember(fallback);
     last_stats_.elapsed_ms = timer.ElapsedMillis();
     return fallback;
   }
@@ -157,6 +247,7 @@ EdgeCut HeuristicReducedOpt::ChooseEdgeCut(const ActiveTree& active,
   if (options_.reuse_dp) {
     SeedCache(reduction, full, cut_supernodes, root);
   }
+  remember(cut);
   last_stats_.elapsed_ms = timer.ElapsedMillis();
   return cut;
 }

@@ -1,6 +1,7 @@
 #ifndef BIONAV_ALGO_HEURISTIC_REDUCED_OPT_H_
 #define BIONAV_ALGO_HEURISTIC_REDUCED_OPT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,51 @@ struct HeuristicReducedOptOptions {
   /// cached component bottoms out at a single supernode, the strategy
   /// falls back to a fresh reduction of its contents.
   bool reuse_dp = false;
+  /// Cross-EXPAND incremental engine: memoize the chosen cut per component
+  /// shape and replay it whenever the exact component recurs (deep
+  /// sessions revisit shapes via BACKTRACK and sibling expansions). Unlike
+  /// `reuse_dp`, replayed answers are bit-identical to a from-scratch
+  /// recompute — ChooseEdgeCut is a pure function of the component member
+  /// set, and memo entries self-validate against the live active tree (see
+  /// DESIGN.md "Incremental navigation engine"), so no event-driven
+  /// invalidation is needed and BACKTRACK restores prior state for free.
+  /// Ignored while `reuse_dp` is on (that path intentionally changes cuts).
+  bool incremental = true;
+  /// Entry cap for the incremental memo; exceeding it clears the memo
+  /// (correctness is unaffected — entries are a pure cache).
+  size_t incremental_max_entries = 4096;
+};
+
+/// Per-session incremental EXPAND state (owned by the strategy instance,
+/// which NavigationSession owns): memoized cuts keyed by component shape.
+/// A component of the active tree is identified up to byte-identity by
+/// (root, member count, holes): members are exactly subtree(root) minus the
+/// subtrees of the recorded holes (topmost non-member nodes), so an entry
+/// is valid iff every hole still lies outside the component. Validation is
+/// O(holes); intact components (no holes) validate by size alone.
+struct IncrementalState {
+  struct Entry {
+    /// Topmost nodes of subtree(root) that were NOT component members when
+    /// the cut was computed (pre-order, disjoint subtrees). Empty = the
+    /// component was the full navigation subtree of its root.
+    std::vector<NavNodeId> holes;
+    /// The memoized answer, byte-identical to a fresh recompute.
+    EdgeCut cut;
+    /// Stats of the original computation, replayed into ExpandStats.
+    int reduced_tree_size = 0;
+    int partition_rounds = 0;
+  };
+  /// Keyed by (root << 32) | member_count, so several generations of the
+  /// same root (different depths of the session) coexist.
+  std::unordered_map<uint64_t, Entry> memo;
+
+  static uint64_t Key(NavNodeId root, size_t members) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(root)) << 32) |
+           static_cast<uint32_t>(members);
+  }
+
+  size_t size() const { return memo.size(); }
+  void Clear() { memo.clear(); }
 };
 
 /// The BioNav expansion policy: reduce the expanded component to at most K
@@ -50,10 +96,16 @@ class HeuristicReducedOpt : public ExpandStrategy {
   /// Drops all cached reductions (e.g. after a BACKTRACK invalidates the
   /// recorded component shapes). Cache misses are always safe; this only
   /// exists to release memory deterministically.
-  void ClearCache() { cache_.clear(); }
+  void ClearCache() {
+    cache_.clear();
+    incremental_.Clear();
+  }
 
   /// Number of component entries currently cached (testing/metrics).
   size_t cache_size() const { return cache_.size(); }
+
+  /// The per-session incremental memo (testing/metrics).
+  const IncrementalState& incremental_state() const { return incremental_; }
 
  private:
   /// A reduction shared by all components the reduced tree can create.
@@ -77,6 +129,7 @@ class HeuristicReducedOpt : public ExpandStrategy {
   const CostModel* cost_model_;
   HeuristicReducedOptOptions options_;
   std::unordered_map<NavNodeId, CacheEntry> cache_;
+  IncrementalState incremental_;
 };
 
 }  // namespace bionav

@@ -43,7 +43,7 @@ std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
       part_of[static_cast<size_t>(it->second)] =
           static_cast<int>(partitions.size());
       part.members.push_back(id);
-      part.weight += nav.node(id).attached_count;
+      part.weight += nav.attached_count(id);
     }
     partitions.push_back(std::move(part));
   };
@@ -51,7 +51,7 @@ std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
   // Reverse pre-order = children before parents.
   for (size_t i = n; i-- > 0;) {
     NavNodeId v = members[i];
-    acc[i] = nav.node(v).attached_count;
+    acc[i] = nav.attached_count(v);
     for (int c : attached_children[i]) acc[i] += acc[static_cast<size_t>(c)];
 
     // Detach heaviest remaining children until the bound holds (or no
@@ -70,7 +70,7 @@ std::vector<TreePartition> KPartitionComponent(const ActiveTree& active,
     }
 
     if (v != comp_root) {
-      auto it = local.find(nav.node(v).parent);
+      auto it = local.find(nav.parent(v));
       BIONAV_CHECK(it != local.end())
           << "component members must be up-closed toward the root";
       attached_children[static_cast<size_t>(it->second)].push_back(

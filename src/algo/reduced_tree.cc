@@ -34,14 +34,14 @@ SmallTree BuildReducedTree(const ActiveTree& active,
     n.origin = part.root;
     n.results = nav.result().MakeBitset();
     for (NavNodeId m : part.members) {
-      n.results.UnionWith(nav.node(m).results);
+      n.results.UnionWith(nav.results(m));
       n.explore_weight += cost_model.NodeExploreWeight(m);
     }
     n.distinct = static_cast<int>(n.results.Count());
     if (p == 0) {
       n.parent = -1;
     } else {
-      auto it = part_of.find(nav.node(part.root).parent);
+      auto it = part_of.find(nav.parent(part.root));
       BIONAV_CHECK(it != part_of.end())
           << "partition root's parent must belong to some partition";
       n.parent = it->second;
@@ -76,7 +76,7 @@ std::optional<ReducedComponent> ReduceComponent(const ActiveTree& active,
         active.nav().SubtreeAttachedTotal(active.ComponentRoot(component));
   } else {
     for (NavNodeId m : active.ComponentMembers(component)) {
-      total_weight += active.nav().node(m).attached_count;
+      total_weight += active.nav().attached_count(m);
     }
   }
 

@@ -47,15 +47,15 @@ SmallTree SmallTreeFromComponent(const ActiveTree& active,
     NavNodeId m = members[i];
     SmallTree::Node& n = nodes[i];
     n.origin = m;
-    n.results = nav.node(m).results;
-    n.distinct = nav.node(m).attached_count;
+    n.results = nav.results(m);
+    n.distinct = nav.attached_count(m);
     n.explore_weight = cost_model.NodeExploreWeight(m);
     if (i == 0) {
       n.parent = -1;
     } else {
       // Members are up-closed toward the component root, so the navigation
       // parent of every non-root member is also a member.
-      auto it = index.find(nav.node(m).parent);
+      auto it = index.find(nav.parent(m));
       BIONAV_CHECK(it != index.end());
       n.parent = it->second;
     }

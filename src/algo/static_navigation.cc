@@ -13,9 +13,9 @@ EdgeCut StaticNavigationStrategy::ChooseEdgeCut(const ActiveTree& active,
   int comp = active.ComponentOf(root);
   BIONAV_CHECK_EQ(active.ComponentRoot(comp), root);
   EdgeCut cut;
-  for (NavNodeId c : active.nav().node(root).children) {
+  active.nav().ForEachChild(root, [&](NavNodeId c) {
     if (active.ComponentOf(c) == comp) cut.cut_children.push_back(c);
-  }
+  });
   BIONAV_CHECK(!cut.empty())
       << "static EXPAND on a component whose root has no children in it";
   last_stats_.elapsed_ms = timer.ElapsedMillis();
@@ -43,9 +43,9 @@ EdgeCut RankedChildrenStrategy::ChooseEdgeCut(const ActiveTree& active,
   // not-yet-revealed ones; rank them by subtree citation count (what the
   // interface of Fig 1 displays) and take the next page.
   std::vector<NavNodeId> candidates;
-  for (NavNodeId c : nav.node(root).children) {
+  nav.ForEachChild(root, [&](NavNodeId c) {
     if (active.ComponentOf(c) == comp) candidates.push_back(c);
-  }
+  });
   BIONAV_CHECK(!candidates.empty())
       << "'more' EXPAND with no remaining children";
 

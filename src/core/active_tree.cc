@@ -118,7 +118,7 @@ Result<std::vector<NavNodeId>> ActiveTree::ApplyEdgeCut(NavNodeId root,
           continue;
         }
         comp_of_[static_cast<size_t>(id)] = new_comp;
-        lower.results.UnionWith(nav_->node(id).results);
+        lower.results.UnionWith(nav_->results(id));
         lower.num_members++;
         h.reassigned.push_back(id);
         ++id;
@@ -137,7 +137,7 @@ Result<std::vector<NavNodeId>> ActiveTree::ApplyEdgeCut(NavNodeId root,
   Component& upper = components_[static_cast<size_t>(comp)];
   upper.results.Clear();
   ForEachMember(comp, [&](NavNodeId id) {
-    upper.results.UnionWith(nav_->node(id).results);
+    upper.results.UnionWith(nav_->results(id));
   });
   upper.distinct = static_cast<int>(upper.results.Count());
 
@@ -182,7 +182,7 @@ ActiveTree::VisTree ActiveTree::Visualize() const {
     int comp = ComponentOf(id);
     VisNode vn;
     vn.node = id;
-    vn.concept_id = nav_->node(id).concept_id;
+    vn.concept_id = nav_->concept_of(id);
     vn.distinct_count = ComponentDistinctCount(comp);
     vn.expandable = ComponentSize(comp) >= 2;
     while (!stack.empty() && !nav_->IsAncestorOrSelf(stack.back().node, id)) {

@@ -106,8 +106,7 @@ NavigationTree::NavigationTree(const ConceptHierarchy& hierarchy,
 
 int NavigationTree::NodeDepth(NavNodeId id) const {
   int d = 0;
-  for (NavNodeId u = node(id).parent; u != kInvalidNavNode;
-       u = node(u).parent) {
+  for (NavNodeId u = parent(id); u != kInvalidNavNode; u = parent(u)) {
     ++d;
   }
   return d;
@@ -149,11 +148,61 @@ const DynamicBitset& NavigationTree::SubtreeResultsCached(
   return subtree_results_[static_cast<size_t>(id)];
 }
 
+void NavigationTree::BuildFlatLayout() {
+  size_t n = nodes_.size();
+  soa_concept_.resize(n);
+  soa_parent_.resize(n);
+  soa_first_child_.resize(n);
+  soa_next_sibling_.resize(n);
+  soa_attached_.resize(n);
+  soa_global_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NavNode& node = nodes_[i];
+    NavNodeId id = static_cast<NavNodeId>(i);
+    soa_concept_[i] = node.concept_id;
+    soa_parent_[i] = node.parent;
+    soa_attached_[i] = node.attached_count;
+    soa_global_[i] = node.global_count;
+    // Child links come from pre-order arithmetic, not the child vectors:
+    // the first child of a non-leaf is the next id, and a node's next
+    // sibling starts where its subtree ends (if still inside the parent's
+    // interval). Deriving them independently makes the equivalence check
+    // below a real cross-validation of the two layouts.
+    soa_first_child_[i] =
+        subtree_end_[i] > id + 1 ? id + 1 : kInvalidNavNode;
+    if (node.parent == kInvalidNavNode) {
+      soa_next_sibling_[i] = kInvalidNavNode;
+    } else {
+      NavNodeId end = subtree_end_[i];
+      soa_next_sibling_[i] =
+          end < subtree_end_[static_cast<size_t>(node.parent)]
+              ? end
+              : kInvalidNavNode;
+    }
+  }
+  // SoA == lazy equivalence: walking every sibling chain must reproduce
+  // each pointer node's child vector exactly (same ids, same order).
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<NavNodeId>& children = nodes_[i].children;
+    size_t k = 0;
+    for (NavNodeId c = soa_first_child_[i]; c != kInvalidNavNode;
+         c = soa_next_sibling_[static_cast<size_t>(c)]) {
+      BIONAV_CHECK_LT(k, children.size())
+          << "SoA sibling chain longer than child vector";
+      BIONAV_CHECK_EQ(c, children[k]) << "SoA child order diverges";
+      ++k;
+    }
+    BIONAV_CHECK_EQ(k, children.size())
+        << "SoA sibling chain shorter than child vector";
+  }
+}
+
 void NavigationTree::Freeze() {
   if (frozen_) return;
   // The root fill materializes the cache for every node in one sweep;
   // after this, every const method is a pure read.
   SubtreeResultsCached(kRoot);
+  BuildFlatLayout();
   frozen_ = true;
 }
 
@@ -170,6 +219,12 @@ size_t NavigationTree::MemoryFootprint() const {
   bytes += subtree_distinct_.capacity() * sizeof(int);
   bytes += subtree_results_.capacity() * sizeof(DynamicBitset);
   for (const DynamicBitset& b : subtree_results_) bytes += b.MemoryBytes();
+  bytes += soa_concept_.capacity() * sizeof(ConceptId);
+  bytes += (soa_parent_.capacity() + soa_first_child_.capacity() +
+            soa_next_sibling_.capacity()) *
+           sizeof(NavNodeId);
+  bytes += soa_attached_.capacity() * sizeof(int);
+  bytes += soa_global_.capacity() * sizeof(int64_t);
   return bytes;
 }
 

@@ -62,6 +62,63 @@ class NavigationTree {
     return nodes_[static_cast<size_t>(id)];
   }
 
+  // Structure-of-arrays accessors. Freeze() flattens the pointer-based
+  // nodes into parallel index arrays (parent / first-child / next-sibling
+  // plus scalar columns); frozen trees are immutable and shared read-only
+  // across sessions, so the dense 4-8 byte strides replace ~100-byte
+  // NavNode hops on every hot EXPAND loop. Before Freeze() the accessors
+  // fall back to the lazy pointer tree, so call sites never branch on
+  // frozen() themselves.
+
+  NavNodeId parent(NavNodeId id) const {
+    return frozen_ ? soa_parent_[CheckedIndex(id)] : node(id).parent;
+  }
+  ConceptId concept_of(NavNodeId id) const {
+    return frozen_ ? soa_concept_[CheckedIndex(id)] : node(id).concept_id;
+  }
+  int attached_count(NavNodeId id) const {
+    return frozen_ ? soa_attached_[CheckedIndex(id)] : node(id).attached_count;
+  }
+  int64_t global_count(NavNodeId id) const {
+    return frozen_ ? soa_global_[CheckedIndex(id)] : node(id).global_count;
+  }
+  /// L(n), the citations attached directly to the node. Bitsets are heap
+  /// objects either way, so both layouts serve them from the node store.
+  const DynamicBitset& results(NavNodeId id) const { return node(id).results; }
+
+  /// First child in pre-order, or kInvalidNavNode for a leaf (SoA chain;
+  /// derived from the pointer tree before Freeze()).
+  NavNodeId first_child(NavNodeId id) const {
+    if (frozen_) return soa_first_child_[CheckedIndex(id)];
+    const NavNode& n = node(id);
+    return n.children.empty() ? kInvalidNavNode : n.children.front();
+  }
+  /// Next sibling in pre-order, or kInvalidNavNode for a last child.
+  NavNodeId next_sibling(NavNodeId id) const {
+    if (frozen_) return soa_next_sibling_[CheckedIndex(id)];
+    const NavNode& n = node(id);
+    if (n.parent == kInvalidNavNode) return kInvalidNavNode;
+    const std::vector<NavNodeId>& sibs = node(n.parent).children;
+    for (size_t i = 0; i + 1 < sibs.size(); ++i) {
+      if (sibs[i] == id) return sibs[i + 1];
+    }
+    return kInvalidNavNode;
+  }
+
+  /// Visits the children of `id` in pre-order. Uses the SoA sibling chain
+  /// when frozen, the pointer tree's child vector otherwise; both orders
+  /// are identical (asserted at Freeze()).
+  template <typename Fn>
+  void ForEachChild(NavNodeId id, Fn&& fn) const {
+    if (frozen_) {
+      for (NavNodeId c = soa_first_child_[CheckedIndex(id)];
+           c != kInvalidNavNode; c = soa_next_sibling_[static_cast<size_t>(c)])
+        fn(c);
+    } else {
+      for (NavNodeId c : node(id).children) fn(c);
+    }
+  }
+
   const ConceptHierarchy& hierarchy() const { return *hierarchy_; }
   const ResultSet& result() const { return *result_; }
   std::shared_ptr<const ResultSet> result_ptr() const { return result_; }
@@ -141,6 +198,17 @@ class NavigationTree {
   int NodeDepth(NavNodeId id) const;
 
  private:
+  size_t CheckedIndex(NavNodeId id) const {
+    BIONAV_CHECK_GE(id, 0);
+    BIONAV_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+    return static_cast<size_t>(id);
+  }
+
+  /// Builds the SoA columns from the pointer tree and cross-checks the two
+  /// layouts (pre-order arithmetic vs child vectors) — Freeze()-time part
+  /// of the SoA==lazy equivalence contract.
+  void BuildFlatLayout();
+
   const ConceptHierarchy* hierarchy_;
   std::shared_ptr<const ResultSet> result_;
   std::vector<NavNode> nodes_;
@@ -150,6 +218,14 @@ class NavigationTree {
   // Lazy subtree-results cache (unsynchronized until Freeze()).
   mutable std::vector<DynamicBitset> subtree_results_;
   mutable std::vector<int> subtree_distinct_;  // -1 = not yet computed.
+  // Structure-of-arrays mirror of nodes_, filled by Freeze() (empty until
+  // then). Index-parallel with nodes_.
+  std::vector<ConceptId> soa_concept_;
+  std::vector<NavNodeId> soa_parent_;
+  std::vector<NavNodeId> soa_first_child_;
+  std::vector<NavNodeId> soa_next_sibling_;
+  std::vector<int> soa_attached_;
+  std::vector<int64_t> soa_global_;
   bool frozen_ = false;
 };
 

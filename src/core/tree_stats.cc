@@ -43,8 +43,8 @@ TargetConceptStats ComputeTargetStats(const NavigationTree& nav,
   NavNodeId node = nav.NodeOfConcept(target);
   stats.in_navigation_tree = node != kInvalidNavNode;
   if (stats.in_navigation_tree) {
-    stats.attached_in_result = nav.node(node).attached_count;
-    stats.global_count = nav.node(node).global_count;
+    stats.attached_in_result = nav.attached_count(node);
+    stats.global_count = nav.global_count(node);
     stats.selectivity =
         stats.global_count > 0
             ? static_cast<double>(stats.attached_in_result) /

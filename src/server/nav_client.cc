@@ -296,6 +296,59 @@ Result<std::vector<NavNodeId>> NavClient::Expand(const std::string& token,
   return ids;
 }
 
+Result<NavClient::BatchExpandReply> NavClient::ExpandMany(
+    const std::string& token, const std::vector<NavNodeId>& nodes) {
+  Request request;
+  request.op = RequestOp::kBatchExpand;
+  request.token = token;
+  request.nodes = nodes;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue& doc = response.ValueOrDie();
+  BatchExpandReply reply;
+  reply.expanded = static_cast<uint64_t>(doc.IntOr("expanded", 0));
+  const JsonValue* revealed = doc.Find("revealed");
+  if (revealed == nullptr || !revealed->is_array()) {
+    return Status::Internal("BATCH_EXPAND response carries no revealed array");
+  }
+  reply.revealed.reserve(revealed->array_items().size());
+  for (const JsonValue& item : revealed->array_items()) {
+    if (!item.is_number()) {
+      return Status::Internal("non-numeric node id in revealed array");
+    }
+    reply.revealed.push_back(static_cast<NavNodeId>(item.number_value()));
+  }
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return Status::Internal("BATCH_EXPAND response carries no results array");
+  }
+  reply.outcomes.reserve(results->array_items().size());
+  for (const JsonValue& item : results->array_items()) {
+    if (!item.is_object()) {
+      return Status::Internal("non-object entry in results array");
+    }
+    BatchExpandReply::Outcome outcome;
+    outcome.node = static_cast<NavNodeId>(item.IntOr("node", kInvalidNavNode));
+    outcome.ok = item.BoolOr("ok", false);
+    if (outcome.ok) {
+      const JsonValue* ids = item.Find("revealed");
+      if (ids != nullptr && ids->is_array()) {
+        for (const JsonValue& id : ids->array_items()) {
+          if (!id.is_number()) {
+            return Status::Internal("non-numeric node id in outcome");
+          }
+          outcome.revealed.push_back(static_cast<NavNodeId>(id.number_value()));
+        }
+      }
+    } else {
+      outcome.error = item.StringOr("error", "");
+      outcome.message = item.StringOr("message", "");
+    }
+    reply.outcomes.push_back(std::move(outcome));
+  }
+  return reply;
+}
+
 Result<NavClient::ShowReply> NavClient::ShowResults(const std::string& token,
                                                     NavNodeId node,
                                                     uint64_t retstart,

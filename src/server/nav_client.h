@@ -71,6 +71,26 @@ class NavClient {
   Result<std::vector<NavNodeId>> Expand(const std::string& token,
                                         NavNodeId node);
 
+  struct BatchExpandReply {
+    /// Cuts actually applied (nodes whose per-node outcome is ok).
+    uint64_t expanded = 0;
+    /// Combined revealed frontier of the whole batch, in apply order.
+    std::vector<NavNodeId> revealed;
+    struct Outcome {
+      NavNodeId node = kInvalidNavNode;
+      bool ok = false;
+      std::vector<NavNodeId> revealed;  // empty on failure
+      std::string error;                // wire error code on failure
+      std::string message;
+    };
+    std::vector<Outcome> outcomes;  // one per requested node, in order
+  };
+  /// BATCH_EXPAND: several cuts in one round trip. The call succeeds as
+  /// long as the batch was processed; per-node failures are reported in
+  /// `outcomes` (a bad token still fails the whole call).
+  Result<BatchExpandReply> ExpandMany(const std::string& token,
+                                      const std::vector<NavNodeId>& nodes);
+
   struct ShowReply {
     size_t total = 0;
     std::vector<CitationSummary> summaries;

@@ -117,9 +117,11 @@ LatencyHistogram* OpLatencyHistogram(RequestOp op) {
                                    "STATS request latency"),
       GlobalMetrics().GetHistogram("bionav_server_op_metrics_us",
                                    "METRICS request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_batch_expand_us",
+                                   "BATCH_EXPAND request latency"),
   };
   static_assert(sizeof(hists) / sizeof(hists[0]) ==
-                    static_cast<size_t>(RequestOp::kMetrics) + 1,
+                    static_cast<size_t>(RequestOp::kBatchExpand) + 1,
                 "one histogram per wire op");
   return hists[static_cast<size_t>(op)];
 }
@@ -814,6 +816,7 @@ WireFrame NavServer::HandleRequest(const RequestView& request,
     case RequestOp::kClose: return HandleClose(request, proto);
     case RequestOp::kStats: return HandleStats(request, proto);
     case RequestOp::kMetrics: return HandleMetrics(request, proto);
+    case RequestOp::kBatchExpand: return HandleBatchExpand(request, proto);
   }
   return WireResponse::Error(proto, WireError::kInternal, "unhandled op");
 }
@@ -910,6 +913,56 @@ WireFrame NavServer::HandleExpand(const RequestView& request,
     return response.FinishWithPayload(std::move(payload));
   }
   return response.AddIntList(WireField::kRevealed, revealed).Finish();
+}
+
+WireFrame NavServer::HandleBatchExpand(const RequestView& request,
+                                       WireProto proto) {
+  // Applies the cuts sequentially inside one session lock acquisition —
+  // exactly what a client issuing the EXPANDs one by one would get, minus
+  // the round trips. Per-node failures do not abort the batch: later nodes
+  // may be independent components, and the per-node outcomes report what
+  // happened. Each applied cut appends its own ExpandRecord, so snapshots
+  // and replay see a BATCH_EXPAND exactly as the equivalent EXPAND chain.
+  std::vector<NavNodeId> combined;
+  std::string outcomes = "[";
+  uint64_t applied = 0;
+  Status status = sessions_.WithSession(
+      request.token, [&](NavigationSession& session) -> Status {
+        for (size_t i = 0; i < request.nodes.size(); ++i) {
+          NavNodeId node = request.nodes[i];
+          if (i != 0) outcomes.push_back(',');
+          Result<std::vector<NavNodeId>> r = session.Expand(node);
+          if (r.ok()) {
+            ++applied;
+            const std::vector<NavNodeId>& revealed = r.ValueOrDie();
+            // A revealed node stays visible for the rest of the batch, so
+            // the concatenation is exactly the frontier the batch added —
+            // no deduplication needed.
+            outcomes += "{\"node\":" + std::to_string(node) +
+                        ",\"ok\":true,\"revealed\":[";
+            for (size_t k = 0; k < revealed.size(); ++k) {
+              if (k != 0) outcomes.push_back(',');
+              outcomes += std::to_string(revealed[k]);
+            }
+            outcomes += "]}";
+            combined.insert(combined.end(), revealed.begin(), revealed.end());
+          } else {
+            outcomes += "{\"node\":" + std::to_string(node) +
+                        ",\"ok\":false,\"error\":\"" +
+                        WireErrorName(WireErrorFromStatus(r.status())) +
+                        "\",\"message\":\"" +
+                        JsonEscape(r.status().message()) + "\"}";
+          }
+        }
+        return Status::OK();
+      });
+  if (!status.ok()) return SessionErrorFrame(proto, status);
+  outcomes.push_back(']');
+  return WireResponse(proto, RequestOp::kBatchExpand)
+      .AddUInt(WireField::kExpanded, applied)
+      .AddIntList(WireField::kRevealed, combined)
+      .AddRawJson(WireField::kResults, outcomes)
+      .Finish();
 }
 
 WireFrame NavServer::HandleShowResults(const RequestView& request,

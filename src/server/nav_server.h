@@ -244,6 +244,7 @@ class NavServer {
   WireFrame HandleExpand(const RequestView& request, WireProto proto);
   WireFrame HandleShowResults(const RequestView& request, WireProto proto);
   WireFrame HandleBacktrack(const RequestView& request, WireProto proto);
+  WireFrame HandleBatchExpand(const RequestView& request, WireProto proto);
   WireFrame HandleFind(const RequestView& request, WireProto proto);
   WireFrame HandleView(const RequestView& request, WireProto proto);
   WireFrame HandleClose(const RequestView& request, WireProto proto);

@@ -443,6 +443,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kClose: return "CLOSE";
     case RequestOp::kStats: return "STATS";
     case RequestOp::kMetrics: return "METRICS";
+    case RequestOp::kBatchExpand: return "BATCH_EXPAND";
   }
   return "UNKNOWN";
 }
@@ -454,6 +455,7 @@ bool RequestOpFromName(std::string_view name, RequestOp* out) {
       RequestOp::kQuery,     RequestOp::kExpand, RequestOp::kShowResults,
       RequestOp::kBacktrack, RequestOp::kFind,   RequestOp::kView,
       RequestOp::kClose,     RequestOp::kStats,  RequestOp::kMetrics,
+      RequestOp::kBatchExpand,
   };
   for (RequestOp op : kOps) {
     if (name == RequestOpName(op)) {
@@ -499,6 +501,15 @@ std::string SerializeRequest(const Request& request) {
     out += std::to_string(request.retstart);
     AppendKey(&out, "retmax");
     out += std::to_string(request.retmax);
+  }
+  if (request.op == RequestOp::kBatchExpand) {
+    AppendKey(&out, "nodes");
+    out.push_back('[');
+    for (size_t i = 0; i < request.nodes.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(request.nodes[i]);
+    }
+    out.push_back(']');
   }
   if (request.op == RequestOp::kFind) {
     AppendKey(&out, "concept");
@@ -586,6 +597,28 @@ WireError ParseRequest(std::string_view line, Request* out,
     }
     request.retstart = static_cast<uint64_t>(retstart);
     request.retmax = static_cast<uint64_t>(retmax);
+  }
+  if (request.op == RequestOp::kBatchExpand) {
+    const JsonValue* nodes = doc.Find("nodes");
+    if (nodes == nullptr || !nodes->is_array() ||
+        nodes->array_items().empty()) {
+      *error_message =
+          "BATCH_EXPAND requires a non-empty array field \"nodes\"";
+      return WireError::kBadRequest;
+    }
+    if (nodes->array_items().size() > kMaxBatchExpandNodes) {
+      *error_message = "BATCH_EXPAND accepts at most " +
+                       std::to_string(kMaxBatchExpandNodes) + " nodes";
+      return WireError::kBadRequest;
+    }
+    request.nodes.reserve(nodes->array_items().size());
+    for (const JsonValue& item : nodes->array_items()) {
+      if (!item.is_number()) {
+        *error_message = "BATCH_EXPAND \"nodes\" entries must be numeric";
+        return WireError::kBadRequest;
+      }
+      request.nodes.push_back(static_cast<NavNodeId>(item.number_value()));
+    }
   }
   if (request.op == RequestOp::kFind) {
     const JsonValue* concept_field = doc.Find("concept");
@@ -881,6 +914,7 @@ enum ReqField : uint8_t {
   kReqRetstart = 5,
   kReqRetmax = 6,
   kReqDepth = 7,
+  kReqNodes = 8,
 };
 
 /// Error responses carry this op byte (JSON errors carry no "op" member).
@@ -960,6 +994,7 @@ RequestView MakeRequestView(const Request& request) {
   view.token = request.token;
   view.query = request.query;
   view.node = request.node;
+  view.nodes = request.nodes;
   view.concept_id = request.concept_id;
   view.retstart = request.retstart;
   view.retmax = request.retmax;
@@ -985,6 +1020,9 @@ std::string SerializeRequestBinary(const Request& request) {
     AppendFieldUInt(&body, kReqRetstart, request.retstart);
     AppendFieldUInt(&body, kReqRetmax, request.retmax);
   }
+  if (request.op == RequestOp::kBatchExpand) {
+    AppendFieldIntList(&body, kReqNodes, request.nodes);
+  }
   if (request.op == RequestOp::kFind) {
     AppendFieldInt(&body, kReqConcept, static_cast<int64_t>(request.concept_id));
   }
@@ -1007,7 +1045,7 @@ WireError ParseRequestBinary(std::string_view body, RequestView* out,
     return WireError::kUnsupportedVersion;
   }
   uint8_t op_byte = static_cast<uint8_t>(body[1]);
-  if (op_byte > static_cast<uint8_t>(RequestOp::kMetrics)) {
+  if (op_byte > static_cast<uint8_t>(RequestOp::kBatchExpand)) {
     *error_message = "unknown op byte " + std::to_string(op_byte);
     return WireError::kBadRequest;
   }
@@ -1061,6 +1099,15 @@ WireError ParseRequestBinary(std::string_view body, RequestView* out,
       case kReqDepth:
         if (type == kFieldSVarint) view.depth = static_cast<int>(value.ival);
         break;
+      case kReqNodes:
+        if (type == kFieldIntList) {
+          view.nodes.clear();
+          view.nodes.reserve(value.list.size());
+          for (int64_t v : value.list) {
+            view.nodes.push_back(static_cast<NavNodeId>(v));
+          }
+        }
+        break;
       default:
         break;  // Unknown field: skipped by its self-describing type.
     }
@@ -1083,6 +1130,18 @@ WireError ParseRequestBinary(std::string_view body, RequestView* out,
   if (view.op == RequestOp::kFind && !has_concept) {
     *error_message = "FIND requires a numeric field \"concept\"";
     return WireError::kBadRequest;
+  }
+  if (view.op == RequestOp::kBatchExpand) {
+    if (view.nodes.empty()) {
+      *error_message =
+          "BATCH_EXPAND requires a non-empty array field \"nodes\"";
+      return WireError::kBadRequest;
+    }
+    if (view.nodes.size() > kMaxBatchExpandNodes) {
+      *error_message = "BATCH_EXPAND accepts at most " +
+                       std::to_string(kMaxBatchExpandNodes) + " nodes";
+      return WireError::kBadRequest;
+    }
   }
   *out = view;
   error_message->clear();
@@ -1112,6 +1171,8 @@ const char* WireFieldName(WireField field) {
     case WireField::kError: return "error";
     case WireField::kMessage: return "message";
     case WireField::kWhole: return "whole";
+    case WireField::kResults: return "results";
+    case WireField::kExpanded: return "expanded";
   }
   return nullptr;
 }
@@ -1121,7 +1182,7 @@ namespace {
 /// WireFieldName over a raw id byte; nullptr for ids this build ignores.
 const char* WireFieldNameOrNull(uint8_t id) {
   if (id < static_cast<uint8_t>(WireField::kToken) ||
-      id > static_cast<uint8_t>(WireField::kWhole)) {
+      id > static_cast<uint8_t>(WireField::kExpanded)) {
     return nullptr;
   }
   return WireFieldName(static_cast<WireField>(id));
@@ -1331,7 +1392,7 @@ Result<JsonValue> DecodeBinaryResponse(std::string_view body) {
   members.emplace_back("v", JsonValue::MakeNumber(kBinaryProtocolVersion));
   members.emplace_back("ok", JsonValue::MakeBool(ok));
   // Error frames carry no "op" member, matching the JSON error shape.
-  if (op_byte <= static_cast<uint8_t>(RequestOp::kMetrics)) {
+  if (op_byte <= static_cast<uint8_t>(RequestOp::kBatchExpand)) {
     members.emplace_back(
         "op", JsonValue::MakeString(
                   RequestOpName(static_cast<RequestOp>(op_byte))));

@@ -27,6 +27,8 @@ namespace bionav {
 ///   QUERY       {"query": "<keywords>"}            -> token, result_size,
 ///                                                     cached
 ///   EXPAND      {"token": t, "node": n}            -> revealed: [ids]
+///   BATCH_EXPAND {"token": t, "nodes": [a, b, c]}  -> revealed (combined),
+///                                                     expanded, results
 ///   SHOWRESULTS {"token": t, "node": n,
 ///                "retstart": s, "retmax": m}       -> total, summaries
 ///   BACKTRACK   {"token": t}                       -> undone
@@ -244,10 +246,17 @@ enum class RequestOp {
   kClose,
   kStats,
   kMetrics,
+  // Appended so existing op bytes keep their binary encoding.
+  kBatchExpand,
 };
 
 /// Wire name of an op ("QUERY", ...).
 const char* RequestOpName(RequestOp op);
+
+/// Upper bound on the nodes of one BATCH_EXPAND — bounds per-request work
+/// the same way max_frame_bytes bounds per-request bytes. One interactive
+/// round trip never needs more cuts than this.
+inline constexpr size_t kMaxBatchExpandNodes = 64;
 
 /// One parsed request; fields beyond (version, op) are op-specific.
 struct Request {
@@ -256,6 +265,7 @@ struct Request {
   std::string token;                       // all session-scoped ops
   std::string query;                       // QUERY
   NavNodeId node = kInvalidNavNode;        // EXPAND / SHOWRESULTS
+  std::vector<NavNodeId> nodes;            // BATCH_EXPAND
   ConceptId concept_id = kInvalidConcept;  // FIND
   uint64_t retstart = 0;                   // SHOWRESULTS
   uint64_t retmax = 0;                     // SHOWRESULTS (0 = all)
@@ -277,6 +287,9 @@ struct RequestView {
   std::string_view token;
   std::string_view query;
   NavNodeId node = kInvalidNavNode;
+  // BATCH_EXPAND node list. Owned (decoded from varints either way), so a
+  // view is no more expensive than the owned Request here.
+  std::vector<NavNodeId> nodes;
   ConceptId concept_id = kInvalidConcept;
   uint64_t retstart = 0;
   uint64_t retmax = 0;
@@ -379,6 +392,8 @@ enum class WireField : uint8_t {
   kError = 15,
   kMessage = 16,
   kWhole = 17,
+  kResults = 18,   // BATCH_EXPAND per-node outcomes (JSON array)
+  kExpanded = 19,  // BATCH_EXPAND: number of cuts applied
 };
 
 /// JSON member name of a response field ("token", "result_size", ...).

@@ -150,7 +150,7 @@ NavNodeId NavigationSession::FindVisibleByLabel(
     const std::string& label) const {
   for (NavNodeId id = 0; id < static_cast<NavNodeId>(nav().size()); ++id) {
     if (!active_->IsVisible(id)) continue;
-    if (hierarchy_->label(nav().node(id).concept_id) == label) return id;
+    if (hierarchy_->label(nav().concept_of(id)) == label) return id;
   }
   return kInvalidNavNode;
 }

@@ -76,7 +76,7 @@ StochasticTrialResult SimulateTopDown(const NavigationTree& nav,
     if (active.ComponentSize(comp) >= 2) {
       std::vector<int> member_counts;
       for (NavNodeId m : active.ComponentMembers(comp)) {
-        member_counts.push_back(nav.node(m).attached_count);
+        member_counts.push_back(nav.attached_count(m));
       }
       px = model.ExpandProbability(distinct, member_counts);
     }

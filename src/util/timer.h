@@ -21,9 +21,18 @@ class Timer {
         .count();
   }
 
-  /// Elapsed time in milliseconds (double, for pretty printing).
+  /// Elapsed time since construction / last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (double, for pretty printing). Derived
+  /// from the nanosecond reading so sub-microsecond spans (e.g. memoized
+  /// incremental-engine EXPANDs) do not truncate to zero.
   double ElapsedMillis() const {
-    return static_cast<double>(ElapsedMicros()) / 1000.0;
+    return static_cast<double>(ElapsedNanos()) / 1e6;
   }
 
  private:

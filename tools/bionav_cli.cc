@@ -379,8 +379,8 @@ int CmdRemote(const Args& args) {
       std::cout << "'" << query << "': " << opened.ValueOrDie().result_size
                 << " citations (session " << token << ", "
                 << WireProtoName(proto) << " wire)."
-                   " Commands: expand <node> | show <node> | back | tree"
-                   " | stats | quit\n";
+                   " Commands: expand <node> [<node> ...] | show <node>"
+                   " | back | tree | stats | quit\n";
     }
     return Status::OK();
   };
@@ -446,15 +446,47 @@ int CmdRemote(const Args& args) {
         return Status::OK();
       });
     } else if (cmd == "expand") {
-      if (!node_ok) {
-        std::cout << "usage: expand <node-id>\n";
-      } else {
+      // "expand <id>" sends a single EXPAND; "expand <id> <id> ..." sends
+      // one BATCH_EXPAND round trip applying the cuts in order.
+      std::vector<NavNodeId> batch;
+      {
+        std::istringstream nodes_in{rest};
+        std::string word;
+        bool all_ok = true;
+        while (nodes_in >> word) {
+          int64_t id = 0;
+          if (!ParseInt64(word, &id)) {
+            all_ok = false;
+            break;
+          }
+          batch.push_back(static_cast<NavNodeId>(id));
+        }
+        if (!all_ok) batch.clear();
+      }
+      if (batch.empty()) {
+        std::cout << "usage: expand <node-id> [<node-id> ...]\n";
+      } else if (batch.size() == 1) {
         status = with_retry([&]() -> Status {
-          auto revealed =
-              connected->Expand(token, static_cast<NavNodeId>(node));
+          auto revealed = connected->Expand(token, batch[0]);
           if (!revealed.ok()) return revealed.status();
           std::cout << "revealed " << revealed.ValueOrDie().size()
                     << " concepts\n";
+          return Status::OK();
+        });
+      } else {
+        status = with_retry([&]() -> Status {
+          auto reply = connected->ExpandMany(token, batch);
+          if (!reply.ok()) return reply.status();
+          const auto& batch_reply = reply.ValueOrDie();
+          std::cout << "applied " << batch_reply.expanded << "/"
+                    << batch.size() << " cuts, revealed "
+                    << batch_reply.revealed.size() << " concepts\n";
+          for (const auto& outcome : batch_reply.outcomes) {
+            if (!outcome.ok) {
+              std::cout << "  node " << outcome.node << ": " << outcome.error
+                        << " (" << outcome.message << ")\n";
+            }
+          }
           return Status::OK();
         });
       }
