@@ -93,6 +93,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "bench_common.h"
@@ -128,6 +129,10 @@ struct ClientResult {
   int sessions_done = 0;
   int sessions_failed = 0;
   int retry_later = 0;
+  /// Routed mode only: requests a backend answered directly vs relayed
+  /// through the proxy.
+  int64_t direct_calls = 0;
+  int64_t proxied_calls = 0;
   /// Sessions deliberately left open (no CLOSE) by --abandon-p.
   int sessions_parked = 0;
   /// Shed responses absorbed by --tolerate-retry-later's bounded retry
@@ -190,7 +195,9 @@ bool IsShedStatus(const Status& status) {
 
 /// Abandon-or-CLOSE epilogue shared by the archetypes. A parked session
 /// is left open on the server — its TTL or spill tier owns it now.
-Status FinishSession(NavClient& client, const std::string& token,
+/// Client is NavClient or RoutedNavClient (same typed-op surface).
+template <typename Client>
+Status FinishSession(Client& client, const std::string& token,
                      const LoadProfile& profile, Rng& rng,
                      OpLatencies* latencies, bool* parked) {
   if (profile.abandon_p > 0 && rng.Bernoulli(profile.abandon_p)) {
@@ -240,7 +247,8 @@ double Percentile(std::vector<double>* sorted, double p) {
 }
 
 /// QUERY + cold/warm latency classification; returns the session token.
-Result<std::string> OpenSession(NavClient& client, const QueryVariant& variant,
+template <typename Client>
+Result<std::string> OpenSession(Client& client, const QueryVariant& variant,
                                 OpLatencies* latencies) {
   Timer timer;
   timer.Restart();
@@ -257,7 +265,8 @@ Result<std::string> OpenSession(NavClient& client, const QueryVariant& variant,
 /// the target's component until it is visible, SHOWRESULTS, CLOSE (or
 /// abandon); appends per-request latencies to the matching per-op
 /// distribution.
-Status RunFinderSession(NavClient& client, const QueryVariant& variant,
+template <typename Client>
+Status RunFinderSession(Client& client, const QueryVariant& variant,
                         const LoadProfile& profile, Rng& rng,
                         OpLatencies* latencies, bool* parked) {
   Timer timer;
@@ -320,7 +329,8 @@ void CollectExpandable(const JsonValue& node, std::vector<NavNodeId>* out) {
 /// what the wire shows (no oracle target id), so it behaves identically
 /// against an external fleet whose concept ids differ from this
 /// process's in-memory workload.
-Status RunBrowserSession(NavClient& client, const QueryVariant& variant,
+template <typename Client>
+Status RunBrowserSession(Client& client, const QueryVariant& variant,
                          const LoadProfile& profile, Rng& rng,
                          OpLatencies* latencies, bool* parked) {
   Timer timer;
@@ -384,7 +394,8 @@ Status RunBrowserSession(NavClient& client, const QueryVariant& variant,
 /// retraces every EXPAND with BACKTRACK before closing. Exercises the
 /// history stack, and (against a spill-enabled server) backtracking
 /// through replayed history on a restored session.
-Status RunBacktrackerSession(NavClient& client, const QueryVariant& variant,
+template <typename Client>
+Status RunBacktrackerSession(Client& client, const QueryVariant& variant,
                              const LoadProfile& profile, Rng& rng,
                              OpLatencies* latencies, bool* parked) {
   Timer timer;
@@ -425,7 +436,8 @@ Status RunBacktrackerSession(NavClient& client, const QueryVariant& variant,
   return FinishSession(client, token, profile, rng, latencies, parked);
 }
 
-Status RunArchetypeSession(NavClient& client, const QueryVariant& variant,
+template <typename Client>
+Status RunArchetypeSession(Client& client, const QueryVariant& variant,
                            const LoadProfile& profile, Rng& rng,
                            OpLatencies* latencies, bool* parked) {
   switch (profile.archetype) {
@@ -441,9 +453,32 @@ Status RunArchetypeSession(NavClient& client, const QueryVariant& variant,
   return Status::InvalidArgument("unknown archetype");
 }
 
+/// Dials the endpoint as either client flavor: a plain NavClient speaks
+/// to whatever answers (server or proxy); a RoutedNavClient additionally
+/// learns the ring from a router endpoint and goes shard-direct.
+template <typename Client>
+Result<std::unique_ptr<Client>> DialClient(const std::string& host, int port,
+                                           const NavClientOptions& options) {
+  if constexpr (std::is_same_v<Client, RoutedNavClient>) {
+    RoutedNavClientOptions routed_options;
+    routed_options.client = options;
+    return RoutedNavClient::Connect(host, port, routed_options);
+  } else {
+    return NavClient::Connect(host, port, options);
+  }
+}
+
+/// Routed clients report their direct/proxied split; plain ones have none.
+void HarvestRouting(const NavClient&, ClientResult*) {}
+void HarvestRouting(const RoutedNavClient& client, ClientResult* r) {
+  r->direct_calls += client.direct_calls();
+  r->proxied_calls += client.proxied_calls();
+}
+
 /// Runs `sessions` archetype sessions on one connection; results
 /// (including failures) accumulate into `r`. `phase_salt` decorrelates
 /// the warmup RNG stream from the measured one.
+template <typename Client>
 void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
                int client_index, uint64_t phase_salt, int sessions,
                const std::string& host, int port, WireProto proto,
@@ -453,13 +488,13 @@ void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
   // Under --tolerate-retry-later a backend may be mid-exec when we
   // (re)connect; ride the listen-backlog window out.
   if (profile.tolerate_retry_later) client_options.connect_retries = 10;
-  auto connected = NavClient::Connect(host, port, client_options);
+  auto connected = DialClient<Client>(host, port, client_options);
   if (!connected.ok()) {
     r->first_error = connected.status().ToString();
     r->sessions_failed += sessions;
     return;
   }
-  std::unique_ptr<NavClient> client = std::move(connected.ValueOrDie());
+  std::unique_ptr<Client> client = std::move(connected.ValueOrDie());
   // Seeded per client (and phase): runs are reproducible, clients draw
   // decorrelated Zipf streams.
   Rng rng(0x9e3779b97f4a7c15ULL ^ phase_salt ^
@@ -483,11 +518,12 @@ void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
          ++attempt) {
       ++r->shed_retries;
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
-      auto reconnected = NavClient::Connect(host, port, client_options);
+      auto reconnected = DialClient<Client>(host, port, client_options);
       if (!reconnected.ok()) {
         status = reconnected.status();
         continue;
       }
+      HarvestRouting(*client, r);
       client = std::move(reconnected.ValueOrDie());
       parked = false;
       status = RunArchetypeSession(*client, universe[vi], profile, rng,
@@ -504,6 +540,7 @@ void RunClient(const std::vector<QueryVariant>& universe, double zipf_s,
       if (r->first_error.empty()) r->first_error = status.ToString();
     }
   }
+  HarvestRouting(*client, r);
 }
 
 // ---------------------------------------------------------------------------
@@ -1077,6 +1114,10 @@ int main(int argc, char** argv) {
   int connections = 0;
   int io_threads = 1;
   int backends = 0;
+  bool routed = false;
+  bool peer_fetch = false;
+  int replicas = 1;
+  double replicate_above = 10.0;
   std::string target;
   WireProto proto = WireProto::kJson;
   LoadProfile profile;
@@ -1118,6 +1159,16 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--backends=") &&
                ParseInt64(arg.substr(11), &value) && value > 0) {
       backends = static_cast<int>(value);
+    } else if (arg == "--routed") {
+      routed = true;
+    } else if (arg == "--peer-fetch") {
+      peer_fetch = true;
+    } else if (StartsWith(arg, "--replicas=") &&
+               ParseInt64(arg.substr(11), &value) && value > 0) {
+      replicas = static_cast<int>(value);
+    } else if (StartsWith(arg, "--replicate-above=") &&
+               ParseDouble(arg.substr(18), &dvalue) && dvalue >= 0) {
+      replicate_above = dvalue;
     } else if (StartsWith(arg, "--target=")) {
       target = arg.substr(9);
     } else if (StartsWith(arg, "--archetype=")) {
@@ -1178,6 +1229,19 @@ int main(int argc, char** argv) {
     std::cerr << "bench_serving: --park=N and --park-file=PATH go together\n";
     return 2;
   }
+  if (peer_fetch && backends <= 0) {
+    std::cerr << "bench_serving: --peer-fetch needs --backends=N\n";
+    return 2;
+  }
+  if (routed && backends <= 0 && target.empty()) {
+    std::cerr << "bench_serving: --routed needs a router endpoint "
+                 "(--backends=N or --target=HOST:PORT)\n";
+    return 2;
+  }
+  if (routed && open_loop) {
+    std::cerr << "bench_serving: --routed is closed-loop only\n";
+    return 2;
+  }
 
   // Verify mode stands alone: no workload, no in-process tier — just the
   // parked-session oracle against an external endpoint.
@@ -1220,6 +1284,9 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::unique_ptr<NavServer> server;
+  // Fetchers are captured by reference in shard session options, so they
+  // must outlive the shards (declared first → destroyed last).
+  std::vector<std::unique_ptr<PeerArtifactFetcher>> fetchers;
   std::vector<std::unique_ptr<NavServer>> shards;
   std::unique_ptr<NavRouter> router;
   if (!target.empty()) {
@@ -1236,6 +1303,11 @@ int main(int argc, char** argv) {
     std::cout << "target: " << host << ":" << port << " (external), "
               << WireProtoName(proto) << " wire\n";
   } else if (backends > 0) {
+    NavRouterOptions router_options;
+    router_options.io_threads = io_threads;
+    router_options.max_connections = server_options.max_connections;
+    router_options.replicas = replicas;
+    router_options.replicate_above_qps = replicate_above;
     std::vector<RouterBackend> fleet;
     for (int b = 0; b < backends; ++b) {
       std::string id = "shard" + std::to_string(b);
@@ -1243,6 +1315,15 @@ int main(int argc, char** argv) {
       // The router pins sessions by token string, so each shard's minted
       // tokens must be unique fleet-wide.
       shard_options.session.token_prefix = id + "-";
+      if (peer_fetch) {
+        // Installed before the NavServer copies its options; configured
+        // with the full fleet once every shard has a port.
+        auto fetcher = std::make_unique<PeerArtifactFetcher>(&w.hierarchy());
+        PeerArtifactFetcher* raw = fetcher.get();
+        shard_options.session.peer_fetcher =
+            [raw](const std::string& key) { return raw->Fetch(key); };
+        fetchers.push_back(std::move(fetcher));
+      }
       auto shard = std::make_unique<NavServer>(
           &w.hierarchy(), &eutils, MakeBioNavStrategyFactory(), shard_options);
       if (Status up = shard->Start(); !up.ok()) {
@@ -1252,9 +1333,21 @@ int main(int argc, char** argv) {
       fleet.push_back({"127.0.0.1", shard->port(), id});
       shards.push_back(std::move(shard));
     }
-    NavRouterOptions router_options;
-    router_options.io_threads = io_threads;
-    router_options.max_connections = server_options.max_connections;
+    if (peer_fetch) {
+      std::vector<PeerSpec> peers;
+      for (int b = 0; b < backends; ++b) {
+        peers.push_back({"shard" + std::to_string(b), "127.0.0.1",
+                         shards[static_cast<size_t>(b)]->port()});
+      }
+      for (int b = 0; b < backends; ++b) {
+        PeerFetchOptions peer_options;
+        peer_options.self_id = "shard" + std::to_string(b);
+        peer_options.peers = peers;
+        peer_options.vnodes = router_options.ring_vnodes;
+        peer_options.seed = router_options.ring_seed;
+        fetchers[static_cast<size_t>(b)]->Configure(std::move(peer_options));
+      }
+    }
     router = std::make_unique<NavRouter>(std::move(fleet), router_options);
     if (Status started = router->Start(); !started.ok()) {
       std::cerr << started.ToString() << "\n";
@@ -1265,7 +1358,11 @@ int main(int argc, char** argv) {
               << " shards, " << server_options.threads
               << " worker threads each, " << io_threads
               << " io thread(s), cache " << (cache_enabled ? "on" : "off")
-              << ", " << WireProtoName(proto) << " wire\n";
+              << ", peer-fetch " << (peer_fetch ? "on" : "off")
+              << ", replicas " << replicas << " above "
+              << replicate_above << " qps, "
+              << (routed ? "client-routed, " : "")
+              << WireProtoName(proto) << " wire\n";
   } else {
     server = std::make_unique<NavServer>(
         &w.hierarchy(), &eutils, MakeBioNavStrategyFactory(), server_options);
@@ -1308,8 +1405,15 @@ int main(int argc, char** argv) {
       threads.reserve(static_cast<size_t>(clients));
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
-          RunClient(universe, zipf_s, c, salt, sessions, host, port, proto,
-                    profile, &(*out)[static_cast<size_t>(c)]);
+          if (routed) {
+            RunClient<RoutedNavClient>(universe, zipf_s, c, salt, sessions,
+                                       host, port, proto, profile,
+                                       &(*out)[static_cast<size_t>(c)]);
+          } else {
+            RunClient<NavClient>(universe, zipf_s, c, salt, sessions, host,
+                                 port, proto, profile,
+                                 &(*out)[static_cast<size_t>(c)]);
+          }
         });
       }
       for (std::thread& t : threads) t.join();
@@ -1362,6 +1466,9 @@ int main(int argc, char** argv) {
     wire_stats.sessions.created += s.sessions.created;
     wire_stats.sessions.closed += s.sessions.closed;
     wire_stats.sessions.evicted_lru += s.sessions.evicted_lru;
+    wire_stats.sessions.artifact_builds += s.sessions.artifact_builds;
+    wire_stats.sessions.peer_fetch_hits += s.sessions.peer_fetch_hits;
+    wire_stats.sessions.peer_fetch_misses += s.sessions.peer_fetch_misses;
   }
   NavRouterStats router_stats{};
   if (router != nullptr) router_stats = router->stats();
@@ -1437,6 +1544,7 @@ int main(int argc, char** argv) {
 
   int done = 0, failed = 0, shed = 0, transport_errors = 0;
   int parked_open = 0, shed_retries = 0;
+  int64_t direct_calls = 0, proxied_calls = 0;
   OpLatencies all;
   if (open_loop) {
     done = open_totals.sessions_done;
@@ -1454,6 +1562,8 @@ int main(int argc, char** argv) {
       shed += r.retry_later;
       parked_open += r.sessions_parked;
       shed_retries += r.shed_retries;
+      direct_calls += r.direct_calls;
+      proxied_calls += r.proxied_calls;
       all.MergeFrom(r.latencies);
       if (!r.first_error.empty()) {
         std::cerr << "client error: " << r.first_error << "\n";
@@ -1527,6 +1637,19 @@ int main(int argc, char** argv) {
       std::cout << " " << b.id << "=" << b.forwarded;
     }
     std::cout << "\n";
+    std::cout << "router wire: " << router_stats.bytes_rx << " B rx / "
+              << router_stats.bytes_tx << " B tx (the relay hop client "
+              << "routing avoids)\n";
+  }
+  if (!shards.empty()) {
+    std::cout << "artifacts: " << wire_stats.sessions.artifact_builds
+              << " built fleet-wide, " << wire_stats.sessions.peer_fetch_hits
+              << " peer-fetch hits, " << wire_stats.sessions.peer_fetch_misses
+              << " peer-fetch misses\n";
+  }
+  if (routed) {
+    std::cout << "routing: " << direct_calls << " shard-direct calls, "
+              << proxied_calls << " proxied via router\n";
   }
   std::cout << "cache: " << cache_hits << " hits, " << cache_misses
             << " misses (hit rate " << TextTable::Num(hit_rate, 3) << "), "
@@ -1577,8 +1700,22 @@ int main(int argc, char** argv) {
     for (size_t b = 0; b < router_stats.backends.size(); ++b) {
       extra << (b > 0 ? ", " : "") << router_stats.backends[b].forwarded;
     }
-    extra << "]";
+    extra << "]"
+          << ", \"router_bytes_rx\": " << router_stats.bytes_rx
+          << ", \"router_bytes_tx\": " << router_stats.bytes_tx
+          << ", \"replicas\": " << replicas
+          << ", \"replicate_above\": " << replicate_above;
   }
+  if (!shards.empty()) {
+    extra << ", \"peer_fetch\": " << (peer_fetch ? "true" : "false")
+          << ", \"artifact_builds\": " << wire_stats.sessions.artifact_builds
+          << ", \"peer_fetch_hits\": " << wire_stats.sessions.peer_fetch_hits
+          << ", \"peer_fetch_misses\": "
+          << wire_stats.sessions.peer_fetch_misses;
+  }
+  extra << ", \"routed\": " << (routed ? "true" : "false")
+        << ", \"direct_calls\": " << direct_calls
+        << ", \"proxied_calls\": " << proxied_calls;
   AppendJsonRecord(
       opts.json_path, "bench_serving",
       std::string(open_loop ? "mode=open,connections=" : "mode=closed,clients=") +

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -73,6 +74,13 @@ std::string NormalizeQueryKey(std::string_view query) {
 std::shared_ptr<const QueryArtifacts> BuildQueryArtifacts(
     const ConceptHierarchy& hierarchy, const EUtilsClient& eutils,
     const std::string& query, CostModelParams params, bool freeze) {
+  // Fleet-wide count of from-scratch builds: the cross-shard singleflight
+  // A/B gate asserts this equals the distinct-key count when peer fetch is
+  // on (a FETCH_ARTIFACT arrival deliberately does not pass through here).
+  static Counter* builds = GlobalMetrics().GetCounter(
+      "bionav_artifact_builds_total",
+      "Query artifact bundles built from scratch (not cache or peer hits)");
+  builds->Increment();
   Timer timer;
   auto artifacts = std::make_shared<QueryArtifacts>();
   artifacts->key = NormalizeQueryKey(query);

@@ -14,6 +14,7 @@
 #include "core/navigation_tree.h"
 #include "core/result_set.h"
 #include "medline/eutils.h"
+#include "util/status.h"
 
 namespace bionav {
 
@@ -85,7 +86,38 @@ struct QueryArtifacts {
   /// of the cache's byte budget. Grows as templates render; the cache
   /// re-reads it on hits to keep its budget honest.
   size_t MemoryFootprint() const;
+
+  /// Serializes the bundle into a framed, checksummed record — the payload
+  /// of the FETCH_ARTIFACT wire op. Same record discipline as the session
+  /// snapshots (see kArtifactMagic below): magic, length, CRC-32, then a
+  /// varint payload carrying the key, the cost-model parameters, the
+  /// result-set citation ids and the pre-order tree nodes. Response
+  /// templates are NOT serialized — they are per-encoding render caches
+  /// the receiving shard refills lazily.
+  std::string Serialize() const;
+
+  /// Parses a record produced by Serialize on another shard: rebuilds the
+  /// ResultSet (first-occurrence order round-trips exactly), reconstructs
+  /// and Freeze()s the NavigationTree against the local hierarchy, and
+  /// re-derives the CostModel from the carried parameters (its weights are
+  /// a deterministic function of tree + params). Returns kDataLoss for
+  /// anything untrustworthy — short header, bad magic, CRC mismatch,
+  /// underrun/overrun, structurally invalid tree — and kInvalidArgument
+  /// for an unknown format version; it never crashes on arbitrary bytes.
+  static Result<std::shared_ptr<const QueryArtifacts>> Deserialize(
+      const ConceptHierarchy& hierarchy, std::string_view record);
 };
+
+/// On-disk/wire record layout of a serialized artifact bundle (integers
+/// little-endian), mirroring the BNS1 session-snapshot framing:
+///
+///   [0..3]   magic "BNA1"
+///   [4..7]   u32 payload length
+///   [8..11]  u32 CRC-32 (IEEE) of the payload
+///   [12.. ]  payload: varint-encoded fields, version first
+inline constexpr char kArtifactMagic[4] = {'B', 'N', 'A', '1'};
+inline constexpr uint64_t kArtifactFormatVersion = 1;
+inline constexpr size_t kArtifactHeaderBytes = 12;
 
 /// Cache key of a query string: ASCII-lowercased with whitespace runs
 /// collapsed to single spaces and outer whitespace stripped. Deliberately

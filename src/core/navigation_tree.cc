@@ -104,6 +104,135 @@ NavigationTree::NavigationTree(const ConceptHierarchy& hierarchy,
   subtree_distinct_.assign(nodes_.size(), -1);
 }
 
+std::vector<SerializedNavNode> NavigationTree::ToSerializedNodes() const {
+  std::vector<SerializedNavNode> out;
+  out.reserve(nodes_.size());
+  for (const NavNode& n : nodes_) {
+    SerializedNavNode rec;
+    rec.concept_id = n.concept_id;
+    rec.parent = n.parent;
+    rec.global_count = n.global_count;
+    std::vector<size_t> idx = n.results.ToIndexes();
+    rec.result_indexes.reserve(idx.size());
+    for (size_t i : idx) rec.result_indexes.push_back(static_cast<uint32_t>(i));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<NavigationTree>> NavigationTree::FromSerializedNodes(
+    const ConceptHierarchy& hierarchy, std::shared_ptr<const ResultSet> result,
+    const std::vector<SerializedNavNode>& serialized) {
+  auto bad = [](const std::string& what) {
+    return Status::DataLoss("serialized navigation tree " + what);
+  };
+  if (result == nullptr) return bad("has no result set");
+  if (serialized.empty()) return bad("is empty");
+  if (serialized[0].parent != kInvalidNavNode ||
+      serialized[0].concept_id != ConceptHierarchy::kRoot) {
+    return bad("does not start at the hierarchy root");
+  }
+  // Structural validation happens up front, against the raw records: the
+  // construction invariants below are enforced with CHECKs elsewhere in
+  // this class, so anything not verified here could turn wire corruption
+  // into a crash instead of a typed decode error.
+  std::vector<bool> concept_seen(hierarchy.size(), false);
+  // A valid pre-order layout means each node's parent is on the ancestor
+  // path of the previous node (the "open" chain of unfinished subtrees).
+  std::vector<NavNodeId> open;
+  open.reserve(64);
+  for (size_t i = 0; i < serialized.size(); ++i) {
+    const SerializedNavNode& rec = serialized[i];
+    if (rec.concept_id < 0 ||
+        static_cast<size_t>(rec.concept_id) >= hierarchy.size()) {
+      return bad("names concept " + std::to_string(rec.concept_id) +
+                 " outside the hierarchy");
+    }
+    if (concept_seen[static_cast<size_t>(rec.concept_id)]) {
+      return bad("repeats concept " + std::to_string(rec.concept_id));
+    }
+    concept_seen[static_cast<size_t>(rec.concept_id)] = true;
+    if (rec.global_count < 0) return bad("has a negative global count");
+    uint32_t prev = 0;
+    for (size_t k = 0; k < rec.result_indexes.size(); ++k) {
+      uint32_t idx = rec.result_indexes[k];
+      if (idx >= result->size()) return bad("result index out of range");
+      if (k > 0 && idx <= prev) return bad("result indexes not ascending");
+      prev = idx;
+    }
+    if (i == 0) {
+      open.push_back(0);
+      continue;
+    }
+    if (rec.parent < 0 || static_cast<size_t>(rec.parent) >= i) {
+      return bad("node " + std::to_string(i) + " has parent " +
+                 std::to_string(rec.parent) + " not preceding it");
+    }
+    // Non-root nodes of a maximum embedding carry at least one citation,
+    // and their concept nests under the parent's in the hierarchy.
+    if (rec.result_indexes.empty()) {
+      return bad("has an empty non-root node");
+    }
+    if (!hierarchy.IsAncestorOrSelf(serialized[static_cast<size_t>(rec.parent)]
+                                        .concept_id,
+                                    rec.concept_id)) {
+      return bad("breaks hierarchy ancestry at node " + std::to_string(i));
+    }
+    while (!open.empty() && open.back() != rec.parent) open.pop_back();
+    if (open.empty()) {
+      return bad("is not a pre-order layout (parent " +
+                 std::to_string(rec.parent) + " closed before node " +
+                 std::to_string(i) + ")");
+    }
+    open.push_back(static_cast<NavNodeId>(i));
+  }
+
+  std::shared_ptr<NavigationTree> tree(
+      new NavigationTree(&hierarchy, std::move(result)));
+  tree->nodes_.reserve(serialized.size());
+  tree->concept_to_node_.assign(hierarchy.size(), kInvalidNavNode);
+  for (size_t i = 0; i < serialized.size(); ++i) {
+    const SerializedNavNode& rec = serialized[i];
+    NavNode node;
+    node.concept_id = rec.concept_id;
+    node.parent = rec.parent;
+    node.results = tree->result_->MakeBitset();
+    for (uint32_t idx : rec.result_indexes) node.results.Set(idx);
+    node.attached_count = static_cast<int>(rec.result_indexes.size());
+    node.global_count = rec.global_count;
+    tree->nodes_.push_back(std::move(node));
+    if (rec.parent != kInvalidNavNode) {
+      tree->nodes_[static_cast<size_t>(rec.parent)].children.push_back(
+          static_cast<NavNodeId>(i));
+    }
+    tree->concept_to_node_[static_cast<size_t>(rec.concept_id)] =
+        static_cast<NavNodeId>(i);
+  }
+  // Derived tables, exactly as the associating constructor computes them.
+  tree->subtree_end_.resize(tree->nodes_.size());
+  for (size_t i = 0; i < tree->nodes_.size(); ++i) {
+    tree->subtree_end_[i] = static_cast<NavNodeId>(i + 1);
+  }
+  for (size_t i = tree->nodes_.size(); i-- > 1;) {
+    size_t p = static_cast<size_t>(tree->nodes_[i].parent);
+    tree->subtree_end_[p] = std::max(tree->subtree_end_[p],
+                                     tree->subtree_end_[i]);
+  }
+  tree->attached_prefix_.resize(tree->nodes_.size() + 1);
+  tree->attached_prefix_[0] = 0;
+  for (size_t i = 0; i < tree->nodes_.size(); ++i) {
+    tree->attached_prefix_[i + 1] =
+        tree->attached_prefix_[i] + tree->nodes_[i].attached_count;
+  }
+  tree->subtree_results_.resize(tree->nodes_.size());
+  tree->subtree_distinct_.assign(tree->nodes_.size(), -1);
+  // Shared across sessions by definition (it crossed a shard boundary), so
+  // always freeze — this also runs the SoA==lazy cross-validation over the
+  // freshly rebuilt layout.
+  tree->Freeze();
+  return tree;
+}
+
 int NavigationTree::NodeDepth(NavNodeId id) const {
   int d = 0;
   for (NavNodeId u = parent(id); u != kInvalidNavNode; u = parent(u)) {

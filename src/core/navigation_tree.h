@@ -8,6 +8,7 @@
 #include "hierarchy/concept_hierarchy.h"
 #include "medline/association_table.h"
 #include "util/bitset.h"
+#include "util/status.h"
 
 namespace bionav {
 
@@ -33,6 +34,18 @@ struct NavNode {
   int64_t global_count = 0;
 };
 
+/// One node of a serialized navigation tree, in pre-order: what the
+/// artifact codec moves between shards. Children vectors are not carried —
+/// a valid pre-order layout reconstructs them (ascending-id append to the
+/// parent reproduces the construction-time order exactly).
+struct SerializedNavNode {
+  ConceptId concept_id = kInvalidConcept;
+  NavNodeId parent = kInvalidNavNode;
+  int64_t global_count = 0;
+  /// Local result indexes of L(n), strictly ascending (bitset order).
+  std::vector<uint32_t> result_indexes;
+};
+
 /// The paper's Navigation Tree (Definition 2): the maximum embedding of the
 /// initial navigation tree such that no node except the root has an empty
 /// results list. Construction attaches each result citation to its
@@ -46,6 +59,23 @@ class NavigationTree {
   NavigationTree(const ConceptHierarchy& hierarchy,
                  const AssociationTable& associations,
                  std::shared_ptr<const ResultSet> result);
+
+  /// Reconstructs a tree from pre-order node records captured on another
+  /// shard (the FETCH_ARTIFACT path). The records are untrusted: every
+  /// structural invariant (root first, parents preceding children in a
+  /// valid pre-order nesting, concepts unique and inside the hierarchy,
+  /// result indexes ascending and inside the result set) is validated
+  /// BEFORE any internal table is built, so arbitrary bytes yield a typed
+  /// kDataLoss instead of tripping a CHECK. The returned tree is Freeze()d
+  /// — byte-identical SoA layout and subtree caches to a locally built,
+  /// frozen tree of the same shape.
+  static Result<std::shared_ptr<NavigationTree>> FromSerializedNodes(
+      const ConceptHierarchy& hierarchy,
+      std::shared_ptr<const ResultSet> result,
+      const std::vector<SerializedNavNode>& serialized);
+
+  /// Pre-order node records describing this tree — the codec's source.
+  std::vector<SerializedNavNode> ToSerializedNodes() const;
 
   NavigationTree(const NavigationTree&) = delete;
   NavigationTree& operator=(const NavigationTree&) = delete;
@@ -198,6 +228,12 @@ class NavigationTree {
   int NodeDepth(NavNodeId id) const;
 
  private:
+  /// Deserialization shell: binds the hierarchy/result, leaves the node
+  /// store for FromSerializedNodes to fill.
+  NavigationTree(const ConceptHierarchy* hierarchy,
+                 std::shared_ptr<const ResultSet> result)
+      : hierarchy_(hierarchy), result_(std::move(result)) {}
+
   size_t CheckedIndex(NavNodeId id) const {
     BIONAV_CHECK_GE(id, 0);
     BIONAV_CHECK_LT(static_cast<size_t>(id), nodes_.size());

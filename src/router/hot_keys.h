@@ -1,0 +1,79 @@
+#ifndef BIONAV_ROUTER_HOT_KEYS_H_
+#define BIONAV_ROUTER_HOT_KEYS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bionav {
+
+/// Exponentially decayed per-key request-rate tracker — the router's
+/// hot-slice detector. Each key holds one decayed counter: a hit adds 1,
+/// and the accumulated mass halves every `halflife_ms`, so for a steady
+/// arrival rate r the counter converges to r * halflife / ln 2 and the
+/// rate estimate inverts that. Cold keys fade to nothing and are swept
+/// when the table reaches capacity, so a long zipf tail cannot grow the
+/// tracker without bound.
+///
+/// Thread-safe; the clock is injectable so tests can dilate time instead
+/// of sleeping.
+class HotKeyTracker {
+ public:
+  struct Options {
+    /// Time for a key's accumulated request mass to halve. Shorter reacts
+    /// faster to traffic shifts; longer smooths bursts.
+    int64_t halflife_ms = 10000;
+    /// Entry capacity. Reaching it triggers a sweep that drops keys whose
+    /// decayed mass rounds to cold; persistent overflow drops the coldest.
+    size_t max_keys = 4096;
+    /// Monotonic milliseconds. Defaults to steady_clock.
+    std::function<int64_t()> clock;
+  };
+
+  struct HotKey {
+    std::string key;
+    double qps = 0;
+  };
+
+  HotKeyTracker();
+  explicit HotKeyTracker(Options options);
+
+  /// Records one request for `key` and returns the key's estimated
+  /// request rate (QPS) including this hit.
+  double Record(const std::string& key);
+
+  /// Estimated request rate of `key` right now (0 if untracked).
+  double EstimatedQps(const std::string& key) const;
+
+  /// Keys whose estimated rate is >= `min_qps`, hottest first.
+  std::vector<HotKey> Hot(double min_qps) const;
+
+  /// Tracked key count (post-sweep).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    double mass = 0;
+    int64_t updated_ms = 0;
+  };
+
+  /// Decays `entry` forward to `now_ms`.
+  static void DecayTo(Entry* entry, int64_t now_ms, double halflife_ms);
+
+  /// Mass -> QPS: rate = mass * ln2 / halflife.
+  double RateOf(double mass) const;
+
+  /// Drops cold entries; called at capacity with mu_ held.
+  void SweepLocked(int64_t now_ms);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> keys_;
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ROUTER_HOT_KEYS_H_

@@ -167,7 +167,9 @@ const char* BackendHealthName(BackendHealth health) {
 NavRouter::NavRouter(std::vector<RouterBackend> backends,
                      NavRouterOptions options)
     : options_(std::move(options)),
-      ring_(HashRingOptions{options_.ring_vnodes, options_.ring_seed}) {
+      ring_(HashRingOptions{options_.ring_vnodes, options_.ring_seed}),
+      hot_keys_(HotKeyTracker::Options{options_.hot_key_halflife_ms,
+                                       /*max_keys=*/4096, /*clock=*/{}}) {
   BIONAV_CHECK(!backends.empty()) << "NavRouter needs at least one backend";
   if (options_.io_threads < 1) options_.io_threads = 1;
   if (options_.max_connections < 1) options_.max_connections = 1;
@@ -434,7 +436,10 @@ void NavRouter::ReadConnection(const ConnPtr& conn) {
     CloseConnection(conn);
     return;
   }
-  if (received > 0) conn->last_activity_ms = SteadyNowMs();
+  if (received > 0) {
+    conn->last_activity_ms = SteadyNowMs();
+    bytes_rx_.fetch_add(received, std::memory_order_relaxed);
+  }
 
   DispatchFrames(conn);
   if (conn->closed) return;
@@ -580,6 +585,7 @@ void NavRouter::FlushWrites(const ConnPtr& conn) {
     }
     conn->write_queue_bytes -= static_cast<size_t>(n);
     conn->write_offset += static_cast<size_t>(n);
+    bytes_tx_.fetch_add(n, std::memory_order_relaxed);
     while (!conn->write_queue.empty() &&
            conn->write_offset >= conn->write_queue.front().size()) {
       conn->write_offset -= conn->write_queue.front().size();
@@ -714,6 +720,29 @@ void NavRouter::RouteFrame(const ConnPtr& conn, uint64_t seq,
       ForwardToBackend(conn, seq, backend, view, payload);
       return;
     }
+    case RequestOp::kTopology:
+      CompleteRequest(conn, seq, BuildTopologyFrame(conn->proto));
+      return;
+    case RequestOp::kFetchArtifact: {
+      // Strict owner routing: the shard asking is, by construction, a
+      // non-owner holding the key — spreading or remapping here would
+      // bounce the fetch back to a replica that also lacks the bundle.
+      int chosen = ChooseOwnerBackend(NormalizeQueryKey(view.query));
+      if (chosen < 0) {
+        AnswerRetryLater(conn, seq, kNoBackend, "all backends draining");
+        return;
+      }
+      size_t backend = static_cast<size_t>(chosen);
+      if (backends_[backend]->health.load(std::memory_order_acquire) !=
+          static_cast<int>(BackendHealth::kHealthy)) {
+        AnswerRetryLater(conn, seq, backend,
+                         "shard '" + backends_[backend]->config.id +
+                             "' is down, retry later");
+        return;
+      }
+      ForwardToBackend(conn, seq, backend, view, payload);
+      return;
+    }
     default: {
       size_t backend = ChooseSessionBackend(view.token);
       if (backends_[backend]->health.load(std::memory_order_acquire) !=
@@ -733,6 +762,41 @@ void NavRouter::RouteFrame(const ConnPtr& conn, uint64_t seq,
 }
 
 int NavRouter::ChooseQueryBackend(std::string_view query_key) const {
+  if (options_.replicas > 1) {
+    double qps = hot_keys_.Record(std::string(query_key));
+    if (qps >= options_.replicate_above_qps) {
+      // Hot slice: round-robin across the first `replicas` ring-successors
+      // that could actually serve (healthy and not draining). Unlike the
+      // cold path below, health *does* gate membership here — a replica is
+      // an optimization, and a dead one has no slice state worth honoring.
+      // The owner stays in the set, so replication never makes an owner
+      // colder; non-owner replicas pull the bundle via FETCH_ARTIFACT on
+      // first touch instead of rebuilding it.
+      std::vector<size_t> replica_set;
+      for (const std::string& id :
+           ring_.PreferenceOrder(query_key,
+                                 static_cast<size_t>(options_.replicas))) {
+        const size_t index = backend_index_by_id_.at(id);
+        const BackendState& backend = *backends_[index];
+        if (backend.draining.load(std::memory_order_acquire)) continue;
+        if (backend.health.load(std::memory_order_acquire) !=
+            static_cast<int>(BackendHealth::kHealthy)) {
+          continue;
+        }
+        replica_set.push_back(index);
+      }
+      if (!replica_set.empty()) {
+        uint64_t turn = hot_rr_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(replica_set[turn % replica_set.size()]);
+      }
+      // No healthy replica: fall through to the strict walk so the owner
+      // slice still answers its honest RETRY_LATER.
+    }
+  }
+  return ChooseOwnerBackend(query_key);
+}
+
+int NavRouter::ChooseOwnerBackend(std::string_view query_key) const {
   // Owner first, then the clockwise walk — a draining backend stops
   // receiving *new* sessions while its pinned ones finish elsewhere in
   // ForwardToBackend. Health is deliberately not part of the walk: a dead
@@ -752,9 +816,21 @@ size_t NavRouter::ChooseSessionBackend(std::string_view token) const {
     auto it = pins_.find(std::string(token));
     if (it != pins_.end()) return it->second;
   }
-  // No pin (evicted, never created here, or a stale client token): the
-  // ring owner of the token answers authoritatively — usually with
-  // UNKNOWN_SESSION.
+  // No pin — but when the fleet was spawned with per-shard token prefixes
+  // (bionav_route auto mode passes --token-prefix "<id>-"), the token
+  // itself names its minting shard as "<backend-id>-s<ordinal>". Recover
+  // it: a session created over a *direct* client-routed connection was
+  // never pinned here, yet must still reach its shard when the client
+  // falls back to proxying.
+  size_t end = token.size();
+  while (end > 0 && token[end - 1] >= '0' && token[end - 1] <= '9') --end;
+  if (end >= 2 && end < token.size() && token[end - 1] == 's' &&
+      token[end - 2] == '-') {
+    auto it = backend_index_by_id_.find(std::string(token.substr(0, end - 2)));
+    if (it != backend_index_by_id_.end()) return it->second;
+  }
+  // Last resort (foreign prefix, stale client token): the ring owner of
+  // the token answers authoritatively — usually with UNKNOWN_SESSION.
   return backend_index_by_id_.at(ring_.OwnerOf(token));
 }
 
@@ -1310,6 +1386,9 @@ void NavRouter::FinishProbe(const ProbePtr& probe, bool success,
       if (const JsonValue* cache = doc.Find("cache")) {
         scrape.cache_hits = cache->IntOr("hits", 0);
         scrape.cache_misses = cache->IntOr("misses", 0);
+        scrape.cache_builds = cache->IntOr("builds", 0);
+        scrape.peer_fetch_hits = cache->IntOr("peer_fetch_hits", 0);
+        scrape.peer_fetch_misses = cache->IntOr("peer_fetch_misses", 0);
       }
       scrape.raw = response_line;
       {
@@ -1339,6 +1418,7 @@ void NavRouter::RecordBackendFailure(size_t backend_index) {
                          std::memory_order_release);
     backend.ejected_at_ms.store(SteadyNowMs(), std::memory_order_release);
     RefreshHealthyGauge();
+    BumpGeneration();
     return;
   }
   if (health == static_cast<int>(BackendHealth::kHealthy) &&
@@ -1347,6 +1427,7 @@ void NavRouter::RecordBackendFailure(size_t backend_index) {
                          std::memory_order_release);
     backend.ejected_at_ms.store(SteadyNowMs(), std::memory_order_release);
     RefreshHealthyGauge();
+    BumpGeneration();
   }
 }
 
@@ -1358,6 +1439,7 @@ void NavRouter::RecordBackendSuccess(size_t backend_index) {
     backend.health.store(static_cast<int>(BackendHealth::kHealthy),
                          std::memory_order_release);
     RefreshHealthyGauge();
+    BumpGeneration();
   }
 }
 
@@ -1389,14 +1471,19 @@ WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
       ",\"pinned_sessions\":" + std::to_string(s.pinned_sessions) +
       ",\"backends_total\":" + std::to_string(s.backends.size()) +
       ",\"healthy_backends\":" + std::to_string(s.healthy_backends) +
+      ",\"bytes_rx\":" + std::to_string(s.bytes_rx) +
+      ",\"bytes_tx\":" + std::to_string(s.bytes_tx) +
+      ",\"generation\":" + std::to_string(s.generation) +
       ",\"io_threads\":" + std::to_string(loops_.size()) + "}";
 
   // Fleet rollup from the last scraped backend STATS. Scrapes refresh on
   // the probe cadence, so the sums lag live truth by at most one interval.
   int64_t scraped = 0, requests = 0, sessions_active = 0;
   int64_t sessions_created = 0, cache_hits = 0, cache_misses = 0;
+  int64_t cache_builds = 0, peer_fetch_hits = 0, peer_fetch_misses = 0;
   int64_t bytes_rx = 0, bytes_tx = 0;
   std::vector<std::string> raw_scrapes(backends_.size());
+  std::vector<std::string> qcache_json(backends_.size());
   for (size_t i = 0; i < backends_.size(); ++i) {
     std::lock_guard<std::mutex> lock(backends_[i]->scrape_mu);
     const BackendScrape& scrape = backends_[i]->scrape;
@@ -1407,10 +1494,23 @@ WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
     sessions_created += scrape.sessions_created;
     cache_hits += scrape.cache_hits;
     cache_misses += scrape.cache_misses;
+    cache_builds += scrape.cache_builds;
+    peer_fetch_hits += scrape.peer_fetch_hits;
+    peer_fetch_misses += scrape.peer_fetch_misses;
     bytes_rx += scrape.bytes_rx;
     bytes_tx += scrape.bytes_tx;
     raw_scrapes[i] = scrape.raw;
+    qcache_json[i] =
+        "{\"hits\":" + std::to_string(scrape.cache_hits) +
+        ",\"misses\":" + std::to_string(scrape.cache_misses) +
+        ",\"builds\":" + std::to_string(scrape.cache_builds) +
+        ",\"peer_fetch_hits\":" + std::to_string(scrape.peer_fetch_hits) +
+        ",\"peer_fetch_misses\":" + std::to_string(scrape.peer_fetch_misses) +
+        "}";
   }
+  // artifact_builds is the fleet's duplicate-build signal: with peer fetch
+  // on, it converges to the number of distinct query keys no matter how
+  // many shards serve each key.
   std::string fleet_json =
       "{\"scraped\":" + std::to_string(scraped) +
       ",\"requests\":" + std::to_string(requests) +
@@ -1418,8 +1518,26 @@ WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
       ",\"sessions_created\":" + std::to_string(sessions_created) +
       ",\"cache_hits\":" + std::to_string(cache_hits) +
       ",\"cache_misses\":" + std::to_string(cache_misses) +
+      ",\"artifact_builds\":" + std::to_string(cache_builds) +
+      ",\"peer_fetch_hits\":" + std::to_string(peer_fetch_hits) +
+      ",\"peer_fetch_misses\":" + std::to_string(peer_fetch_misses) +
       ",\"bytes_rx\":" + std::to_string(bytes_rx) +
       ",\"bytes_tx\":" + std::to_string(bytes_tx) + "}";
+
+  // Hot-key rollup: what the replication tier currently considers hot.
+  std::vector<HotKeyTracker::HotKey> hot =
+      hot_keys_.Hot(options_.replicate_above_qps);
+  constexpr size_t kMaxHotKeysListed = 16;
+  std::string hot_json =
+      "{\"tracked\":" + std::to_string(hot_keys_.size()) +
+      ",\"replicate_above\":" + std::to_string(options_.replicate_above_qps) +
+      ",\"replicas\":" + std::to_string(options_.replicas) + ",\"keys\":[";
+  for (size_t i = 0; i < hot.size() && i < kMaxHotKeysListed; ++i) {
+    if (i > 0) hot_json += ",";
+    hot_json += "{\"key\":\"" + JsonEscape(hot[i].key) +
+                "\",\"qps\":" + std::to_string(hot[i].qps) + "}";
+  }
+  hot_json += "]}";
 
   std::string backends_json = "[";
   for (size_t i = 0; i < s.backends.size(); ++i) {
@@ -1435,6 +1553,8 @@ WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
         ",\"pinned_sessions\":" + std::to_string(b.pinned_sessions) +
         ",\"probes_ok\":" + std::to_string(b.probes_ok) +
         ",\"probes_failed\":" + std::to_string(b.probes_failed) +
+        ",\"qcache\":" +
+        (qcache_json[i].empty() ? std::string("null") : qcache_json[i]) +
         ",\"stats\":" +
         (raw_scrapes[i].empty() ? std::string("null") : raw_scrapes[i]) + "}";
   }
@@ -1444,6 +1564,7 @@ WireFrame NavRouter::BuildAggregatedStats(WireProto proto) const {
                          .Add("role", std::string_view("router"))
                          .AddRaw("router", router_json)
                          .AddRaw("fleet", fleet_json)
+                         .AddRaw("hot_keys", hot_json)
                          .AddRaw("backends", backends_json)
                          .AddRaw("metrics", GlobalMetrics().ToJson())
                          .Finish();
@@ -1454,6 +1575,39 @@ WireFrame NavRouter::BuildMetricsFrame(WireProto proto) const {
   std::string line =
       ResponseBuilder(RequestOp::kMetrics)
           .Add("text", std::string_view(GlobalMetrics().ToPrometheusText()))
+          .Finish();
+  return WrapWholeJson(proto, std::move(line));
+}
+
+WireFrame NavRouter::BuildTopologyFrame(WireProto proto) const {
+  std::string backends_json = "[";
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const BackendState& backend = *backends_[i];
+    if (i > 0) backends_json += ",";
+    backends_json +=
+        "{\"id\":\"" + JsonEscape(backend.config.id) + "\"" +
+        ",\"host\":\"" + JsonEscape(backend.config.host) + "\"" +
+        ",\"port\":" + std::to_string(backend.config.port) +
+        ",\"state\":\"" +
+        BackendHealthName(static_cast<BackendHealth>(
+            backend.health.load(std::memory_order_acquire))) +
+        "\"" +
+        ",\"draining\":" +
+        (backend.draining.load(std::memory_order_acquire) ? "true"
+                                                          : "false") +
+        "}";
+  }
+  backends_json += "]";
+  // The seed travels as a decimal string: ring seeds exceed 2^53, past
+  // what a JSON number survives through double-precision parsers.
+  std::string line =
+      ResponseBuilder(RequestOp::kTopology)
+          .Add("generation",
+               static_cast<int64_t>(
+                   generation_.load(std::memory_order_acquire)))
+          .Add("vnodes", static_cast<int64_t>(options_.ring_vnodes))
+          .Add("seed", std::to_string(options_.ring_seed))
+          .AddRaw("backends", backends_json)
           .Finish();
   return WrapWholeJson(proto, std::move(line));
 }
@@ -1472,6 +1626,10 @@ NavRouterStats NavRouter::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.forwarded = forwarded_.load(std::memory_order_relaxed);
   s.retry_later = retry_later_.load(std::memory_order_relaxed);
+  s.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
+  s.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
+  s.generation = generation_.load(std::memory_order_acquire);
+  s.hot_keys_tracked = static_cast<int64_t>(hot_keys_.size());
 
   std::vector<int64_t> pins_per_backend(backends_.size(), 0);
   {
@@ -1504,7 +1662,9 @@ NavRouterStats NavRouter::stats() const {
 bool NavRouter::SetBackendDraining(const std::string& id, bool draining) {
   auto it = backend_index_by_id_.find(id);
   if (it == backend_index_by_id_.end()) return false;
-  backends_[it->second]->draining.store(draining, std::memory_order_release);
+  bool was = backends_[it->second]->draining.exchange(
+      draining, std::memory_order_acq_rel);
+  if (was != draining) BumpGeneration();
   return true;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "router/hash_ring.h"
+#include "router/hot_keys.h"
 #include "server/protocol.h"
 #include "util/event_loop.h"
 
@@ -76,6 +77,19 @@ struct NavRouterOptions {
   /// Ring geometry (see HashRingOptions).
   int ring_vnodes = 128;
   uint64_t ring_seed = HashRingOptions().seed;
+  /// Hot-slice replication: a query key whose decayed request rate exceeds
+  /// replicate_above_qps spreads its QUERYs round-robin across the first
+  /// `replicas` healthy non-draining backends in ring preference order,
+  /// instead of pinning the whole slice to one owner. replicas <= 1
+  /// disables the spread; replicate_above_qps = 0 (with replicas > 1)
+  /// replicates every key — the cold-fan-in configuration the peer-fetch
+  /// CI gate uses. Sessions are unaffected: each stays pinned to the
+  /// backend that answered its QUERY, and every non-owner replica pulls
+  /// the artifacts from the owner via FETCH_ARTIFACT instead of rebuilding.
+  int replicas = 1;
+  double replicate_above_qps = 10.0;
+  /// Decay half-life of the per-key rate estimator (see HotKeyTracker).
+  int64_t hot_key_halflife_ms = 10000;
   /// Idle downstream connections are closed after this long. 0 disables.
   int64_t idle_timeout_ms = 5 * 60 * 1000;
   /// Shutdown drain bound, as in NavServer.
@@ -104,6 +118,14 @@ struct NavRouterStats {
   int64_t retry_later = 0;
   int64_t pinned_sessions = 0;
   int64_t healthy_backends = 0;
+  /// Downstream wire traffic through the router (the relay-hop bytes a
+  /// client-routed fleet saves; bench_serving reads these for its A/B).
+  int64_t bytes_rx = 0;
+  int64_t bytes_tx = 0;
+  /// Topology generation: bumps on every health or draining transition.
+  uint64_t generation = 0;
+  /// Keys the hot-key tracker currently follows.
+  int64_t hot_keys_tracked = 0;
   std::vector<RouterBackendStats> backends;
 };
 
@@ -262,6 +284,11 @@ class NavRouter {
     int64_t sessions_created = 0;
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+    /// Artifact provenance of the backend's query cache: local builds and
+    /// FETCH_ARTIFACT traffic (the fleet rollup's duplicate-build signal).
+    int64_t cache_builds = 0;
+    int64_t peer_fetch_hits = 0;
+    int64_t peer_fetch_misses = 0;
     int64_t bytes_rx = 0;
     int64_t bytes_tx = 0;
     std::string raw;  // The full backend STATS document.
@@ -310,11 +337,20 @@ class NavRouter {
   void RouteFrame(const ConnPtr& conn, uint64_t seq,
                   const std::string& payload);
   /// Ring walk for a new QUERY: first non-draining backend in preference
-  /// order. -1 when every backend drains.
+  /// order. -1 when every backend drains. Records the key with the hot-key
+  /// tracker and, when replication is on and the key runs hot, spreads the
+  /// choice round-robin across the first `replicas` healthy non-draining
+  /// ring-successors.
   int ChooseQueryBackend(std::string_view query_key) const;
-  /// Pin lookup for a session op; falls back to the ring owner of the
-  /// token (the backend will answer UNKNOWN_SESSION if the session never
-  /// lived there).
+  /// The strict slice owner (no hot-key spread, no rate recording) — what
+  /// FETCH_ARTIFACT forwarding uses: the replica asking for the bundle
+  /// must never be routed back to itself.
+  int ChooseOwnerBackend(std::string_view query_key) const;
+  /// Pin lookup for a session op; unpinned tokens recover their minting
+  /// shard from the "<backend-id>-s<ordinal>" token shape (sessions
+  /// created over direct client-routed connections were never pinned
+  /// here), then fall back to the ring owner of the token (the backend
+  /// will answer UNKNOWN_SESSION if the session never lived there).
   size_t ChooseSessionBackend(std::string_view token) const;
   void ForwardToBackend(const ConnPtr& conn, uint64_t seq,
                         size_t backend_index, const RequestView& view,
@@ -366,6 +402,15 @@ class NavRouter {
   // --- Local answers ---
   WireFrame BuildAggregatedStats(WireProto proto) const;
   WireFrame BuildMetricsFrame(WireProto proto) const;
+  /// The shard map for client-side routing: generation, ring geometry
+  /// (seed as a decimal string — it exceeds what a JSON double carries)
+  /// and per-backend address/health/draining.
+  WireFrame BuildTopologyFrame(WireProto proto) const;
+  /// Membership/health/draining changed: clients holding the old ring
+  /// should refresh.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   NavRouterOptions options_;
   std::vector<std::unique_ptr<BackendState>> backends_;
@@ -402,6 +447,16 @@ class NavRouter {
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> forwarded_{0};
   std::atomic<int64_t> retry_later_{0};
+  std::atomic<int64_t> bytes_rx_{0};
+  std::atomic<int64_t> bytes_tx_{0};
+  /// Starts at 1 so a client's zero-initialized FleetTopology is always
+  /// visibly stale.
+  std::atomic<uint64_t> generation_{1};
+  /// Per-key decayed request rates (mutable: ChooseQueryBackend is
+  /// logically const routing but records the observation).
+  mutable HotKeyTracker hot_keys_;
+  /// Round-robin cursor spreading a hot key across its replica set.
+  mutable std::atomic<uint64_t> hot_rr_{0};
 };
 
 }  // namespace bionav

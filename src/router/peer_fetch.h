@@ -1,0 +1,115 @@
+#ifndef BIONAV_ROUTER_PEER_FETCH_H_
+#define BIONAV_ROUTER_PEER_FETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/query_artifacts.h"
+#include "hierarchy/concept_hierarchy.h"
+#include "router/hash_ring.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace bionav {
+
+/// One fleet member as the peer-fetch layer sees it.
+struct PeerSpec {
+  std::string id;    // Ring identity — must match the router's backend id.
+  std::string host;
+  int port = 0;
+};
+
+struct PeerFetchOptions {
+  /// This shard's own ring identity; keys it owns are never peer-fetched.
+  std::string self_id;
+  /// The full fleet, self included — the ring only places correctly when
+  /// every shard sees the same membership the router does.
+  std::vector<PeerSpec> peers;
+  /// Ring geometry; must match the router's HashRingOptions exactly, or
+  /// the two sides disagree about owners and every fetch goes nowhere.
+  int vnodes = 128;
+  uint64_t seed = 0x62696f6e61763237ULL;
+  /// Short timeouts: the fallback is a local build, so a slow peer should
+  /// lose to rebuilding, not stall the session.
+  int64_t connect_timeout_ms = 1000;
+  int64_t recv_timeout_ms = 5000;
+  /// Fleet-internal traffic defaults to the binary wire (leaner framing;
+  /// the artifact field itself is base64 in both encodings).
+  WireProto proto = WireProto::kBinary;
+};
+
+/// The non-owning half of cross-shard artifact singleflight: before a
+/// shard builds a query's artifacts from scratch, it asks the ring-owner
+/// for the serialized bundle via FETCH_ARTIFACT and deserializes the
+/// reply against the local hierarchy. Invoked from inside the local
+/// QueryArtifactCache's singleflight builder, so each shard issues at
+/// most one fetch per key no matter how many sessions pile up — and a
+/// nullptr return (self-owned key, unconfigured fleet, peer down, corrupt
+/// record) simply falls back to the local build.
+///
+/// Thread-safe. Configuration can arrive after construction (Configure or
+/// a peers file resolved lazily) because `bionav_route --backends=auto:N`
+/// spawns shards one at a time: no shard knows the full port list until
+/// the router has spawned them all.
+class PeerArtifactFetcher {
+ public:
+  /// `hierarchy` deserializes fetched trees; it must outlive the fetcher.
+  explicit PeerArtifactFetcher(const ConceptHierarchy* hierarchy);
+
+  /// Installs (or replaces) the fleet view.
+  void Configure(PeerFetchOptions options);
+
+  /// Defers configuration to a peers file (format below) read on first
+  /// Fetch — and re-probed on later fetches while it is still missing,
+  /// covering the auto-spawn window where the router writes the file
+  /// after the shards have already started.
+  void ConfigureFromFile(std::string path, std::string self_id);
+
+  bool configured() const;
+
+  /// Parses a peers file. Line format, '#' comments ignored:
+  ///   vnodes 128
+  ///   seed 7088528852100879927
+  ///   peer shard0 127.0.0.1:40001
+  static Result<PeerFetchOptions> ParsePeersFile(std::string_view contents,
+                                                 const std::string& self_id);
+
+  /// The owner's bundle for `key`, or nullptr when this shard should build
+  /// locally (self-owned key, unconfigured, peer unreachable, record
+  /// corrupt). Blocking — call it from the cache's builder, never from an
+  /// event loop.
+  std::shared_ptr<const QueryArtifacts> Fetch(const std::string& key);
+
+  struct Stats {
+    int64_t hits = 0;       // Bundles fetched and deserialized.
+    int64_t misses = 0;     // Peer path attempted but failed.
+    int64_t self_owned = 0; // Keys this shard owns (no fetch attempted).
+  };
+  Stats stats() const;
+
+ private:
+  /// Loads the pending peers file if one is due; returns configured state.
+  bool EnsureConfigured();
+
+  const ConceptHierarchy* hierarchy_;
+
+  mutable std::mutex mu_;
+  PeerFetchOptions options_;
+  std::unique_ptr<HashRing> ring_;
+  bool configured_ = false;
+  std::string pending_file_;
+  std::string pending_self_id_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> self_owned_{0};
+};
+
+}  // namespace bionav
+
+#endif  // BIONAV_ROUTER_PEER_FETCH_H_

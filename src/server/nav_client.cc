@@ -12,7 +12,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
+
+#include "util/string_util.h"
 
 namespace bionav {
 
@@ -67,15 +70,21 @@ Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
 
 Result<std::unique_ptr<NavClient>> NavClient::Connect(
     const std::string& host, int port, NavClientOptions options) {
-  int64_t backoff_ms = 50;
+  // Full-jitter backoff: each retry sleeps uniform(0, cap) with the cap
+  // doubling 50ms -> 1s. A deterministic ladder synchronizes every client
+  // racing one restarting backend into retry waves that land together;
+  // the jitter spreads the reconnect burst across the whole window.
+  std::minstd_rand rng(std::random_device{}());
+  int64_t cap_ms = 50;
   for (int attempt = 0;; ++attempt) {
     Result<std::unique_ptr<NavClient>> connected =
         ConnectOnce(host, port, options);
     if (connected.ok() || attempt >= options.connect_retries) {
       return connected;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min<int64_t>(backoff_ms * 2, 1000);
+    std::uniform_int_distribution<int64_t> jitter(0, cap_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(jitter(rng)));
+    cap_ms = std::min<int64_t>(cap_ms * 2, 1000);
   }
 }
 
@@ -444,6 +453,29 @@ Result<std::string> NavClient::Metrics() {
     return Status::Internal("METRICS response carries no text");
   }
   return text->string_value();
+}
+
+Result<std::string> NavClient::FetchArtifact(const std::string& key) {
+  Request request;
+  request.op = RequestOp::kFetchArtifact;
+  request.query = key;
+  Result<JsonValue> response = Call(request);
+  if (!response.ok()) return response.status();
+  const JsonValue* artifact = response.ValueOrDie().Find("artifact");
+  if (artifact == nullptr || !artifact->is_string()) {
+    return Status::Internal("FETCH_ARTIFACT response carries no artifact");
+  }
+  std::string record;
+  if (!Base64Decode(artifact->string_value(), &record)) {
+    return Status::Internal("FETCH_ARTIFACT artifact is not valid base64");
+  }
+  return record;
+}
+
+Result<JsonValue> NavClient::Topology() {
+  Request request;
+  request.op = RequestOp::kTopology;
+  return Call(request);
 }
 
 }  // namespace bionav

@@ -24,10 +24,13 @@ struct NavClientOptions {
   /// reply (accept-path shedding answers before reading the preamble) is
   /// recognized by its '{' first byte and handled transparently.
   WireProto proto = WireProto::kJson;
-  /// Extra connect attempts after a failed first try, with capped
-  /// exponential backoff between attempts (50ms doubling to a 1s cap).
-  /// Covers ECONNREFUSED and connect timeouts — a client racing a backend
-  /// that is still binding its port. 0 (the default) fails fast.
+  /// Extra connect attempts after a failed first try, with full-jitter
+  /// capped exponential backoff between attempts: each retry sleeps
+  /// uniform(0, cap) with the cap doubling from 50ms to 1s, so a fleet of
+  /// clients racing one restarting backend spreads out instead of
+  /// reconnecting in synchronized waves. Covers ECONNREFUSED and connect
+  /// timeouts — a client racing a backend that is still binding its port.
+  /// 0 (the default) fails fast.
   int connect_retries = 0;
 };
 
@@ -122,6 +125,16 @@ class NavClient {
 
   /// METRICS: the server's Prometheus text exposition.
   Result<std::string> Metrics();
+
+  /// FETCH_ARTIFACT: the serialized (BNA1) artifact bundle for an
+  /// already-normalized cache key, base64-decoded. Shard-to-shard traffic;
+  /// a server with its cache disabled answers FAILED_PRECONDITION.
+  Result<std::string> FetchArtifact(const std::string& key);
+
+  /// TOPOLOGY: the routing tier's shard map as a parsed JSON object
+  /// (generation, vnodes, seed, backends). A bare backend answers
+  /// FAILED_PRECONDITION — only the router holds a fleet view.
+  Result<JsonValue> Topology();
 
   /// The negotiated wire encoding of this connection.
   WireProto proto() const { return proto_; }

@@ -18,6 +18,7 @@
 
 #include "core/json_export.h"
 #include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace bionav {
 
@@ -119,9 +120,13 @@ LatencyHistogram* OpLatencyHistogram(RequestOp op) {
                                    "METRICS request latency"),
       GlobalMetrics().GetHistogram("bionav_server_op_batch_expand_us",
                                    "BATCH_EXPAND request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_fetch_artifact_us",
+                                   "FETCH_ARTIFACT request latency"),
+      GlobalMetrics().GetHistogram("bionav_server_op_topology_us",
+                                   "TOPOLOGY request latency"),
   };
   static_assert(sizeof(hists) / sizeof(hists[0]) ==
-                    static_cast<size_t>(RequestOp::kBatchExpand) + 1,
+                    static_cast<size_t>(RequestOp::kTopology) + 1,
                 "one histogram per wire op");
   return hists[static_cast<size_t>(op)];
 }
@@ -817,6 +822,9 @@ WireFrame NavServer::HandleRequest(const RequestView& request,
     case RequestOp::kStats: return HandleStats(request, proto);
     case RequestOp::kMetrics: return HandleMetrics(request, proto);
     case RequestOp::kBatchExpand: return HandleBatchExpand(request, proto);
+    case RequestOp::kFetchArtifact:
+      return HandleFetchArtifact(request, proto);
+    case RequestOp::kTopology: return HandleTopology(request, proto);
   }
   return WireResponse::Error(proto, WireError::kInternal, "unhandled op");
 }
@@ -1081,6 +1089,32 @@ WireFrame NavServer::HandleClose(const RequestView& request, WireProto proto) {
       .Finish();
 }
 
+WireFrame NavServer::HandleFetchArtifact(const RequestView& request,
+                                         WireProto proto) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return WireResponse::Error(proto, WireError::kShuttingDown,
+                               "server is draining");
+  }
+  Result<std::shared_ptr<const QueryArtifacts>> artifacts =
+      sessions_.ArtifactsForKey(std::string(request.query));
+  if (!artifacts.ok()) {
+    return WireResponse::Error(proto, WireErrorFromStatus(artifacts.status()),
+                               artifacts.status().message());
+  }
+  // Base64 in both encodings: JSON strings cannot carry raw bytes, and one
+  // representation keeps owner/replica wire responses oracle-identical.
+  return WireResponse(proto, RequestOp::kFetchArtifact)
+      .AddString(WireField::kArtifact,
+                 Base64Encode(artifacts.ValueOrDie()->Serialize()))
+      .Finish();
+}
+
+WireFrame NavServer::HandleTopology(const RequestView&, WireProto proto) {
+  return WireResponse::Error(
+      proto, WireError::kFailedPrecondition,
+      "TOPOLOGY is answered by the routing tier, not a bare backend");
+}
+
 WireFrame NavServer::HandleStats(const RequestView&, WireProto proto) {
   NavServerStats s = stats();
   std::string sessions =
@@ -1110,7 +1144,11 @@ WireFrame NavServer::HandleStats(const RequestView&, WireProto proto) {
       ",\"expired_ttl\":" + std::to_string(c.expired_ttl) +
       ",\"entries\":" + std::to_string(c.entries) +
       ",\"bytes\":" + std::to_string(c.bytes) +
-      ",\"build_us_saved\":" + std::to_string(c.build_us_saved) + "}";
+      ",\"build_us_saved\":" + std::to_string(c.build_us_saved) +
+      ",\"builds\":" + std::to_string(s.sessions.artifact_builds) +
+      ",\"peer_fetch_hits\":" + std::to_string(s.sessions.peer_fetch_hits) +
+      ",\"peer_fetch_misses\":" +
+      std::to_string(s.sessions.peer_fetch_misses) + "}";
   // The exposition-sized payload has no hot-path template; both protocols
   // carry the identical JSON document (binary wraps it as a kWhole field).
   std::string line =

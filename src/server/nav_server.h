@@ -250,6 +250,12 @@ class NavServer {
   WireFrame HandleClose(const RequestView& request, WireProto proto);
   WireFrame HandleStats(const RequestView& request, WireProto proto);
   WireFrame HandleMetrics(const RequestView& request, WireProto proto);
+  /// Owner-side artifact export: serializes the key's bundle (building it
+  /// inside the cache's singleflight on a miss) into a base64 "artifact"
+  /// field. Peer shards call this; it never recurses into a peer fetch.
+  WireFrame HandleFetchArtifact(const RequestView& request, WireProto proto);
+  /// Bare backends hold no shard map; the routing tier answers TOPOLOGY.
+  WireFrame HandleTopology(const RequestView& request, WireProto proto);
 
   NavServerOptions options_;
   SessionManager sessions_;

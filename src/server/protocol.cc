@@ -444,6 +444,8 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kStats: return "STATS";
     case RequestOp::kMetrics: return "METRICS";
     case RequestOp::kBatchExpand: return "BATCH_EXPAND";
+    case RequestOp::kFetchArtifact: return "FETCH_ARTIFACT";
+    case RequestOp::kTopology: return "TOPOLOGY";
   }
   return "UNKNOWN";
 }
@@ -452,10 +454,12 @@ namespace {
 
 bool RequestOpFromName(std::string_view name, RequestOp* out) {
   static constexpr RequestOp kOps[] = {
-      RequestOp::kQuery,     RequestOp::kExpand, RequestOp::kShowResults,
-      RequestOp::kBacktrack, RequestOp::kFind,   RequestOp::kView,
-      RequestOp::kClose,     RequestOp::kStats,  RequestOp::kMetrics,
-      RequestOp::kBatchExpand,
+      RequestOp::kQuery,         RequestOp::kExpand,
+      RequestOp::kShowResults,   RequestOp::kBacktrack,
+      RequestOp::kFind,          RequestOp::kView,
+      RequestOp::kClose,         RequestOp::kStats,
+      RequestOp::kMetrics,       RequestOp::kBatchExpand,
+      RequestOp::kFetchArtifact, RequestOp::kTopology,
   };
   for (RequestOp op : kOps) {
     if (name == RequestOpName(op)) {
@@ -468,7 +472,14 @@ bool RequestOpFromName(std::string_view name, RequestOp* out) {
 
 bool NeedsToken(RequestOp op) {
   return op != RequestOp::kQuery && op != RequestOp::kStats &&
-         op != RequestOp::kMetrics;
+         op != RequestOp::kMetrics && op != RequestOp::kFetchArtifact &&
+         op != RequestOp::kTopology;
+}
+
+/// Ops that carry the "query" field: QUERY carries the raw query string,
+/// FETCH_ARTIFACT the normalized artifact key.
+bool CarriesQuery(RequestOp op) {
+  return op == RequestOp::kQuery || op == RequestOp::kFetchArtifact;
 }
 
 void AppendKey(std::string* out, std::string_view key) {
@@ -483,7 +494,7 @@ void AppendKey(std::string* out, std::string_view key) {
 std::string SerializeRequest(const Request& request) {
   std::string out = "{\"v\":" + std::to_string(request.version) +
                     ",\"op\":\"" + RequestOpName(request.op) + "\"";
-  if (request.op == RequestOp::kQuery) {
+  if (CarriesQuery(request.op)) {
     AppendKey(&out, "query");
     out += '"' + JsonEscape(request.query) + '"';
   }
@@ -559,11 +570,12 @@ WireError ParseRequest(std::string_view line, Request* out,
     *error_message = "unknown op '" + op->string_value() + "'";
     return WireError::kBadRequest;
   }
-  if (request.op == RequestOp::kQuery) {
+  if (CarriesQuery(request.op)) {
     const JsonValue* query = doc.Find("query");
     if (query == nullptr || !query->is_string() ||
         query->string_value().empty()) {
-      *error_message = "QUERY requires a non-empty string field \"query\"";
+      *error_message = std::string(RequestOpName(request.op)) +
+                       " requires a non-empty string field \"query\"";
       return WireError::kBadRequest;
     }
     request.query = query->string_value();
@@ -1006,7 +1018,7 @@ std::string SerializeRequestBinary(const Request& request) {
   std::string body;
   body.push_back(static_cast<char>(kBinaryProtocolVersion));
   body.push_back(static_cast<char>(request.op));
-  if (request.op == RequestOp::kQuery) {
+  if (CarriesQuery(request.op)) {
     AppendFieldBytes(&body, kReqQuery, kFieldString, request.query);
   }
   if (NeedsToken(request.op)) {
@@ -1045,7 +1057,7 @@ WireError ParseRequestBinary(std::string_view body, RequestView* out,
     return WireError::kUnsupportedVersion;
   }
   uint8_t op_byte = static_cast<uint8_t>(body[1]);
-  if (op_byte > static_cast<uint8_t>(RequestOp::kBatchExpand)) {
+  if (op_byte > static_cast<uint8_t>(RequestOp::kTopology)) {
     *error_message = "unknown op byte " + std::to_string(op_byte);
     return WireError::kBadRequest;
   }
@@ -1112,8 +1124,9 @@ WireError ParseRequestBinary(std::string_view body, RequestView* out,
         break;  // Unknown field: skipped by its self-describing type.
     }
   }
-  if (view.op == RequestOp::kQuery && view.query.empty()) {
-    *error_message = "QUERY requires a non-empty string field \"query\"";
+  if (CarriesQuery(view.op) && view.query.empty()) {
+    *error_message = std::string(RequestOpName(view.op)) +
+                     " requires a non-empty string field \"query\"";
     return WireError::kBadRequest;
   }
   if (NeedsToken(view.op) && view.token.empty()) {
@@ -1173,6 +1186,7 @@ const char* WireFieldName(WireField field) {
     case WireField::kWhole: return "whole";
     case WireField::kResults: return "results";
     case WireField::kExpanded: return "expanded";
+    case WireField::kArtifact: return "artifact";
   }
   return nullptr;
 }
@@ -1182,7 +1196,7 @@ namespace {
 /// WireFieldName over a raw id byte; nullptr for ids this build ignores.
 const char* WireFieldNameOrNull(uint8_t id) {
   if (id < static_cast<uint8_t>(WireField::kToken) ||
-      id > static_cast<uint8_t>(WireField::kExpanded)) {
+      id > static_cast<uint8_t>(WireField::kArtifact)) {
     return nullptr;
   }
   return WireFieldName(static_cast<WireField>(id));
@@ -1392,7 +1406,7 @@ Result<JsonValue> DecodeBinaryResponse(std::string_view body) {
   members.emplace_back("v", JsonValue::MakeNumber(kBinaryProtocolVersion));
   members.emplace_back("ok", JsonValue::MakeBool(ok));
   // Error frames carry no "op" member, matching the JSON error shape.
-  if (op_byte <= static_cast<uint8_t>(RequestOp::kBatchExpand)) {
+  if (op_byte <= static_cast<uint8_t>(RequestOp::kTopology)) {
     members.emplace_back(
         "op", JsonValue::MakeString(
                   RequestOpName(static_cast<RequestOp>(op_byte))));

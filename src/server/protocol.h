@@ -37,6 +37,8 @@ namespace bionav {
 ///   CLOSE       {"token": t}                       -> closed
 ///   STATS       {}                                 -> stats (incl. metrics)
 ///   METRICS     {}                                 -> text (Prometheus)
+///   FETCH_ARTIFACT {"query": "<normalized key>"}   -> artifact (base64)
+///   TOPOLOGY    {}                                 -> generation, backends
 /// Responses: {"v": 1, "ok": true, "op": "<OP>", ...} on success, or
 ///   {"v": 1, "ok": false, "error": "<CODE>", "message": "..."} on failure.
 inline constexpr int kProtocolVersion = 1;
@@ -248,6 +250,13 @@ enum class RequestOp {
   kMetrics,
   // Appended so existing op bytes keep their binary encoding.
   kBatchExpand,
+  /// Cross-shard artifact transfer: "query" carries the normalized cache
+  /// key; the reply's "artifact" field is the base64 serialized bundle.
+  /// Token-free — shards call each other, not sessions.
+  kFetchArtifact,
+  /// Routing-tier shard map for client-side routing; answered by the
+  /// router (a bare server replies FAILED_PRECONDITION). Token-free.
+  kTopology,
 };
 
 /// Wire name of an op ("QUERY", ...).
@@ -394,6 +403,7 @@ enum class WireField : uint8_t {
   kWhole = 17,
   kResults = 18,   // BATCH_EXPAND per-node outcomes (JSON array)
   kExpanded = 19,  // BATCH_EXPAND: number of cuts applied
+  kArtifact = 20,  // FETCH_ARTIFACT: base64 serialized bundle
 };
 
 /// JSON member name of a response field ("token", "result_size", ...).

@@ -158,6 +158,22 @@ SessionManager::~SessionManager() {
 
 int64_t SessionManager::NowMs() const { return options_.clock(); }
 
+std::shared_ptr<const QueryArtifacts> SessionManager::ResolveArtifacts(
+    const std::string& query, bool freeze, bool allow_peer) {
+  if (allow_peer && options_.peer_fetcher) {
+    std::shared_ptr<const QueryArtifacts> fetched =
+        options_.peer_fetcher(NormalizeQueryKey(query));
+    if (fetched != nullptr) {
+      peer_fetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      return fetched;
+    }
+    peer_fetch_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  artifact_builds_.fetch_add(1, std::memory_order_relaxed);
+  return BuildQueryArtifacts(*hierarchy_, *eutils_, query, cost_params_,
+                             freeze);
+}
+
 Result<std::string> SessionManager::Create(const std::string& query,
                                            size_t* result_size) {
   Result<CreateInfo> info = CreateSession(query);
@@ -180,14 +196,12 @@ Result<SessionManager::CreateInfo> SessionManager::CreateSession(
   if (cache_ != nullptr) {
     QueryArtifactCache::Lookup lookup =
         cache_->GetOrBuild(NormalizeQueryKey(query), [&] {
-          return BuildQueryArtifacts(*hierarchy_, *eutils_, query,
-                                     cost_params_, /*freeze=*/true);
+          return ResolveArtifacts(query, /*freeze=*/true, /*allow_peer=*/true);
         });
     artifacts = std::move(lookup.artifacts);
     info.cache_hit = lookup.hit;
   } else {
-    artifacts = BuildQueryArtifacts(*hierarchy_, *eutils_, query,
-                                    cost_params_, /*freeze=*/false);
+    artifacts = ResolveArtifacts(query, /*freeze=*/false, /*allow_peer=*/false);
   }
   info.artifacts = artifacts;
   auto entry = std::make_shared<Entry>();
@@ -248,11 +262,15 @@ Status SessionManager::WithSession(
     if (entry == nullptr) return restore_status;
   }
   Status result;
+  size_t bytes = 0;
   {
     // Per-session serialization; the map lock is already released, so a
-    // slow EXPAND on one session never stalls traffic to the others.
+    // slow EXPAND on one session never stalls traffic to the others. The
+    // byte count is taken here too: under mu_ alone it would race with a
+    // concurrent op mutating this session's tree under op_mu.
     std::lock_guard<std::mutex> op_lock(entry->op_mu);
     result = fn(*entry->session);
+    bytes = entry->session->MemoryBytes();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -260,7 +278,6 @@ Status SessionManager::WithSession(
     auto it = sessions_.find(entry->token);
     if (it != sessions_.end() && it->second == entry) {
       entry->last_used_ms = NowMs();
-      size_t bytes = entry->session->MemoryBytes();
       int64_t delta = static_cast<int64_t>(bytes) -
                       static_cast<int64_t>(entry->mem_bytes);
       entry->mem_bytes = bytes;
@@ -302,14 +319,14 @@ std::shared_ptr<SessionManager::Entry> SessionManager::RestoreFromSpill(
         artifacts = cache_
                         ->GetOrBuild(NormalizeQueryKey(snap.query),
                                      [&] {
-                                       return BuildQueryArtifacts(
-                                           *hierarchy_, *eutils_, snap.query,
-                                           cost_params_, /*freeze=*/true);
+                                       return ResolveArtifacts(
+                                           snap.query, /*freeze=*/true,
+                                           /*allow_peer=*/true);
                                      })
                         .artifacts;
       } else {
-        artifacts = BuildQueryArtifacts(*hierarchy_, *eutils_, snap.query,
-                                        cost_params_, /*freeze=*/false);
+        artifacts = ResolveArtifacts(snap.query, /*freeze=*/false,
+                                     /*allow_peer=*/false);
       }
       Result<std::unique_ptr<NavigationSession>> session = RestoreSession(
           snap, eutils_, std::move(artifacts), strategy_factory_);
@@ -380,6 +397,19 @@ std::shared_ptr<SessionManager::Entry> SessionManager::RestoreFromSpill(
   if (won) spill_->Delete(token_str);
   *status = Status::OK();
   return entry;
+}
+
+Result<std::shared_ptr<const QueryArtifacts>> SessionManager::ArtifactsForKey(
+    const std::string& key) {
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition(
+        "artifact cache disabled; no shared bundle to export");
+  }
+  QueryArtifactCache::Lookup lookup =
+      cache_->GetOrBuild(NormalizeQueryKey(key), [&] {
+        return ResolveArtifacts(key, /*freeze=*/true, /*allow_peer=*/false);
+      });
+  return lookup.artifacts;
 }
 
 bool SessionManager::Close(std::string_view token) {
@@ -492,6 +522,9 @@ SessionManagerStats SessionManager::stats() const {
   out.active = sessions_.size();
   out.spilled_now = spilled_tokens_.size();
   out.resident_bytes = resident_bytes_;
+  out.artifact_builds = artifact_builds_.load(std::memory_order_relaxed);
+  out.peer_fetch_hits = peer_fetch_hits_.load(std::memory_order_relaxed);
+  out.peer_fetch_misses = peer_fetch_misses_.load(std::memory_order_relaxed);
   return out;
 }
 

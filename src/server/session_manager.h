@@ -1,6 +1,7 @@
 #ifndef BIONAV_SERVER_SESSION_MANAGER_H_
 #define BIONAV_SERVER_SESSION_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,6 +58,17 @@ struct SessionManagerOptions {
   /// until CLOSE or restore (steady clocks do not survive a restart, so
   /// on-disk records carry no trustworthy idle age).
   int64_t spill_after_ms = 0;
+  /// Cross-shard artifact sharing: tried (with the normalized query key)
+  /// inside the cache's singleflight builder before a local build. Return
+  /// the ring-owner's bundle, or nullptr to fall back to building locally
+  /// (key self-owned, fleet unconfigured, peer down, record corrupt). The
+  /// hook runs outside every SessionManager lock but inside the cache's
+  /// per-key singleflight, so a shard issues at most one fetch per key no
+  /// matter how many sessions pile up. Bundles it returns must be frozen.
+  /// Only consulted when cache_enabled is true — without the cache there
+  /// is no singleflight to gate the fetch.
+  std::function<std::shared_ptr<const QueryArtifacts>(const std::string&)>
+      peer_fetcher;
 };
 
 /// Lifetime counters. `active` is the instantaneous live-session count;
@@ -78,6 +90,15 @@ struct SessionManagerStats {
   /// Estimated heap bytes of the resident sessions (the spill tier's
   /// memory-bounding claim is judged against this gauge).
   size_t resident_bytes = 0;
+  /// Artifact provenance. `artifact_builds` counts bundles this manager
+  /// built from scratch; peer_fetch_hits bundles obtained from the ring
+  /// owner; peer_fetch_misses peer attempts that fell back to a local
+  /// build. Per-manager (unlike bionav_artifact_builds_total, which is
+  /// process-wide), so a test hosting several in-process shards can
+  /// attribute builds to the shard that ran them.
+  int64_t artifact_builds = 0;
+  int64_t peer_fetch_hits = 0;
+  int64_t peer_fetch_misses = 0;
 };
 
 /// Owns the live NavigationSessions of a serving process, keyed by opaque
@@ -153,6 +174,17 @@ class SessionManager {
   /// number written.
   size_t SpillAll();
 
+  /// Owner-side half of FETCH_ARTIFACT: the (already normalized) key's
+  /// bundle from the shared cache, building locally on a miss — inside the
+  /// same singleflight QUERYs use, so a fetch and a concurrent QUERY of
+  /// one key share a single build. Never consults peer_fetcher: the ring
+  /// owner is the end of the chain (a fetch loop between two shards that
+  /// disagree about ownership must terminate in a local build).
+  /// FailedPrecondition when caching is disabled — there is no shared
+  /// bundle to export.
+  Result<std::shared_ptr<const QueryArtifacts>> ArtifactsForKey(
+      const std::string& key);
+
   bool spill_enabled() const { return spill_ != nullptr; }
 
   size_t active() const;
@@ -179,6 +211,11 @@ class SessionManager {
   };
 
   int64_t NowMs() const;
+  /// Resolves artifacts for `query`: peer fetch first (when configured and
+  /// `allow_peer`), local build otherwise. Runs outside every lock — it is
+  /// the cache's singleflight builder on the cached path.
+  std::shared_ptr<const QueryArtifacts> ResolveArtifacts(
+      const std::string& query, bool freeze, bool allow_peer);
   /// Drops every TTL-expired entry. Requires mu_ held.
   void SweepExpiredLocked(int64_t now_ms);
   /// Evicts least-recently-used entries until below capacity (spilling
@@ -230,6 +267,11 @@ class SessionManager {
   size_t resident_bytes_ = 0;
   uint64_t next_token_ = 1;
   SessionManagerStats counters_;  // `active` field unused; derived from map.
+  /// Artifact provenance; atomics because they tick inside the cache's
+  /// builder, which runs outside mu_.
+  std::atomic<int64_t> artifact_builds_{0};
+  std::atomic<int64_t> peer_fetch_hits_{0};
+  std::atomic<int64_t> peer_fetch_misses_{0};
 };
 
 }  // namespace bionav

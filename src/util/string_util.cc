@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <array>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -107,6 +108,83 @@ bool ParseDouble(std::string_view s, double* out) {
   if (errno == ERANGE || end != token.c_str() + token.size()) return false;
   if (!std::isfinite(value)) return false;
   *out = value;
+  return true;
+}
+
+
+std::string Base64Encode(std::string_view data) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    uint32_t v = static_cast<uint32_t>(static_cast<unsigned char>(data[i]))
+                     << 16 |
+                 static_cast<uint32_t>(static_cast<unsigned char>(data[i + 1]))
+                     << 8 |
+                 static_cast<uint32_t>(static_cast<unsigned char>(data[i + 2]));
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint32_t>(static_cast<unsigned char>(data[i]))
+                 << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    uint32_t v = static_cast<uint32_t>(static_cast<unsigned char>(data[i]))
+                     << 16 |
+                 static_cast<uint32_t>(static_cast<unsigned char>(data[i + 1]))
+                     << 8;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+bool Base64Decode(std::string_view data, std::string* out) {
+  if (data.size() % 4 != 0) return false;
+  static constexpr auto kInverse = [] {
+    std::array<int8_t, 256> t{};
+    t.fill(-1);
+    const char* alphabet =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    for (int i = 0; i < 64; ++i) {
+      t[static_cast<unsigned char>(alphabet[i])] = static_cast<int8_t>(i);
+    }
+    return t;
+  }();
+  std::string decoded;
+  decoded.reserve(data.size() / 4 * 3);
+  for (size_t i = 0; i < data.size(); i += 4) {
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t k = 0; k < 4; ++k) {
+      char c = data[i + k];
+      if (c == '=') {
+        // Padding is only legal in the last quad, trailing, at most two.
+        if (i + 4 != data.size() || k < 2) return false;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return false;  // Data after '='.
+      int8_t s = kInverse[static_cast<unsigned char>(c)];
+      if (s < 0) return false;
+      v = (v << 6) | static_cast<uint32_t>(s);
+    }
+    decoded.push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) decoded.push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) decoded.push_back(static_cast<char>(v & 0xff));
+  }
+  *out = std::move(decoded);
   return true;
 }
 

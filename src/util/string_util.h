@@ -41,6 +41,15 @@ bool ParseInt64(std::string_view s, int64_t* out);
 /// rejects NaN/Inf spellings and anything strtod leaves unconsumed.
 bool ParseDouble(std::string_view s, double* out);
 
+/// Standard base64 (RFC 4648, with '=' padding). Binary records — e.g.
+/// serialized artifact bundles — travel inside JSON string fields as
+/// base64, so both wire encodings carry the same bytes.
+std::string Base64Encode(std::string_view data);
+
+/// Strict inverse of Base64Encode: rejects bad lengths, characters outside
+/// the alphabet, and misplaced padding. False leaves `*out` untouched.
+bool Base64Decode(std::string_view data, std::string* out);
+
 }  // namespace bionav
 
 #endif  // BIONAV_UTIL_STRING_UTIL_H_

@@ -98,7 +98,7 @@ TEST(JsonWrite, RoundTripsIntegersTextually) {
 // ---------------------------------------------------------------------------
 
 TEST(ProtocolRequest, RoundTripEveryOp) {
-  Request requests[8];
+  Request requests[10];
   requests[0].op = RequestOp::kQuery;
   requests[0].query = "prothymosin alpha";
   requests[1].op = RequestOp::kExpand;
@@ -120,6 +120,11 @@ TEST(ProtocolRequest, RoundTripEveryOp) {
   requests[6].op = RequestOp::kClose;
   requests[6].token = "s42";
   requests[7].op = RequestOp::kStats;
+  // Fleet ops: FETCH_ARTIFACT carries a query key (no token), TOPOLOGY
+  // carries nothing at all.
+  requests[8].op = RequestOp::kFetchArtifact;
+  requests[8].query = "breast cancer";
+  requests[9].op = RequestOp::kTopology;
 
   for (const Request& request : requests) {
     std::string line = SerializeRequest(request);
@@ -273,7 +278,7 @@ TEST(ProtocolBinary, ZigzagRoundTripsSignedBoundaries) {
 /// The oracle request set: one of every op with every op-specific field
 /// exercised (shared by the JSON and binary round-trip assertions).
 std::vector<Request> OracleRequests() {
-  std::vector<Request> requests(9);
+  std::vector<Request> requests(11);
   requests[0].op = RequestOp::kQuery;
   requests[0].query = "prothymosin alpha \"quoted\" \xc3\xa9";
   requests[1].op = RequestOp::kExpand;
@@ -296,6 +301,9 @@ std::vector<Request> OracleRequests() {
   requests[6].token = "s42";
   requests[7].op = RequestOp::kStats;
   requests[8].op = RequestOp::kMetrics;
+  requests[9].op = RequestOp::kFetchArtifact;
+  requests[9].query = "fleet key \xc3\xa9";
+  requests[10].op = RequestOp::kTopology;
   return requests;
 }
 
@@ -516,6 +524,11 @@ TEST(ProtocolBinary, ResponseRoundTripEveryShapeMatchesJson) {
       +[](WireProto proto) {  // CLOSE
         return WireResponse(proto, RequestOp::kClose)
             .AddBool(WireField::kClosed, true)
+            .Finish();
+      },
+      +[](WireProto proto) {  // FETCH_ARTIFACT (base64 bundle payload)
+        return WireResponse(proto, RequestOp::kFetchArtifact)
+            .AddString(WireField::kArtifact, "Qk5BMWZha2U=")
             .Finish();
       },
   };

@@ -130,6 +130,7 @@ int Usage() {
          "  convert-mesh <mtrees-path> <hierarchy-out>\n"
          "  remote <host:port> <query terms...> [--proto json|binary]"
          " [--connect-retries N]\n"
+         "  remote <host:port> --topology [--proto json|binary]\n"
          "  stats <host:port | --target host:port> [--prom]"
          " [--proto json|binary] [--connect-retries N]\n";
   return 2;
@@ -360,10 +361,28 @@ std::unique_ptr<NavClient> ConnectEndpoint(const std::string& endpoint,
 // navigation state lives server-side and is gone with the old session —
 // and retries the command before giving up.
 int CmdRemote(const Args& args) {
-  if (args.positional.size() < 2) return Usage();
+  if (args.positional.empty()) return Usage();
   const std::string endpoint = args.positional[0];
   WireProto proto = WireProto::kJson;
   if (!ParseProtoFlag(args, &proto)) return 2;
+  if (args.HasFlag("topology")) {
+    // Print the routing tier's shard map — what a RoutedNavClient learns
+    // at connect time to send QUERY/session ops straight to backends.
+    // Against a bare bionav_serve this reports the typed
+    // FAILED_PRECONDITION the backend answers.
+    std::unique_ptr<NavClient> connected = ConnectEndpoint(
+        endpoint, proto,
+        static_cast<int>(args.IntFlagOr("connect-retries", 0)));
+    if (connected == nullptr) return 1;
+    auto topology = connected->Topology();
+    if (!topology.ok()) {
+      std::cerr << topology.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << WriteJson(topology.ValueOrDie()) << "\n";
+    return 0;
+  }
+  if (args.positional.size() < 2) return Usage();
   std::unique_ptr<NavClient> connected = ConnectEndpoint(
       endpoint, proto,
       static_cast<int>(args.IntFlagOr("connect-retries", 0)));

@@ -12,6 +12,13 @@
 // child's stdin is a pipe the router holds, so an orphaned router death
 // still EOFs the children away.
 //
+// With --replicas R and --replicate-above QPS, query keys running hotter
+// than the threshold spread round-robin across their first R healthy
+// ring-successors instead of pinning to one shard; pair this with
+// --peers-file PATH (auto mode) so non-owner replicas fetch the owner's
+// artifact bundle over FETCH_ARTIFACT instead of rebuilding it. The
+// router writes the peers file once every shard has announced its port.
+//
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on the first stdout line ("listening on 127.0.0.1:PORT") so
 // wrappers can scrape it. Runs until SIGINT/SIGTERM or EOF on stdin.
@@ -57,9 +64,22 @@ int Usage() {
          "         [--max-connections C] [--idle-timeout-ms MS]\n"
          "         [--health-interval-ms MS] [--health-timeout-ms MS]\n"
          "         [--eject-after N] [--half-open-ms MS] [--pool P]\n"
+         "         [--replicas R] [--replicate-above QPS]\n"
          "         [--serve-bin PATH] [--serve-threads N]\n"
-         "         [--spill-dir DIR] [--spill-after-ms MS] (auto mode)\n";
+         "         [--spill-dir DIR] [--spill-after-ms MS]\n"
+         "         [--peers-file PATH] (auto mode)\n";
   return 2;
+}
+
+double QpsArg(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  double out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || out < 0) {
+    std::cerr << "bionav_route: invalid value '" << value << "' for " << flag
+              << "\n";
+    std::exit(2);
+  }
+  return out;
 }
 
 /// One forked bionav_serve child: its lifetime is the stdin pipe we hold.
@@ -85,7 +105,7 @@ std::string SelfDirectory() {
 bool SpawnBackend(const std::string& serve_bin, const std::string& db_path,
                   int serve_threads, const std::string& shard_id,
                   const std::string& spill_dir, int64_t spill_after_ms,
-                  Child* child) {
+                  const std::string& peers_file, Child* child) {
   int stdin_pipe[2];
   int stdout_pipe[2];
   if (::pipe(stdin_pipe) != 0) return false;
@@ -126,6 +146,14 @@ bool SpawnBackend(const std::string& serve_bin, const std::string& db_path,
         args.push_back("--spill-after-ms");
         args.push_back(std::to_string(spill_after_ms));
       }
+    }
+    if (!peers_file.empty()) {
+      // The file does not exist yet — the router writes it once every
+      // shard has announced its port. The shard probes lazily.
+      args.push_back("--peers-file");
+      args.push_back(peers_file);
+      args.push_back("--self-id");
+      args.push_back(shard_id);
     }
     std::vector<char*> exec_argv;
     exec_argv.reserve(args.size() + 1);
@@ -208,6 +236,7 @@ int Main(int argc, char** argv) {
   int serve_threads = 2;
   std::string spill_dir;
   int64_t spill_after_ms = 0;
+  std::string peers_file;
   NavRouterOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -252,6 +281,14 @@ int Main(int argc, char** argv) {
     } else if (arg == "--pool") {
       options.upstream_pool_size =
           static_cast<int>(IntArg(value("--pool"), "--pool"));
+    } else if (arg == "--replicas") {
+      options.replicas =
+          static_cast<int>(IntArg(value("--replicas"), "--replicas"));
+    } else if (arg == "--replicate-above") {
+      options.replicate_above_qps =
+          QpsArg(value("--replicate-above"), "--replicate-above");
+    } else if (arg == "--peers-file") {
+      peers_file = value("--peers-file");
     } else if (arg == "--serve-bin") {
       serve_bin = value("--serve-bin");
     } else if (arg == "--serve-threads") {
@@ -282,7 +319,7 @@ int Main(int argc, char** argv) {
       Child child;
       std::string shard_id = "shard" + std::to_string(i);
       if (!SpawnBackend(serve_bin, db_path, serve_threads, shard_id,
-                        spill_dir, spill_after_ms, &child)) {
+                        spill_dir, spill_after_ms, peers_file, &child)) {
         std::cerr << "bionav_route: failed to spawn backend " << i << " ("
                   << serve_bin << ")\n";
         ReapChildren(&children);
@@ -296,6 +333,36 @@ int Main(int argc, char** argv) {
       backends.push_back(std::move(backend));
       std::cout << "spawned " << shard_id << " on 127.0.0.1:" << child.port
                 << " (pid " << child.pid << ")" << std::endl;
+    }
+    if (!peers_file.empty()) {
+      // Every port is now known: publish the fleet view the shards have
+      // been waiting to probe. Write-then-rename so a shard never reads a
+      // half-written file; geometry lines must match this router's ring
+      // exactly or shard-side owner placement diverges from ours.
+      std::string tmp = peers_file + ".tmp";
+      FILE* out = std::fopen(tmp.c_str(), "w");
+      if (out == nullptr) {
+        std::cerr << "bionav_route: cannot write peers file '" << tmp
+                  << "': " << std::strerror(errno) << "\n";
+        ReapChildren(&children);
+        return 1;
+      }
+      std::fprintf(out, "vnodes %d\n", options.ring_vnodes);
+      std::fprintf(out, "seed %llu\n",
+                   static_cast<unsigned long long>(options.ring_seed));
+      for (size_t i = 0; i < backends.size(); ++i) {
+        std::fprintf(out, "peer %s %s:%d\n", backends[i].id.c_str(),
+                     backends[i].host.c_str(), backends[i].port);
+      }
+      std::fclose(out);
+      if (std::rename(tmp.c_str(), peers_file.c_str()) != 0) {
+        std::cerr << "bionav_route: cannot publish peers file '" << peers_file
+                  << "': " << std::strerror(errno) << "\n";
+        ReapChildren(&children);
+        return 1;
+      }
+      std::cout << "peers file " << peers_file << " (" << backends.size()
+                << " shards)" << std::endl;
     }
   } else {
     for (std::string_view rest = backends_arg; !rest.empty();) {

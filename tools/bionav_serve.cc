@@ -7,11 +7,19 @@
 //                [--max-sessions S] [--ttl-ms T] [--token-prefix P]
 //                [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]
 //                [--spill-dir DIR] [--spill-after-ms MS]
+//                [--peers-file PATH --self-id ID]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on the first stdout line ("listening on 127.0.0.1:PORT") so
 // wrappers can scrape it. The server runs until SIGINT/SIGTERM or EOF on
 // stdin, then drains in-flight requests and exits 0.
+//
+// With --peers-file/--self-id, the shard joins fleet-wide artifact
+// sharing: before building artifacts for a query key another shard owns,
+// it asks that owner for the serialized bundle via FETCH_ARTIFACT and
+// only builds locally when the fetch fails. The file (written by
+// bionav_route in auto mode, format in router/peer_fetch.h) may appear
+// after startup; the shard re-probes it until it does.
 //
 // With --spill-dir, idle sessions park on disk (after --spill-after-ms of
 // inactivity) and resurrect transparently on their next touch, and SIGUSR2
@@ -73,7 +81,8 @@ int Usage() {
                " [--io-threads I] [--max-connections C] [--idle-timeout-ms MS]"
                " [--max-sessions S] [--ttl-ms T] [--token-prefix P]"
                " [--static] [--cache-mb MB] [--cache-ttl MS] [--cache=off]"
-               " [--spill-dir DIR] [--spill-after-ms MS]\n";
+               " [--spill-dir DIR] [--spill-after-ms MS]"
+               " [--peers-file PATH --self-id ID]\n";
   return 2;
 }
 
@@ -87,6 +96,8 @@ int Main(int argc, char** argv) {
   NavServerOptions options;
   options.threads = 4;
   bool use_static = false;
+  std::string peers_file;
+  std::string self_id;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -131,6 +142,10 @@ int Main(int argc, char** argv) {
     } else if (arg == "--spill-after-ms") {
       options.session.spill_after_ms =
           IntArg(value("--spill-after-ms"), "--spill-after-ms");
+    } else if (arg == "--peers-file") {
+      peers_file = value("--peers-file");
+    } else if (arg == "--self-id") {
+      self_id = value("--self-id");
     } else if (arg == "--inherit-listen-fd") {
       options.inherit_listen_fd = static_cast<int>(
           IntArg(value("--inherit-listen-fd"), "--inherit-listen-fd"));
@@ -146,6 +161,10 @@ int Main(int argc, char** argv) {
     }
   }
   if (db_path.empty()) return Usage();
+  if (peers_file.empty() != self_id.empty()) {
+    std::cerr << "bionav_serve: --peers-file and --self-id go together\n";
+    return 2;
+  }
   if (!options.session.spill_dir.empty() &&
       options.session.spill_after_ms == 0) {
     options.session.spill_after_ms = 60 * 1000;
@@ -158,6 +177,18 @@ int Main(int argc, char** argv) {
   }
   const BioNavDatabase& d = *db.ValueOrDie();
   EUtilsClient eutils = d.MakeClient();
+
+  // Declared before the server so it outlives every request that might be
+  // mid-fetch during shutdown. The fetcher is installed into the session
+  // options *before* NavServer construction (the server copies them).
+  PeerArtifactFetcher peer_fetcher(&d.hierarchy());
+  if (!peers_file.empty()) {
+    peer_fetcher.ConfigureFromFile(peers_file, self_id);
+    options.session.peer_fetcher =
+        [&peer_fetcher](const std::string& key) {
+          return peer_fetcher.Fetch(key);
+        };
+  }
 
   NavServer server(&d.hierarchy(), &eutils,
                    use_static ? MakeStaticStrategyFactory()
